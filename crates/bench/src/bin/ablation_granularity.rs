@@ -1,0 +1,24 @@
+//! Design-choice ablation (§V-A2): cWSP's 8-byte persist granularity vs the
+//! 64-byte cacheline granularity all prior work uses — an eightfold
+//! bandwidth-demand difference on the same persist path.
+
+use cwsp_bench::{measure_all, slowdown, suite_gmeans};
+use cwsp_compiler::pipeline::CompileOptions;
+use cwsp_sim::config::SimConfig;
+use cwsp_sim::scheme::Scheme;
+
+fn main() {
+    let apps = cwsp_workloads::all();
+    println!("\n=== Ablation: persist granularity (4 GB/s path) ===");
+    for gran in [8u64, 64] {
+        let mut cfg = SimConfig::default();
+        cfg.persist_granularity = gran;
+        let results =
+            measure_all(&apps, |w| slowdown(w, &cfg, Scheme::cwsp(), CompileOptions::default()));
+        println!("-- {gran}-byte entries");
+        for (suite, v) in suite_gmeans(&results) {
+            println!("   {suite:<12} {v:>8.3} x");
+        }
+    }
+    println!("\n(8-byte entries are the paper's key bandwidth lever: same stores, 1/8 the bytes)");
+}

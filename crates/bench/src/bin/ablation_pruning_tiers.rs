@@ -1,0 +1,29 @@
+//! Design-choice ablation: checkpoint-pruning tiers (§IV-C).
+//!
+//! * **none** — iDO-style: every region checkpoints all live registers.
+//! * **const** — def-site checkpoints + constant rematerialization only.
+//! * **full** — plus expression rematerialization over remaining slots
+//!   (Penny's Fig-4 case; this repo's default).
+
+use cwsp_bench::{measure_all, slowdown, suite_gmeans};
+use cwsp_compiler::pipeline::CompileOptions;
+use cwsp_sim::config::SimConfig;
+use cwsp_sim::scheme::Scheme;
+
+fn main() {
+    let cfg = SimConfig::default();
+    let apps = cwsp_workloads::all();
+    let tiers: [(&str, CompileOptions); 3] = [
+        ("none", CompileOptions { pruning: false, ..Default::default() }),
+        ("const", CompileOptions { expr_remat: false, ..Default::default() }),
+        ("full", CompileOptions::default()),
+    ];
+    println!("\n=== Ablation: checkpoint-pruning tiers ===");
+    for (label, opts) in tiers {
+        let results = measure_all(&apps, |w| slowdown(w, &cfg, Scheme::cwsp(), opts));
+        println!("-- {label}");
+        for (suite, v) in suite_gmeans(&results) {
+            println!("   {suite:<12} {v:>8.3} x");
+        }
+    }
+}

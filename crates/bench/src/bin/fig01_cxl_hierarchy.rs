@@ -1,0 +1,39 @@
+//! Figure 1: normalized slowdown of CXL PMEM main memory vs CXL DRAM main
+//! memory with 2–5 cache levels (paper: 2.14× at 2 levels dropping to 1.34×
+//! at 5 levels — deeper hierarchies make NVM's latency tolerable).
+//!
+//! Uses the hierarchy probes (working-set-controlled variants of the
+//! memory-intensive subset) on a 1/32-scaled hierarchy; see
+//! `cwsp_workloads::probes`.
+
+use cwsp_bench::{gmean, measure_all, print_results, run_to_completion, AppResult};
+use cwsp_sim::config::{MainMemory, NvmTech, SimConfig};
+use cwsp_sim::scheme::Scheme;
+use cwsp_workloads::probes::{hierarchy_probes, SCALE_SHIFT};
+
+fn main() {
+    let apps = hierarchy_probes();
+    let mut trend = Vec::new();
+    for levels in 2..=5usize {
+        let results: Vec<AppResult> = measure_all(&apps, |w| {
+            let mut pmem = SimConfig::default().hierarchy_depth(levels).scaled(SCALE_SHIFT);
+            pmem.main_memory = MainMemory::Nvm(NvmTech::Pmem);
+            let mut dram = pmem.clone();
+            dram.main_memory = MainMemory::Nvm(NvmTech::Dram);
+            let p = run_to_completion(&w.module, &pmem, Scheme::Baseline).unwrap().cycles;
+            let d = run_to_completion(&w.module, &dram, Scheme::Baseline).unwrap().cycles;
+            p as f64 / d as f64
+        });
+        print_results(
+            &format!("Fig 1 [{levels} cache levels]: CXL-PMEM vs CXL-DRAM slowdown"),
+            "x",
+            &results,
+        );
+        let all: Vec<f64> = results.iter().map(|r| r.value).collect();
+        trend.push((levels, gmean(&all)));
+    }
+    println!("\n>>> trend (paper: 2.14x at 2 levels -> 1.34x at 5 levels):");
+    for (levels, g) in trend {
+        println!("    {levels} levels: {g:.3}x");
+    }
+}

@@ -1,0 +1,16 @@
+//! Figure 8: loads hitting a pending WPQ entry, per million instructions
+//! (paper: 0.98 average — rare enough that delaying such loads is free).
+
+use cwsp_bench::{measure_all, print_results, scheme_stats};
+use cwsp_compiler::pipeline::CompileOptions;
+use cwsp_sim::config::SimConfig;
+use cwsp_sim::scheme::Scheme;
+
+fn main() {
+    let cfg = SimConfig::default();
+    let apps = cwsp_workloads::all();
+    let results = measure_all(&apps, |w| {
+        scheme_stats(w, &cfg, Scheme::cwsp(), CompileOptions::default()).wpq_hits_per_minst()
+    });
+    print_results("Fig 8: WPQ hits per 1M instructions (paper avg: 0.98)", "HPMI", &results);
+}

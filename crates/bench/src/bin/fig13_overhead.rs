@@ -1,0 +1,21 @@
+//! Figure 13: normalized slowdown of cWSP to the baseline across all 38
+//! applications (paper: 6% average; SPLASH3 worst due to write-dense short
+//! regions; persist path bandwidth 4 GB/s).
+
+use cwsp_bench::{measure_all, print_results, slowdown};
+use cwsp_compiler::pipeline::CompileOptions;
+use cwsp_sim::config::SimConfig;
+use cwsp_sim::scheme::Scheme;
+
+fn main() {
+    let cfg = SimConfig::default();
+    let apps = cwsp_workloads::all();
+    let results = measure_all(&apps, |w| {
+        slowdown(w, &cfg, Scheme::cwsp(), CompileOptions::default())
+    });
+    print_results(
+        "Fig 13: cWSP normalized slowdown (paper: all-gmean 1.06, SPLASH3 highest)",
+        "x",
+        &results,
+    );
+}

@@ -1,0 +1,30 @@
+//! Figure 14: cWSP vs prior whole-system-persistence schemes (paper:
+//! ReplayCache ≈ 4.3×; Capri 1.27× at 4 GB/s and ≈ cWSP at 32 GB/s;
+//! cWSP 1.06×).
+
+use cwsp_bench::{measure_all, slowdown, suite_gmeans};
+use cwsp_compiler::pipeline::CompileOptions;
+use cwsp_sim::config::SimConfig;
+use cwsp_sim::scheme::Scheme;
+
+fn main() {
+    let apps = cwsp_workloads::all();
+    let opts = CompileOptions::default();
+    let configs: Vec<(&str, Scheme, f64)> = vec![
+        ("ReplayCache", Scheme::ReplayCache, 4.0),
+        ("Capri-4GB", Scheme::Capri, 4.0),
+        ("Capri-32GB", Scheme::Capri, 32.0),
+        ("cWSP-4GB", Scheme::cwsp(), 4.0),
+        ("cWSP-32GB", Scheme::cwsp(), 32.0),
+    ];
+    println!("\n=== Fig 14: WSP scheme comparison (normalized slowdown gmeans) ===");
+    for (label, scheme, bw) in configs {
+        let mut cfg = SimConfig::default();
+        cfg.persist_path_gbps = bw;
+        let results = measure_all(&apps, |w| slowdown(w, &cfg, scheme, opts));
+        println!("-- {label}");
+        for (suite, v) in suite_gmeans(&results) {
+            println!("   {suite:<12} {v:>8.3} x");
+        }
+    }
+}

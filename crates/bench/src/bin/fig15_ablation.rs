@@ -1,0 +1,39 @@
+//! Figure 15: performance impact of each cWSP optimization (paper:
+//! +RegionFormation 1.04 → +PersistPath 1.10 → +MCSpec ≈ same → +WBDelay ≈
+//! same → +WPQDelay ≈ same → +Pruning 1.06).
+
+use cwsp_bench::{measure_all, slowdown, suite_gmeans};
+use cwsp_compiler::pipeline::CompileOptions;
+use cwsp_sim::config::SimConfig;
+use cwsp_sim::scheme::{CwspFeatures, Scheme};
+
+fn main() {
+    let cfg = SimConfig::default();
+    let apps = cwsp_workloads::all();
+    let unpruned = CompileOptions { pruning: false, ..Default::default() };
+    let pruned = CompileOptions { pruning: true, ..Default::default() };
+    let f = |pp, mc, wb, wpq| {
+        Scheme::Cwsp(CwspFeatures {
+            persist_path: pp,
+            mc_speculation: mc,
+            wb_delay: wb,
+            wpq_delay: wpq,
+        })
+    };
+    let steps: Vec<(&str, Scheme, CompileOptions)> = vec![
+        ("+Region Formation", f(false, false, false, false), unpruned),
+        ("+Persist Path", f(true, false, false, false), unpruned),
+        ("+MC Speculation", f(true, true, false, false), unpruned),
+        ("+WB Delaying", f(true, true, true, false), unpruned),
+        ("+WPQ Delaying", f(true, true, true, true), unpruned),
+        ("+Pruning (cWSP)", f(true, true, true, true), pruned),
+    ];
+    println!("\n=== Fig 15: per-optimization slowdown gmeans ===");
+    for (label, scheme, opts) in steps {
+        let results = measure_all(&apps, |w| slowdown(w, &cfg, scheme, opts));
+        println!("-- {label}");
+        for (suite, v) in suite_gmeans(&results) {
+            println!("   {suite:<12} {v:>8.3} x");
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Figure 17: cWSP slowdown on the four CXL devices of Table I (paper: ≈ 4%
+//! average; slightly *higher* overhead on faster devices because the baseline
+//! benefits more from the speedup).
+
+use cwsp_bench::{measure_all, print_results, slowdown};
+use cwsp_compiler::pipeline::CompileOptions;
+use cwsp_sim::config::{MainMemory, SimConfig, CXL_DEVICES};
+use cwsp_sim::scheme::Scheme;
+
+fn main() {
+    let apps = cwsp_workloads::memory_intensive();
+    for dev in CXL_DEVICES {
+        let mut cfg = SimConfig::default();
+        cfg.main_memory = MainMemory::Cxl(dev);
+        let results =
+            measure_all(&apps, |w| slowdown(w, &cfg, Scheme::cwsp(), CompileOptions::default()));
+        print_results(&format!("Fig 17 [{}]: cWSP slowdown", dev.name), "x", &results);
+    }
+}

@@ -1,0 +1,33 @@
+//! Figure 18: cWSP vs the ideal partial-system-persistence scheme
+//! (BBB/eADR/LightPC) (paper: cWSP 1.03× thanks to the DRAM cache; ideal PSP
+//! 1.52× because every LLC miss pays NVM latency).
+//!
+//! Uses the hierarchy probes on a scaled hierarchy so working sets actually
+//! benefit from the DRAM cache (see `cwsp_workloads::probes`).
+
+use cwsp_bench::{measure_all, print_results, run_to_completion, scheme_stats};
+use cwsp_compiler::pipeline::CompileOptions;
+use cwsp_sim::config::SimConfig;
+use cwsp_sim::scheme::Scheme;
+use cwsp_workloads::probes::{hierarchy_probes, SCALE_SHIFT};
+
+fn main() {
+    let apps = hierarchy_probes();
+    let cfg = SimConfig::default().scaled(SCALE_SHIFT);
+    let cwsp = measure_all(&apps, |w| {
+        let base = run_to_completion(&w.module, &cfg, Scheme::Baseline).unwrap().cycles;
+        let s = scheme_stats(w, &cfg, Scheme::cwsp(), CompileOptions::default()).cycles;
+        s as f64 / base as f64
+    });
+    print_results("Fig 18a: cWSP (DRAM cache enabled; paper gmean 1.03)", "x", &cwsp);
+    // Ideal PSP: no DRAM cache; original binary (battery-backed hierarchy
+    // needs no compiler support). Normalized to the DRAM-cache baseline.
+    let psp = measure_all(&apps, |w| {
+        let base = run_to_completion(&w.module, &cfg, Scheme::Baseline).unwrap().cycles;
+        let mut nocache = cfg.clone();
+        nocache.dram_cache = None;
+        let c = run_to_completion(&w.module, &nocache, Scheme::IdealPsp).unwrap().cycles;
+        c as f64 / base as f64
+    });
+    print_results("Fig 18b: ideal PSP (no DRAM cache; paper gmean 1.52)", "x", &psp);
+}

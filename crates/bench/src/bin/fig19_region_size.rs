@@ -1,0 +1,27 @@
+//! Figure 19: average dynamic instructions per region (paper: 38.15 average;
+//! with a 16-entry RBT the oldest region's persistence overlaps ~572
+//! instructions of execution).
+
+use cwsp_bench::{measure_all, print_results, scheme_stats};
+use cwsp_compiler::pipeline::CompileOptions;
+use cwsp_sim::config::SimConfig;
+use cwsp_sim::scheme::Scheme;
+
+fn main() {
+    let cfg = SimConfig::default();
+    let apps = cwsp_workloads::all();
+    let mut hist = [0u64; 7];
+    let results = measure_all(&apps, |w| {
+        let s = scheme_stats(w, &cfg, Scheme::cwsp(), CompileOptions::default());
+        for (h, v) in hist.iter_mut().zip(s.region_size_hist) {
+            *h += v;
+        }
+        s.avg_region_insts()
+    });
+    print_results("Fig 19: dynamic instructions per region (paper avg: 38.15)", "insts", &results);
+    println!("\nregion-size distribution across all apps:");
+    let total: u64 = hist.iter().sum();
+    for (label, n) in cwsp_sim::stats::SimStats::REGION_BUCKETS.iter().zip(hist) {
+        println!("   {label:<8} {:>6.1}%", n as f64 * 100.0 / total.max(1) as f64);
+    }
+}

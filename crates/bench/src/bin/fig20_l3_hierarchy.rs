@@ -1,0 +1,15 @@
+//! Figure 20: cWSP slowdown with an added L3 (3-level SRAM + DRAM cache)
+//! (paper: 8% average).
+
+use cwsp_bench::{measure_all, print_results, slowdown};
+use cwsp_compiler::pipeline::CompileOptions;
+use cwsp_sim::config::SimConfig;
+use cwsp_sim::scheme::Scheme;
+
+fn main() {
+    let cfg = SimConfig::default().with_l3();
+    let apps = cwsp_workloads::all();
+    let results =
+        measure_all(&apps, |w| slowdown(w, &cfg, Scheme::cwsp(), CompileOptions::default()));
+    print_results("Fig 20: cWSP slowdown with added L3 (paper: 1.08 gmean)", "x", &results);
+}

@@ -1,0 +1,22 @@
+//! Figure 21: persist-path bandwidth sweep 1→32 GB/s (paper: overhead falls
+//! with bandwidth and flattens beyond 10 GB/s thanks to 8-byte granularity).
+
+use cwsp_bench::{measure_all, slowdown, suite_gmeans};
+use cwsp_compiler::pipeline::CompileOptions;
+use cwsp_sim::config::SimConfig;
+use cwsp_sim::scheme::Scheme;
+
+fn main() {
+    let apps = cwsp_workloads::all();
+    println!("\n=== Fig 21: persist path bandwidth sweep ===");
+    for bw in [1.0, 2.0, 4.0, 10.0, 20.0, 32.0] {
+        let mut cfg = SimConfig::default();
+        cfg.persist_path_gbps = bw;
+        let results =
+            measure_all(&apps, |w| slowdown(w, &cfg, Scheme::cwsp(), CompileOptions::default()));
+        println!("-- {bw} GB/s");
+        for (suite, v) in suite_gmeans(&results) {
+            println!("   {suite:<12} {v:>8.3} x");
+        }
+    }
+}

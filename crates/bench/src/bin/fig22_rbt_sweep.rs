@@ -1,0 +1,22 @@
+//! Figure 22: RBT size sensitivity (paper: 1.11 at 8 entries — SPLASH3 up to
+//! 1.20 — 1.06 at 16, 1.04 at 32).
+
+use cwsp_bench::{measure_all, slowdown, suite_gmeans};
+use cwsp_compiler::pipeline::CompileOptions;
+use cwsp_sim::config::SimConfig;
+use cwsp_sim::scheme::Scheme;
+
+fn main() {
+    let apps = cwsp_workloads::all();
+    println!("\n=== Fig 22: RBT size sweep ===");
+    for rbt in [2usize, 4, 8, 16, 32] {
+        let mut cfg = SimConfig::default();
+        cfg.rbt_entries = rbt;
+        let results =
+            measure_all(&apps, |w| slowdown(w, &cfg, Scheme::cwsp(), CompileOptions::default()));
+        println!("-- RBT-{rbt}");
+        for (suite, v) in suite_gmeans(&results) {
+            println!("   {suite:<12} {v:>8.3} x");
+        }
+    }
+}

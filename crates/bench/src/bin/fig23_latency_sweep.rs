@@ -1,0 +1,22 @@
+//! Figure 23: persist-path latency sweep 10→40 ns (paper: almost flat — the
+//! RBT overlaps the latency with region execution).
+
+use cwsp_bench::{measure_all, slowdown, suite_gmeans};
+use cwsp_compiler::pipeline::CompileOptions;
+use cwsp_sim::config::{ns_to_cycles, SimConfig};
+use cwsp_sim::scheme::Scheme;
+
+fn main() {
+    let apps = cwsp_workloads::all();
+    println!("\n=== Fig 23: persist path latency sweep ===");
+    for ns in [10.0, 20.0, 30.0, 40.0] {
+        let mut cfg = SimConfig::default();
+        cfg.persist_path_cycles = ns_to_cycles(ns) * 2; // round trip
+        let results =
+            measure_all(&apps, |w| slowdown(w, &cfg, Scheme::cwsp(), CompileOptions::default()));
+        println!("-- Lat-{ns}ns");
+        for (suite, v) in suite_gmeans(&results) {
+            println!("   {suite:<12} {v:>8.3} x");
+        }
+    }
+}

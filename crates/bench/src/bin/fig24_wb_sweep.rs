@@ -1,0 +1,22 @@
+//! Figure 24: L1D write-buffer size sensitivity (paper: flat — the persist
+//! path outruns the regular path, so WB delaying never binds).
+
+use cwsp_bench::{measure_all, slowdown, suite_gmeans};
+use cwsp_compiler::pipeline::CompileOptions;
+use cwsp_sim::config::SimConfig;
+use cwsp_sim::scheme::Scheme;
+
+fn main() {
+    let apps = cwsp_workloads::all();
+    println!("\n=== Fig 24: WB size sweep ===");
+    for wb in [8usize, 16, 32] {
+        let mut cfg = SimConfig::default();
+        cfg.wb_entries = wb;
+        let results =
+            measure_all(&apps, |w| slowdown(w, &cfg, Scheme::cwsp(), CompileOptions::default()));
+        println!("-- WB-{wb}");
+        for (suite, v) in suite_gmeans(&results) {
+            println!("   {suite:<12} {v:>8.3} x");
+        }
+    }
+}

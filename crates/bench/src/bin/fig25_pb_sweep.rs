@@ -1,0 +1,22 @@
+//! Figure 25: persist-buffer size sensitivity (paper: ≤ 1.07 even at 20
+//! entries; 50 is the default for maximal performance).
+
+use cwsp_bench::{measure_all, slowdown, suite_gmeans};
+use cwsp_compiler::pipeline::CompileOptions;
+use cwsp_sim::config::SimConfig;
+use cwsp_sim::scheme::Scheme;
+
+fn main() {
+    let apps = cwsp_workloads::all();
+    println!("\n=== Fig 25: PB size sweep ===");
+    for pb in [20usize, 40, 50, 60] {
+        let mut cfg = SimConfig::default();
+        cfg.pb_entries = pb;
+        let results =
+            measure_all(&apps, |w| slowdown(w, &cfg, Scheme::cwsp(), CompileOptions::default()));
+        println!("-- PB-{pb}");
+        for (suite, v) in suite_gmeans(&results) {
+            println!("   {suite:<12} {v:>8.3} x");
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Figure 26: WPQ size sensitivity (paper: 1.11 average at 8 entries with
+//! SPLASH3 up to 1.31; 24 suffices).
+
+use cwsp_bench::{measure_all, slowdown, suite_gmeans};
+use cwsp_compiler::pipeline::CompileOptions;
+use cwsp_sim::config::SimConfig;
+use cwsp_sim::scheme::Scheme;
+
+fn main() {
+    let apps = cwsp_workloads::all();
+    println!("\n=== Fig 26: WPQ size sweep ===");
+    for wpq in [2usize, 4, 8, 16, 24, 32] {
+        let mut cfg = SimConfig::default();
+        cfg.wpq_entries = wpq;
+        let results =
+            measure_all(&apps, |w| slowdown(w, &cfg, Scheme::cwsp(), CompileOptions::default()));
+        println!("-- WPQ-{wpq}");
+        for (suite, v) in suite_gmeans(&results) {
+            println!("   {suite:<12} {v:>8.3} x");
+        }
+    }
+}

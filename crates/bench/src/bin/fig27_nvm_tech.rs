@@ -1,0 +1,24 @@
+//! Figure 27: NVM technology sensitivity (paper: ≤ 8% for PMEM, STT-MRAM,
+//! and ReRAM; marginally higher overhead on faster media).
+
+use cwsp_bench::{measure_all, slowdown, suite_gmeans};
+use cwsp_compiler::pipeline::CompileOptions;
+use cwsp_sim::config::{MainMemory, NvmTech, SimConfig};
+use cwsp_sim::scheme::Scheme;
+
+fn main() {
+    let apps = cwsp_workloads::all();
+    println!("\n=== Fig 27: NVM technology sweep ===");
+    for (label, tech) in
+        [("PMEM", NvmTech::Pmem), ("STTRAM", NvmTech::SttMram), ("ReRAM", NvmTech::ReRam)]
+    {
+        let mut cfg = SimConfig::default();
+        cfg.main_memory = MainMemory::Nvm(tech);
+        let results =
+            measure_all(&apps, |w| slowdown(w, &cfg, Scheme::cwsp(), CompileOptions::default()));
+        println!("-- {label}");
+        for (suite, v) in suite_gmeans(&results) {
+            println!("   {suite:<12} {v:>8.3} x");
+        }
+    }
+}

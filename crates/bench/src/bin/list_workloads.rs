@@ -1,0 +1,16 @@
+//! Print the workload registry: suite, name, behavioural sketch, and static
+//! program size.
+
+fn main() {
+    println!("{:<10} {:<10} {:>6}  description", "suite", "app", "insts");
+    for w in cwsp_workloads::all() {
+        println!(
+            "{:<10} {:<10} {:>6}  {}",
+            w.suite.to_string(),
+            w.name,
+            w.module.inst_count(),
+            w.description()
+        );
+    }
+    println!("\nhierarchy probes (Figs 1/18): {} apps", cwsp_workloads::probes::hierarchy_probes().len());
+}

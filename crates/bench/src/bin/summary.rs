@@ -1,0 +1,47 @@
+//! Two-minute reproduction summary: headline numbers from a representative
+//! subset (one app per suite), plus the hardware-cost table — a quick sanity
+//! pass before running the full figure set.
+
+use cwsp_bench::{gmean, slowdown};
+use cwsp_compiler::pipeline::CompileOptions;
+use cwsp_core::system::CwspSystem;
+use cwsp_sim::config::SimConfig;
+use cwsp_sim::scheme::Scheme;
+
+fn main() {
+    let cfg = SimConfig::default();
+    let names = ["lbm", "xz", "lulesh", "radix", "tpcc", "kmeans"];
+    println!("=== cWSP reproduction summary (subset: one app per suite) ===\n");
+
+    println!("{:<10} {:>8} {:>8} {:>10}", "app", "cWSP", "Capri", "Replay");
+    let mut cwsp_all = Vec::new();
+    for name in names {
+        let w = cwsp_workloads::by_name(name).unwrap();
+        let c = slowdown(&w, &cfg, Scheme::cwsp(), CompileOptions::default());
+        let cap = slowdown(&w, &cfg, Scheme::Capri, CompileOptions::default());
+        let rep = slowdown(&w, &cfg, Scheme::ReplayCache, CompileOptions::default());
+        println!("{name:<10} {c:>7.3}x {cap:>7.3}x {rep:>9.3}x");
+        cwsp_all.push(c);
+    }
+    println!(
+        "\nsubset gmean: cWSP {:.3}x  (paper all-apps: 1.06x; Capri 1.27x; ReplayCache 4.3x)",
+        gmean(&cwsp_all)
+    );
+
+    // One crash/recovery demonstration.
+    let w = cwsp_workloads::by_name("tatp").unwrap();
+    let system = CwspSystem::compile(&w.module);
+    let rec = system.run_with_crash(25_000, u64::MAX).expect("recovery");
+    println!(
+        "\ncrash@25k cycles on tatp: reverted {} undo records, replayed {} insts, \
+         output matches oracle: {}",
+        rec.reverted_records,
+        rec.replayed_steps,
+        rec.output == system.oracle(u64::MAX / 2).unwrap().output
+    );
+
+    println!(
+        "\nhardware: RBT {} B/core (paper 176 B); PB reuses the 1 KB WCB",
+        cfg.rbt_storage_bytes()
+    );
+}

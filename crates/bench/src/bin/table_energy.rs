@@ -1,0 +1,32 @@
+//! Energy comparison (the §I/§II-D argument made quantitative): worst-case
+//! battery/residual-energy budgets per scheme, and measured NVM write energy
+//! (including undo-log amplification) for a write-heavy workload.
+
+use cwsp_bench::scheme_stats;
+use cwsp_compiler::pipeline::CompileOptions;
+use cwsp_sim::config::SimConfig;
+use cwsp_sim::energy::{battery_budget_joules, report};
+use cwsp_sim::scheme::Scheme;
+
+fn main() {
+    let cfg = SimConfig::default();
+    println!("=== Battery / residual-energy budgets (per core) ===");
+    for scheme in [Scheme::cwsp(), Scheme::Capri, Scheme::IdealPsp] {
+        let j = battery_budget_joules(scheme, &cfg);
+        println!("  {:<12} {:>12.3} µJ", scheme.name(), j * 1e6);
+    }
+    println!("\n(eADR-class designs must flush hundreds of MB of LLC; cWSP only the WPQs)");
+
+    let w = cwsp_workloads::by_name("lu-cg").expect("workload");
+    println!("\n=== NVM write energy, {} (write storm) ===", w.name);
+    for scheme in [Scheme::cwsp(), Scheme::Capri] {
+        let stats = scheme_stats(&w, &cfg, scheme, CompileOptions::default());
+        let r = report(scheme, &cfg, stats.nvm_writes);
+        println!(
+            "  {:<12} {:>10} word writes  {:>10.3} µJ (incl. logging amplification)",
+            scheme.name(),
+            r.nvm_word_writes,
+            r.nvm_write_joules * 1e6
+        );
+    }
+}

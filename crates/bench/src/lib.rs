@@ -1,0 +1,170 @@
+//! # cwsp-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper's evaluation (§IX); see
+//! DESIGN.md's experiment index and EXPERIMENTS.md for paper-vs-measured
+//! values. This library holds the shared plumbing: run a workload to
+//! completion under a scheme, normalize against the uninstrumented baseline,
+//! and print figure-shaped tables.
+
+use cwsp_compiler::pipeline::{CompileOptions, CwspCompiler};
+use cwsp_ir::interp::InterpError;
+use cwsp_sim::config::SimConfig;
+use cwsp_sim::machine::Machine;
+use cwsp_sim::scheme::Scheme;
+use cwsp_sim::stats::SimStats;
+use cwsp_workloads::{Suite, Workload};
+
+/// One measured data point.
+#[derive(Debug, Clone)]
+pub struct AppResult {
+    /// Suite the app belongs to.
+    pub suite: Suite,
+    /// App label.
+    pub name: &'static str,
+    /// The measured value (slowdown, occupancy, …).
+    pub value: f64,
+}
+
+/// Run `module` to completion under `scheme` and return its stats.
+///
+/// # Errors
+/// Propagates interpreter traps.
+pub fn run_to_completion(
+    module: &cwsp_ir::module::Module,
+    cfg: &SimConfig,
+    scheme: Scheme,
+) -> Result<SimStats, InterpError> {
+    let mut machine = Machine::new(module, cfg.clone(), scheme);
+    let r = machine.run(u64::MAX, None)?;
+    Ok(r.stats)
+}
+
+/// Baseline cycles: the *original* (uncompiled) program on the original
+/// machine — the paper's normalization denominator.
+pub fn baseline_cycles(w: &Workload, cfg: &SimConfig) -> u64 {
+    run_to_completion(&w.module, cfg, Scheme::Baseline)
+        .unwrap_or_else(|e| panic!("{} baseline: {e}", w.name))
+        .cycles
+}
+
+/// Scheme cycles: the cWSP-compiled program under `scheme`.
+pub fn scheme_stats(
+    w: &Workload,
+    cfg: &SimConfig,
+    scheme: Scheme,
+    opts: CompileOptions,
+) -> SimStats {
+    let compiled = CwspCompiler::new(opts).compile(&w.module);
+    run_to_completion(&compiled.module, cfg, scheme)
+        .unwrap_or_else(|e| panic!("{} {}: {e}", w.name, scheme.name()))
+}
+
+/// Normalized slowdown of `scheme` (compiled binary) over the baseline
+/// (original binary) for one workload.
+pub fn slowdown(w: &Workload, cfg: &SimConfig, scheme: Scheme, opts: CompileOptions) -> f64 {
+    let base = baseline_cycles(w, cfg) as f64;
+    let s = scheme_stats(w, cfg, scheme, opts).cycles as f64;
+    s / base
+}
+
+/// Geometric mean.
+pub fn gmean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Geometric means per suite plus the all-suite gmean, in suite order.
+pub fn suite_gmeans(results: &[AppResult]) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for suite in [
+        Suite::Cpu2006,
+        Suite::Cpu2017,
+        Suite::MiniApps,
+        Suite::Splash3,
+        Suite::Whisper,
+        Suite::Stamp,
+    ] {
+        let vals: Vec<f64> =
+            results.iter().filter(|r| r.suite == suite).map(|r| r.value).collect();
+        if !vals.is_empty() {
+            out.push((suite.to_string(), gmean(&vals)));
+        }
+    }
+    let all: Vec<f64> = results.iter().map(|r| r.value).collect();
+    out.push(("All gmean".to_string(), gmean(&all)));
+    out
+}
+
+/// Print per-app rows followed by suite gmeans, figure-style.
+pub fn print_results(title: &str, unit: &str, results: &[AppResult]) {
+    println!("\n=== {title} ===");
+    let mut cur_suite = None;
+    for r in results {
+        if cur_suite != Some(r.suite) {
+            cur_suite = Some(r.suite);
+            println!("-- {}", r.suite);
+        }
+        println!("   {:<12} {:>8.3} {unit}", r.name, r.value);
+    }
+    println!("--");
+    for (label, v) in suite_gmeans(results) {
+        println!("   {label:<12} {v:>8.3} {unit} (gmean)");
+    }
+}
+
+/// Print a simple named series (sweep figures).
+pub fn print_series(title: &str, unit: &str, series: &[(String, f64)]) {
+    println!("\n=== {title} ===");
+    for (label, v) in series {
+        println!("   {label:<18} {v:>8.3} {unit}");
+    }
+}
+
+/// Measure `metric` for every workload in `apps` (prints progress to stderr).
+pub fn measure_all(
+    apps: &[Workload],
+    mut metric: impl FnMut(&Workload) -> f64,
+) -> Vec<AppResult> {
+    apps.iter()
+        .map(|w| {
+            eprintln!("  running {:>9}/{}", w.suite.to_string(), w.name);
+            AppResult { suite: w.suite, name: w.name, value: metric(w) }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gmean_basics() {
+        assert_eq!(gmean(&[]), 0.0);
+        assert!((gmean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((gmean(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn suite_gmeans_include_all() {
+        let rs = vec![
+            AppResult { suite: Suite::Cpu2006, name: "a", value: 1.1 },
+            AppResult { suite: Suite::Stamp, name: "b", value: 1.2 },
+        ];
+        let g = suite_gmeans(&rs);
+        assert_eq!(g.len(), 3, "two suites + all");
+        assert_eq!(g.last().unwrap().0, "All gmean");
+    }
+
+    #[test]
+    fn slowdown_of_baseline_scheme_is_above_one_for_compiled() {
+        // Compiled binary has extra instructions, so even Scheme::Baseline on
+        // it is >= 1.0 relative to the original binary.
+        let w = cwsp_workloads::by_name("namd").unwrap();
+        let cfg = SimConfig::default();
+        let s = slowdown(&w, &cfg, Scheme::Baseline, CompileOptions::default());
+        assert!(s >= 1.0, "{s}");
+        assert!(s < 2.0, "{s}");
+    }
+}

@@ -1,0 +1,259 @@
+//! Backward liveness analysis.
+//!
+//! cWSP uses liveness twice: to compute the live-across-call save sets
+//! ([`crate::callsave`]) and to find the live-out registers each region must
+//! checkpoint (§IV-B, [`crate::checkpoint`]).
+
+use cwsp_ir::cfg;
+use cwsp_ir::function::{BlockId, Function};
+use cwsp_ir::inst::Inst;
+use cwsp_ir::types::Reg;
+
+/// A dense register bit set.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RegSet {
+    bits: Vec<u64>,
+}
+
+impl RegSet {
+    /// An empty set sized for `nregs` registers.
+    pub fn new(nregs: usize) -> Self {
+        RegSet { bits: vec![0; nregs.div_ceil(64)] }
+    }
+
+    /// Insert `r`; returns whether the set changed.
+    #[inline]
+    pub fn insert(&mut self, r: Reg) -> bool {
+        let (w, b) = (r.index() / 64, r.index() % 64);
+        let old = self.bits[w];
+        self.bits[w] |= 1 << b;
+        self.bits[w] != old
+    }
+
+    /// Remove `r`.
+    #[inline]
+    pub fn remove(&mut self, r: Reg) {
+        let (w, b) = (r.index() / 64, r.index() % 64);
+        self.bits[w] &= !(1 << b);
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, r: Reg) -> bool {
+        let (w, b) = (r.index() / 64, r.index() % 64);
+        self.bits[w] >> b & 1 == 1
+    }
+
+    /// Union `other` into `self`; returns whether `self` changed.
+    pub fn union_with(&mut self, other: &RegSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            let old = *a;
+            *a |= b;
+            changed |= *a != old;
+        }
+        changed
+    }
+
+    /// Iterate members in ascending register order.
+    pub fn iter(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.bits.iter().enumerate().flat_map(|(w, &bits)| {
+            (0..64).filter(move |b| bits >> b & 1 == 1).map(move |b| Reg((w * 64 + b) as u32))
+        })
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.bits.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&b| b == 0)
+    }
+}
+
+/// All registers an instruction defines. Unlike [`Inst::def`], a `Call` also
+/// defines its `save_regs` — the restore phase reloads them from the frame
+/// (see `cwsp-ir` call semantics), which is a definition as far as dataflow
+/// is concerned.
+pub fn defs(inst: &Inst) -> Vec<Reg> {
+    let mut d: Vec<Reg> = inst.def().into_iter().collect();
+    if let Inst::Call { save_regs, .. } = inst {
+        d.extend(save_regs.iter().copied());
+    }
+    d
+}
+
+/// Per-function liveness result: live-in sets at each block entry.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// `live_in[b]` = registers live at the entry of block `b`.
+    pub live_in: Vec<RegSet>,
+    nregs: usize,
+}
+
+impl Liveness {
+    /// Compute liveness for `f` with the classic backward worklist algorithm.
+    pub fn compute(f: &Function) -> Self {
+        let nregs = f.reg_count as usize;
+        let nblocks = f.blocks.len();
+        let mut live_in = vec![RegSet::new(nregs); nblocks];
+        let preds = cfg::predecessors(f);
+        // Iterate blocks in reverse RPO until fixpoint.
+        let order: Vec<BlockId> = {
+            let mut rpo = cfg::reverse_post_order(f);
+            rpo.reverse();
+            rpo
+        };
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &order {
+                // live-out = union of successors' live-in
+                let mut live = RegSet::new(nregs);
+                for s in cfg::successors(f, b) {
+                    live.union_with(&live_in[s.index()]);
+                }
+                // transfer backward through the block
+                for inst in f.block(b).insts.iter().rev() {
+                    for d in defs(inst) {
+                        live.remove(d);
+                    }
+                    for u in inst.uses() {
+                        live.insert(u);
+                    }
+                }
+                if live != live_in[b.index()] {
+                    live_in[b.index()] = live;
+                    changed = true;
+                    // Touch predecessors on next sweep (the full-resweep
+                    // worklist is simple and fast enough at our sizes).
+                    let _ = &preds;
+                }
+            }
+        }
+        Liveness { live_in, nregs }
+    }
+
+    /// Registers live immediately *before* instruction `idx` of block `b`.
+    ///
+    /// Recomputed by a backward scan of the block suffix — O(block length),
+    /// which is fine for the pass workloads here.
+    pub fn live_before(&self, f: &Function, b: BlockId, idx: usize) -> RegSet {
+        let mut live = RegSet::new(self.nregs);
+        for s in cfg::successors(f, b) {
+            live.union_with(&self.live_in[s.index()]);
+        }
+        let insts = &f.block(b).insts;
+        for i in (idx..insts.len()).rev() {
+            for d in defs(&insts[i]) {
+                live.remove(d);
+            }
+            for u in insts[i].uses() {
+                live.insert(u);
+            }
+        }
+        live
+    }
+
+    /// Registers live immediately *after* instruction `idx` of block `b`.
+    pub fn live_after(&self, f: &Function, b: BlockId, idx: usize) -> RegSet {
+        self.live_before(f, b, idx + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwsp_ir::builder::{build_counted_loop, FunctionBuilder};
+    use cwsp_ir::inst::{BinOp, MemRef, Operand};
+    use cwsp_ir::module::FuncId;
+
+    #[test]
+    fn regset_basics() {
+        let mut s = RegSet::new(130);
+        assert!(s.is_empty());
+        assert!(s.insert(Reg(0)));
+        assert!(s.insert(Reg(129)));
+        assert!(!s.insert(Reg(129)), "reinsertion reports no change");
+        assert!(s.contains(Reg(129)));
+        assert_eq!(s.len(), 2);
+        let members: Vec<_> = s.iter().collect();
+        assert_eq!(members, vec![Reg(0), Reg(129)]);
+        s.remove(Reg(0));
+        assert!(!s.contains(Reg(0)));
+
+        let mut t = RegSet::new(130);
+        t.insert(Reg(5));
+        assert!(t.union_with(&s));
+        assert!(!t.union_with(&s), "second union is a no-op");
+        assert!(t.contains(Reg(129)) && t.contains(Reg(5)));
+    }
+
+    #[test]
+    fn straight_line_liveness() {
+        // r0 = 1; r1 = r0 + 2; store r1; halt
+        let mut b = FunctionBuilder::new("f", 0);
+        let e = b.entry();
+        let r0 = b.mov(e, Operand::imm(1));
+        let r1 = b.bin(e, BinOp::Add, r0.into(), Operand::imm(2));
+        b.store(e, r1.into(), MemRef::abs(64));
+        b.push(e, Inst::Halt);
+        let f = b.build();
+        let lv = Liveness::compute(&f);
+        assert!(lv.live_in[0].is_empty(), "nothing live at entry");
+        // before the add, r0 is live; r1 is not
+        let before_add = lv.live_before(&f, e, 1);
+        assert!(before_add.contains(r0));
+        assert!(!before_add.contains(r1));
+        // after the add, r1 is live, r0 dead
+        let after_add = lv.live_after(&f, e, 1);
+        assert!(after_add.contains(r1));
+        assert!(!after_add.contains(r0));
+    }
+
+    #[test]
+    fn loop_carried_register_is_live_at_header() {
+        let mut b = FunctionBuilder::new("f", 0);
+        let e = b.entry();
+        let (header, exit) = build_counted_loop(&mut b, e, Operand::imm(4), |_, _, _| {});
+        b.push(exit, Inst::Halt);
+        let f = b.build();
+        let lv = Liveness::compute(&f);
+        // the induction variable is live at the loop header
+        assert!(!lv.live_in[header.index()].is_empty());
+    }
+
+    #[test]
+    fn call_save_regs_count_as_defs() {
+        let call = Inst::Call {
+            func: FuncId(0),
+            args: vec![],
+            ret: Some(Reg(2)),
+            save_regs: vec![Reg(5)],
+        };
+        let d = defs(&call);
+        assert!(d.contains(&Reg(2)) && d.contains(&Reg(5)));
+    }
+
+    #[test]
+    fn branch_merges_liveness_from_both_arms() {
+        // entry: r0=1; condbr r0 ? bb1 : bb2 ; bb1 uses r1; bb2 uses r2
+        let mut b = FunctionBuilder::new("f", 0);
+        let e = b.entry();
+        let bb1 = b.block();
+        let bb2 = b.block();
+        let r0 = b.mov(e, Operand::imm(1));
+        let r1 = b.vreg();
+        let r2 = b.vreg();
+        b.push(e, Inst::CondBr { cond: r0.into(), if_true: bb1, if_false: bb2 });
+        b.push(bb1, Inst::Ret { val: Some(r1.into()) });
+        b.push(bb2, Inst::Ret { val: Some(r2.into()) });
+        let f = b.build();
+        let lv = Liveness::compute(&f);
+        let at_entry = &lv.live_in[0];
+        assert!(at_entry.contains(r1) && at_entry.contains(r2));
+        assert!(!at_entry.contains(r0), "r0 defined in entry");
+    }
+}

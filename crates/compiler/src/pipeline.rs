@@ -1,0 +1,208 @@
+//! The end-to-end cWSP compilation pipeline.
+
+use crate::callsave::compute_call_saves;
+use crate::checkpoint::{insert_checkpoints, CkptMode};
+use crate::prune::prune_and_build_slices;
+use crate::region::form_regions;
+use crate::split::split_same_reg_updates;
+use crate::slice::SliceTable;
+use crate::stats::CompileStats;
+use cwsp_ir::module::Module;
+
+/// Compilation options (the compiler side of the Fig 15 ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompileOptions {
+    /// Apply checkpoint pruning (§IV-C). When `false`, checkpoints are placed
+    /// iDO-style — all live registers at every region end — which is the
+    /// "before +Pruning" configuration of Fig 15.
+    pub pruning: bool,
+    /// When pruning, also rematerialize via expressions over remaining
+    /// checkpoint slots (the full Penny tier); `false` restricts recovery
+    /// slices to constants + slot loads (the `ablation_pruning_tiers`
+    /// experiment).
+    pub expr_remat: bool,
+    /// Run classic scalar optimizations (constant folding, copy propagation,
+    /// DCE) before the persistence passes — the paper's `-O3` analogue.
+    pub optimize: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions { pruning: true, expr_remat: true, optimize: true }
+    }
+}
+
+/// A compiled program: the transformed module plus recovery metadata.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// The region-partitioned, checkpoint-instrumented module.
+    pub module: Module,
+    /// Recovery slices, one per explicit region boundary (§VII).
+    pub slices: SliceTable,
+    /// Static statistics.
+    pub stats: CompileStats,
+}
+
+/// The cWSP compiler (§IV). Construct with options, then [`CwspCompiler::compile`].
+///
+/// # Example
+/// ```
+/// use cwsp_compiler::pipeline::{CompileOptions, CwspCompiler};
+/// use cwsp_ir::prelude::*;
+///
+/// let mut m = Module::new("m");
+/// let mut b = FunctionBuilder::new("main", 0);
+/// let e = b.entry();
+/// let r = b.load(e, MemRef::abs(64));
+/// b.store(e, r.into(), MemRef::abs(64));
+/// b.push(e, Inst::Halt);
+/// let f = m.add_function(b.build());
+/// m.set_entry(f);
+///
+/// let out = CwspCompiler::new(CompileOptions::default()).compile(&m);
+/// assert_eq!(out.stats.antidep_cuts, 1); // the load/store WAR was cut
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CwspCompiler {
+    options: CompileOptions,
+}
+
+impl CwspCompiler {
+    /// Create a compiler with the given options.
+    pub fn new(options: CompileOptions) -> Self {
+        CwspCompiler { options }
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> CompileOptions {
+        self.options
+    }
+
+    /// Compile `input` into a region-partitioned, recoverable program.
+    ///
+    /// The input module is not modified; hand-written boundaries (e.g. the
+    /// simulated kernel entry path, §VI) are preserved and renumbered.
+    ///
+    /// # Panics
+    /// Panics if the transformed module fails structural validation — that
+    /// would be a compiler bug, not a user error.
+    pub fn compile(&self, input: &Module) -> Compiled {
+        let mut module = input.clone();
+        let mut stats = CompileStats {
+            insts_before: module.inst_count(),
+            ..Default::default()
+        };
+
+        if self.options.optimize {
+            let info = crate::opt::optimize(&mut module);
+            stats.opt_folded = info.folded;
+            stats.opt_dce = info.dce_removed;
+        }
+        stats.call_saves = compute_call_saves(&mut module);
+        stats.updates_split = split_same_reg_updates(&mut module);
+
+        let region_info = form_regions(&mut module);
+        stats.boundaries_inserted = region_info.boundaries;
+        stats.antidep_cuts = region_info.antidep_cuts;
+        stats.structural_boundaries = region_info.structural;
+
+        let mode = if self.options.pruning { CkptMode::DefSite } else { CkptMode::PerBoundary };
+        insert_checkpoints(&mut module, mode);
+
+        let (slices, prune_info) = prune_and_build_slices(
+            &mut module,
+            self.options.pruning,
+            self.options.expr_remat,
+        );
+        stats.ckpts_pruned = prune_info.ckpts_pruned;
+        stats.const_restores = prune_info.const_restores;
+        stats.slot_restores = prune_info.slot_restores;
+        stats.finalize_counts(&module);
+
+        module
+            .validate()
+            .unwrap_or_else(|e| panic!("cWSP compiler produced invalid IR: {e}"));
+        Compiled { module, slices, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwsp_ir::builder::{build_counted_loop, FunctionBuilder};
+    use cwsp_ir::inst::{BinOp, Inst, MemRef, Operand};
+
+    fn sample_module() -> Module {
+        let mut m = Module::new("t");
+        let g = m.add_global("g", 4);
+        let mut b = FunctionBuilder::new("main", 0);
+        let e = b.entry();
+        let (_, exit) = build_counted_loop(&mut b, e, Operand::imm(30), |b, bb, i| {
+            let v = b.load(bb, MemRef::global(g, 0));
+            let s = b.bin(bb, BinOp::Add, v.into(), i.into());
+            b.store(bb, s.into(), MemRef::global(g, 0));
+        });
+        let v = b.load(exit, MemRef::global(g, 0));
+        b.push(exit, Inst::Ret { val: Some(v.into()) });
+        let f = m.add_function(b.build());
+        m.set_entry(f);
+        m
+    }
+
+    #[test]
+    fn pipeline_preserves_semantics_pruned_and_unpruned() {
+        let m = sample_module();
+        let oracle = cwsp_ir::interp::run(&m, 100_000).unwrap();
+        for pruning in [true, false] {
+            let c = CwspCompiler::new(CompileOptions { pruning, ..Default::default() }).compile(&m);
+            let out = cwsp_ir::interp::run(&c.module, 100_000).unwrap();
+            assert_eq!(out.return_value, oracle.return_value, "pruning={pruning}");
+        }
+    }
+
+    #[test]
+    fn pruning_reduces_dynamic_checkpoint_stores() {
+        // The meaningful metric is NVM write traffic: count executed Ckpt
+        // effects under both configurations.
+        let m = sample_module();
+        let dynamic_ckpts = |module: &Module| {
+            let mut mem = cwsp_ir::memory::Memory::new();
+            let mut i = cwsp_ir::interp::Interp::new(module, 0, &mut mem).unwrap();
+            let mut n = 0u64;
+            while !i.is_halted() {
+                let e = i.step(&mut mem).unwrap();
+                if e.kind == cwsp_ir::interp::EffectKind::Ckpt {
+                    n += 1;
+                }
+            }
+            n
+        };
+        let pruned = CwspCompiler::new(CompileOptions { pruning: true, ..Default::default() }).compile(&m);
+        let unpruned = CwspCompiler::new(CompileOptions { pruning: false, ..Default::default() }).compile(&m);
+        let (p, u) = (dynamic_ckpts(&pruned.module), dynamic_ckpts(&unpruned.module));
+        assert!(p < u, "pruned {p} !< unpruned {u}");
+    }
+
+    #[test]
+    fn every_boundary_has_a_slice() {
+        let m = sample_module();
+        let c = CwspCompiler::new(CompileOptions::default()).compile(&m);
+        for (_, f) in c.module.iter_functions() {
+            for block in &f.blocks {
+                for inst in &block.insts {
+                    if let Inst::Boundary { id } = inst {
+                        assert!(c.slices.get(*id).is_some(), "missing slice for {id}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn input_module_is_untouched() {
+        let m = sample_module();
+        let before = m.inst_count();
+        let _ = CwspCompiler::new(CompileOptions::default()).compile(&m);
+        assert_eq!(m.inst_count(), before);
+    }
+}

@@ -1,0 +1,607 @@
+//! Checkpoint pruning and recovery-slice generation (§IV-C).
+//!
+//! "Many checkpoints are unnecessary if they can be reconstructed using
+//! immediate values and/or the remaining checkpoints at recovery time." We
+//! implement the sound constant-rematerialization subset of Penny's optimal
+//! pruning: for each region boundary and live-in register, if the register has
+//! a *single* reaching definition whose value constant-folds, the recovery
+//! slice materializes the constant and the checkpoint slot is never read;
+//! checkpoints whose definition site no boundary slot-loads are deleted.
+//!
+//! Two rematerialization tiers are implemented: (1) compile-time constants,
+//! and (2) expressions over immediates and the *remaining* checkpoints
+//! (Fig 4's `r3 = shl(slot_r3_of_Rg0, 1)` case) — a register whose single
+//! reaching definition derives from other slot-backed live-ins is rebuilt by
+//! re-applying the defining operations at recovery time, and its own
+//! checkpoint is deleted.
+
+use crate::liveness::{defs, Liveness};
+use crate::reaching::{DefSite, ReachingDefs};
+use crate::slice::{RecoverySlice, RematExpr, RsSource, SliceTable};
+use cwsp_ir::function::{BlockId, Function};
+use cwsp_ir::inst::{Inst, Operand};
+use cwsp_ir::module::Module;
+use cwsp_ir::types::{Reg, Word};
+use std::collections::{HashMap, HashSet};
+
+/// Caps on rematerialization expressions.
+const MAX_EXPR_NODES: usize = 12;
+const MAX_EXPR_DEPTH: usize = 6;
+
+/// Result of the pruning pass.
+#[derive(Debug, Clone, Default)]
+pub struct PruneInfo {
+    /// Checkpoints deleted because no recovery slice reads their slot.
+    pub ckpts_pruned: usize,
+    /// Live-in restores resolved as compile-time constants.
+    pub const_restores: usize,
+    /// Live-in restores that load checkpoint slots.
+    pub slot_restores: usize,
+    /// Live-in restores rematerialized as expressions over other slots.
+    pub expr_restores: usize,
+}
+
+/// Generate recovery slices for every explicit region boundary and, when
+/// `prune` is set, delete checkpoints that no slice slot-loads.
+pub fn prune_and_build_slices(
+    module: &mut Module,
+    prune: bool,
+    expr_remat: bool,
+) -> (SliceTable, PruneInfo) {
+    let mut table = SliceTable::new();
+    let mut info = PruneInfo::default();
+    for fid in 0..module.function_count() {
+        let fid = cwsp_ir::module::FuncId(fid as u32);
+        let f = module.function(fid).clone();
+        let lv = Liveness::compute(&f);
+        let rd = ReachingDefs::compute(&f);
+        let mut memo: HashMap<(DefSite, Reg), Option<Word>> = HashMap::new();
+
+        // Round 1: per boundary, resolve constants; everything else is
+        // tentatively slot-backed. Collect the optimistic slot-needed set.
+        struct Boundary {
+            id: cwsp_ir::types::RegionId,
+            bid: BlockId,
+            idx: usize,
+            consts: Vec<(Reg, Word)>,
+            tentative: Vec<Reg>,
+        }
+        let mut boundaries: Vec<Boundary> = Vec::new();
+        let mut slot_all: HashSet<(DefSite, Reg)> = HashSet::new();
+        for (bid, block) in f.iter_blocks() {
+            for (i, inst) in block.insts.iter().enumerate() {
+                let Inst::Boundary { id } = inst else { continue };
+                let live = lv.live_after(&f, bid, i);
+                let mut consts = Vec::new();
+                let mut tentative = Vec::new();
+                for r in live.iter() {
+                    let sites = rd.at(&f, bid, i, r);
+                    let constv = if prune && sites.len() == 1 {
+                        let site = *sites.iter().next().unwrap();
+                        const_value(&f, &rd, &mut memo, site, r, 0)
+                    } else {
+                        None
+                    };
+                    match constv {
+                        Some(c) => consts.push((r, c)),
+                        None => {
+                            for s in sites {
+                                slot_all.insert((s, r));
+                            }
+                            tentative.push(r);
+                        }
+                    }
+                }
+                boundaries.push(Boundary { id: *id, bid, idx: i, consts, tentative });
+            }
+        }
+
+        // Round 2: optimistic expression upgrades — a leaf `slot_s` is usable
+        // when every reaching definition of `s` at the read point is in the
+        // (current) slot-needed set and `s` is not redefined on the way to
+        // the boundary. Record each expression's leaf dependencies.
+        #[derive(Clone)]
+        enum Res {
+            Slot,
+            Expr(RematExpr, Vec<(Reg, HashSet<(DefSite, Reg)>)>),
+        }
+        let mut resolutions: Vec<Vec<(Reg, Res)>> = Vec::new();
+        for b in &boundaries {
+            // Registers the region *starting at this boundary* may define:
+            // their checkpoint slots can be overwritten in place while the
+            // region is the (unlogged) head, so no expression leaf may read
+            // them (the bug class the crash property tests hunt for).
+            let region_defs = region_defined_regs(&f, b.bid, b.idx);
+            let mut per = Vec::new();
+            for &r in &b.tentative {
+                let res = if prune && expr_remat {
+                    build_expr(&f, &rd, &memo, b.bid, b.idx, r, &slot_all, &region_defs)
+                        .map(|(e, deps)| Res::Expr(e, deps))
+                        .unwrap_or(Res::Slot)
+                } else {
+                    Res::Slot
+                };
+                per.push((r, res));
+            }
+            resolutions.push(per);
+        }
+
+        // Fixpoint: recompute the keep-set from the current resolutions and
+        // demote any expression whose leaves lost their backing.
+        loop {
+            let mut keep: HashSet<(DefSite, Reg)> = HashSet::new();
+            for (b, per) in boundaries.iter().zip(&resolutions) {
+                for (r, res) in per {
+                    if matches!(res, Res::Slot) {
+                        for s in rd.at(&f, b.bid, b.idx, *r) {
+                            keep.insert((s, *r));
+                        }
+                    }
+                }
+            }
+            let mut changed = false;
+            for per in &mut resolutions {
+                for (_, res) in per.iter_mut() {
+                    if let Res::Expr(_, deps) = res {
+                        let ok = deps
+                            .iter()
+                            .all(|(_, sites)| sites.iter().all(|sr| keep.contains(sr)));
+                        if !ok {
+                            *res = Res::Slot;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                // Final keep-set decides checkpoint deletion.
+                if prune {
+                    info.ckpts_pruned +=
+                        delete_unneeded_ckpts(module.function_mut(fid), &keep);
+                }
+                break;
+            }
+        }
+
+        // Emit slices.
+        for (b, per) in boundaries.iter().zip(&resolutions) {
+            let mut slice = RecoverySlice::default();
+            for &(r, c) in &b.consts {
+                info.const_restores += 1;
+                slice.restores.push((r, RsSource::Const(c)));
+            }
+            for (r, res) in per {
+                match res {
+                    Res::Slot => {
+                        info.slot_restores += 1;
+                        slice.restores.push((*r, RsSource::Slot));
+                    }
+                    Res::Expr(e, _) => {
+                        info.expr_restores += 1;
+                        slice.restores.push((*r, RsSource::Expr(e.clone())));
+                    }
+                }
+            }
+            table.insert(b.id, slice);
+        }
+    }
+    (table, info)
+}
+
+/// Try to build a rematerialization expression for `r` at boundary point
+/// `(b, i)`. Returns the expression plus, per slot leaf, the definition sites
+/// whose checkpoints the expression depends on.
+fn build_expr(
+    f: &Function,
+    rd: &ReachingDefs,
+    memo: &HashMap<(DefSite, Reg), Option<Word>>,
+    b: BlockId,
+    i: usize,
+    r: Reg,
+    slot_all: &HashSet<(DefSite, Reg)>,
+    region_defs: &HashSet<Reg>,
+) -> Option<(RematExpr, Vec<(Reg, HashSet<(DefSite, Reg)>)>)> {
+    let sites = rd.at(f, b, i, r);
+    if sites.len() != 1 {
+        return None;
+    }
+    let site = *sites.iter().next().unwrap();
+    let mut deps = Vec::new();
+    let expr = expr_for_site(f, rd, memo, b, i, site, r, slot_all, region_defs, &mut deps, 0)?;
+    if expr.size() > MAX_EXPR_NODES || matches!(expr, RematExpr::Slot(_)) {
+        return None;
+    }
+    let mut leaves = Vec::new();
+    expr.slot_leaves(&mut leaves);
+    if leaves.contains(&r) {
+        return None;
+    }
+    Some((expr, deps))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn expr_for_site(
+    f: &Function,
+    rd: &ReachingDefs,
+    memo: &HashMap<(DefSite, Reg), Option<Word>>,
+    bb: BlockId,
+    bi: usize,
+    site: DefSite,
+    r: Reg,
+    slot_all: &HashSet<(DefSite, Reg)>,
+    region_defs: &HashSet<Reg>,
+    deps: &mut Vec<(Reg, HashSet<(DefSite, Reg)>)>,
+    depth: usize,
+) -> Option<RematExpr> {
+    if depth > MAX_EXPR_DEPTH {
+        return None;
+    }
+    if let Some(Some(c)) = memo.get(&(site, r)) {
+        return Some(RematExpr::Const(*c));
+    }
+    let DefSite::Inst(db, di) = site else { return None };
+    match &f.block(db).insts[di] {
+        Inst::Mov { dst, src } if *dst == r => {
+            operand_expr(f, rd, memo, bb, bi, *src, db, di, slot_all, region_defs, deps, depth)
+        }
+        Inst::Binary { op, dst, lhs, rhs } if *dst == r => {
+            let l =
+                operand_expr(f, rd, memo, bb, bi, *lhs, db, di, slot_all, region_defs, deps, depth)?;
+            let rr =
+                operand_expr(f, rd, memo, bb, bi, *rhs, db, di, slot_all, region_defs, deps, depth)?;
+            Some(RematExpr::Bin(*op, Box::new(l), Box::new(rr)))
+        }
+        _ => None,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn operand_expr(
+    f: &Function,
+    rd: &ReachingDefs,
+    memo: &HashMap<(DefSite, Reg), Option<Word>>,
+    bb: BlockId,
+    bi: usize,
+    op: Operand,
+    db: BlockId,
+    di: usize,
+    slot_all: &HashSet<(DefSite, Reg)>,
+    region_defs: &HashSet<Reg>,
+    deps: &mut Vec<(Reg, HashSet<(DefSite, Reg)>)>,
+    depth: usize,
+) -> Option<RematExpr> {
+    match op {
+        Operand::Imm(v) => {
+            if cwsp_ir::layout::is_tagged_global(v) {
+                None
+            } else {
+                Some(RematExpr::Const(v))
+            }
+        }
+        Operand::Reg(s) => {
+            let sites_here = rd.at(f, db, di, s);
+            // Slot leaf: every reaching definition of `s` here is
+            // checkpoint-backed, `s` is not redefined between this read point
+            // and the boundary (identical reaching-def sets), and — crucially
+            // — the boundary's own region never defines `s` (it would
+            // overwrite `s`'s slot in place while the region is the unlogged
+            // head, corrupting this expression at recovery).
+            let backed = sites_here.iter().all(|d| slot_all.contains(&(*d, s)));
+            if backed && !region_defs.contains(&s) {
+                let sites_at_boundary = rd.at(f, bb, bi, s);
+                if sites_at_boundary == sites_here {
+                    deps.push((s, sites_here.iter().map(|d| (*d, s)).collect()));
+                    return Some(RematExpr::Slot(s));
+                }
+            }
+            if sites_here.len() != 1 {
+                return None;
+            }
+            let site = *sites_here.iter().next().unwrap();
+            expr_for_site(f, rd, memo, bb, bi, site, s, slot_all, region_defs, deps, depth + 1)
+        }
+    }
+}
+
+/// Constant-fold the value produced by `site` for register `r`, if possible.
+fn const_value(
+    f: &Function,
+    rd: &ReachingDefs,
+    memo: &mut HashMap<(DefSite, Reg), Option<Word>>,
+    site: DefSite,
+    r: Reg,
+    depth: usize,
+) -> Option<Word> {
+    if depth > 16 {
+        return None;
+    }
+    if let Some(v) = memo.get(&(site, r)) {
+        return *v;
+    }
+    // Seed the memo with None to break cycles through loops.
+    memo.insert((site, r), None);
+    let v = match site {
+        DefSite::Entry => {
+            // Parameters are runtime values; all other registers start at 0.
+            if r.0 < f.param_count {
+                None
+            } else {
+                Some(0)
+            }
+        }
+        DefSite::Inst(b, i) => {
+            let inst = &f.block(b).insts[i];
+            match inst {
+                Inst::Mov { dst, src } if *dst == r => {
+                    operand_const(f, rd, memo, *src, b, i, depth)
+                }
+                Inst::Binary { op, dst, lhs, rhs } if *dst == r => {
+                    let l = operand_const(f, rd, memo, *lhs, b, i, depth)?;
+                    let rr = operand_const(f, rd, memo, *rhs, b, i, depth)?;
+                    Some(op.eval(l, rr))
+                }
+                _ => None,
+            }
+        }
+    };
+    memo.insert((site, r), v);
+    v
+}
+
+fn operand_const(
+    f: &Function,
+    rd: &ReachingDefs,
+    memo: &mut HashMap<(DefSite, Reg), Option<Word>>,
+    op: Operand,
+    b: BlockId,
+    i: usize,
+    depth: usize,
+) -> Option<Word> {
+    match op {
+        Operand::Imm(v) => {
+            // Tagged global addresses are runtime-resolved; treating them as
+            // constants would be fine (the tag is unique), but recovery
+            // slices materialize *resolved* values, so keep it simple and
+            // refuse.
+            if cwsp_ir::layout::is_tagged_global(v) {
+                None
+            } else {
+                Some(v)
+            }
+        }
+        Operand::Reg(s) => {
+            let sites = rd.at(f, b, i, s);
+            if sites.len() != 1 {
+                return None;
+            }
+            const_value(f, rd, memo, *sites.iter().next().unwrap(), s, depth + 1)
+        }
+    }
+}
+
+/// Registers possibly defined by the region that starts at boundary
+/// `(b, i)`: a bounded walk from the instruction after the boundary until the
+/// next region break (boundary, call, return, halt) on every path.
+fn region_defined_regs(f: &Function, b: BlockId, i: usize) -> HashSet<Reg> {
+    let mut out = HashSet::new();
+    let mut work: Vec<(BlockId, usize)> = vec![(b, i + 1)];
+    let mut visited: HashSet<(u32, usize)> = HashSet::new();
+    while let Some((bid, mut idx)) = work.pop() {
+        if !visited.insert((bid.0, idx)) || visited.len() > 4096 {
+            continue;
+        }
+        loop {
+            let Some(inst) = f.block(bid).insts.get(idx) else { break };
+            match inst {
+                Inst::Boundary { .. } | Inst::Call { .. } | Inst::Ret { .. } | Inst::Halt => {
+                    break;
+                }
+                Inst::Br { target } => {
+                    work.push((*target, 0));
+                    break;
+                }
+                Inst::CondBr { if_true, if_false, .. } => {
+                    work.push((*if_true, 0));
+                    work.push((*if_false, 0));
+                    break;
+                }
+                other => {
+                    out.extend(defs(other));
+                    idx += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Delete `Ckpt` instructions whose definition site is not slot-needed.
+fn delete_unneeded_ckpts(f: &mut Function, slot_needed: &HashSet<(DefSite, Reg)>) -> usize {
+    let mut deletions: Vec<(usize, usize)> = Vec::new();
+    for (bi, block) in f.blocks.iter().enumerate() {
+        for (i, inst) in block.insts.iter().enumerate() {
+            let Inst::Ckpt { reg } = inst else { continue };
+            let site = owning_def_site(block, BlockId(bi as u32), i, *reg);
+            if !slot_needed.contains(&(site, *reg)) {
+                deletions.push((bi, i));
+            }
+        }
+    }
+    let n = deletions.len();
+    for (bi, i) in deletions.into_iter().rev() {
+        f.blocks[bi].insts.remove(i);
+    }
+    n
+}
+
+/// The definition site a checkpoint instruction belongs to: the nearest
+/// preceding definition of `reg` in the same block, or the function-entry
+/// pseudo-site for entry-top checkpoints.
+fn owning_def_site(
+    block: &cwsp_ir::function::Block,
+    bid: BlockId,
+    ckpt_idx: usize,
+    reg: Reg,
+) -> DefSite {
+    for j in (0..ckpt_idx).rev() {
+        if defs(&block.insts[j]).contains(&reg) {
+            return DefSite::Inst(bid, j);
+        }
+    }
+    DefSite::Entry
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::{insert_checkpoints, CkptMode};
+    use crate::region::form_regions;
+    use cwsp_ir::builder::FunctionBuilder;
+    use cwsp_ir::inst::{BinOp, MemRef};
+    use cwsp_ir::types::RegionId;
+
+    fn count_ckpts(m: &Module) -> usize {
+        m.iter_functions()
+            .flat_map(|(_, f)| f.blocks.iter())
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, Inst::Ckpt { .. }))
+            .count()
+    }
+
+    #[test]
+    fn constant_live_in_is_rematerialized_and_ckpt_pruned() {
+        // r = 100; boundary; store r (r is live-in, value constant 100)
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", 0);
+        let e = b.entry();
+        let r = b.mov(e, Operand::imm(100));
+        b.push(e, Inst::Boundary { id: RegionId(0) });
+        b.store(e, r.into(), MemRef::abs(64));
+        b.push(e, Inst::Halt);
+        let id = m.add_function(b.build());
+        m.set_entry(id);
+        insert_checkpoints(&mut m, CkptMode::DefSite);
+        assert_eq!(count_ckpts(&m), 1);
+        let (table, info) = prune_and_build_slices(&mut m, true, true);
+        assert_eq!(info.ckpts_pruned, 1);
+        assert_eq!(info.const_restores, 1);
+        assert_eq!(count_ckpts(&m), 0);
+        let slice = table.get(RegionId(0)).unwrap();
+        assert_eq!(slice.restores, vec![(r, RsSource::Const(100))]);
+    }
+
+    #[test]
+    fn derived_constant_chain_folds() {
+        // r0 = 100; r1 = r0 << 1; boundary; store r1  -> Const(200)
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", 0);
+        let e = b.entry();
+        let r0 = b.mov(e, Operand::imm(100));
+        let r1 = b.bin(e, BinOp::Shl, r0.into(), Operand::imm(1));
+        b.push(e, Inst::Boundary { id: RegionId(0) });
+        b.store(e, r1.into(), MemRef::abs(64));
+        b.push(e, Inst::Halt);
+        let id = m.add_function(b.build());
+        m.set_entry(id);
+        insert_checkpoints(&mut m, CkptMode::DefSite);
+        let (table, _) = prune_and_build_slices(&mut m, true, true);
+        let slice = table.get(RegionId(0)).unwrap();
+        assert_eq!(slice.restores, vec![(r1, RsSource::Const(200))]);
+        assert_eq!(count_ckpts(&m), 0);
+    }
+
+    #[test]
+    fn runtime_value_keeps_slot_and_ckpt() {
+        // r = load [64]; boundary; store r  -> slot load, ckpt kept
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", 0);
+        let e = b.entry();
+        let r = b.load(e, MemRef::abs(64));
+        b.push(e, Inst::Boundary { id: RegionId(0) });
+        b.store(e, r.into(), MemRef::abs(72));
+        b.push(e, Inst::Halt);
+        let id = m.add_function(b.build());
+        m.set_entry(id);
+        insert_checkpoints(&mut m, CkptMode::DefSite);
+        let (table, info) = prune_and_build_slices(&mut m, true, true);
+        assert_eq!(info.ckpts_pruned, 0);
+        assert_eq!(count_ckpts(&m), 1);
+        assert_eq!(
+            table.get(RegionId(0)).unwrap().restores,
+            vec![(r, RsSource::Slot)]
+        );
+    }
+
+    #[test]
+    fn multi_def_merge_keeps_slot() {
+        // two consts merging at a join: not a singleton reaching def -> Slot.
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", 0);
+        let e = b.entry();
+        let ba = b.block();
+        let bb = b.block();
+        let join = b.block();
+        let r = b.vreg();
+        let c = b.load(e, MemRef::abs(64));
+        b.push(e, Inst::CondBr { cond: c.into(), if_true: ba, if_false: bb });
+        b.push(ba, Inst::Mov { dst: r, src: Operand::imm(1) });
+        b.push(ba, Inst::Br { target: join });
+        b.push(bb, Inst::Mov { dst: r, src: Operand::imm(2) });
+        b.push(bb, Inst::Br { target: join });
+        b.store(join, r.into(), MemRef::abs(72));
+        b.push(join, Inst::Halt);
+        let id = m.add_function(b.build());
+        m.set_entry(id);
+        form_regions(&mut m); // join gets a boundary
+        insert_checkpoints(&mut m, CkptMode::DefSite);
+        let before = count_ckpts(&m);
+        assert_eq!(before, 2, "one per branch arm");
+        let (_, info) = prune_and_build_slices(&mut m, true, true);
+        assert_eq!(info.ckpts_pruned, 0, "merged value must stay slot-backed");
+    }
+
+    #[test]
+    fn loop_induction_variable_stays_slot_backed() {
+        use cwsp_ir::builder::build_counted_loop;
+        let mut m = Module::new("t");
+        let g = m.add_global("g", 1);
+        let mut b = FunctionBuilder::new("main", 0);
+        let e = b.entry();
+        let (_, exit) = build_counted_loop(&mut b, e, Operand::imm(10), |b, bb, i| {
+            b.store(bb, i.into(), MemRef::global(g, 0));
+        });
+        b.push(exit, Inst::Halt);
+        let id = m.add_function(b.build());
+        m.set_entry(id);
+        form_regions(&mut m);
+        insert_checkpoints(&mut m, CkptMode::DefSite);
+        let (table, _) = prune_and_build_slices(&mut m, true, true);
+        // Some region has the induction variable as a Slot restore.
+        let any_slot = table
+            .iter()
+            .any(|(_, s)| s.restores.iter().any(|(_, src)| matches!(src, RsSource::Slot)));
+        assert!(any_slot);
+    }
+
+    #[test]
+    fn unpruned_mode_generates_all_slot_slices() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", 0);
+        let e = b.entry();
+        let r = b.mov(e, Operand::imm(100));
+        b.push(e, Inst::Boundary { id: RegionId(0) });
+        b.store(e, r.into(), MemRef::abs(64));
+        b.push(e, Inst::Halt);
+        let id = m.add_function(b.build());
+        m.set_entry(id);
+        insert_checkpoints(&mut m, CkptMode::PerBoundary);
+        let n = count_ckpts(&m);
+        let (table, info) = prune_and_build_slices(&mut m, false, true);
+        assert_eq!(count_ckpts(&m), n, "nothing deleted");
+        assert_eq!(info.const_restores, 0);
+        assert!(matches!(
+            table.get(RegionId(0)).unwrap().restores[..],
+            [(_, RsSource::Slot)]
+        ));
+    }
+}

@@ -1,0 +1,174 @@
+//! Reaching-definitions analysis.
+//!
+//! The checkpoint pruner (§IV-C) needs to know, for each region boundary and
+//! each live-in register, *which definitions* can supply the register's value
+//! there. A boundary whose live-in has a single constant-foldable reaching
+//! definition can rematerialize the value in its recovery slice instead of
+//! loading the checkpoint slot — and checkpoints that no boundary loads can
+//! be pruned.
+
+use crate::liveness::defs;
+use cwsp_ir::cfg;
+use cwsp_ir::function::{BlockId, Function};
+use cwsp_ir::types::Reg;
+use std::collections::{HashMap, HashSet};
+
+/// A definition site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DefSite {
+    /// The implicit definition at function entry (parameters and the
+    /// zero-initialized state of never-written registers).
+    Entry,
+    /// Instruction `idx` of `block`.
+    Inst(BlockId, usize),
+}
+
+/// Reaching definitions for one function.
+#[derive(Debug, Clone)]
+pub struct ReachingDefs {
+    /// `reach_in[b][r]` = definition sites of `r` reaching the entry of `b`.
+    reach_in: Vec<HashMap<Reg, HashSet<DefSite>>>,
+}
+
+impl ReachingDefs {
+    /// Compute reaching definitions with a forward worklist dataflow.
+    pub fn compute(f: &Function) -> Self {
+        let nblocks = f.blocks.len();
+        // gen/kill summarized per block as "last def site of r in block".
+        let mut last_def: Vec<HashMap<Reg, DefSite>> = vec![HashMap::new(); nblocks];
+        for (bid, block) in f.iter_blocks() {
+            for (i, inst) in block.insts.iter().enumerate() {
+                for d in defs(inst) {
+                    last_def[bid.index()].insert(d, DefSite::Inst(bid, i));
+                }
+            }
+        }
+        let mut reach_in: Vec<HashMap<Reg, HashSet<DefSite>>> = vec![HashMap::new(); nblocks];
+        // Entry: every register reaches as DefSite::Entry.
+        for r in 0..f.reg_count {
+            reach_in[f.entry().index()]
+                .entry(Reg(r))
+                .or_default()
+                .insert(DefSite::Entry);
+        }
+        let rpo = cfg::reverse_post_order(f);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &rpo {
+                // out = (in - killed) + last defs
+                let mut out = reach_in[b.index()].clone();
+                for (r, site) in &last_def[b.index()] {
+                    let e = out.entry(*r).or_default();
+                    e.clear();
+                    e.insert(*site);
+                }
+                for s in cfg::successors(f, b) {
+                    for (r, sites) in &out {
+                        let e = reach_in[s.index()].entry(*r).or_default();
+                        for site in sites {
+                            if e.insert(*site) {
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        ReachingDefs { reach_in }
+    }
+
+    /// Definition sites of `r` reaching the point immediately before
+    /// instruction `idx` of block `b`.
+    pub fn at(&self, f: &Function, b: BlockId, idx: usize, r: Reg) -> HashSet<DefSite> {
+        let mut sites = self.reach_in[b.index()].get(&r).cloned().unwrap_or_default();
+        for (i, inst) in f.block(b).insts.iter().enumerate().take(idx) {
+            if defs(inst).contains(&r) {
+                sites.clear();
+                sites.insert(DefSite::Inst(b, i));
+            }
+        }
+        if sites.is_empty() {
+            // Conservatively: uninitialized register (entry zero state).
+            sites.insert(DefSite::Entry);
+        }
+        sites
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwsp_ir::builder::FunctionBuilder;
+    use cwsp_ir::inst::{BinOp, Inst, Operand};
+
+    #[test]
+    fn straight_line_single_def() {
+        let mut b = FunctionBuilder::new("f", 0);
+        let e = b.entry();
+        let r = b.mov(e, Operand::imm(1)); // def at (e, 0)
+        let _u = b.bin(e, BinOp::Add, r.into(), Operand::imm(1)); // (e, 1)
+        b.push(e, Inst::Halt);
+        let f = b.build();
+        let rd = ReachingDefs::compute(&f);
+        let sites = rd.at(&f, e, 1, r);
+        assert_eq!(sites.len(), 1);
+        assert!(sites.contains(&DefSite::Inst(e, 0)));
+        // Before the def, only Entry reaches.
+        let before = rd.at(&f, e, 0, r);
+        assert_eq!(before.into_iter().collect::<Vec<_>>(), vec![DefSite::Entry]);
+    }
+
+    #[test]
+    fn merge_produces_two_sites() {
+        // entry: condbr -> a | b; a: r=1; br join; b: r=2; br join; join: use r
+        let mut b = FunctionBuilder::new("f", 0);
+        let e = b.entry();
+        let ba = b.block();
+        let bb = b.block();
+        let join = b.block();
+        let c = b.vreg();
+        let r = b.vreg();
+        b.push(e, Inst::CondBr { cond: c.into(), if_true: ba, if_false: bb });
+        b.push(ba, Inst::Mov { dst: r, src: Operand::imm(1) });
+        b.push(ba, Inst::Br { target: join });
+        b.push(bb, Inst::Mov { dst: r, src: Operand::imm(2) });
+        b.push(bb, Inst::Br { target: join });
+        b.push(join, Inst::Ret { val: Some(r.into()) });
+        let f = b.build();
+        let rd = ReachingDefs::compute(&f);
+        let sites = rd.at(&f, join, 0, r);
+        assert_eq!(sites.len(), 2, "{sites:?}");
+    }
+
+    #[test]
+    fn loop_carried_defs_merge_with_init() {
+        use cwsp_ir::builder::build_counted_loop;
+        let mut b = FunctionBuilder::new("f", 0);
+        let e = b.entry();
+        let (header, exit) = build_counted_loop(&mut b, e, Operand::imm(3), |_, _, _| {});
+        b.push(exit, Inst::Halt);
+        let f = b.build();
+        let rd = ReachingDefs::compute(&f);
+        // the induction variable has two reaching defs at the header: the
+        // init mov and the latch increment.
+        let i = Reg(0);
+        let sites = rd.at(&f, header, 0, i);
+        assert_eq!(sites.len(), 2, "{sites:?}");
+    }
+
+    #[test]
+    fn kill_within_block() {
+        let mut b = FunctionBuilder::new("f", 0);
+        let e = b.entry();
+        let r = b.vreg();
+        b.push(e, Inst::Mov { dst: r, src: Operand::imm(1) });
+        b.push(e, Inst::Mov { dst: r, src: Operand::imm(2) });
+        b.push(e, Inst::Ret { val: Some(r.into()) });
+        let f = b.build();
+        let rd = ReachingDefs::compute(&f);
+        let sites = rd.at(&f, e, 2, r);
+        assert_eq!(sites.len(), 1);
+        assert!(sites.contains(&DefSite::Inst(e, 1)), "second def kills first");
+    }
+}

@@ -1,0 +1,138 @@
+//! Human-readable compilation reports.
+//!
+//! Summarizes what the cWSP pipeline did to a module — per-function region
+//! and checkpoint placement, recovery-slice composition — in the spirit of
+//! `-Rpass` remarks. Used by examples and by humans debugging why a region
+//! is shorter or a checkpoint survived pruning.
+
+use crate::pipeline::Compiled;
+use crate::slice::RsSource;
+use cwsp_ir::inst::Inst;
+use std::fmt::Write as _;
+
+/// Per-function placement counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FunctionReport {
+    /// Function name.
+    pub name: String,
+    /// Instructions after compilation.
+    pub insts: usize,
+    /// Explicit region boundaries.
+    pub boundaries: usize,
+    /// Surviving checkpoints.
+    pub ckpts: usize,
+}
+
+/// A whole-module report.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// One entry per function, in id order.
+    pub functions: Vec<FunctionReport>,
+    /// Recovery-slice restore counts: `(slot, const, expr)`.
+    pub restores: (usize, usize, usize),
+    /// Average live-ins restored per region slice.
+    pub avg_live_ins: f64,
+}
+
+/// Build a report from a compiled module.
+pub fn report(compiled: &Compiled) -> Report {
+    let mut functions = Vec::new();
+    for (_, f) in compiled.module.iter_functions() {
+        let mut fr = FunctionReport { name: f.name.clone(), ..Default::default() };
+        fr.insts = f.inst_count();
+        for block in &f.blocks {
+            for inst in &block.insts {
+                match inst {
+                    Inst::Boundary { .. } => fr.boundaries += 1,
+                    Inst::Ckpt { .. } => fr.ckpts += 1,
+                    _ => {}
+                }
+            }
+        }
+        functions.push(fr);
+    }
+    let (mut slot, mut cst, mut expr, mut total, mut regions) = (0, 0, 0, 0usize, 0usize);
+    for (_, s) in compiled.slices.iter() {
+        regions += 1;
+        for (_, src) in &s.restores {
+            total += 1;
+            match src {
+                RsSource::Slot => slot += 1,
+                RsSource::Const(_) => cst += 1,
+                RsSource::Expr(_) => expr += 1,
+            }
+        }
+    }
+    Report {
+        functions,
+        restores: (slot, cst, expr),
+        avg_live_ins: if regions == 0 { 0.0 } else { total as f64 / regions as f64 },
+    }
+}
+
+/// Render the report as aligned text.
+pub fn render(r: &Report) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{:<20} {:>7} {:>9} {:>7}", "function", "insts", "regions", "ckpts");
+    for f in &r.functions {
+        let _ = writeln!(s, "{:<20} {:>7} {:>9} {:>7}", f.name, f.insts, f.boundaries, f.ckpts);
+    }
+    let (slot, cst, expr) = r.restores;
+    let _ = writeln!(
+        s,
+        "slices: {slot} slot loads, {cst} constants, {expr} expressions \
+         ({:.1} live-ins/region avg)",
+        r.avg_live_ins
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{CompileOptions, CwspCompiler};
+    use cwsp_ir::builder::{build_counted_loop, FunctionBuilder};
+    use cwsp_ir::inst::{BinOp, MemRef, Operand};
+    use cwsp_ir::module::Module;
+
+    fn compiled_sample() -> Compiled {
+        let mut m = Module::new("t");
+        let g = m.add_global("g", 4);
+        let mut b = FunctionBuilder::new("main", 0);
+        let e = b.entry();
+        let (_, exit) = build_counted_loop(&mut b, e, Operand::imm(10), |b, bb, i| {
+            let v = b.load(bb, MemRef::global(g, 0));
+            let s = b.bin(bb, BinOp::Add, v.into(), i.into());
+            b.store(bb, s.into(), MemRef::global(g, 0));
+        });
+        b.push(exit, Inst::Halt);
+        let f = m.add_function(b.build());
+        m.set_entry(f);
+        CwspCompiler::new(CompileOptions::default()).compile(&m)
+    }
+
+    #[test]
+    fn report_counts_match_module() {
+        let c = compiled_sample();
+        let r = report(&c);
+        assert_eq!(r.functions.len(), 1);
+        assert_eq!(r.functions[0].name, "main");
+        assert_eq!(r.functions[0].boundaries, c.stats.boundaries_inserted);
+        assert_eq!(r.functions[0].ckpts, c.stats.ckpts_final);
+        let (slot, cst, expr) = r.restores;
+        assert_eq!(slot, c.stats.slot_restores);
+        assert_eq!(cst, c.stats.const_restores);
+        assert!(slot + cst + expr > 0);
+        assert!(r.avg_live_ins > 0.0);
+    }
+
+    #[test]
+    fn render_is_aligned_text() {
+        let c = compiled_sample();
+        let text = render(&report(&c));
+        assert!(text.contains("function"));
+        assert!(text.contains("main"));
+        assert!(text.contains("slices:"));
+        assert!(text.lines().count() >= 3);
+    }
+}

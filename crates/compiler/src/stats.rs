@@ -1,0 +1,95 @@
+//! Static compilation statistics (feeds the paper's region-characteristics
+//! reporting, e.g. Fig 19's instructions-per-region and §IX's checkpoint
+//! accounting).
+
+use cwsp_ir::inst::Inst;
+use cwsp_ir::module::Module;
+
+/// Aggregate statistics over a compiled module.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompileStats {
+    /// Instructions in the module before transformation.
+    pub insts_before: usize,
+    /// Instructions after (boundaries + checkpoints added, pruned ckpts gone).
+    pub insts_after: usize,
+    /// Explicit region boundaries inserted.
+    pub boundaries_inserted: usize,
+    /// Boundaries that cut an antidependence (§IV-A).
+    pub antidep_cuts: usize,
+    /// Structural boundaries (loop headers, joins, calls, syncs).
+    pub structural_boundaries: usize,
+    /// Checkpoints present after pruning.
+    pub ckpts_final: usize,
+    /// Checkpoints deleted by the pruner (§IV-C).
+    pub ckpts_pruned: usize,
+    /// Total registers saved across all call sites.
+    pub call_saves: usize,
+    /// Live-in restores resolved as constants by recovery slices.
+    pub const_restores: usize,
+    /// Live-in restores that read checkpoint slots.
+    pub slot_restores: usize,
+    /// Same-instruction register updates split by the renaming pre-pass.
+    pub updates_split: usize,
+    /// Instructions constant-folded by the pre-pass optimizer.
+    pub opt_folded: usize,
+    /// Instructions removed by dead-code elimination.
+    pub opt_dce: usize,
+}
+
+impl CompileStats {
+    /// Count checkpoints and instructions in `module` into this record.
+    pub fn finalize_counts(&mut self, module: &Module) {
+        self.insts_after = module.inst_count();
+        self.ckpts_final = module
+            .iter_functions()
+            .flat_map(|(_, f)| f.blocks.iter())
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, Inst::Ckpt { .. }))
+            .count();
+    }
+
+    /// Fraction of checkpoint candidates the pruner removed.
+    pub fn prune_ratio(&self) -> f64 {
+        let total = self.ckpts_final + self.ckpts_pruned;
+        if total == 0 {
+            0.0
+        } else {
+            self.ckpts_pruned as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prune_ratio_handles_zero() {
+        let s = CompileStats::default();
+        assert_eq!(s.prune_ratio(), 0.0);
+    }
+
+    #[test]
+    fn prune_ratio_computes_fraction() {
+        let s = CompileStats { ckpts_final: 3, ckpts_pruned: 1, ..Default::default() };
+        assert!((s.prune_ratio() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finalize_counts_sees_ckpts() {
+        use cwsp_ir::builder::FunctionBuilder;
+        use cwsp_ir::types::Reg;
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", 0);
+        let e = b.entry();
+        let _r = b.mov(e, cwsp_ir::inst::Operand::imm(1));
+        b.push(e, Inst::Ckpt { reg: Reg(0) });
+        b.push(e, Inst::Halt);
+        let id = m.add_function(b.build());
+        m.set_entry(id);
+        let mut s = CompileStats::default();
+        s.finalize_counts(&m);
+        assert_eq!(s.ckpts_final, 1);
+        assert_eq!(s.insts_after, 3);
+    }
+}

@@ -1,0 +1,287 @@
+//! Dynamic verification of the compiler's crash-consistency invariants.
+//!
+//! These checkers execute a compiled program in the reference interpreter and
+//! validate, at runtime, the two properties power-failure recovery depends on:
+//!
+//! 1. **Idempotence** ([`check_antidependence`]): no dynamic region ever
+//!    stores to a memory word it previously loaded in the same region
+//!    (§IV-A). If it did, re-executing the region after a crash would read
+//!    its own output.
+//! 2. **Slice exactness** ([`check_slices`]): at every explicit region
+//!    boundary, evaluating the region's recovery slice against current NVM
+//!    state reproduces the region's live-in register values bit-for-bit
+//!    (§IV-B/C). This is the invariant that makes resumption correct.
+//!
+//! Both are used pervasively by unit, integration, and property tests.
+
+use crate::slice::{RsSource, SliceTable};
+use cwsp_ir::interp::{Interp, InterpError, StepEffect};
+use cwsp_ir::layout;
+use cwsp_ir::module::Module;
+use cwsp_ir::types::Word;
+use std::collections::HashSet;
+
+/// Run `module` for up to `max_steps`, asserting the no-intra-region-WAR
+/// invariant on memory.
+///
+/// Checkpoint-slot writes and call-frame traffic are subject to the same rule
+/// — the implementation does not special-case them, which is exactly why the
+/// structural boundaries around calls matter.
+///
+/// # Errors
+/// Returns a description of the first violation, or propagates interpreter
+/// traps. Programs that do not halt within the budget pass (the prefix was
+/// checked).
+pub fn check_antidependence(module: &Module, max_steps: u64) -> Result<(), String> {
+    let mut mem = cwsp_ir::memory::Memory::new();
+    let mut interp = Interp::new(module, 0, &mut mem).map_err(|e| e.to_string())?;
+    let mut loaded: HashSet<Word> = HashSet::new();
+    let mut region_seq = 0u64;
+    for _ in 0..max_steps {
+        if interp.is_halted() {
+            break;
+        }
+        let eff = interp.step(&mut mem).map_err(|e| e.to_string())?;
+        check_effect(&eff, &mut loaded, region_seq)?;
+        if eff.boundary.is_some() {
+            region_seq += 1;
+            loaded.clear();
+        }
+    }
+    Ok(())
+}
+
+fn check_effect(
+    eff: &StepEffect,
+    loaded: &mut HashSet<Word>,
+    region_seq: u64,
+) -> Result<(), String> {
+    // Chronology matters: a `Ret` writes the return-value slot *before*
+    // reloading it (write→read is a harmless RAW); everything else reads
+    // before it writes. Atomics (read-modify-write in one step) are
+    // structurally boundary-protected, so their same-address pair is exempt.
+    let writes_first = matches!(eff.kind, cwsp_ir::interp::EffectKind::Ret);
+    let exempt = matches!(eff.kind, cwsp_ir::interp::EffectKind::Atomic);
+    let check_writes = |loaded: &HashSet<Word>| -> Result<(), String> {
+        for (a, _) in &eff.writes {
+            if loaded.contains(a) {
+                return Err(format!(
+                    "intra-region antidependence: dynamic region {region_seq} stores to {a:#x} after loading it"
+                ));
+            }
+        }
+        Ok(())
+    };
+    if writes_first {
+        check_writes(loaded)?;
+        loaded.extend(eff.reads.iter().copied());
+    } else if exempt {
+        loaded.extend(eff.reads.iter().copied());
+    } else {
+        loaded.extend(eff.reads.iter().copied());
+        check_writes(loaded)?;
+    }
+    Ok(())
+}
+
+/// Run `module` for up to `max_steps`, asserting that at every explicit
+/// boundary the recovery slice reconstructs the exact live-in values.
+///
+/// # Errors
+/// Returns a description of the first mismatch (register, expected, got), a
+/// missing slice, or an interpreter trap.
+pub fn check_slices(module: &Module, slices: &SliceTable, max_steps: u64) -> Result<(), String> {
+    let core = 0;
+    let mut mem = cwsp_ir::memory::Memory::new();
+    let mut interp = Interp::new(module, core, &mut mem).map_err(|e| e.to_string())?;
+    let mut boundaries_checked = 0u64;
+    for _ in 0..max_steps {
+        if interp.is_halted() {
+            break;
+        }
+        let eff = interp.step(&mut mem).map_err(|e| e.to_string())?;
+        let Some(b) = eff.boundary else { continue };
+        let Some(region) = b.static_region else { continue };
+        let Some(slice) = slices.get(region) else {
+            return Err(format!("no recovery slice for {region}"));
+        };
+        for (r, src) in &slice.restores {
+            let expected = match src {
+                RsSource::Slot => mem.load(layout::ckpt_slot_addr(core, *r)),
+                RsSource::Const(c) => *c,
+                RsSource::Expr(e) => e.eval(&mem, core),
+            };
+            let got = interp.reg(*r);
+            if expected != got {
+                return Err(format!(
+                    "slice mismatch at {region} (boundary #{boundaries_checked}): \
+                     {r} is {got:#x} but the slice restores {expected:#x} ({src:?})"
+                ));
+            }
+        }
+        boundaries_checked += 1;
+    }
+    Ok(())
+}
+
+/// Statically assert that no function retains an uncut antidependence: the
+/// region-formation fixpoint converged. Complements the *dynamic*
+/// [`check_antidependence`] (which only covers executed paths).
+///
+/// # Errors
+/// Names the first function with residual antidependences.
+pub fn check_static_antidependence(module: &Module) -> Result<(), String> {
+    for (fid, f) in module.iter_functions() {
+        let residual = crate::region::residual_antidependences(f, module);
+        if residual > 0 {
+            return Err(format!(
+                "function {fid} ({}) has {residual} uncut antidependences",
+                f.name
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Run both checkers and also compare against the uncompiled oracle.
+///
+/// # Errors
+/// Any checker failure or output/return-value divergence.
+pub fn check_all(
+    original: &Module,
+    compiled: &Module,
+    slices: &SliceTable,
+    max_steps: u64,
+) -> Result<(), String> {
+    check_static_antidependence(compiled)?;
+    check_antidependence(compiled, max_steps)?;
+    check_slices(compiled, slices, max_steps)?;
+    let a = run_or_err(original, max_steps)?;
+    let b = run_or_err(compiled, max_steps)?;
+    if a.return_value != b.return_value {
+        return Err(format!(
+            "return value diverged: {:?} vs {:?}",
+            a.return_value, b.return_value
+        ));
+    }
+    if a.output != b.output {
+        return Err(format!("output diverged: {:?} vs {:?}", a.output, b.output));
+    }
+    Ok(())
+}
+
+fn run_or_err(m: &Module, max_steps: u64) -> Result<cwsp_ir::interp::Outcome, String> {
+    match cwsp_ir::interp::run(m, max_steps) {
+        Ok(o) => Ok(o),
+        Err(InterpError::StepLimit(_)) => Err("program did not halt in budget".into()),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{CompileOptions, CwspCompiler};
+    use cwsp_ir::builder::{build_counted_loop, FunctionBuilder};
+    use cwsp_ir::inst::{BinOp, Inst, MemRef, Operand};
+    use cwsp_ir::types::RegionId;
+
+    #[test]
+    fn raw_war_program_fails_the_checker() {
+        // Uncompiled read-modify-write: the checker must flag it.
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", 0);
+        let e = b.entry();
+        let r = b.load(e, MemRef::abs(64));
+        let s = b.bin(e, BinOp::Add, r.into(), Operand::imm(1));
+        b.store(e, s.into(), MemRef::abs(64));
+        b.push(e, Inst::Halt);
+        let f = m.add_function(b.build());
+        m.set_entry(f);
+        let err = check_antidependence(&m, 1000).unwrap_err();
+        assert!(err.contains("antidependence"), "{err}");
+    }
+
+    #[test]
+    fn compiled_program_passes_both_checkers() {
+        let mut m = Module::new("t");
+        let g = m.add_global("g", 2);
+        let mut b = FunctionBuilder::new("main", 0);
+        let e = b.entry();
+        let (_, exit) = build_counted_loop(&mut b, e, Operand::imm(25), |b, bb, i| {
+            let v = b.load(bb, MemRef::global(g, 0));
+            let s = b.bin(bb, BinOp::Add, v.into(), i.into());
+            b.store(bb, s.into(), MemRef::global(g, 0));
+            b.store(bb, i.into(), MemRef::global(g, 1));
+        });
+        b.push(exit, Inst::Halt);
+        let f = m.add_function(b.build());
+        m.set_entry(f);
+        for pruning in [true, false] {
+            let c = CwspCompiler::new(CompileOptions { pruning, ..Default::default() }).compile(&m);
+            check_all(&m, &c.module, &c.slices, 100_000)
+                .unwrap_or_else(|e| panic!("pruning={pruning}: {e}"));
+        }
+    }
+
+    #[test]
+    fn stale_slot_is_detected() {
+        // Hand-build a broken program: value live across a boundary with NO
+        // checkpoint, but a slice that claims Slot — the checker must catch
+        // the mismatch.
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", 0);
+        let e = b.entry();
+        let r = b.mov(e, Operand::imm(42));
+        b.push(e, Inst::Boundary { id: RegionId(0) });
+        b.store(e, r.into(), MemRef::abs(64));
+        b.push(e, Inst::Halt);
+        let f = m.add_function(b.build());
+        m.set_entry(f);
+        let mut slices = SliceTable::new();
+        slices.insert(RegionId(0), crate::slice::RecoverySlice {
+            restores: vec![(r, RsSource::Slot)],
+        });
+        let err = check_slices(&m, &slices, 1000).unwrap_err();
+        assert!(err.contains("mismatch"), "{err}");
+    }
+
+    #[test]
+    fn static_checker_flags_raw_war_and_passes_compiled() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", 0);
+        let e = b.entry();
+        let r = b.load(e, MemRef::abs(64));
+        b.store(e, r.into(), MemRef::abs(64));
+        b.push(e, Inst::Halt);
+        let f = m.add_function(b.build());
+        m.set_entry(f);
+        assert!(check_static_antidependence(&m).is_err());
+        let c = CwspCompiler::new(CompileOptions::default()).compile(&m);
+        check_static_antidependence(&c.module).unwrap();
+    }
+
+    #[test]
+    fn calls_pass_the_antidependence_checker() {
+        let mut m = Module::new("t");
+        let mut leaf = FunctionBuilder::new("leaf", 1);
+        let le = leaf.entry();
+        let p = leaf.param(0);
+        let v = leaf.bin(le, BinOp::Mul, p.into(), Operand::imm(2));
+        leaf.push(le, Inst::Ret { val: Some(v.into()) });
+        let leaf = m.add_function(leaf.build());
+        let mut b = FunctionBuilder::new("main", 0);
+        let e = b.entry();
+        let keep = b.mov(e, Operand::imm(7));
+        let r1 = b.call(e, leaf, vec![Operand::imm(3)], true).unwrap();
+        let r2 = b.call(e, leaf, vec![r1.into()], true).unwrap();
+        let s = b.bin(e, BinOp::Add, r2.into(), keep.into());
+        b.push(e, Inst::Ret { val: Some(s.into()) });
+        let f = m.add_function(b.build());
+        m.set_entry(f);
+        let c = CwspCompiler::new(CompileOptions::default()).compile(&m);
+        check_all(&m, &c.module, &c.slices, 100_000).unwrap();
+        let out = cwsp_ir::interp::run(&c.module, 100_000).unwrap();
+        assert_eq!(out.return_value, Some(19));
+    }
+}

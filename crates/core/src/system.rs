@@ -1,0 +1,153 @@
+//! [`CwspSystem`] — the one-stop API: compile a module, simulate it under any
+//! scheme, inject power failures, and recover.
+
+use crate::recovery::{recover, RecoveredRun, RecoveryError};
+use cwsp_compiler::pipeline::{CompileOptions, Compiled, CwspCompiler};
+use cwsp_ir::interp::{InterpError, Outcome};
+use cwsp_ir::module::Module;
+use cwsp_sim::config::SimConfig;
+use cwsp_sim::machine::{Machine, RunEnd, RunResult};
+use cwsp_sim::scheme::Scheme;
+use cwsp_sim::stats::SimStats;
+
+/// A fully compiled cWSP program plus the machine configuration to run it on.
+#[derive(Debug, Clone)]
+pub struct CwspSystem {
+    /// The compiled program (module + recovery slices + static stats).
+    pub compiled: Compiled,
+    /// Machine configuration (defaults to the paper's §IX parameters).
+    pub config: SimConfig,
+}
+
+/// Result of a completed (non-crashing) simulated run.
+#[derive(Debug, Clone)]
+pub struct SystemRun {
+    /// How the run ended.
+    pub end: RunEnd,
+    /// Timing statistics.
+    pub stats: SimStats,
+    /// Released output.
+    pub output: Vec<cwsp_ir::types::Word>,
+    /// Core 0's return value, if it halted via `Ret`.
+    pub return_value: Option<cwsp_ir::types::Word>,
+}
+
+impl CwspSystem {
+    /// Compile `module` with default options and the paper's default machine.
+    pub fn compile(module: &Module) -> Self {
+        Self::compile_with(module, CompileOptions::default(), SimConfig::default())
+    }
+
+    /// Compile with explicit compiler options and machine configuration.
+    pub fn compile_with(module: &Module, opts: CompileOptions, config: SimConfig) -> Self {
+        CwspSystem { compiled: CwspCompiler::new(opts).compile(module), config }
+    }
+
+    /// Run the *compiled* program in the reference interpreter (the oracle).
+    ///
+    /// # Errors
+    /// Propagates interpreter traps and step-limit overruns.
+    pub fn oracle(&self, max_steps: u64) -> Result<Outcome, InterpError> {
+        cwsp_ir::interp::run(&self.compiled.module, max_steps)
+    }
+
+    /// Simulate under `scheme` for up to `max_insts` instructions.
+    ///
+    /// # Errors
+    /// Propagates interpreter traps.
+    pub fn simulate(&self, scheme: Scheme, max_insts: u64) -> Result<SystemRun, InterpError> {
+        let mut machine = Machine::new(&self.compiled.module, self.config.clone(), scheme);
+        let RunResult { end, stats } = machine.run(max_insts, None)?;
+        Ok(SystemRun {
+            end,
+            stats,
+            output: machine.output().to_vec(),
+            return_value: machine.return_value(0),
+        })
+    }
+
+    /// Simulate under full cWSP, cut power at `crash_cycle`, then run the
+    /// recovery protocol to completion. If the program finished before the
+    /// crash cycle, the completed run is returned as a (trivially) recovered
+    /// run.
+    ///
+    /// # Errors
+    /// Interpreter traps during simulation, or [`RecoveryError`] afterwards.
+    pub fn run_with_crash(
+        &self,
+        crash_cycle: u64,
+        max_steps: u64,
+    ) -> Result<RecoveredRun, RecoveryError> {
+        let mut machine =
+            Machine::new(&self.compiled.module, self.config.clone(), Scheme::cwsp());
+        let result = machine
+            .run(u64::MAX, Some(crash_cycle))
+            .map_err(|e| RecoveryError::Trap(e.to_string()))?;
+        if result.end == RunEnd::Completed {
+            let rv = machine.return_value(0);
+            let output = machine.output().to_vec();
+            return Ok(RecoveredRun {
+                memory: machine.arch_mem().clone(),
+                output,
+                return_value: rv,
+                replayed_steps: 0,
+                reverted_records: 0,
+            });
+        }
+        let image = machine.into_crash_image();
+        recover(&self.compiled, image, 0, max_steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwsp_ir::builder::{build_counted_loop, FunctionBuilder};
+    use cwsp_ir::inst::{BinOp, Inst, MemRef, Operand};
+
+    fn module() -> Module {
+        let mut m = Module::new("t");
+        let g = m.add_global("g", 1);
+        let mut b = FunctionBuilder::new("main", 0);
+        let e = b.entry();
+        let (_, exit) = build_counted_loop(&mut b, e, Operand::imm(30), |b, bb, i| {
+            let v = b.load(bb, MemRef::global(g, 0));
+            let s = b.bin(bb, BinOp::Add, v.into(), i.into());
+            b.store(bb, s.into(), MemRef::global(g, 0));
+        });
+        let v = b.load(exit, MemRef::global(g, 0));
+        b.push(exit, Inst::Ret { val: Some(v.into()) });
+        let f = m.add_function(b.build());
+        m.set_entry(f);
+        m
+    }
+
+    #[test]
+    fn simulate_all_schemes() {
+        let sys = CwspSystem::compile(&module());
+        let oracle = sys.oracle(100_000).unwrap();
+        for scheme in [Scheme::Baseline, Scheme::cwsp(), Scheme::Capri, Scheme::ReplayCache] {
+            let run = sys.simulate(scheme, u64::MAX).unwrap();
+            assert_eq!(run.end, RunEnd::Completed, "{scheme:?}");
+            assert_eq!(run.return_value, oracle.return_value, "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn crash_after_completion_returns_completed_run() {
+        let sys = CwspSystem::compile(&module());
+        let oracle = sys.oracle(100_000).unwrap();
+        let rec = sys.run_with_crash(u64::MAX - 1, 1_000_000).unwrap();
+        assert_eq!(rec.return_value, oracle.return_value);
+        assert_eq!(rec.replayed_steps, 0);
+    }
+
+    #[test]
+    fn crash_mid_run_recovers() {
+        let sys = CwspSystem::compile(&module());
+        let oracle = sys.oracle(100_000).unwrap();
+        let rec = sys.run_with_crash(300, 1_000_000).unwrap();
+        assert_eq!(rec.return_value, oracle.return_value);
+        assert_eq!(rec.output, oracle.output);
+    }
+}

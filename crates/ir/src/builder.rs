@@ -1,0 +1,273 @@
+//! Ergonomic construction of IR functions.
+
+use crate::function::{Block, BlockId, Function};
+use crate::inst::{BinOp, Inst, MemRef, Operand};
+use crate::module::FuncId;
+use crate::types::Reg;
+
+/// Incrementally builds a [`Function`].
+///
+/// The builder hands out fresh virtual registers and blocks; parameters occupy
+/// registers `r0..r{param_count}` (retrieve them with [`FunctionBuilder::param`]).
+///
+/// # Example
+/// ```
+/// use cwsp_ir::prelude::*;
+///
+/// // fn add1(x) { return x + 1 }
+/// let mut b = FunctionBuilder::new("add1", 1);
+/// let entry = b.entry();
+/// let x = b.param(0);
+/// let y = b.vreg();
+/// b.push(entry, Inst::binary(BinOp::Add, y, x.into(), Operand::imm(1)));
+/// b.push(entry, Inst::Ret { val: Some(y.into()) });
+/// let f = b.build();
+/// assert!(f.validate().is_ok());
+/// ```
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    name: String,
+    param_count: u32,
+    next_reg: u32,
+    blocks: Vec<Block>,
+}
+
+impl FunctionBuilder {
+    /// Start a function with `param_count` parameters. The entry block is
+    /// created immediately.
+    pub fn new(name: impl Into<String>, param_count: u32) -> Self {
+        FunctionBuilder {
+            name: name.into(),
+            param_count,
+            next_reg: param_count,
+            blocks: vec![Block::default()],
+        }
+    }
+
+    /// The entry block id.
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Parameter register `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= param_count`.
+    pub fn param(&self, i: u32) -> Reg {
+        assert!(i < self.param_count, "parameter index out of range");
+        Reg(i)
+    }
+
+    /// Allocate a fresh virtual register.
+    pub fn vreg(&mut self) -> Reg {
+        let r = Reg(self.next_reg);
+        self.next_reg += 1;
+        r
+    }
+
+    /// Create a new (empty) basic block.
+    pub fn block(&mut self) -> BlockId {
+        self.blocks.push(Block::default());
+        BlockId(self.blocks.len() as u32 - 1)
+    }
+
+    /// Append an instruction to `block`.
+    ///
+    /// # Panics
+    /// Panics if `block` is out of range.
+    pub fn push(&mut self, block: BlockId, inst: Inst) {
+        self.blocks[block.index()].insts.push(inst);
+    }
+
+    // ---- convenience emitters (all append to the given block) ----
+
+    /// Emit `dst = op(lhs, rhs)` into a fresh register and return it.
+    pub fn bin(&mut self, block: BlockId, op: BinOp, lhs: Operand, rhs: Operand) -> Reg {
+        let dst = self.vreg();
+        self.push(block, Inst::Binary { op, dst, lhs, rhs });
+        dst
+    }
+
+    /// Emit a move of `src` into a fresh register and return it.
+    pub fn mov(&mut self, block: BlockId, src: Operand) -> Reg {
+        let dst = self.vreg();
+        self.push(block, Inst::Mov { dst, src });
+        dst
+    }
+
+    /// Emit a load from `addr` into a fresh register and return it.
+    pub fn load(&mut self, block: BlockId, addr: MemRef) -> Reg {
+        let dst = self.vreg();
+        self.push(block, Inst::Load { dst, addr });
+        dst
+    }
+
+    /// Emit a store of `src` to `addr`.
+    pub fn store(&mut self, block: BlockId, src: Operand, addr: MemRef) {
+        self.push(block, Inst::Store { src, addr });
+    }
+
+    /// Emit a call; returns the destination register (fresh) if `want_ret`.
+    ///
+    /// `save_regs` is left empty — the compiler's call-save pass fills it with
+    /// the registers live across the call.
+    pub fn call(
+        &mut self,
+        block: BlockId,
+        func: FuncId,
+        args: Vec<Operand>,
+        want_ret: bool,
+    ) -> Option<Reg> {
+        let ret = want_ret.then(|| self.vreg());
+        self.push(block, Inst::Call { func, args, ret, save_regs: Vec::new() });
+        ret
+    }
+
+    /// Finish and return the function.
+    pub fn build(self) -> Function {
+        Function {
+            name: self.name,
+            param_count: self.param_count,
+            reg_count: self.next_reg.max(1),
+            blocks: self.blocks,
+        }
+    }
+}
+
+/// Build a counted loop skeleton: `for i in 0..n { body(i) }`.
+///
+/// Calls `body(builder, body_block, i_reg)`; the body must not terminate
+/// `body_block`. Returns `(loop_header, exit_block)`; the builder's insertion
+/// should continue in `exit_block`. `before` must be an unterminated block —
+/// this helper adds the branch into the loop.
+///
+/// # Example
+/// ```
+/// use cwsp_ir::prelude::*;
+/// use cwsp_ir::builder::build_counted_loop;
+///
+/// let mut m = Module::new("loop");
+/// let g = m.add_global("sum", 1);
+/// let mut b = FunctionBuilder::new("main", 0);
+/// let entry = b.entry();
+/// let (_, exit) = build_counted_loop(&mut b, entry, Operand::imm(10), |b, bb, i| {
+///     let old = b.load(bb, MemRef::global(g, 0));
+///     let new = b.bin(bb, BinOp::Add, old.into(), i.into());
+///     b.store(bb, new.into(), MemRef::global(g, 0));
+/// });
+/// b.push(exit, Inst::Halt);
+/// let f = m.add_function(b.build());
+/// m.set_entry(f);
+/// let out = cwsp_ir::interp::run(&m, 10_000).unwrap();
+/// assert_eq!(out.memory.load(m.global_addr(g)), 45);
+/// ```
+pub fn build_counted_loop(
+    b: &mut FunctionBuilder,
+    before: BlockId,
+    n: Operand,
+    body: impl FnOnce(&mut FunctionBuilder, BlockId, Reg),
+) -> (BlockId, BlockId) {
+    build_counted_loop_multi(b, before, n, |b, bb, i| {
+        body(b, bb, i);
+        bb
+    })
+}
+
+/// Like [`build_counted_loop`], but the body may create internal control flow:
+/// the closure receives the (unterminated) body entry block and must return
+/// the (unterminated) block where the iteration ends; the helper appends the
+/// branch to the loop latch there.
+pub fn build_counted_loop_multi(
+    b: &mut FunctionBuilder,
+    before: BlockId,
+    n: Operand,
+    body: impl FnOnce(&mut FunctionBuilder, BlockId, Reg) -> BlockId,
+) -> (BlockId, BlockId) {
+    let header = b.block();
+    let body_bb = b.block();
+    let exit = b.block();
+
+    let i = b.vreg();
+    let i_next = b.vreg();
+    b.push(before, Inst::Mov { dst: i_next, src: Operand::imm(0) });
+    b.push(before, Inst::Br { target: header });
+
+    // Loop-carried updates live at the *top* of the header: `i` commits from
+    // `i_next` before any body work, and the increment redefines `i_next`
+    // right after its use. The region-formation pass places a boundary at the
+    // header (loop header rule) and cuts the `i_next` use→def antidependence
+    // inside it, so the *body* region never defines `i` — its checkpoint slot
+    // stays stable, which is what lets the pruner rematerialize
+    // address-computation chains from `slot_i` (§IV-C) without the
+    // self-clobber hazard (DESIGN.md §3.1).
+    let cond = b.vreg();
+    b.push(header, Inst::Mov { dst: i, src: i_next.into() });
+    b.push(header, Inst::Binary { op: BinOp::CmpLtU, dst: cond, lhs: i.into(), rhs: n });
+    b.push(header, Inst::Binary {
+        op: BinOp::Add,
+        dst: i_next,
+        lhs: i.into(),
+        rhs: Operand::imm(1),
+    });
+    b.push(header, Inst::CondBr { cond: cond.into(), if_true: body_bb, if_false: exit });
+
+    let tail = body(b, body_bb, i);
+    b.push(tail, Inst::Br { target: header });
+
+    (header, exit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_basics() {
+        let mut b = FunctionBuilder::new("f", 2);
+        assert_eq!(b.param(0), Reg(0));
+        assert_eq!(b.param(1), Reg(1));
+        let r = b.vreg();
+        assert_eq!(r, Reg(2));
+        let e = b.entry();
+        let s = b.bin(e, BinOp::Add, b.param(0).into(), b.param(1).into());
+        b.push(e, Inst::Ret { val: Some(s.into()) });
+        let f = b.build();
+        assert_eq!(f.param_count, 2);
+        assert_eq!(f.reg_count, 4);
+        assert!(f.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter index")]
+    fn param_out_of_range_panics() {
+        let b = FunctionBuilder::new("f", 1);
+        let _ = b.param(1);
+    }
+
+    #[test]
+    fn counted_loop_structure() {
+        let mut b = FunctionBuilder::new("f", 0);
+        let e = b.entry();
+        let (header, exit) = build_counted_loop(&mut b, e, Operand::imm(3), |b, bb, i| {
+            let _ = b.bin(bb, BinOp::Add, i.into(), Operand::imm(0));
+        });
+        b.push(exit, Inst::Halt);
+        let f = b.build();
+        assert!(f.validate().is_ok(), "{:?}", f.validate());
+        assert!(header.index() > 0 && exit.index() > header.index());
+        // header ends in a conditional branch
+        assert!(matches!(f.block(header).terminator(), Some(Inst::CondBr { .. })));
+    }
+
+    #[test]
+    fn call_reserves_ret_reg() {
+        let mut b = FunctionBuilder::new("f", 0);
+        let e = b.entry();
+        let r = b.call(e, FuncId(0), vec![Operand::imm(1)], true);
+        assert!(r.is_some());
+        let none = b.call(e, FuncId(0), vec![], false);
+        assert!(none.is_none());
+        b.push(e, Inst::Halt);
+        assert!(b.build().validate().is_ok());
+    }
+}

@@ -1,0 +1,309 @@
+//! Control-flow graph utilities: successors/predecessors, reverse post-order,
+//! and natural-loop-header detection (the region-formation pass places a
+//! boundary at each loop header, §IV-A).
+
+use crate::function::{BlockId, Function};
+use crate::inst::Inst;
+
+/// Successor blocks of `block` in `f`.
+pub fn successors(f: &Function, block: BlockId) -> Vec<BlockId> {
+    match f.block(block).insts.last() {
+        Some(Inst::Br { target }) => vec![*target],
+        Some(Inst::CondBr { if_true, if_false, .. }) => {
+            if if_true == if_false {
+                vec![*if_true]
+            } else {
+                vec![*if_true, *if_false]
+            }
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// Predecessor lists for every block, indexed by block id.
+pub fn predecessors(f: &Function) -> Vec<Vec<BlockId>> {
+    let mut preds = vec![Vec::new(); f.blocks.len()];
+    for (bid, _) in f.iter_blocks() {
+        for s in successors(f, bid) {
+            preds[s.index()].push(bid);
+        }
+    }
+    preds
+}
+
+/// Blocks reachable from entry, in reverse post-order (defs before uses of
+/// control flow; suitable for forward dataflow).
+pub fn reverse_post_order(f: &Function) -> Vec<BlockId> {
+    let n = f.blocks.len();
+    let mut visited = vec![false; n];
+    let mut post = Vec::with_capacity(n);
+    // Iterative DFS with explicit state: (block, next successor index).
+    let mut stack: Vec<(BlockId, usize)> = vec![(f.entry(), 0)];
+    visited[f.entry().index()] = true;
+    while let Some((b, i)) = stack.pop() {
+        let succs = successors(f, b);
+        if i < succs.len() {
+            stack.push((b, i + 1));
+            let s = succs[i];
+            if !visited[s.index()] {
+                visited[s.index()] = true;
+                stack.push((s, 0));
+            }
+        } else {
+            post.push(b);
+        }
+    }
+    post.reverse();
+    post
+}
+
+/// Detect loop headers via DFS back edges: a block is a loop header if some
+/// reachable edge `u -> h` has `h` on the DFS stack ("retreating" edge on a
+/// reducible CFG).
+///
+/// This is the standard natural-loop approximation; our builder-produced CFGs
+/// are reducible, where back edge == retreating edge.
+///
+/// # Example
+/// ```
+/// use cwsp_ir::prelude::*;
+/// use cwsp_ir::builder::build_counted_loop;
+/// use cwsp_ir::cfg::loop_headers;
+///
+/// let mut b = FunctionBuilder::new("f", 0);
+/// let e = b.entry();
+/// let (header, exit) = build_counted_loop(&mut b, e, Operand::imm(4), |_, _, _| {});
+/// b.push(exit, Inst::Halt);
+/// let f = b.build();
+/// assert!(loop_headers(&f).contains(&header));
+/// ```
+pub fn loop_headers(f: &Function) -> Vec<BlockId> {
+    let n = f.blocks.len();
+    let mut color = vec![0u8; n]; // 0 = white, 1 = on stack, 2 = done
+    let mut headers = vec![false; n];
+    let mut stack: Vec<(BlockId, usize)> = vec![(f.entry(), 0)];
+    color[f.entry().index()] = 1;
+    while let Some((b, i)) = stack.pop() {
+        let succs = successors(f, b);
+        if i < succs.len() {
+            stack.push((b, i + 1));
+            let s = succs[i];
+            match color[s.index()] {
+                0 => {
+                    color[s.index()] = 1;
+                    stack.push((s, 0));
+                }
+                1 => headers[s.index()] = true, // back edge
+                _ => {}
+            }
+        } else {
+            color[b.index()] = 2;
+        }
+    }
+    headers
+        .iter()
+        .enumerate()
+        .filter(|(_, &h)| h)
+        .map(|(i, _)| BlockId(i as u32))
+        .collect()
+}
+
+/// Immediate dominators via the Cooper–Harvey–Kennedy iterative algorithm.
+///
+/// Returns `idom[b]` for every reachable block (`idom[entry] == entry`);
+/// unreachable blocks map to `None`.
+pub fn immediate_dominators(f: &Function) -> Vec<Option<BlockId>> {
+    let rpo = reverse_post_order(f);
+    let n = f.blocks.len();
+    let mut order_of = vec![usize::MAX; n];
+    for (i, b) in rpo.iter().enumerate() {
+        order_of[b.index()] = i;
+    }
+    let preds = predecessors(f);
+    let mut idom: Vec<Option<BlockId>> = vec![None; n];
+    idom[f.entry().index()] = Some(f.entry());
+
+    let intersect = |idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId| {
+        while a != b {
+            while order_of[a.index()] > order_of[b.index()] {
+                a = idom[a.index()].expect("processed");
+            }
+            while order_of[b.index()] > order_of[a.index()] {
+                b = idom[b.index()].expect("processed");
+            }
+        }
+        a
+    };
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in rpo.iter().skip(1) {
+            let mut new_idom: Option<BlockId> = None;
+            for &p in &preds[b.index()] {
+                if idom[p.index()].is_none() {
+                    continue; // unreachable or not yet processed
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(&idom, cur, p),
+                });
+            }
+            if let Some(ni) = new_idom {
+                if idom[b.index()] != Some(ni) {
+                    idom[b.index()] = Some(ni);
+                    changed = true;
+                }
+            }
+        }
+    }
+    idom
+}
+
+/// Whether `a` dominates `b` (per [`immediate_dominators`]).
+pub fn dominates(idom: &[Option<BlockId>], a: BlockId, b: BlockId) -> bool {
+    let mut cur = b;
+    loop {
+        if cur == a {
+            return true;
+        }
+        match idom[cur.index()] {
+            Some(d) if d != cur => cur = d,
+            _ => return false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build_counted_loop, FunctionBuilder};
+    use crate::inst::Operand;
+
+    fn loop_fn() -> (Function, BlockId, BlockId) {
+        let mut b = FunctionBuilder::new("f", 0);
+        let e = b.entry();
+        let (h, x) = build_counted_loop(&mut b, e, Operand::imm(4), |_, _, _| {});
+        b.push(x, Inst::Halt);
+        (b.build(), h, x)
+    }
+
+    #[test]
+    fn successors_and_preds() {
+        let (f, header, exit) = loop_fn();
+        let succs = successors(&f, header);
+        assert_eq!(succs.len(), 2);
+        assert!(succs.contains(&exit));
+        let preds = predecessors(&f);
+        // header has 2 preds: entry and latch
+        assert_eq!(preds[header.index()].len(), 2);
+        assert!(successors(&f, exit).is_empty());
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_reachable() {
+        let (f, _, _) = loop_fn();
+        let rpo = reverse_post_order(&f);
+        assert_eq!(rpo[0], f.entry());
+        assert_eq!(rpo.len(), f.blocks.len(), "all blocks reachable here");
+        // each block appears once
+        let mut sorted: Vec<_> = rpo.iter().map(|b| b.index()).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), rpo.len());
+    }
+
+    #[test]
+    fn loop_header_detected() {
+        let (f, header, _) = loop_fn();
+        assert_eq!(loop_headers(&f), vec![header]);
+    }
+
+    #[test]
+    fn straight_line_has_no_headers() {
+        let mut b = FunctionBuilder::new("f", 0);
+        let e = b.entry();
+        b.push(e, Inst::Halt);
+        let f = b.build();
+        assert!(loop_headers(&f).is_empty());
+    }
+
+    #[test]
+    fn dominators_of_diamond() {
+        // entry -> a | b -> join
+        let mut bld = FunctionBuilder::new("f", 0);
+        let e = bld.entry();
+        let a = bld.block();
+        let b2 = bld.block();
+        let join = bld.block();
+        let c = bld.vreg();
+        bld.push(e, Inst::CondBr { cond: c.into(), if_true: a, if_false: b2 });
+        bld.push(a, Inst::Br { target: join });
+        bld.push(b2, Inst::Br { target: join });
+        bld.push(join, Inst::Halt);
+        let f = bld.build();
+        let idom = immediate_dominators(&f);
+        assert_eq!(idom[e.index()], Some(e));
+        assert_eq!(idom[a.index()], Some(e));
+        assert_eq!(idom[b2.index()], Some(e));
+        assert_eq!(idom[join.index()], Some(e), "join's idom is the branch, not an arm");
+        assert!(dominates(&idom, e, join));
+        assert!(!dominates(&idom, a, join));
+        assert!(dominates(&idom, join, join));
+    }
+
+    #[test]
+    fn dominators_of_loop() {
+        let mut bld = FunctionBuilder::new("f", 0);
+        let e = bld.entry();
+        let (header, exit) = build_counted_loop(&mut bld, e, Operand::imm(3), |_, _, _| {});
+        bld.push(exit, Inst::Halt);
+        let f = bld.build();
+        let idom = immediate_dominators(&f);
+        assert_eq!(idom[header.index()], Some(e));
+        assert!(dominates(&idom, header, exit));
+        assert!(dominates(&idom, e, header));
+        // the body is dominated by the header
+        let body = cfg_body_of(&f, header);
+        assert!(dominates(&idom, header, body));
+    }
+
+    fn cfg_body_of(f: &Function, header: BlockId) -> BlockId {
+        successors(f, header)[0]
+    }
+
+    #[test]
+    fn nested_loops_both_detected() {
+        // Hand-built CFG:
+        //   entry -> outer_h; outer_h -> inner_h | exit;
+        //   inner_h -> inner_body | outer_latch; inner_body -> inner_h;
+        //   outer_latch -> outer_h; exit: halt
+        use crate::inst::BinOp;
+        let mut b = FunctionBuilder::new("f", 0);
+        let e = b.entry();
+        let outer_h = b.block();
+        let inner_h = b.block();
+        let inner_body = b.block();
+        let outer_latch = b.block();
+        let exit = b.block();
+        let i = b.vreg();
+        let j = b.vreg();
+        b.push(e, Inst::Mov { dst: i, src: Operand::imm(0) });
+        b.push(e, Inst::Br { target: outer_h });
+        let c1 = b.bin(outer_h, BinOp::CmpLtU, i.into(), Operand::imm(3));
+        b.push(outer_h, Inst::CondBr { cond: c1.into(), if_true: inner_h, if_false: exit });
+        let c2 = b.bin(inner_h, BinOp::CmpLtU, j.into(), Operand::imm(2));
+        b.push(inner_h, Inst::CondBr { cond: c2.into(), if_true: inner_body, if_false: outer_latch });
+        b.push(inner_body, Inst::Binary { op: BinOp::Add, dst: j, lhs: j.into(), rhs: Operand::imm(1) });
+        b.push(inner_body, Inst::Br { target: inner_h });
+        b.push(outer_latch, Inst::Binary { op: BinOp::Add, dst: i, lhs: i.into(), rhs: Operand::imm(1) });
+        b.push(outer_latch, Inst::Br { target: outer_h });
+        b.push(exit, Inst::Halt);
+        let f = b.build();
+        assert!(f.validate().is_ok(), "{:?}", f.validate());
+        let headers = loop_headers(&f);
+        assert!(headers.contains(&outer_h));
+        assert!(headers.contains(&inner_h));
+        assert_eq!(headers.len(), 2);
+    }
+}

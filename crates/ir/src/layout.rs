@@ -1,0 +1,167 @@
+//! The simulated machine's virtual address-space layout.
+//!
+//! cWSP is a *whole-system* persistence design: NVM is main memory and every
+//! store — user data, stack spills, register checkpoints, hardware recovery
+//! metadata — goes through the persist path. This module fixes where each of
+//! those classes of state lives so the compiler, interpreter, simulator, and
+//! recovery runtime agree.
+//!
+//! All regions are disjoint and 8-byte aligned. Addresses are virtual; the
+//! memory-controller interleave in `cwsp-sim` hashes physical placement from
+//! these addresses.
+
+use crate::types::{Reg, Word};
+
+/// Base of the global/static data segment.
+pub const GLOBAL_BASE: Word = 0x0000_0001_0000_0000;
+
+/// Base of the simulated heap (`cwsp-runtime`'s `malloc`/`sbrk` arena).
+pub const HEAP_BASE: Word = 0x0000_0010_0000_0000;
+
+/// Top of the downward-growing call stack (one stack per core, separated by
+/// [`STACK_STRIDE`]).
+pub const STACK_TOP: Word = 0x0000_0100_0000_0000;
+
+/// Per-core stack separation (256 MiB).
+pub const STACK_STRIDE: Word = 0x1000_0000;
+
+/// Base of the register-checkpoint slot area: "a designated storage in NVM,
+/// indexed by architectural registers and managed by cWSP hardware" (§IV-B).
+pub const CKPT_BASE: Word = 0x0000_1000_0000_0000;
+
+/// Per-core stride of the checkpoint slot area.
+pub const CKPT_STRIDE: Word = 0x0010_0000;
+
+/// Base of the hardware recovery-metadata area where the RBT head's recovery
+/// point ("RS Pointer", §V-B1 step 4) is persisted when a region retires.
+pub const RECOVERY_META_BASE: Word = 0x0000_2000_0000_0000;
+
+/// Per-core stride of the recovery-metadata area.
+pub const RECOVERY_META_STRIDE: Word = 0x1000;
+
+/// Base of the per-MC undo-log arrays ("its own log area", §V-B2). Each MC
+/// owns a [`UNDO_LOG_STRIDE`]-sized window.
+pub const UNDO_LOG_BASE: Word = 0x0000_4000_0000_0000;
+
+/// Per-MC stride of the undo-log area (1 GiB of log space per controller).
+pub const UNDO_LOG_STRIDE: Word = 0x4000_0000;
+
+/// Tag marking a not-yet-resolved global reference produced by
+/// [`crate::inst::MemRef::global`]: `GLOBAL_TAG | (global_id << 32) | byte_offset`.
+pub const GLOBAL_TAG: Word = 0xF000_0000_0000_0000;
+
+/// The NVM slot address for checkpointing register `reg` of core `core`.
+///
+/// # Example
+/// ```
+/// use cwsp_ir::layout::{ckpt_slot_addr, CKPT_BASE};
+/// use cwsp_ir::Reg;
+/// assert_eq!(ckpt_slot_addr(0, Reg(0)), CKPT_BASE);
+/// assert_eq!(ckpt_slot_addr(0, Reg(2)), CKPT_BASE + 16);
+/// ```
+#[inline]
+pub fn ckpt_slot_addr(core: usize, reg: Reg) -> Word {
+    CKPT_BASE + core as Word * CKPT_STRIDE + reg.index() as Word * 8
+}
+
+/// Stack base (highest address) for `core`.
+#[inline]
+pub fn stack_top(core: usize) -> Word {
+    STACK_TOP - core as Word * STACK_STRIDE
+}
+
+/// Whether `addr` carries a [`GLOBAL_TAG`] marker.
+#[inline]
+pub fn is_tagged_global(addr: Word) -> bool {
+    addr & GLOBAL_TAG == GLOBAL_TAG
+}
+
+/// Split a tagged global address into `(global_id, byte_offset)`.
+///
+/// # Panics
+/// Debug-asserts that `addr` is tagged.
+#[inline]
+pub fn untag_global(addr: Word) -> (u32, Word) {
+    debug_assert!(is_tagged_global(addr));
+    (((addr & !GLOBAL_TAG) >> 32) as u32, addr & 0xFFFF_FFFF)
+}
+
+/// Whether `addr` falls in the checkpoint-slot area (used by statistics to
+/// separate checkpoint write traffic from program write traffic).
+#[inline]
+pub fn is_ckpt_addr(addr: Word) -> bool {
+    (CKPT_BASE..RECOVERY_META_BASE).contains(&addr)
+}
+
+/// Whether `addr` is hardware metadata (recovery points or undo logs) rather
+/// than software-visible memory.
+#[inline]
+pub fn is_hw_meta_addr(addr: Word) -> bool {
+    addr >= RECOVERY_META_BASE
+}
+
+/// Lowest address of the (per-core) stack region, assuming at most 256 cores.
+pub const STACK_REGION_BASE: Word = STACK_TOP - 256 * STACK_STRIDE;
+
+/// Whether `addr` is program *data* (globals or heap) — the state whose final
+/// contents crash-consistency verification compares. Stack frames (dead after
+/// return), checkpoint slots, and hardware metadata are excluded.
+#[inline]
+pub fn is_program_data(addr: Word) -> bool {
+    (GLOBAL_BASE..STACK_REGION_BASE).contains(&addr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_disjoint_and_ordered() {
+        assert!(GLOBAL_BASE < HEAP_BASE);
+        assert!(HEAP_BASE < STACK_TOP);
+        assert!(STACK_TOP <= CKPT_BASE);
+        assert!(CKPT_BASE < RECOVERY_META_BASE);
+        assert!(RECOVERY_META_BASE < UNDO_LOG_BASE);
+        assert!(UNDO_LOG_BASE < GLOBAL_TAG);
+    }
+
+    #[test]
+    fn ckpt_slots_per_core_do_not_overlap() {
+        let last_slot_core0 = ckpt_slot_addr(0, Reg((CKPT_STRIDE / 8 - 1) as u32));
+        assert!(last_slot_core0 < ckpt_slot_addr(1, Reg(0)) + CKPT_STRIDE);
+        assert_eq!(ckpt_slot_addr(1, Reg(0)), CKPT_BASE + CKPT_STRIDE);
+    }
+
+    #[test]
+    fn tag_roundtrip() {
+        let a = GLOBAL_TAG | (7u64 << 32) | 24;
+        assert!(is_tagged_global(a));
+        assert_eq!(untag_global(a), (7, 24));
+        assert!(!is_tagged_global(GLOBAL_BASE));
+    }
+
+    #[test]
+    fn address_class_predicates() {
+        assert!(is_ckpt_addr(ckpt_slot_addr(3, Reg(5))));
+        assert!(!is_ckpt_addr(GLOBAL_BASE));
+        assert!(is_hw_meta_addr(RECOVERY_META_BASE));
+        assert!(is_hw_meta_addr(UNDO_LOG_BASE + 8));
+        assert!(!is_hw_meta_addr(STACK_TOP - 8));
+    }
+
+    #[test]
+    fn program_data_predicate() {
+        assert!(is_program_data(GLOBAL_BASE));
+        assert!(is_program_data(HEAP_BASE + 8));
+        assert!(!is_program_data(stack_top(0) - 8));
+        assert!(!is_program_data(ckpt_slot_addr(0, Reg(0))));
+        assert!(!is_program_data(RECOVERY_META_BASE));
+        assert!(HEAP_BASE < STACK_REGION_BASE);
+    }
+
+    #[test]
+    fn per_core_stacks_disjoint() {
+        assert!(stack_top(1) < stack_top(0));
+        assert_eq!(stack_top(0) - stack_top(1), STACK_STRIDE);
+    }
+}

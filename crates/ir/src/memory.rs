@@ -1,0 +1,160 @@
+//! Sparse word-granular memory.
+//!
+//! Both the interpreter's architectural memory and the simulator's NVM image
+//! are [`Memory`] instances: sparse maps from 8-byte-aligned addresses to
+//! words. Sparsity is what lets the reproduction simulate the paper's
+//! multi-gigabyte footprints (2.5–6 GB, §IX-C) without allocating them.
+
+use crate::types::Word;
+use std::collections::HashMap;
+
+/// Sparse, word-granular memory. Unwritten words read as zero.
+///
+/// # Example
+/// ```
+/// use cwsp_ir::Memory;
+/// let mut m = Memory::new();
+/// assert_eq!(m.load(0x1000), 0);
+/// m.store(0x1000, 42);
+/// assert_eq!(m.load(0x1000), 42);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Memory {
+    words: HashMap<Word, Word>,
+}
+
+impl Memory {
+    /// An empty (all-zero) memory.
+    pub fn new() -> Self {
+        Memory::default()
+    }
+
+    /// Read the word at `addr`.
+    ///
+    /// # Panics
+    /// Debug-asserts 8-byte alignment.
+    #[inline]
+    pub fn load(&self, addr: Word) -> Word {
+        debug_assert_eq!(addr % 8, 0, "unaligned load at {addr:#x}");
+        self.words.get(&addr).copied().unwrap_or(0)
+    }
+
+    /// Write the word at `addr`, returning the previous value.
+    ///
+    /// # Panics
+    /// Debug-asserts 8-byte alignment.
+    #[inline]
+    pub fn store(&mut self, addr: Word, value: Word) -> Word {
+        debug_assert_eq!(addr % 8, 0, "unaligned store at {addr:#x}");
+        if value == 0 {
+            // Keep the map sparse: a zero store restores "never written".
+            self.words.remove(&addr).unwrap_or(0)
+        } else {
+            self.words.insert(addr, value).unwrap_or(0)
+        }
+    }
+
+    /// Number of non-zero words currently stored.
+    pub fn nonzero_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Iterate `(addr, value)` over non-zero words (unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = (Word, Word)> + '_ {
+        self.words.iter().map(|(a, v)| (*a, *v))
+    }
+
+    /// Compare this memory with `other` over addresses `filter` accepts,
+    /// returning up to `limit` differing addresses as
+    /// `(addr, self_value, other_value)`.
+    ///
+    /// Used by the consistency verifier to compare a recovered run's NVM image
+    /// against the failure-free oracle while ignoring hardware metadata.
+    pub fn diff_where(
+        &self,
+        other: &Memory,
+        mut filter: impl FnMut(Word) -> bool,
+        limit: usize,
+    ) -> Vec<(Word, Word, Word)> {
+        let mut out = Vec::new();
+        for (&a, &v) in &self.words {
+            if out.len() >= limit {
+                break;
+            }
+            if filter(a) && other.load(a) != v {
+                out.push((a, v, other.load(a)));
+            }
+        }
+        for (&a, &v) in &other.words {
+            if out.len() >= limit {
+                break;
+            }
+            if filter(a) && !self.words.contains_key(&a) && v != 0 {
+                out.push((a, 0, v));
+            }
+        }
+        out
+    }
+}
+
+impl FromIterator<(Word, Word)> for Memory {
+    fn from_iter<T: IntoIterator<Item = (Word, Word)>>(iter: T) -> Self {
+        let mut m = Memory::new();
+        for (a, v) in iter {
+            m.store(a, v);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_default_and_roundtrip() {
+        let mut m = Memory::new();
+        assert_eq!(m.load(8), 0);
+        assert_eq!(m.store(8, 5), 0);
+        assert_eq!(m.store(8, 7), 5);
+        assert_eq!(m.load(8), 7);
+    }
+
+    #[test]
+    fn zero_store_keeps_sparse() {
+        let mut m = Memory::new();
+        m.store(16, 9);
+        assert_eq!(m.nonzero_words(), 1);
+        assert_eq!(m.store(16, 0), 9);
+        assert_eq!(m.nonzero_words(), 0);
+        assert_eq!(m.load(16), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    #[cfg(debug_assertions)]
+    fn unaligned_traps_in_debug() {
+        Memory::new().load(3);
+    }
+
+    #[test]
+    fn diff_where_finds_asymmetric_differences() {
+        let a: Memory = [(8, 1), (16, 2)].into_iter().collect();
+        let b: Memory = [(8, 1), (24, 3)].into_iter().collect();
+        let mut d = a.diff_where(&b, |_| true, 10);
+        d.sort();
+        assert_eq!(d, vec![(16, 2, 0), (24, 0, 3)]);
+        // filter excludes
+        let d2 = a.diff_where(&b, |addr| addr < 16, 10);
+        assert!(d2.is_empty());
+        // limit respected
+        let d3 = a.diff_where(&b, |_| true, 1);
+        assert_eq!(d3.len(), 1);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let m: Memory = [(8, 1), (16, 0)].into_iter().collect();
+        assert_eq!(m.nonzero_words(), 1);
+    }
+}

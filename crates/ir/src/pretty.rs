@@ -1,0 +1,176 @@
+//! Human-readable IR printing (diagnostics, golden tests, and docs).
+
+use crate::function::Function;
+use crate::inst::{AtomicOp, BinOp, Inst, MemRef, Operand};
+use crate::module::Module;
+use std::fmt::Write as _;
+
+fn fmt_operand(o: &Operand) -> String {
+    match o {
+        Operand::Reg(r) => r.to_string(),
+        Operand::Imm(v) => {
+            if *v > 0xFFFF {
+                format!("{v:#x}")
+            } else {
+                v.to_string()
+            }
+        }
+    }
+}
+
+fn fmt_memref(m: &MemRef) -> String {
+    if m.offset == 0 {
+        format!("[{}]", fmt_operand(&m.base))
+    } else {
+        format!("[{}{:+}]", fmt_operand(&m.base), m.offset)
+    }
+}
+
+fn fmt_binop(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "add",
+        BinOp::Sub => "sub",
+        BinOp::Mul => "mul",
+        BinOp::DivU => "divu",
+        BinOp::RemU => "remu",
+        BinOp::And => "and",
+        BinOp::Or => "or",
+        BinOp::Xor => "xor",
+        BinOp::Shl => "shl",
+        BinOp::ShrL => "shrl",
+        BinOp::ShrA => "shra",
+        BinOp::CmpEq => "cmpeq",
+        BinOp::CmpNe => "cmpne",
+        BinOp::CmpLtU => "cmpltu",
+        BinOp::CmpLtS => "cmplts",
+        BinOp::MinU => "minu",
+        BinOp::MaxU => "maxu",
+    }
+}
+
+/// Render a single instruction in assembly-like form.
+pub fn fmt_inst(inst: &Inst) -> String {
+    match inst {
+        Inst::Binary { op, dst, lhs, rhs } => {
+            format!("{dst} = {} {}, {}", fmt_binop(*op), fmt_operand(lhs), fmt_operand(rhs))
+        }
+        Inst::Mov { dst, src } => format!("{dst} = mov {}", fmt_operand(src)),
+        Inst::Load { dst, addr } => format!("{dst} = ldr {}", fmt_memref(addr)),
+        Inst::Store { src, addr } => format!("str {}, {}", fmt_operand(src), fmt_memref(addr)),
+        Inst::Br { target } => format!("br {target}"),
+        Inst::CondBr { cond, if_true, if_false } => {
+            format!("br {} ? {if_true} : {if_false}", fmt_operand(cond))
+        }
+        Inst::Call { func, args, ret, save_regs } => {
+            let args: Vec<_> = args.iter().map(fmt_operand).collect();
+            let mut s = String::new();
+            if let Some(r) = ret {
+                let _ = write!(s, "{r} = ");
+            }
+            let _ = write!(s, "call {func}({})", args.join(", "));
+            if !save_regs.is_empty() {
+                let saves: Vec<_> = save_regs.iter().map(|r| r.to_string()).collect();
+                let _ = write!(s, " save[{}]", saves.join(","));
+            }
+            s
+        }
+        Inst::Ret { val: Some(v) } => format!("ret {}", fmt_operand(v)),
+        Inst::Ret { val: None } => "ret".to_string(),
+        Inst::AtomicRmw { op, dst, addr, src, expected } => {
+            let name = match op {
+                AtomicOp::FetchAdd => "xadd",
+                AtomicOp::Swap => "xchg",
+                AtomicOp::Cas => "cas",
+            };
+            if *op == AtomicOp::Cas {
+                format!(
+                    "{dst} = {name} {}, {} == {} -> {}",
+                    fmt_memref(addr),
+                    fmt_memref(addr),
+                    fmt_operand(expected),
+                    fmt_operand(src)
+                )
+            } else {
+                format!("{dst} = {name} {}, {}", fmt_memref(addr), fmt_operand(src))
+            }
+        }
+        Inst::Fence => "fence".to_string(),
+        Inst::Boundary { id } => format!("--- boundary {id} ---"),
+        Inst::Ckpt { reg } => format!("ckpt {reg}"),
+        Inst::Out { val } => format!("out {}", fmt_operand(val)),
+        Inst::Halt => "halt".to_string(),
+    }
+}
+
+/// Render a whole function.
+pub fn fmt_function(f: &Function) -> String {
+    let mut s = format!("fn {}(params={}) regs={} {{\n", f.name, f.param_count, f.reg_count);
+    for (bid, block) in f.iter_blocks() {
+        let _ = writeln!(s, "{bid}:");
+        for inst in &block.insts {
+            let _ = writeln!(s, "    {}", fmt_inst(inst));
+        }
+    }
+    s.push('}');
+    s
+}
+
+/// Render a whole module (globals then functions).
+pub fn fmt_module(m: &Module) -> String {
+    let mut s = format!("module {}\n", m.name);
+    for g in m.globals() {
+        let _ = writeln!(s, "global {} : {} words @ {:#x}", g.name, g.words, g.addr);
+    }
+    for (_, f) in m.iter_functions() {
+        s.push_str(&fmt_function(f));
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::module::FuncId;
+    use crate::types::{Reg, RegionId};
+
+    #[test]
+    fn inst_formats() {
+        assert_eq!(
+            fmt_inst(&Inst::binary(BinOp::Add, Reg(2), Reg(0).into(), Operand::imm(4))),
+            "r2 = add r0, 4"
+        );
+        assert_eq!(fmt_inst(&Inst::load(Reg(1), MemRef::reg(Reg(0), 8))), "r1 = ldr [r0+8]");
+        assert_eq!(fmt_inst(&Inst::store(Operand::imm(1), MemRef::abs(64))), "str 1, [64]");
+        assert_eq!(fmt_inst(&Inst::Boundary { id: RegionId(2) }), "--- boundary Rg2 ---");
+        assert_eq!(fmt_inst(&Inst::Ckpt { reg: Reg(3) }), "ckpt r3");
+        assert!(fmt_inst(&Inst::Call {
+            func: FuncId(1),
+            args: vec![Operand::imm(2)],
+            ret: Some(Reg(5)),
+            save_regs: vec![Reg(4)],
+        })
+        .contains("save[r4]"));
+    }
+
+    #[test]
+    fn function_format_contains_blocks() {
+        let mut b = FunctionBuilder::new("f", 1);
+        let e = b.entry();
+        b.push(e, Inst::Ret { val: Some(b.param(0).into()) });
+        let s = fmt_function(&b.build());
+        assert!(s.contains("fn f(params=1)"));
+        assert!(s.contains("bb0:"));
+        assert!(s.contains("ret r0"));
+    }
+
+    #[test]
+    fn module_format_lists_globals() {
+        let mut m = Module::new("m");
+        m.add_global("g", 4);
+        let s = fmt_module(&m);
+        assert!(s.contains("module m"));
+        assert!(s.contains("global g : 4 words"));
+    }
+}

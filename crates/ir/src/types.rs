@@ -1,0 +1,97 @@
+//! Fundamental value and identifier types shared across the workspace.
+
+use std::fmt;
+
+/// The machine word: every IR value, register, and memory cell is a `u64`.
+///
+/// Arithmetic in the IR is wrapping (two's-complement); signed operations
+/// reinterpret the bits as `i64`. This matches the 8-byte persist granularity
+/// that cWSP's persist path carries (§V-A2).
+pub type Word = u64;
+
+/// A function-local virtual register.
+///
+/// Registers are dense small integers assigned by [`crate::builder::FunctionBuilder`].
+/// The cWSP compiler checkpoints *live-out* registers to per-register NVM slots
+/// (§IV-B); the slot address for register `r` is
+/// [`crate::layout::ckpt_slot_addr`]`(core, r)`.
+///
+/// # Example
+/// ```
+/// use cwsp_ir::Reg;
+/// let r = Reg(3);
+/// assert_eq!(r.index(), 3);
+/// assert_eq!(format!("{r}"), "r3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(pub u32);
+
+impl Reg {
+    /// The dense index of this register (usable for bit-set/array indexing).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Identifier of a *static* region: the index of the region-boundary
+/// instruction (or function entry) that begins it.
+///
+/// Static region ids key compiler-side metadata — most importantly the
+/// recovery slice (§IV-C / §VII) generated for the region. During execution
+/// each *dynamic* region instance additionally receives a monotonically
+/// increasing sequence number ([`DynRegionId`]) that the region boundary table
+/// and the memory-controller undo logs are ordered by (§V-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegionId(pub u32);
+
+impl fmt::Display for RegionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rg{}", self.0)
+    }
+}
+
+/// A dynamic region instance id: "a hardware-managed counter that atomically
+/// increases to ensure unique ID allocation across all cores" (§V-B1).
+///
+/// Undo logs are reverted in reverse `DynRegionId` order during recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DynRegionId(pub u64);
+
+impl fmt::Display for DynRegionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dyn{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn reg_display_and_index() {
+        assert_eq!(Reg(0).to_string(), "r0");
+        assert_eq!(Reg(41).index(), 41);
+    }
+
+    #[test]
+    fn region_ids_order_and_hash() {
+        assert!(RegionId(1) < RegionId(2));
+        assert!(DynRegionId(9) < DynRegionId(10));
+        let set: HashSet<_> = [Reg(1), Reg(1), Reg(2)].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(RegionId(7).to_string(), "Rg7");
+        assert_eq!(DynRegionId(3).to_string(), "dyn3");
+    }
+}

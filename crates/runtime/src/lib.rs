@@ -1,0 +1,94 @@
+//! # cwsp-runtime — the simulated libc/kernel substrate
+//!
+//! *Whole-system* persistence means crash consistency for the entire software
+//! stack, not just user code. The paper patches glibc, LLVM's runtime
+//! libraries, and the Linux kernel so every layer is partitioned into
+//! idempotent regions (§IV-D, §VI). This crate is the reproduction's analogue:
+//! a library of IR functions — `malloc`/`free`/`sbrk`, `memcpy`/`memset`, and
+//! a syscall entry path — that workloads link against and that goes through
+//! the *same* cWSP compiler as user code.
+//!
+//! The syscall entry function mirrors §VI's hand-annotated
+//! `entry_SYSCALL_64`: it is built with *manually placed* region boundaries
+//! (which the compiler preserves and renumbers) and dispatches to the
+//! simulated kernel services.
+//!
+//! ## Example
+//!
+//! ```
+//! use cwsp_ir::prelude::*;
+//! use cwsp_runtime::Runtime;
+//!
+//! let mut m = Module::new("app");
+//! let rt = Runtime::install(&mut m);
+//! let mut b = FunctionBuilder::new("main", 0);
+//! let e = b.entry();
+//! // p = malloc(4 words); p[0] = 7; return p[0]
+//! let p = b.call(e, rt.malloc, vec![Operand::imm(4)], true).unwrap();
+//! b.store(e, Operand::imm(7), MemRef::reg(p, 0));
+//! let v = b.load(e, MemRef::reg(p, 0));
+//! b.push(e, Inst::Ret { val: Some(v.into()) });
+//! let main = m.add_function(b.build());
+//! m.set_entry(main);
+//! assert_eq!(cwsp_ir::interp::run(&m, 10_000).unwrap().return_value, Some(7));
+//! ```
+
+pub mod kernel;
+pub mod libc;
+
+pub use kernel::{SYS_BRK, SYS_GETPID, SYS_TIME, SYS_WRITE};
+
+use cwsp_ir::module::{FuncId, GlobalId, Module};
+
+/// Handles to the installed runtime functions.
+#[derive(Debug, Clone, Copy)]
+pub struct Runtime {
+    /// `malloc(words) -> ptr` — free-list-first bump allocator over the heap
+    /// arena (the `pmalloc`-style allocator WSP makes unnecessary to
+    /// special-case, §I).
+    pub malloc: FuncId,
+    /// `free(ptr)` — push onto the LIFO free list.
+    pub free: FuncId,
+    /// `sbrk(words) -> old_break` — raw arena extension.
+    pub sbrk: FuncId,
+    /// `memcpy(dst, src, words) -> dst`.
+    pub memcpy: FuncId,
+    /// `memset(dst, value, words) -> dst`.
+    pub memset: FuncId,
+    /// `calloc(words) -> ptr` — zero-initialized allocation.
+    pub calloc: FuncId,
+    /// `memcmp(a, b, words) -> first-diff-index+1 or 0`.
+    pub memcmp: FuncId,
+    /// `syscall(nr, a0, a1) -> ret` — the §VI kernel entry path with manual
+    /// region boundaries.
+    pub syscall: FuncId,
+    /// Allocator metadata global (break pointer, free-list head).
+    pub heap_meta: GlobalId,
+    /// Kernel state global (pid, tick counter, console cursor).
+    pub kernel_state: GlobalId,
+}
+
+impl Runtime {
+    /// Install the runtime library into `module` and return the handles.
+    ///
+    /// Call this *before* building user functions so calls can reference the
+    /// returned [`FuncId`]s.
+    pub fn install(module: &mut Module) -> Runtime {
+        let (heap_meta, malloc, free, sbrk) = libc::install_alloc(module);
+        let (memcpy, memset) = libc::install_mem(module);
+        let (calloc, memcmp) = libc::install_extras(module, malloc, memset);
+        let (kernel_state, syscall) = kernel::install(module, sbrk);
+        Runtime {
+            malloc,
+            free,
+            sbrk,
+            memcpy,
+            memset,
+            calloc,
+            memcmp,
+            syscall,
+            heap_meta,
+            kernel_state,
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! The simulated C library: allocator and memory primitives in IR.
+//!
+//! These functions are ordinary IR — the cWSP compiler partitions them into
+//! idempotent regions like any user code, which is exactly the paper's point
+//! about `malloc` and `sbrk` (§III-A): library state (the break pointer, the
+//! free list) lives in NVM and survives power failure like everything else.
+
+use cwsp_ir::builder::{build_counted_loop, FunctionBuilder};
+use cwsp_ir::inst::{BinOp, Inst, MemRef, Operand};
+use cwsp_ir::layout;
+use cwsp_ir::module::{FuncId, GlobalId, Module};
+
+/// Word indices within the heap-metadata global.
+const BREAK_PTR: i64 = 0;
+const FREELIST_HEAD: i64 = 1;
+const ALLOC_COUNT: i64 = 2;
+const FREE_COUNT: i64 = 3;
+
+/// Install `malloc`/`free`/`sbrk`; returns `(heap_meta, malloc, free, sbrk)`.
+pub fn install_alloc(m: &mut Module) -> (GlobalId, FuncId, FuncId, FuncId) {
+    let meta = m.add_global_init("heap_meta", 4, vec![layout::HEAP_BASE]);
+
+    // sbrk(words): old = break; break += words*8 + 8; return old.
+    // (The extra word stores the block size for a smarter free, and keeps
+    // blocks 8-byte separated.)
+    let sbrk = {
+        let mut b = FunctionBuilder::new("sbrk", 1);
+        let e = b.entry();
+        let words = b.param(0);
+        let old = b.load(e, MemRef::global(meta, BREAK_PTR));
+        let bytes = b.bin(e, BinOp::Shl, words.into(), Operand::imm(3));
+        let new = b.bin(e, BinOp::Add, old.into(), bytes.into());
+        b.store(e, new.into(), MemRef::global(meta, BREAK_PTR));
+        b.push(e, Inst::Ret { val: Some(old.into()) });
+        m.add_function(b.build())
+    };
+
+    // malloc(words): if freelist non-empty pop it, else sbrk. The free list
+    // is a LIFO of blocks whose first word links to the next block.
+    let malloc = {
+        let mut b = FunctionBuilder::new("malloc", 1);
+        let e = b.entry();
+        let from_list = b.block();
+        let from_sbrk = b.block();
+        let words = b.param(0);
+        let head = b.load(e, MemRef::global(meta, FREELIST_HEAD));
+        let cnt = b.load(e, MemRef::global(meta, ALLOC_COUNT));
+        let cnt2 = b.bin(e, BinOp::Add, cnt.into(), Operand::imm(1));
+        b.store(e, cnt2.into(), MemRef::global(meta, ALLOC_COUNT));
+        b.push(e, Inst::CondBr { cond: head.into(), if_true: from_list, if_false: from_sbrk });
+        // pop: head' = [head]; return head
+        let next = b.load(from_list, MemRef::reg(head, 0));
+        b.store(from_list, next.into(), MemRef::global(meta, FREELIST_HEAD));
+        b.push(from_list, Inst::Ret { val: Some(head.into()) });
+        // fresh block from sbrk
+        let p = b.call(from_sbrk, sbrk, vec![words.into()], true).expect("ret");
+        b.push(from_sbrk, Inst::Ret { val: Some(p.into()) });
+        m.add_function(b.build())
+    };
+
+    // free(ptr): [ptr] = head; head = ptr.
+    let free = {
+        let mut b = FunctionBuilder::new("free", 1);
+        let e = b.entry();
+        let ptr = b.param(0);
+        let head = b.load(e, MemRef::global(meta, FREELIST_HEAD));
+        b.store(e, head.into(), MemRef::reg(ptr, 0));
+        b.store(e, ptr.into(), MemRef::global(meta, FREELIST_HEAD));
+        let cnt = b.load(e, MemRef::global(meta, FREE_COUNT));
+        let cnt2 = b.bin(e, BinOp::Add, cnt.into(), Operand::imm(1));
+        b.store(e, cnt2.into(), MemRef::global(meta, FREE_COUNT));
+        b.push(e, Inst::Ret { val: None });
+        m.add_function(b.build())
+    };
+
+    (meta, malloc, free, sbrk)
+}
+
+/// Install `calloc(words) -> ptr` (malloc + zeroing) and
+/// `memcmp(a, b, words) -> first-diff-index+1 or 0`; returns
+/// `(calloc, memcmp)`.
+pub fn install_extras(
+    m: &mut Module,
+    malloc: FuncId,
+    memset: FuncId,
+) -> (FuncId, FuncId) {
+    // calloc(words): p = malloc(words); memset(p, 0, words); return p.
+    let calloc = {
+        let mut b = FunctionBuilder::new("calloc", 1);
+        let e = b.entry();
+        let words = b.param(0);
+        let p = b.call(e, malloc, vec![words.into()], true).expect("ret");
+        b.call(e, memset, vec![p.into(), Operand::imm(0), words.into()], false);
+        b.push(e, Inst::Ret { val: Some(p.into()) });
+        m.add_function(b.build())
+    };
+    // memcmp(a, b, words): returns (first differing index + 1), or 0 if equal.
+    let memcmp = {
+        let mut b = FunctionBuilder::new("memcmp", 3);
+        let e = b.entry();
+        let (pa, pb, words) = (b.param(0), b.param(1), b.param(2));
+        let header = b.block();
+        let body = b.block();
+        let diff = b.block();
+        let next = b.block();
+        let done = b.block();
+        let i = b.vreg();
+        b.push(e, Inst::Mov { dst: i, src: Operand::imm(0) });
+        b.push(e, Inst::Br { target: header });
+        let c = b.bin(header, BinOp::CmpLtU, i.into(), words.into());
+        b.push(header, Inst::CondBr { cond: c.into(), if_true: body, if_false: done });
+        let off = b.bin(body, BinOp::Shl, i.into(), Operand::imm(3));
+        let aa = b.bin(body, BinOp::Add, pa.into(), off.into());
+        let ba = b.bin(body, BinOp::Add, pb.into(), off.into());
+        let va = b.load(body, MemRef::reg(aa, 0));
+        let vb = b.load(body, MemRef::reg(ba, 0));
+        let ne = b.bin(body, BinOp::CmpNe, va.into(), vb.into());
+        b.push(body, Inst::CondBr { cond: ne.into(), if_true: diff, if_false: next });
+        let r = b.bin(diff, BinOp::Add, i.into(), Operand::imm(1));
+        b.push(diff, Inst::Ret { val: Some(r.into()) });
+        let i2 = b.bin(next, BinOp::Add, i.into(), Operand::imm(1));
+        b.push(next, Inst::Mov { dst: i, src: i2.into() });
+        b.push(next, Inst::Br { target: header });
+        b.push(done, Inst::Ret { val: Some(Operand::imm(0)) });
+        m.add_function(b.build())
+    };
+    (calloc, memcmp)
+}
+
+/// Install `memcpy`/`memset`; returns `(memcpy, memset)`.
+pub fn install_mem(m: &mut Module) -> (FuncId, FuncId) {
+    // memcpy(dst, src, words) -> dst
+    let memcpy = {
+        let mut b = FunctionBuilder::new("memcpy", 3);
+        let e = b.entry();
+        let (dst, src, words) = (b.param(0), b.param(1), b.param(2));
+        let (_, exit) = build_counted_loop(&mut b, e, words.into(), |b, bb, i| {
+            let off = b.bin(bb, BinOp::Shl, i.into(), Operand::imm(3));
+            let s = b.bin(bb, BinOp::Add, src.into(), off.into());
+            let d = b.bin(bb, BinOp::Add, dst.into(), off.into());
+            let v = b.load(bb, MemRef::reg(s, 0));
+            b.store(bb, v.into(), MemRef::reg(d, 0));
+        });
+        b.push(exit, Inst::Ret { val: Some(dst.into()) });
+        m.add_function(b.build())
+    };
+    // memset(dst, value, words) -> dst
+    let memset = {
+        let mut b = FunctionBuilder::new("memset", 3);
+        let e = b.entry();
+        let (dst, value, words) = (b.param(0), b.param(1), b.param(2));
+        let (_, exit) = build_counted_loop(&mut b, e, words.into(), |b, bb, i| {
+            let off = b.bin(bb, BinOp::Shl, i.into(), Operand::imm(3));
+            let d = b.bin(bb, BinOp::Add, dst.into(), off.into());
+            b.store(bb, value.into(), MemRef::reg(d, 0));
+        });
+        b.push(exit, Inst::Ret { val: Some(dst.into()) });
+        m.add_function(b.build())
+    };
+    (memcpy, memset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwsp_ir::interp::run;
+
+    fn with_main(build: impl FnOnce(&mut Module, &mut FunctionBuilder, super::super::Runtime)) -> Module {
+        let mut m = Module::new("t");
+        let rt = crate::Runtime::install(&mut m);
+        let mut b = FunctionBuilder::new("main", 0);
+        build(&mut m, &mut b, rt);
+        let main = m.add_function(b.build());
+        m.set_entry(main);
+        m
+    }
+
+    #[test]
+    fn sbrk_bumps_the_break() {
+        let m = with_main(|_, b, rt| {
+            let e = b.entry();
+            let p1 = b.call(e, rt.sbrk, vec![Operand::imm(4)], true).unwrap();
+            let p2 = b.call(e, rt.sbrk, vec![Operand::imm(4)], true).unwrap();
+            let d = b.bin(e, BinOp::Sub, p2.into(), p1.into());
+            b.push(e, Inst::Ret { val: Some(d.into()) });
+        });
+        assert_eq!(run(&m, 10_000).unwrap().return_value, Some(32));
+    }
+
+    #[test]
+    fn malloc_free_reuses_blocks() {
+        let m = with_main(|_, b, rt| {
+            let e = b.entry();
+            let p1 = b.call(e, rt.malloc, vec![Operand::imm(8)], true).unwrap();
+            b.call(e, rt.free, vec![p1.into()], false);
+            let p2 = b.call(e, rt.malloc, vec![Operand::imm(8)], true).unwrap();
+            // LIFO free list: p2 == p1
+            let same = b.bin(e, BinOp::CmpEq, p1.into(), p2.into());
+            b.push(e, Inst::Ret { val: Some(same.into()) });
+        });
+        assert_eq!(run(&m, 10_000).unwrap().return_value, Some(1));
+    }
+
+    #[test]
+    fn malloc_returns_distinct_live_blocks() {
+        let m = with_main(|_, b, rt| {
+            let e = b.entry();
+            let p1 = b.call(e, rt.malloc, vec![Operand::imm(2)], true).unwrap();
+            let p2 = b.call(e, rt.malloc, vec![Operand::imm(2)], true).unwrap();
+            b.store(e, Operand::imm(11), MemRef::reg(p1, 0));
+            b.store(e, Operand::imm(22), MemRef::reg(p2, 0));
+            let a = b.load(e, MemRef::reg(p1, 0));
+            let c = b.load(e, MemRef::reg(p2, 0));
+            let s = b.bin(e, BinOp::Add, a.into(), c.into());
+            b.push(e, Inst::Ret { val: Some(s.into()) });
+        });
+        assert_eq!(run(&m, 10_000).unwrap().return_value, Some(33));
+    }
+
+    #[test]
+    fn memcpy_and_memset_work() {
+        let m = with_main(|_, b, rt| {
+            let e = b.entry();
+            let src = b.call(e, rt.malloc, vec![Operand::imm(4)], true).unwrap();
+            let dst = b.call(e, rt.malloc, vec![Operand::imm(4)], true).unwrap();
+            b.call(e, rt.memset, vec![src.into(), Operand::imm(9), Operand::imm(4)], false);
+            b.call(e, rt.memcpy, vec![dst.into(), src.into(), Operand::imm(4)], false);
+            let v = b.load(e, MemRef::reg(dst, 24));
+            b.push(e, Inst::Ret { val: Some(v.into()) });
+        });
+        assert_eq!(run(&m, 100_000).unwrap().return_value, Some(9));
+    }
+
+    #[test]
+    fn calloc_zeroes_and_memcmp_compares() {
+        let m = with_main(|_, b, rt| {
+            let e = b.entry();
+            let p = b.call(e, rt.malloc, vec![Operand::imm(4)], true).unwrap();
+            b.call(e, rt.memset, vec![p.into(), Operand::imm(9), Operand::imm(4)], false);
+            b.call(e, rt.free, vec![p.into()], false);
+            // calloc reuses the freed block and must zero the stale 9s.
+            let q = b.call(e, rt.calloc, vec![Operand::imm(4)], true).unwrap();
+            let v = b.load(e, MemRef::reg(q, 16));
+            let r = b.call(e, rt.calloc, vec![Operand::imm(4)], true).unwrap();
+            let eq = b.call(e, rt.memcmp, vec![q.into(), r.into(), Operand::imm(4)], true).unwrap();
+            b.store(e, Operand::imm(5), MemRef::reg(r, 8));
+            let ne = b.call(e, rt.memcmp, vec![q.into(), r.into(), Operand::imm(4)], true).unwrap();
+            // v=0, eq=0, ne=2 (first diff at index 1 → 2)
+            let s1 = b.bin(e, BinOp::Add, v.into(), eq.into());
+            let s2 = b.bin(e, BinOp::Add, s1.into(), ne.into());
+            b.push(e, Inst::Ret { val: Some(s2.into()) });
+        });
+        assert_eq!(run(&m, 100_000).unwrap().return_value, Some(2));
+    }
+
+    #[test]
+    fn allocator_functions_compile_into_regions() {
+        use cwsp_compiler::pipeline::{CompileOptions, CwspCompiler};
+        let m = with_main(|_, b, rt| {
+            let e = b.entry();
+            let p = b.call(e, rt.malloc, vec![Operand::imm(4)], true).unwrap();
+            b.call(e, rt.free, vec![p.into()], false);
+            let q = b.call(e, rt.malloc, vec![Operand::imm(4)], true).unwrap();
+            b.push(e, Inst::Ret { val: Some(q.into()) });
+        });
+        let oracle = run(&m, 100_000).unwrap();
+        let c = CwspCompiler::new(CompileOptions::default()).compile(&m);
+        // malloc's load-then-store of the break pointer forces antidep cuts.
+        assert!(c.stats.antidep_cuts > 0);
+        let out = run(&c.module, 200_000).unwrap();
+        assert_eq!(out.return_value, oracle.return_value);
+        cwsp_compiler::verify::check_all(&m, &c.module, &c.slices, 200_000).unwrap();
+    }
+}

@@ -1,0 +1,121 @@
+//! Residual-energy and battery-budget accounting.
+//!
+//! A central argument of the paper (§I, §II-D) is *energy*: eADR must hold
+//! enough charge to flush entire LLCs (hundreds of MB on server parts), Capri
+//! keeps per-core redo buffers battery-backed at all times, while cWSP only
+//! ever needs the ADR guarantee — finishing the WPQ entries already at the
+//! memory controllers. This module quantifies those budgets for each scheme
+//! so the claim is checkable rather than rhetorical.
+//!
+//! The model is deliberately simple and sourced from the paper's own
+//! numbers: flushing one byte from a volatile buffer to NVM costs
+//! [`FLUSH_NJ_PER_BYTE`]; the battery budget of a scheme is the worst-case
+//! number of bytes it promises to flush at power failure.
+
+use crate::config::SimConfig;
+use crate::scheme::Scheme;
+
+/// Energy to move one byte from a volatile buffer into NVM at power failure
+/// (nJ/B). The absolute constant cancels in scheme ratios; it is calibrated
+/// to PMEM write energy (~1 nJ per 8-byte word).
+pub const FLUSH_NJ_PER_BYTE: f64 = 0.125;
+
+/// An eADR-class design must flush the entire LLC; use the AMD EPYC 9654P's
+/// 384 MB L3 the paper cites (§I) for the server-class bound.
+pub const SERVER_LLC_BYTES: u64 = 384 << 20;
+
+/// Worst-case bytes a scheme must flush on power failure, per core, for the
+/// given machine configuration.
+///
+/// * **cWSP**: only the WPQ entries already at the MCs are in the persistence
+///   domain; each holds an 8-byte word plus an 8-byte undo-log record.
+/// * **Capri**: the battery-backed redo buffer (18 KB) per core plus its
+///   proxy-buffer share at each MC.
+/// * **eADR / ideal PSP**: the entire volatile cache hierarchy.
+/// * **Baseline / ReplayCache**: ADR only (same WPQ bound as cWSP; Replay-
+///   Cache persists synchronously so nothing else is outstanding).
+pub fn flush_bytes_per_core(scheme: Scheme, cfg: &SimConfig) -> u64 {
+    let wpq_bytes =
+        (cfg.wpq_entries as u64 * 16 * cfg.mem_controllers as u64) / cfg.cores.max(1) as u64;
+    match scheme {
+        Scheme::Cwsp(_) | Scheme::Baseline | Scheme::ReplayCache => wpq_bytes,
+        Scheme::Capri => {
+            let redo = 18 << 10;
+            let proxy_share = (cfg.mem_controllers as u64 * (18 << 10)) / cfg.cores.max(1) as u64;
+            redo + proxy_share + wpq_bytes
+        }
+        Scheme::IdealPsp => {
+            // Battery-backed volatile hierarchy: every SRAM level plus the
+            // server-class LLC bound, amortized per core.
+            let sram: u64 = cfg.sram_levels.iter().map(|l| l.size_bytes).sum();
+            sram + SERVER_LLC_BYTES / cfg.cores.max(1) as u64
+        }
+    }
+}
+
+/// Worst-case joules of residual energy a scheme's battery/capacitor bank
+/// must hold for one core.
+pub fn battery_budget_joules(scheme: Scheme, cfg: &SimConfig) -> f64 {
+    flush_bytes_per_core(scheme, cfg) as f64 * FLUSH_NJ_PER_BYTE * 1e-9
+}
+
+/// A per-run energy report for NVM write traffic (the 8× write-amplification
+/// argument of §II-D becomes a measurable joule figure).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyReport {
+    /// NVM word writes performed (data + log amplification).
+    pub nvm_word_writes: u64,
+    /// Energy spent on those writes, in joules.
+    pub nvm_write_joules: f64,
+    /// Worst-case battery budget for the scheme (per core), joules.
+    pub battery_joules: f64,
+}
+
+/// Build a report from a run's NVM write count.
+pub fn report(scheme: Scheme, cfg: &SimConfig, nvm_word_writes: u64) -> EnergyReport {
+    EnergyReport {
+        nvm_word_writes,
+        nvm_write_joules: nvm_word_writes as f64 * 8.0 * FLUSH_NJ_PER_BYTE * 1e-9,
+        battery_joules: battery_budget_joules(scheme, cfg),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cwsp_battery_is_orders_of_magnitude_below_psp() {
+        let cfg = SimConfig::default();
+        let cwsp = battery_budget_joules(Scheme::cwsp(), &cfg);
+        let capri = battery_budget_joules(Scheme::Capri, &cfg);
+        let psp = battery_budget_joules(Scheme::IdealPsp, &cfg);
+        assert!(cwsp < capri, "cwsp {cwsp} !< capri {capri}");
+        assert!(capri < psp, "capri {capri} !< psp {psp}");
+        // The paper's qualitative claim: eADR-class flushing is unsustainable
+        // versus cWSP's ADR-only bound — orders of magnitude apart.
+        assert!(psp / cwsp > 1000.0, "ratio only {}", psp / cwsp);
+    }
+
+    #[test]
+    fn flush_bytes_match_structures() {
+        let cfg = SimConfig::default();
+        // 24 WPQ entries × 16 B × 2 MCs / 1 core
+        assert_eq!(flush_bytes_per_core(Scheme::cwsp(), &cfg), 24 * 16 * 2);
+        assert_eq!(
+            flush_bytes_per_core(Scheme::Baseline, &cfg),
+            flush_bytes_per_core(Scheme::ReplayCache, &cfg)
+        );
+        let capri = flush_bytes_per_core(Scheme::Capri, &cfg);
+        assert!(capri >= 18 << 10, "redo buffer alone is 18 KB: {capri}");
+    }
+
+    #[test]
+    fn report_scales_with_writes() {
+        let cfg = SimConfig::default();
+        let a = report(Scheme::cwsp(), &cfg, 1_000);
+        let b = report(Scheme::cwsp(), &cfg, 8_000);
+        assert!((b.nvm_write_joules / a.nvm_write_joules - 8.0).abs() < 1e-9);
+        assert_eq!(a.battery_joules, b.battery_joules);
+    }
+}

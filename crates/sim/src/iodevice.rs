@@ -1,0 +1,120 @@
+//! I/O device with per-region redo buffers (§VIII "I/O and Device States").
+//!
+//! Irrevocable operations (device output) cannot be undone by re-execution,
+//! so cWSP's discussion section proposes battery-backed FIFO redo buffers,
+//! one per in-flight region: a region's I/O is held in its buffer and
+//! released to the device only when the region becomes persisted. On power
+//! failure the buffers of *persisted* regions are flushed front-to-rear,
+//! stopping at the first unpersisted region — so the device state rolls back
+//! exactly to the recovery point and re-execution re-emits the rest.
+//!
+//! The machine routes every `Out` effect through an [`IoDevice`]; the
+//! "device" here is the observable output stream the crash-consistency
+//! verifier compares against the oracle.
+
+use cwsp_ir::types::{DynRegionId, Word};
+use std::collections::BTreeMap;
+
+/// A device fed through per-region redo buffers.
+#[derive(Debug, Clone, Default)]
+pub struct IoDevice {
+    /// Output that reached the device (battery-backed, crash-surviving).
+    flushed: Vec<Word>,
+    /// Pending output per unpersisted region, in emission order.
+    redo: BTreeMap<DynRegionId, Vec<Word>>,
+}
+
+impl IoDevice {
+    /// An idle device.
+    pub fn new() -> Self {
+        IoDevice::default()
+    }
+
+    /// Hold `value` in `region`'s redo buffer.
+    pub fn emit(&mut self, region: DynRegionId, value: Word) {
+        self.redo.entry(region).or_default().push(value);
+    }
+
+    /// Bypass the redo buffers (schemes without region tracking).
+    pub fn emit_direct(&mut self, value: Word) {
+        self.flushed.push(value);
+    }
+
+    /// `region` persisted: release its buffer to the device.
+    ///
+    /// Regions retire from the RBT head in order, so front-to-rear FIFO
+    /// release is preserved.
+    pub fn flush_region(&mut self, region: DynRegionId) {
+        if let Some(vals) = self.redo.remove(&region) {
+            self.flushed.extend(vals);
+        }
+    }
+
+    /// Output that reached the device so far.
+    pub fn flushed(&self) -> &[Word] {
+        &self.flushed
+    }
+
+    /// Words still held in redo buffers.
+    pub fn pending(&self) -> usize {
+        self.redo.values().map(Vec::len).sum()
+    }
+
+    /// Number of regions with pending I/O.
+    pub fn pending_regions(&self) -> usize {
+        self.redo.len()
+    }
+
+    /// Power failure: unpersisted regions' buffers are discarded (their
+    /// regions re-execute and re-emit); the device keeps what was flushed.
+    /// Returns the surviving output.
+    pub fn crash(self) -> Vec<Word> {
+        self.flushed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_held_until_region_persists() {
+        let mut d = IoDevice::new();
+        d.emit(DynRegionId(1), 10);
+        d.emit(DynRegionId(1), 11);
+        d.emit(DynRegionId(2), 20);
+        assert_eq!(d.flushed(), &[] as &[Word]);
+        assert_eq!(d.pending(), 3);
+        assert_eq!(d.pending_regions(), 2);
+        d.flush_region(DynRegionId(1));
+        assert_eq!(d.flushed(), &[10, 11]);
+        assert_eq!(d.pending(), 1);
+        d.flush_region(DynRegionId(2));
+        assert_eq!(d.flushed(), &[10, 11, 20]);
+    }
+
+    #[test]
+    fn crash_discards_unpersisted_io() {
+        let mut d = IoDevice::new();
+        d.emit(DynRegionId(1), 1);
+        d.flush_region(DynRegionId(1));
+        d.emit(DynRegionId(2), 2); // never persisted
+        let surviving = d.crash();
+        assert_eq!(surviving, vec![1], "region 2's output re-emits on recovery");
+    }
+
+    #[test]
+    fn direct_emission_bypasses_buffers() {
+        let mut d = IoDevice::new();
+        d.emit_direct(7);
+        assert_eq!(d.flushed(), &[7]);
+        assert_eq!(d.pending(), 0);
+    }
+
+    #[test]
+    fn flushing_unknown_region_is_a_noop() {
+        let mut d = IoDevice::new();
+        d.flush_region(DynRegionId(9));
+        assert!(d.flushed().is_empty());
+    }
+}

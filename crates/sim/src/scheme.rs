@@ -1,0 +1,118 @@
+//! Persistence schemes: cWSP with per-feature toggles, plus every baseline
+//! the paper compares against (§II, §IX-A/D).
+
+/// The cWSP feature set — each flag corresponds to one bar group of the
+/// Fig 15 ablation (region formation is a *compiler* property and is implied
+/// by running a compiled binary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CwspFeatures {
+    /// Persist committed stores through the PB → persist path → WPQ pipeline.
+    /// When off, stores only traverse the cache hierarchy ("+Region
+    /// Formation" config: overhead = extra dynamic instructions only).
+    pub persist_path: bool,
+    /// Memory-controller speculation (§V-B): multiple regions persist
+    /// concurrently under undo logging. When off, the core stalls at every
+    /// region boundary until the previous region fully persisted (the
+    /// conservative multi-MC handling of prior work, §II-B).
+    pub mc_speculation: bool,
+    /// Delay L1D write-buffer drains that race a pending persist (§V-A1).
+    pub wb_delay: bool,
+    /// Delay loads that hit a pending 8-byte WPQ entry (§V-A2).
+    pub wpq_delay: bool,
+}
+
+impl Default for CwspFeatures {
+    fn default() -> Self {
+        CwspFeatures { persist_path: true, mc_speculation: true, wb_delay: true, wpq_delay: true }
+    }
+}
+
+/// Which persistence scheme the machine models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheme {
+    /// The original program on the original hardware, no crash consistency —
+    /// the normalization baseline of every figure.
+    #[default]
+    Baseline,
+    /// cWSP (§III–§V) with the given feature set.
+    Cwsp(CwspFeatures),
+    /// Capri (§II-C/D): per-core battery-backed redo buffer, 64-byte persist
+    /// granularity, 8× write amplification from its redo+undo logging; the
+    /// core stalls at a region end only when the redo buffer is saturated.
+    Capri,
+    /// ReplayCache adapted to a server-class core (§IX-A): cacheline-granular
+    /// synchronous persistence with no speculation — every store waits for
+    /// the persist round trip.
+    ReplayCache,
+    /// The ideal partial-system-persistence configuration
+    /// (BBB/eADR/LightPC, §IX-D): battery-backed volatile hierarchy, but the
+    /// DRAM cache is unavailable — every LLC miss pays full NVM latency. Use
+    /// with `SimConfig::dram_cache = None`.
+    #[allow(clippy::upper_case_acronyms)]
+    IdealPsp,
+}
+
+impl Scheme {
+    /// The full cWSP design.
+    pub fn cwsp() -> Self {
+        Scheme::Cwsp(CwspFeatures::default())
+    }
+
+    /// Whether the scheme routes stores through a persist path.
+    pub fn uses_persist_path(self) -> bool {
+        match self {
+            Scheme::Baseline | Scheme::IdealPsp => false,
+            Scheme::Cwsp(f) => f.persist_path,
+            Scheme::Capri | Scheme::ReplayCache => true,
+        }
+    }
+
+    /// Persist-path granularity in bytes (8 for cWSP, 64 for the cacheline
+    /// schemes — §V-A2's eightfold bandwidth reduction).
+    pub fn persist_granularity(self) -> u64 {
+        match self {
+            Scheme::Cwsp(_) => 8,
+            _ => 64,
+        }
+    }
+
+    /// Short display name for harness output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::Baseline => "baseline",
+            Scheme::Cwsp(_) => "cwsp",
+            Scheme::Capri => "capri",
+            Scheme::ReplayCache => "replaycache",
+            Scheme::IdealPsp => "ideal-psp",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_enable_everything() {
+        let f = CwspFeatures::default();
+        assert!(f.persist_path && f.mc_speculation && f.wb_delay && f.wpq_delay);
+        assert_eq!(Scheme::cwsp().name(), "cwsp");
+    }
+
+    #[test]
+    fn granularity_matches_paper() {
+        assert_eq!(Scheme::cwsp().persist_granularity(), 8);
+        assert_eq!(Scheme::Capri.persist_granularity(), 64);
+        assert_eq!(Scheme::ReplayCache.persist_granularity(), 64);
+    }
+
+    #[test]
+    fn path_usage() {
+        assert!(!Scheme::Baseline.uses_persist_path());
+        assert!(!Scheme::IdealPsp.uses_persist_path());
+        assert!(Scheme::Capri.uses_persist_path());
+        let mut f = CwspFeatures::default();
+        f.persist_path = false;
+        assert!(!Scheme::Cwsp(f).uses_persist_path());
+    }
+}

@@ -1,0 +1,196 @@
+//! Simulation statistics — the raw material of every figure in §IX.
+
+/// Counters collected during one simulation run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimStats {
+    /// Total cycles simulated.
+    pub cycles: u64,
+    /// Dynamic instructions executed (all cores).
+    pub insts: u64,
+    /// Dynamic loads.
+    pub loads: u64,
+    /// Dynamic stores (program data, excluding checkpoints).
+    pub stores: u64,
+    /// Checkpoint stores (§IV-B traffic).
+    pub ckpt_stores: u64,
+    /// Frame spill/restore words written by calls and returns.
+    pub frame_stores: u64,
+    /// Atomics and fences committed.
+    pub syncs: u64,
+    /// Dynamic regions started.
+    pub regions: u64,
+    /// Dynamic instructions accumulated over finished regions (Fig 19's
+    /// numerator; divide by [`SimStats::regions`]).
+    pub region_insts: u64,
+    /// Loads that hit a pending WPQ entry and were delayed (Fig 8).
+    pub wpq_hits: u64,
+    /// WB drains held back by a PB match (§V-A1).
+    pub wb_delays: u64,
+    /// Σ WB occupancy per cycle (Fig 6's numerator).
+    pub wb_occupancy_sum: u64,
+    /// Σ PB occupancy per cycle.
+    pub pb_occupancy_sum: u64,
+    /// Cycles stalled because the PB was full.
+    pub stall_pb: u64,
+    /// Cycles stalled because the RBT was full (or boundary-drain without MC
+    /// speculation).
+    pub stall_rbt: u64,
+    /// Cycles stalled because the WB was full.
+    pub stall_wb: u64,
+    /// Cycles stalled draining at synchronization points.
+    pub stall_sync: u64,
+    /// Cycles stalled on WPQ-hit load delays.
+    pub stall_wpq: u64,
+    /// Cycles stalled waiting for a redo-buffer slot (Capri) or synchronous
+    /// persist completion (ReplayCache).
+    pub stall_scheme: u64,
+    /// L1 data cache (hits, misses).
+    pub l1: (u64, u64),
+    /// Deepest shared SRAM level (hits, misses).
+    pub llc_sram: (u64, u64),
+    /// DRAM cache (hits, misses).
+    pub dram_cache: (u64, u64),
+    /// Reads serviced by main memory (NVM).
+    pub nvm_reads: u64,
+    /// NVM word writes (data + log amplification).
+    pub nvm_writes: u64,
+    /// Undo-log records appended across all MCs.
+    pub log_appends: u64,
+    /// Peak live undo-log records across all MCs.
+    pub peak_live_logs: usize,
+    /// Histogram of dynamic region sizes in instruction-count buckets
+    /// `[1-4, 5-8, 9-16, 17-32, 33-64, 65-128, 129+]` (Fig 19's
+    /// distribution, not just its average).
+    pub region_size_hist: [u64; 7],
+}
+
+impl SimStats {
+    /// Average WB occupancy in entries (Fig 6).
+    pub fn avg_wb_occupancy(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.wb_occupancy_sum as f64 / self.cycles as f64
+        }
+    }
+
+    /// Average PB occupancy in entries.
+    pub fn avg_pb_occupancy(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.pb_occupancy_sum as f64 / self.cycles as f64
+        }
+    }
+
+    /// WPQ hits per million instructions (Fig 8).
+    pub fn wpq_hits_per_minst(&self) -> f64 {
+        if self.insts == 0 {
+            0.0
+        } else {
+            self.wpq_hits as f64 * 1e6 / self.insts as f64
+        }
+    }
+
+    /// Record one finished region of `n` instructions into the histogram.
+    pub fn record_region_size(&mut self, n: u64) {
+        let b = match n {
+            0..=4 => 0,
+            5..=8 => 1,
+            9..=16 => 2,
+            17..=32 => 3,
+            33..=64 => 4,
+            65..=128 => 5,
+            _ => 6,
+        };
+        self.region_size_hist[b] += 1;
+    }
+
+    /// Histogram bucket labels matching [`SimStats::region_size_hist`].
+    pub const REGION_BUCKETS: [&'static str; 7] =
+        ["1-4", "5-8", "9-16", "17-32", "33-64", "65-128", "129+"];
+
+    /// Average dynamic instructions per region (Fig 19).
+    pub fn avg_region_insts(&self) -> f64 {
+        if self.regions == 0 {
+            0.0
+        } else {
+            self.region_insts as f64 / self.regions as f64
+        }
+    }
+
+    /// Instructions per cycle across all cores.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.insts as f64 / self.cycles as f64
+        }
+    }
+
+    /// L1 data cache miss ratio.
+    pub fn l1_miss_ratio(&self) -> f64 {
+        ratio(self.l1)
+    }
+
+    /// Shared-LLC (deepest SRAM) miss ratio.
+    pub fn llc_miss_ratio(&self) -> f64 {
+        ratio(self.llc_sram)
+    }
+}
+
+fn ratio((h, m): (u64, u64)) -> f64 {
+    if h + m == 0 {
+        0.0
+    } else {
+        m as f64 / (h + m) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let s = SimStats {
+            cycles: 100,
+            insts: 2_000_000,
+            wb_occupancy_sum: 39,
+            pb_occupancy_sum: 250,
+            wpq_hits: 3,
+            regions: 10,
+            region_insts: 381,
+            l1: (90, 10),
+            llc_sram: (1, 1),
+            ..Default::default()
+        };
+        assert!((s.avg_wb_occupancy() - 0.39).abs() < 1e-12);
+        assert!((s.avg_pb_occupancy() - 2.5).abs() < 1e-12);
+        assert!((s.wpq_hits_per_minst() - 1.5).abs() < 1e-12);
+        assert!((s.avg_region_insts() - 38.1).abs() < 1e-12);
+        assert!((s.ipc() - 20000.0).abs() < 1e-9);
+        assert!((s.l1_miss_ratio() - 0.1).abs() < 1e-12);
+        assert!((s.llc_miss_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn region_histogram_buckets() {
+        let mut s = SimStats::default();
+        for n in [1, 4, 5, 16, 17, 64, 65, 500] {
+            s.record_region_size(n);
+        }
+        assert_eq!(s.region_size_hist, [2, 1, 1, 1, 1, 1, 1]);
+        assert_eq!(SimStats::REGION_BUCKETS.len(), s.region_size_hist.len());
+    }
+
+    #[test]
+    fn zero_division_guards() {
+        let s = SimStats::default();
+        assert_eq!(s.avg_wb_occupancy(), 0.0);
+        assert_eq!(s.wpq_hits_per_minst(), 0.0);
+        assert_eq!(s.avg_region_insts(), 0.0);
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.l1_miss_ratio(), 0.0);
+    }
+}

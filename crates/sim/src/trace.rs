@@ -1,0 +1,175 @@
+//! Bounded event tracing for the persist machinery.
+//!
+//! Debugging crash-consistency issues requires seeing the interleaving of
+//! region lifecycle events, persist traffic, and stalls around the failure
+//! point. [`Trace`] is a fixed-capacity ring of [`Event`]s the machine can be
+//! asked to record; the newest events — the ones leading up to a crash — are
+//! always retained.
+
+use cwsp_ir::types::{DynRegionId, Word};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One traced machine event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A dynamic region was opened on `core`.
+    RegionOpen { cycle: u64, core: usize, region: DynRegionId },
+    /// A region fully persisted and retired from the RBT head.
+    RegionRetire { cycle: u64, core: usize, region: DynRegionId },
+    /// A store entered the persist buffer.
+    PersistIssue { cycle: u64, core: usize, region: DynRegionId, addr: Word },
+    /// A store reached a WPQ (and became persistent).
+    PersistArrive { cycle: u64, mc: usize, region: DynRegionId, addr: Word },
+    /// An undo-log record was appended at an MC.
+    UndoLogged { cycle: u64, mc: usize, region: DynRegionId, addr: Word },
+    /// The core stalled (`kind` is a static label: "pb", "rbt", "sync", …).
+    Stall { cycle: u64, core: usize, kind: &'static str },
+    /// Power failed.
+    PowerFailure { cycle: u64 },
+}
+
+impl Event {
+    /// The cycle the event occurred at.
+    pub fn cycle(&self) -> u64 {
+        match self {
+            Event::RegionOpen { cycle, .. }
+            | Event::RegionRetire { cycle, .. }
+            | Event::PersistIssue { cycle, .. }
+            | Event::PersistArrive { cycle, .. }
+            | Event::UndoLogged { cycle, .. }
+            | Event::Stall { cycle, .. }
+            | Event::PowerFailure { cycle } => *cycle,
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::RegionOpen { cycle, core, region } => {
+                write!(f, "[{cycle:>8}] core{core} open   {region}")
+            }
+            Event::RegionRetire { cycle, core, region } => {
+                write!(f, "[{cycle:>8}] core{core} retire {region}")
+            }
+            Event::PersistIssue { cycle, core, region, addr } => {
+                write!(f, "[{cycle:>8}] core{core} issue  {region} @{addr:#x}")
+            }
+            Event::PersistArrive { cycle, mc, region, addr } => {
+                write!(f, "[{cycle:>8}] mc{mc}   arrive {region} @{addr:#x}")
+            }
+            Event::UndoLogged { cycle, mc, region, addr } => {
+                write!(f, "[{cycle:>8}] mc{mc}   undo   {region} @{addr:#x}")
+            }
+            Event::Stall { cycle, core, kind } => {
+                write!(f, "[{cycle:>8}] core{core} stall  ({kind})")
+            }
+            Event::PowerFailure { cycle } => write!(f, "[{cycle:>8}] POWER FAILURE"),
+        }
+    }
+}
+
+/// A fixed-capacity ring of machine events (newest kept).
+#[derive(Debug, Clone)]
+pub struct Trace {
+    cap: usize,
+    events: VecDeque<Event>,
+    dropped: u64,
+}
+
+impl Trace {
+    /// A trace retaining at most `cap` events.
+    pub fn new(cap: usize) -> Self {
+        Trace { cap: cap.max(1), events: VecDeque::with_capacity(cap.min(4096)), dropped: 0 }
+    }
+
+    /// Record an event (evicting the oldest when full).
+    pub fn record(&mut self, e: Event) {
+        if self.events.len() == self.cap {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(e);
+    }
+
+    /// Events in chronological order.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted due to capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The last `n` events formatted one per line (crash post-mortems).
+    pub fn tail(&self, n: usize) -> String {
+        let skip = self.events.len().saturating_sub(n);
+        self.events
+            .iter()
+            .skip(skip)
+            .map(|e| e.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_newest() {
+        let mut t = Trace::new(3);
+        for c in 0..5 {
+            t.record(Event::PowerFailure { cycle: c });
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let cycles: Vec<u64> = t.events().map(|e| e.cycle()).collect();
+        assert_eq!(cycles, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn display_formats_are_greppable() {
+        let e = Event::PersistArrive {
+            cycle: 42,
+            mc: 1,
+            region: DynRegionId(7),
+            addr: 0x1000,
+        };
+        let s = e.to_string();
+        assert!(s.contains("mc1") && s.contains("dyn7") && s.contains("0x1000"), "{s}");
+        let open = Event::RegionOpen { cycle: 1, core: 0, region: DynRegionId(0) };
+        assert!(open.to_string().contains("open"));
+    }
+
+    #[test]
+    fn tail_returns_last_lines() {
+        let mut t = Trace::new(10);
+        for c in 0..6 {
+            t.record(Event::Stall { cycle: c, core: 0, kind: "pb" });
+        }
+        let tail = t.tail(2);
+        assert_eq!(tail.lines().count(), 2);
+        assert!(tail.contains("[       5]"));
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::new(4);
+        assert!(t.is_empty());
+        assert_eq!(t.tail(3), "");
+    }
+}

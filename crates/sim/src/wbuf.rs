@@ -1,0 +1,115 @@
+//! The L1D write buffer (WB) and cWSP's stale-read fix (§V-A1).
+//!
+//! Dirty L1D evictions park in the WB before draining to the shared L2. cWSP
+//! delays the drain of the head entry while the persist buffer still holds a
+//! store to the same cacheline — the cheap, coherence-agnostic guarantee that
+//! a load missing the LLC can never observe NVM state older than what the
+//! caches would have supplied (the "stale read issue" of §II-A).
+
+use std::collections::VecDeque;
+
+/// The per-core write buffer.
+#[derive(Debug, Clone, Default)]
+pub struct WriteBuffer {
+    cap: usize,
+    /// Line-aligned addresses of parked dirty evictions (FIFO).
+    lines: VecDeque<u64>,
+    /// Earliest cycle the next drain may happen.
+    next_drain_at: u64,
+    /// Cycle interval between drains.
+    drain_interval: u64,
+}
+
+impl WriteBuffer {
+    /// A WB with `cap` entries draining one line per `drain_interval` cycles.
+    pub fn new(cap: usize, drain_interval: u64) -> Self {
+        WriteBuffer { cap, lines: VecDeque::new(), next_drain_at: 0, drain_interval }
+    }
+
+    /// Whether a new dirty eviction can be parked.
+    pub fn has_space(&self) -> bool {
+        self.lines.len() < self.cap
+    }
+
+    /// Occupancy (Fig 6's metric).
+    pub fn occupancy(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Park a dirty eviction.
+    ///
+    /// # Panics
+    /// Panics when full — the core must stall instead.
+    pub fn push(&mut self, line: u64) {
+        assert!(self.has_space(), "WB overflow — core must stall");
+        self.lines.push_back(line);
+    }
+
+    /// Attempt one drain at `cycle`. `delayed(line)` implements the cWSP PB
+    /// CAM check: while it returns true the head is held (§V-A1). Returns the
+    /// drained line, or `None` (empty, rate-limited, or delayed — the latter
+    /// is reported through `was_delayed`).
+    pub fn try_drain(
+        &mut self,
+        cycle: u64,
+        mut delayed: impl FnMut(u64) -> bool,
+        was_delayed: &mut bool,
+    ) -> Option<u64> {
+        *was_delayed = false;
+        if cycle < self.next_drain_at {
+            return None;
+        }
+        let head = *self.lines.front()?;
+        if delayed(head) {
+            *was_delayed = true;
+            return None;
+        }
+        self.next_drain_at = cycle + self.drain_interval;
+        self.lines.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_drain_with_rate_limit() {
+        let mut wb = WriteBuffer::new(4, 10);
+        wb.push(0x1000);
+        wb.push(0x2000);
+        let mut d = false;
+        assert_eq!(wb.try_drain(0, |_| false, &mut d), Some(0x1000));
+        assert_eq!(wb.try_drain(5, |_| false, &mut d), None, "rate limited");
+        assert_eq!(wb.try_drain(10, |_| false, &mut d), Some(0x2000));
+        assert_eq!(wb.occupancy(), 0);
+    }
+
+    #[test]
+    fn pb_match_holds_head() {
+        let mut wb = WriteBuffer::new(4, 1);
+        wb.push(0x1000);
+        let mut d = false;
+        assert_eq!(wb.try_drain(0, |l| l == 0x1000, &mut d), None);
+        assert!(d, "delay reported");
+        assert_eq!(wb.occupancy(), 1, "entry still parked");
+        assert_eq!(wb.try_drain(1, |_| false, &mut d), Some(0x1000));
+        assert!(!d);
+    }
+
+    #[test]
+    #[should_panic(expected = "WB overflow")]
+    fn overflow_panics() {
+        let mut wb = WriteBuffer::new(1, 1);
+        wb.push(0);
+        wb.push(64);
+    }
+
+    #[test]
+    fn empty_drain_is_none() {
+        let mut wb = WriteBuffer::new(1, 1);
+        let mut d = false;
+        assert_eq!(wb.try_drain(0, |_| false, &mut d), None);
+        assert!(!d);
+    }
+}

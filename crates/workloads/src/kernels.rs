@@ -1,0 +1,499 @@
+//! Reusable IR kernel generators.
+//!
+//! Each benchmark in the paper's six suites is characterized, for the
+//! purposes of its figures, by a mix of memory behaviours: sequential
+//! read-modify-write sweeps, stencils, random walks, hash/transactional
+//! updates, reductions, pointer chases, scatter writes. These generators emit
+//! those behaviours as IR loops; the per-app builders in the suite modules
+//! compose and parameterize them.
+//!
+//! The kernels are written the way an optimizing compiler would schedule
+//! them: bodies are unrolled (4 elements per iteration), all loads precede
+//! all stores (so one region cut covers every read-modify-write pair), and
+//! loop-carried updates use the two-phase `t = f(x); x = t` form with the
+//! copies grouped at the end (one cut covers all of them, and the temporaries
+//! never cross a boundary — no checkpoints for them). This yields dynamic
+//! regions in the 15–40-instruction range, matching the paper's Fig 19
+//! characteristics.
+//!
+//! All generators take an *unterminated* block, append code (possibly adding
+//! blocks), and return a new unterminated block to continue in.
+
+use cwsp_ir::builder::{build_counted_loop, build_counted_loop_multi, FunctionBuilder};
+use cwsp_ir::function::BlockId;
+use cwsp_ir::inst::{BinOp, Inst, MemRef, Operand};
+use cwsp_ir::types::{Reg, Word};
+
+/// Unroll factor of the element-wise kernels.
+pub const UNROLL: Word = 4;
+
+/// LCG constants for deterministic pseudo-random address streams.
+const LCG_A: Word = 6364136223846793005;
+const LCG_C: Word = 1442695040888963407;
+
+/// Emit `value = lcg(value)` and return the register holding the new value.
+fn lcg_step(b: &mut FunctionBuilder, bb: BlockId, state: Operand) -> Reg {
+    let t = b.bin(bb, BinOp::Mul, state, Operand::imm(LCG_A));
+    b.bin(bb, BinOp::Add, t.into(), Operand::imm(LCG_C))
+}
+
+/// Compute `addr = base + ((v >> 11) & mask) * 8` (mask = words-1, a power of
+/// two) and return the address register.
+fn masked_addr(
+    b: &mut FunctionBuilder,
+    bb: BlockId,
+    base: Word,
+    words_pow2: Word,
+    v: Operand,
+) -> Reg {
+    debug_assert!(words_pow2.is_power_of_two());
+    let h = b.bin(bb, BinOp::ShrL, v, Operand::imm(11));
+    let idx = b.bin(bb, BinOp::And, h.into(), Operand::imm(words_pow2 - 1));
+    let off = b.bin(bb, BinOp::Shl, idx.into(), Operand::imm(3));
+    b.bin(bb, BinOp::Add, off.into(), Operand::imm(base))
+}
+
+/// Sequential read-modify-write sweep, 4 elements per iteration:
+/// `a[(i*4+k)*stride % words] += f(i)` for `k in 0..4`.
+///
+/// `stride` is in words; use `>= 8` to touch a fresh cacheline per element
+/// (lbm-like miss rates) or `1` for L1-friendly dense writes (SPLASH-3's
+/// write storms).
+pub fn rmw_sweep(
+    b: &mut FunctionBuilder,
+    bb: BlockId,
+    base: Word,
+    words_pow2: Word,
+    stride: Word,
+    iters: Word,
+) -> BlockId {
+    rmw_sweep_frac(b, bb, base, words_pow2, stride, iters, UNROLL)
+}
+
+/// [`rmw_sweep`] with a configurable number of written-back elements per
+/// iteration (`stores` in `1..=UNROLL`): all four elements are loaded and
+/// computed on, but only the first `stores` are written back — the knob for
+/// an app's store density.
+#[allow(clippy::too_many_arguments)]
+pub fn rmw_sweep_frac(
+    b: &mut FunctionBuilder,
+    bb: BlockId,
+    base: Word,
+    words_pow2: Word,
+    stride: Word,
+    iters: Word,
+    stores: Word,
+) -> BlockId {
+    let (_, exit) = build_counted_loop(b, bb, Operand::imm(iters), |b, body, i| {
+        let ebase = b.bin(body, BinOp::Mul, i.into(), Operand::imm(UNROLL * stride));
+        // Address computation for all four elements.
+        let addrs: Vec<Reg> = (0..UNROLL)
+            .map(|k| {
+                let e = b.bin(body, BinOp::Add, ebase.into(), Operand::imm(k * stride));
+                let idx = b.bin(body, BinOp::And, e.into(), Operand::imm(words_pow2 - 1));
+                let off = b.bin(body, BinOp::Shl, idx.into(), Operand::imm(3));
+                b.bin(body, BinOp::Add, off.into(), Operand::imm(base))
+            })
+            .collect();
+        // All loads...
+        let vals: Vec<Reg> = addrs.iter().map(|a| b.load(body, MemRef::reg(*a, 0))).collect();
+        // ...some arithmetic per element...
+        let news: Vec<Reg> = vals
+            .iter()
+            .map(|v| {
+                let t1 = b.bin(body, BinOp::Xor, (*v).into(), i.into());
+                let t2 = b.bin(body, BinOp::Mul, t1.into(), Operand::imm(0x2545F491));
+                let t3 = b.bin(body, BinOp::ShrL, t2.into(), Operand::imm(7));
+                b.bin(body, BinOp::Add, t3.into(), Operand::imm(1))
+            })
+            .collect();
+        // ...then the stores (a single region cut covers every RMW pair).
+        for (a, n) in addrs.iter().zip(&news).take(stores.clamp(1, UNROLL) as usize) {
+            b.store(body, (*n).into(), MemRef::reg(*a, 0));
+        }
+    });
+    exit
+}
+
+/// Three-point stencil over disjoint arrays, 4 elements per iteration:
+/// `dst[i] = src[i-1] + src[i] + src[i+1]`. Reads and writes never alias
+/// (distinct bases), so iterations need no antidependence cuts at all.
+pub fn stencil3(b: &mut FunctionBuilder, bb: BlockId, src: Word, dst: Word, n: Word) -> BlockId {
+    let iters = n / UNROLL;
+    let (_, exit) = build_counted_loop(b, bb, Operand::imm(iters), |b, body, i| {
+        let off = b.bin(body, BinOp::Shl, i.into(), Operand::imm(5)); // 4 words
+        let sa = b.bin(body, BinOp::Add, off.into(), Operand::imm(src));
+        // 6 loads cover the 4 three-point windows.
+        let loads: Vec<Reg> =
+            (0..6).map(|k| b.load(body, MemRef::reg(sa, k * 8))).collect();
+        let da = b.bin(body, BinOp::Add, off.into(), Operand::imm(dst));
+        for k in 0..UNROLL as usize {
+            let s1 = b.bin(body, BinOp::Add, loads[k].into(), loads[k + 1].into());
+            let s2 = b.bin(body, BinOp::Add, s1.into(), loads[k + 2].into());
+            b.store(body, s2.into(), MemRef::reg(da, (k as i64 + 1) * 8));
+        }
+    });
+    exit
+}
+
+/// Random read-modify-write walk over `words_pow2` words (histogram/ssca2/
+/// rbtree-style behaviour), two probes per iteration. `write_every = 1`
+/// makes every probe a RMW; larger values interleave read-only probes.
+pub fn random_walk(
+    b: &mut FunctionBuilder,
+    bb: BlockId,
+    base: Word,
+    words_pow2: Word,
+    steps: Word,
+    seed: Word,
+    write_every: Word,
+) -> BlockId {
+    let state = b.vreg();
+    b.push(bb, Inst::Mov { dst: state, src: Operand::imm(seed) });
+    let iters = (steps / 2).max(1);
+    let (_, exit) = build_counted_loop_multi(b, bb, Operand::imm(iters), |b, body, i| {
+        let n1 = lcg_step(b, body, state.into());
+        let n2 = lcg_step(b, body, n1.into());
+        let a1 = masked_addr(b, body, base, words_pow2, n1.into());
+        let a2 = masked_addr(b, body, base, words_pow2, n2.into());
+        let v1 = b.load(body, MemRef::reg(a1, 0));
+        let v2 = b.load(body, MemRef::reg(a2, 0));
+        let mix = b.bin(body, BinOp::Add, v1.into(), v2.into());
+        // conditional write phase: (i % write_every == 0)
+        let m = b.bin(body, BinOp::RemU, i.into(), Operand::imm(write_every));
+        let is_w = b.bin(body, BinOp::CmpEq, m.into(), Operand::imm(0));
+        let wr = b.block();
+        let cont = b.block();
+        b.push(body, Inst::CondBr { cond: is_w.into(), if_true: wr, if_false: cont });
+        let w1 = b.bin(wr, BinOp::Add, v1.into(), Operand::imm(1));
+        let w2 = b.bin(wr, BinOp::Xor, v2.into(), mix.into());
+        b.store(wr, w1.into(), MemRef::reg(a1, 0));
+        b.store(wr, w2.into(), MemRef::reg(a2, 0));
+        b.push(wr, Inst::Br { target: cont });
+        // two-phase state update, grouped at the tail
+        b.push(cont, Inst::Mov { dst: state, src: n2.into() });
+        cont
+    });
+    exit
+}
+
+/// Read-only reduction: `sum += a[(i*stride) % words]`, four elements per
+/// iteration (milc/nab-style bandwidth-bound reads, almost no NVM stores).
+pub fn reduction(
+    b: &mut FunctionBuilder,
+    bb: BlockId,
+    base: Word,
+    words_pow2: Word,
+    stride: Word,
+    iters: Word,
+    out_addr: Word,
+) -> BlockId {
+    let acc = b.vreg();
+    b.push(bb, Inst::Mov { dst: acc, src: Operand::imm(0) });
+    let (_, exit) = build_counted_loop(b, bb, Operand::imm(iters), |b, body, i| {
+        let ebase = b.bin(body, BinOp::Mul, i.into(), Operand::imm(UNROLL * stride));
+        let mut partial: Operand = Operand::imm(0);
+        for k in 0..UNROLL {
+            let e = b.bin(body, BinOp::Add, ebase.into(), Operand::imm(k * stride));
+            let idx = b.bin(body, BinOp::And, e.into(), Operand::imm(words_pow2 - 1));
+            let off = b.bin(body, BinOp::Shl, idx.into(), Operand::imm(3));
+            let addr = b.bin(body, BinOp::Add, off.into(), Operand::imm(base));
+            let v = b.load(body, MemRef::reg(addr, 0));
+            let s = b.bin(body, BinOp::Add, partial, v.into());
+            partial = s.into();
+        }
+        // two-phase accumulator update
+        let t = b.bin(body, BinOp::Add, acc.into(), partial);
+        b.push(body, Inst::Mov { dst: acc, src: t.into() });
+    });
+    b.store(exit, acc.into(), MemRef::abs(out_addr));
+    exit
+}
+
+/// Compute-heavy inner loop with rare memory traffic (namd/sjeng/leela-style
+/// low-miss compute): `alu_per_iter` dependent ALU ops per iteration, one
+/// accumulator update, one store at the very end.
+pub fn compute_loop(
+    b: &mut FunctionBuilder,
+    bb: BlockId,
+    scratch: Word,
+    iters: Word,
+    alu_per_iter: u32,
+) -> BlockId {
+    let acc = b.vreg();
+    b.push(bb, Inst::Mov { dst: acc, src: Operand::imm(0x9e3779b9) });
+    let (_, exit) = build_counted_loop(b, bb, Operand::imm(iters), |b, body, i| {
+        let mut cur: Operand = acc.into();
+        for k in 0..alu_per_iter {
+            let op = match k % 4 {
+                0 => BinOp::Mul,
+                1 => BinOp::Xor,
+                2 => BinOp::Add,
+                _ => BinOp::ShrL,
+            };
+            let imm = Operand::imm(((k as Word) << 3) | 5);
+            let r = b.bin(body, op, cur, imm);
+            cur = r.into();
+        }
+        let folded = b.bin(body, BinOp::Xor, cur, i.into());
+        // two-phase accumulator update
+        let t = b.bin(body, BinOp::Add, acc.into(), folded.into());
+        b.push(body, Inst::Mov { dst: acc, src: t.into() });
+    });
+    b.store(exit, acc.into(), MemRef::abs(scratch));
+    exit
+}
+
+/// Transactional record update (WHISPER tatp/tpcc-style): pick a random
+/// record of `rec_words` words, read every field, then write `dirty_words`
+/// of them back modified.
+pub fn tx_update(
+    b: &mut FunctionBuilder,
+    bb: BlockId,
+    base: Word,
+    records_pow2: Word,
+    rec_words: Word,
+    dirty_words: Word,
+    txs: Word,
+    seed: Word,
+) -> BlockId {
+    let state = b.vreg();
+    b.push(bb, Inst::Mov { dst: state, src: Operand::imm(seed) });
+    let (_, exit) = build_counted_loop(b, bb, Operand::imm(txs), |b, body, _i| {
+        let nxt = lcg_step(b, body, state.into());
+        let h = b.bin(body, BinOp::ShrL, nxt.into(), Operand::imm(11));
+        let rec = b.bin(body, BinOp::And, h.into(), Operand::imm(records_pow2 - 1));
+        let roff = b.bin(body, BinOp::Mul, rec.into(), Operand::imm(rec_words * 8));
+        let rbase = b.bin(body, BinOp::Add, roff.into(), Operand::imm(base));
+        // read all fields
+        let mut sum: Operand = Operand::imm(0);
+        for w in 0..rec_words {
+            let v = b.load(body, MemRef::reg(rbase, (w * 8) as i64));
+            let s = b.bin(body, BinOp::Add, sum, v.into());
+            sum = s.into();
+        }
+        // write back dirty fields
+        for w in 0..dirty_words.min(rec_words) {
+            let nv = b.bin(body, BinOp::Add, sum, Operand::imm(w + 1));
+            b.store(body, nv.into(), MemRef::reg(rbase, (w * 8) as i64));
+        }
+        // two-phase LCG state commit
+        b.push(body, Inst::Mov { dst: state, src: nxt.into() });
+    });
+    exit
+}
+
+/// Scatter pass (radix/sps-style write storm): sequential reads from `src`,
+/// pseudo-random writes into `dst`, two elements per iteration.
+pub fn scatter(
+    b: &mut FunctionBuilder,
+    bb: BlockId,
+    src: Word,
+    dst: Word,
+    words_pow2: Word,
+    n: Word,
+) -> BlockId {
+    let iters = (n / 2).max(1);
+    let (_, exit) = build_counted_loop(b, bb, Operand::imm(iters), |b, body, i| {
+        let i2 = b.bin(body, BinOp::Shl, i.into(), Operand::imm(1));
+        let idx1 = b.bin(body, BinOp::And, i2.into(), Operand::imm(words_pow2 - 1));
+        let i2b = b.bin(body, BinOp::Add, i2.into(), Operand::imm(1));
+        let idx2 = b.bin(body, BinOp::And, i2b.into(), Operand::imm(words_pow2 - 1));
+        let off1 = b.bin(body, BinOp::Shl, idx1.into(), Operand::imm(3));
+        let off2 = b.bin(body, BinOp::Shl, idx2.into(), Operand::imm(3));
+        let sa1 = b.bin(body, BinOp::Add, off1.into(), Operand::imm(src));
+        let sa2 = b.bin(body, BinOp::Add, off2.into(), Operand::imm(src));
+        let v1 = b.load(body, MemRef::reg(sa1, 0));
+        let v2 = b.load(body, MemRef::reg(sa2, 0));
+        let h1 = lcg_step(b, body, v1.into());
+        let h2 = lcg_step(b, body, v2.into());
+        let da1 = masked_addr(b, body, dst, words_pow2, h1.into());
+        let da2 = masked_addr(b, body, dst, words_pow2, h2.into());
+        b.store(body, v1.into(), MemRef::reg(da1, 0));
+        b.store(body, v2.into(), MemRef::reg(da2, 0));
+    });
+    exit
+}
+
+/// Pointer-chase style dependent loads (raytrace/leela/vacation): the next
+/// address derives from the loaded value.
+pub fn pointer_chase(
+    b: &mut FunctionBuilder,
+    bb: BlockId,
+    base: Word,
+    words_pow2: Word,
+    steps: Word,
+    seed: Word,
+) -> BlockId {
+    let cur = b.vreg();
+    b.push(bb, Inst::Mov { dst: cur, src: Operand::imm(seed) });
+    let (_, exit) = build_counted_loop(b, bb, Operand::imm(steps), |b, body, i| {
+        let addr = masked_addr(b, body, base, words_pow2, cur.into());
+        let v = b.load(body, MemRef::reg(addr, 0));
+        let mixed = b.bin(body, BinOp::Xor, v.into(), i.into());
+        let nxt = lcg_step(b, body, mixed.into());
+        b.push(body, Inst::Mov { dst: cur, src: nxt.into() });
+    });
+    exit
+}
+
+/// Occasional synchronization point (SPLASH3/STAMP lock/barrier behaviour):
+/// an atomic fetch-add on a lock word.
+pub fn sync_point(b: &mut FunctionBuilder, bb: BlockId, lock_addr: Word) {
+    let dst = b.vreg();
+    b.push(bb, Inst::AtomicRmw {
+        op: cwsp_ir::inst::AtomicOp::FetchAdd,
+        dst,
+        addr: MemRef::abs(lock_addr),
+        src: Operand::imm(1),
+        expected: Operand::imm(0),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwsp_ir::module::Module;
+
+    fn run_kernel(
+        build: impl FnOnce(&mut Module, &mut FunctionBuilder, BlockId) -> BlockId,
+    ) -> cwsp_ir::interp::Outcome {
+        let mut m = Module::new("t");
+        let _g = m.add_global("arena", 1 << 20);
+        let mut b = FunctionBuilder::new("main", 0);
+        let e = b.entry();
+        let exit = build(&mut m, &mut b, e);
+        b.push(exit, Inst::Halt);
+        let main = m.add_function(b.build());
+        m.set_entry(main);
+        m.validate().unwrap();
+        cwsp_ir::interp::run(&m, 2_000_000).unwrap()
+    }
+
+    #[test]
+    fn rmw_sweep_touches_unrolled_elements() {
+        let out = run_kernel(|m, b, e| {
+            let base = m.global_addr(cwsp_ir::module::GlobalId(0));
+            rmw_sweep(b, e, base, 64, 1, 4) // 4 iters × 4 elements
+        });
+        // every element 0..16 got (0 ^ i) + 1-ish written; at least nonzero
+        for k in 0..16u64 {
+            assert_ne!(
+                out.memory.load(cwsp_ir::layout::GLOBAL_BASE + k * 8),
+                0,
+                "element {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn stencil_writes_sums() {
+        let out = run_kernel(|m, b, e| {
+            let base = m.global_addr(cwsp_ir::module::GlobalId(0));
+            for i in 0..10 {
+                b.store(e, Operand::imm(i + 1), MemRef::abs(base + i * 8));
+            }
+            stencil3(b, e, base, base + 4096, 8)
+        });
+        let dst = cwsp_ir::layout::GLOBAL_BASE + 4096;
+        assert_eq!(out.memory.load(dst + 8), 1 + 2 + 3);
+        assert_eq!(out.memory.load(dst + 16), 2 + 3 + 4);
+        assert_eq!(out.memory.load(dst + 32), 4 + 5 + 6);
+    }
+
+    #[test]
+    fn random_walk_terminates_and_writes() {
+        let out = run_kernel(|m, b, e| {
+            let base = m.global_addr(cwsp_ir::module::GlobalId(0));
+            random_walk(b, e, base, 1 << 10, 64, 42, 2)
+        });
+        assert!(out.steps > 64 * 5);
+        assert!(out.memory.nonzero_words() > 4, "writes landed");
+    }
+
+    #[test]
+    fn reduction_computes_sum() {
+        let out = run_kernel(|m, b, e| {
+            let base = m.global_addr(cwsp_ir::module::GlobalId(0));
+            for i in 0..8 {
+                b.store(e, Operand::imm(10), MemRef::abs(base + i * 8));
+            }
+            // 2 iters × 4 elements × stride 1 = elements 0..8
+            reduction(b, e, base, 8, 1, 2, base + 4096)
+        });
+        assert_eq!(out.memory.load(cwsp_ir::layout::GLOBAL_BASE + 4096), 80);
+    }
+
+    #[test]
+    fn compute_loop_stores_checksum() {
+        let out = run_kernel(|m, b, e| {
+            let base = m.global_addr(cwsp_ir::module::GlobalId(0));
+            compute_loop(b, e, base + 2048, 20, 8)
+        });
+        assert_ne!(out.memory.load(cwsp_ir::layout::GLOBAL_BASE + 2048), 0);
+    }
+
+    #[test]
+    fn tx_update_touches_records() {
+        let out = run_kernel(|m, b, e| {
+            let base = m.global_addr(cwsp_ir::module::GlobalId(0));
+            tx_update(b, e, base, 64, 8, 2, 20, 7)
+        });
+        assert!(out.memory.nonzero_words() > 10, "dirty fields written");
+    }
+
+    #[test]
+    fn scatter_moves_data() {
+        let out = run_kernel(|m, b, e| {
+            let base = m.global_addr(cwsp_ir::module::GlobalId(0));
+            for i in 0..16 {
+                b.store(e, Operand::imm(100 + i), MemRef::abs(base + i * 8));
+            }
+            scatter(b, e, base, base + (1 << 15), 16, 16)
+        });
+        assert!(out.memory.nonzero_words() >= 17);
+    }
+
+    #[test]
+    fn pointer_chase_terminates() {
+        let out = run_kernel(|m, b, e| {
+            let base = m.global_addr(cwsp_ir::module::GlobalId(0));
+            pointer_chase(b, e, base, 1 << 12, 50, 99)
+        });
+        assert!(out.steps > 50 * 4);
+    }
+
+    #[test]
+    fn sync_point_is_atomic() {
+        let out = run_kernel(|m, b, e| {
+            let base = m.global_addr(cwsp_ir::module::GlobalId(0));
+            sync_point(b, e, base);
+            sync_point(b, e, base);
+            e
+        });
+        assert_eq!(out.memory.load(cwsp_ir::layout::GLOBAL_BASE), 2);
+    }
+
+    #[test]
+    fn kernels_compile_with_long_regions() {
+        use cwsp_compiler::pipeline::{CompileOptions, CwspCompiler};
+        let mut m = Module::new("t");
+        let g = m.add_global("arena", 1 << 16);
+        let base = m.global_addr(g);
+        let mut b = FunctionBuilder::new("main", 0);
+        let e = b.entry();
+        let x = rmw_sweep(&mut b, e, base, 1 << 10, 8, 50);
+        b.push(x, Inst::Halt);
+        let main = m.add_function(b.build());
+        m.set_entry(main);
+        let c = CwspCompiler::new(CompileOptions::default()).compile(&m);
+        cwsp_compiler::verify::check_all(&m, &c.module, &c.slices, 500_000).unwrap();
+        // ~2 regions per unrolled iteration → ≥ 10 insts per region on avg.
+        let total: usize = c.module.inst_count();
+        let boundaries = c.stats.boundaries_inserted;
+        assert!(
+            total / boundaries.max(1) >= 10,
+            "regions too short: {total} insts / {boundaries} boundaries"
+        );
+    }
+}

@@ -1,0 +1,277 @@
+//! # cwsp-workloads — the paper's 38 benchmark applications
+//!
+//! The evaluation of *Compiler-Directed Whole-System Persistence* (§IX) runs
+//! 38 applications from six suites: SPEC CPU2006 and CPU2017, DOE Mini-apps,
+//! SPLASH-3, WHISPER, and STAMP. The binaries themselves are not available
+//! offline, so each application here is a synthetic IR program reproducing
+//! the *memory behaviour* that drives the paper's figures — footprint class
+//! (L1/L2/DRAM-cache/NVM resident), write intensity, access pattern
+//! (sequential sweep, stencil, random walk, transactional update, scatter),
+//! and synchronization frequency. See DESIGN.md §1 for the substitution
+//! rationale.
+//!
+//! Every workload is deterministic and self-checking (it ends by emitting a
+//! checksum), so the same programs double as crash-consistency fixtures.
+//!
+//! ## Example
+//!
+//! ```
+//! let w = cwsp_workloads::by_name("lbm").unwrap();
+//! assert_eq!(w.suite, cwsp_workloads::Suite::Cpu2006);
+//! let out = cwsp_ir::interp::run(&w.module, 10_000_000).unwrap();
+//! assert!(out.steps > 1_000);
+//! ```
+
+pub mod cpu2006;
+pub mod cpu2017;
+pub mod kernels;
+pub mod miniapps;
+pub mod multicore;
+pub mod probes;
+pub mod splash3;
+pub mod stamp;
+pub mod whisper;
+
+use cwsp_ir::builder::FunctionBuilder;
+use cwsp_ir::function::BlockId;
+use cwsp_ir::inst::{BinOp, Inst, MemRef, Operand};
+use cwsp_ir::module::Module;
+use cwsp_ir::types::Word;
+use std::fmt;
+
+/// Benchmark suite labels (the figure x-axis groups).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Suite {
+    /// SPEC CPU2006 (10 apps).
+    Cpu2006,
+    /// SPEC CPU2017 (7 apps).
+    Cpu2017,
+    /// DOE Mini-apps (2 apps).
+    MiniApps,
+    /// SPLASH-3 (10 apps).
+    Splash3,
+    /// WHISPER persistent-memory suite (6 apps).
+    Whisper,
+    /// STAMP transactional suite (3 apps).
+    Stamp,
+}
+
+impl fmt::Display for Suite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Suite::Cpu2006 => "CPU2006",
+            Suite::Cpu2017 => "CPU2017",
+            Suite::MiniApps => "Mini-apps",
+            Suite::Splash3 => "SPLASH3",
+            Suite::Whisper => "WHISPER",
+            Suite::Stamp => "STAMP",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One benchmark application: a name, its suite, and the IR program.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Benchmark label as printed in the paper's figures.
+    pub name: &'static str,
+    /// Owning suite.
+    pub suite: Suite,
+    /// The program.
+    pub module: Module,
+    /// Suggested dynamic-instruction simulation window.
+    pub window: u64,
+}
+
+impl Workload {
+    /// One-line behavioural sketch of what this stand-in models.
+    pub fn description(&self) -> &'static str {
+        match (self.suite, self.name) {
+            (Suite::Cpu2006, "astar") => "pathfinding: random graph walk + pointer chase over a 32 MB arena",
+            (Suite::Cpu2006, "bzip2") => "compression: sequential RMW stream + L1-resident histogram",
+            (Suite::Cpu2006, "gobmk") => "game tree: dense ALU search with sparse board probes",
+            (Suite::Cpu2006, "h264ref") => "video: frame stencils, strided motion updates, DCT-ish compute",
+            (Suite::Cpu2006, "lbm") => "fluid: big-footprint write-heavy stencil sweeps (22% L1D misses in the paper)",
+            (Suite::Cpu2006, "libquan") => "quantum sim: streaming gate application over a large state vector",
+            (Suite::Cpu2006, "milc") => "lattice QCD: read-bandwidth-bound reduction with rare writes",
+            (Suite::Cpu2006, "namd") => "molecular dynamics: compute-dense inner loops, tiny footprint",
+            (Suite::Cpu2006, "sjeng") => "chess: ALU search + transposition-table probes",
+            (Suite::Cpu2006, "soplex") => "LP solver: sparse random reads, dense sequential writes",
+            (Suite::Cpu2017, "dsjeng") => "deep chess search: compute + table probes",
+            (Suite::Cpu2017, "imagick") => "image ops: stencil passes bracketing heavy per-pixel compute",
+            (Suite::Cpu2017, "lbm") => "fluid (2017 inputs): stencil + dense RMW sweep",
+            (Suite::Cpu2017, "leela") => "go engine: MCTS pointer chases + playout compute",
+            (Suite::Cpu2017, "nab") => "biosimulation: reductions + force-field compute",
+            (Suite::Cpu2017, "namd") => "molecular dynamics (2017 inputs): longer compute phases",
+            (Suite::Cpu2017, "xz") => "compression: dictionary probes, histogram, match scatter",
+            (Suite::MiniApps, "lulesh") => "hydrodynamics proxy: big-grid stencils + mesh RMW (pruning showcase)",
+            (Suite::MiniApps, "xsbench") => "Monte Carlo proxy: random lookups over an 8 GB table",
+            (Suite::Whisper, "p") => "kv put (echo): hashed small-record transactions over NVM-range data",
+            (Suite::Whisper, "c") => "ctree: path reads then node updates",
+            (Suite::Whisper, "rb") => "rbtree: scattered read-modify-write rotations",
+            (Suite::Whisper, "sps") => "swaps: random pair exchanges (2 reads + 2 writes each)",
+            (Suite::Whisper, "tatp") => "telecom db: read-mostly transactions, small updates",
+            (Suite::Whisper, "tpcc") => "new-order: wide records, several dirty fields per tx + log append",
+            (Suite::Splash3, "cholesky") => "factorization: strided then dense RMW with a barrier",
+            (Suite::Splash3, "fft") => "butterfly stages: strided RMW passes with barriers",
+            (Suite::Splash3, "lu-cg") => "LU (contiguous): dense sequential write storm (worst case)",
+            (Suite::Splash3, "lu-ncg") => "LU (non-contiguous): strided write storm",
+            (Suite::Splash3, "ocg") => "ocean (contiguous): grid stencil sweeps + barrier",
+            (Suite::Splash3, "oncg") => "ocean (non-contiguous): strided RMW + stencil",
+            (Suite::Splash3, "radix") => "radix sort: counting pass then scatter write storm",
+            (Suite::Splash3, "raytrace") => "raytracer: BVH pointer chase + framebuffer writes",
+            (Suite::Splash3, "water-ns") => "water n²: compute + dense molecule updates, lock-synced",
+            (Suite::Splash3, "water-sp") => "water spatial: compute + strided cell updates",
+            (Suite::Stamp, "kmeans") => "clustering: reduction + centroid RMW in critical sections",
+            (Suite::Stamp, "ssca2") => "graph kernel: random edge RMW under locks",
+            (Suite::Stamp, "vacation") => "reservations: tree lookups + transactional record updates",
+            _ => "synthetic benchmark stand-in",
+        }
+    }
+}
+
+/// Footprint classes (words, powers of two) targeting specific hierarchy
+/// levels of the default §IX machine.
+pub mod footprint {
+    /// Fits the 64 KB L1D.
+    pub const L1: u64 = 1 << 12;
+    /// Fits the 16 MB shared L2 (8 MB).
+    pub const L2: u64 = 1 << 20;
+    /// Exceeds L2, fits the 4 GB DRAM cache (32 MB).
+    pub const DRAM: u64 = 1 << 22;
+    /// Exceeds everything: cold NVM accesses (8 GB range).
+    pub const NVM: u64 = 1 << 30;
+}
+
+/// Helper used by the suite modules: build a module around a single `main`.
+pub(crate) fn app(
+    name: &str,
+    build: impl FnOnce(&mut Module, &mut FunctionBuilder, BlockId) -> BlockId,
+) -> Module {
+    let mut m = Module::new(name);
+    let mut b = FunctionBuilder::new("main", 0);
+    let e = b.entry();
+    let exit = build(&mut m, &mut b, e);
+    b.push(exit, Inst::Halt);
+    let main = m.add_function(b.build());
+    m.set_entry(main);
+    debug_assert!(m.validate().is_ok(), "{name}: {:?}", m.validate());
+    m
+}
+
+/// Helper: allocate an arena global of `words` and return its base address.
+pub(crate) fn arena(m: &mut Module, name: &str, words: u64) -> Word {
+    let g = m.add_global(name, words);
+    m.global_addr(g)
+}
+
+/// Helper: emit a final checksum load + `Out` from `addr`.
+pub(crate) fn checksum(b: &mut FunctionBuilder, bb: BlockId, addr: Word) {
+    let v = b.load(bb, MemRef::abs(addr));
+    let f = b.bin(bb, BinOp::Add, v.into(), Operand::imm(1));
+    b.push(bb, Inst::Out { val: f.into() });
+}
+
+/// All 38 workloads in figure order.
+pub fn all() -> Vec<Workload> {
+    let mut v = Vec::with_capacity(38);
+    v.extend(cpu2006::all());
+    v.extend(cpu2017::all());
+    v.extend(miniapps::all());
+    v.extend(splash3::all());
+    v.extend(whisper::all());
+    v.extend(stamp::all());
+    v
+}
+
+/// The memory-intensive subset used by Figs 1, 17, and 18.
+pub fn memory_intensive() -> Vec<Workload> {
+    const KEYS: [(Suite, &str); 12] = [
+        (Suite::Cpu2006, "astar"),
+        (Suite::Cpu2006, "lbm"),
+        (Suite::Cpu2006, "libquan"),
+        (Suite::Cpu2006, "milc"),
+        (Suite::MiniApps, "lulesh"),
+        (Suite::MiniApps, "xsbench"),
+        (Suite::Whisper, "p"),
+        (Suite::Whisper, "c"),
+        (Suite::Whisper, "rb"),
+        (Suite::Whisper, "sps"),
+        (Suite::Whisper, "tatp"),
+        (Suite::Whisper, "tpcc"),
+    ];
+    all().into_iter().filter(|w| KEYS.contains(&(w.suite, w.name))).collect()
+}
+
+/// Look up a workload by its figure label.
+pub fn by_name(name: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_38_apps_in_6_suites() {
+        let ws = all();
+        assert_eq!(ws.len(), 38);
+        let per = |s: Suite| ws.iter().filter(|w| w.suite == s).count();
+        assert_eq!(per(Suite::Cpu2006), 10);
+        assert_eq!(per(Suite::Cpu2017), 7);
+        assert_eq!(per(Suite::MiniApps), 2);
+        assert_eq!(per(Suite::Splash3), 10);
+        assert_eq!(per(Suite::Whisper), 6);
+        assert_eq!(per(Suite::Stamp), 3);
+        // unique names within a suite
+        let mut keys: Vec<_> = ws.iter().map(|w| (w.suite, w.name)).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 38);
+    }
+
+    #[test]
+    fn memory_intensive_subset_matches_fig17() {
+        let ws = memory_intensive();
+        assert_eq!(ws.len(), 12);
+        assert!(ws.iter().any(|w| w.name == "xsbench"));
+        assert!(ws.iter().any(|w| w.name == "tpcc"));
+    }
+
+    #[test]
+    fn every_workload_validates_and_halts() {
+        for w in all() {
+            assert!(w.module.validate().is_ok(), "{}: {:?}", w.name, w.module.validate());
+            let out = cwsp_ir::interp::run(&w.module, 30_000_000)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            assert!(
+                out.steps > 5_000,
+                "{}: too small ({} steps) to be a meaningful window",
+                w.name,
+                out.steps
+            );
+            assert!(!out.output.is_empty(), "{}: no checksum emitted", w.name);
+        }
+    }
+
+    #[test]
+    fn every_workload_has_a_description() {
+        for w in all() {
+            let d = w.description();
+            assert!(d.len() > 10 && d != "synthetic benchmark stand-in", "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        assert!(by_name("radix").is_some());
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let a = cwsp_ir::interp::run(&by_name("kmeans").unwrap().module, 30_000_000).unwrap();
+        let b = cwsp_ir::interp::run(&by_name("kmeans").unwrap().module, 30_000_000).unwrap();
+        assert_eq!(a.output, b.output);
+    }
+}

@@ -1,0 +1,61 @@
+//! DOE Mini-apps stand-ins (2 apps): LULESH and XSBench.
+//!
+//! LULESH is an unstructured-mesh hydrodynamics proxy — big-grid stencil
+//! sweeps with substantial writes (the paper highlights it as a pruning
+//! winner, §IX-B). XSBench is the Monte Carlo cross-section lookup proxy —
+//! overwhelmingly random reads over a giant table.
+
+use crate::footprint::*;
+use crate::kernels::*;
+use crate::{app, arena, checksum, Suite, Workload};
+
+/// Build both mini-apps.
+pub fn all() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "lulesh",
+            suite: Suite::MiniApps,
+            window: 150_000,
+            module: app("lulesh", |m, b, mut bb| {
+                let mesh = arena(m, "mesh", DRAM);
+                let tmp = arena(m, "tmp", DRAM);
+                bb = stencil3(b, bb, mesh, tmp, 3_000);
+                bb = stencil3(b, bb, tmp, mesh, 3_000);
+                bb = rmw_sweep(b, bb, mesh, DRAM, 1, 1_500);
+                checksum(b, bb, mesh + 8);
+                bb
+            }),
+        },
+        Workload {
+            name: "xsbench",
+            suite: Suite::MiniApps,
+            window: 130_000,
+            module: app("xsbench", |m, b, mut bb| {
+                let xs = arena(m, "xs_table", NVM);
+                let res = arena(m, "results", L1);
+                // Random read-dominated lookups over an 8 GB range (cold NVM
+                // territory), with rare result writes.
+                bb = random_walk(b, bb, xs, NVM, 3_500, 0x5BE, 32);
+                bb = rmw_sweep(b, bb, res, L1, 1, 1_200);
+                checksum(b, bb, res);
+                bb
+            }),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_apps_run() {
+        let ws = all();
+        assert_eq!(ws.len(), 2);
+        for w in &ws {
+            let out = cwsp_ir::interp::run(&w.module, 30_000_000)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            assert!(out.steps > 5_000, "{}", w.name);
+        }
+    }
+}

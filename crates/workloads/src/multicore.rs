@@ -1,0 +1,194 @@
+//! Data-race-free multicore workloads (§VIII "Recovery for Multi-Cores").
+//!
+//! Each core runs `main(tid)`: it works on its own partition of shared data
+//! and synchronizes only through atomics. For DRF programs the paper argues
+//! each thread can recover *independently* — these workloads are built so
+//! their final data is interleaving-independent, making that property
+//! checkable: partitions are disjoint, and cross-thread communication is
+//! commutative (atomic fetch-add).
+
+use crate::kernels::sync_point;
+use cwsp_ir::builder::{build_counted_loop, FunctionBuilder};
+use cwsp_ir::inst::{BinOp, Inst, MemRef, Operand};
+use cwsp_ir::module::Module;
+use cwsp_ir::types::Word;
+
+/// Words per per-core partition in [`drf_partition_sum`].
+pub const PARTITION_WORDS: u64 = 64;
+
+/// Build a DRF program for up to `max_cores` threads:
+///
+/// * thread `tid` fills `data[tid*P .. (tid+1)*P]` with `tid*1000 + i` and
+///   folds a checksum into `sums[tid]`;
+/// * it atomically bumps a shared `done` counter twice (start and finish) —
+///   the synchronization points that §VIII's recovery argument hinges on.
+///
+/// Returns `(module, data_addr, sums_addr, counter_addr)`.
+pub fn drf_partition_sum(max_cores: u64) -> (Module, Word, Word, Word) {
+    let mut m = Module::new("drf-partition-sum");
+    let data = m.add_global("data", PARTITION_WORDS * max_cores);
+    let sums = m.add_global("sums", max_cores);
+    let counter = m.add_global("done", 1);
+    let data_addr = m.global_addr(data);
+    let sums_addr = m.global_addr(sums);
+    let counter_addr = m.global_addr(counter);
+
+    let mut b = FunctionBuilder::new("main", 1);
+    let e = b.entry();
+    let tid = b.param(0);
+    sync_point(&mut b, e, counter_addr);
+    let base_off = b.bin(e, BinOp::Mul, tid.into(), Operand::imm(PARTITION_WORDS * 8));
+    let part = b.bin(e, BinOp::Add, base_off.into(), Operand::imm(data_addr));
+    let salt = b.bin(e, BinOp::Mul, tid.into(), Operand::imm(1000));
+    let (_, exit) = build_counted_loop(&mut b, e, Operand::imm(PARTITION_WORDS), |b, bb, i| {
+        let off = b.bin(bb, BinOp::Shl, i.into(), Operand::imm(3));
+        let addr = b.bin(bb, BinOp::Add, part.into(), off.into());
+        let v = b.bin(bb, BinOp::Add, salt.into(), i.into());
+        b.store(bb, v.into(), MemRef::reg(addr, 0));
+        // fold into the per-thread checksum (private word — still DRF)
+        let soff = b.bin(bb, BinOp::Shl, tid.into(), Operand::imm(3));
+        let saddr = b.bin(bb, BinOp::Add, soff.into(), Operand::imm(sums_addr));
+        let cur = b.load(bb, MemRef::reg(saddr, 0));
+        let nxt = b.bin(bb, BinOp::Add, cur.into(), v.into());
+        b.store(bb, nxt.into(), MemRef::reg(saddr, 0));
+    });
+    sync_point(&mut b, exit, counter_addr);
+    let soff = b.bin(exit, BinOp::Shl, tid.into(), Operand::imm(3));
+    let saddr = b.bin(exit, BinOp::Add, soff.into(), Operand::imm(sums_addr));
+    let sum = b.load(exit, MemRef::reg(saddr, 0));
+    b.push(exit, Inst::Ret { val: Some(sum.into()) });
+    let main = m.add_function(b.build());
+    m.set_entry(main);
+    (m, data_addr, sums_addr, counter_addr)
+}
+
+/// The expected checksum for thread `tid`.
+pub fn expected_sum(tid: u64) -> Word {
+    (0..PARTITION_WORDS).map(|i| tid * 1000 + i).sum()
+}
+
+/// Deposits per thread in [`spinlock_ledger`].
+pub const DEPOSITS: u64 = 24;
+
+/// Build a CAS-spinlock-protected shared ledger: every thread performs
+/// [`DEPOSITS`] critical sections, each adding `tid + 1` to a shared balance
+/// and bumping a shared op counter — classic lock-based DRF sharing where the
+/// final state is interleaving-independent.
+///
+/// Returns `(module, balance_addr, ops_addr)`.
+pub fn spinlock_ledger(max_cores: u64) -> (Module, Word, Word) {
+    let mut m = Module::new("spinlock-ledger");
+    let lock = m.add_global("lock", 1);
+    let balance = m.add_global("balance", 1);
+    let ops = m.add_global("ops", 1);
+    let lock_addr = m.global_addr(lock);
+    let balance_addr = m.global_addr(balance);
+    let ops_addr = m.global_addr(ops);
+    let _ = max_cores;
+
+    let mut b = FunctionBuilder::new("main", 1);
+    let e = b.entry();
+    let tid = b.param(0);
+    let amount = b.bin(e, BinOp::Add, tid.into(), Operand::imm(1));
+    let (_, exit) = cwsp_ir::builder::build_counted_loop_multi(
+        &mut b,
+        e,
+        Operand::imm(DEPOSITS),
+        |b, bb, _i| {
+            // spin: while !CAS(lock, 0 -> 1) {}
+            let spin = b.block();
+            let crit = b.block();
+            b.push(bb, Inst::Br { target: spin });
+            let got = b.vreg();
+            b.push(spin, Inst::AtomicRmw {
+                op: cwsp_ir::inst::AtomicOp::Cas,
+                dst: got,
+                addr: MemRef::abs(lock_addr),
+                src: Operand::imm(1),
+                expected: Operand::imm(0),
+            });
+            // CAS returns the OLD value: 0 means we own the lock.
+            b.push(spin, Inst::CondBr { cond: got.into(), if_true: spin, if_false: crit });
+            // critical section: balance += amount; ops += 1
+            let cur = b.load(crit, MemRef::abs(balance_addr));
+            let nb = b.bin(crit, BinOp::Add, cur.into(), amount.into());
+            b.store(crit, nb.into(), MemRef::abs(balance_addr));
+            let oc = b.load(crit, MemRef::abs(ops_addr));
+            let no = b.bin(crit, BinOp::Add, oc.into(), Operand::imm(1));
+            b.store(crit, no.into(), MemRef::abs(ops_addr));
+            // unlock: release store via atomic swap back to 0
+            let rel = b.vreg();
+            b.push(crit, Inst::AtomicRmw {
+                op: cwsp_ir::inst::AtomicOp::Swap,
+                dst: rel,
+                addr: MemRef::abs(lock_addr),
+                src: Operand::imm(0),
+                expected: Operand::imm(0),
+            });
+            crit
+        },
+    );
+    b.push(exit, Inst::Ret { val: Some(amount.into()) });
+    let main = m.add_function(b.build());
+    m.set_entry(main);
+    (m, balance_addr, ops_addr)
+}
+
+/// The expected final balance for `ncores` threads.
+pub fn expected_balance(ncores: u64) -> Word {
+    (0..ncores).map(|tid| (tid + 1) * DEPOSITS).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_thread_semantics() {
+        let (m, data, sums, counter) = drf_partition_sum(4);
+        let out = cwsp_ir::interp::run(&m, 1_000_000).unwrap();
+        // tid = 0 on the plain interpreter.
+        assert_eq!(out.return_value, Some(expected_sum(0)));
+        assert_eq!(out.memory.load(data + 8), 1);
+        assert_eq!(out.memory.load(sums), expected_sum(0));
+        assert_eq!(out.memory.load(counter), 2, "two sync points");
+    }
+
+    #[test]
+    fn spinlock_ledger_balances_on_multicore_machine() {
+        use cwsp_sim::config::SimConfig;
+        use cwsp_sim::machine::Machine;
+        use cwsp_sim::scheme::Scheme;
+        let ncores = 3;
+        let (m, balance, ops) = spinlock_ledger(ncores);
+        let mut cfg = SimConfig::default();
+        cfg.cores = ncores as usize;
+        let mut machine = Machine::new(&m, cfg, Scheme::Baseline);
+        machine.run(u64::MAX, None).unwrap();
+        let mem = machine.arch_mem();
+        assert_eq!(mem.load(balance), expected_balance(ncores));
+        assert_eq!(mem.load(ops), ncores * DEPOSITS);
+    }
+
+    #[test]
+    fn multicore_machine_fills_all_partitions() {
+        use cwsp_sim::config::SimConfig;
+        use cwsp_sim::machine::Machine;
+        use cwsp_sim::scheme::Scheme;
+        let (m, data, sums, counter) = drf_partition_sum(4);
+        let mut cfg = SimConfig::default();
+        cfg.cores = 4;
+        let mut machine = Machine::new(&m, cfg, Scheme::Baseline);
+        machine.run(u64::MAX, None).unwrap();
+        let mem = machine.arch_mem();
+        for tid in 0..4u64 {
+            assert_eq!(
+                mem.load(sums + tid * 8),
+                expected_sum(tid),
+                "partition checksum for tid {tid}"
+            );
+            assert_eq!(mem.load(data + tid * PARTITION_WORDS * 8), tid * 1000);
+        }
+        assert_eq!(mem.load(counter), 8, "4 threads x 2 sync points");
+    }
+}

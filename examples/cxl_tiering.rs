@@ -1,0 +1,41 @@
+//! cWSP on CXL-attached NVM (§IX-C): run a memory-intensive workload against
+//! each Table I device and show the overhead staying low — the persist path
+//! ends at the CXL home agent's battery-backed WPQ, so its length is
+//! unchanged.
+//!
+//! ```sh
+//! cargo run --release --example cxl_tiering
+//! ```
+
+use cwsp::compiler::pipeline::{CompileOptions, CwspCompiler};
+use cwsp::sim::config::{MainMemory, SimConfig, CXL_DEVICES};
+use cwsp::sim::machine::Machine;
+use cwsp::sim::scheme::Scheme;
+
+fn main() {
+    let w = cwsp::workloads::by_name("xsbench").expect("workload");
+    println!("workload: {}/{} (random lookups over an 8 GB table)\n", w.suite, w.name);
+    let compiled = CwspCompiler::new(CompileOptions::default()).compile(&w.module);
+
+    println!(
+        "{:<18} {:>10} {:>12} {:>12} {:>8}",
+        "device", "BW (GB/s)", "base cycles", "cWSP cycles", "slow"
+    );
+    for dev in CXL_DEVICES {
+        let mut cfg = SimConfig::default();
+        cfg.main_memory = MainMemory::Cxl(dev);
+        let mut bm = Machine::new(&w.module, cfg.clone(), Scheme::Baseline);
+        let base = bm.run(u64::MAX, None).expect("baseline").stats.cycles;
+        let mut cm = Machine::new(&compiled.module, cfg, Scheme::cwsp());
+        let c = cm.run(u64::MAX, None).expect("cwsp").stats.cycles;
+        println!(
+            "{:<18} {:>10.1} {:>12} {:>12} {:>7.3}x",
+            dev.name,
+            dev.max_bandwidth_gbps,
+            base,
+            c,
+            c as f64 / base as f64
+        );
+    }
+    println!("\n(paper §IX-C: ≈4% overhead regardless of CXL device speed)");
+}

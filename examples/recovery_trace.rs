@@ -1,0 +1,43 @@
+//! Crash post-mortem with event tracing: run a workload under cWSP with the
+//! machine's event ring enabled, cut power, and print the persist-machinery
+//! timeline leading up to the failure — region opens/retirements, persist
+//! arrivals, and the failure itself — then recover and verify.
+//!
+//! ```sh
+//! cargo run --release --example recovery_trace
+//! ```
+
+use cwsp::compiler::pipeline::{CompileOptions, CwspCompiler};
+use cwsp::core::recovery::recover;
+use cwsp::sim::config::SimConfig;
+use cwsp::sim::machine::{Machine, RunEnd};
+use cwsp::sim::scheme::Scheme;
+
+fn main() {
+    let w = cwsp::workloads::by_name("cholesky").expect("workload");
+    let compiled = CwspCompiler::new(CompileOptions::default()).compile(&w.module);
+    let oracle = cwsp::ir::interp::run(&compiled.module, u64::MAX / 2).expect("oracle");
+
+    let crash_cycle = 12_345;
+    let mut machine = Machine::new(&compiled.module, SimConfig::default(), Scheme::cwsp());
+    machine.enable_trace(4096);
+    let r = machine.run(u64::MAX, Some(crash_cycle)).expect("run");
+    assert_eq!(r.end, RunEnd::PowerFailure);
+
+    println!("=== last 16 machine events before the failure ===");
+    println!("{}", machine.trace().unwrap().tail(16));
+
+    let image = machine.into_crash_image();
+    println!(
+        "\ncrash image: {} undo records reverted, resume = {:?}",
+        image.reverted_records,
+        image.resume[0].1
+    );
+    let rec = recover(&compiled, image, 0, u64::MAX / 2).expect("recovery");
+    println!(
+        "recovered: replayed {} instructions; output matches oracle: {}",
+        rec.replayed_steps,
+        rec.output == oracle.output
+    );
+    assert_eq!(rec.output, oracle.output);
+}

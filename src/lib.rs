@@ -1,0 +1,51 @@
+//! # cwsp — Compiler-Directed Whole-System Persistence
+//!
+//! A from-scratch Rust reproduction of *Compiler-Directed Whole-System
+//! Persistence* (Zeng, Zhang, Jung — ISCA 2024). This facade crate re-exports
+//! the workspace:
+//!
+//! * [`ir`] — the compiler IR and reference interpreter.
+//! * [`compiler`] — idempotent region formation, live-out register
+//!   checkpointing, checkpoint pruning, recovery-slice generation.
+//! * [`sim`] — the architecture simulator: persist buffer, region boundary
+//!   table, memory-controller speculation with hardware undo logging, caches,
+//!   NVM, and the baseline schemes (Capri, ReplayCache, ideal PSP).
+//! * [`runtime`] — the simulated libc/kernel substrate (whole-system scope).
+//! * [`core`] — the end-to-end cWSP system: compile → simulate → crash →
+//!   recover → verify.
+//! * [`workloads`] — the 38 benchmark programs of the paper's six suites.
+//!
+//! See `README.md` for a tour and `examples/quickstart.rs` for a first run.
+//!
+//! ## End-to-end example
+//!
+//! ```
+//! use cwsp::core::system::CwspSystem;
+//! use cwsp::ir::prelude::*;
+//!
+//! // A program with a classic crash hazard: read-modify-write on NVM.
+//! let mut m = Module::new("demo");
+//! let g = m.add_global("counter", 1);
+//! let mut b = FunctionBuilder::new("main", 0);
+//! let e = b.entry();
+//! for _ in 0..10 {
+//!     let v = b.load(e, MemRef::global(g, 0));
+//!     let s = b.bin(e, BinOp::Add, v.into(), Operand::imm(1));
+//!     b.store(e, s.into(), MemRef::global(g, 0));
+//! }
+//! b.push(e, Inst::Halt);
+//! let f = m.add_function(b.build());
+//! m.set_entry(f);
+//!
+//! // Compile with cWSP, cut power mid-run, recover, verify.
+//! let system = CwspSystem::compile(&m);
+//! let report = cwsp::core::verify::check_crash_consistency(&system, 120).unwrap();
+//! assert!(report.recovered_matches_oracle);
+//! ```
+
+pub use cwsp_compiler as compiler;
+pub use cwsp_core as core;
+pub use cwsp_ir as ir;
+pub use cwsp_runtime as runtime;
+pub use cwsp_sim as sim;
+pub use cwsp_workloads as workloads;

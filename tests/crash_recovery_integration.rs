@@ -1,0 +1,76 @@
+//! End-to-end crash/recovery over real paper workloads — the system-level
+//! recovery testing §VIII of the paper leaves as future work.
+
+use cwsp::core::system::CwspSystem;
+use cwsp::core::verify::{check_crash_consistency, sweep};
+
+#[test]
+fn representative_workloads_survive_crash_sweeps() {
+    // One app per suite, crash points spread across the run.
+    for name in ["lbm", "leela", "xsbench", "radix", "tatp", "kmeans"] {
+        let w = cwsp::workloads::by_name(name).unwrap();
+        let system = CwspSystem::compile(&w.module);
+        let cycles = [100, 5_000, 40_000, 120_000];
+        sweep(&system, &cycles).unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+#[test]
+fn write_storm_workload_survives_dense_crash_sweep() {
+    // lu-cg keeps the persist machinery saturated — the hardest case for
+    // undo-log bookkeeping and RBT speculation.
+    let w = cwsp::workloads::by_name("lu-cg").unwrap();
+    let system = CwspSystem::compile(&w.module);
+    let cycles: Vec<u64> = (1..12).map(|k| k * k * 997).collect();
+    sweep(&system, &cycles).unwrap();
+}
+
+#[test]
+fn syscall_workload_survives_crashes() {
+    use cwsp::ir::builder::build_counted_loop;
+    use cwsp::ir::prelude::*;
+    use cwsp::runtime::{Runtime, SYS_BRK, SYS_TIME};
+
+    let mut m = Module::new("sys");
+    let rt = Runtime::install(&mut m);
+    let mut b = FunctionBuilder::new("main", 0);
+    let e = b.entry();
+    let (_, exit) = build_counted_loop(&mut b, e, Operand::imm(6), |b, bb, _i| {
+        let p = b
+            .call(bb, rt.syscall, vec![Operand::imm(SYS_BRK), Operand::imm(2), Operand::imm(0)], true)
+            .unwrap();
+        let t = b
+            .call(bb, rt.syscall, vec![Operand::imm(SYS_TIME), Operand::imm(0), Operand::imm(0)], true)
+            .unwrap();
+        b.store(bb, t.into(), MemRef::reg(p, 0));
+        b.push(bb, Inst::Out { val: t.into() });
+    });
+    b.push(exit, Inst::Halt);
+    let f = m.add_function(b.build());
+    m.set_entry(f);
+
+    let system = CwspSystem::compile(&m);
+    let cycles: Vec<u64> = (1..40).map(|k| k * 83).collect();
+    sweep(&system, &cycles).unwrap();
+}
+
+#[test]
+fn recovery_reports_are_informative() {
+    let w = cwsp::workloads::by_name("cholesky").unwrap();
+    let system = CwspSystem::compile(&w.module);
+    let r = check_crash_consistency(&system, 30_000).unwrap();
+    assert!(r.recovered_matches_oracle, "{:?}", r.divergence);
+    assert_eq!(r.crash_cycle, 30_000);
+    // The crash landed mid-run, so recovery replayed a nonempty tail.
+    assert!(r.replayed_steps > 0);
+}
+
+#[test]
+fn crash_during_drained_quiet_period_recovers() {
+    // Crash at a cycle aligned to a synchronization drain (kmeans has
+    // several): the RBT may be nearly empty — recovery must still work.
+    let w = cwsp::workloads::by_name("kmeans").unwrap();
+    let system = CwspSystem::compile(&w.module);
+    let cycles: Vec<u64> = (1..=8).map(|k| k * 9_973).collect();
+    sweep(&system, &cycles).unwrap();
+}

@@ -1,0 +1,103 @@
+//! Robustness: recovery must fail *cleanly* (typed errors, no panics) when
+//! the crash image is corrupted — torn metadata, truncated frame chains,
+//! missing cores.
+
+use cwsp::compiler::pipeline::{CompileOptions, CwspCompiler};
+use cwsp::core::recovery::{recover, RecoveryError};
+use cwsp::ir::layout;
+use cwsp::sim::config::SimConfig;
+use cwsp::sim::machine::{Machine, RunEnd};
+use cwsp::sim::scheme::Scheme;
+
+fn crash_image_of(
+    name: &str,
+    cycle: u64,
+) -> (cwsp::compiler::pipeline::Compiled, cwsp::sim::machine::CrashImage) {
+    let w = cwsp::workloads::by_name(name).unwrap();
+    let compiled = CwspCompiler::new(CompileOptions::default()).compile(&w.module);
+    let image = {
+        let mut machine = Machine::new(&compiled.module, SimConfig::default(), Scheme::cwsp());
+        let r = machine.run(u64::MAX, Some(cycle)).unwrap();
+        assert_eq!(r.end, RunEnd::PowerFailure);
+        machine.into_crash_image()
+    };
+    (compiled, image)
+}
+
+#[test]
+fn corrupted_frame_chain_is_reported_not_panicked() {
+    let (compiled, mut image) = crash_image_of("tatp", 20_000);
+    // Tear the frame record the resume point hangs off: point the previous-
+    // frame link at itself, producing a cyclic chain.
+    let fb = image.resume[0].0.frame_base;
+    image.nvm.store(fb + cwsp::ir::interp::frame::PREV_BASE * 8, fb);
+    image.nvm.store(fb + cwsp::ir::interp::frame::CALLER_FUNC * 8, 1);
+    let err = recover(&compiled, image, 0, 1_000_000);
+    match err {
+        Err(RecoveryError::BadImage(_)) | Err(RecoveryError::Trap(_)) => {}
+        other => panic!("expected clean failure, got {other:?}"),
+    }
+}
+
+#[test]
+fn missing_core_metadata_is_bad_image() {
+    let (compiled, image) = crash_image_of("kmeans", 5_000);
+    let err = recover(&compiled, image, 7, 1_000_000).unwrap_err();
+    assert!(matches!(err, RecoveryError::BadImage(_)));
+}
+
+#[test]
+fn bogus_caller_function_id_is_caught() {
+    let (compiled, mut image) = crash_image_of("tatp", 20_000);
+    let fb = image.resume[0].0.frame_base;
+    // Claim an absurd caller function id in the frame record.
+    image.nvm.store(fb + cwsp::ir::interp::frame::CALLER_FUNC * 8, 999_999);
+    image.nvm.store(fb + cwsp::ir::interp::frame::PREV_BASE * 8, fb - 512);
+    let r = recover(&compiled, image, 0, 1_000_000);
+    assert!(r.is_err(), "corrupt caller id must not recover silently");
+}
+
+#[test]
+fn runaway_resumed_program_hits_the_step_limit() {
+    let (compiled, image) = crash_image_of("ssca2", 10_000);
+    let err = recover(&compiled, image, 0, 10).unwrap_err();
+    assert!(matches!(err, RecoveryError::StepLimit(10)));
+}
+
+#[test]
+fn checkpoint_slot_corruption_is_detected_by_divergence() {
+    // Slot corruption is undetectable structurally (it is just data), but
+    // the end-to-end comparison catches it: smash every checkpoint slot and
+    // show the recovered run no longer always matches the oracle — i.e. the
+    // verifier has teeth.
+    let w = cwsp::workloads::by_name("fft").unwrap();
+    let compiled = CwspCompiler::new(CompileOptions::default()).compile(&w.module);
+    let oracle = cwsp::ir::interp::run(&compiled.module, u64::MAX / 2).unwrap();
+    let mut any_diverged = false;
+    for cycle in [30_000u64, 60_000, 90_000] {
+        let mut machine = Machine::new(&compiled.module, SimConfig::default(), Scheme::cwsp());
+        let r = machine.run(u64::MAX, Some(cycle)).unwrap();
+        if r.end != RunEnd::PowerFailure {
+            continue;
+        }
+        let mut image = machine.into_crash_image();
+        for reg in 0..64u32 {
+            let a = layout::ckpt_slot_addr(0, cwsp::ir::Reg(reg));
+            let v = image.nvm.load(a);
+            image.nvm.store(a, v ^ 0xDEAD_BEEF);
+        }
+        if let Ok(rec) = recover(&compiled, image, 0, u64::MAX / 2) {
+            if rec.output != oracle.output
+                || !rec
+                    .memory
+                    .diff_where(&oracle.memory, layout::is_program_data, 1)
+                    .is_empty()
+            {
+                any_diverged = true;
+            }
+        } else {
+            any_diverged = true;
+        }
+    }
+    assert!(any_diverged, "slot corruption must be observable somewhere");
+}

@@ -1,0 +1,108 @@
+//! §VIII "Recovery for Multi-Cores": DRF programs recover per-thread,
+//! independently, from each core's own oldest unpersisted region.
+
+use cwsp::compiler::pipeline::{CompileOptions, CwspCompiler};
+use cwsp::core::recovery::recover_multicore;
+use cwsp::sim::config::SimConfig;
+use cwsp::sim::machine::{Machine, RunEnd};
+use cwsp::sim::scheme::Scheme;
+use cwsp::workloads::multicore::{drf_partition_sum, expected_sum, PARTITION_WORDS};
+
+fn verify_final_state(
+    mem: &cwsp::ir::Memory,
+    data: u64,
+    sums: u64,
+    counter: u64,
+    ncores: u64,
+) {
+    for tid in 0..ncores {
+        assert_eq!(mem.load(sums + tid * 8), expected_sum(tid), "sums[{tid}]");
+        for i in [0u64, 1, PARTITION_WORDS - 1] {
+            assert_eq!(
+                mem.load(data + (tid * PARTITION_WORDS + i) * 8),
+                tid * 1000 + i,
+                "data[{tid}][{i}]"
+            );
+        }
+    }
+    assert_eq!(mem.load(counter), 2 * ncores, "atomic counter");
+}
+
+#[test]
+fn four_core_drf_program_completes_under_cwsp() {
+    let ncores = 4u64;
+    let (m, data, sums, counter) = drf_partition_sum(ncores);
+    let compiled = CwspCompiler::new(CompileOptions::default()).compile(&m);
+    let mut cfg = SimConfig::default();
+    cfg.cores = ncores as usize;
+    let mut machine = Machine::new(&compiled.module, cfg, Scheme::cwsp());
+    let r = machine.run(u64::MAX, None).unwrap();
+    assert_eq!(r.end, RunEnd::Completed);
+    verify_final_state(machine.arch_mem(), data, sums, counter, ncores);
+    // Whole-system persistence: the NVM image converged too.
+    verify_final_state(machine.nvm(), data, sums, counter, ncores);
+}
+
+#[test]
+fn four_core_drf_program_survives_crash_sweep() {
+    let ncores = 4u64;
+    let (m, data, sums, counter) = drf_partition_sum(ncores);
+    let compiled = CwspCompiler::new(CompileOptions::default()).compile(&m);
+    for crash_cycle in [50u64, 400, 1_500, 4_000, 9_000, 20_000] {
+        let mut cfg = SimConfig::default();
+        cfg.cores = ncores as usize;
+        let mut machine = Machine::new(&compiled.module, cfg, Scheme::cwsp());
+        let r = machine.run(u64::MAX, Some(crash_cycle)).unwrap();
+        if r.end != RunEnd::PowerFailure {
+            continue; // finished before the crash point
+        }
+        let image = machine.into_crash_image();
+        let rec = recover_multicore(&compiled, image, 10_000_000)
+            .unwrap_or_else(|e| panic!("crash@{crash_cycle}: {e}"));
+        verify_final_state(&rec.memory, data, sums, counter, ncores);
+        for (tid, rv) in rec.return_values.iter().enumerate() {
+            assert_eq!(*rv, Some(expected_sum(tid as u64)), "core {tid} return");
+        }
+    }
+}
+
+#[test]
+fn eight_core_crash_recovers() {
+    let ncores = 8u64;
+    let (m, data, sums, counter) = drf_partition_sum(ncores);
+    let compiled = CwspCompiler::new(CompileOptions::default()).compile(&m);
+    let mut cfg = SimConfig::default();
+    cfg.cores = ncores as usize;
+    let mut machine = Machine::new(&compiled.module, cfg, Scheme::cwsp());
+    let r = machine.run(u64::MAX, Some(3_000)).unwrap();
+    assert_eq!(r.end, RunEnd::PowerFailure);
+    let image = machine.into_crash_image();
+    let rec = recover_multicore(&compiled, image, 10_000_000).unwrap();
+    verify_final_state(&rec.memory, data, sums, counter, ncores);
+}
+
+#[test]
+fn spinlock_ledger_survives_crashes() {
+    use cwsp::workloads::multicore::{expected_balance, spinlock_ledger, DEPOSITS};
+    let ncores = 3u64;
+    let (m, balance, ops) = spinlock_ledger(ncores);
+    let compiled = CwspCompiler::new(CompileOptions::default()).compile(&m);
+    for crash_cycle in [200u64, 2_000, 8_000, 25_000] {
+        let mut cfg = SimConfig::default();
+        cfg.cores = ncores as usize;
+        let mut machine = Machine::new(&compiled.module, cfg, Scheme::cwsp());
+        let r = machine.run(u64::MAX, Some(crash_cycle)).unwrap();
+        if r.end != RunEnd::PowerFailure {
+            continue;
+        }
+        let image = machine.into_crash_image();
+        let rec = recover_multicore(&compiled, image, 50_000_000)
+            .unwrap_or_else(|e| panic!("crash@{crash_cycle}: {e}"));
+        assert_eq!(
+            rec.memory.load(balance),
+            expected_balance(ncores),
+            "ledger balance after crash@{crash_cycle}"
+        );
+        assert_eq!(rec.memory.load(ops), ncores * DEPOSITS, "op count @ {crash_cycle}");
+    }
+}

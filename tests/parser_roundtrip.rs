@@ -1,0 +1,44 @@
+//! The textual IR round trip holds for every workload and compiled binary:
+//! pretty → parse → pretty is a fixpoint, and parsed modules behave
+//! identically.
+
+use cwsp::ir::parse::parse_module;
+use cwsp::ir::pretty::fmt_module;
+
+#[test]
+fn all_workloads_roundtrip_through_text() {
+    for w in cwsp::workloads::all() {
+        let text = fmt_module(&w.module);
+        let parsed = parse_module(&text)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert!(parsed.validate().is_ok(), "{}: {:?}", w.name, parsed.validate());
+        assert_eq!(fmt_module(&parsed), text, "{}: not a fixpoint", w.name);
+    }
+}
+
+#[test]
+fn parsed_workload_behaves_identically() {
+    for name in ["fft", "tatp", "namd"] {
+        let w = cwsp::workloads::by_name(name).unwrap();
+        let parsed = parse_module(&fmt_module(&w.module)).unwrap();
+        let a = cwsp::ir::interp::run(&w.module, 30_000_000).unwrap();
+        let b = cwsp::ir::interp::run(&parsed, 30_000_000).unwrap();
+        assert_eq!(a.output, b.output, "{name}");
+        assert_eq!(a.return_value, b.return_value, "{name}");
+    }
+}
+
+#[test]
+fn compiled_binaries_roundtrip_including_boundaries_and_ckpts() {
+    use cwsp::compiler::pipeline::{CompileOptions, CwspCompiler};
+    let w = cwsp::workloads::by_name("kmeans").unwrap();
+    let c = CwspCompiler::new(CompileOptions::default()).compile(&w.module);
+    let text = fmt_module(&c.module);
+    assert!(text.contains("boundary Rg"), "compiled text shows regions");
+    assert!(text.contains("ckpt r"), "compiled text shows checkpoints");
+    let parsed = parse_module(&text).unwrap();
+    assert_eq!(fmt_module(&parsed), text);
+    let a = cwsp::ir::interp::run(&c.module, 30_000_000).unwrap();
+    let b = cwsp::ir::interp::run(&parsed, 30_000_000).unwrap();
+    assert_eq!(a.output, b.output);
+}

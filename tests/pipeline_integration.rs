@@ -1,0 +1,101 @@
+//! Cross-crate integration: every paper workload must compile through the
+//! full cWSP pipeline with semantics preserved and the dynamic invariants
+//! (no intra-region WAR, exact recovery slices) holding.
+
+use cwsp::compiler::pipeline::{CompileOptions, CwspCompiler};
+use cwsp::compiler::verify;
+
+const STEP_BUDGET: u64 = 30_000_000;
+
+#[test]
+fn all_38_workloads_compile_and_preserve_semantics() {
+    for w in cwsp::workloads::all() {
+        let oracle = cwsp::ir::interp::run(&w.module, STEP_BUDGET)
+            .unwrap_or_else(|e| panic!("{}: oracle: {e}", w.name));
+        let c = CwspCompiler::new(CompileOptions::default()).compile(&w.module);
+        let out = cwsp::ir::interp::run(&c.module, STEP_BUDGET)
+            .unwrap_or_else(|e| panic!("{}: compiled: {e}", w.name));
+        assert_eq!(out.return_value, oracle.return_value, "{}", w.name);
+        assert_eq!(out.output, oracle.output, "{}", w.name);
+        let diffs =
+            out.memory.diff_where(&oracle.memory, cwsp::ir::layout::is_program_data, 4);
+        assert!(diffs.is_empty(), "{}: data diverged {diffs:x?}", w.name);
+    }
+}
+
+#[test]
+fn workload_sample_passes_dynamic_invariants() {
+    // The dynamic checkers replay step-by-step; run them on a representative
+    // subset (one app per suite) to keep CI time sane.
+    for name in ["lbm", "xz", "lulesh", "radix", "tpcc", "kmeans"] {
+        let w = cwsp::workloads::by_name(name).unwrap();
+        let c = CwspCompiler::new(CompileOptions::default()).compile(&w.module);
+        verify::check_antidependence(&c.module, STEP_BUDGET)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        verify::check_slices(&c.module, &c.slices, STEP_BUDGET)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+#[test]
+fn unpruned_compilation_also_preserves_semantics() {
+    for name in ["fft", "vacation", "sps"] {
+        let w = cwsp::workloads::by_name(name).unwrap();
+        let oracle = cwsp::ir::interp::run(&w.module, STEP_BUDGET).unwrap();
+        let c = CwspCompiler::new(CompileOptions { pruning: false, ..Default::default() }).compile(&w.module);
+        let out = cwsp::ir::interp::run(&c.module, STEP_BUDGET).unwrap();
+        assert_eq!(out.output, oracle.output, "{name}");
+        verify::check_slices(&c.module, &c.slices, STEP_BUDGET)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+#[test]
+fn compilation_statistics_are_sane() {
+    for w in cwsp::workloads::all() {
+        let c = CwspCompiler::new(CompileOptions::default()).compile(&w.module);
+        let s = &c.stats;
+        assert!(s.boundaries_inserted > 0, "{}: no regions", w.name);
+        assert!(s.insts_after >= s.insts_before, "{}", w.name);
+        assert!(
+            s.insts_after as f64 <= s.insts_before as f64 * 1.6,
+            "{}: static bloat {} -> {}",
+            w.name,
+            s.insts_before,
+            s.insts_after
+        );
+        // Every explicit boundary got a recovery slice.
+        assert_eq!(c.slices.len(), s.boundaries_inserted, "{}", w.name);
+    }
+}
+
+#[test]
+fn runtime_library_composes_with_workload_style_code() {
+    // malloc/free/syscall interleaved with kernel-style loops.
+    use cwsp::ir::builder::build_counted_loop;
+    use cwsp::ir::prelude::*;
+    use cwsp::runtime::{Runtime, SYS_WRITE};
+
+    let mut m = Module::new("compose");
+    let rt = Runtime::install(&mut m);
+    let mut b = FunctionBuilder::new("main", 0);
+    let e = b.entry();
+    let buf = b.call(e, rt.malloc, vec![Operand::imm(16)], true).unwrap();
+    let (_, exit) = build_counted_loop(&mut b, e, Operand::imm(16), |b, bb, i| {
+        let off = b.bin(bb, BinOp::Shl, i.into(), Operand::imm(3));
+        let a = b.bin(bb, BinOp::Add, buf.into(), off.into());
+        b.store(bb, i.into(), MemRef::reg(a, 0));
+    });
+    let v = b.load(exit, MemRef::reg(buf, 120));
+    b.call(exit, rt.syscall, vec![Operand::imm(SYS_WRITE), v.into(), Operand::imm(0)], false);
+    b.call(exit, rt.free, vec![buf.into()], false);
+    b.push(exit, Inst::Ret { val: Some(v.into()) });
+    let f = m.add_function(b.build());
+    m.set_entry(f);
+
+    let oracle = cwsp::ir::interp::run(&m, 100_000).unwrap();
+    assert_eq!(oracle.return_value, Some(15));
+    assert_eq!(oracle.output, vec![15]);
+    let c = CwspCompiler::new(CompileOptions::default()).compile(&m);
+    verify::check_all(&m, &c.module, &c.slices, 200_000).unwrap();
+}

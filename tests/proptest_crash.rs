@@ -1,0 +1,105 @@
+//! Property tests: crash consistency must hold for *arbitrary* structured
+//! programs and *arbitrary* crash cycles, pruned or not. This is the
+//! repository's strongest evidence that the compiler + hardware + recovery
+//! protocol compose soundly.
+
+use cwsp::compiler::pipeline::CompileOptions;
+use cwsp::core::genprog::{generate, ProgramSpec};
+use cwsp::core::system::CwspSystem;
+use cwsp::core::verify::check_crash_consistency;
+use cwsp::sim::config::SimConfig;
+use proptest::prelude::*;
+
+fn spec_strategy() -> impl Strategy<Value = ProgramSpec> {
+    (1usize..4, 4u64..32, 4usize..14, 2u64..10, any::<bool>()).prop_map(
+        |(globals, words, segments, trip, calls)| ProgramSpec {
+            globals,
+            global_words: words,
+            segments,
+            max_trip: trip,
+            calls,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    #[test]
+    fn random_programs_survive_random_crashes(
+        spec in spec_strategy(),
+        seed in 0u64..10_000,
+        crash_cycle in 0u64..20_000,
+        pruning in any::<bool>(),
+    ) {
+        let module = generate(&spec, seed);
+        let system = CwspSystem::compile_with(
+            &module,
+            CompileOptions { pruning, ..Default::default() },
+            SimConfig::default(),
+        );
+        let report = check_crash_consistency(&system, crash_cycle)
+            .map_err(|e| TestCaseError::fail(format!("seed {seed}: {e}")))?;
+        prop_assert!(
+            report.recovered_matches_oracle,
+            "seed {seed} crash@{crash_cycle} pruning={pruning}: {:?}",
+            report.divergence
+        );
+    }
+
+    #[test]
+    fn random_programs_survive_crashes_on_tiny_hardware(
+        seed in 0u64..10_000,
+        crash_cycle in 0u64..8_000,
+    ) {
+        // Tiny queues force every stall path (PB full, RBT full, WPQ full).
+        let mut cfg = SimConfig::default();
+        cfg.rbt_entries = 2;
+        cfg.pb_entries = 3;
+        cfg.wpq_entries = 2;
+        cfg.persist_path_gbps = 0.5;
+        let module = generate(&ProgramSpec::default(), seed);
+        let system =
+            CwspSystem::compile_with(&module, CompileOptions::default(), cfg);
+        let report = check_crash_consistency(&system, crash_cycle)
+            .map_err(|e| TestCaseError::fail(format!("seed {seed}: {e}")))?;
+        prop_assert!(
+            report.recovered_matches_oracle,
+            "seed {seed} crash@{crash_cycle}: {:?}",
+            report.divergence
+        );
+    }
+
+    #[test]
+    fn compiled_random_programs_keep_oracle_semantics(
+        spec in spec_strategy(),
+        seed in 0u64..50_000,
+    ) {
+        let module = generate(&spec, seed);
+        let oracle = cwsp::ir::interp::run(&module, 3_000_000)
+            .map_err(|e| TestCaseError::fail(format!("oracle: {e}")))?;
+        for pruning in [true, false] {
+            let c = cwsp::compiler::pipeline::CwspCompiler::new(
+                CompileOptions { pruning, ..Default::default() },
+            )
+            .compile(&module);
+            let out = cwsp::ir::interp::run(&c.module, 6_000_000)
+                .map_err(|e| TestCaseError::fail(format!("compiled: {e}")))?;
+            prop_assert_eq!(out.return_value, oracle.return_value);
+            prop_assert_eq!(&out.output, &oracle.output);
+        }
+    }
+
+    #[test]
+    fn dynamic_invariants_hold_for_random_programs(
+        seed in 0u64..50_000,
+    ) {
+        let module = generate(&ProgramSpec::default(), seed);
+        let c = cwsp::compiler::pipeline::CwspCompiler::new(CompileOptions::default())
+            .compile(&module);
+        cwsp::compiler::verify::check_antidependence(&c.module, 3_000_000)
+            .map_err(TestCaseError::fail)?;
+        cwsp::compiler::verify::check_slices(&c.module, &c.slices, 3_000_000)
+            .map_err(TestCaseError::fail)?;
+    }
+}

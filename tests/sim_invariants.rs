@@ -1,0 +1,126 @@
+//! Simulator-level invariants across schemes and configurations.
+
+use cwsp::compiler::pipeline::{CompileOptions, CwspCompiler};
+use cwsp::sim::config::SimConfig;
+use cwsp::sim::machine::{Machine, RunEnd};
+use cwsp::sim::scheme::{CwspFeatures, Scheme};
+
+fn compiled(name: &str) -> cwsp::ir::Module {
+    let w = cwsp::workloads::by_name(name).unwrap();
+    CwspCompiler::new(CompileOptions::default()).compile(&w.module).module
+}
+
+#[test]
+fn nvm_converges_to_architectural_state_at_completion() {
+    for name in ["fft", "tatp", "h264ref"] {
+        let m = compiled(name);
+        let mut machine = Machine::new(&m, SimConfig::default(), Scheme::cwsp());
+        let r = machine.run(u64::MAX, None).unwrap();
+        assert_eq!(r.end, RunEnd::Completed, "{name}");
+        let diffs = machine.nvm().diff_where(
+            machine.arch_mem(),
+            |a| !cwsp::ir::layout::is_hw_meta_addr(a),
+            8,
+        );
+        assert!(diffs.is_empty(), "{name}: NVM lag at completion: {diffs:x?}");
+    }
+}
+
+#[test]
+fn all_schemes_complete_and_order_sensibly() {
+    let w = cwsp::workloads::by_name("ocg").unwrap();
+    let m = CwspCompiler::new(CompileOptions::default()).compile(&w.module).module;
+    let cfg = SimConfig::default();
+    let cycles = |scheme| {
+        let mut machine = Machine::new(&m, cfg.clone(), scheme);
+        machine.run(u64::MAX, None).unwrap().stats.cycles
+    };
+    let base = cycles(Scheme::Baseline);
+    let cwsp = cycles(Scheme::cwsp());
+    let replay = cycles(Scheme::ReplayCache);
+    assert!(base <= cwsp, "cwsp {cwsp} < baseline {base}");
+    assert!(cwsp < replay, "replaycache {replay} should be slowest");
+}
+
+#[test]
+fn disabling_speculation_never_speeds_things_up() {
+    let w = cwsp::workloads::by_name("lu-cg").unwrap();
+    let m = CwspCompiler::new(CompileOptions::default()).compile(&w.module).module;
+    let cfg = SimConfig::default();
+    let with_spec = {
+        let mut machine = Machine::new(&m, cfg.clone(), Scheme::cwsp());
+        machine.run(u64::MAX, None).unwrap().stats.cycles
+    };
+    let without = {
+        let mut f = CwspFeatures::default();
+        f.mc_speculation = false;
+        let mut machine = Machine::new(&m, cfg, Scheme::Cwsp(f));
+        machine.run(u64::MAX, None).unwrap().stats.cycles
+    };
+    assert!(without >= with_spec, "no-spec {without} < spec {with_spec}");
+}
+
+#[test]
+fn smaller_rbt_is_never_faster() {
+    let w = cwsp::workloads::by_name("radix").unwrap();
+    let m = CwspCompiler::new(CompileOptions::default()).compile(&w.module).module;
+    let run = |rbt: usize| {
+        let mut cfg = SimConfig::default();
+        cfg.rbt_entries = rbt;
+        let mut machine = Machine::new(&m, cfg, Scheme::cwsp());
+        machine.run(u64::MAX, None).unwrap().stats.cycles
+    };
+    let tiny = run(2);
+    let default = run(16);
+    assert!(tiny >= default, "RBT-2 {tiny} < RBT-16 {default}");
+}
+
+#[test]
+fn bandwidth_monotonicity() {
+    let w = cwsp::workloads::by_name("lulesh").unwrap();
+    let m = CwspCompiler::new(CompileOptions::default()).compile(&w.module).module;
+    let run = |bw: f64| {
+        let mut cfg = SimConfig::default();
+        cfg.persist_path_gbps = bw;
+        let mut machine = Machine::new(&m, cfg, Scheme::cwsp());
+        machine.run(u64::MAX, None).unwrap().stats.cycles
+    };
+    let slow = run(1.0);
+    let fast = run(32.0);
+    assert!(slow >= fast, "1GB/s {slow} < 32GB/s {fast}");
+}
+
+#[test]
+fn multicore_machine_runs_workloads() {
+    let w = cwsp::workloads::by_name("water-sp").unwrap();
+    let m = CwspCompiler::new(CompileOptions::default()).compile(&w.module).module;
+    let mut cfg = SimConfig::default();
+    cfg.cores = 4;
+    let mut machine = Machine::new(&m, cfg, Scheme::cwsp());
+    let r = machine.run(u64::MAX, None).unwrap();
+    assert_eq!(r.end, RunEnd::Completed);
+    assert!(machine.all_halted());
+    // All cores execute; dynamic instruction count scales with core count.
+    let single = {
+        let mut machine = Machine::new(&m, SimConfig::default(), Scheme::cwsp());
+        machine.run(u64::MAX, None).unwrap().stats.insts
+    };
+    assert!(r.stats.insts > 3 * single, "4 cores ran {} vs single {}", r.stats.insts, single);
+}
+
+#[test]
+fn region_statistics_match_paper_characteristics() {
+    // Fig 19: the paper reports ~38 dynamic instructions per region; our
+    // synthetic kernels land in the same regime (tens, not units or
+    // thousands).
+    let mut sizes = Vec::new();
+    for name in ["lbm", "tpcc", "namd"] {
+        let m = compiled(name);
+        let mut machine = Machine::new(&m, SimConfig::default(), Scheme::cwsp());
+        let r = machine.run(u64::MAX, None).unwrap();
+        sizes.push(r.stats.avg_region_insts());
+    }
+    for s in &sizes {
+        assert!(*s > 5.0 && *s < 200.0, "region size out of regime: {sizes:?}");
+    }
+}
