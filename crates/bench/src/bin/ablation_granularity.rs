@@ -8,13 +8,20 @@ use cwsp_sim::config::SimConfig;
 use cwsp_sim::scheme::Scheme;
 
 fn main() {
+    cwsp_bench::harness_main("ablation_granularity", run);
+}
+
+fn run() {
     let apps = cwsp_workloads::all();
     println!("\n=== Ablation: persist granularity (4 GB/s path) ===");
     for gran in [8u64, 64] {
-        let mut cfg = SimConfig::default();
-        cfg.persist_granularity = gran;
-        let results =
-            measure_all(&apps, |w| slowdown(w, &cfg, Scheme::cwsp(), CompileOptions::default()));
+        let cfg = SimConfig {
+            persist_granularity: gran,
+            ..SimConfig::default()
+        };
+        let results = measure_all(&apps, |w| {
+            slowdown(w, &cfg, Scheme::cwsp(), CompileOptions::default())
+        });
         println!("-- {gran}-byte entries");
         for (suite, v) in suite_gmeans(&results) {
             println!("   {suite:<12} {v:>8.3} x");

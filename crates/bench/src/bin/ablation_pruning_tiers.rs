@@ -11,11 +11,27 @@ use cwsp_sim::config::SimConfig;
 use cwsp_sim::scheme::Scheme;
 
 fn main() {
+    cwsp_bench::harness_main("ablation_pruning_tiers", run);
+}
+
+fn run() {
     let cfg = SimConfig::default();
     let apps = cwsp_workloads::all();
     let tiers: [(&str, CompileOptions); 3] = [
-        ("none", CompileOptions { pruning: false, ..Default::default() }),
-        ("const", CompileOptions { expr_remat: false, ..Default::default() }),
+        (
+            "none",
+            CompileOptions {
+                pruning: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "const",
+            CompileOptions {
+                expr_remat: false,
+                ..Default::default()
+            },
+        ),
         ("full", CompileOptions::default()),
     ];
     println!("\n=== Ablation: checkpoint-pruning tiers ===");

@@ -6,22 +6,28 @@
 //! memory-intensive subset) on a 1/32-scaled hierarchy; see
 //! `cwsp_workloads::probes`.
 
-use cwsp_bench::{gmean, measure_all, print_results, run_to_completion, AppResult};
+use cwsp_bench::{cached_stats, gmean, measure_all, print_results, AppResult};
 use cwsp_sim::config::{MainMemory, NvmTech, SimConfig};
 use cwsp_sim::scheme::Scheme;
 use cwsp_workloads::probes::{hierarchy_probes, SCALE_SHIFT};
 
 fn main() {
+    cwsp_bench::harness_main("fig01_cxl_hierarchy", run);
+}
+
+fn run() {
     let apps = hierarchy_probes();
     let mut trend = Vec::new();
     for levels in 2..=5usize {
         let results: Vec<AppResult> = measure_all(&apps, |w| {
-            let mut pmem = SimConfig::default().hierarchy_depth(levels).scaled(SCALE_SHIFT);
+            let mut pmem = SimConfig::default()
+                .hierarchy_depth(levels)
+                .scaled(SCALE_SHIFT);
             pmem.main_memory = MainMemory::Nvm(NvmTech::Pmem);
             let mut dram = pmem.clone();
             dram.main_memory = MainMemory::Nvm(NvmTech::Dram);
-            let p = run_to_completion(&w.module, &pmem, Scheme::Baseline).unwrap().cycles;
-            let d = run_to_completion(&w.module, &dram, Scheme::Baseline).unwrap().cycles;
+            let p = cached_stats(w.name, &w.module, &pmem, Scheme::Baseline).cycles;
+            let d = cached_stats(w.name, &w.module, &dram, Scheme::Baseline).cycles;
             p as f64 / d as f64
         });
         print_results(

@@ -1,20 +1,28 @@
 //! Figure 6: average L1D write-buffer occupancy for the baseline and cWSP
 //! (paper: 0.39 entries for both — the PB-delay check adds no pressure).
 
-use cwsp_bench::{measure_all, print_results, scheme_stats, run_to_completion};
+use cwsp_bench::{cached_stats, measure_all, print_results, scheme_stats};
 use cwsp_compiler::pipeline::CompileOptions;
 use cwsp_sim::config::SimConfig;
 use cwsp_sim::scheme::Scheme;
 
 fn main() {
+    cwsp_bench::harness_main("fig06_wb_occupancy", run);
+}
+
+fn run() {
     let cfg = SimConfig::default();
     let apps = cwsp_workloads::all();
     let base = measure_all(&apps, |w| {
-        run_to_completion(&w.module, &cfg, Scheme::Baseline).unwrap().avg_wb_occupancy()
+        cached_stats(w.name, &w.module, &cfg, Scheme::Baseline).avg_wb_occupancy()
     });
     print_results("Fig 6a: baseline avg WB occupancy", "entries", &base);
     let cwsp = measure_all(&apps, |w| {
         scheme_stats(w, &cfg, Scheme::cwsp(), CompileOptions::default()).avg_wb_occupancy()
     });
-    print_results("Fig 6b: cWSP avg WB occupancy (paper: equal to baseline)", "entries", &cwsp);
+    print_results(
+        "Fig 6b: cWSP avg WB occupancy (paper: equal to baseline)",
+        "entries",
+        &cwsp,
+    );
 }

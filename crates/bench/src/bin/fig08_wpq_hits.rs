@@ -7,10 +7,18 @@ use cwsp_sim::config::SimConfig;
 use cwsp_sim::scheme::Scheme;
 
 fn main() {
+    cwsp_bench::harness_main("fig08_wpq_hits", run);
+}
+
+fn run() {
     let cfg = SimConfig::default();
     let apps = cwsp_workloads::all();
     let results = measure_all(&apps, |w| {
         scheme_stats(w, &cfg, Scheme::cwsp(), CompileOptions::default()).wpq_hits_per_minst()
     });
-    print_results("Fig 8: WPQ hits per 1M instructions (paper avg: 0.98)", "HPMI", &results);
+    print_results(
+        "Fig 8: WPQ hits per 1M instructions (paper avg: 0.98)",
+        "HPMI",
+        &results,
+    );
 }

@@ -8,6 +8,10 @@ use cwsp_sim::config::SimConfig;
 use cwsp_sim::scheme::Scheme;
 
 fn main() {
+    cwsp_bench::harness_main("fig13_overhead", run);
+}
+
+fn run() {
     let cfg = SimConfig::default();
     let apps = cwsp_workloads::all();
     let results = measure_all(&apps, |w| {

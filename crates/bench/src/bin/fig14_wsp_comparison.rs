@@ -8,6 +8,10 @@ use cwsp_sim::config::SimConfig;
 use cwsp_sim::scheme::Scheme;
 
 fn main() {
+    cwsp_bench::harness_main("fig14_wsp_comparison", run);
+}
+
+fn run() {
     let apps = cwsp_workloads::all();
     let opts = CompileOptions::default();
     let configs: Vec<(&str, Scheme, f64)> = vec![
@@ -19,8 +23,10 @@ fn main() {
     ];
     println!("\n=== Fig 14: WSP scheme comparison (normalized slowdown gmeans) ===");
     for (label, scheme, bw) in configs {
-        let mut cfg = SimConfig::default();
-        cfg.persist_path_gbps = bw;
+        let cfg = SimConfig {
+            persist_path_gbps: bw,
+            ..SimConfig::default()
+        };
         let results = measure_all(&apps, |w| slowdown(w, &cfg, scheme, opts));
         println!("-- {label}");
         for (suite, v) in suite_gmeans(&results) {

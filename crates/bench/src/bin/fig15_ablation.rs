@@ -8,10 +8,20 @@ use cwsp_sim::config::SimConfig;
 use cwsp_sim::scheme::{CwspFeatures, Scheme};
 
 fn main() {
+    cwsp_bench::harness_main("fig15_ablation", run);
+}
+
+fn run() {
     let cfg = SimConfig::default();
     let apps = cwsp_workloads::all();
-    let unpruned = CompileOptions { pruning: false, ..Default::default() };
-    let pruned = CompileOptions { pruning: true, ..Default::default() };
+    let unpruned = CompileOptions {
+        pruning: false,
+        ..Default::default()
+    };
+    let pruned = CompileOptions {
+        pruning: true,
+        ..Default::default()
+    };
     let f = |pp, mc, wb, wpq| {
         Scheme::Cwsp(CwspFeatures {
             persist_path: pp,

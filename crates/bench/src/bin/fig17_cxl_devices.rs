@@ -8,12 +8,23 @@ use cwsp_sim::config::{MainMemory, SimConfig, CXL_DEVICES};
 use cwsp_sim::scheme::Scheme;
 
 fn main() {
+    cwsp_bench::harness_main("fig17_cxl_devices", run);
+}
+
+fn run() {
     let apps = cwsp_workloads::memory_intensive();
     for dev in CXL_DEVICES {
-        let mut cfg = SimConfig::default();
-        cfg.main_memory = MainMemory::Cxl(dev);
-        let results =
-            measure_all(&apps, |w| slowdown(w, &cfg, Scheme::cwsp(), CompileOptions::default()));
-        print_results(&format!("Fig 17 [{}]: cWSP slowdown", dev.name), "x", &results);
+        let cfg = SimConfig {
+            main_memory: MainMemory::Cxl(dev),
+            ..SimConfig::default()
+        };
+        let results = measure_all(&apps, |w| {
+            slowdown(w, &cfg, Scheme::cwsp(), CompileOptions::default())
+        });
+        print_results(
+            &format!("Fig 17 [{}]: cWSP slowdown", dev.name),
+            "x",
+            &results,
+        );
     }
 }

@@ -5,29 +5,41 @@
 //! Uses the hierarchy probes on a scaled hierarchy so working sets actually
 //! benefit from the DRAM cache (see `cwsp_workloads::probes`).
 
-use cwsp_bench::{measure_all, print_results, run_to_completion, scheme_stats};
+use cwsp_bench::{cached_stats, measure_all, print_results, scheme_stats};
 use cwsp_compiler::pipeline::CompileOptions;
 use cwsp_sim::config::SimConfig;
 use cwsp_sim::scheme::Scheme;
 use cwsp_workloads::probes::{hierarchy_probes, SCALE_SHIFT};
 
 fn main() {
+    cwsp_bench::harness_main("fig18_psp_comparison", run);
+}
+
+fn run() {
     let apps = hierarchy_probes();
     let cfg = SimConfig::default().scaled(SCALE_SHIFT);
     let cwsp = measure_all(&apps, |w| {
-        let base = run_to_completion(&w.module, &cfg, Scheme::Baseline).unwrap().cycles;
+        let base = cached_stats(w.name, &w.module, &cfg, Scheme::Baseline).cycles;
         let s = scheme_stats(w, &cfg, Scheme::cwsp(), CompileOptions::default()).cycles;
         s as f64 / base as f64
     });
-    print_results("Fig 18a: cWSP (DRAM cache enabled; paper gmean 1.03)", "x", &cwsp);
+    print_results(
+        "Fig 18a: cWSP (DRAM cache enabled; paper gmean 1.03)",
+        "x",
+        &cwsp,
+    );
     // Ideal PSP: no DRAM cache; original binary (battery-backed hierarchy
     // needs no compiler support). Normalized to the DRAM-cache baseline.
     let psp = measure_all(&apps, |w| {
-        let base = run_to_completion(&w.module, &cfg, Scheme::Baseline).unwrap().cycles;
+        let base = cached_stats(w.name, &w.module, &cfg, Scheme::Baseline).cycles;
         let mut nocache = cfg.clone();
         nocache.dram_cache = None;
-        let c = run_to_completion(&w.module, &nocache, Scheme::IdealPsp).unwrap().cycles;
+        let c = cached_stats(w.name, &w.module, &nocache, Scheme::IdealPsp).cycles;
         c as f64 / base as f64
     });
-    print_results("Fig 18b: ideal PSP (no DRAM cache; paper gmean 1.52)", "x", &psp);
+    print_results(
+        "Fig 18b: ideal PSP (no DRAM cache; paper gmean 1.52)",
+        "x",
+        &psp,
+    );
 }

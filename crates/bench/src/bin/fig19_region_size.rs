@@ -8,20 +8,35 @@ use cwsp_sim::config::SimConfig;
 use cwsp_sim::scheme::Scheme;
 
 fn main() {
+    cwsp_bench::harness_main("fig19_region_size", run);
+}
+
+fn run() {
     let cfg = SimConfig::default();
     let apps = cwsp_workloads::all();
-    let mut hist = [0u64; 7];
     let results = measure_all(&apps, |w| {
+        scheme_stats(w, &cfg, Scheme::cwsp(), CompileOptions::default()).avg_region_insts()
+    });
+    print_results(
+        "Fig 19: dynamic instructions per region (paper avg: 38.15)",
+        "insts",
+        &results,
+    );
+    // Second pass for the distribution: every request is a memo hit, so this
+    // costs nothing beyond the parallel sweep above.
+    let mut hist = [0u64; 7];
+    for w in &apps {
         let s = scheme_stats(w, &cfg, Scheme::cwsp(), CompileOptions::default());
         for (h, v) in hist.iter_mut().zip(s.region_size_hist) {
             *h += v;
         }
-        s.avg_region_insts()
-    });
-    print_results("Fig 19: dynamic instructions per region (paper avg: 38.15)", "insts", &results);
+    }
     println!("\nregion-size distribution across all apps:");
     let total: u64 = hist.iter().sum();
     for (label, n) in cwsp_sim::stats::SimStats::REGION_BUCKETS.iter().zip(hist) {
-        println!("   {label:<8} {:>6.1}%", n as f64 * 100.0 / total.max(1) as f64);
+        println!(
+            "   {label:<8} {:>6.1}%",
+            n as f64 * 100.0 / total.max(1) as f64
+        );
     }
 }

@@ -7,9 +7,18 @@ use cwsp_sim::config::SimConfig;
 use cwsp_sim::scheme::Scheme;
 
 fn main() {
+    cwsp_bench::harness_main("fig20_l3_hierarchy", run);
+}
+
+fn run() {
     let cfg = SimConfig::default().with_l3();
     let apps = cwsp_workloads::all();
-    let results =
-        measure_all(&apps, |w| slowdown(w, &cfg, Scheme::cwsp(), CompileOptions::default()));
-    print_results("Fig 20: cWSP slowdown with added L3 (paper: 1.08 gmean)", "x", &results);
+    let results = measure_all(&apps, |w| {
+        slowdown(w, &cfg, Scheme::cwsp(), CompileOptions::default())
+    });
+    print_results(
+        "Fig 20: cWSP slowdown with added L3 (paper: 1.08 gmean)",
+        "x",
+        &results,
+    );
 }

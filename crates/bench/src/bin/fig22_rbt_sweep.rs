@@ -7,13 +7,20 @@ use cwsp_sim::config::SimConfig;
 use cwsp_sim::scheme::Scheme;
 
 fn main() {
+    cwsp_bench::harness_main("fig22_rbt_sweep", run);
+}
+
+fn run() {
     let apps = cwsp_workloads::all();
     println!("\n=== Fig 22: RBT size sweep ===");
     for rbt in [2usize, 4, 8, 16, 32] {
-        let mut cfg = SimConfig::default();
-        cfg.rbt_entries = rbt;
-        let results =
-            measure_all(&apps, |w| slowdown(w, &cfg, Scheme::cwsp(), CompileOptions::default()));
+        let cfg = SimConfig {
+            rbt_entries: rbt,
+            ..SimConfig::default()
+        };
+        let results = measure_all(&apps, |w| {
+            slowdown(w, &cfg, Scheme::cwsp(), CompileOptions::default())
+        });
         println!("-- RBT-{rbt}");
         for (suite, v) in suite_gmeans(&results) {
             println!("   {suite:<12} {v:>8.3} x");

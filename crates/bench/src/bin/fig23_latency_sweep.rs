@@ -7,13 +7,20 @@ use cwsp_sim::config::{ns_to_cycles, SimConfig};
 use cwsp_sim::scheme::Scheme;
 
 fn main() {
+    cwsp_bench::harness_main("fig23_latency_sweep", run);
+}
+
+fn run() {
     let apps = cwsp_workloads::all();
     println!("\n=== Fig 23: persist path latency sweep ===");
     for ns in [10.0, 20.0, 30.0, 40.0] {
-        let mut cfg = SimConfig::default();
-        cfg.persist_path_cycles = ns_to_cycles(ns) * 2; // round trip
-        let results =
-            measure_all(&apps, |w| slowdown(w, &cfg, Scheme::cwsp(), CompileOptions::default()));
+        let cfg = SimConfig {
+            persist_path_cycles: ns_to_cycles(ns) * 2, // round trip
+            ..SimConfig::default()
+        };
+        let results = measure_all(&apps, |w| {
+            slowdown(w, &cfg, Scheme::cwsp(), CompileOptions::default())
+        });
         println!("-- Lat-{ns}ns");
         for (suite, v) in suite_gmeans(&results) {
             println!("   {suite:<12} {v:>8.3} x");

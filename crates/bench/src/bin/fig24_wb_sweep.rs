@@ -7,13 +7,20 @@ use cwsp_sim::config::SimConfig;
 use cwsp_sim::scheme::Scheme;
 
 fn main() {
+    cwsp_bench::harness_main("fig24_wb_sweep", run);
+}
+
+fn run() {
     let apps = cwsp_workloads::all();
     println!("\n=== Fig 24: WB size sweep ===");
     for wb in [8usize, 16, 32] {
-        let mut cfg = SimConfig::default();
-        cfg.wb_entries = wb;
-        let results =
-            measure_all(&apps, |w| slowdown(w, &cfg, Scheme::cwsp(), CompileOptions::default()));
+        let cfg = SimConfig {
+            wb_entries: wb,
+            ..SimConfig::default()
+        };
+        let results = measure_all(&apps, |w| {
+            slowdown(w, &cfg, Scheme::cwsp(), CompileOptions::default())
+        });
         println!("-- WB-{wb}");
         for (suite, v) in suite_gmeans(&results) {
             println!("   {suite:<12} {v:>8.3} x");

@@ -7,13 +7,20 @@ use cwsp_sim::config::SimConfig;
 use cwsp_sim::scheme::Scheme;
 
 fn main() {
+    cwsp_bench::harness_main("fig26_wpq_sweep", run);
+}
+
+fn run() {
     let apps = cwsp_workloads::all();
     println!("\n=== Fig 26: WPQ size sweep ===");
     for wpq in [2usize, 4, 8, 16, 24, 32] {
-        let mut cfg = SimConfig::default();
-        cfg.wpq_entries = wpq;
-        let results =
-            measure_all(&apps, |w| slowdown(w, &cfg, Scheme::cwsp(), CompileOptions::default()));
+        let cfg = SimConfig {
+            wpq_entries: wpq,
+            ..SimConfig::default()
+        };
+        let results = measure_all(&apps, |w| {
+            slowdown(w, &cfg, Scheme::cwsp(), CompileOptions::default())
+        });
         println!("-- WPQ-{wpq}");
         for (suite, v) in suite_gmeans(&results) {
             println!("   {suite:<12} {v:>8.3} x");

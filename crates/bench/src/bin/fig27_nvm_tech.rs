@@ -7,15 +7,24 @@ use cwsp_sim::config::{MainMemory, NvmTech, SimConfig};
 use cwsp_sim::scheme::Scheme;
 
 fn main() {
+    cwsp_bench::harness_main("fig27_nvm_tech", run);
+}
+
+fn run() {
     let apps = cwsp_workloads::all();
     println!("\n=== Fig 27: NVM technology sweep ===");
-    for (label, tech) in
-        [("PMEM", NvmTech::Pmem), ("STTRAM", NvmTech::SttMram), ("ReRAM", NvmTech::ReRam)]
-    {
-        let mut cfg = SimConfig::default();
-        cfg.main_memory = MainMemory::Nvm(tech);
-        let results =
-            measure_all(&apps, |w| slowdown(w, &cfg, Scheme::cwsp(), CompileOptions::default()));
+    for (label, tech) in [
+        ("PMEM", NvmTech::Pmem),
+        ("STTRAM", NvmTech::SttMram),
+        ("ReRAM", NvmTech::ReRam),
+    ] {
+        let cfg = SimConfig {
+            main_memory: MainMemory::Nvm(tech),
+            ..SimConfig::default()
+        };
+        let results = measure_all(&apps, |w| {
+            slowdown(w, &cfg, Scheme::cwsp(), CompileOptions::default())
+        });
         println!("-- {label}");
         for (suite, v) in suite_gmeans(&results) {
             println!("   {suite:<12} {v:>8.3} x");

@@ -12,5 +12,8 @@ fn main() {
             w.description()
         );
     }
-    println!("\nhierarchy probes (Figs 1/18): {} apps", cwsp_workloads::probes::hierarchy_probes().len());
+    println!(
+        "\nhierarchy probes (Figs 1/18): {} apps",
+        cwsp_workloads::probes::hierarchy_probes().len()
+    );
 }

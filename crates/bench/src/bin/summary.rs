@@ -9,11 +9,18 @@ use cwsp_sim::config::SimConfig;
 use cwsp_sim::scheme::Scheme;
 
 fn main() {
+    cwsp_bench::harness_main("summary", run);
+}
+
+fn run() {
     let cfg = SimConfig::default();
     let names = ["lbm", "xz", "lulesh", "radix", "tpcc", "kmeans"];
     println!("=== cWSP reproduction summary (subset: one app per suite) ===\n");
 
-    println!("{:<10} {:>8} {:>8} {:>10}", "app", "cWSP", "Capri", "Replay");
+    println!(
+        "{:<10} {:>8} {:>8} {:>10}",
+        "app", "cWSP", "Capri", "Replay"
+    );
     let mut cwsp_all = Vec::new();
     for name in names {
         let w = cwsp_workloads::by_name(name).unwrap();

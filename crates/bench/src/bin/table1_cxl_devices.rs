@@ -3,6 +3,10 @@
 use cwsp_sim::config::CXL_DEVICES;
 
 fn main() {
+    cwsp_bench::harness_main("table1_cxl_devices", run);
+}
+
+fn run() {
     println!("=== Table I: CXL memory devices ===");
     println!(
         "{:<16} {:<11} {:<12} {:>14} {:>18}",

@@ -9,6 +9,10 @@ use cwsp_sim::energy::{battery_budget_joules, report};
 use cwsp_sim::scheme::Scheme;
 
 fn main() {
+    cwsp_bench::harness_main("table_energy", run);
+}
+
+fn run() {
     let cfg = SimConfig::default();
     println!("=== Battery / residual-energy budgets (per core) ===");
     for scheme in [Scheme::cwsp(), Scheme::Capri, Scheme::IdealPsp] {

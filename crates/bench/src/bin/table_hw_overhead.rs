@@ -5,11 +5,18 @@
 use cwsp_sim::config::SimConfig;
 
 fn main() {
+    cwsp_bench::harness_main("table_hw_overhead", run);
+}
+
+fn run() {
     let cfg = SimConfig::default();
     let rbt = cfg.rbt_storage_bytes();
     let capri_per_core: usize = 54 * 1024; // "54KB per core", §I
     println!("=== §IX-N: hardware storage overhead ===");
-    println!("cWSP RBT:   {} entries x 11 B = {rbt} B per core", cfg.rbt_entries);
+    println!(
+        "cWSP RBT:   {} entries x 11 B = {rbt} B per core",
+        cfg.rbt_entries
+    );
     println!("cWSP PB:    repurposed 1 KB Intel write-combining buffer (no new storage)");
     println!("Capri:      {capri_per_core} B per core (battery-backed redo buffer)");
     println!(

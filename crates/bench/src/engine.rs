@@ -1,0 +1,584 @@
+//! The parallel, memoizing experiment engine.
+//!
+//! Every figure binary used to re-run the same (workload, options, config,
+//! scheme) simulations serially: each figure recompiled every workload and
+//! re-measured every baseline from scratch. This module centralizes that
+//! work:
+//!
+//! * **Work-stealing pool** — [`par_map`] fans jobs out over
+//!   `std::thread::scope` workers (count from `CWSP_JOBS`, default the
+//!   machine's available parallelism) while preserving input order in the
+//!   returned results, so figure output stays byte-identical to the serial
+//!   harness.
+//! * **In-process memo** — simulation results are memoized by content
+//!   fingerprint (module text + machine config + scheme; see
+//!   [`crate::fingerprint`]), sharded to keep lock contention off the hot
+//!   path. Baselines and compiled modules are computed once per process no
+//!   matter how many figures ask for them.
+//! * **On-disk cache** — results persist as JSON under `results/cache/`
+//!   (override with `CWSP_CACHE_DIR`, disable with `CWSP_CACHE=0`), so
+//!   re-running a figure binary is nearly free once warm. Keys include
+//!   [`crate::fingerprint::CACHE_VERSION`]; bump it when simulator semantics
+//!   change.
+//! * **Harness report** — [`harness_main`] wraps a figure binary's body,
+//!   timing it and merging a per-figure entry (wall-clock, jobs, hit rate)
+//!   into `results/BENCH_harness.json`.
+
+use crate::fingerprint::{machine_fp, module_fp, options_fp};
+use crate::json::{self, Value};
+use cwsp_compiler::pipeline::{CompileOptions, Compiled, CwspCompiler};
+use cwsp_ir::module::Module;
+use cwsp_sim::config::SimConfig;
+use cwsp_sim::scheme::Scheme;
+use cwsp_sim::stats::SimStats;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+const SHARDS: usize = 16;
+
+type StatsSlot = Arc<OnceLock<SimStats>>;
+type CompileSlot = Arc<OnceLock<Arc<Compiled>>>;
+
+/// Monotonic counters describing engine traffic (see [`Engine::counters`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Simulation results requested.
+    pub jobs: u64,
+    /// Requests served from the in-process memo.
+    pub memo_hits: u64,
+    /// Requests served from the on-disk cache.
+    pub disk_hits: u64,
+}
+
+impl Counters {
+    /// Fraction of requests that did not run a simulation.
+    pub fn hit_rate(&self) -> f64 {
+        if self.jobs == 0 {
+            0.0
+        } else {
+            (self.memo_hits + self.disk_hits) as f64 / self.jobs as f64
+        }
+    }
+}
+
+/// The memoizing engine; one global instance serves all figure binaries
+/// (see [`engine`]), and tests can build private instances.
+pub struct Engine {
+    stats_memo: Vec<Mutex<HashMap<(u64, u64), StatsSlot>>>,
+    compile_memo: Vec<Mutex<HashMap<(u64, u64), CompileSlot>>>,
+    disk: Option<PathBuf>,
+    jobs: AtomicU64,
+    memo_hits: AtomicU64,
+    disk_hits: AtomicU64,
+}
+
+impl Engine {
+    /// An engine with an explicit disk-cache directory (`None` = memory only).
+    pub fn new(disk: Option<PathBuf>) -> Self {
+        Engine {
+            stats_memo: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            compile_memo: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            disk,
+            jobs: AtomicU64::new(0),
+            memo_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Snapshot the traffic counters.
+    pub fn counters(&self) -> Counters {
+        Counters {
+            jobs: self.jobs.load(Ordering::Relaxed),
+            memo_hits: self.memo_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Compile `module` under `opts`, memoized by content.
+    pub fn compiled(&self, module: &Module, opts: CompileOptions) -> Arc<Compiled> {
+        let key = (module_fp(module), options_fp(opts));
+        let slot = {
+            let mut shard = self.compile_memo[key.0 as usize % SHARDS].lock().unwrap();
+            shard.entry(key).or_default().clone()
+        };
+        slot.get_or_init(|| Arc::new(CwspCompiler::new(opts).compile(module)))
+            .clone()
+    }
+
+    /// Run `module` on the `cfg`/`scheme` machine, memoized by content and
+    /// backed by the disk cache. `name` labels cache files and panics only.
+    ///
+    /// # Panics
+    /// Panics if the simulation traps (same contract as the serial harness).
+    pub fn stats(&self, name: &str, module: &Module, cfg: &SimConfig, scheme: Scheme) -> SimStats {
+        let key = (module_fp(module), machine_fp(cfg, scheme));
+        self.jobs.fetch_add(1, Ordering::Relaxed);
+        let slot = {
+            let mut shard = self.stats_memo[key.0 as usize % SHARDS].lock().unwrap();
+            shard.entry(key).or_default().clone()
+        };
+        if let Some(s) = slot.get() {
+            self.memo_hits.fetch_add(1, Ordering::Relaxed);
+            return s.clone();
+        }
+        // Which path satisfied this request: our closure simulated, our
+        // closure loaded from disk, or another thread got there first (the
+        // closure never ran and `get_or_init` just waited).
+        enum Outcome {
+            Waited,
+            Disk,
+            Ran,
+        }
+        let mut outcome = Outcome::Waited;
+        let s = slot.get_or_init(|| {
+            if let Some(s) = self.disk_load(key) {
+                outcome = Outcome::Disk;
+                return s;
+            }
+            outcome = Outcome::Ran;
+            let s = crate::run_to_completion(module, cfg, scheme)
+                .unwrap_or_else(|e| panic!("{name} {}: {e}", scheme.name()));
+            self.disk_store(key, name, &s);
+            s
+        });
+        match outcome {
+            Outcome::Waited => {
+                self.memo_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            Outcome::Disk => {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            Outcome::Ran => {}
+        }
+        s.clone()
+    }
+
+    fn cache_path(&self, key: (u64, u64)) -> Option<PathBuf> {
+        self.disk
+            .as_ref()
+            .map(|d| d.join(format!("{:016x}{:016x}.json", key.0, key.1)))
+    }
+
+    fn disk_load(&self, key: (u64, u64)) -> Option<SimStats> {
+        let path = self.cache_path(key)?;
+        let text = std::fs::read_to_string(path).ok()?;
+        let v = json::parse(&text).ok()?;
+        stats_from_json(v.get("stats")?)
+    }
+
+    fn disk_store(&self, key: (u64, u64), name: &str, s: &SimStats) {
+        let Some(path) = self.cache_path(key) else {
+            return;
+        };
+        let Some(dir) = path.parent() else { return };
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let doc = Value::Obj(vec![
+            ("name".into(), Value::Str(name.to_string())),
+            ("stats".into(), stats_to_json(s)),
+        ]);
+        // Write-then-rename so concurrent figure binaries never observe a
+        // torn file.
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        if std::fs::write(&tmp, doc.to_pretty()).is_ok() {
+            let _ = std::fs::rename(&tmp, &path);
+        }
+    }
+}
+
+/// The process-global engine (disk cache configured from the environment).
+pub fn engine() -> &'static Engine {
+    static GLOBAL: OnceLock<Engine> = OnceLock::new();
+    GLOBAL.get_or_init(|| Engine::new(disk_dir_from_env()))
+}
+
+fn disk_dir_from_env() -> Option<PathBuf> {
+    if matches!(
+        std::env::var("CWSP_CACHE").as_deref(),
+        Ok("0") | Ok("off") | Ok("false") | Ok("no")
+    ) {
+        return None;
+    }
+    Some(match std::env::var("CWSP_CACHE_DIR") {
+        Ok(dir) if !dir.is_empty() => PathBuf::from(dir),
+        _ => repo_results_dir().join("cache"),
+    })
+}
+
+/// `results/` resolved relative to the repository, not the current working
+/// directory (tests run with per-crate cwd).
+fn repo_results_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results")
+}
+
+/// Worker count: `CWSP_JOBS` if set (≥ 1), else available parallelism.
+pub fn worker_count() -> usize {
+    match std::env::var("CWSP_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Apply `f` to every item on a scoped worker pool; results come back in
+/// input order. Workers pull items off a shared atomic cursor, so long jobs
+/// don't serialize behind short ones.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = worker_count().min(n.max(1));
+    if workers <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("engine worker panicked") {
+                out[i] = Some(r);
+            }
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("worker covered every index"))
+        .collect()
+}
+
+/// Wrap a figure binary's body: run it, time it, and merge a per-figure
+/// entry into `results/BENCH_harness.json`.
+pub fn harness_main(figure: &str, body: impl FnOnce()) {
+    let e = engine();
+    let before = e.counters();
+    let t0 = Instant::now();
+    body();
+    let wall = t0.elapsed();
+    let after = e.counters();
+    let delta = Counters {
+        jobs: after.jobs - before.jobs,
+        memo_hits: after.memo_hits - before.memo_hits,
+        disk_hits: after.disk_hits - before.disk_hits,
+    };
+    let entry = Value::Obj(vec![
+        ("wall_ms".into(), Value::Int(wall.as_millis() as u64)),
+        ("jobs".into(), Value::Int(delta.jobs)),
+        ("memo_hits".into(), Value::Int(delta.memo_hits)),
+        ("disk_hits".into(), Value::Int(delta.disk_hits)),
+        (
+            "hit_rate".into(),
+            Value::Float((delta.hit_rate() * 1e4).round() / 1e4),
+        ),
+        ("workers".into(), Value::Int(worker_count() as u64)),
+    ]);
+    let path = match std::env::var("CWSP_HARNESS_JSON") {
+        Ok(p) if !p.is_empty() => PathBuf::from(p),
+        _ => repo_results_dir().join("BENCH_harness.json"),
+    };
+    merge_harness_entry(&path, figure, entry);
+    eprintln!(
+        "[harness] {figure}: {:.2}s wall, {} jobs, {} memo + {} disk hits ({}% cached), {} workers",
+        wall.as_secs_f64(),
+        delta.jobs,
+        delta.memo_hits,
+        delta.disk_hits,
+        (delta.hit_rate() * 100.0).round(),
+        worker_count(),
+    );
+}
+
+fn merge_harness_entry(path: &Path, figure: &str, entry: Value) {
+    let mut doc = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|t| json::parse(&t).ok())
+        .filter(|v| matches!(v, Value::Obj(_)))
+        .unwrap_or_else(|| {
+            Value::Obj(vec![
+                ("version".into(), Value::Int(1)),
+                ("figures".into(), Value::Obj(vec![])),
+            ])
+        });
+    if doc.get("figures").is_none() {
+        doc.set("figures", Value::Obj(vec![]));
+    }
+    if let Value::Obj(fields) = &mut doc {
+        if let Some((_, figures)) = fields.iter_mut().find(|(k, _)| k == "figures") {
+            figures.set(figure, entry);
+        }
+    }
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    if std::fs::write(&tmp, doc.to_pretty()).is_ok() {
+        let _ = std::fs::rename(&tmp, path);
+    }
+}
+
+fn pair_to_json(p: (u64, u64)) -> Value {
+    Value::Arr(vec![Value::Int(p.0), Value::Int(p.1)])
+}
+
+fn pair_from_json(v: &Value) -> Option<(u64, u64)> {
+    let a = v.as_arr()?;
+    Some((a.first()?.as_u64()?, a.get(1)?.as_u64()?))
+}
+
+/// Serialize stats for the disk cache (every field; see `stats_from_json`).
+fn stats_to_json(s: &SimStats) -> Value {
+    Value::Obj(vec![
+        ("cycles".into(), Value::Int(s.cycles)),
+        ("insts".into(), Value::Int(s.insts)),
+        ("loads".into(), Value::Int(s.loads)),
+        ("stores".into(), Value::Int(s.stores)),
+        ("ckpt_stores".into(), Value::Int(s.ckpt_stores)),
+        ("frame_stores".into(), Value::Int(s.frame_stores)),
+        ("syncs".into(), Value::Int(s.syncs)),
+        ("regions".into(), Value::Int(s.regions)),
+        ("region_insts".into(), Value::Int(s.region_insts)),
+        ("wpq_hits".into(), Value::Int(s.wpq_hits)),
+        ("wb_delays".into(), Value::Int(s.wb_delays)),
+        ("wb_occupancy_sum".into(), Value::Int(s.wb_occupancy_sum)),
+        ("pb_occupancy_sum".into(), Value::Int(s.pb_occupancy_sum)),
+        ("stall_pb".into(), Value::Int(s.stall_pb)),
+        ("stall_rbt".into(), Value::Int(s.stall_rbt)),
+        ("stall_wb".into(), Value::Int(s.stall_wb)),
+        ("stall_sync".into(), Value::Int(s.stall_sync)),
+        ("stall_wpq".into(), Value::Int(s.stall_wpq)),
+        ("stall_scheme".into(), Value::Int(s.stall_scheme)),
+        ("l1".into(), pair_to_json(s.l1)),
+        ("llc_sram".into(), pair_to_json(s.llc_sram)),
+        ("dram_cache".into(), pair_to_json(s.dram_cache)),
+        ("nvm_reads".into(), Value::Int(s.nvm_reads)),
+        ("nvm_writes".into(), Value::Int(s.nvm_writes)),
+        ("log_appends".into(), Value::Int(s.log_appends)),
+        ("peak_live_logs".into(), Value::Int(s.peak_live_logs as u64)),
+        (
+            "region_size_hist".into(),
+            Value::Arr(s.region_size_hist.iter().map(|&n| Value::Int(n)).collect()),
+        ),
+    ])
+}
+
+/// Deserialize stats; `None` on any missing/mistyped field (treated as a
+/// cache miss, so schema drift degrades to recomputation, never corruption).
+fn stats_from_json(v: &Value) -> Option<SimStats> {
+    let hist_v = v.get("region_size_hist")?.as_arr()?;
+    if hist_v.len() != 7 {
+        return None;
+    }
+    let mut region_size_hist = [0u64; 7];
+    for (slot, item) in region_size_hist.iter_mut().zip(hist_v) {
+        *slot = item.as_u64()?;
+    }
+    Some(SimStats {
+        cycles: v.get("cycles")?.as_u64()?,
+        insts: v.get("insts")?.as_u64()?,
+        loads: v.get("loads")?.as_u64()?,
+        stores: v.get("stores")?.as_u64()?,
+        ckpt_stores: v.get("ckpt_stores")?.as_u64()?,
+        frame_stores: v.get("frame_stores")?.as_u64()?,
+        syncs: v.get("syncs")?.as_u64()?,
+        regions: v.get("regions")?.as_u64()?,
+        region_insts: v.get("region_insts")?.as_u64()?,
+        wpq_hits: v.get("wpq_hits")?.as_u64()?,
+        wb_delays: v.get("wb_delays")?.as_u64()?,
+        wb_occupancy_sum: v.get("wb_occupancy_sum")?.as_u64()?,
+        pb_occupancy_sum: v.get("pb_occupancy_sum")?.as_u64()?,
+        stall_pb: v.get("stall_pb")?.as_u64()?,
+        stall_rbt: v.get("stall_rbt")?.as_u64()?,
+        stall_wb: v.get("stall_wb")?.as_u64()?,
+        stall_sync: v.get("stall_sync")?.as_u64()?,
+        stall_wpq: v.get("stall_wpq")?.as_u64()?,
+        stall_scheme: v.get("stall_scheme")?.as_u64()?,
+        l1: pair_from_json(v.get("l1")?)?,
+        llc_sram: pair_from_json(v.get("llc_sram")?)?,
+        dram_cache: pair_from_json(v.get("dram_cache")?)?,
+        nvm_reads: v.get("nvm_reads")?.as_u64()?,
+        nvm_writes: v.get("nvm_writes")?.as_u64()?,
+        log_appends: v.get("log_appends")?.as_u64()?,
+        peak_live_logs: v.get("peak_live_logs")?.as_u64()? as usize,
+        region_size_hist,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwsp_core::genprog::generate_default;
+
+    fn tiny_module() -> Module {
+        generate_default(11)
+    }
+
+    #[test]
+    fn stats_json_round_trips_every_field() {
+        let mut s = SimStats::default();
+        // Give every field a distinct value so a swapped mapping is caught.
+        for (n, f) in [
+            &mut s.cycles,
+            &mut s.insts,
+            &mut s.loads,
+            &mut s.stores,
+            &mut s.ckpt_stores,
+            &mut s.frame_stores,
+            &mut s.syncs,
+            &mut s.regions,
+            &mut s.region_insts,
+            &mut s.wpq_hits,
+            &mut s.wb_delays,
+            &mut s.wb_occupancy_sum,
+            &mut s.pb_occupancy_sum,
+            &mut s.stall_pb,
+            &mut s.stall_rbt,
+            &mut s.stall_wb,
+            &mut s.stall_sync,
+            &mut s.stall_wpq,
+            &mut s.stall_scheme,
+            &mut s.nvm_reads,
+            &mut s.nvm_writes,
+            &mut s.log_appends,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            *f = n as u64 + 1;
+        }
+        s.l1 = (100, 101);
+        s.llc_sram = (102, 103);
+        s.dram_cache = (104, 105);
+        s.peak_live_logs = 99;
+        s.region_size_hist = [1, 2, 3, 4, 5, 6, 7];
+        let text = stats_to_json(&s).to_pretty();
+        let back = stats_from_json(&json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn memo_runs_each_key_once() {
+        let e = Engine::new(None);
+        let m = tiny_module();
+        let cfg = SimConfig::default();
+        let a = e.stats("t", &m, &cfg, Scheme::Baseline);
+        let b = e.stats("t", &m, &cfg, Scheme::Baseline);
+        assert_eq!(a, b);
+        let c = e.counters();
+        assert_eq!(c.jobs, 2);
+        assert_eq!(c.memo_hits, 1);
+        assert_eq!(c.disk_hits, 0);
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compile_memo_shares_one_compilation() {
+        let e = Engine::new(None);
+        let m = tiny_module();
+        let a = e.compiled(&m, CompileOptions::default());
+        let b = e.compiled(&m, CompileOptions::default());
+        assert!(Arc::ptr_eq(&a, &b), "same Arc, compiled once");
+        let c = e.compiled(
+            &m,
+            CompileOptions {
+                pruning: false,
+                ..Default::default()
+            },
+        );
+        assert!(!Arc::ptr_eq(&a, &c), "different options compile separately");
+    }
+
+    #[test]
+    fn disk_cache_round_trips_and_survives_a_fresh_engine() {
+        let dir = std::env::temp_dir().join(format!("cwsp-engine-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let m = tiny_module();
+        let cfg = SimConfig::default();
+        let warm = Engine::new(Some(dir.clone()));
+        let a = warm.stats("t", &m, &cfg, Scheme::Baseline);
+        assert_eq!(warm.counters().disk_hits, 0);
+        // A fresh engine (fresh process, conceptually) hits the disk.
+        let cold = Engine::new(Some(dir.clone()));
+        let b = cold.stats("t", &m, &cfg, Scheme::Baseline);
+        assert_eq!(a, b);
+        assert_eq!(cold.counters().disk_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn par_map_preserves_order_and_covers_all_items() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = par_map(&items, |&x| x * 3);
+        assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_stats_agree_with_each_other() {
+        let e = Engine::new(None);
+        let m = tiny_module();
+        let cfg = SimConfig::default();
+        let runs: Vec<SimStats> = par_map(&[(); 8], |_| e.stats("t", &m, &cfg, Scheme::Baseline));
+        for r in &runs[1..] {
+            assert_eq!(*r, runs[0]);
+        }
+        assert_eq!(e.counters().jobs, 8);
+    }
+
+    #[test]
+    fn harness_entry_merges_into_existing_document() {
+        let dir = std::env::temp_dir().join(format!("cwsp-harness-test-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("BENCH_harness.json");
+        let entry = |ms| {
+            Value::Obj(vec![
+                ("wall_ms".into(), Value::Int(ms)),
+                ("jobs".into(), Value::Int(4)),
+            ])
+        };
+        merge_harness_entry(&path, "fig13_overhead", entry(10));
+        merge_harness_entry(&path, "fig14_wsp_comparison", entry(20));
+        merge_harness_entry(&path, "fig13_overhead", entry(30)); // overwrite
+        let doc = json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let figs = doc.get("figures").unwrap();
+        assert_eq!(
+            figs.get("fig13_overhead")
+                .unwrap()
+                .get("wall_ms")
+                .unwrap()
+                .as_u64(),
+            Some(30)
+        );
+        assert_eq!(
+            figs.get("fig14_wsp_comparison")
+                .unwrap()
+                .get("wall_ms")
+                .unwrap()
+                .as_u64(),
+            Some(20)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

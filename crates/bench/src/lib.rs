@@ -5,14 +5,26 @@
 //! values. This library holds the shared plumbing: run a workload to
 //! completion under a scheme, normalize against the uninstrumented baseline,
 //! and print figure-shaped tables.
+//!
+//! Measurements route through [`engine`] — a parallel, memoizing experiment
+//! engine — so figure binaries fan out over all cores, share baselines and
+//! compiled modules, and reuse results across processes via a JSON cache
+//! under `results/cache/`. Per-figure stdout stays byte-identical to the old
+//! serial harness.
 
-use cwsp_compiler::pipeline::{CompileOptions, CwspCompiler};
+pub mod engine;
+pub mod fingerprint;
+pub mod json;
+
+use cwsp_compiler::pipeline::CompileOptions;
 use cwsp_ir::interp::InterpError;
 use cwsp_sim::config::SimConfig;
 use cwsp_sim::machine::Machine;
 use cwsp_sim::scheme::Scheme;
 use cwsp_sim::stats::SimStats;
 use cwsp_workloads::{Suite, Workload};
+
+pub use engine::{engine, harness_main, par_map, worker_count};
 
 /// One measured data point.
 #[derive(Debug, Clone)]
@@ -34,29 +46,42 @@ pub fn run_to_completion(
     cfg: &SimConfig,
     scheme: Scheme,
 ) -> Result<SimStats, InterpError> {
-    let mut machine = Machine::new(module, cfg.clone(), scheme);
+    let mut machine = Machine::new(module, cfg, scheme);
     let r = machine.run(u64::MAX, None)?;
     Ok(r.stats)
 }
 
 /// Baseline cycles: the *original* (uncompiled) program on the original
-/// machine — the paper's normalization denominator.
+/// machine — the paper's normalization denominator. Memoized by the engine,
+/// so every figure in a process shares one baseline run per (app, config).
 pub fn baseline_cycles(w: &Workload, cfg: &SimConfig) -> u64 {
-    run_to_completion(&w.module, cfg, Scheme::Baseline)
-        .unwrap_or_else(|e| panic!("{} baseline: {e}", w.name))
+    engine::engine()
+        .stats(w.name, &w.module, cfg, Scheme::Baseline)
         .cycles
 }
 
-/// Scheme cycles: the cWSP-compiled program under `scheme`.
+/// Scheme cycles: the cWSP-compiled program under `scheme`. Compilation and
+/// simulation are both memoized by content.
 pub fn scheme_stats(
     w: &Workload,
     cfg: &SimConfig,
     scheme: Scheme,
     opts: CompileOptions,
 ) -> SimStats {
-    let compiled = CwspCompiler::new(opts).compile(&w.module);
-    run_to_completion(&compiled.module, cfg, scheme)
-        .unwrap_or_else(|e| panic!("{} {}: {e}", w.name, scheme.name()))
+    let compiled = engine::engine().compiled(&w.module, opts);
+    engine::engine().stats(w.name, &compiled.module, cfg, scheme)
+}
+
+/// Memoized stats for an arbitrary (module, config, scheme) triple — the
+/// engine-backed replacement for direct [`run_to_completion`] calls in
+/// figure binaries (Figs 1 and 18 run probe modules without compilation).
+pub fn cached_stats(
+    name: &str,
+    module: &cwsp_ir::module::Module,
+    cfg: &SimConfig,
+    scheme: Scheme,
+) -> SimStats {
+    engine::engine().stats(name, module, cfg, scheme)
 }
 
 /// Normalized slowdown of `scheme` (compiled binary) over the baseline
@@ -86,8 +111,11 @@ pub fn suite_gmeans(results: &[AppResult]) -> Vec<(String, f64)> {
         Suite::Whisper,
         Suite::Stamp,
     ] {
-        let vals: Vec<f64> =
-            results.iter().filter(|r| r.suite == suite).map(|r| r.value).collect();
+        let vals: Vec<f64> = results
+            .iter()
+            .filter(|r| r.suite == suite)
+            .map(|r| r.value)
+            .collect();
         if !vals.is_empty() {
             out.push((suite.to_string(), gmean(&vals)));
         }
@@ -122,17 +150,19 @@ pub fn print_series(title: &str, unit: &str, series: &[(String, f64)]) {
     }
 }
 
-/// Measure `metric` for every workload in `apps` (prints progress to stderr).
-pub fn measure_all(
-    apps: &[Workload],
-    mut metric: impl FnMut(&Workload) -> f64,
-) -> Vec<AppResult> {
-    apps.iter()
-        .map(|w| {
-            eprintln!("  running {:>9}/{}", w.suite.to_string(), w.name);
-            AppResult { suite: w.suite, name: w.name, value: metric(w) }
-        })
-        .collect()
+/// Measure `metric` for every workload in `apps`, fanned out over the engine
+/// pool (prints progress to stderr). Results return in `apps` order, so
+/// printed figures are byte-identical to the serial harness; `metric` must
+/// be `Fn + Sync` because workers share it.
+pub fn measure_all(apps: &[Workload], metric: impl Fn(&Workload) -> f64 + Sync) -> Vec<AppResult> {
+    engine::par_map(apps, |w| {
+        eprintln!("  running {:>9}/{}", w.suite.to_string(), w.name);
+        AppResult {
+            suite: w.suite,
+            name: w.name,
+            value: metric(w),
+        }
+    })
 }
 
 #[cfg(test)]
@@ -149,8 +179,16 @@ mod tests {
     #[test]
     fn suite_gmeans_include_all() {
         let rs = vec![
-            AppResult { suite: Suite::Cpu2006, name: "a", value: 1.1 },
-            AppResult { suite: Suite::Stamp, name: "b", value: 1.2 },
+            AppResult {
+                suite: Suite::Cpu2006,
+                name: "a",
+                value: 1.1,
+            },
+            AppResult {
+                suite: Suite::Stamp,
+                name: "b",
+                value: 1.2,
+            },
         ];
         let g = suite_gmeans(&rs);
         assert_eq!(g.len(), 3, "two suites + all");

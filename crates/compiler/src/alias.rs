@@ -64,7 +64,11 @@ pub struct PathState<'m> {
 impl<'m> PathState<'m> {
     /// Fresh path state (all registers unknown).
     pub fn new(module: &'m Module) -> Self {
-        PathState { module, vals: HashMap::new(), next_sym: 0 }
+        PathState {
+            module,
+            vals: HashMap::new(),
+            next_sym: 0,
+        }
     }
 
     fn fresh(&mut self) -> AbstractVal {
@@ -173,7 +177,12 @@ mod tests {
         let mut st = state(&m);
         // r1 = r0 + 8  =>  [r1] aliases [r0+8], not [r0]
         let base = st.addr_of(&MemRef::reg(Reg(0), 0));
-        st.transfer(&Inst::binary(BinOp::Add, Reg(1), Reg(0).into(), Operand::imm(8)));
+        st.transfer(&Inst::binary(
+            BinOp::Add,
+            Reg(1),
+            Reg(0).into(),
+            Operand::imm(8),
+        ));
         let derived = st.addr_of(&MemRef::reg(Reg(1), 0));
         assert!(!may_alias(base, derived));
         let plus8 = st.addr_of(&MemRef::reg(Reg(0), 8));
@@ -188,7 +197,10 @@ mod tests {
         // r0 = load [...] -> unknown new value
         st.transfer(&Inst::load(Reg(0), MemRef::abs(64)));
         let after = st.addr_of(&MemRef::reg(Reg(0), 0));
-        assert!(may_alias(before, after), "different symbols conservatively alias");
+        assert!(
+            may_alias(before, after),
+            "different symbols conservatively alias"
+        );
         assert_ne!(before, after);
     }
 
@@ -209,8 +221,16 @@ mod tests {
     fn const_folding_through_mov_chains() {
         let m = Module::new("t");
         let mut st = state(&m);
-        st.transfer(&Inst::Mov { dst: Reg(0), src: Operand::imm(100) });
-        st.transfer(&Inst::binary(BinOp::Shl, Reg(1), Reg(0).into(), Operand::imm(3)));
+        st.transfer(&Inst::Mov {
+            dst: Reg(0),
+            src: Operand::imm(100),
+        });
+        st.transfer(&Inst::binary(
+            BinOp::Shl,
+            Reg(1),
+            Reg(0).into(),
+            Operand::imm(3),
+        ));
         let a = st.addr_of(&MemRef::reg(Reg(1), 0));
         assert_eq!(a, AbstractVal::Const(800));
     }
@@ -220,7 +240,12 @@ mod tests {
         let m = Module::new("t");
         let mut st = state(&m);
         let base = st.addr_of(&MemRef::reg(Reg(0), 0));
-        st.transfer(&Inst::binary(BinOp::Sub, Reg(1), Reg(0).into(), Operand::imm(8)));
+        st.transfer(&Inst::binary(
+            BinOp::Sub,
+            Reg(1),
+            Reg(0).into(),
+            Operand::imm(8),
+        ));
         let d = st.addr_of(&MemRef::reg(Reg(1), 0));
         assert!(!may_alias(base, d));
         assert!(may_alias(d, st.addr_of(&MemRef::reg(Reg(0), -8))));

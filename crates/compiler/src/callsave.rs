@@ -26,8 +26,7 @@ pub fn compute_call_saves(module: &mut Module) -> usize {
             for (i, inst) in block.insts.iter().enumerate() {
                 if let Inst::Call { ret, .. } = inst {
                     let live = lv.live_after(&f, bid, i);
-                    let saves: Vec<Reg> =
-                        live.iter().filter(|r| Some(*r) != *ret).collect();
+                    let saves: Vec<Reg> = live.iter().filter(|r| Some(*r) != *ret).collect();
                     total += saves.len();
                     updates.push((bid.0, i, saves));
                 }
@@ -54,7 +53,12 @@ mod tests {
         let mut m = Module::new("t");
         let mut leaf = FunctionBuilder::new("leaf", 0);
         let le = leaf.entry();
-        leaf.push(le, Inst::Ret { val: Some(Operand::imm(1)) });
+        leaf.push(
+            le,
+            Inst::Ret {
+                val: Some(Operand::imm(1)),
+            },
+        );
         let leaf = m.add_function(leaf.build());
 
         let mut b = FunctionBuilder::new("main", 0);
@@ -64,7 +68,12 @@ mod tests {
         let _ = dead;
         let r = b.call(e, leaf, vec![], true).unwrap();
         let s = b.bin(e, BinOp::Add, live.into(), r.into());
-        b.push(e, Inst::Ret { val: Some(s.into()) });
+        b.push(
+            e,
+            Inst::Ret {
+                val: Some(s.into()),
+            },
+        );
         let main = m.add_function(b.build());
         m.set_entry(main);
 
@@ -81,7 +90,10 @@ mod tests {
             })
             .unwrap();
         assert_eq!(call.0, vec![live]);
-        assert!(!call.0.contains(&call.1.unwrap()), "return register never saved");
+        assert!(
+            !call.0.contains(&call.1.unwrap()),
+            "return register never saved"
+        );
 
         // Semantics preserved (and now robust to register-file loss).
         let out = cwsp_ir::interp::run(&m, 1000).unwrap();
@@ -95,7 +107,12 @@ mod tests {
         let le = leaf.entry();
         let p = leaf.param(0);
         let v = leaf.bin(le, BinOp::Add, p.into(), Operand::imm(1));
-        leaf.push(le, Inst::Ret { val: Some(v.into()) });
+        leaf.push(
+            le,
+            Inst::Ret {
+                val: Some(v.into()),
+            },
+        );
         let leaf = m.add_function(leaf.build());
 
         let mut b = FunctionBuilder::new("main", 0);
@@ -104,7 +121,12 @@ mod tests {
         let r1 = b.call(e, leaf, vec![Operand::imm(1)], true).unwrap();
         let r2 = b.call(e, leaf, vec![r1.into()], true).unwrap();
         let s1 = b.bin(e, BinOp::Add, r2.into(), keep.into());
-        b.push(e, Inst::Ret { val: Some(s1.into()) });
+        b.push(
+            e,
+            Inst::Ret {
+                val: Some(s1.into()),
+            },
+        );
         let main = m.add_function(b.build());
         m.set_entry(main);
 
@@ -122,7 +144,13 @@ mod tests {
         // call1 saves keep (r1 is its ret); call2 saves keep (r1 dead after).
         assert!(saves[0].contains(&keep));
         assert!(saves[1].contains(&keep));
-        assert!(!saves[1].contains(&r1), "r1 dead after second call consumes it");
-        assert_eq!(cwsp_ir::interp::run(&m, 1000).unwrap().return_value, Some(103));
+        assert!(
+            !saves[1].contains(&r1),
+            "r1 dead after second call consumes it"
+        );
+        assert_eq!(
+            cwsp_ir::interp::run(&m, 1000).unwrap().return_value,
+            Some(103)
+        );
     }
 }

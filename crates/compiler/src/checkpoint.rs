@@ -162,7 +162,13 @@ fn def_site_positions(f: &Function) -> Positions {
 }
 
 /// Backward transfer of the needs set across instruction `(b, i)`.
-fn transfer(f: &Function, lv: &Liveness, b: cwsp_ir::function::BlockId, i: usize, needs: &mut RegSet) {
+fn transfer(
+    f: &Function,
+    lv: &Liveness,
+    b: cwsp_ir::function::BlockId,
+    i: usize,
+    needs: &mut RegSet,
+) {
     let inst = &f.block(b).insts[i];
     // Definitions satisfy (and kill) the need.
     for d in defs(inst) {
@@ -244,14 +250,22 @@ mod tests {
         let r2 = b.mov(e, Operand::imm(2));
         b.push(e, Inst::Boundary { id: RegionId(0) });
         let s = b.bin(e, BinOp::Add, r1.into(), r2.into());
-        b.push(e, Inst::Ret { val: Some(s.into()) });
+        b.push(
+            e,
+            Inst::Ret {
+                val: Some(s.into()),
+            },
+        );
         let id = single(b, &mut m);
         let n = insert_checkpoints(&mut m, CkptMode::PerBoundary);
         assert_eq!(n, 2);
         let f = m.function(id);
         let insts = &f.block(f.entry()).insts;
         // both ckpts precede the boundary
-        let b_idx = insts.iter().position(|i| matches!(i, Inst::Boundary { .. })).unwrap();
+        let b_idx = insts
+            .iter()
+            .position(|i| matches!(i, Inst::Boundary { .. }))
+            .unwrap();
         assert!(matches!(insts[b_idx - 1], Inst::Ckpt { .. }));
         assert!(matches!(insts[b_idx - 2], Inst::Ckpt { .. }));
     }
@@ -295,7 +309,15 @@ mod tests {
         let mut b = FunctionBuilder::new("main", 0);
         let e = b.entry();
         let live = b.mov(e, Operand::imm(1));
-        b.push(e, Inst::Call { func: leaf, args: vec![], ret: None, save_regs: vec![live] });
+        b.push(
+            e,
+            Inst::Call {
+                func: leaf,
+                args: vec![],
+                ret: None,
+                save_regs: vec![live],
+            },
+        );
         b.push(e, Inst::Boundary { id: RegionId(0) });
         b.store(e, live.into(), MemRef::abs(64));
         b.push(e, Inst::Halt);
@@ -303,7 +325,10 @@ mod tests {
         insert_checkpoints(&mut m, CkptMode::DefSite);
         let f = m.function(id);
         let insts = &f.block(f.entry()).insts;
-        let call_idx = insts.iter().position(|i| matches!(i, Inst::Call { .. })).unwrap();
+        let call_idx = insts
+            .iter()
+            .position(|i| matches!(i, Inst::Call { .. }))
+            .unwrap();
         assert!(
             matches!(insts[call_idx + 1], Inst::Ckpt { reg } if reg == live),
             "ckpt after the call refreshes the slot: {insts:?}"
@@ -343,7 +368,12 @@ mod tests {
             b.store(bb, s.into(), MemRef::global(g, 0));
         });
         let v = b.load(exit, MemRef::global(g, 0));
-        b.push(exit, Inst::Ret { val: Some(v.into()) });
+        b.push(
+            exit,
+            Inst::Ret {
+                val: Some(v.into()),
+            },
+        );
         let id = m.add_function(b.build());
         m.set_entry(id);
         crate::region::form_regions(&mut m);

@@ -61,8 +61,8 @@ pub mod opt;
 pub mod pipeline;
 pub mod prune;
 pub mod reaching;
-pub mod report;
 pub mod region;
+pub mod report;
 pub mod slice;
 pub mod split;
 pub mod stats;

@@ -18,7 +18,9 @@ pub struct RegSet {
 impl RegSet {
     /// An empty set sized for `nregs` registers.
     pub fn new(nregs: usize) -> Self {
-        RegSet { bits: vec![0; nregs.div_ceil(64)] }
+        RegSet {
+            bits: vec![0; nregs.div_ceil(64)],
+        }
     }
 
     /// Insert `r`; returns whether the set changed.
@@ -58,7 +60,9 @@ impl RegSet {
     /// Iterate members in ascending register order.
     pub fn iter(&self) -> impl Iterator<Item = Reg> + '_ {
         self.bits.iter().enumerate().flat_map(|(w, &bits)| {
-            (0..64).filter(move |b| bits >> b & 1 == 1).map(move |b| Reg((w * 64 + b) as u32))
+            (0..64)
+                .filter(move |b| bits >> b & 1 == 1)
+                .map(move |b| Reg((w * 64 + b) as u32))
         })
     }
 
@@ -247,9 +251,26 @@ mod tests {
         let r0 = b.mov(e, Operand::imm(1));
         let r1 = b.vreg();
         let r2 = b.vreg();
-        b.push(e, Inst::CondBr { cond: r0.into(), if_true: bb1, if_false: bb2 });
-        b.push(bb1, Inst::Ret { val: Some(r1.into()) });
-        b.push(bb2, Inst::Ret { val: Some(r2.into()) });
+        b.push(
+            e,
+            Inst::CondBr {
+                cond: r0.into(),
+                if_true: bb1,
+                if_false: bb2,
+            },
+        );
+        b.push(
+            bb1,
+            Inst::Ret {
+                val: Some(r1.into()),
+            },
+        );
+        b.push(
+            bb2,
+            Inst::Ret {
+                val: Some(r2.into()),
+            },
+        );
         let f = b.build();
         let lv = Liveness::compute(&f);
         let at_entry = &lv.live_in[0];

@@ -88,9 +88,16 @@ pub fn fold_constants(module: &mut Module) -> usize {
                                 && !cwsp_ir::layout::is_tagged_global(b)
                             {
                                 let v = op.eval(a, b);
-                                *inst = Inst::Mov { dst: *dst, src: Operand::Imm(v) };
+                                *inst = Inst::Mov {
+                                    dst: *dst,
+                                    src: Operand::Imm(v),
+                                };
                                 changed += 1;
-                                if let Inst::Mov { dst, src: Operand::Imm(v) } = inst {
+                                if let Inst::Mov {
+                                    dst,
+                                    src: Operand::Imm(v),
+                                } = inst
+                                {
                                     consts.insert(*dst, *v);
                                 }
                                 continue;
@@ -116,9 +123,7 @@ pub fn fold_constants(module: &mut Module) -> usize {
                         let MemRef { base, offset } = addr;
                         if let Operand::Reg(r) = base {
                             if let Some(&c) = consts.get(r) {
-                                if !cwsp_ir::layout::is_tagged_global(c)
-                                    || *offset == 0
-                                {
+                                if !cwsp_ir::layout::is_tagged_global(c) || *offset == 0 {
                                     *base = Operand::Imm(c);
                                     changed += 1;
                                 }
@@ -180,7 +185,12 @@ pub fn propagate_copies(module: &mut Module) -> usize {
                             rewrite(a, &copies, &mut changed);
                         }
                     }
-                    Inst::AtomicRmw { addr, src, expected, .. } => {
+                    Inst::AtomicRmw {
+                        addr,
+                        src,
+                        expected,
+                        ..
+                    } => {
                         rewrite(&mut addr.base, &copies, &mut changed);
                         rewrite(src, &copies, &mut changed);
                         rewrite(expected, &copies, &mut changed);
@@ -190,7 +200,11 @@ pub fn propagate_copies(module: &mut Module) -> usize {
                 // Kill invalidated copies, then record new ones.
                 let ds = defs(inst);
                 copies.retain(|d, s| !ds.contains(d) && !ds.contains(s));
-                if let Inst::Mov { dst, src: Operand::Reg(s) } = inst {
+                if let Inst::Mov {
+                    dst,
+                    src: Operand::Reg(s),
+                } = inst
+                {
                     if dst != s {
                         copies.insert(*dst, *s);
                     }
@@ -256,7 +270,12 @@ mod tests {
         let a = b.mov(e, Operand::imm(6));
         let c = b.bin(e, BinOp::Mul, a.into(), Operand::imm(7));
         let d = b.bin(e, BinOp::Add, c.into(), Operand::imm(0));
-        b.push(e, Inst::Ret { val: Some(d.into()) });
+        b.push(
+            e,
+            Inst::Ret {
+                val: Some(d.into()),
+            },
+        );
         let f = m.add_function(b.build());
         m.set_entry(f);
         let before = roundtrip(&m);
@@ -274,7 +293,12 @@ mod tests {
         let x = b.load(e, MemRef::abs(64));
         let y = b.mov(e, Operand::Reg(x));
         let z = b.bin(e, BinOp::Add, y.into(), y.into());
-        b.push(e, Inst::Ret { val: Some(z.into()) });
+        b.push(
+            e,
+            Inst::Ret {
+                val: Some(z.into()),
+            },
+        );
         let f = m.add_function(b.build());
         m.set_entry(f);
         let before = roundtrip(&m);
@@ -292,7 +316,12 @@ mod tests {
         let dead = b.bin(e, BinOp::Mul, Operand::imm(3), Operand::imm(3));
         let _ = dead;
         b.store(e, Operand::imm(1), MemRef::abs(64));
-        b.push(e, Inst::Out { val: Operand::imm(9) });
+        b.push(
+            e,
+            Inst::Out {
+                val: Operand::imm(9),
+            },
+        );
         b.push(e, Inst::Halt);
         let f = m.add_function(b.build());
         m.set_entry(f);
@@ -315,7 +344,12 @@ mod tests {
             b.store(bb, s.into(), MemRef::global(g, 0));
         });
         let v = b.load(exit, MemRef::global(g, 0));
-        b.push(exit, Inst::Ret { val: Some(v.into()) });
+        b.push(
+            exit,
+            Inst::Ret {
+                val: Some(v.into()),
+            },
+        );
         let f = m.add_function(b.build());
         m.set_entry(f);
         let before = roundtrip(&m);
@@ -333,7 +367,12 @@ mod tests {
         let e = b.entry();
         b.store(e, Operand::imm(5), MemRef::global(g, 2));
         let v = b.load(e, MemRef::global(g, 2));
-        b.push(e, Inst::Ret { val: Some(v.into()) });
+        b.push(
+            e,
+            Inst::Ret {
+                val: Some(v.into()),
+            },
+        );
         let f = m.add_function(b.build());
         m.set_entry(f);
         let before = roundtrip(&m);
@@ -352,7 +391,10 @@ mod tests {
             assert!(m.validate().is_ok());
             let after = cwsp_ir::interp::run(&m, 30_000_000).unwrap();
             assert_eq!(after.output, before.output, "{name}");
-            assert!(info.folded + info.copies_propagated + info.dce_removed > 0, "{name}");
+            assert!(
+                info.folded + info.copies_propagated + info.dce_removed > 0,
+                "{name}"
+            );
         }
     }
 
@@ -373,7 +415,12 @@ mod tests {
             let s = b.bin(bb, BinOp::Add, t.into(), Operand::imm(1));
             b.store(bb, s.into(), MemRef::reg(addr, 0));
         });
-        b.push(exit, Inst::Out { val: Operand::imm(1) });
+        b.push(
+            exit,
+            Inst::Out {
+                val: Operand::imm(1),
+            },
+        );
         b.push(exit, Inst::Halt);
         let f = m.add_function(b.build());
         m.set_entry(f);

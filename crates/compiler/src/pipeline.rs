@@ -4,8 +4,8 @@ use crate::callsave::compute_call_saves;
 use crate::checkpoint::{insert_checkpoints, CkptMode};
 use crate::prune::prune_and_build_slices;
 use crate::region::form_regions;
-use crate::split::split_same_reg_updates;
 use crate::slice::SliceTable;
+use crate::split::split_same_reg_updates;
 use crate::stats::CompileStats;
 use cwsp_ir::module::Module;
 
@@ -28,7 +28,11 @@ pub struct CompileOptions {
 
 impl Default for CompileOptions {
     fn default() -> Self {
-        CompileOptions { pruning: true, expr_remat: true, optimize: true }
+        CompileOptions {
+            pruning: true,
+            expr_remat: true,
+            optimize: true,
+        }
     }
 }
 
@@ -106,14 +110,15 @@ impl CwspCompiler {
         stats.antidep_cuts = region_info.antidep_cuts;
         stats.structural_boundaries = region_info.structural;
 
-        let mode = if self.options.pruning { CkptMode::DefSite } else { CkptMode::PerBoundary };
+        let mode = if self.options.pruning {
+            CkptMode::DefSite
+        } else {
+            CkptMode::PerBoundary
+        };
         insert_checkpoints(&mut module, mode);
 
-        let (slices, prune_info) = prune_and_build_slices(
-            &mut module,
-            self.options.pruning,
-            self.options.expr_remat,
-        );
+        let (slices, prune_info) =
+            prune_and_build_slices(&mut module, self.options.pruning, self.options.expr_remat);
         stats.ckpts_pruned = prune_info.ckpts_pruned;
         stats.const_restores = prune_info.const_restores;
         stats.slot_restores = prune_info.slot_restores;
@@ -122,7 +127,11 @@ impl CwspCompiler {
         module
             .validate()
             .unwrap_or_else(|e| panic!("cWSP compiler produced invalid IR: {e}"));
-        Compiled { module, slices, stats }
+        Compiled {
+            module,
+            slices,
+            stats,
+        }
     }
 }
 
@@ -143,7 +152,12 @@ mod tests {
             b.store(bb, s.into(), MemRef::global(g, 0));
         });
         let v = b.load(exit, MemRef::global(g, 0));
-        b.push(exit, Inst::Ret { val: Some(v.into()) });
+        b.push(
+            exit,
+            Inst::Ret {
+                val: Some(v.into()),
+            },
+        );
         let f = m.add_function(b.build());
         m.set_entry(f);
         m
@@ -154,7 +168,11 @@ mod tests {
         let m = sample_module();
         let oracle = cwsp_ir::interp::run(&m, 100_000).unwrap();
         for pruning in [true, false] {
-            let c = CwspCompiler::new(CompileOptions { pruning, ..Default::default() }).compile(&m);
+            let c = CwspCompiler::new(CompileOptions {
+                pruning,
+                ..Default::default()
+            })
+            .compile(&m);
             let out = cwsp_ir::interp::run(&c.module, 100_000).unwrap();
             assert_eq!(out.return_value, oracle.return_value, "pruning={pruning}");
         }
@@ -177,9 +195,20 @@ mod tests {
             }
             n
         };
-        let pruned = CwspCompiler::new(CompileOptions { pruning: true, ..Default::default() }).compile(&m);
-        let unpruned = CwspCompiler::new(CompileOptions { pruning: false, ..Default::default() }).compile(&m);
-        let (p, u) = (dynamic_ckpts(&pruned.module), dynamic_ckpts(&unpruned.module));
+        let pruned = CwspCompiler::new(CompileOptions {
+            pruning: true,
+            ..Default::default()
+        })
+        .compile(&m);
+        let unpruned = CwspCompiler::new(CompileOptions {
+            pruning: false,
+            ..Default::default()
+        })
+        .compile(&m);
+        let (p, u) = (
+            dynamic_ckpts(&pruned.module),
+            dynamic_ckpts(&unpruned.module),
+        );
         assert!(p < u, "pruned {p} !< unpruned {u}");
     }
 

@@ -70,7 +70,9 @@ pub fn prune_and_build_slices(
         let mut slot_all: HashSet<(DefSite, Reg)> = HashSet::new();
         for (bid, block) in f.iter_blocks() {
             for (i, inst) in block.insts.iter().enumerate() {
-                let Inst::Boundary { id } = inst else { continue };
+                let Inst::Boundary { id } = inst else {
+                    continue;
+                };
                 let live = lv.live_after(&f, bid, i);
                 let mut consts = Vec::new();
                 let mut tentative = Vec::new();
@@ -92,7 +94,13 @@ pub fn prune_and_build_slices(
                         }
                     }
                 }
-                boundaries.push(Boundary { id: *id, bid, idx: i, consts, tentative });
+                boundaries.push(Boundary {
+                    id: *id,
+                    bid,
+                    idx: i,
+                    consts,
+                    tentative,
+                });
             }
         }
 
@@ -156,8 +164,7 @@ pub fn prune_and_build_slices(
             if !changed {
                 // Final keep-set decides checkpoint deletion.
                 if prune {
-                    info.ckpts_pruned +=
-                        delete_unneeded_ckpts(module.function_mut(fid), &keep);
+                    info.ckpts_pruned += delete_unneeded_ckpts(module.function_mut(fid), &keep);
                 }
                 break;
             }
@@ -188,9 +195,14 @@ pub fn prune_and_build_slices(
     (table, info)
 }
 
+/// A rematerialization expression plus, per slot leaf, the definition sites
+/// whose checkpoints the expression depends on.
+type ExprWithDeps = (RematExpr, Vec<(Reg, HashSet<(DefSite, Reg)>)>);
+
 /// Try to build a rematerialization expression for `r` at boundary point
 /// `(b, i)`. Returns the expression plus, per slot leaf, the definition sites
 /// whose checkpoints the expression depends on.
+#[allow(clippy::too_many_arguments)]
 fn build_expr(
     f: &Function,
     rd: &ReachingDefs,
@@ -200,14 +212,26 @@ fn build_expr(
     r: Reg,
     slot_all: &HashSet<(DefSite, Reg)>,
     region_defs: &HashSet<Reg>,
-) -> Option<(RematExpr, Vec<(Reg, HashSet<(DefSite, Reg)>)>)> {
+) -> Option<ExprWithDeps> {
     let sites = rd.at(f, b, i, r);
     if sites.len() != 1 {
         return None;
     }
     let site = *sites.iter().next().unwrap();
     let mut deps = Vec::new();
-    let expr = expr_for_site(f, rd, memo, b, i, site, r, slot_all, region_defs, &mut deps, 0)?;
+    let expr = expr_for_site(
+        f,
+        rd,
+        memo,
+        b,
+        i,
+        site,
+        r,
+        slot_all,
+        region_defs,
+        &mut deps,
+        0,
+    )?;
     if expr.size() > MAX_EXPR_NODES || matches!(expr, RematExpr::Slot(_)) {
         return None;
     }
@@ -239,16 +263,53 @@ fn expr_for_site(
     if let Some(Some(c)) = memo.get(&(site, r)) {
         return Some(RematExpr::Const(*c));
     }
-    let DefSite::Inst(db, di) = site else { return None };
+    let DefSite::Inst(db, di) = site else {
+        return None;
+    };
     match &f.block(db).insts[di] {
-        Inst::Mov { dst, src } if *dst == r => {
-            operand_expr(f, rd, memo, bb, bi, *src, db, di, slot_all, region_defs, deps, depth)
-        }
+        Inst::Mov { dst, src } if *dst == r => operand_expr(
+            f,
+            rd,
+            memo,
+            bb,
+            bi,
+            *src,
+            db,
+            di,
+            slot_all,
+            region_defs,
+            deps,
+            depth,
+        ),
         Inst::Binary { op, dst, lhs, rhs } if *dst == r => {
-            let l =
-                operand_expr(f, rd, memo, bb, bi, *lhs, db, di, slot_all, region_defs, deps, depth)?;
-            let rr =
-                operand_expr(f, rd, memo, bb, bi, *rhs, db, di, slot_all, region_defs, deps, depth)?;
+            let l = operand_expr(
+                f,
+                rd,
+                memo,
+                bb,
+                bi,
+                *lhs,
+                db,
+                di,
+                slot_all,
+                region_defs,
+                deps,
+                depth,
+            )?;
+            let rr = operand_expr(
+                f,
+                rd,
+                memo,
+                bb,
+                bi,
+                *rhs,
+                db,
+                di,
+                slot_all,
+                region_defs,
+                deps,
+                depth,
+            )?;
             Some(RematExpr::Bin(*op, Box::new(l), Box::new(rr)))
         }
         _ => None,
@@ -298,7 +359,19 @@ fn operand_expr(
                 return None;
             }
             let site = *sites_here.iter().next().unwrap();
-            expr_for_site(f, rd, memo, bb, bi, site, s, slot_all, region_defs, deps, depth + 1)
+            expr_for_site(
+                f,
+                rd,
+                memo,
+                bb,
+                bi,
+                site,
+                s,
+                slot_all,
+                region_defs,
+                deps,
+                depth + 1,
+            )
         }
     }
 }
@@ -390,8 +463,7 @@ fn region_defined_regs(f: &Function, b: BlockId, i: usize) -> HashSet<Reg> {
         if !visited.insert((bid.0, idx)) || visited.len() > 4096 {
             continue;
         }
-        loop {
-            let Some(inst) = f.block(bid).insts.get(idx) else { break };
+        while let Some(inst) = f.block(bid).insts.get(idx) {
             match inst {
                 Inst::Boundary { .. } | Inst::Call { .. } | Inst::Ret { .. } | Inst::Halt => {
                     break;
@@ -400,7 +472,9 @@ fn region_defined_regs(f: &Function, b: BlockId, i: usize) -> HashSet<Reg> {
                     work.push((*target, 0));
                     break;
                 }
-                Inst::CondBr { if_true, if_false, .. } => {
+                Inst::CondBr {
+                    if_true, if_false, ..
+                } => {
                     work.push((*if_true, 0));
                     work.push((*if_false, 0));
                     break;
@@ -543,10 +617,29 @@ mod tests {
         let join = b.block();
         let r = b.vreg();
         let c = b.load(e, MemRef::abs(64));
-        b.push(e, Inst::CondBr { cond: c.into(), if_true: ba, if_false: bb });
-        b.push(ba, Inst::Mov { dst: r, src: Operand::imm(1) });
+        b.push(
+            e,
+            Inst::CondBr {
+                cond: c.into(),
+                if_true: ba,
+                if_false: bb,
+            },
+        );
+        b.push(
+            ba,
+            Inst::Mov {
+                dst: r,
+                src: Operand::imm(1),
+            },
+        );
         b.push(ba, Inst::Br { target: join });
-        b.push(bb, Inst::Mov { dst: r, src: Operand::imm(2) });
+        b.push(
+            bb,
+            Inst::Mov {
+                dst: r,
+                src: Operand::imm(2),
+            },
+        );
         b.push(bb, Inst::Br { target: join });
         b.store(join, r.into(), MemRef::abs(72));
         b.push(join, Inst::Halt);
@@ -577,9 +670,11 @@ mod tests {
         insert_checkpoints(&mut m, CkptMode::DefSite);
         let (table, _) = prune_and_build_slices(&mut m, true, true);
         // Some region has the induction variable as a Slot restore.
-        let any_slot = table
-            .iter()
-            .any(|(_, s)| s.restores.iter().any(|(_, src)| matches!(src, RsSource::Slot)));
+        let any_slot = table.iter().any(|(_, s)| {
+            s.restores
+                .iter()
+                .any(|(_, src)| matches!(src, RsSource::Slot))
+        });
         assert!(any_slot);
     }
 

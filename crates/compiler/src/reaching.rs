@@ -81,7 +81,10 @@ impl ReachingDefs {
     /// Definition sites of `r` reaching the point immediately before
     /// instruction `idx` of block `b`.
     pub fn at(&self, f: &Function, b: BlockId, idx: usize, r: Reg) -> HashSet<DefSite> {
-        let mut sites = self.reach_in[b.index()].get(&r).cloned().unwrap_or_default();
+        let mut sites = self.reach_in[b.index()]
+            .get(&r)
+            .cloned()
+            .unwrap_or_default();
         for (i, inst) in f.block(b).insts.iter().enumerate().take(idx) {
             if defs(inst).contains(&r) {
                 sites.clear();
@@ -129,12 +132,36 @@ mod tests {
         let join = b.block();
         let c = b.vreg();
         let r = b.vreg();
-        b.push(e, Inst::CondBr { cond: c.into(), if_true: ba, if_false: bb });
-        b.push(ba, Inst::Mov { dst: r, src: Operand::imm(1) });
+        b.push(
+            e,
+            Inst::CondBr {
+                cond: c.into(),
+                if_true: ba,
+                if_false: bb,
+            },
+        );
+        b.push(
+            ba,
+            Inst::Mov {
+                dst: r,
+                src: Operand::imm(1),
+            },
+        );
         b.push(ba, Inst::Br { target: join });
-        b.push(bb, Inst::Mov { dst: r, src: Operand::imm(2) });
+        b.push(
+            bb,
+            Inst::Mov {
+                dst: r,
+                src: Operand::imm(2),
+            },
+        );
         b.push(bb, Inst::Br { target: join });
-        b.push(join, Inst::Ret { val: Some(r.into()) });
+        b.push(
+            join,
+            Inst::Ret {
+                val: Some(r.into()),
+            },
+        );
         let f = b.build();
         let rd = ReachingDefs::compute(&f);
         let sites = rd.at(&f, join, 0, r);
@@ -162,13 +189,33 @@ mod tests {
         let mut b = FunctionBuilder::new("f", 0);
         let e = b.entry();
         let r = b.vreg();
-        b.push(e, Inst::Mov { dst: r, src: Operand::imm(1) });
-        b.push(e, Inst::Mov { dst: r, src: Operand::imm(2) });
-        b.push(e, Inst::Ret { val: Some(r.into()) });
+        b.push(
+            e,
+            Inst::Mov {
+                dst: r,
+                src: Operand::imm(1),
+            },
+        );
+        b.push(
+            e,
+            Inst::Mov {
+                dst: r,
+                src: Operand::imm(2),
+            },
+        );
+        b.push(
+            e,
+            Inst::Ret {
+                val: Some(r.into()),
+            },
+        );
         let f = b.build();
         let rd = ReachingDefs::compute(&f);
         let sites = rd.at(&f, e, 2, r);
         assert_eq!(sites.len(), 1);
-        assert!(sites.contains(&DefSite::Inst(e, 1)), "second def kills first");
+        assert!(
+            sites.contains(&DefSite::Inst(e, 1)),
+            "second def kills first"
+        );
     }
 }

@@ -118,7 +118,10 @@ fn form_function(f: &mut Function, module: &Module) -> (usize, usize) {
         !matches!(
             f.blocks[b as usize].insts.get(i.saturating_sub(1)),
             Some(Inst::Boundary { .. }) if i > 0
-        ) && !matches!(f.blocks[b as usize].insts.get(i), Some(Inst::Boundary { .. }))
+        ) && !matches!(
+            f.blocks[b as usize].insts.get(i),
+            Some(Inst::Boundary { .. })
+        )
     });
     let structural = positions.len();
     insert_boundaries(f, &positions);
@@ -166,7 +169,12 @@ fn insert_boundaries(f: &mut Function, positions: &BTreeSet<(u32, usize)>) {
             if matches!(insts.get(i), Some(Inst::Boundary { .. })) {
                 continue; // already a boundary here
             }
-            insts.insert(i, Inst::Boundary { id: RegionId(u32::MAX) });
+            insts.insert(
+                i,
+                Inst::Boundary {
+                    id: RegionId(u32::MAX),
+                },
+            );
         }
     }
 }
@@ -193,11 +201,17 @@ struct PathPos {
 fn antidep_cuts(f: &Function, module: &Module) -> Result<BTreeSet<(u32, usize)>, Vec<BlockId>> {
     // Region roots: function entry plus the position after every break
     // (boundary or call).
-    let mut roots: Vec<PathPos> = vec![PathPos { block: f.entry(), idx: 0 }];
+    let mut roots: Vec<PathPos> = vec![PathPos {
+        block: f.entry(),
+        idx: 0,
+    }];
     for (bid, block) in f.iter_blocks() {
         for (i, inst) in block.insts.iter().enumerate() {
             if matches!(inst, Inst::Boundary { .. } | Inst::Call { .. }) {
-                roots.push(PathPos { block: bid, idx: i + 1 });
+                roots.push(PathPos {
+                    block: bid,
+                    idx: i + 1,
+                });
             }
         }
     }
@@ -235,18 +249,29 @@ fn antidep_cuts(f: &Function, module: &Module) -> Result<BTreeSet<(u32, usize)>,
                             paths.push(trace);
                             break;
                         }
-                        pos = PathPos { block: *target, idx: 0 };
+                        pos = PathPos {
+                            block: *target,
+                            idx: 0,
+                        };
                     }
-                    Inst::CondBr { if_true, if_false, .. } => {
+                    Inst::CondBr {
+                        if_true, if_false, ..
+                    } => {
                         trace.push(pos);
                         if !at_boundary_entry(f, *if_false) {
                             stack.push((
-                                PathPos { block: *if_false, idx: 0 },
+                                PathPos {
+                                    block: *if_false,
+                                    idx: 0,
+                                },
                                 trace.clone(),
                             ));
                         }
                         if !at_boundary_entry(f, *if_true) {
-                            pos = PathPos { block: *if_true, idx: 0 };
+                            pos = PathPos {
+                                block: *if_true,
+                                idx: 0,
+                            };
                             continue;
                         }
                         // The true arm ends the region here; record the path
@@ -412,7 +437,10 @@ mod tests {
         let f = m.function(m.entry().unwrap());
         // the boundary sits before the store
         let insts = &f.block(f.entry()).insts;
-        let b_idx = insts.iter().position(|i| matches!(i, Inst::Boundary { .. })).unwrap();
+        let b_idx = insts
+            .iter()
+            .position(|i| matches!(i, Inst::Boundary { .. }))
+            .unwrap();
         assert!(matches!(insts[b_idx + 1], Inst::Store { .. }));
     }
 
@@ -436,7 +464,13 @@ mod tests {
         let e = b.entry();
         let r0 = b.mov(e, Operand::imm(1));
         let _r1 = b.bin(e, BinOp::Add, r0.into(), Operand::imm(1));
-        b.push(e, Inst::Mov { dst: r0, src: Operand::imm(5) });
+        b.push(
+            e,
+            Inst::Mov {
+                dst: r0,
+                src: Operand::imm(5),
+            },
+        );
         b.push(e, Inst::Halt);
         let mut m = single_fn_module(b);
         let info = form_regions(&mut m);
@@ -450,14 +484,25 @@ mod tests {
         let e = b.entry();
         let r0 = b.mov(e, Operand::imm(1));
         let _r1 = b.mov(e, Operand::Reg(r0));
-        b.push(e, Inst::Binary { op: BinOp::Add, dst: r0, lhs: r0.into(), rhs: Operand::imm(1) });
+        b.push(
+            e,
+            Inst::Binary {
+                op: BinOp::Add,
+                dst: r0,
+                lhs: r0.into(),
+                rhs: Operand::imm(1),
+            },
+        );
         b.push(e, Inst::Halt);
         let mut m = single_fn_module(b);
         let info = form_regions(&mut m);
         assert!(info.antidep_cuts >= 1, "{info:?}");
         let f = m.function(m.entry().unwrap());
         let insts = &f.block(f.entry()).insts;
-        let b_idx = insts.iter().position(|i| matches!(i, Inst::Boundary { .. })).unwrap();
+        let b_idx = insts
+            .iter()
+            .position(|i| matches!(i, Inst::Boundary { .. }))
+            .unwrap();
         assert!(
             matches!(insts[b_idx + 1], Inst::Binary { op: BinOp::Add, .. }),
             "boundary lands before the increment"
@@ -499,7 +544,10 @@ mod tests {
         assert!(info.structural >= 3, "{info:?}");
         let f = m.function(main);
         let insts = &f.block(f.entry()).insts;
-        let call_idx = insts.iter().position(|i| matches!(i, Inst::Call { .. })).unwrap();
+        let call_idx = insts
+            .iter()
+            .position(|i| matches!(i, Inst::Call { .. }))
+            .unwrap();
         assert!(matches!(insts[call_idx - 1], Inst::Boundary { .. }));
         let fence_idx = insts.iter().position(|i| matches!(i, Inst::Fence)).unwrap();
         assert!(matches!(insts[fence_idx - 1], Inst::Boundary { .. }));
@@ -532,7 +580,11 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), ids.len(), "ids unique");
-        assert_eq!(*sorted.iter().max().unwrap() as usize, ids.len() - 1, "dense");
+        assert_eq!(
+            *sorted.iter().max().unwrap() as usize,
+            ids.len() - 1,
+            "dense"
+        );
     }
 
     #[test]
@@ -545,7 +597,12 @@ mod tests {
             b.store(bb, s.into(), MemRef::abs(1024));
         });
         let v = b.load(exit, MemRef::abs(1024));
-        b.push(exit, Inst::Ret { val: Some(v.into()) });
+        b.push(
+            exit,
+            Inst::Ret {
+                val: Some(v.into()),
+            },
+        );
         let mut m = single_fn_module(b);
         let before = cwsp_ir::interp::run(&m, 100_000).unwrap();
         form_regions(&mut m);
@@ -566,6 +623,9 @@ mod tests {
         let count1 = count_boundaries(m.function(m.entry().unwrap()));
         let info2 = form_regions(&mut m);
         let count2 = count_boundaries(m.function(m.entry().unwrap()));
-        assert_eq!(count1, count2, "second run inserts nothing: {info1:?} {info2:?}");
+        assert_eq!(
+            count1, count2,
+            "second run inserts nothing: {info1:?} {info2:?}"
+        );
     }
 }

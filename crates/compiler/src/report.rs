@@ -38,7 +38,10 @@ pub struct Report {
 pub fn report(compiled: &Compiled) -> Report {
     let mut functions = Vec::new();
     for (_, f) in compiled.module.iter_functions() {
-        let mut fr = FunctionReport { name: f.name.clone(), ..Default::default() };
+        let mut fr = FunctionReport {
+            name: f.name.clone(),
+            ..Default::default()
+        };
         fr.insts = f.inst_count();
         for block in &f.blocks {
             for inst in &block.insts {
@@ -66,16 +69,28 @@ pub fn report(compiled: &Compiled) -> Report {
     Report {
         functions,
         restores: (slot, cst, expr),
-        avg_live_ins: if regions == 0 { 0.0 } else { total as f64 / regions as f64 },
+        avg_live_ins: if regions == 0 {
+            0.0
+        } else {
+            total as f64 / regions as f64
+        },
     }
 }
 
 /// Render the report as aligned text.
 pub fn render(r: &Report) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "{:<20} {:>7} {:>9} {:>7}", "function", "insts", "regions", "ckpts");
+    let _ = writeln!(
+        s,
+        "{:<20} {:>7} {:>9} {:>7}",
+        "function", "insts", "regions", "ckpts"
+    );
     for f in &r.functions {
-        let _ = writeln!(s, "{:<20} {:>7} {:>9} {:>7}", f.name, f.insts, f.boundaries, f.ckpts);
+        let _ = writeln!(
+            s,
+            "{:<20} {:>7} {:>9} {:>7}",
+            f.name, f.insts, f.boundaries, f.ckpts
+        );
     }
     let (slot, cst, expr) = r.restores;
     let _ = writeln!(

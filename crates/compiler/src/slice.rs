@@ -76,7 +76,10 @@ pub struct RecoverySlice {
 impl RecoverySlice {
     /// Number of live-ins restored from NVM slots (a recovery-cost metric).
     pub fn slot_loads(&self) -> usize {
-        self.restores.iter().filter(|(_, s)| matches!(s, RsSource::Slot)).count()
+        self.restores
+            .iter()
+            .filter(|(_, s)| matches!(s, RsSource::Slot))
+            .count()
     }
 
     /// Apply the slice to a resumed interpreter on `core`: the runtime's
@@ -148,8 +151,20 @@ mod tests {
         let r0 = b.vreg();
         let r1 = b.vreg();
         assert_eq!((r0, r1), (Reg(0), Reg(1)));
-        b.push(e, Inst::Mov { dst: r0, src: Operand::imm(0) });
-        b.push(e, Inst::Mov { dst: r1, src: Operand::imm(0) });
+        b.push(
+            e,
+            Inst::Mov {
+                dst: r0,
+                src: Operand::imm(0),
+            },
+        );
+        b.push(
+            e,
+            Inst::Mov {
+                dst: r1,
+                src: Operand::imm(0),
+            },
+        );
         b.push(e, Inst::Halt);
         let f = m.add_function(b.build());
         m.set_entry(f);
@@ -170,7 +185,12 @@ mod tests {
     fn table_roundtrip() {
         let mut t = SliceTable::new();
         assert!(t.is_empty());
-        t.insert(RegionId(4), RecoverySlice { restores: vec![(Reg(2), RsSource::Slot)] });
+        t.insert(
+            RegionId(4),
+            RecoverySlice {
+                restores: vec![(Reg(2), RsSource::Slot)],
+            },
+        );
         assert_eq!(t.len(), 1);
         assert_eq!(t.get(RegionId(4)).unwrap().restores.len(), 1);
         assert!(t.get(RegionId(5)).is_none());

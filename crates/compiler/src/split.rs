@@ -31,16 +31,21 @@ pub fn split_same_reg_updates(module: &mut Module) -> usize {
             while i < block.insts.len() {
                 let inst = &mut block.insts[i];
                 let needs_split = match inst {
-                    Inst::Binary { dst, lhs, rhs, .. } => {
-                        [lhs.as_reg(), rhs.as_reg()].iter().flatten().any(|r| r == dst)
-                    }
+                    Inst::Binary { dst, lhs, rhs, .. } => [lhs.as_reg(), rhs.as_reg()]
+                        .iter()
+                        .flatten()
+                        .any(|r| r == dst),
                     Inst::Load { dst, addr } => addr.base.as_reg() == Some(*dst),
-                    Inst::AtomicRmw { dst, addr, src, expected, .. } => {
-                        [addr.base.as_reg(), src.as_reg(), expected.as_reg()]
-                            .iter()
-                            .flatten()
-                            .any(|r| r == dst)
-                    }
+                    Inst::AtomicRmw {
+                        dst,
+                        addr,
+                        src,
+                        expected,
+                        ..
+                    } => [addr.base.as_reg(), src.as_reg(), expected.as_reg()]
+                        .iter()
+                        .flatten()
+                        .any(|r| r == dst),
                     _ => false,
                 };
                 if needs_split {
@@ -56,7 +61,13 @@ pub fn split_same_reg_updates(module: &mut Module) -> usize {
                         }
                         _ => unreachable!(),
                     };
-                    block.insts.insert(i + 1, Inst::Mov { dst: old_dst, src: t.into() });
+                    block.insts.insert(
+                        i + 1,
+                        Inst::Mov {
+                            dst: old_dst,
+                            src: t.into(),
+                        },
+                    );
                     total += 1;
                     i += 1; // skip the inserted copy
                 }
@@ -80,8 +91,21 @@ mod tests {
         let mut b = FunctionBuilder::new("main", 0);
         let e = b.entry();
         let r = b.mov(e, Operand::imm(1));
-        b.push(e, Inst::Binary { op: BinOp::Add, dst: r, lhs: r.into(), rhs: Operand::imm(1) });
-        b.push(e, Inst::Ret { val: Some(r.into()) });
+        b.push(
+            e,
+            Inst::Binary {
+                op: BinOp::Add,
+                dst: r,
+                lhs: r.into(),
+                rhs: Operand::imm(1),
+            },
+        );
+        b.push(
+            e,
+            Inst::Ret {
+                val: Some(r.into()),
+            },
+        );
         let f = m.add_function(b.build());
         m.set_entry(f);
         let n = split_same_reg_updates(&mut m);
@@ -108,8 +132,19 @@ mod tests {
         let mut b = FunctionBuilder::new("main", 0);
         let e = b.entry();
         let r = b.mov(e, Operand::imm(64));
-        b.push(e, Inst::Load { dst: r, addr: MemRef::reg(r, 0) });
-        b.push(e, Inst::Ret { val: Some(r.into()) });
+        b.push(
+            e,
+            Inst::Load {
+                dst: r,
+                addr: MemRef::reg(r, 0),
+            },
+        );
+        b.push(
+            e,
+            Inst::Ret {
+                val: Some(r.into()),
+            },
+        );
         let f = m.add_function(b.build());
         m.set_entry(f);
         assert_eq!(split_same_reg_updates(&mut m), 1);
@@ -129,17 +164,43 @@ mod tests {
         let body = b.block();
         let exit = b.block();
         let i = b.vreg();
-        b.push(e, Inst::Mov { dst: i, src: Operand::imm(0) });
+        b.push(
+            e,
+            Inst::Mov {
+                dst: i,
+                src: Operand::imm(0),
+            },
+        );
         b.push(e, Inst::Br { target: header });
         let c = b.bin(header, BinOp::CmpLtU, i.into(), Operand::imm(10));
-        b.push(header, Inst::CondBr { cond: c.into(), if_true: body, if_false: exit });
+        b.push(
+            header,
+            Inst::CondBr {
+                cond: c.into(),
+                if_true: body,
+                if_false: exit,
+            },
+        );
         let v = b.load(body, MemRef::global(g, 0));
         let s = b.bin(body, BinOp::Add, v.into(), i.into());
         b.store(body, s.into(), MemRef::global(g, 0));
-        b.push(body, Inst::Binary { op: BinOp::Add, dst: i, lhs: i.into(), rhs: Operand::imm(1) });
+        b.push(
+            body,
+            Inst::Binary {
+                op: BinOp::Add,
+                dst: i,
+                lhs: i.into(),
+                rhs: Operand::imm(1),
+            },
+        );
         b.push(body, Inst::Br { target: header });
         let r = b.load(exit, MemRef::global(g, 0));
-        b.push(exit, Inst::Ret { val: Some(r.into()) });
+        b.push(
+            exit,
+            Inst::Ret {
+                val: Some(r.into()),
+            },
+        );
         let f = m.add_function(b.build());
         m.set_entry(f);
         let oracle = cwsp_ir::interp::run(&m, 10_000).unwrap();
@@ -161,7 +222,11 @@ mod tests {
         b.push(exit, Inst::Halt);
         let f = m.add_function(b.build());
         m.set_entry(f);
-        assert_eq!(split_same_reg_updates(&mut m), 0, "two-phase form already safe");
+        assert_eq!(
+            split_same_reg_updates(&mut m),
+            0,
+            "two-phase form already safe"
+        );
     }
 
     #[test]

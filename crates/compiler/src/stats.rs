@@ -71,7 +71,11 @@ mod tests {
 
     #[test]
     fn prune_ratio_computes_fraction() {
-        let s = CompileStats { ckpts_final: 3, ckpts_pruned: 1, ..Default::default() };
+        let s = CompileStats {
+            ckpts_final: 3,
+            ckpts_pruned: 1,
+            ..Default::default()
+        };
         assert!((s.prune_ratio() - 0.25).abs() < 1e-12);
     }
 

@@ -101,7 +101,9 @@ pub fn check_slices(module: &Module, slices: &SliceTable, max_steps: u64) -> Res
         }
         let eff = interp.step(&mut mem).map_err(|e| e.to_string())?;
         let Some(b) = eff.boundary else { continue };
-        let Some(region) = b.static_region else { continue };
+        let Some(region) = b.static_region else {
+            continue;
+        };
         let Some(slice) = slices.get(region) else {
             return Err(format!("no recovery slice for {region}"));
         };
@@ -218,7 +220,11 @@ mod tests {
         let f = m.add_function(b.build());
         m.set_entry(f);
         for pruning in [true, false] {
-            let c = CwspCompiler::new(CompileOptions { pruning, ..Default::default() }).compile(&m);
+            let c = CwspCompiler::new(CompileOptions {
+                pruning,
+                ..Default::default()
+            })
+            .compile(&m);
             check_all(&m, &c.module, &c.slices, 100_000)
                 .unwrap_or_else(|e| panic!("pruning={pruning}: {e}"));
         }
@@ -239,9 +245,12 @@ mod tests {
         let f = m.add_function(b.build());
         m.set_entry(f);
         let mut slices = SliceTable::new();
-        slices.insert(RegionId(0), crate::slice::RecoverySlice {
-            restores: vec![(r, RsSource::Slot)],
-        });
+        slices.insert(
+            RegionId(0),
+            crate::slice::RecoverySlice {
+                restores: vec![(r, RsSource::Slot)],
+            },
+        );
         let err = check_slices(&m, &slices, 1000).unwrap_err();
         assert!(err.contains("mismatch"), "{err}");
     }
@@ -268,7 +277,12 @@ mod tests {
         let le = leaf.entry();
         let p = leaf.param(0);
         let v = leaf.bin(le, BinOp::Mul, p.into(), Operand::imm(2));
-        leaf.push(le, Inst::Ret { val: Some(v.into()) });
+        leaf.push(
+            le,
+            Inst::Ret {
+                val: Some(v.into()),
+            },
+        );
         let leaf = m.add_function(leaf.build());
         let mut b = FunctionBuilder::new("main", 0);
         let e = b.entry();
@@ -276,7 +290,12 @@ mod tests {
         let r1 = b.call(e, leaf, vec![Operand::imm(3)], true).unwrap();
         let r2 = b.call(e, leaf, vec![r1.into()], true).unwrap();
         let s = b.bin(e, BinOp::Add, r2.into(), keep.into());
-        b.push(e, Inst::Ret { val: Some(s.into()) });
+        b.push(
+            e,
+            Inst::Ret {
+                val: Some(s.into()),
+            },
+        );
         let f = m.add_function(b.build());
         m.set_entry(f);
         let c = CwspCompiler::new(CompileOptions::default()).compile(&m);

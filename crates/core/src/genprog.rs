@@ -8,12 +8,11 @@
 //! walks (symbolic aliasing), helper calls (frame spill/restore), and
 //! observable output.
 
+use crate::prng::SplitMix64;
 use cwsp_ir::builder::{build_counted_loop, FunctionBuilder};
 use cwsp_ir::inst::{BinOp, Inst, MemRef, Operand};
 use cwsp_ir::module::{FuncId, GlobalId, Module};
 use cwsp_ir::types::Reg;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 /// Shape parameters for generated programs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,32 +31,38 @@ pub struct ProgramSpec {
 
 impl Default for ProgramSpec {
     fn default() -> Self {
-        ProgramSpec { globals: 3, global_words: 16, segments: 10, max_trip: 12, calls: true }
+        ProgramSpec {
+            globals: 3,
+            global_words: 16,
+            segments: 10,
+            max_trip: 12,
+            calls: true,
+        }
     }
 }
 
 struct Gen {
-    rng: StdRng,
+    rng: SplitMix64,
     /// Registers known to hold interesting values.
     pool: Vec<Reg>,
 }
 
 impl Gen {
     fn pick_reg(&mut self, b: &mut FunctionBuilder) -> Reg {
-        if self.pool.is_empty() || self.rng.random_range(0..4) == 0 {
+        if self.pool.is_empty() || self.rng.range_u64(0, 4) == 0 {
             let r = b.vreg();
             self.pool.push(r);
             r
         } else {
-            self.pool[self.rng.random_range(0..self.pool.len())]
+            self.pool[self.rng.index(self.pool.len())]
         }
     }
 
     fn operand(&mut self) -> Operand {
-        if self.pool.is_empty() || self.rng.random_bool(0.4) {
-            Operand::imm(self.rng.random_range(0..64))
+        if self.pool.is_empty() || self.rng.chance(0.4) {
+            Operand::imm(self.rng.range_u64(0, 64))
         } else {
-            self.pool[self.rng.random_range(0..self.pool.len())].into()
+            self.pool[self.rng.index(self.pool.len())].into()
         }
     }
 
@@ -72,12 +77,12 @@ impl Gen {
             BinOp::Shl,
             BinOp::MinU,
         ];
-        OPS[self.rng.random_range(0..OPS.len())]
+        OPS[self.rng.index(OPS.len())]
     }
 
     fn global_ref(&mut self, globals: &[GlobalId], words: u64) -> MemRef {
-        let g = globals[self.rng.random_range(0..globals.len())];
-        MemRef::global(g, self.rng.random_range(0..words) as i64)
+        let g = globals[self.rng.index(globals.len())];
+        MemRef::global(g, self.rng.range_u64(0, words) as i64)
     }
 }
 
@@ -100,22 +105,38 @@ pub fn generate(spec: &ProgramSpec, seed: u64) -> Module {
         let t = b.bin(e, BinOp::Mul, x.into(), Operand::imm(3));
         let u = b.bin(e, BinOp::Add, t.into(), Operand::imm(1));
         b.store(e, u.into(), MemRef::global(globals[0], 0));
-        b.push(e, Inst::Ret { val: Some(u.into()) });
+        b.push(
+            e,
+            Inst::Ret {
+                val: Some(u.into()),
+            },
+        );
         m.add_function(b.build())
     });
 
-    let mut g = Gen { rng: StdRng::seed_from_u64(seed), pool: Vec::new() };
+    let mut g = Gen {
+        rng: SplitMix64::seed_from_u64(seed),
+        pool: Vec::new(),
+    };
     let mut b = FunctionBuilder::new("main", 0);
     let mut bb = b.entry();
 
     for _ in 0..spec.segments {
-        match g.rng.random_range(0..12) {
+        match g.rng.range_u64(0, 12) {
             0..=2 => {
                 // Arithmetic onto a (possibly reused) register.
                 let dst = g.pick_reg(&mut b);
                 let (l, r) = (g.operand(), g.operand());
                 let op = g.binop();
-                b.push(bb, Inst::Binary { op, dst, lhs: l, rhs: r });
+                b.push(
+                    bb,
+                    Inst::Binary {
+                        op,
+                        dst,
+                        lhs: l,
+                        rhs: r,
+                    },
+                );
             }
             3..=4 => {
                 // Read-modify-write on a global word (forces an antidep cut).
@@ -140,30 +161,38 @@ pub fn generate(spec: &ProgramSpec, seed: u64) -> Module {
             }
             7..=8 => {
                 // Counted loop with an indexed array walk + accumulator.
-                let trip = g.rng.random_range(1..=spec.max_trip);
-                let gid = globals[g.rng.random_range(0..globals.len())];
+                let trip = g.rng.range_incl_u64(1, spec.max_trip);
+                let gid = globals[g.rng.index(globals.len())];
                 let base = m.global_addr(gid);
                 let words = spec.global_words;
                 let seed_op = g.operand();
                 // acc register defined before the loop, updated per iteration
                 // (a loop-carried register antidependence).
                 let acc = b.vreg();
-                b.push(bb, Inst::Mov { dst: acc, src: seed_op });
-                let (_, exit) =
-                    build_counted_loop(&mut b, bb, Operand::imm(trip), |b, body, i| {
-                        let off = b.bin(body, BinOp::RemU, i.into(), Operand::imm(words));
-                        let byt = b.bin(body, BinOp::Shl, off.into(), Operand::imm(3));
-                        let addr = b.bin(body, BinOp::Add, byt.into(), Operand::imm(base));
-                        let v = b.load(body, MemRef::reg(addr, 0));
-                        let s = b.bin(body, BinOp::Add, v.into(), acc.into());
-                        b.store(body, s.into(), MemRef::reg(addr, 0));
-                        b.push(body, Inst::Binary {
+                b.push(
+                    bb,
+                    Inst::Mov {
+                        dst: acc,
+                        src: seed_op,
+                    },
+                );
+                let (_, exit) = build_counted_loop(&mut b, bb, Operand::imm(trip), |b, body, i| {
+                    let off = b.bin(body, BinOp::RemU, i.into(), Operand::imm(words));
+                    let byt = b.bin(body, BinOp::Shl, off.into(), Operand::imm(3));
+                    let addr = b.bin(body, BinOp::Add, byt.into(), Operand::imm(base));
+                    let v = b.load(body, MemRef::reg(addr, 0));
+                    let s = b.bin(body, BinOp::Add, v.into(), acc.into());
+                    b.store(body, s.into(), MemRef::reg(addr, 0));
+                    b.push(
+                        body,
+                        Inst::Binary {
                             op: BinOp::Add,
                             dst: acc,
                             lhs: acc.into(),
                             rhs: Operand::imm(1),
-                        });
-                    });
+                        },
+                    );
+                });
                 g.pool.push(acc);
                 bb = exit;
             }
@@ -176,16 +205,35 @@ pub fn generate(spec: &ProgramSpec, seed: u64) -> Module {
                 let join = b.block();
                 let out = b.vreg();
                 g.pool.push(out);
-                b.push(bb, Inst::CondBr { cond, if_true: then_bb, if_false: else_bb });
+                b.push(
+                    bb,
+                    Inst::CondBr {
+                        cond,
+                        if_true: then_bb,
+                        if_false: else_bb,
+                    },
+                );
                 let tv = g.operand();
                 let t1 = b.bin(then_bb, BinOp::Add, tv, Operand::imm(3));
-                b.push(then_bb, Inst::Mov { dst: out, src: t1.into() });
+                b.push(
+                    then_bb,
+                    Inst::Mov {
+                        dst: out,
+                        src: t1.into(),
+                    },
+                );
                 let taddr = g.global_ref(&globals, spec.global_words);
                 b.store(then_bb, t1.into(), taddr);
                 b.push(then_bb, Inst::Br { target: join });
                 let ev = g.operand();
                 let e1 = b.bin(else_bb, BinOp::Xor, ev, Operand::imm(5));
-                b.push(else_bb, Inst::Mov { dst: out, src: e1.into() });
+                b.push(
+                    else_bb,
+                    Inst::Mov {
+                        dst: out,
+                        src: e1.into(),
+                    },
+                );
                 b.push(else_bb, Inst::Br { target: join });
                 bb = join;
             }
@@ -195,13 +243,16 @@ pub fn generate(spec: &ProgramSpec, seed: u64) -> Module {
                 let addr = g.global_ref(&globals, spec.global_words);
                 let dst = b.vreg();
                 g.pool.push(dst);
-                b.push(bb, Inst::AtomicRmw {
-                    op: cwsp_ir::inst::AtomicOp::FetchAdd,
-                    dst,
-                    addr,
-                    src: Operand::imm(g.rng.random_range(1..8)),
-                    expected: Operand::imm(0),
-                });
+                b.push(
+                    bb,
+                    Inst::AtomicRmw {
+                        op: cwsp_ir::inst::AtomicOp::FetchAdd,
+                        dst,
+                        addr,
+                        src: Operand::imm(g.rng.range_u64(1, 8)),
+                        expected: Operand::imm(0),
+                    },
+                );
             }
             _ => {
                 // Helper call (if enabled): exercises spill/restore.
@@ -220,12 +271,20 @@ pub fn generate(spec: &ProgramSpec, seed: u64) -> Module {
     // Checksum epilogue: fold a few global words and return the sum.
     let mut sum = b.mov(bb, Operand::imm(0));
     for (i, gid) in globals.iter().enumerate() {
-        let v = b.load(bb, MemRef::global(*gid, (i as i64) % spec.global_words as i64));
+        let v = b.load(
+            bb,
+            MemRef::global(*gid, (i as i64) % spec.global_words as i64),
+        );
         let s = b.bin(bb, BinOp::Add, sum.into(), v.into());
         sum = s;
     }
     b.push(bb, Inst::Out { val: sum.into() });
-    b.push(bb, Inst::Ret { val: Some(sum.into()) });
+    b.push(
+        bb,
+        Inst::Ret {
+            val: Some(sum.into()),
+        },
+    );
 
     let main = m.add_function(b.build());
     m.set_entry(main);
@@ -247,8 +306,8 @@ mod tests {
         for seed in 0..30 {
             let m = generate_default(seed);
             assert!(m.validate().is_ok(), "seed {seed}: {:?}", m.validate());
-            let out = cwsp_ir::interp::run(&m, 200_000)
-                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            let out =
+                cwsp_ir::interp::run(&m, 200_000).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             assert!(out.steps > 0);
         }
     }

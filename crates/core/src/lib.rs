@@ -38,9 +38,12 @@
 //! ```
 
 pub mod genprog;
+pub mod prng;
 pub mod recovery;
 pub mod system;
 pub mod verify;
 
-pub use recovery::{recover, recover_multicore, MulticoreRecoveredRun, RecoveredRun, RecoveryError};
+pub use recovery::{
+    recover, recover_multicore, MulticoreRecoveredRun, RecoveredRun, RecoveryError,
+};
 pub use system::CwspSystem;

@@ -1,0 +1,138 @@
+//! A small, self-contained PRNG for deterministic program generation.
+//!
+//! The repository must build with zero external crates (offline CI, vendored
+//! containers), so [`genprog`](crate::genprog) cannot depend on `rand`. This
+//! module provides the three primitives it needs — uniform integers in a
+//! range, booleans with a probability, and seeded determinism — on top of
+//! SplitMix64 (Steele, Lea & Flood, OOPSLA 2014), whose 64-bit output passes
+//! BigCrush and whose whole state is one word.
+//!
+//! Not cryptographic; not for statistics. For sweeping structured program
+//! shapes it is exactly as good as `StdRng` was, and the sequence is stable
+//! across platforms and Rust versions (unlike `StdRng`, which documents no
+//! such guarantee).
+
+/// SplitMix64: one `u64` of state, one multiply-xor-shift chain per draw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seed the generator. Equal seeds yield equal sequences forever.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[lo, hi)` via Lemire's multiply-shift reduction
+    /// (debiased by rejection).
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        let span = hi - lo;
+        // Rejection zone: the lowest `2^64 mod span` multiples are biased.
+        let zone = span.wrapping_neg() % span;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (span as u128);
+            if (m as u64) >= zone {
+                return lo + (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform draw in the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    pub fn range_incl_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        if lo == 0 && hi == u64::MAX {
+            return self.next_u64();
+        }
+        self.range_u64(lo, hi + 1)
+    }
+
+    /// Uniform index in `[0, len)` — the `choose`-an-element helper.
+    ///
+    /// # Panics
+    /// Panics if `len == 0`.
+    pub fn index(&mut self, len: usize) -> usize {
+        self.range_u64(0, len as u64) as usize
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        // 53 mantissa bits of the draw give a uniform float in [0, 1).
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism_and_divergence() {
+        let mut a = SplitMix64::seed_from_u64(42);
+        let mut b = SplitMix64::seed_from_u64(42);
+        let mut c = SplitMix64::seed_from_u64(43);
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn reference_vector() {
+        // First outputs for seed 0 from the published SplitMix64 reference.
+        let mut r = SplitMix64::seed_from_u64(0);
+        assert_eq!(r.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(r.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(r.next_u64(), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds_and_cover() {
+        let mut r = SplitMix64::seed_from_u64(7);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            let v = r.range_u64(0, 8);
+            assert!(v < 8);
+            seen[v as usize] = true;
+            let w = r.range_incl_u64(1, 3);
+            assert!((1..=3).contains(&w));
+            let i = r.index(5);
+            assert!(i < 5);
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reachable");
+    }
+
+    #[test]
+    fn chance_respects_probability_roughly() {
+        let mut r = SplitMix64::seed_from_u64(99);
+        let hits = (0..10_000).filter(|_| r.chance(0.4)).count();
+        assert!((3_500..4_500).contains(&hits), "{hits}");
+        assert!((0..100).all(|_| !r.chance(0.0)));
+        assert!((0..100).all(|_| r.chance(1.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        SplitMix64::seed_from_u64(0).range_u64(3, 3);
+    }
+}

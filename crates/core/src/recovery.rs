@@ -73,9 +73,16 @@ pub fn recover(
     core: usize,
     max_steps: u64,
 ) -> Result<RecoveredRun, RecoveryError> {
-    let CrashImage { nvm, output, resume, reverted_records } = image;
+    let CrashImage {
+        nvm,
+        output,
+        resume,
+        reverted_records,
+    } = image;
     let Some(&(rp, static_region)) = resume.get(core) else {
-        return Err(RecoveryError::BadImage(format!("no metadata for core {core}")));
+        return Err(RecoveryError::BadImage(format!(
+            "no metadata for core {core}"
+        )));
     };
     let mut mem = nvm;
     // Step 2: rebuild the machine context from persistent state.
@@ -142,7 +149,12 @@ pub fn recover_multicore(
     image: CrashImage,
     max_steps: u64,
 ) -> Result<MulticoreRecoveredRun, RecoveryError> {
-    let CrashImage { nvm, output: _, resume, reverted_records: _ } = image;
+    let CrashImage {
+        nvm,
+        output: _,
+        resume,
+        reverted_records: _,
+    } = image;
     let mut mem = nvm;
     let ncores = resume.len();
     let mut interps = Vec::with_capacity(ncores);
@@ -168,7 +180,9 @@ pub fn recover_multicore(
             if replayed >= max_steps {
                 return Err(RecoveryError::StepLimit(max_steps));
             }
-            interp.step(&mut mem).map_err(|e| RecoveryError::Trap(e.to_string()))?;
+            interp
+                .step(&mut mem)
+                .map_err(|e| RecoveryError::Trap(e.to_string()))?;
             replayed += 1;
             any = true;
         }
@@ -207,7 +221,12 @@ mod tests {
         });
         let v = b.load(exit, MemRef::global(g, 0));
         b.store(exit, v.into(), MemRef::global(g, 1));
-        b.push(exit, Inst::Ret { val: Some(v.into()) });
+        b.push(
+            exit,
+            Inst::Ret {
+                val: Some(v.into()),
+            },
+        );
         let f = m.add_function(b.build());
         m.set_entry(f);
         m
@@ -220,8 +239,8 @@ mod tests {
         let oracle = cwsp_ir::interp::run(&compiled.module, 1_000_000).unwrap();
 
         for crash_cycle in [50u64, 200, 500, 1200, 3000, 7000] {
-            let mut machine =
-                Machine::new(&compiled.module, SimConfig::default(), Scheme::cwsp());
+            let cfg_ = SimConfig::default();
+            let mut machine = Machine::new(&compiled.module, &cfg_, Scheme::cwsp());
             let r = machine.run(u64::MAX, Some(crash_cycle)).unwrap();
             if r.end != RunEnd::PowerFailure {
                 // Program finished before the crash point: nothing to test.
@@ -234,13 +253,17 @@ mod tests {
                 rec.return_value, oracle.return_value,
                 "return value after crash@{crash_cycle}"
             );
-            assert_eq!(rec.output, oracle.output, "output after crash@{crash_cycle}");
-            let diffs = rec.memory.diff_where(
-                &oracle.memory,
-                cwsp_ir::layout::is_program_data,
-                8,
+            assert_eq!(
+                rec.output, oracle.output,
+                "output after crash@{crash_cycle}"
             );
-            assert!(diffs.is_empty(), "crash@{crash_cycle}: data diverged: {diffs:x?}");
+            let diffs = rec
+                .memory
+                .diff_where(&oracle.memory, cwsp_ir::layout::is_program_data, 8);
+            assert!(
+                diffs.is_empty(),
+                "crash@{crash_cycle}: data diverged: {diffs:x?}"
+            );
         }
     }
 
@@ -251,7 +274,8 @@ mod tests {
         let m = looping_module(10);
         let compiled = CwspCompiler::new(CompileOptions::default()).compile(&m);
         let oracle = cwsp_ir::interp::run(&compiled.module, 1_000_000).unwrap();
-        let mut machine = Machine::new(&compiled.module, SimConfig::default(), Scheme::cwsp());
+        let cfg_ = SimConfig::default();
+        let mut machine = Machine::new(&compiled.module, &cfg_, Scheme::cwsp());
         let _ = machine.run(u64::MAX, Some(0)).unwrap();
         let image = machine.into_crash_image();
         let rec = recover(&compiled, image, 0, 1_000_000).unwrap();
@@ -263,7 +287,8 @@ mod tests {
     fn missing_core_metadata_is_reported() {
         let m = looping_module(5);
         let compiled = CwspCompiler::new(CompileOptions::default()).compile(&m);
-        let mut machine = Machine::new(&compiled.module, SimConfig::default(), Scheme::cwsp());
+        let cfg_ = SimConfig::default();
+        let mut machine = Machine::new(&compiled.module, &cfg_, Scheme::cwsp());
         let _ = machine.run(u64::MAX, Some(10)).unwrap();
         let image = machine.into_crash_image();
         let err = recover(&compiled, image, 5, 1_000).unwrap_err();

@@ -40,7 +40,10 @@ impl CwspSystem {
 
     /// Compile with explicit compiler options and machine configuration.
     pub fn compile_with(module: &Module, opts: CompileOptions, config: SimConfig) -> Self {
-        CwspSystem { compiled: CwspCompiler::new(opts).compile(module), config }
+        CwspSystem {
+            compiled: CwspCompiler::new(opts).compile(module),
+            config,
+        }
     }
 
     /// Run the *compiled* program in the reference interpreter (the oracle).
@@ -56,7 +59,7 @@ impl CwspSystem {
     /// # Errors
     /// Propagates interpreter traps.
     pub fn simulate(&self, scheme: Scheme, max_insts: u64) -> Result<SystemRun, InterpError> {
-        let mut machine = Machine::new(&self.compiled.module, self.config.clone(), scheme);
+        let mut machine = Machine::new(&self.compiled.module, &self.config, scheme);
         let RunResult { end, stats } = machine.run(max_insts, None)?;
         Ok(SystemRun {
             end,
@@ -78,8 +81,7 @@ impl CwspSystem {
         crash_cycle: u64,
         max_steps: u64,
     ) -> Result<RecoveredRun, RecoveryError> {
-        let mut machine =
-            Machine::new(&self.compiled.module, self.config.clone(), Scheme::cwsp());
+        let mut machine = Machine::new(&self.compiled.module, &self.config, Scheme::cwsp());
         let result = machine
             .run(u64::MAX, Some(crash_cycle))
             .map_err(|e| RecoveryError::Trap(e.to_string()))?;
@@ -116,7 +118,12 @@ mod tests {
             b.store(bb, s.into(), MemRef::global(g, 0));
         });
         let v = b.load(exit, MemRef::global(g, 0));
-        b.push(exit, Inst::Ret { val: Some(v.into()) });
+        b.push(
+            exit,
+            Inst::Ret {
+                val: Some(v.into()),
+            },
+        );
         let f = m.add_function(b.build());
         m.set_entry(f);
         m
@@ -126,7 +133,12 @@ mod tests {
     fn simulate_all_schemes() {
         let sys = CwspSystem::compile(&module());
         let oracle = sys.oracle(100_000).unwrap();
-        for scheme in [Scheme::Baseline, Scheme::cwsp(), Scheme::Capri, Scheme::ReplayCache] {
+        for scheme in [
+            Scheme::Baseline,
+            Scheme::cwsp(),
+            Scheme::Capri,
+            Scheme::ReplayCache,
+        ] {
             let run = sys.simulate(scheme, u64::MAX).unwrap();
             assert_eq!(run.end, RunEnd::Completed, "{scheme:?}");
             assert_eq!(run.return_value, oracle.return_value, "{scheme:?}");

@@ -112,11 +112,16 @@ mod tests {
 
     #[test]
     fn call_heavy_programs_survive_crashes() {
-        let spec = ProgramSpec { segments: 16, calls: true, ..Default::default() };
+        let spec = ProgramSpec {
+            segments: 16,
+            calls: true,
+            ..Default::default()
+        };
         for seed in 100..103 {
             let module = generate(&spec, seed);
             let system = CwspSystem::compile(&module);
-            sweep(&system, &[5, 33, 77, 210, 777, 3100]).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            sweep(&system, &[5, 33, 77, 210, 777, 3100])
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
     }
 
@@ -127,7 +132,10 @@ mod tests {
         let module = generate(&ProgramSpec::default(), 7);
         let system = CwspSystem::compile_with(
             &module,
-            CompileOptions { pruning: false, ..Default::default() },
+            CompileOptions {
+                pruning: false,
+                ..Default::default()
+            },
             SimConfig::default(),
         );
         sweep(&system, &[10, 100, 1000, 5000]).unwrap();
@@ -137,10 +145,12 @@ mod tests {
     fn tiny_rbt_and_wpq_still_recover() {
         use cwsp_sim::config::SimConfig;
         let module = generate(&ProgramSpec::default(), 3);
-        let mut cfg = SimConfig::default();
-        cfg.rbt_entries = 2;
-        cfg.wpq_entries = 2;
-        cfg.pb_entries = 4;
+        let cfg = SimConfig {
+            rbt_entries: 2,
+            wpq_entries: 2,
+            pb_entries: 4,
+            ..SimConfig::default()
+        };
         let system = CwspSystem::compile_with(
             &module,
             cwsp_compiler::pipeline::CompileOptions::default(),

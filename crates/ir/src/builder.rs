@@ -119,7 +119,15 @@ impl FunctionBuilder {
         want_ret: bool,
     ) -> Option<Reg> {
         let ret = want_ret.then(|| self.vreg());
-        self.push(block, Inst::Call { func, args, ret, save_regs: Vec::new() });
+        self.push(
+            block,
+            Inst::Call {
+                func,
+                args,
+                ret,
+                save_regs: Vec::new(),
+            },
+        );
         ret
     }
 
@@ -189,7 +197,13 @@ pub fn build_counted_loop_multi(
 
     let i = b.vreg();
     let i_next = b.vreg();
-    b.push(before, Inst::Mov { dst: i_next, src: Operand::imm(0) });
+    b.push(
+        before,
+        Inst::Mov {
+            dst: i_next,
+            src: Operand::imm(0),
+        },
+    );
     b.push(before, Inst::Br { target: header });
 
     // Loop-carried updates live at the *top* of the header: `i` commits from
@@ -201,15 +215,39 @@ pub fn build_counted_loop_multi(
     // address-computation chains from `slot_i` (§IV-C) without the
     // self-clobber hazard (DESIGN.md §3.1).
     let cond = b.vreg();
-    b.push(header, Inst::Mov { dst: i, src: i_next.into() });
-    b.push(header, Inst::Binary { op: BinOp::CmpLtU, dst: cond, lhs: i.into(), rhs: n });
-    b.push(header, Inst::Binary {
-        op: BinOp::Add,
-        dst: i_next,
-        lhs: i.into(),
-        rhs: Operand::imm(1),
-    });
-    b.push(header, Inst::CondBr { cond: cond.into(), if_true: body_bb, if_false: exit });
+    b.push(
+        header,
+        Inst::Mov {
+            dst: i,
+            src: i_next.into(),
+        },
+    );
+    b.push(
+        header,
+        Inst::Binary {
+            op: BinOp::CmpLtU,
+            dst: cond,
+            lhs: i.into(),
+            rhs: n,
+        },
+    );
+    b.push(
+        header,
+        Inst::Binary {
+            op: BinOp::Add,
+            dst: i_next,
+            lhs: i.into(),
+            rhs: Operand::imm(1),
+        },
+    );
+    b.push(
+        header,
+        Inst::CondBr {
+            cond: cond.into(),
+            if_true: body_bb,
+            if_false: exit,
+        },
+    );
 
     let tail = body(b, body_bb, i);
     b.push(tail, Inst::Br { target: header });
@@ -230,7 +268,12 @@ mod tests {
         assert_eq!(r, Reg(2));
         let e = b.entry();
         let s = b.bin(e, BinOp::Add, b.param(0).into(), b.param(1).into());
-        b.push(e, Inst::Ret { val: Some(s.into()) });
+        b.push(
+            e,
+            Inst::Ret {
+                val: Some(s.into()),
+            },
+        );
         let f = b.build();
         assert_eq!(f.param_count, 2);
         assert_eq!(f.reg_count, 4);
@@ -256,7 +299,10 @@ mod tests {
         assert!(f.validate().is_ok(), "{:?}", f.validate());
         assert!(header.index() > 0 && exit.index() > header.index());
         // header ends in a conditional branch
-        assert!(matches!(f.block(header).terminator(), Some(Inst::CondBr { .. })));
+        assert!(matches!(
+            f.block(header).terminator(),
+            Some(Inst::CondBr { .. })
+        ));
     }
 
     #[test]

@@ -9,7 +9,9 @@ use crate::inst::Inst;
 pub fn successors(f: &Function, block: BlockId) -> Vec<BlockId> {
     match f.block(block).insts.last() {
         Some(Inst::Br { target }) => vec![*target],
-        Some(Inst::CondBr { if_true, if_false, .. }) => {
+        Some(Inst::CondBr {
+            if_true, if_false, ..
+        }) => {
             if if_true == if_false {
                 vec![*if_true]
             } else {
@@ -237,7 +239,14 @@ mod tests {
         let b2 = bld.block();
         let join = bld.block();
         let c = bld.vreg();
-        bld.push(e, Inst::CondBr { cond: c.into(), if_true: a, if_false: b2 });
+        bld.push(
+            e,
+            Inst::CondBr {
+                cond: c.into(),
+                if_true: a,
+                if_false: b2,
+            },
+        );
         bld.push(a, Inst::Br { target: join });
         bld.push(b2, Inst::Br { target: join });
         bld.push(join, Inst::Halt);
@@ -246,7 +255,11 @@ mod tests {
         assert_eq!(idom[e.index()], Some(e));
         assert_eq!(idom[a.index()], Some(e));
         assert_eq!(idom[b2.index()], Some(e));
-        assert_eq!(idom[join.index()], Some(e), "join's idom is the branch, not an arm");
+        assert_eq!(
+            idom[join.index()],
+            Some(e),
+            "join's idom is the branch, not an arm"
+        );
         assert!(dominates(&idom, e, join));
         assert!(!dominates(&idom, a, join));
         assert!(dominates(&idom, join, join));
@@ -288,15 +301,51 @@ mod tests {
         let exit = b.block();
         let i = b.vreg();
         let j = b.vreg();
-        b.push(e, Inst::Mov { dst: i, src: Operand::imm(0) });
+        b.push(
+            e,
+            Inst::Mov {
+                dst: i,
+                src: Operand::imm(0),
+            },
+        );
         b.push(e, Inst::Br { target: outer_h });
         let c1 = b.bin(outer_h, BinOp::CmpLtU, i.into(), Operand::imm(3));
-        b.push(outer_h, Inst::CondBr { cond: c1.into(), if_true: inner_h, if_false: exit });
+        b.push(
+            outer_h,
+            Inst::CondBr {
+                cond: c1.into(),
+                if_true: inner_h,
+                if_false: exit,
+            },
+        );
         let c2 = b.bin(inner_h, BinOp::CmpLtU, j.into(), Operand::imm(2));
-        b.push(inner_h, Inst::CondBr { cond: c2.into(), if_true: inner_body, if_false: outer_latch });
-        b.push(inner_body, Inst::Binary { op: BinOp::Add, dst: j, lhs: j.into(), rhs: Operand::imm(1) });
+        b.push(
+            inner_h,
+            Inst::CondBr {
+                cond: c2.into(),
+                if_true: inner_body,
+                if_false: outer_latch,
+            },
+        );
+        b.push(
+            inner_body,
+            Inst::Binary {
+                op: BinOp::Add,
+                dst: j,
+                lhs: j.into(),
+                rhs: Operand::imm(1),
+            },
+        );
         b.push(inner_body, Inst::Br { target: inner_h });
-        b.push(outer_latch, Inst::Binary { op: BinOp::Add, dst: i, lhs: i.into(), rhs: Operand::imm(1) });
+        b.push(
+            outer_latch,
+            Inst::Binary {
+                op: BinOp::Add,
+                dst: i,
+                lhs: i.into(),
+                rhs: Operand::imm(1),
+            },
+        );
         b.push(outer_latch, Inst::Br { target: outer_h });
         b.push(exit, Inst::Halt);
         let f = b.build();

@@ -78,7 +78,10 @@ impl Function {
 
     /// Iterate over `(BlockId, &Block)` pairs in id order.
     pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> {
-        self.blocks.iter().enumerate().map(|(i, b)| (BlockId(i as u32), b))
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId(i as u32), b))
     }
 
     /// Total number of instructions across all blocks.
@@ -120,14 +123,19 @@ impl Function {
                 }
                 let check_target = |t: BlockId| {
                     if t.index() >= self.blocks.len() {
-                        Err(format!("{}/{bid}[{i}]: branch target {t} out of range", self.name))
+                        Err(format!(
+                            "{}/{bid}[{i}]: branch target {t} out of range",
+                            self.name
+                        ))
                     } else {
                         Ok(())
                     }
                 };
                 match inst {
                     Inst::Br { target } => check_target(*target)?,
-                    Inst::CondBr { if_true, if_false, .. } => {
+                    Inst::CondBr {
+                        if_true, if_false, ..
+                    } => {
                         check_target(*if_true)?;
                         check_target(*if_false)?;
                     }
@@ -152,8 +160,13 @@ mod tests {
             reg_count: 2,
             blocks: vec![Block {
                 insts: vec![
-                    Inst::Mov { dst: Reg(0), src: Operand::imm(1) },
-                    Inst::Ret { val: Some(Reg(0).into()) },
+                    Inst::Mov {
+                        dst: Reg(0),
+                        src: Operand::imm(1),
+                    },
+                    Inst::Ret {
+                        val: Some(Reg(0).into()),
+                    },
                 ],
             }],
         }
@@ -175,9 +188,7 @@ mod tests {
     #[test]
     fn validate_catches_mid_block_terminator() {
         let mut f = ret_fn();
-        f.blocks[0]
-            .insts
-            .insert(0, Inst::Ret { val: None });
+        f.blocks[0].insts.insert(0, Inst::Ret { val: None });
         assert!(f.validate().is_err());
     }
 

@@ -68,12 +68,18 @@ pub struct MemRef {
 impl MemRef {
     /// A memory reference through a register base.
     pub fn reg(base: Reg, offset: i64) -> Self {
-        MemRef { base: base.into(), offset }
+        MemRef {
+            base: base.into(),
+            offset,
+        }
     }
 
     /// A memory reference to an absolute address.
     pub fn abs(addr: Word) -> Self {
-        MemRef { base: Operand::imm(addr), offset: 0 }
+        MemRef {
+            base: Operand::imm(addr),
+            offset: 0,
+        }
     }
 
     /// A memory reference to word `word_idx` of global `g`.
@@ -142,20 +148,8 @@ impl BinOp {
             BinOp::Add => a.wrapping_add(b),
             BinOp::Sub => a.wrapping_sub(b),
             BinOp::Mul => a.wrapping_mul(b),
-            BinOp::DivU => {
-                if b == 0 {
-                    Word::MAX
-                } else {
-                    a / b
-                }
-            }
-            BinOp::RemU => {
-                if b == 0 {
-                    a
-                } else {
-                    a % b
-                }
-            }
+            BinOp::DivU => a.checked_div(b).unwrap_or(Word::MAX),
+            BinOp::RemU => a.checked_rem(b).unwrap_or(a),
             BinOp::And => a & b,
             BinOp::Or => a | b,
             BinOp::Xor => a ^ b,
@@ -192,7 +186,12 @@ pub enum AtomicOp {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Inst {
     /// `dst = op(lhs, rhs)`.
-    Binary { op: BinOp, dst: Reg, lhs: Operand, rhs: Operand },
+    Binary {
+        op: BinOp,
+        dst: Reg,
+        lhs: Operand,
+        rhs: Operand,
+    },
     /// `dst = src` (register copy or immediate materialization).
     Mov { dst: Reg, src: Operand },
     /// `dst = mem[addr]` (8-byte word load).
@@ -203,7 +202,11 @@ pub enum Inst {
     /// Unconditional branch.
     Br { target: BlockId },
     /// Branch to `if_true` when `cond != 0`, else `if_false`.
-    CondBr { cond: Operand, if_true: BlockId, if_false: BlockId },
+    CondBr {
+        cond: Operand,
+        if_true: BlockId,
+        if_false: BlockId,
+    },
     /// Call `func` with `args`.
     ///
     /// Semantics (mirroring real-hardware calling conventions so that all
@@ -217,13 +220,24 @@ pub enum Inst {
     /// 3. On `Ret`, the return value is stored to the frame, and the *restore
     ///    phase* (start of the caller's post-call region) reloads `save_regs`
     ///    and the return value from memory.
-    Call { func: FuncId, args: Vec<Operand>, ret: Option<Reg>, save_regs: Vec<Reg> },
+    Call {
+        func: FuncId,
+        args: Vec<Operand>,
+        ret: Option<Reg>,
+        save_regs: Vec<Reg>,
+    },
     /// Return from the current function.
     Ret { val: Option<Operand> },
     /// Atomic read-modify-write. Acts as a synchronization point: the cWSP
     /// compiler places region boundaries around it, and the simulator drains
     /// outstanding regions before committing it (§VIII).
-    AtomicRmw { op: AtomicOp, dst: Reg, addr: MemRef, src: Operand, expected: Operand },
+    AtomicRmw {
+        op: AtomicOp,
+        dst: Reg,
+        addr: MemRef,
+        src: Operand,
+        expected: Operand,
+    },
     /// Memory fence; a synchronization point like atomics.
     Fence,
     /// Region boundary inserted by the cWSP compiler (or by hand in the
@@ -289,7 +303,9 @@ impl Inst {
                 op(&addr.base);
             }
             Inst::CondBr { cond, .. } => op(cond),
-            Inst::Call { args, save_regs, .. } => {
+            Inst::Call {
+                args, save_regs, ..
+            } => {
                 for a in args {
                     op(a);
                 }
@@ -297,7 +313,12 @@ impl Inst {
                 out.extend(save_regs.iter().copied());
             }
             Inst::Ret { val: Some(v) } => op(v),
-            Inst::AtomicRmw { addr, src, expected, .. } => {
+            Inst::AtomicRmw {
+                addr,
+                src,
+                expected,
+                ..
+            } => {
                 op(&addr.base);
                 op(src);
                 op(expected);

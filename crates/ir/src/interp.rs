@@ -147,7 +147,13 @@ pub struct StepEffect {
 
 impl StepEffect {
     fn new(kind: EffectKind) -> Self {
-        StepEffect { kind, reads: Vec::new(), writes: Vec::new(), boundary: None, out: None }
+        StepEffect {
+            kind,
+            reads: Vec::new(),
+            writes: Vec::new(),
+            boundary: None,
+            out: None,
+        }
     }
 }
 
@@ -229,7 +235,11 @@ impl<'m> Interp<'m> {
     ///
     /// # Errors
     /// [`InterpError::NoEntry`] if the module has no entry function.
-    pub fn with_memory(module: &'m Module, core: usize, mem: &mut Memory) -> Result<Self, InterpError> {
+    pub fn with_memory(
+        module: &'m Module,
+        core: usize,
+        mem: &mut Memory,
+    ) -> Result<Self, InterpError> {
         Self::with_args(module, core, mem, &[])
     }
 
@@ -327,7 +337,9 @@ impl<'m> Interp<'m> {
             let (outer_base, inner_base) = (w[0], w[1]);
             let func = FuncId(mem.load(inner_base + frame::CALLER_FUNC * 8) as u32);
             if func.index() >= module.function_count() {
-                return Err(InterpError::Trap(format!("bad caller func in frame {inner_base:#x}")));
+                return Err(InterpError::Trap(format!(
+                    "bad caller func in frame {inner_base:#x}"
+                )));
             }
             let block = BlockId(mem.load(inner_base + frame::CALLER_BLOCK * 8) as u32);
             let idx = mem.load(inner_base + frame::CALLER_IDX * 8) as InstIdx;
@@ -365,8 +377,7 @@ impl<'m> Interp<'m> {
             }
             ResumeKind::PostCall => {
                 // Reload save_regs + return value, then step past the Call.
-                let call =
-                    &module.function(resume.func).block(resume.block).insts[resume.idx];
+                let call = &module.function(resume.func).block(resume.block).insts[resume.idx];
                 let Inst::Call { ret, save_regs, .. } = call else {
                     return Err(InterpError::Trap(format!(
                         "PostCall resume does not point at a Call: {call:?}"
@@ -376,13 +387,14 @@ impl<'m> Interp<'m> {
                 // from the static save/arg lists, mirroring the call-time
                 // layout.
                 let nsave = save_regs.len() as u64;
-                let Inst::Call { args, .. } = call else { unreachable!() };
+                let Inst::Call { args, .. } = call else {
+                    unreachable!()
+                };
                 let nargs = args.len() as u64;
                 let size = frame::size_words(nsave, nargs) * 8;
                 let cal_base = resume.sp - size;
                 for (i, r) in save_regs.iter().enumerate() {
-                    frame.regs[r.index()] =
-                        mem.load(cal_base + (frame::SAVES + i as u64) * 8);
+                    frame.regs[r.index()] = mem.load(cal_base + (frame::SAVES + i as u64) * 8);
                 }
                 if let Some(r) = ret {
                     frame.regs[r.index()] = mem.load(cal_base + frame::RETVAL * 8);
@@ -475,7 +487,7 @@ impl<'m> Interp<'m> {
     fn addr_of(&self, m: &MemRef) -> Result<Word, InterpError> {
         let base = self.module.resolve_addr(self.eval(m.base));
         let addr = base.wrapping_add(m.offset as Word);
-        if addr % 8 != 0 {
+        if !addr.is_multiple_of(8) {
             return Err(InterpError::Trap(format!("unaligned access at {addr:#x}")));
         }
         Ok(addr)
@@ -540,7 +552,11 @@ impl<'m> Interp<'m> {
                 fr.idx = 0;
                 advanced = true;
             }
-            Inst::CondBr { cond, if_true, if_false } => {
+            Inst::CondBr {
+                cond,
+                if_true,
+                if_false,
+            } => {
                 eff = StepEffect::new(EffectKind::Alu);
                 let t = self.eval(*cond) != 0;
                 let fr = self.frames.last_mut().expect("no frame");
@@ -548,7 +564,12 @@ impl<'m> Interp<'m> {
                 fr.idx = 0;
                 advanced = true;
             }
-            Inst::Call { func: callee, args, ret: _, save_regs } => {
+            Inst::Call {
+                func: callee,
+                args,
+                ret: _,
+                save_regs,
+            } => {
                 eff = StepEffect::new(EffectKind::Call);
                 if callee.index() >= self.module.function_count() {
                     return Err(InterpError::Trap(format!("call to unknown {callee}")));
@@ -598,7 +619,11 @@ impl<'m> Interp<'m> {
                 // Enter the callee; parameters arrive in registers (the memory
                 // copy above exists for recovery).
                 let mut regs = vec![0; callee_fn.reg_count as usize];
-                for (i, v) in arg_vals.iter().enumerate().take(callee_fn.param_count as usize) {
+                for (i, v) in arg_vals
+                    .iter()
+                    .enumerate()
+                    .take(callee_fn.param_count as usize)
+                {
                     regs[i] = *v;
                 }
                 self.frames.push(Frame {
@@ -658,9 +683,18 @@ impl<'m> Interp<'m> {
                 // the Call instruction's position.
                 let mut rp = self.here(ResumeKind::PostCall);
                 rp.idx -= 1;
-                eff.boundary = Some(BoundaryInfo { static_region: None, resume: rp });
+                eff.boundary = Some(BoundaryInfo {
+                    static_region: None,
+                    resume: rp,
+                });
             }
-            Inst::AtomicRmw { op, dst, addr, src, expected } => {
+            Inst::AtomicRmw {
+                op,
+                dst,
+                addr,
+                src,
+                expected,
+            } => {
                 eff = StepEffect::new(EffectKind::Atomic);
                 let a = self.addr_of(addr)?;
                 let old = mem.load(a);
@@ -782,7 +816,12 @@ mod tests {
             b.store(e, y.into(), MemRef::global(g, 1));
             let z = b.load(e, MemRef::global(g, 1));
             b.push(e, Inst::Out { val: z.into() });
-            b.push(e, Inst::Ret { val: Some(z.into()) });
+            b.push(
+                e,
+                Inst::Ret {
+                    val: Some(z.into()),
+                },
+            );
         });
         let out = run(&m, 100).unwrap();
         assert_eq!(out.return_value, Some(30));
@@ -800,7 +839,12 @@ mod tests {
                 b.store(bb, new.into(), MemRef::global(g, 0));
             });
             let s = b.load(exit, MemRef::global(g, 0));
-            b.push(exit, Inst::Ret { val: Some(s.into()) });
+            b.push(
+                exit,
+                Inst::Ret {
+                    val: Some(s.into()),
+                },
+            );
         });
         assert_eq!(run(&m, 10_000).unwrap().return_value, Some(4950));
     }
@@ -811,7 +855,12 @@ mod tests {
             let g = m.add_global_init("g", 3, vec![5, 6, 7]);
             let e = b.entry();
             let a = b.load(e, MemRef::global(g, 2));
-            b.push(e, Inst::Ret { val: Some(a.into()) });
+            b.push(
+                e,
+                Inst::Ret {
+                    val: Some(a.into()),
+                },
+            );
         });
         assert_eq!(run(&m, 100).unwrap().return_value, Some(7));
     }
@@ -824,7 +873,12 @@ mod tests {
         let e = fb.entry();
         let x = fb.param(0);
         let r = fb.bin(e, BinOp::Add, x.into(), x.into());
-        fb.push(e, Inst::Ret { val: Some(r.into()) });
+        fb.push(
+            e,
+            Inst::Ret {
+                val: Some(r.into()),
+            },
+        );
         let double = m.add_function(fb.build());
 
         let mut mb = FunctionBuilder::new("main", 0);
@@ -845,12 +899,21 @@ mod tests {
         }
         mb.push(e, call);
         let total = mb.bin(e, BinOp::Add, ret_reg.into(), live.into());
-        mb.push(e, Inst::Ret { val: Some(total.into()) });
+        mb.push(
+            e,
+            Inst::Ret {
+                val: Some(total.into()),
+            },
+        );
         let main = m.add_function(mb.build());
         m.set_entry(main);
 
         let out = run(&m, 1000).unwrap();
-        assert_eq!(out.return_value, Some(42 + 99), "saved reg survives the call");
+        assert_eq!(
+            out.return_value,
+            Some(42 + 99),
+            "saved reg survives the call"
+        );
     }
 
     #[test]
@@ -863,25 +926,71 @@ mod tests {
         let rec = fb.block();
         let n = fb.param(0);
         let c = fb.bin(e, BinOp::CmpLtU, n.into(), Operand::imm(2));
-        fb.push(e, Inst::CondBr { cond: c.into(), if_true: base, if_false: rec });
-        fb.push(base, Inst::Ret { val: Some(n.into()) });
+        fb.push(
+            e,
+            Inst::CondBr {
+                cond: c.into(),
+                if_true: base,
+                if_false: rec,
+            },
+        );
+        fb.push(
+            base,
+            Inst::Ret {
+                val: Some(n.into()),
+            },
+        );
         let n1 = fb.bin(rec, BinOp::Sub, n.into(), Operand::imm(1));
         let n2 = fb.bin(rec, BinOp::Sub, n.into(), Operand::imm(2));
         let r1 = fb.vreg();
         // n2 is live across the first call; r1 across the second.
-        fb.push(rec, Inst::Call { func: FuncId(0), args: vec![n1.into()], ret: Some(r1), save_regs: vec![n2] });
+        fb.push(
+            rec,
+            Inst::Call {
+                func: FuncId(0),
+                args: vec![n1.into()],
+                ret: Some(r1),
+                save_regs: vec![n2],
+            },
+        );
         let r2 = fb.vreg();
-        fb.push(rec, Inst::Call { func: FuncId(0), args: vec![n2.into()], ret: Some(r2), save_regs: vec![r1] });
+        fb.push(
+            rec,
+            Inst::Call {
+                func: FuncId(0),
+                args: vec![n2.into()],
+                ret: Some(r2),
+                save_regs: vec![r1],
+            },
+        );
         let s = fb.bin(rec, BinOp::Add, r1.into(), r2.into());
-        fb.push(rec, Inst::Ret { val: Some(s.into()) });
+        fb.push(
+            rec,
+            Inst::Ret {
+                val: Some(s.into()),
+            },
+        );
         let fib = m.add_function(fb.build());
         assert_eq!(fib, FuncId(0));
 
         let mut mb = FunctionBuilder::new("main", 0);
         let e = mb.entry();
         let r = mb.vreg();
-        mb.push(e, Inst::Call { func: fib, args: vec![Operand::imm(10)], ret: Some(r), save_regs: vec![] });
-        mb.push(e, Inst::Ret { val: Some(r.into()) });
+        mb.push(
+            e,
+            Inst::Call {
+                func: fib,
+                args: vec![Operand::imm(10)],
+                ret: Some(r),
+                save_regs: vec![],
+            },
+        );
+        mb.push(
+            e,
+            Inst::Ret {
+                val: Some(r.into()),
+            },
+        );
         let main = m.add_function(mb.build());
         m.set_entry(main);
 
@@ -895,18 +1004,59 @@ mod tests {
             let e = b.entry();
             let a = MemRef::global(g, 0);
             let old1 = b.vreg();
-            b.push(e, Inst::AtomicRmw { op: AtomicOp::FetchAdd, dst: old1, addr: a, src: Operand::imm(5), expected: Operand::imm(0) });
+            b.push(
+                e,
+                Inst::AtomicRmw {
+                    op: AtomicOp::FetchAdd,
+                    dst: old1,
+                    addr: a,
+                    src: Operand::imm(5),
+                    expected: Operand::imm(0),
+                },
+            );
             let old2 = b.vreg();
-            b.push(e, Inst::AtomicRmw { op: AtomicOp::Cas, dst: old2, addr: a, src: Operand::imm(100), expected: Operand::imm(5) });
+            b.push(
+                e,
+                Inst::AtomicRmw {
+                    op: AtomicOp::Cas,
+                    dst: old2,
+                    addr: a,
+                    src: Operand::imm(100),
+                    expected: Operand::imm(5),
+                },
+            );
             let old3 = b.vreg();
-            b.push(e, Inst::AtomicRmw { op: AtomicOp::Cas, dst: old3, addr: a, src: Operand::imm(999), expected: Operand::imm(5) });
+            b.push(
+                e,
+                Inst::AtomicRmw {
+                    op: AtomicOp::Cas,
+                    dst: old3,
+                    addr: a,
+                    src: Operand::imm(999),
+                    expected: Operand::imm(5),
+                },
+            );
             let old4 = b.vreg();
-            b.push(e, Inst::AtomicRmw { op: AtomicOp::Swap, dst: old4, addr: a, src: Operand::imm(1), expected: Operand::imm(0) });
+            b.push(
+                e,
+                Inst::AtomicRmw {
+                    op: AtomicOp::Swap,
+                    dst: old4,
+                    addr: a,
+                    src: Operand::imm(1),
+                    expected: Operand::imm(0),
+                },
+            );
             // old1=0, old2=5 (cas hits), old3=100 (cas misses), old4=100
             let s1 = b.bin(e, BinOp::Add, old1.into(), old2.into());
             let s2 = b.bin(e, BinOp::Add, s1.into(), old3.into());
             let s3 = b.bin(e, BinOp::Add, s2.into(), old4.into());
-            b.push(e, Inst::Ret { val: Some(s3.into()) });
+            b.push(
+                e,
+                Inst::Ret {
+                    val: Some(s3.into()),
+                },
+            );
         });
         assert_eq!(run(&m, 100).unwrap().return_value, Some(205));
     }
@@ -960,7 +1110,12 @@ mod tests {
         let x = b.load(e, MemRef::global(g, 0));
         let y = b.bin(e, BinOp::Add, x.into(), r.into());
         b.store(e, y.into(), MemRef::global(g, 1));
-        b.push(e, Inst::Ret { val: Some(y.into()) });
+        b.push(
+            e,
+            Inst::Ret {
+                val: Some(y.into()),
+            },
+        );
         let main = m.add_function(b.build());
         m.set_entry(main);
 
@@ -997,16 +1152,34 @@ mod tests {
         let mut fb = FunctionBuilder::new("id", 1);
         let fe = fb.entry();
         let p = fb.param(0);
-        fb.push(fe, Inst::Ret { val: Some(p.into()) });
+        fb.push(
+            fe,
+            Inst::Ret {
+                val: Some(p.into()),
+            },
+        );
         let id = m.add_function(fb.build());
 
         let mut b = FunctionBuilder::new("main", 0);
         let e = b.entry();
         let live = b.mov(e, Operand::imm(9));
         let r = b.vreg();
-        b.push(e, Inst::Call { func: id, args: vec![Operand::imm(33)], ret: Some(r), save_regs: vec![live] });
+        b.push(
+            e,
+            Inst::Call {
+                func: id,
+                args: vec![Operand::imm(33)],
+                ret: Some(r),
+                save_regs: vec![live],
+            },
+        );
         let s = b.bin(e, BinOp::Add, r.into(), live.into());
-        b.push(e, Inst::Ret { val: Some(s.into()) });
+        b.push(
+            e,
+            Inst::Ret {
+                val: Some(s.into()),
+            },
+        );
         let main = m.add_function(b.build());
         m.set_entry(main);
 
@@ -1038,15 +1211,33 @@ mod tests {
         fb.push(fe, Inst::Boundary { id: RegionId(0) });
         let p = fb.param(0);
         fb.store(fe, p.into(), MemRef::global(g, 0));
-        fb.push(fe, Inst::Ret { val: Some(p.into()) });
+        fb.push(
+            fe,
+            Inst::Ret {
+                val: Some(p.into()),
+            },
+        );
         let f = m.add_function(fb.build());
 
         let mut b = FunctionBuilder::new("main", 0);
         let e = b.entry();
         let r = b.vreg();
-        b.push(e, Inst::Call { func: f, args: vec![Operand::imm(4)], ret: Some(r), save_regs: vec![] });
+        b.push(
+            e,
+            Inst::Call {
+                func: f,
+                args: vec![Operand::imm(4)],
+                ret: Some(r),
+                save_regs: vec![],
+            },
+        );
         let s = b.bin(e, BinOp::Add, r.into(), Operand::imm(1));
-        b.push(e, Inst::Ret { val: Some(s.into()) });
+        b.push(
+            e,
+            Inst::Ret {
+                val: Some(s.into()),
+            },
+        );
         let main = m.add_function(b.build());
         m.set_entry(main);
 
@@ -1080,13 +1271,31 @@ mod tests {
         let mut fb = FunctionBuilder::new("f", 2);
         let fe = fb.entry();
         let s = fb.bin(fe, BinOp::Add, fb.param(0).into(), fb.param(1).into());
-        fb.push(fe, Inst::Ret { val: Some(s.into()) });
+        fb.push(
+            fe,
+            Inst::Ret {
+                val: Some(s.into()),
+            },
+        );
         let f = m.add_function(fb.build());
         let mut b = FunctionBuilder::new("main", 0);
         let e = b.entry();
         let r = b.vreg();
-        b.push(e, Inst::Call { func: f, args: vec![Operand::imm(30), Operand::imm(12)], ret: Some(r), save_regs: vec![] });
-        b.push(e, Inst::Ret { val: Some(r.into()) });
+        b.push(
+            e,
+            Inst::Call {
+                func: f,
+                args: vec![Operand::imm(30), Operand::imm(12)],
+                ret: Some(r),
+                save_regs: vec![],
+            },
+        );
+        b.push(
+            e,
+            Inst::Ret {
+                val: Some(r.into()),
+            },
+        );
         let main = m.add_function(b.build());
         m.set_entry(main);
 

@@ -111,19 +111,21 @@ pub fn is_program_data(addr: Word) -> bool {
     (GLOBAL_BASE..STACK_REGION_BASE).contains(&addr)
 }
 
+// Layout invariants, checked at compile time: the regions must be disjoint
+// and ordered, or every address-class predicate above is wrong.
+const _: () = {
+    assert!(GLOBAL_BASE < HEAP_BASE);
+    assert!(HEAP_BASE < STACK_TOP);
+    assert!(STACK_TOP <= CKPT_BASE);
+    assert!(CKPT_BASE < RECOVERY_META_BASE);
+    assert!(RECOVERY_META_BASE < UNDO_LOG_BASE);
+    assert!(UNDO_LOG_BASE < GLOBAL_TAG);
+    assert!(HEAP_BASE < STACK_REGION_BASE);
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn regions_disjoint_and_ordered() {
-        assert!(GLOBAL_BASE < HEAP_BASE);
-        assert!(HEAP_BASE < STACK_TOP);
-        assert!(STACK_TOP <= CKPT_BASE);
-        assert!(CKPT_BASE < RECOVERY_META_BASE);
-        assert!(RECOVERY_META_BASE < UNDO_LOG_BASE);
-        assert!(UNDO_LOG_BASE < GLOBAL_TAG);
-    }
 
     #[test]
     fn ckpt_slots_per_core_do_not_overlap() {
@@ -156,7 +158,6 @@ mod tests {
         assert!(!is_program_data(stack_top(0) - 8));
         assert!(!is_program_data(ckpt_slot_addr(0, Reg(0))));
         assert!(!is_program_data(RECOVERY_META_BASE));
-        assert!(HEAP_BASE < STACK_REGION_BASE);
     }
 
     #[test]

@@ -89,7 +89,12 @@ impl Module {
         // 64-byte align each global so distinct globals never share a
         // cacheline (keeps the alias story and the cache model clean).
         self.next_global_addr += (words.max(1) * 8 + 63) & !63;
-        self.globals.push(Global { name: name.into(), words, addr, init });
+        self.globals.push(Global {
+            name: name.into(),
+            words,
+            addr,
+            init,
+        });
         id
     }
 
@@ -131,7 +136,10 @@ impl Module {
 
     /// Iterate `(FuncId, &Function)` in id order.
     pub fn iter_functions(&self) -> impl Iterator<Item = (FuncId, &Function)> {
-        self.functions.iter().enumerate().map(|(i, f)| (FuncId(i as u32), f))
+        self.functions
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FuncId(i as u32), f))
     }
 
     /// Number of functions.
@@ -141,7 +149,10 @@ impl Module {
 
     /// Look up a function id by name.
     pub fn find_function(&self, name: &str) -> Option<FuncId> {
-        self.functions.iter().position(|f| f.name == name).map(|i| FuncId(i as u32))
+        self.functions
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FuncId(i as u32))
     }
 
     /// Set the entry function executed by the interpreter.

@@ -46,7 +46,10 @@ impl fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, ParseError> {
-    Err(ParseError { line, msg: msg.into() })
+    Err(ParseError {
+        line,
+        msg: msg.into(),
+    })
 }
 
 /// Parse a module from its textual form.
@@ -73,15 +76,18 @@ pub fn parse_module(text: &str) -> Result<Module, ParseError> {
                 msg: "global before module header".into(),
             })?;
             // `<name> : <words> words @ <addr>` (the address is recomputed)
-            let (name, rest) = rest
-                .split_once(':')
-                .ok_or(ParseError { line: n, msg: "expected `name : N words`".into() })?;
+            let (name, rest) = rest.split_once(':').ok_or(ParseError {
+                line: n,
+                msg: "expected `name : N words`".into(),
+            })?;
             let words: Word = rest
-                .trim()
                 .split_whitespace()
                 .next()
                 .and_then(|w| w.parse().ok())
-                .ok_or(ParseError { line: n, msg: "bad word count".into() })?;
+                .ok_or(ParseError {
+                    line: n,
+                    msg: "bad word count".into(),
+                })?;
             m.add_global(name.trim(), words);
         } else if let Some(rest) = line.strip_prefix("fn ") {
             let m = module.as_mut().ok_or(ParseError {
@@ -104,22 +110,31 @@ pub fn parse_module(text: &str) -> Result<Module, ParseError> {
                     continue;
                 }
                 if let Some(bb) = l2.strip_prefix("bb") {
-                    let id: usize = bb
-                        .strip_suffix(':')
-                        .and_then(|x| x.parse().ok())
-                        .ok_or(ParseError { line: n2, msg: "bad block label".into() })?;
+                    let id: usize =
+                        bb.strip_suffix(':')
+                            .and_then(|x| x.parse().ok())
+                            .ok_or(ParseError {
+                                line: n2,
+                                msg: "bad block label".into(),
+                            })?;
                     if id != blocks.len() {
                         return err(n2, format!("blocks must be dense: got bb{id}"));
                     }
                     blocks.push(Block::default());
                 } else {
-                    let block = blocks
-                        .last_mut()
-                        .ok_or(ParseError { line: n2, msg: "instruction before block".into() })?;
+                    let block = blocks.last_mut().ok_or(ParseError {
+                        line: n2,
+                        msg: "instruction before block".into(),
+                    })?;
                     block.insts.push(parse_inst(n2, l2)?);
                 }
             }
-            let f = Function { name: name.clone(), param_count: params, reg_count: regs, blocks };
+            let f = Function {
+                name: name.clone(),
+                param_count: params,
+                reg_count: regs,
+                blocks,
+            };
             let id = m.add_function(f);
             if name == "main" || entry_hint.as_deref() == Some(&name) {
                 m.set_entry(id);
@@ -130,28 +145,40 @@ pub fn parse_module(text: &str) -> Result<Module, ParseError> {
         }
     }
 
-    let m = module.ok_or(ParseError { line: 1, msg: "missing module header".into() })?;
+    let m = module.ok_or(ParseError {
+        line: 1,
+        msg: "missing module header".into(),
+    })?;
     Ok(m)
 }
 
 fn parse_fn_header(line: usize, rest: &str) -> Result<(String, u32, u32), ParseError> {
     // `<name>(params=<n>) regs=<n> {`
-    let (name, rest) = rest
-        .split_once('(')
-        .ok_or(ParseError { line, msg: "expected `(` in fn header".into() })?;
+    let (name, rest) = rest.split_once('(').ok_or(ParseError {
+        line,
+        msg: "expected `(` in fn header".into(),
+    })?;
     let (params, rest) = rest
         .strip_prefix("params=")
         .and_then(|r| r.split_once(')'))
-        .ok_or(ParseError { line, msg: "expected `params=N)`".into() })?;
-    let params: u32 =
-        params.parse().map_err(|_| ParseError { line, msg: "bad param count".into() })?;
+        .ok_or(ParseError {
+            line,
+            msg: "expected `params=N)`".into(),
+        })?;
+    let params: u32 = params.parse().map_err(|_| ParseError {
+        line,
+        msg: "bad param count".into(),
+    })?;
     let regs: u32 = rest
         .trim()
         .strip_prefix("regs=")
         .and_then(|r| r.strip_suffix('{'))
         .map(str::trim)
         .and_then(|r| r.parse().ok())
-        .ok_or(ParseError { line, msg: "expected `regs=N {`".into() })?;
+        .ok_or(ParseError {
+            line,
+            msg: "expected `regs=N {`".into(),
+        })?;
     Ok((name.trim().to_string(), params, regs))
 }
 
@@ -159,7 +186,10 @@ fn parse_reg(line: usize, tok: &str) -> Result<Reg, ParseError> {
     tok.strip_prefix('r')
         .and_then(|x| x.parse().ok())
         .map(Reg)
-        .ok_or(ParseError { line, msg: format!("expected register, got `{tok}`") })
+        .ok_or(ParseError {
+            line,
+            msg: format!("expected register, got `{tok}`"),
+        })
 }
 
 fn parse_imm(line: usize, tok: &str) -> Result<Word, ParseError> {
@@ -168,7 +198,10 @@ fn parse_imm(line: usize, tok: &str) -> Result<Word, ParseError> {
     } else {
         tok.parse().ok()
     };
-    v.ok_or(ParseError { line, msg: format!("expected immediate, got `{tok}`") })
+    v.ok_or(ParseError {
+        line,
+        msg: format!("expected immediate, got `{tok}`"),
+    })
 }
 
 fn parse_operand(line: usize, tok: &str) -> Result<Operand, ParseError> {
@@ -184,7 +217,10 @@ fn parse_memref(line: usize, tok: &str) -> Result<MemRef, ParseError> {
     let inner = tok
         .strip_prefix('[')
         .and_then(|t| t.strip_suffix(']'))
-        .ok_or(ParseError { line, msg: format!("expected [mem], got `{tok}`") })?;
+        .ok_or(ParseError {
+            line,
+            msg: format!("expected [mem], got `{tok}`"),
+        })?;
     // Find a +/- separating base from offset (skip the 0x prefix region).
     let mut split = None;
     for (i, c) in inner.char_indices().skip(1) {
@@ -194,14 +230,21 @@ fn parse_memref(line: usize, tok: &str) -> Result<MemRef, ParseError> {
         }
     }
     match split {
-        None => Ok(MemRef { base: parse_operand(line, inner)?, offset: 0 }),
+        None => Ok(MemRef {
+            base: parse_operand(line, inner)?,
+            offset: 0,
+        }),
         Some(i) => {
             let base = parse_operand(line, &inner[..i])?;
             let sign = if inner.as_bytes()[i] == b'-' { -1 } else { 1 };
-            let off: i64 = inner[i + 1..]
-                .parse()
-                .map_err(|_| ParseError { line, msg: "bad offset".into() })?;
-            Ok(MemRef { base, offset: sign * off })
+            let off: i64 = inner[i + 1..].parse().map_err(|_| ParseError {
+                line,
+                msg: "bad offset".into(),
+            })?;
+            Ok(MemRef {
+                base,
+                offset: sign * off,
+            })
         }
     }
 }
@@ -210,7 +253,10 @@ fn parse_block_id(line: usize, tok: &str) -> Result<BlockId, ParseError> {
     tok.strip_prefix("bb")
         .and_then(|x| x.parse().ok())
         .map(BlockId)
-        .ok_or(ParseError { line, msg: format!("expected block, got `{tok}`") })
+        .ok_or(ParseError {
+            line,
+            msg: format!("expected block, got `{tok}`"),
+        })
 }
 
 fn binop_of(name: &str) -> Option<BinOp> {
@@ -244,11 +290,16 @@ pub fn parse_inst(line: usize, text: &str) -> Result<Inst, ParseError> {
         let id: u32 = rest
             .strip_suffix(" ---")
             .and_then(|x| x.parse().ok())
-            .ok_or(ParseError { line, msg: "bad boundary".into() })?;
+            .ok_or(ParseError {
+                line,
+                msg: "bad boundary".into(),
+            })?;
         return Ok(Inst::Boundary { id: RegionId(id) });
     }
     if let Some(r) = text.strip_prefix("ckpt ") {
-        return Ok(Inst::Ckpt { reg: parse_reg(line, r.trim())? });
+        return Ok(Inst::Ckpt {
+            reg: parse_reg(line, r.trim())?,
+        });
     }
     if text == "fence" {
         return Ok(Inst::Fence);
@@ -260,15 +311,20 @@ pub fn parse_inst(line: usize, text: &str) -> Result<Inst, ParseError> {
         return Ok(Inst::Ret { val: None });
     }
     if let Some(v) = text.strip_prefix("ret ") {
-        return Ok(Inst::Ret { val: Some(parse_operand(line, v.trim())?) });
+        return Ok(Inst::Ret {
+            val: Some(parse_operand(line, v.trim())?),
+        });
     }
     if let Some(v) = text.strip_prefix("out ") {
-        return Ok(Inst::Out { val: parse_operand(line, v.trim())? });
+        return Ok(Inst::Out {
+            val: parse_operand(line, v.trim())?,
+        });
     }
     if let Some(rest) = text.strip_prefix("str ") {
-        let (src, mem) = rest
-            .split_once(',')
-            .ok_or(ParseError { line, msg: "str needs `src, [mem]`".into() })?;
+        let (src, mem) = rest.split_once(',').ok_or(ParseError {
+            line,
+            msg: "str needs `src, [mem]`".into(),
+        })?;
         return Ok(Inst::Store {
             src: parse_operand(line, src.trim())?,
             addr: parse_memref(line, mem.trim())?,
@@ -280,33 +336,44 @@ pub fn parse_inst(line: usize, text: &str) -> Result<Inst, ParseError> {
     if let Some(rest) = text.strip_prefix("br ") {
         let rest = rest.trim();
         if let Some((cond, arms)) = rest.split_once('?') {
-            let (t, f) = arms
-                .split_once(':')
-                .ok_or(ParseError { line, msg: "condbr needs `? bbT : bbF`".into() })?;
+            let (t, f) = arms.split_once(':').ok_or(ParseError {
+                line,
+                msg: "condbr needs `? bbT : bbF`".into(),
+            })?;
             return Ok(Inst::CondBr {
                 cond: parse_operand(line, cond.trim())?,
                 if_true: parse_block_id(line, t.trim())?,
                 if_false: parse_block_id(line, f.trim())?,
             });
         }
-        return Ok(Inst::Br { target: parse_block_id(line, rest)? });
+        return Ok(Inst::Br {
+            target: parse_block_id(line, rest)?,
+        });
     }
     // `rd = ...` forms
-    let (dst, rhs) = text
-        .split_once('=')
-        .ok_or(ParseError { line, msg: format!("unrecognized instruction `{text}`") })?;
+    let (dst, rhs) = text.split_once('=').ok_or(ParseError {
+        line,
+        msg: format!("unrecognized instruction `{text}`"),
+    })?;
     let dst = parse_reg(line, dst.trim())?;
     let rhs = rhs.trim();
     if let Some(m) = rhs.strip_prefix("ldr ") {
-        return Ok(Inst::Load { dst, addr: parse_memref(line, m.trim())? });
+        return Ok(Inst::Load {
+            dst,
+            addr: parse_memref(line, m.trim())?,
+        });
     }
     if let Some(v) = rhs.strip_prefix("mov ") {
-        return Ok(Inst::Mov { dst, src: parse_operand(line, v.trim())? });
+        return Ok(Inst::Mov {
+            dst,
+            src: parse_operand(line, v.trim())?,
+        });
     }
     if let Some(rest) = rhs.strip_prefix("xadd ") {
-        let (mem, src) = rest
-            .split_once(',')
-            .ok_or(ParseError { line, msg: "xadd needs `[mem], src`".into() })?;
+        let (mem, src) = rest.split_once(',').ok_or(ParseError {
+            line,
+            msg: "xadd needs `[mem], src`".into(),
+        })?;
         return Ok(Inst::AtomicRmw {
             op: AtomicOp::FetchAdd,
             dst,
@@ -316,9 +383,10 @@ pub fn parse_inst(line: usize, text: &str) -> Result<Inst, ParseError> {
         });
     }
     if let Some(rest) = rhs.strip_prefix("xchg ") {
-        let (mem, src) = rest
-            .split_once(',')
-            .ok_or(ParseError { line, msg: "xchg needs `[mem], src`".into() })?;
+        let (mem, src) = rest.split_once(',').ok_or(ParseError {
+            line,
+            msg: "xchg needs `[mem], src`".into(),
+        })?;
         return Ok(Inst::AtomicRmw {
             op: AtomicOp::Swap,
             dst,
@@ -329,15 +397,18 @@ pub fn parse_inst(line: usize, text: &str) -> Result<Inst, ParseError> {
     }
     if let Some(rest) = rhs.strip_prefix("cas ") {
         // `[mem], [mem] == expected -> new`
-        let (mem, rest) = rest
-            .split_once(',')
-            .ok_or(ParseError { line, msg: "cas needs `[mem], …`".into() })?;
-        let (_, cond) = rest
-            .split_once("==")
-            .ok_or(ParseError { line, msg: "cas needs `== expected -> new`".into() })?;
-        let (expected, new) = cond
-            .split_once("->")
-            .ok_or(ParseError { line, msg: "cas needs `-> new`".into() })?;
+        let (mem, rest) = rest.split_once(',').ok_or(ParseError {
+            line,
+            msg: "cas needs `[mem], …`".into(),
+        })?;
+        let (_, cond) = rest.split_once("==").ok_or(ParseError {
+            line,
+            msg: "cas needs `== expected -> new`".into(),
+        })?;
+        let (expected, new) = cond.split_once("->").ok_or(ParseError {
+            line,
+            msg: "cas needs `-> new`".into(),
+        })?;
         return Ok(Inst::AtomicRmw {
             op: AtomicOp::Cas,
             dst,
@@ -347,14 +418,18 @@ pub fn parse_inst(line: usize, text: &str) -> Result<Inst, ParseError> {
         });
     }
     // `op lhs, rhs`
-    let (opname, args) = rhs
-        .split_once(' ')
-        .ok_or(ParseError { line, msg: format!("unrecognized rhs `{rhs}`") })?;
-    let op = binop_of(opname)
-        .ok_or(ParseError { line, msg: format!("unknown opcode `{opname}`") })?;
-    let (l, r) = args
-        .split_once(',')
-        .ok_or(ParseError { line, msg: "binary op needs two operands".into() })?;
+    let (opname, args) = rhs.split_once(' ').ok_or(ParseError {
+        line,
+        msg: format!("unrecognized rhs `{rhs}`"),
+    })?;
+    let op = binop_of(opname).ok_or(ParseError {
+        line,
+        msg: format!("unknown opcode `{opname}`"),
+    })?;
+    let (l, r) = args.split_once(',').ok_or(ParseError {
+        line,
+        msg: "binary op needs two operands".into(),
+    })?;
     Ok(Inst::Binary {
         op,
         dst,
@@ -370,34 +445,51 @@ pub fn parse_call(line: usize, text: &str) -> Result<Inst, ParseError> {
     let (dst, rest) = match text.split_once("call ") {
         Some((pre, rest)) => {
             let pre = pre.trim().trim_end_matches('=').trim();
-            let dst = if pre.is_empty() { None } else { Some(parse_reg(line, pre)?) };
+            let dst = if pre.is_empty() {
+                None
+            } else {
+                Some(parse_reg(line, pre)?)
+            };
             (dst, rest)
         }
         None => return err(line, "not a call"),
     };
-    let (fname, rest) = rest
-        .split_once('(')
-        .ok_or(ParseError { line, msg: "call needs `(`".into() })?;
+    let (fname, rest) = rest.split_once('(').ok_or(ParseError {
+        line,
+        msg: "call needs `(`".into(),
+    })?;
     let fid: u32 = fname
         .trim()
         .strip_prefix("fn")
         .and_then(|x| x.parse().ok())
-        .ok_or(ParseError { line, msg: "call target must be fnN".into() })?;
-    let (args_s, rest) = rest
-        .split_once(')')
-        .ok_or(ParseError { line, msg: "call needs `)`".into() })?;
+        .ok_or(ParseError {
+            line,
+            msg: "call target must be fnN".into(),
+        })?;
+    let (args_s, rest) = rest.split_once(')').ok_or(ParseError {
+        line,
+        msg: "call needs `)`".into(),
+    })?;
     let mut args = Vec::new();
     for a in args_s.split(',').map(str::trim).filter(|a| !a.is_empty()) {
         args.push(parse_operand(line, a)?);
     }
     let mut save_regs = Vec::new();
     if let Some(s) = rest.trim().strip_prefix("save[") {
-        let s = s.strip_suffix(']').ok_or(ParseError { line, msg: "save needs `]`".into() })?;
+        let s = s.strip_suffix(']').ok_or(ParseError {
+            line,
+            msg: "save needs `]`".into(),
+        })?;
         for r in s.split(',').map(str::trim).filter(|r| !r.is_empty()) {
             save_regs.push(parse_reg(line, r)?);
         }
     }
-    Ok(Inst::Call { func: FuncId(fid), args, ret: dst, save_regs })
+    Ok(Inst::Call {
+        func: FuncId(fid),
+        args,
+        ret: dst,
+        save_regs,
+    })
 }
 
 #[cfg(test)]
@@ -419,15 +511,28 @@ mod tests {
             parse_inst(1, "str 1, [64]").unwrap(),
             Inst::store(Operand::imm(1), MemRef::abs(64))
         );
-        assert_eq!(parse_inst(1, "--- boundary Rg7 ---").unwrap(), Inst::Boundary {
-            id: RegionId(7)
-        });
-        assert_eq!(parse_inst(1, "ckpt r3").unwrap(), Inst::Ckpt { reg: Reg(3) });
+        assert_eq!(
+            parse_inst(1, "--- boundary Rg7 ---").unwrap(),
+            Inst::Boundary { id: RegionId(7) }
+        );
+        assert_eq!(
+            parse_inst(1, "ckpt r3").unwrap(),
+            Inst::Ckpt { reg: Reg(3) }
+        );
         assert_eq!(parse_inst(1, "halt").unwrap(), Inst::Halt);
-        assert_eq!(parse_inst(1, "ret r5").unwrap(), Inst::Ret { val: Some(Reg(5).into()) });
+        assert_eq!(
+            parse_inst(1, "ret r5").unwrap(),
+            Inst::Ret {
+                val: Some(Reg(5).into())
+            }
+        );
         assert_eq!(
             parse_inst(1, "br r1 ? bb2 : bb3").unwrap(),
-            Inst::CondBr { cond: Reg(1).into(), if_true: BlockId(2), if_false: BlockId(3) }
+            Inst::CondBr {
+                cond: Reg(1).into(),
+                if_true: BlockId(2),
+                if_false: BlockId(3)
+            }
         );
     }
 
@@ -437,16 +542,27 @@ mod tests {
             Inst::binary(BinOp::Xor, Reg(9), Reg(1).into(), Operand::imm(0x1234)),
             Inst::load(Reg(3), MemRef::reg(Reg(2), -16)),
             Inst::store(Reg(4).into(), MemRef::abs(0x100000000)),
-            Inst::Mov { dst: Reg(0), src: Operand::imm(7) },
+            Inst::Mov {
+                dst: Reg(0),
+                src: Operand::imm(7),
+            },
             Inst::Br { target: BlockId(4) },
-            Inst::CondBr { cond: Reg(2).into(), if_true: BlockId(1), if_false: BlockId(2) },
+            Inst::CondBr {
+                cond: Reg(2).into(),
+                if_true: BlockId(1),
+                if_false: BlockId(2),
+            },
             Inst::Boundary { id: RegionId(12) },
             Inst::Ckpt { reg: Reg(30) },
-            Inst::Out { val: Operand::imm(9) },
+            Inst::Out {
+                val: Operand::imm(9),
+            },
             Inst::Fence,
             Inst::Halt,
             Inst::Ret { val: None },
-            Inst::Ret { val: Some(Reg(1).into()) },
+            Inst::Ret {
+                val: Some(Reg(1).into()),
+            },
         ];
         for inst in insts {
             let text = fmt_inst(&inst);
@@ -487,7 +603,12 @@ mod tests {
         };
         let text = fmt_inst(&call);
         assert_eq!(parse_call(1, &text).unwrap(), call);
-        let bare = Inst::Call { func: FuncId(0), args: vec![], ret: None, save_regs: vec![] };
+        let bare = Inst::Call {
+            func: FuncId(0),
+            args: vec![],
+            ret: None,
+            save_regs: vec![],
+        };
         assert_eq!(parse_call(1, &fmt_inst(&bare)).unwrap(), bare);
     }
 
@@ -504,7 +625,12 @@ mod tests {
             b.store(bb, s.into(), MemRef::global(g, 0));
         });
         let v = b.load(exit, MemRef::global(g, 0));
-        b.push(exit, Inst::Ret { val: Some(v.into()) });
+        b.push(
+            exit,
+            Inst::Ret {
+                val: Some(v.into()),
+            },
+        );
         let f = m.add_function(b.build());
         m.set_entry(f);
 

@@ -52,16 +52,30 @@ fn fmt_binop(op: BinOp) -> &'static str {
 pub fn fmt_inst(inst: &Inst) -> String {
     match inst {
         Inst::Binary { op, dst, lhs, rhs } => {
-            format!("{dst} = {} {}, {}", fmt_binop(*op), fmt_operand(lhs), fmt_operand(rhs))
+            format!(
+                "{dst} = {} {}, {}",
+                fmt_binop(*op),
+                fmt_operand(lhs),
+                fmt_operand(rhs)
+            )
         }
         Inst::Mov { dst, src } => format!("{dst} = mov {}", fmt_operand(src)),
         Inst::Load { dst, addr } => format!("{dst} = ldr {}", fmt_memref(addr)),
         Inst::Store { src, addr } => format!("str {}, {}", fmt_operand(src), fmt_memref(addr)),
         Inst::Br { target } => format!("br {target}"),
-        Inst::CondBr { cond, if_true, if_false } => {
+        Inst::CondBr {
+            cond,
+            if_true,
+            if_false,
+        } => {
             format!("br {} ? {if_true} : {if_false}", fmt_operand(cond))
         }
-        Inst::Call { func, args, ret, save_regs } => {
+        Inst::Call {
+            func,
+            args,
+            ret,
+            save_regs,
+        } => {
             let args: Vec<_> = args.iter().map(fmt_operand).collect();
             let mut s = String::new();
             if let Some(r) = ret {
@@ -76,7 +90,13 @@ pub fn fmt_inst(inst: &Inst) -> String {
         }
         Inst::Ret { val: Some(v) } => format!("ret {}", fmt_operand(v)),
         Inst::Ret { val: None } => "ret".to_string(),
-        Inst::AtomicRmw { op, dst, addr, src, expected } => {
+        Inst::AtomicRmw {
+            op,
+            dst,
+            addr,
+            src,
+            expected,
+        } => {
             let name = match op {
                 AtomicOp::FetchAdd => "xadd",
                 AtomicOp::Swap => "xchg",
@@ -104,7 +124,10 @@ pub fn fmt_inst(inst: &Inst) -> String {
 
 /// Render a whole function.
 pub fn fmt_function(f: &Function) -> String {
-    let mut s = format!("fn {}(params={}) regs={} {{\n", f.name, f.param_count, f.reg_count);
+    let mut s = format!(
+        "fn {}(params={}) regs={} {{\n",
+        f.name, f.param_count, f.reg_count
+    );
     for (bid, block) in f.iter_blocks() {
         let _ = writeln!(s, "{bid}:");
         for inst in &block.insts {
@@ -138,12 +161,26 @@ mod tests {
     #[test]
     fn inst_formats() {
         assert_eq!(
-            fmt_inst(&Inst::binary(BinOp::Add, Reg(2), Reg(0).into(), Operand::imm(4))),
+            fmt_inst(&Inst::binary(
+                BinOp::Add,
+                Reg(2),
+                Reg(0).into(),
+                Operand::imm(4)
+            )),
             "r2 = add r0, 4"
         );
-        assert_eq!(fmt_inst(&Inst::load(Reg(1), MemRef::reg(Reg(0), 8))), "r1 = ldr [r0+8]");
-        assert_eq!(fmt_inst(&Inst::store(Operand::imm(1), MemRef::abs(64))), "str 1, [64]");
-        assert_eq!(fmt_inst(&Inst::Boundary { id: RegionId(2) }), "--- boundary Rg2 ---");
+        assert_eq!(
+            fmt_inst(&Inst::load(Reg(1), MemRef::reg(Reg(0), 8))),
+            "r1 = ldr [r0+8]"
+        );
+        assert_eq!(
+            fmt_inst(&Inst::store(Operand::imm(1), MemRef::abs(64))),
+            "str 1, [64]"
+        );
+        assert_eq!(
+            fmt_inst(&Inst::Boundary { id: RegionId(2) }),
+            "--- boundary Rg2 ---"
+        );
         assert_eq!(fmt_inst(&Inst::Ckpt { reg: Reg(3) }), "ckpt r3");
         assert!(fmt_inst(&Inst::Call {
             func: FuncId(1),
@@ -158,7 +195,12 @@ mod tests {
     fn function_format_contains_blocks() {
         let mut b = FunctionBuilder::new("f", 1);
         let e = b.entry();
-        b.push(e, Inst::Ret { val: Some(b.param(0).into()) });
+        b.push(
+            e,
+            Inst::Ret {
+                val: Some(b.param(0).into()),
+            },
+        );
         let s = fmt_function(&b.build());
         assert!(s.contains("fn f(params=1)"));
         assert!(s.contains("bb0:"));

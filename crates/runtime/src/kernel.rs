@@ -50,7 +50,12 @@ pub fn install(m: &mut Module, sbrk: FuncId) -> (GlobalId, FuncId) {
         let nxt = b.bin(e, BinOp::Add, cur.into(), Operand::imm(1));
         b.store(e, nxt.into(), MemRef::global(state, CONSOLE_CURSOR));
         b.push(e, Inst::Out { val: v.into() });
-        b.push(e, Inst::Ret { val: Some(nxt.into()) });
+        b.push(
+            e,
+            Inst::Ret {
+                val: Some(nxt.into()),
+            },
+        );
         m.add_function(b.build())
     };
 
@@ -61,7 +66,12 @@ pub fn install(m: &mut Module, sbrk: FuncId) -> (GlobalId, FuncId) {
         let t = b.load(e, MemRef::global(state, TICKS));
         let t2 = b.bin(e, BinOp::Add, t.into(), Operand::imm(1));
         b.store(e, t2.into(), MemRef::global(state, TICKS));
-        b.push(e, Inst::Ret { val: Some(t2.into()) });
+        b.push(
+            e,
+            Inst::Ret {
+                val: Some(t2.into()),
+            },
+        );
         m.add_function(b.build())
     };
 
@@ -70,7 +80,12 @@ pub fn install(m: &mut Module, sbrk: FuncId) -> (GlobalId, FuncId) {
         let mut b = FunctionBuilder::new("sys_getpid", 0);
         let e = b.entry();
         let p = b.load(e, MemRef::global(state, PID));
-        b.push(e, Inst::Ret { val: Some(p.into()) });
+        b.push(
+            e,
+            Inst::Ret {
+                val: Some(p.into()),
+            },
+        );
         m.add_function(b.build())
     };
 
@@ -89,13 +104,39 @@ pub fn install(m: &mut Module, sbrk: FuncId) -> (GlobalId, FuncId) {
         let chain3 = b.block();
         let (nr, a0, _a1) = (b.param(0), b.param(1), b.param(2));
         // Manual boundary at kernel entry (the user→kernel context switch).
-        b.push(e, Inst::Boundary { id: RegionId(u32::MAX) });
+        b.push(
+            e,
+            Inst::Boundary {
+                id: RegionId(u32::MAX),
+            },
+        );
         let is_write = b.bin(e, BinOp::CmpEq, nr.into(), Operand::imm(SYS_WRITE));
-        b.push(e, Inst::CondBr { cond: is_write.into(), if_true: d_write, if_false: chain1 });
+        b.push(
+            e,
+            Inst::CondBr {
+                cond: is_write.into(),
+                if_true: d_write,
+                if_false: chain1,
+            },
+        );
         let is_brk = b.bin(chain1, BinOp::CmpEq, nr.into(), Operand::imm(SYS_BRK));
-        b.push(chain1, Inst::CondBr { cond: is_brk.into(), if_true: d_brk, if_false: chain2 });
+        b.push(
+            chain1,
+            Inst::CondBr {
+                cond: is_brk.into(),
+                if_true: d_brk,
+                if_false: chain2,
+            },
+        );
         let is_time = b.bin(chain2, BinOp::CmpEq, nr.into(), Operand::imm(SYS_TIME));
-        b.push(chain2, Inst::CondBr { cond: is_time.into(), if_true: d_time, if_false: chain3 });
+        b.push(
+            chain2,
+            Inst::CondBr {
+                cond: is_time.into(),
+                if_true: d_time,
+                if_false: chain3,
+            },
+        );
         b.push(chain3, Inst::Br { target: d_pid });
         // Manual boundary right before each dispatch (the `do_syscall_64`
         // callsite boundary of Fig 11), then the call and kernel exit.
@@ -105,11 +146,26 @@ pub fn install(m: &mut Module, sbrk: FuncId) -> (GlobalId, FuncId) {
             (d_time, sys_time, vec![]),
             (d_pid, sys_getpid, vec![]),
         ] {
-            b.push(bb, Inst::Boundary { id: RegionId(u32::MAX) });
+            b.push(
+                bb,
+                Inst::Boundary {
+                    id: RegionId(u32::MAX),
+                },
+            );
             let r = b.call(bb, func, args, true).expect("ret");
             // Manual boundary at kernel exit (sysret back to user space).
-            b.push(bb, Inst::Boundary { id: RegionId(u32::MAX) });
-            b.push(bb, Inst::Ret { val: Some(r.into()) });
+            b.push(
+                bb,
+                Inst::Boundary {
+                    id: RegionId(u32::MAX),
+                },
+            );
+            b.push(
+                bb,
+                Inst::Ret {
+                    val: Some(r.into()),
+                },
+            );
         }
         m.add_function(b.build())
     };
@@ -122,7 +178,6 @@ mod tests {
     use super::*;
     use crate::Runtime;
     use cwsp_ir::interp::run;
-    
 
     fn syscall_main(nr: Word, a0: Word, repeat: u64) -> Module {
         let mut m = Module::new("t");
@@ -132,11 +187,21 @@ mod tests {
         let mut last = None;
         for _ in 0..repeat {
             let r = b
-                .call(e, rt.syscall, vec![Operand::imm(nr), Operand::imm(a0), Operand::imm(0)], true)
+                .call(
+                    e,
+                    rt.syscall,
+                    vec![Operand::imm(nr), Operand::imm(a0), Operand::imm(0)],
+                    true,
+                )
                 .unwrap();
             last = Some(r);
         }
-        b.push(e, Inst::Ret { val: Some(last.unwrap().into()) });
+        b.push(
+            e,
+            Inst::Ret {
+                val: Some(last.unwrap().into()),
+            },
+        );
         let main = m.add_function(b.build());
         m.set_entry(main);
         m
@@ -190,7 +255,10 @@ mod tests {
             .flat_map(|b| &b.insts)
             .filter(|i| matches!(i, Inst::Boundary { .. }))
             .count();
-        assert!(boundaries >= 9, "manual + structural boundaries: {boundaries}");
+        assert!(
+            boundaries >= 9,
+            "manual + structural boundaries: {boundaries}"
+        );
         let out = run(&c.module, 200_000).unwrap();
         assert_eq!(out.output, oracle.output);
         cwsp_compiler::verify::check_all(&m, &c.module, &c.slices, 200_000).unwrap();

@@ -31,7 +31,12 @@ pub fn install_alloc(m: &mut Module) -> (GlobalId, FuncId, FuncId, FuncId) {
         let bytes = b.bin(e, BinOp::Shl, words.into(), Operand::imm(3));
         let new = b.bin(e, BinOp::Add, old.into(), bytes.into());
         b.store(e, new.into(), MemRef::global(meta, BREAK_PTR));
-        b.push(e, Inst::Ret { val: Some(old.into()) });
+        b.push(
+            e,
+            Inst::Ret {
+                val: Some(old.into()),
+            },
+        );
         m.add_function(b.build())
     };
 
@@ -47,14 +52,33 @@ pub fn install_alloc(m: &mut Module) -> (GlobalId, FuncId, FuncId, FuncId) {
         let cnt = b.load(e, MemRef::global(meta, ALLOC_COUNT));
         let cnt2 = b.bin(e, BinOp::Add, cnt.into(), Operand::imm(1));
         b.store(e, cnt2.into(), MemRef::global(meta, ALLOC_COUNT));
-        b.push(e, Inst::CondBr { cond: head.into(), if_true: from_list, if_false: from_sbrk });
+        b.push(
+            e,
+            Inst::CondBr {
+                cond: head.into(),
+                if_true: from_list,
+                if_false: from_sbrk,
+            },
+        );
         // pop: head' = [head]; return head
         let next = b.load(from_list, MemRef::reg(head, 0));
         b.store(from_list, next.into(), MemRef::global(meta, FREELIST_HEAD));
-        b.push(from_list, Inst::Ret { val: Some(head.into()) });
+        b.push(
+            from_list,
+            Inst::Ret {
+                val: Some(head.into()),
+            },
+        );
         // fresh block from sbrk
-        let p = b.call(from_sbrk, sbrk, vec![words.into()], true).expect("ret");
-        b.push(from_sbrk, Inst::Ret { val: Some(p.into()) });
+        let p = b
+            .call(from_sbrk, sbrk, vec![words.into()], true)
+            .expect("ret");
+        b.push(
+            from_sbrk,
+            Inst::Ret {
+                val: Some(p.into()),
+            },
+        );
         m.add_function(b.build())
     };
 
@@ -79,19 +103,25 @@ pub fn install_alloc(m: &mut Module) -> (GlobalId, FuncId, FuncId, FuncId) {
 /// Install `calloc(words) -> ptr` (malloc + zeroing) and
 /// `memcmp(a, b, words) -> first-diff-index+1 or 0`; returns
 /// `(calloc, memcmp)`.
-pub fn install_extras(
-    m: &mut Module,
-    malloc: FuncId,
-    memset: FuncId,
-) -> (FuncId, FuncId) {
+pub fn install_extras(m: &mut Module, malloc: FuncId, memset: FuncId) -> (FuncId, FuncId) {
     // calloc(words): p = malloc(words); memset(p, 0, words); return p.
     let calloc = {
         let mut b = FunctionBuilder::new("calloc", 1);
         let e = b.entry();
         let words = b.param(0);
         let p = b.call(e, malloc, vec![words.into()], true).expect("ret");
-        b.call(e, memset, vec![p.into(), Operand::imm(0), words.into()], false);
-        b.push(e, Inst::Ret { val: Some(p.into()) });
+        b.call(
+            e,
+            memset,
+            vec![p.into(), Operand::imm(0), words.into()],
+            false,
+        );
+        b.push(
+            e,
+            Inst::Ret {
+                val: Some(p.into()),
+            },
+        );
         m.add_function(b.build())
     };
     // memcmp(a, b, words): returns (first differing index + 1), or 0 if equal.
@@ -105,23 +135,59 @@ pub fn install_extras(
         let next = b.block();
         let done = b.block();
         let i = b.vreg();
-        b.push(e, Inst::Mov { dst: i, src: Operand::imm(0) });
+        b.push(
+            e,
+            Inst::Mov {
+                dst: i,
+                src: Operand::imm(0),
+            },
+        );
         b.push(e, Inst::Br { target: header });
         let c = b.bin(header, BinOp::CmpLtU, i.into(), words.into());
-        b.push(header, Inst::CondBr { cond: c.into(), if_true: body, if_false: done });
+        b.push(
+            header,
+            Inst::CondBr {
+                cond: c.into(),
+                if_true: body,
+                if_false: done,
+            },
+        );
         let off = b.bin(body, BinOp::Shl, i.into(), Operand::imm(3));
         let aa = b.bin(body, BinOp::Add, pa.into(), off.into());
         let ba = b.bin(body, BinOp::Add, pb.into(), off.into());
         let va = b.load(body, MemRef::reg(aa, 0));
         let vb = b.load(body, MemRef::reg(ba, 0));
         let ne = b.bin(body, BinOp::CmpNe, va.into(), vb.into());
-        b.push(body, Inst::CondBr { cond: ne.into(), if_true: diff, if_false: next });
+        b.push(
+            body,
+            Inst::CondBr {
+                cond: ne.into(),
+                if_true: diff,
+                if_false: next,
+            },
+        );
         let r = b.bin(diff, BinOp::Add, i.into(), Operand::imm(1));
-        b.push(diff, Inst::Ret { val: Some(r.into()) });
+        b.push(
+            diff,
+            Inst::Ret {
+                val: Some(r.into()),
+            },
+        );
         let i2 = b.bin(next, BinOp::Add, i.into(), Operand::imm(1));
-        b.push(next, Inst::Mov { dst: i, src: i2.into() });
+        b.push(
+            next,
+            Inst::Mov {
+                dst: i,
+                src: i2.into(),
+            },
+        );
         b.push(next, Inst::Br { target: header });
-        b.push(done, Inst::Ret { val: Some(Operand::imm(0)) });
+        b.push(
+            done,
+            Inst::Ret {
+                val: Some(Operand::imm(0)),
+            },
+        );
         m.add_function(b.build())
     };
     (calloc, memcmp)
@@ -141,7 +207,12 @@ pub fn install_mem(m: &mut Module) -> (FuncId, FuncId) {
             let v = b.load(bb, MemRef::reg(s, 0));
             b.store(bb, v.into(), MemRef::reg(d, 0));
         });
-        b.push(exit, Inst::Ret { val: Some(dst.into()) });
+        b.push(
+            exit,
+            Inst::Ret {
+                val: Some(dst.into()),
+            },
+        );
         m.add_function(b.build())
     };
     // memset(dst, value, words) -> dst
@@ -154,7 +225,12 @@ pub fn install_mem(m: &mut Module) -> (FuncId, FuncId) {
             let d = b.bin(bb, BinOp::Add, dst.into(), off.into());
             b.store(bb, value.into(), MemRef::reg(d, 0));
         });
-        b.push(exit, Inst::Ret { val: Some(dst.into()) });
+        b.push(
+            exit,
+            Inst::Ret {
+                val: Some(dst.into()),
+            },
+        );
         m.add_function(b.build())
     };
     (memcpy, memset)
@@ -165,7 +241,9 @@ mod tests {
     use super::*;
     use cwsp_ir::interp::run;
 
-    fn with_main(build: impl FnOnce(&mut Module, &mut FunctionBuilder, super::super::Runtime)) -> Module {
+    fn with_main(
+        build: impl FnOnce(&mut Module, &mut FunctionBuilder, super::super::Runtime),
+    ) -> Module {
         let mut m = Module::new("t");
         let rt = crate::Runtime::install(&mut m);
         let mut b = FunctionBuilder::new("main", 0);
@@ -182,7 +260,12 @@ mod tests {
             let p1 = b.call(e, rt.sbrk, vec![Operand::imm(4)], true).unwrap();
             let p2 = b.call(e, rt.sbrk, vec![Operand::imm(4)], true).unwrap();
             let d = b.bin(e, BinOp::Sub, p2.into(), p1.into());
-            b.push(e, Inst::Ret { val: Some(d.into()) });
+            b.push(
+                e,
+                Inst::Ret {
+                    val: Some(d.into()),
+                },
+            );
         });
         assert_eq!(run(&m, 10_000).unwrap().return_value, Some(32));
     }
@@ -196,7 +279,12 @@ mod tests {
             let p2 = b.call(e, rt.malloc, vec![Operand::imm(8)], true).unwrap();
             // LIFO free list: p2 == p1
             let same = b.bin(e, BinOp::CmpEq, p1.into(), p2.into());
-            b.push(e, Inst::Ret { val: Some(same.into()) });
+            b.push(
+                e,
+                Inst::Ret {
+                    val: Some(same.into()),
+                },
+            );
         });
         assert_eq!(run(&m, 10_000).unwrap().return_value, Some(1));
     }
@@ -212,7 +300,12 @@ mod tests {
             let a = b.load(e, MemRef::reg(p1, 0));
             let c = b.load(e, MemRef::reg(p2, 0));
             let s = b.bin(e, BinOp::Add, a.into(), c.into());
-            b.push(e, Inst::Ret { val: Some(s.into()) });
+            b.push(
+                e,
+                Inst::Ret {
+                    val: Some(s.into()),
+                },
+            );
         });
         assert_eq!(run(&m, 10_000).unwrap().return_value, Some(33));
     }
@@ -223,10 +316,25 @@ mod tests {
             let e = b.entry();
             let src = b.call(e, rt.malloc, vec![Operand::imm(4)], true).unwrap();
             let dst = b.call(e, rt.malloc, vec![Operand::imm(4)], true).unwrap();
-            b.call(e, rt.memset, vec![src.into(), Operand::imm(9), Operand::imm(4)], false);
-            b.call(e, rt.memcpy, vec![dst.into(), src.into(), Operand::imm(4)], false);
+            b.call(
+                e,
+                rt.memset,
+                vec![src.into(), Operand::imm(9), Operand::imm(4)],
+                false,
+            );
+            b.call(
+                e,
+                rt.memcpy,
+                vec![dst.into(), src.into(), Operand::imm(4)],
+                false,
+            );
             let v = b.load(e, MemRef::reg(dst, 24));
-            b.push(e, Inst::Ret { val: Some(v.into()) });
+            b.push(
+                e,
+                Inst::Ret {
+                    val: Some(v.into()),
+                },
+            );
         });
         assert_eq!(run(&m, 100_000).unwrap().return_value, Some(9));
     }
@@ -236,19 +344,43 @@ mod tests {
         let m = with_main(|_, b, rt| {
             let e = b.entry();
             let p = b.call(e, rt.malloc, vec![Operand::imm(4)], true).unwrap();
-            b.call(e, rt.memset, vec![p.into(), Operand::imm(9), Operand::imm(4)], false);
+            b.call(
+                e,
+                rt.memset,
+                vec![p.into(), Operand::imm(9), Operand::imm(4)],
+                false,
+            );
             b.call(e, rt.free, vec![p.into()], false);
             // calloc reuses the freed block and must zero the stale 9s.
             let q = b.call(e, rt.calloc, vec![Operand::imm(4)], true).unwrap();
             let v = b.load(e, MemRef::reg(q, 16));
             let r = b.call(e, rt.calloc, vec![Operand::imm(4)], true).unwrap();
-            let eq = b.call(e, rt.memcmp, vec![q.into(), r.into(), Operand::imm(4)], true).unwrap();
+            let eq = b
+                .call(
+                    e,
+                    rt.memcmp,
+                    vec![q.into(), r.into(), Operand::imm(4)],
+                    true,
+                )
+                .unwrap();
             b.store(e, Operand::imm(5), MemRef::reg(r, 8));
-            let ne = b.call(e, rt.memcmp, vec![q.into(), r.into(), Operand::imm(4)], true).unwrap();
+            let ne = b
+                .call(
+                    e,
+                    rt.memcmp,
+                    vec![q.into(), r.into(), Operand::imm(4)],
+                    true,
+                )
+                .unwrap();
             // v=0, eq=0, ne=2 (first diff at index 1 → 2)
             let s1 = b.bin(e, BinOp::Add, v.into(), eq.into());
             let s2 = b.bin(e, BinOp::Add, s1.into(), ne.into());
-            b.push(e, Inst::Ret { val: Some(s2.into()) });
+            b.push(
+                e,
+                Inst::Ret {
+                    val: Some(s2.into()),
+                },
+            );
         });
         assert_eq!(run(&m, 100_000).unwrap().return_value, Some(2));
     }
@@ -261,7 +393,12 @@ mod tests {
             let p = b.call(e, rt.malloc, vec![Operand::imm(4)], true).unwrap();
             b.call(e, rt.free, vec![p.into()], false);
             let q = b.call(e, rt.malloc, vec![Operand::imm(4)], true).unwrap();
-            b.push(e, Inst::Ret { val: Some(q.into()) });
+            b.push(
+                e,
+                Inst::Ret {
+                    val: Some(q.into()),
+                },
+            );
         });
         let oracle = run(&m, 100_000).unwrap();
         let c = CwspCompiler::new(CompileOptions::default()).compile(&m);

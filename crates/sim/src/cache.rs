@@ -1,15 +1,25 @@
-//! Sparse set-associative cache models.
+//! Set-associative cache models with a dense/sparse split.
 //!
 //! Tags only — data always lives in the interpreter's architectural memory and
-//! the machine's NVM image. Sparse set storage (a map from set index to its
-//! ways) is what lets a 4 GB direct-mapped DRAM cache (64 M sets) or the
-//! paper's multi-GB footprints simulate in megabytes of host memory.
+//! the machine's NVM image. Small geometries (L1, L2) store their sets as one
+//! flat fixed-way array indexed by `set * assoc`: no hashing, no per-set
+//! allocation, and the whole tag store is cache-friendly for the *host* too.
+//! Giant geometries (the 4 GB direct-mapped DRAM cache has 64 M sets) stay
+//! sparse — a map from set index to its way array, hashed with the local
+//! [`crate::hash::FxHasher`] — which is what lets multi-GB footprints
+//! simulate in megabytes of host memory.
 
 use crate::config::CacheParams;
-use std::collections::HashMap;
+use crate::hash::FxHashMap;
 
 /// Cacheline size in bytes (fixed at 64, as in the paper).
 pub const LINE_BYTES: u64 = 64;
+
+/// Above this many total ways (`sets * assoc`), set storage switches from the
+/// dense flat array to the sparse map. 2^18 ways ≈ 6 MB of host tag store —
+/// covers the default L1/L2 geometries; the 128 MB L4 and the DRAM cache go
+/// sparse.
+const DENSE_WAY_LIMIT: u64 = 1 << 18;
 
 /// The line-aligned address of `addr`.
 #[inline]
@@ -26,16 +36,9 @@ pub struct AccessResult {
     pub writeback: Option<u64>,
 }
 
-/// One set-associative, write-back, write-allocate cache level (LRU).
-#[derive(Debug, Clone)]
-pub struct Cache {
-    params: CacheParams,
-    sets: HashMap<u64, Vec<Way>>,
-    tick: u64,
-    hits: u64,
-    misses: u64,
-}
-
+/// One way: `last_use == 0` marks an empty slot (ticks start at 1, so a
+/// resident line always has a nonzero timestamp and empty slots are always
+/// preferred as victims by the LRU scan).
 #[derive(Debug, Clone, Copy)]
 struct Way {
     tag: u64,
@@ -43,10 +46,54 @@ struct Way {
     last_use: u64,
 }
 
+impl Way {
+    const EMPTY: Way = Way {
+        tag: 0,
+        dirty: false,
+        last_use: 0,
+    };
+
+    #[inline]
+    fn valid(&self) -> bool {
+        self.last_use != 0
+    }
+}
+
+/// Set storage: dense flat array for small geometries, sparse map otherwise.
+#[derive(Debug, Clone)]
+enum SetStore {
+    /// `sets * assoc` ways at `set * assoc + way`.
+    Dense(Vec<Way>),
+    /// Set index → its `assoc` ways, allocated on first touch.
+    Sparse(FxHashMap<u64, Box<[Way]>>),
+}
+
+/// One set-associative, write-back, write-allocate cache level (LRU).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    params: CacheParams,
+    store: SetStore,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
 impl Cache {
     /// An empty cache with the given geometry.
     pub fn new(params: CacheParams) -> Self {
-        Cache { params, sets: HashMap::new(), tick: 0, hits: 0, misses: 0 }
+        let ways = params.sets() * params.assoc as u64;
+        let store = if ways <= DENSE_WAY_LIMIT {
+            SetStore::Dense(vec![Way::EMPTY; ways as usize])
+        } else {
+            SetStore::Sparse(FxHashMap::default())
+        };
+        Cache {
+            params,
+            store,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// The geometry this cache was built with.
@@ -54,59 +101,128 @@ impl Cache {
         &self.params
     }
 
+    #[inline]
     fn index_tag(&self, addr: u64) -> (u64, u64) {
         let line = line_of(addr) / LINE_BYTES;
         let sets = self.params.sets();
         (line % sets, line / sets)
     }
 
+    /// The ways of set `index`, allocating in sparse mode.
+    #[inline]
+    fn set_mut(&mut self, index: u64) -> &mut [Way] {
+        let assoc = self.params.assoc as usize;
+        match &mut self.store {
+            SetStore::Dense(v) => {
+                let base = index as usize * assoc;
+                &mut v[base..base + assoc]
+            }
+            SetStore::Sparse(m) => m
+                .entry(index)
+                .or_insert_with(|| vec![Way::EMPTY; assoc].into_boxed_slice()),
+        }
+    }
+
+    /// The ways of set `index`, if materialized (read-only).
+    #[inline]
+    fn set_ref(&self, index: u64) -> Option<&[Way]> {
+        let assoc = self.params.assoc as usize;
+        match &self.store {
+            SetStore::Dense(v) => {
+                let base = index as usize * assoc;
+                Some(&v[base..base + assoc])
+            }
+            SetStore::Sparse(m) => m.get(&index).map(|b| &b[..]),
+        }
+    }
+
     /// Access `addr`; allocates on miss. `write` marks the line dirty.
     pub fn access(&mut self, addr: u64, write: bool) -> AccessResult {
         self.tick += 1;
+        let tick = self.tick;
         let (index, tag) = self.index_tag(addr);
-        let assoc = self.params.assoc as usize;
-        let set = self.sets.entry(index).or_default();
-        if let Some(w) = set.iter_mut().find(|w| w.tag == tag) {
-            w.last_use = self.tick;
-            w.dirty |= write;
-            self.hits += 1;
-            return AccessResult { hit: true, writeback: None };
-        }
-        self.misses += 1;
-        let mut writeback = None;
-        if set.len() >= assoc {
-            // Evict the LRU way.
-            let lru = set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, w)| w.last_use)
-                .map(|(i, _)| i)
-                .expect("non-empty set");
-            let victim = set.swap_remove(lru);
-            if victim.dirty {
-                let sets = self.params.sets();
-                writeback = Some((victim.tag * sets + index) * LINE_BYTES);
+        let sets = self.params.sets();
+        let result = {
+            let ways = self.set_mut(index);
+            // One scan finds both the hit and the LRU victim: empty slots
+            // carry `last_use == 0` and therefore win the min comparison
+            // automatically.
+            let mut victim = 0usize;
+            let mut victim_use = u64::MAX;
+            let mut hit = false;
+            for (i, w) in ways.iter_mut().enumerate() {
+                if w.valid() && w.tag == tag {
+                    w.last_use = tick;
+                    w.dirty |= write;
+                    hit = true;
+                    break;
+                }
+                if w.last_use < victim_use {
+                    victim_use = w.last_use;
+                    victim = i;
+                }
             }
+            if hit {
+                AccessResult {
+                    hit: true,
+                    writeback: None,
+                }
+            } else {
+                let v = &mut ways[victim];
+                let writeback = (v.valid() && v.dirty).then(|| (v.tag * sets + index) * LINE_BYTES);
+                *v = Way {
+                    tag,
+                    dirty: write,
+                    last_use: tick,
+                };
+                AccessResult {
+                    hit: false,
+                    writeback,
+                }
+            }
+        };
+        if result.hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
         }
-        set.push(Way { tag, dirty: write, last_use: self.tick });
-        AccessResult { hit: false, writeback }
+        result
     }
 
     /// Whether `addr`'s line is present (no LRU update).
     pub fn probe(&self, addr: u64) -> bool {
         let (index, tag) = self.index_tag(addr);
-        self.sets.get(&index).is_some_and(|s| s.iter().any(|w| w.tag == tag))
+        self.set_ref(index)
+            .is_some_and(|ws| ws.iter().any(|w| w.valid() && w.tag == tag))
     }
 
     /// Invalidate `addr`'s line if present; returns whether it was dirty.
     pub fn invalidate(&mut self, addr: u64) -> bool {
         let (index, tag) = self.index_tag(addr);
-        if let Some(set) = self.sets.get_mut(&index) {
-            if let Some(i) = set.iter().position(|w| w.tag == tag) {
-                return set.swap_remove(i).dirty;
+        // Avoid allocating an empty sparse set just to invalidate nothing.
+        if matches!(&self.store, SetStore::Sparse(m) if !m.contains_key(&index)) {
+            return false;
+        }
+        let ways = self.set_mut(index);
+        for w in ways {
+            if w.valid() && w.tag == tag {
+                let dirty = w.dirty;
+                *w = Way::EMPTY;
+                return dirty;
             }
         }
         false
+    }
+
+    /// Resident (valid) lines — host-memory introspection for tests/debug.
+    pub fn resident_lines(&self) -> usize {
+        match &self.store {
+            SetStore::Dense(v) => v.iter().filter(|w| w.valid()).count(),
+            SetStore::Sparse(m) => m
+                .values()
+                .map(|ws| ws.iter().filter(|w| w.valid()).count())
+                .sum(),
+        }
     }
 
     /// `(hits, misses)` so far.
@@ -131,7 +247,11 @@ mod tests {
 
     fn small() -> Cache {
         // 2 sets × 2 ways × 64 B = 256 B
-        Cache::new(CacheParams { size_bytes: 256, assoc: 2, hit_cycles: 1 })
+        Cache::new(CacheParams {
+            size_bytes: 256,
+            assoc: 2,
+            hit_cycles: 1,
+        })
     }
 
     #[test]
@@ -192,9 +312,25 @@ mod tests {
     }
 
     #[test]
+    fn invalidated_slot_is_refilled_before_evictions() {
+        let mut c = small();
+        c.access(0, true);
+        c.access(128, true);
+        c.invalidate(0);
+        // The freed slot must absorb the next allocation with no writeback.
+        let r = c.access(256, false);
+        assert_eq!(r.writeback, None, "empty slot reused, dirty 128 survives");
+        assert!(c.probe(128) && c.probe(256));
+    }
+
+    #[test]
     fn direct_mapped_conflicts() {
         // 2 sets × 1 way
-        let mut c = Cache::new(CacheParams { size_bytes: 128, assoc: 1, hit_cycles: 1 });
+        let mut c = Cache::new(CacheParams {
+            size_bytes: 128,
+            assoc: 1,
+            hit_cycles: 1,
+        });
         c.access(0, true);
         let r = c.access(128, false); // same set (sets=2 ⇒ line 2 maps to set 0)
         assert!(!r.hit);
@@ -204,7 +340,11 @@ mod tests {
     #[test]
     fn writeback_address_reconstruction() {
         // Verify tag/index round trip for a larger geometry.
-        let mut c = Cache::new(CacheParams { size_bytes: 64 << 10, assoc: 2, hit_cycles: 1 });
+        let mut c = Cache::new(CacheParams {
+            size_bytes: 64 << 10,
+            assoc: 2,
+            hit_cycles: 1,
+        });
         let a = 0xdead_b000u64;
         c.access(a, true);
         // fill the set with conflicting lines to force eviction of `a`
@@ -217,11 +357,79 @@ mod tests {
     }
 
     #[test]
+    fn small_geometries_use_dense_storage() {
+        let c = Cache::new(CacheParams {
+            size_bytes: 16 << 20,
+            assoc: 16,
+            hit_cycles: 44,
+        });
+        assert!(
+            matches!(c.store, SetStore::Dense(_)),
+            "16 MB L2 stays dense"
+        );
+        let c = Cache::new(CacheParams {
+            size_bytes: 64 << 10,
+            assoc: 8,
+            hit_cycles: 4,
+        });
+        assert!(
+            matches!(c.store, SetStore::Dense(_)),
+            "64 KB L1 stays dense"
+        );
+    }
+
+    #[test]
     fn sparse_storage_stays_small_for_giant_caches() {
-        let mut c = Cache::new(CacheParams { size_bytes: 4 << 30, assoc: 1, hit_cycles: 1 });
+        let mut c = Cache::new(CacheParams {
+            size_bytes: 4 << 30,
+            assoc: 1,
+            hit_cycles: 1,
+        });
+        assert!(
+            matches!(c.store, SetStore::Sparse(_)),
+            "4 GB DRAM cache goes sparse"
+        );
         for i in 0..1000u64 {
             c.access(i * 4096, true);
         }
-        assert!(c.sets.len() <= 1000);
+        assert!(c.resident_lines() <= 1000);
+    }
+
+    #[test]
+    fn dense_and_sparse_agree_on_the_same_trace() {
+        // Same geometry forced into both modes must produce identical
+        // hit/miss/writeback behaviour for an adversarial mixed trace.
+        let params = CacheParams {
+            size_bytes: 8 << 10,
+            assoc: 4,
+            hit_cycles: 1,
+        };
+        let mut dense = Cache::new(params);
+        assert!(matches!(dense.store, SetStore::Dense(_)));
+        let mut sparse = Cache::new(params);
+        sparse.store = SetStore::Sparse(FxHashMap::default());
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for k in 0..20_000u64 {
+            // xorshift mixing: hits, conflicts, and strided sweeps
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let addr = match k % 3 {
+                0 => (x >> 12) & 0xFFFF8,
+                1 => (k * 64) & 0x3FFF,
+                _ => (k * 4096) & 0xFFFFF,
+            };
+            let write = k % 5 == 0;
+            assert_eq!(
+                dense.access(addr, write),
+                sparse.access(addr, write),
+                "k={k}"
+            );
+            if k % 97 == 0 {
+                assert_eq!(dense.invalidate(addr), sparse.invalidate(addr));
+            }
+        }
+        assert_eq!(dense.stats(), sparse.stats());
+        assert_eq!(dense.resident_lines(), sparse.resident_lines());
     }
 }

@@ -196,8 +196,16 @@ impl Default for SimConfig {
         SimConfig {
             cores: 1,
             sram_levels: vec![
-                CacheParams { size_bytes: 64 << 10, assoc: 8, hit_cycles: 4 },
-                CacheParams { size_bytes: 16 << 20, assoc: 16, hit_cycles: 44 },
+                CacheParams {
+                    size_bytes: 64 << 10,
+                    assoc: 8,
+                    hit_cycles: 4,
+                },
+                CacheParams {
+                    size_bytes: 16 << 20,
+                    assoc: 16,
+                    hit_cycles: 44,
+                },
             ],
             dram_cache: Some(CacheParams {
                 size_bytes: 4 << 30,
@@ -225,9 +233,21 @@ impl SimConfig {
     /// shared 16 MB L3 above the DRAM cache.
     pub fn with_l3(mut self) -> Self {
         self.sram_levels = vec![
-            CacheParams { size_bytes: 64 << 10, assoc: 8, hit_cycles: 4 },
-            CacheParams { size_bytes: 1 << 20, assoc: 8, hit_cycles: 14 },
-            CacheParams { size_bytes: 16 << 20, assoc: 16, hit_cycles: 44 },
+            CacheParams {
+                size_bytes: 64 << 10,
+                assoc: 8,
+                hit_cycles: 4,
+            },
+            CacheParams {
+                size_bytes: 1 << 20,
+                assoc: 8,
+                hit_cycles: 14,
+            },
+            CacheParams {
+                size_bytes: 16 << 20,
+                assoc: 16,
+                hit_cycles: 44,
+            },
         ];
         self
     }
@@ -240,14 +260,30 @@ impl SimConfig {
     pub fn hierarchy_depth(mut self, levels: usize) -> Self {
         assert!((2..=5).contains(&levels), "levels must be in 2..=5");
         let mut sram = vec![
-            CacheParams { size_bytes: 64 << 10, assoc: 8, hit_cycles: 4 },
-            CacheParams { size_bytes: 1 << 20, assoc: 8, hit_cycles: 14 },
+            CacheParams {
+                size_bytes: 64 << 10,
+                assoc: 8,
+                hit_cycles: 4,
+            },
+            CacheParams {
+                size_bytes: 1 << 20,
+                assoc: 8,
+                hit_cycles: 14,
+            },
         ];
         if levels >= 3 {
-            sram.push(CacheParams { size_bytes: 16 << 20, assoc: 16, hit_cycles: 44 });
+            sram.push(CacheParams {
+                size_bytes: 16 << 20,
+                assoc: 16,
+                hit_cycles: 44,
+            });
         }
         if levels >= 4 {
-            sram.push(CacheParams { size_bytes: 128 << 20, assoc: 16, hit_cycles: 82 });
+            sram.push(CacheParams {
+                size_bytes: 128 << 20,
+                assoc: 16,
+                hit_cycles: 82,
+            });
         }
         self.sram_levels = sram;
         self.dram_cache = (levels >= 5).then_some(CacheParams {
@@ -311,9 +347,17 @@ mod tests {
 
     #[test]
     fn cache_sets_computed() {
-        let l1 = CacheParams { size_bytes: 64 << 10, assoc: 8, hit_cycles: 4 };
+        let l1 = CacheParams {
+            size_bytes: 64 << 10,
+            assoc: 8,
+            hit_cycles: 4,
+        };
         assert_eq!(l1.sets(), 128);
-        let dm = CacheParams { size_bytes: 4 << 30, assoc: 1, hit_cycles: 120 };
+        let dm = CacheParams {
+            size_bytes: 4 << 30,
+            assoc: 1,
+            hit_cycles: 120,
+        };
         assert_eq!(dm.sets(), 64 << 20);
     }
 

@@ -35,7 +35,8 @@
 //! let f = m.add_function(b.build());
 //! m.set_entry(f);
 //!
-//! let mut machine = Machine::new(&m, SimConfig::default(), Scheme::Baseline);
+//! let cfg = SimConfig::default();
+//! let mut machine = Machine::new(&m, &cfg, Scheme::Baseline);
 //! let result = machine.run(1_000, None).unwrap();
 //! assert_eq!(result.end, RunEnd::Completed);
 //! assert!(result.stats.cycles > 0);
@@ -44,6 +45,7 @@
 pub mod cache;
 pub mod config;
 pub mod energy;
+pub mod hash;
 pub mod iodevice;
 pub mod machine;
 pub mod mc;

@@ -93,7 +93,7 @@ struct Core<'m> {
 /// The simulated machine.
 pub struct Machine<'m> {
     module: &'m Module,
-    cfg: SimConfig,
+    cfg: &'m SimConfig,
     scheme: Scheme,
     cycle: u64,
     arch_mem: Memory,
@@ -117,7 +117,7 @@ impl<'m> Machine<'m> {
     ///
     /// # Panics
     /// Panics if the module has no entry function.
-    pub fn new(module: &'m Module, cfg: SimConfig, scheme: Scheme) -> Self {
+    pub fn new(module: &'m Module, cfg: &'m SimConfig, scheme: Scheme) -> Self {
         let mut arch_mem = Memory::new();
         let mut cores = Vec::new();
         let mut resume_meta = Vec::new();
@@ -130,11 +130,10 @@ impl<'m> Machine<'m> {
                 Interp::new(module, core, &mut arch_mem).expect("module has an entry")
             } else {
                 let args = [core as Word];
-                Interp::with_args(module, core, &mut arch_mem, &args)
-                    .expect("module has an entry")
+                Interp::with_args(module, core, &mut arch_mem, &args).expect("module has an entry")
             };
-            let base = layout::stack_top(core)
-                - cwsp_ir::interp::frame::size_words(0, nargs as u64) * 8;
+            let base =
+                layout::stack_top(core) - cwsp_ir::interp::frame::size_words(0, nargs as u64) * 8;
             let entry_resume = ResumePoint {
                 func: entry_fn,
                 block: module.function(entry_fn).entry(),
@@ -148,7 +147,7 @@ impl<'m> Machine<'m> {
                 interp,
                 l1: Cache::new(cfg.sram_levels[0]),
                 wb: WriteBuffer::new(cfg.wb_entries, cfg.wb_drain_cycles),
-                pb: PersistBuffer::new(pb_capacity(scheme, &cfg)),
+                pb: PersistBuffer::new(pb_capacity(scheme, cfg)),
                 rbt: RegionBoundaryTable::new(cfg.rbt_entries),
                 busy_until: 0,
                 halted: false,
@@ -163,7 +162,10 @@ impl<'m> Machine<'m> {
             });
         }
         let nvm = arch_mem.clone();
-        let shared = cfg.sram_levels[1..].iter().map(|p| Cache::new(*p)).collect();
+        let shared = cfg.sram_levels[1..]
+            .iter()
+            .map(|p| Cache::new(*p))
+            .collect();
         let dram_cache = cfg.dram_cache.map(Cache::new);
         // Media-level banking/write-combining: an 8-byte WPQ entry occupies
         // its slot for a fraction of the raw media write latency.
@@ -302,16 +304,25 @@ impl<'m> Machine<'m> {
                 if self.cycle >= c {
                     self.emit(Event::PowerFailure { cycle: self.cycle });
                     self.finalize_stats();
-                    return Ok(RunResult { end: RunEnd::PowerFailure, stats: self.stats.clone() });
+                    return Ok(RunResult {
+                        end: RunEnd::PowerFailure,
+                        stats: self.stats.clone(),
+                    });
                 }
             }
             if self.stats.insts >= max_insts {
                 self.finalize_stats();
-                return Ok(RunResult { end: RunEnd::InstLimit, stats: self.stats.clone() });
+                return Ok(RunResult {
+                    end: RunEnd::InstLimit,
+                    stats: self.stats.clone(),
+                });
             }
             if self.all_done() {
                 self.finalize_stats();
-                return Ok(RunResult { end: RunEnd::Completed, stats: self.stats.clone() });
+                return Ok(RunResult {
+                    end: RunEnd::Completed,
+                    stats: self.stats.clone(),
+                });
             }
             self.tick()?;
         }
@@ -385,9 +396,17 @@ impl<'m> Machine<'m> {
             if let Some(entry) = core.pb.next_unsent() {
                 let mc = self.cfg.mc_of(entry.addr);
                 let skew = self.cfg.mc_numa_skew_cycles * mc as u64;
-                let (seq, region, addr, data, log) =
-                    (entry.seq, entry.region, entry.addr, entry.data, entry.log_bit);
-                if self.path.try_send(cycle, i, seq, region, addr, data, log, mc, skew) {
+                let (seq, region, addr, data, log) = (
+                    entry.seq,
+                    entry.region,
+                    entry.addr,
+                    entry.data,
+                    entry.log_bit,
+                );
+                if self
+                    .path
+                    .try_send(cycle, i, seq, region, addr, data, log, mc, skew)
+                {
                     if let Some(e) = core.pb.next_unsent() {
                         debug_assert_eq!(e.seq, seq);
                         e.sent = true;
@@ -398,8 +417,7 @@ impl<'m> Machine<'m> {
         // RBT retirements: flush region output, promote the next head,
         // deallocate its logs, persist new recovery metadata.
         for i in 0..ncores {
-            loop {
-                let Some(retired) = self.cores[i].rbt.try_retire() else { break };
+            while let Some(retired) = self.cores[i].rbt.try_retire() {
                 // Release the region's I/O redo buffer to the device (§VIII).
                 self.device.flush_region(retired.dyn_id);
                 self.emit(Event::RegionRetire {
@@ -525,7 +543,11 @@ impl<'m> Machine<'m> {
                 if was_empty {
                     self.write_meta(i);
                 }
-                self.emit(Event::RegionOpen { cycle: self.cycle, core: i, region: dyn_id });
+                self.emit(Event::RegionOpen {
+                    cycle: self.cycle,
+                    core: i,
+                    region: dyn_id,
+                });
             }
             self.cores[i].pending_boundary = None;
             self.stats.regions += 1;
@@ -701,8 +723,7 @@ impl<'m> Machine<'m> {
         if matches!(self.scheme, Scheme::ReplayCache) && !eff.writes.is_empty() {
             // Synchronous cacheline persistence per store.
             let per_line = (64.0 / self.cfg.path_bytes_per_cycle()).ceil() as u64;
-            let sync_cost =
-                (self.cfg.persist_path_cycles + per_line) * eff.writes.len() as u64;
+            let sync_cost = (self.cfg.persist_path_cycles + per_line) * eff.writes.len() as u64;
             self.stats.stall_scheme += sync_cost;
             cost += sync_cost;
             for &(a, v) in &eff.writes {
@@ -869,7 +890,7 @@ pub fn unpack_meta(nvm: &Memory, core: usize) -> (ResumePoint, Option<RegionId>)
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use cwsp_compiler_testutil::*;
 
     /// Minimal local test-module builders (no dependency on cwsp-compiler:
@@ -892,7 +913,12 @@ mod tests {
                 b.store(bb, s.into(), MemRef::global(g, 0));
             });
             let v = b.load(exit, MemRef::global(g, 0));
-            b.push(exit, Inst::Ret { val: Some(v.into()) });
+            b.push(
+                exit,
+                Inst::Ret {
+                    val: Some(v.into()),
+                },
+            );
             let f = m.add_function(b.build());
             m.set_entry(f);
             m
@@ -915,7 +941,9 @@ mod tests {
                     if matches!(block.insts[i], Inst::Store { .. }) {
                         block.insts.insert(
                             i,
-                            Inst::Boundary { id: cwsp_ir::types::RegionId(u32::MAX) },
+                            Inst::Boundary {
+                                id: cwsp_ir::types::RegionId(u32::MAX),
+                            },
                         );
                         i += 1;
                     }
@@ -944,7 +972,8 @@ mod tests {
     fn baseline_completes_and_matches_oracle() {
         let m = looping_module(50);
         let oracle = cwsp_ir::interp::run(&m, 100_000).unwrap();
-        let mut machine = Machine::new(&m, small_cfg(), Scheme::Baseline);
+        let cfg_ = small_cfg();
+        let mut machine = Machine::new(&m, &cfg_, Scheme::Baseline);
         let r = machine.run(1_000_000, None).unwrap();
         assert_eq!(r.end, RunEnd::Completed);
         assert_eq!(machine.return_value(0), oracle.return_value);
@@ -955,7 +984,8 @@ mod tests {
     fn cwsp_completes_with_converged_nvm() {
         let m = compiled_looping_module(40);
         let oracle = cwsp_ir::interp::run(&m, 100_000).unwrap();
-        let mut machine = Machine::new(&m, small_cfg(), Scheme::cwsp());
+        let cfg_ = small_cfg();
+        let mut machine = Machine::new(&m, &cfg_, Scheme::cwsp());
         let r = machine.run(1_000_000, None).unwrap();
         assert_eq!(r.end, RunEnd::Completed);
         assert_eq!(machine.return_value(0), oracle.return_value);
@@ -975,26 +1005,33 @@ mod tests {
         let m = looping_module(200);
         let mc = compiled_looping_module(200);
         let base = {
-            let mut machine = Machine::new(&m, small_cfg(), Scheme::Baseline);
+            let cfg_ = small_cfg();
+            let mut machine = Machine::new(&m, &cfg_, Scheme::Baseline);
             machine.run(10_000_000, None).unwrap().stats.cycles
         };
         let cwsp = {
-            let mut machine = Machine::new(&mc, small_cfg(), Scheme::cwsp());
+            let cfg_ = small_cfg();
+            let mut machine = Machine::new(&mc, &cfg_, Scheme::cwsp());
             machine.run(10_000_000, None).unwrap().stats.cycles
         };
         assert!(cwsp >= base, "cwsp {cwsp} < baseline {base}");
-        assert!(cwsp < base * 3, "cwsp overhead unreasonable: {cwsp} vs {base}");
+        assert!(
+            cwsp < base * 3,
+            "cwsp overhead unreasonable: {cwsp} vs {base}"
+        );
     }
 
     #[test]
     fn replaycache_is_much_slower_than_cwsp() {
         let mc = compiled_looping_module(200);
         let cwsp = {
-            let mut machine = Machine::new(&mc, small_cfg(), Scheme::cwsp());
+            let cfg_ = small_cfg();
+            let mut machine = Machine::new(&mc, &cfg_, Scheme::cwsp());
             machine.run(10_000_000, None).unwrap().stats.cycles
         };
         let rc = {
-            let mut machine = Machine::new(&mc, small_cfg(), Scheme::ReplayCache);
+            let cfg_ = small_cfg();
+            let mut machine = Machine::new(&mc, &cfg_, Scheme::ReplayCache);
             machine.run(10_000_000, None).unwrap().stats.cycles
         };
         assert!(rc > cwsp, "replaycache {rc} <= cwsp {cwsp}");
@@ -1009,11 +1046,11 @@ mod tests {
         let mut cfg_without = cfg_with.clone();
         cfg_without.dram_cache = None;
         let with = {
-            let mut machine = Machine::new(&m, cfg_with, Scheme::Baseline);
+            let mut machine = Machine::new(&m, &cfg_with, Scheme::Baseline);
             machine.run(10_000_000, None).unwrap().stats.cycles
         };
         let without = {
-            let mut machine = Machine::new(&m, cfg_without, Scheme::IdealPsp);
+            let mut machine = Machine::new(&m, &cfg_without, Scheme::IdealPsp);
             machine.run(10_000_000, None).unwrap().stats.cycles
         };
         // Equal-ish here because this footprint fits L1; the figure-level
@@ -1024,7 +1061,8 @@ mod tests {
     #[test]
     fn crash_yields_image_with_meta() {
         let m = compiled_looping_module(100);
-        let mut machine = Machine::new(&m, small_cfg(), Scheme::cwsp());
+        let cfg_ = small_cfg();
+        let mut machine = Machine::new(&m, &cfg_, Scheme::cwsp());
         let r = machine.run(1_000_000, Some(500)).unwrap();
         assert_eq!(r.end, RunEnd::PowerFailure);
         let img = machine.into_crash_image();
@@ -1057,7 +1095,8 @@ mod tests {
     #[test]
     fn instruction_budget_truncates() {
         let m = looping_module(10_000);
-        let mut machine = Machine::new(&m, small_cfg(), Scheme::Baseline);
+        let cfg_ = small_cfg();
+        let mut machine = Machine::new(&m, &cfg_, Scheme::Baseline);
         let r = machine.run(1_000, None).unwrap();
         assert_eq!(r.end, RunEnd::InstLimit);
         assert!(r.stats.insts >= 1_000);
@@ -1068,7 +1107,7 @@ mod tests {
         let m = looping_module(50);
         let mut cfg = small_cfg();
         cfg.cores = 4;
-        let mut machine = Machine::new(&m, cfg, Scheme::Baseline);
+        let mut machine = Machine::new(&m, &cfg, Scheme::Baseline);
         let r = machine.run(10_000_000, None).unwrap();
         assert_eq!(r.end, RunEnd::Completed);
         assert!(machine.all_halted());
@@ -1107,13 +1146,19 @@ mod trace_tests {
             let mut i = 0;
             while i < block.insts.len() {
                 if matches!(block.insts[i], Inst::Store { .. }) {
-                    block.insts.insert(i, Inst::Boundary { id: cwsp_ir::types::RegionId(0) });
+                    block.insts.insert(
+                        i,
+                        Inst::Boundary {
+                            id: cwsp_ir::types::RegionId(0),
+                        },
+                    );
                     i += 1;
                 }
                 i += 1;
             }
         }
-        let mut machine = Machine::new(&m, SimConfig::default(), Scheme::cwsp());
+        let cfg_ = SimConfig::default();
+        let mut machine = Machine::new(&m, &cfg_, Scheme::cwsp());
         machine.enable_trace(256);
         let r = machine.run(u64::MAX, Some(400)).unwrap();
         assert_eq!(r.end, RunEnd::PowerFailure);
@@ -1132,7 +1177,10 @@ mod trace_tests {
                 _ => {}
             }
         }
-        assert!(opened > 0 && arrived > 0, "opened={opened} arrived={arrived}");
+        assert!(
+            opened > 0 && arrived > 0,
+            "opened={opened} arrived={arrived}"
+        );
         assert!(retired <= opened);
         assert_eq!(failed, 1);
         // The tail renders human-readable lines for post-mortems.
@@ -1157,15 +1205,26 @@ mod iodevice_tests {
         let mut m = Module::new("t");
         let mut b = FunctionBuilder::new("main", 0);
         let e = b.entry();
-        b.push(e, Inst::Out { val: Operand::imm(1) });
+        b.push(
+            e,
+            Inst::Out {
+                val: Operand::imm(1),
+            },
+        );
         b.store(e, Operand::imm(9), MemRef::abs(4096));
         b.push(e, Inst::Boundary { id: RegionId(0) });
-        b.push(e, Inst::Out { val: Operand::imm(2) });
+        b.push(
+            e,
+            Inst::Out {
+                val: Operand::imm(2),
+            },
+        );
         b.push(e, Inst::Halt);
         let f = m.add_function(b.build());
         m.set_entry(f);
 
-        let mut machine = Machine::new(&m, SimConfig::default(), Scheme::cwsp());
+        let cfg_ = SimConfig::default();
+        let mut machine = Machine::new(&m, &cfg_, Scheme::cwsp());
         // Run a handful of cycles: the instructions execute, but region A's
         // store has not persisted yet (path latency 20 cycles one-way), so no
         // output may have reached the device.
@@ -1188,14 +1247,20 @@ mod iodevice_tests {
         let mut b = FunctionBuilder::new("main", 0);
         let e = b.entry();
         for k in 0..5u64 {
-            b.push(e, Inst::Out { val: Operand::imm(k) });
+            b.push(
+                e,
+                Inst::Out {
+                    val: Operand::imm(k),
+                },
+            );
             b.store(e, Operand::imm(k), MemRef::abs(4096 + k * 64));
             b.push(e, Inst::Boundary { id: RegionId(0) });
         }
         b.push(e, Inst::Halt);
         let f = m.add_function(b.build());
         m.set_entry(f);
-        let mut machine = Machine::new(&m, SimConfig::default(), Scheme::cwsp());
+        let cfg_ = SimConfig::default();
+        let mut machine = Machine::new(&m, &cfg_, Scheme::cwsp());
         let r = machine.run(u64::MAX, None).unwrap();
         assert_eq!(r.end, RunEnd::Completed);
         assert_eq!(machine.output(), &[0, 1, 2, 3, 4]);
@@ -1237,7 +1302,11 @@ mod stale_read_tests {
     fn tiny_cfg() -> SimConfig {
         let mut cfg = SimConfig::default();
         // 1-set, 2-way L1: conflicting lines evict immediately.
-        cfg.sram_levels[0] = CacheParams { size_bytes: 128, assoc: 2, hit_cycles: 4 };
+        cfg.sram_levels[0] = CacheParams {
+            size_bytes: 128,
+            assoc: 2,
+            hit_cycles: 4,
+        };
         cfg.persist_path_gbps = 0.005; // ~1 entry per 3200 cycles: persist crawls
         cfg.wb_drain_cycles = 1;
         cfg
@@ -1246,7 +1315,8 @@ mod stale_read_tests {
     #[test]
     fn wb_delay_holds_racing_writebacks() {
         let m = race_module();
-        let mut machine = Machine::new(&m, tiny_cfg(), Scheme::cwsp());
+        let cfg_ = tiny_cfg();
+        let mut machine = Machine::new(&m, &cfg_, Scheme::cwsp());
         let r = machine.run(u64::MAX, None).unwrap();
         assert!(
             r.stats.wb_delays > 0,
@@ -1258,9 +1328,12 @@ mod stale_read_tests {
     #[test]
     fn disabling_the_feature_records_no_delays() {
         let m = race_module();
-        let mut f = crate::scheme::CwspFeatures::default();
-        f.wb_delay = false;
-        let mut machine = Machine::new(&m, tiny_cfg(), Scheme::Cwsp(f));
+        let f = crate::scheme::CwspFeatures {
+            wb_delay: false,
+            ..Default::default()
+        };
+        let cfg_ = tiny_cfg();
+        let mut machine = Machine::new(&m, &cfg_, Scheme::Cwsp(f));
         let r = machine.run(u64::MAX, None).unwrap();
         assert_eq!(r.stats.wb_delays, 0);
     }
@@ -1291,13 +1364,26 @@ mod wpq_delay_tests {
         let _ = b.load(e, MemRef::abs(0x10000 + 2 * 4096));
         // ...then reload it: misses to NVM while the WPQ entry drains.
         let v = b.load(e, MemRef::abs(0x10000));
-        b.push(e, Inst::Ret { val: Some(v.into()) });
+        b.push(
+            e,
+            Inst::Ret {
+                val: Some(v.into()),
+            },
+        );
         let f = m.add_function(b.build());
         m.set_entry(f);
 
         let mut cfg = SimConfig::default();
-        cfg.sram_levels[0] = CacheParams { size_bytes: 128, assoc: 2, hit_cycles: 4 };
-        cfg.sram_levels[1] = CacheParams { size_bytes: 256, assoc: 2, hit_cycles: 14 };
+        cfg.sram_levels[0] = CacheParams {
+            size_bytes: 128,
+            assoc: 2,
+            hit_cycles: 4,
+        };
+        cfg.sram_levels[1] = CacheParams {
+            size_bytes: 256,
+            assoc: 2,
+            hit_cycles: 14,
+        };
         cfg.dram_cache = None; // misses go straight to NVM
         cfg.main_memory = MainMemory::Cxl(CxlDevice {
             name: "glacial",
@@ -1307,10 +1393,17 @@ mod wpq_delay_tests {
             read_ns: 100.0,
             write_ns: 50_000.0, // WPQ entries drain for thousands of cycles
         });
-        let mut machine = Machine::new(&m, cfg, Scheme::cwsp());
+        let mut machine = Machine::new(&m, &cfg, Scheme::cwsp());
         let r = machine.run(u64::MAX, None).unwrap();
-        assert_eq!(machine.return_value(0), Some(7), "architectural value correct");
-        assert!(r.stats.wpq_hits >= 1, "the reload must hit the pending WPQ entry");
+        assert_eq!(
+            machine.return_value(0),
+            Some(7),
+            "architectural value correct"
+        );
+        assert!(
+            r.stats.wpq_hits >= 1,
+            "the reload must hit the pending WPQ entry"
+        );
         assert!(r.stats.stall_wpq > 0, "and be delayed until it drains");
     }
 }

@@ -121,8 +121,7 @@ impl MemoryController {
         if !self.wpq_has_space() {
             return false;
         }
-        let speculative =
-            log_bit && self.nonspec_horizon.is_none_or(|h| region > h);
+        let speculative = log_bit && self.nonspec_horizon.is_none_or(|h| region > h);
         let mut cost = self.drain_cycles;
         if speculative {
             let old = nvm.load(addr);
@@ -137,7 +136,11 @@ impl MemoryController {
         self.nvm_writes += 1;
         let start = self.media_free_at.max(cycle);
         self.media_free_at = start + cost;
-        self.wpq.push_back(WpqSlot { addr, region, free_at: start + cost });
+        self.wpq.push_back(WpqSlot {
+            addr,
+            region,
+            free_at: start + cost,
+        });
         true
     }
 

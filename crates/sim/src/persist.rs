@@ -47,7 +47,11 @@ pub struct PersistBuffer {
 impl PersistBuffer {
     /// An empty PB with `cap` entries.
     pub fn new(cap: usize) -> Self {
-        PersistBuffer { cap, entries: VecDeque::new(), next_seq: 0 }
+        PersistBuffer {
+            cap,
+            entries: VecDeque::new(),
+            next_seq: 0,
+        }
     }
 
     /// Whether a new entry can be allocated.
@@ -74,7 +78,14 @@ impl PersistBuffer {
         assert!(self.has_space(), "PB overflow — core must stall");
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.entries.push_back(PbEntry { seq, region, addr, data, log_bit, sent: false });
+        self.entries.push_back(PbEntry {
+            seq,
+            region,
+            addr,
+            data,
+            log_bit,
+            sent: false,
+        });
         seq
     }
 
@@ -126,7 +137,10 @@ pub struct RegionBoundaryTable {
 impl RegionBoundaryTable {
     /// An empty RBT with `cap` entries.
     pub fn new(cap: usize) -> Self {
-        RegionBoundaryTable { cap, entries: VecDeque::new() }
+        RegionBoundaryTable {
+            cap,
+            entries: VecDeque::new(),
+        }
     }
 
     /// Whether a new region can be opened.
@@ -215,7 +229,7 @@ impl RegionBoundaryTable {
     /// no pending stores — the drain condition for synchronization points
     /// (§VIII).
     pub fn drained(&self) -> bool {
-        self.entries.len() <= 1 && self.entries.front().map_or(true, |e| e.pending == 0)
+        self.entries.len() <= 1 && self.entries.front().is_none_or(|e| e.pending == 0)
     }
 }
 
@@ -269,6 +283,7 @@ impl PersistPath {
     }
 
     /// Try to admit an entry at `cycle`; consumes bandwidth tokens.
+    #[allow(clippy::too_many_arguments)]
     pub fn try_send(
         &mut self,
         cycle: u64,
@@ -431,12 +446,18 @@ mod tests {
     fn path_latency_and_bandwidth() {
         // 2 bytes/cycle, 8-byte entries → one send per 4 cycles.
         let mut p = PersistPath::new(10, 2.0, 8);
-        assert!(!p.try_send(0, 0, 0, DynRegionId(0), 0, 0, false, 0, 0), "no tokens yet");
+        assert!(
+            !p.try_send(0, 0, 0, DynRegionId(0), 0, 0, false, 0, 0),
+            "no tokens yet"
+        );
         for _ in 0..4 {
             p.tick();
         }
         assert!(p.try_send(4, 0, 0, DynRegionId(0), 0, 0, false, 0, 0));
-        assert!(!p.try_send(4, 0, 1, DynRegionId(0), 8, 0, false, 0, 0), "tokens spent");
+        assert!(
+            !p.try_send(4, 0, 1, DynRegionId(0), 8, 0, false, 0, 0),
+            "tokens spent"
+        );
         assert!(p.peek_arrival(13).is_none(), "latency 10 not yet elapsed");
         assert!(p.peek_arrival(14).is_some());
         let e = p.pop_arrival().unwrap();

@@ -23,7 +23,12 @@ pub struct CwspFeatures {
 
 impl Default for CwspFeatures {
     fn default() -> Self {
-        CwspFeatures { persist_path: true, mc_speculation: true, wb_delay: true, wpq_delay: true }
+        CwspFeatures {
+            persist_path: true,
+            mc_speculation: true,
+            wb_delay: true,
+            wpq_delay: true,
+        }
     }
 }
 
@@ -111,8 +116,10 @@ mod tests {
         assert!(!Scheme::Baseline.uses_persist_path());
         assert!(!Scheme::IdealPsp.uses_persist_path());
         assert!(Scheme::Capri.uses_persist_path());
-        let mut f = CwspFeatures::default();
-        f.persist_path = false;
+        let f = CwspFeatures {
+            persist_path: false,
+            ..Default::default()
+        };
         assert!(!Scheme::Cwsp(f).uses_persist_path());
     }
 }

@@ -14,17 +14,44 @@ use std::fmt;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Event {
     /// A dynamic region was opened on `core`.
-    RegionOpen { cycle: u64, core: usize, region: DynRegionId },
+    RegionOpen {
+        cycle: u64,
+        core: usize,
+        region: DynRegionId,
+    },
     /// A region fully persisted and retired from the RBT head.
-    RegionRetire { cycle: u64, core: usize, region: DynRegionId },
+    RegionRetire {
+        cycle: u64,
+        core: usize,
+        region: DynRegionId,
+    },
     /// A store entered the persist buffer.
-    PersistIssue { cycle: u64, core: usize, region: DynRegionId, addr: Word },
+    PersistIssue {
+        cycle: u64,
+        core: usize,
+        region: DynRegionId,
+        addr: Word,
+    },
     /// A store reached a WPQ (and became persistent).
-    PersistArrive { cycle: u64, mc: usize, region: DynRegionId, addr: Word },
+    PersistArrive {
+        cycle: u64,
+        mc: usize,
+        region: DynRegionId,
+        addr: Word,
+    },
     /// An undo-log record was appended at an MC.
-    UndoLogged { cycle: u64, mc: usize, region: DynRegionId, addr: Word },
+    UndoLogged {
+        cycle: u64,
+        mc: usize,
+        region: DynRegionId,
+        addr: Word,
+    },
     /// The core stalled (`kind` is a static label: "pb", "rbt", "sync", …).
-    Stall { cycle: u64, core: usize, kind: &'static str },
+    Stall {
+        cycle: u64,
+        core: usize,
+        kind: &'static str,
+    },
     /// Power failed.
     PowerFailure { cycle: u64 },
 }
@@ -47,19 +74,42 @@ impl Event {
 impl fmt::Display for Event {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Event::RegionOpen { cycle, core, region } => {
+            Event::RegionOpen {
+                cycle,
+                core,
+                region,
+            } => {
                 write!(f, "[{cycle:>8}] core{core} open   {region}")
             }
-            Event::RegionRetire { cycle, core, region } => {
+            Event::RegionRetire {
+                cycle,
+                core,
+                region,
+            } => {
                 write!(f, "[{cycle:>8}] core{core} retire {region}")
             }
-            Event::PersistIssue { cycle, core, region, addr } => {
+            Event::PersistIssue {
+                cycle,
+                core,
+                region,
+                addr,
+            } => {
                 write!(f, "[{cycle:>8}] core{core} issue  {region} @{addr:#x}")
             }
-            Event::PersistArrive { cycle, mc, region, addr } => {
+            Event::PersistArrive {
+                cycle,
+                mc,
+                region,
+                addr,
+            } => {
                 write!(f, "[{cycle:>8}] mc{mc}   arrive {region} @{addr:#x}")
             }
-            Event::UndoLogged { cycle, mc, region, addr } => {
+            Event::UndoLogged {
+                cycle,
+                mc,
+                region,
+                addr,
+            } => {
                 write!(f, "[{cycle:>8}] mc{mc}   undo   {region} @{addr:#x}")
             }
             Event::Stall { cycle, core, kind } => {
@@ -81,7 +131,11 @@ pub struct Trace {
 impl Trace {
     /// A trace retaining at most `cap` events.
     pub fn new(cap: usize) -> Self {
-        Trace { cap: cap.max(1), events: VecDeque::with_capacity(cap.min(4096)), dropped: 0 }
+        Trace {
+            cap: cap.max(1),
+            events: VecDeque::with_capacity(cap.min(4096)),
+            dropped: 0,
+        }
     }
 
     /// Record an event (evicting the oldest when full).
@@ -150,8 +204,15 @@ mod tests {
             addr: 0x1000,
         };
         let s = e.to_string();
-        assert!(s.contains("mc1") && s.contains("dyn7") && s.contains("0x1000"), "{s}");
-        let open = Event::RegionOpen { cycle: 1, core: 0, region: DynRegionId(0) };
+        assert!(
+            s.contains("mc1") && s.contains("dyn7") && s.contains("0x1000"),
+            "{s}"
+        );
+        let open = Event::RegionOpen {
+            cycle: 1,
+            core: 0,
+            region: DynRegionId(0),
+        };
         assert!(open.to_string().contains("open"));
     }
 
@@ -159,7 +220,11 @@ mod tests {
     fn tail_returns_last_lines() {
         let mut t = Trace::new(10);
         for c in 0..6 {
-            t.record(Event::Stall { cycle: c, core: 0, kind: "pb" });
+            t.record(Event::Stall {
+                cycle: c,
+                core: 0,
+                kind: "pb",
+            });
         }
         let tail = t.tail(2);
         assert_eq!(tail.lines().count(), 2);

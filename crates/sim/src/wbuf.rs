@@ -23,7 +23,12 @@ pub struct WriteBuffer {
 impl WriteBuffer {
     /// A WB with `cap` entries draining one line per `drain_interval` cycles.
     pub fn new(cap: usize, drain_interval: u64) -> Self {
-        WriteBuffer { cap, lines: VecDeque::new(), next_drain_at: 0, drain_interval }
+        WriteBuffer {
+            cap,
+            lines: VecDeque::new(),
+            next_drain_at: 0,
+            drain_interval,
+        }
     }
 
     /// Whether a new dirty eviction can be parked.

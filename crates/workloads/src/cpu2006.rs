@@ -14,86 +14,131 @@ use crate::kernels::*;
 use crate::{app, arena, checksum, Suite, Workload};
 
 fn w(name: &'static str, window: u64, module: cwsp_ir::module::Module) -> Workload {
-    Workload { name, suite: Suite::Cpu2006, module, window }
+    Workload {
+        name,
+        suite: Suite::Cpu2006,
+        module,
+        window,
+    }
 }
 
 /// Build all ten CPU2006 workloads.
 pub fn all() -> Vec<Workload> {
     vec![
-        w("astar", 120_000, app("astar", |m, b, mut bb| {
-            let g = arena(m, "graph", DRAM);
-            bb = random_walk(b, bb, g, DRAM, 2_500, 0xA57A, 4);
-            bb = pointer_chase(b, bb, g, DRAM, 1_200, 7);
-            checksum(b, bb, g);
-            bb
-        })),
-        w("bzip2", 120_000, app("bzip2", |m, b, mut bb| {
-            let src = arena(m, "src", L2);
-            let hist = arena(m, "hist", L1);
-            bb = rmw_sweep(b, bb, src, L2, 1, 3_000);
-            bb = random_walk(b, bb, hist, L1, 2_500, 0xB21, 1);
-            checksum(b, bb, hist);
-            bb
-        })),
-        w("gobmk", 120_000, app("gobmk", |m, b, mut bb| {
-            let board = arena(m, "board", L1);
-            bb = compute_loop(b, bb, board, 650, 48);
-            bb = random_walk(b, bb, board, L1, 1_500, 0x60, 6);
-            checksum(b, bb, board);
-            bb
-        })),
-        w("h264ref", 130_000, app("h264ref", |m, b, mut bb| {
-            let frame = arena(m, "frame", L2);
-            bb = stencil3(b, bb, frame, frame + (L2 / 2) * 8, 2_000);
-            bb = rmw_sweep(b, bb, frame, L2, 16, 1_500);
-            bb = compute_loop(b, bb, frame + 64, 260, 40);
-            checksum(b, bb, frame);
-            bb
-        })),
-        w("lbm", 150_000, app("lbm", |m, b, mut bb| {
-            // Big-footprint, write-heavy stencil sweeps: high L1D miss rate.
-            let grid = arena(m, "grid", DRAM);
-            bb = stencil3(b, bb, grid, grid + (DRAM / 2) * 8, 3_500);
-            bb = stencil3(b, bb, grid + (DRAM / 2) * 8, grid, 3_500);
-            checksum(b, bb, grid + 8);
-            bb
-        })),
-        w("libquan", 120_000, app("libquan", |m, b, mut bb| {
-            // Streaming xor gate application over a big state vector.
-            let state = arena(m, "qstate", DRAM);
-            bb = rmw_sweep(b, bb, state, DRAM, 1, 6_000);
-            checksum(b, bb, state);
-            bb
-        })),
-        w("milc", 120_000, app("milc", |m, b, mut bb| {
-            let lat = arena(m, "lattice", DRAM);
-            let out = arena(m, "out", L1);
-            bb = reduction(b, bb, lat, DRAM, 7, 5_000, out);
-            bb = rmw_sweep(b, bb, lat, DRAM, 64, 800);
-            checksum(b, bb, out);
-            bb
-        })),
-        w("namd", 120_000, app("namd", |m, b, mut bb| {
-            let cells = arena(m, "cells", L1);
-            bb = compute_loop(b, bb, cells, 1_000, 64);
-            checksum(b, bb, cells);
-            bb
-        })),
-        w("sjeng", 120_000, app("sjeng", |m, b, mut bb| {
-            let tt = arena(m, "ttable", L2);
-            bb = compute_loop(b, bb, tt, 650, 48);
-            bb = random_walk(b, bb, tt, L2, 1_800, 0x57E, 8);
-            checksum(b, bb, tt);
-            bb
-        })),
-        w("soplex", 120_000, app("soplex", |m, b, mut bb| {
-            let mat = arena(m, "matrix", DRAM);
-            let sol = arena(m, "solution", L1);
-            bb = random_walk(b, bb, mat, DRAM, 2_200, 0x50F, 16);
-            bb = rmw_sweep(b, bb, sol, L1, 1, 2_000);
-            checksum(b, bb, sol);
-            bb
-        })),
+        w(
+            "astar",
+            120_000,
+            app("astar", |m, b, mut bb| {
+                let g = arena(m, "graph", DRAM);
+                bb = random_walk(b, bb, g, DRAM, 2_500, 0xA57A, 4);
+                bb = pointer_chase(b, bb, g, DRAM, 1_200, 7);
+                checksum(b, bb, g);
+                bb
+            }),
+        ),
+        w(
+            "bzip2",
+            120_000,
+            app("bzip2", |m, b, mut bb| {
+                let src = arena(m, "src", L2);
+                let hist = arena(m, "hist", L1);
+                bb = rmw_sweep(b, bb, src, L2, 1, 3_000);
+                bb = random_walk(b, bb, hist, L1, 2_500, 0xB21, 1);
+                checksum(b, bb, hist);
+                bb
+            }),
+        ),
+        w(
+            "gobmk",
+            120_000,
+            app("gobmk", |m, b, mut bb| {
+                let board = arena(m, "board", L1);
+                bb = compute_loop(b, bb, board, 650, 48);
+                bb = random_walk(b, bb, board, L1, 1_500, 0x60, 6);
+                checksum(b, bb, board);
+                bb
+            }),
+        ),
+        w(
+            "h264ref",
+            130_000,
+            app("h264ref", |m, b, mut bb| {
+                let frame = arena(m, "frame", L2);
+                bb = stencil3(b, bb, frame, frame + (L2 / 2) * 8, 2_000);
+                bb = rmw_sweep(b, bb, frame, L2, 16, 1_500);
+                bb = compute_loop(b, bb, frame + 64, 260, 40);
+                checksum(b, bb, frame);
+                bb
+            }),
+        ),
+        w(
+            "lbm",
+            150_000,
+            app("lbm", |m, b, mut bb| {
+                // Big-footprint, write-heavy stencil sweeps: high L1D miss rate.
+                let grid = arena(m, "grid", DRAM);
+                bb = stencil3(b, bb, grid, grid + (DRAM / 2) * 8, 3_500);
+                bb = stencil3(b, bb, grid + (DRAM / 2) * 8, grid, 3_500);
+                checksum(b, bb, grid + 8);
+                bb
+            }),
+        ),
+        w(
+            "libquan",
+            120_000,
+            app("libquan", |m, b, mut bb| {
+                // Streaming xor gate application over a big state vector.
+                let state = arena(m, "qstate", DRAM);
+                bb = rmw_sweep(b, bb, state, DRAM, 1, 6_000);
+                checksum(b, bb, state);
+                bb
+            }),
+        ),
+        w(
+            "milc",
+            120_000,
+            app("milc", |m, b, mut bb| {
+                let lat = arena(m, "lattice", DRAM);
+                let out = arena(m, "out", L1);
+                bb = reduction(b, bb, lat, DRAM, 7, 5_000, out);
+                bb = rmw_sweep(b, bb, lat, DRAM, 64, 800);
+                checksum(b, bb, out);
+                bb
+            }),
+        ),
+        w(
+            "namd",
+            120_000,
+            app("namd", |m, b, mut bb| {
+                let cells = arena(m, "cells", L1);
+                bb = compute_loop(b, bb, cells, 1_000, 64);
+                checksum(b, bb, cells);
+                bb
+            }),
+        ),
+        w(
+            "sjeng",
+            120_000,
+            app("sjeng", |m, b, mut bb| {
+                let tt = arena(m, "ttable", L2);
+                bb = compute_loop(b, bb, tt, 650, 48);
+                bb = random_walk(b, bb, tt, L2, 1_800, 0x57E, 8);
+                checksum(b, bb, tt);
+                bb
+            }),
+        ),
+        w(
+            "soplex",
+            120_000,
+            app("soplex", |m, b, mut bb| {
+                let mat = arena(m, "matrix", DRAM);
+                let sol = arena(m, "solution", L1);
+                bb = random_walk(b, bb, mat, DRAM, 2_200, 0x50F, 16);
+                bb = rmw_sweep(b, bb, sol, L1, 1, 2_000);
+                checksum(b, bb, sol);
+                bb
+            }),
+        ),
     ]
 }
 

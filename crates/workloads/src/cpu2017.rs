@@ -9,64 +9,97 @@ use crate::kernels::*;
 use crate::{app, arena, checksum, Suite, Workload};
 
 fn w(name: &'static str, window: u64, module: cwsp_ir::module::Module) -> Workload {
-    Workload { name, suite: Suite::Cpu2017, module, window }
+    Workload {
+        name,
+        suite: Suite::Cpu2017,
+        module,
+        window,
+    }
 }
 
 /// Build all seven CPU2017 workloads.
 pub fn all() -> Vec<Workload> {
     vec![
-        w("dsjeng", 120_000, app("dsjeng", |m, b, mut bb| {
-            let tt = arena(m, "ttable", L2);
-            bb = compute_loop(b, bb, tt, 750, 48);
-            bb = random_walk(b, bb, tt, L2, 1_500, 0xD5E, 10);
-            checksum(b, bb, tt);
-            bb
-        })),
-        w("imagick", 130_000, app("imagick", |m, b, mut bb| {
-            let img = arena(m, "image", DRAM);
-            bb = stencil3(b, bb, img, img + (DRAM / 2) * 8, 2_500);
-            bb = compute_loop(b, bb, img + 64, 380, 56);
-            bb = stencil3(b, bb, img + (DRAM / 2) * 8, img, 1_500);
-            checksum(b, bb, img + 16);
-            bb
-        })),
-        w("lbm", 150_000, app("lbm17", |m, b, mut bb| {
-            let grid = arena(m, "grid", DRAM);
-            bb = stencil3(b, bb, grid, grid + (DRAM / 2) * 8, 4_000);
-            bb = rmw_sweep(b, bb, grid, DRAM, 1, 2_500);
-            checksum(b, bb, grid + 8);
-            bb
-        })),
-        w("leela", 120_000, app("leela", |m, b, mut bb| {
-            let tree = arena(m, "tree", L2);
-            bb = pointer_chase(b, bb, tree, L2, 2_500, 0x1EE1A);
-            bb = compute_loop(b, bb, tree, 450, 40);
-            checksum(b, bb, tree);
-            bb
-        })),
-        w("nab", 120_000, app("nab", |m, b, mut bb| {
-            let mol = arena(m, "molecule", L2);
-            let out = arena(m, "out", L1);
-            bb = reduction(b, bb, mol, L2, 3, 3_500, out);
-            bb = compute_loop(b, bb, out + 64, 380, 48);
-            checksum(b, bb, out);
-            bb
-        })),
-        w("namd", 120_000, app("namd17", |m, b, mut bb| {
-            let cells = arena(m, "cells", L1);
-            bb = compute_loop(b, bb, cells, 1_100, 64);
-            checksum(b, bb, cells);
-            bb
-        })),
-        w("xz", 130_000, app("xz", |m, b, mut bb| {
-            let dict = arena(m, "dict", DRAM);
-            let hist = arena(m, "hist", L1);
-            bb = random_walk(b, bb, dict, DRAM, 2_000, 0x7A, 8);
-            bb = rmw_sweep(b, bb, hist, L1, 1, 2_500);
-            bb = scatter(b, bb, dict, dict + (DRAM / 2) * 8, L2, 800);
-            checksum(b, bb, hist);
-            bb
-        })),
+        w(
+            "dsjeng",
+            120_000,
+            app("dsjeng", |m, b, mut bb| {
+                let tt = arena(m, "ttable", L2);
+                bb = compute_loop(b, bb, tt, 750, 48);
+                bb = random_walk(b, bb, tt, L2, 1_500, 0xD5E, 10);
+                checksum(b, bb, tt);
+                bb
+            }),
+        ),
+        w(
+            "imagick",
+            130_000,
+            app("imagick", |m, b, mut bb| {
+                let img = arena(m, "image", DRAM);
+                bb = stencil3(b, bb, img, img + (DRAM / 2) * 8, 2_500);
+                bb = compute_loop(b, bb, img + 64, 380, 56);
+                bb = stencil3(b, bb, img + (DRAM / 2) * 8, img, 1_500);
+                checksum(b, bb, img + 16);
+                bb
+            }),
+        ),
+        w(
+            "lbm",
+            150_000,
+            app("lbm17", |m, b, mut bb| {
+                let grid = arena(m, "grid", DRAM);
+                bb = stencil3(b, bb, grid, grid + (DRAM / 2) * 8, 4_000);
+                bb = rmw_sweep(b, bb, grid, DRAM, 1, 2_500);
+                checksum(b, bb, grid + 8);
+                bb
+            }),
+        ),
+        w(
+            "leela",
+            120_000,
+            app("leela", |m, b, mut bb| {
+                let tree = arena(m, "tree", L2);
+                bb = pointer_chase(b, bb, tree, L2, 2_500, 0x1EE1A);
+                bb = compute_loop(b, bb, tree, 450, 40);
+                checksum(b, bb, tree);
+                bb
+            }),
+        ),
+        w(
+            "nab",
+            120_000,
+            app("nab", |m, b, mut bb| {
+                let mol = arena(m, "molecule", L2);
+                let out = arena(m, "out", L1);
+                bb = reduction(b, bb, mol, L2, 3, 3_500, out);
+                bb = compute_loop(b, bb, out + 64, 380, 48);
+                checksum(b, bb, out);
+                bb
+            }),
+        ),
+        w(
+            "namd",
+            120_000,
+            app("namd17", |m, b, mut bb| {
+                let cells = arena(m, "cells", L1);
+                bb = compute_loop(b, bb, cells, 1_100, 64);
+                checksum(b, bb, cells);
+                bb
+            }),
+        ),
+        w(
+            "xz",
+            130_000,
+            app("xz", |m, b, mut bb| {
+                let dict = arena(m, "dict", DRAM);
+                let hist = arena(m, "hist", L1);
+                bb = random_walk(b, bb, dict, DRAM, 2_000, 0x7A, 8);
+                bb = rmw_sweep(b, bb, hist, L1, 1, 2_500);
+                bb = scatter(b, bb, dict, dict + (DRAM / 2) * 8, L2, 800);
+                checksum(b, bb, hist);
+                bb
+            }),
+        ),
     ]
 }
 

@@ -96,7 +96,10 @@ pub fn rmw_sweep_frac(
             })
             .collect();
         // All loads...
-        let vals: Vec<Reg> = addrs.iter().map(|a| b.load(body, MemRef::reg(*a, 0))).collect();
+        let vals: Vec<Reg> = addrs
+            .iter()
+            .map(|a| b.load(body, MemRef::reg(*a, 0)))
+            .collect();
         // ...some arithmetic per element...
         let news: Vec<Reg> = vals
             .iter()
@@ -108,7 +111,11 @@ pub fn rmw_sweep_frac(
             })
             .collect();
         // ...then the stores (a single region cut covers every RMW pair).
-        for (a, n) in addrs.iter().zip(&news).take(stores.clamp(1, UNROLL) as usize) {
+        for (a, n) in addrs
+            .iter()
+            .zip(&news)
+            .take(stores.clamp(1, UNROLL) as usize)
+        {
             b.store(body, (*n).into(), MemRef::reg(*a, 0));
         }
     });
@@ -124,8 +131,9 @@ pub fn stencil3(b: &mut FunctionBuilder, bb: BlockId, src: Word, dst: Word, n: W
         let off = b.bin(body, BinOp::Shl, i.into(), Operand::imm(5)); // 4 words
         let sa = b.bin(body, BinOp::Add, off.into(), Operand::imm(src));
         // 6 loads cover the 4 three-point windows.
-        let loads: Vec<Reg> =
-            (0..6).map(|k| b.load(body, MemRef::reg(sa, k * 8))).collect();
+        let loads: Vec<Reg> = (0..6)
+            .map(|k| b.load(body, MemRef::reg(sa, k * 8)))
+            .collect();
         let da = b.bin(body, BinOp::Add, off.into(), Operand::imm(dst));
         for k in 0..UNROLL as usize {
             let s1 = b.bin(body, BinOp::Add, loads[k].into(), loads[k + 1].into());
@@ -149,7 +157,13 @@ pub fn random_walk(
     write_every: Word,
 ) -> BlockId {
     let state = b.vreg();
-    b.push(bb, Inst::Mov { dst: state, src: Operand::imm(seed) });
+    b.push(
+        bb,
+        Inst::Mov {
+            dst: state,
+            src: Operand::imm(seed),
+        },
+    );
     let iters = (steps / 2).max(1);
     let (_, exit) = build_counted_loop_multi(b, bb, Operand::imm(iters), |b, body, i| {
         let n1 = lcg_step(b, body, state.into());
@@ -164,14 +178,27 @@ pub fn random_walk(
         let is_w = b.bin(body, BinOp::CmpEq, m.into(), Operand::imm(0));
         let wr = b.block();
         let cont = b.block();
-        b.push(body, Inst::CondBr { cond: is_w.into(), if_true: wr, if_false: cont });
+        b.push(
+            body,
+            Inst::CondBr {
+                cond: is_w.into(),
+                if_true: wr,
+                if_false: cont,
+            },
+        );
         let w1 = b.bin(wr, BinOp::Add, v1.into(), Operand::imm(1));
         let w2 = b.bin(wr, BinOp::Xor, v2.into(), mix.into());
         b.store(wr, w1.into(), MemRef::reg(a1, 0));
         b.store(wr, w2.into(), MemRef::reg(a2, 0));
         b.push(wr, Inst::Br { target: cont });
         // two-phase state update, grouped at the tail
-        b.push(cont, Inst::Mov { dst: state, src: n2.into() });
+        b.push(
+            cont,
+            Inst::Mov {
+                dst: state,
+                src: n2.into(),
+            },
+        );
         cont
     });
     exit
@@ -189,7 +216,13 @@ pub fn reduction(
     out_addr: Word,
 ) -> BlockId {
     let acc = b.vreg();
-    b.push(bb, Inst::Mov { dst: acc, src: Operand::imm(0) });
+    b.push(
+        bb,
+        Inst::Mov {
+            dst: acc,
+            src: Operand::imm(0),
+        },
+    );
     let (_, exit) = build_counted_loop(b, bb, Operand::imm(iters), |b, body, i| {
         let ebase = b.bin(body, BinOp::Mul, i.into(), Operand::imm(UNROLL * stride));
         let mut partial: Operand = Operand::imm(0);
@@ -204,7 +237,13 @@ pub fn reduction(
         }
         // two-phase accumulator update
         let t = b.bin(body, BinOp::Add, acc.into(), partial);
-        b.push(body, Inst::Mov { dst: acc, src: t.into() });
+        b.push(
+            body,
+            Inst::Mov {
+                dst: acc,
+                src: t.into(),
+            },
+        );
     });
     b.store(exit, acc.into(), MemRef::abs(out_addr));
     exit
@@ -221,7 +260,13 @@ pub fn compute_loop(
     alu_per_iter: u32,
 ) -> BlockId {
     let acc = b.vreg();
-    b.push(bb, Inst::Mov { dst: acc, src: Operand::imm(0x9e3779b9) });
+    b.push(
+        bb,
+        Inst::Mov {
+            dst: acc,
+            src: Operand::imm(0x9e3779b9),
+        },
+    );
     let (_, exit) = build_counted_loop(b, bb, Operand::imm(iters), |b, body, i| {
         let mut cur: Operand = acc.into();
         for k in 0..alu_per_iter {
@@ -238,7 +283,13 @@ pub fn compute_loop(
         let folded = b.bin(body, BinOp::Xor, cur, i.into());
         // two-phase accumulator update
         let t = b.bin(body, BinOp::Add, acc.into(), folded.into());
-        b.push(body, Inst::Mov { dst: acc, src: t.into() });
+        b.push(
+            body,
+            Inst::Mov {
+                dst: acc,
+                src: t.into(),
+            },
+        );
     });
     b.store(exit, acc.into(), MemRef::abs(scratch));
     exit
@@ -247,6 +298,7 @@ pub fn compute_loop(
 /// Transactional record update (WHISPER tatp/tpcc-style): pick a random
 /// record of `rec_words` words, read every field, then write `dirty_words`
 /// of them back modified.
+#[allow(clippy::too_many_arguments)]
 pub fn tx_update(
     b: &mut FunctionBuilder,
     bb: BlockId,
@@ -258,7 +310,13 @@ pub fn tx_update(
     seed: Word,
 ) -> BlockId {
     let state = b.vreg();
-    b.push(bb, Inst::Mov { dst: state, src: Operand::imm(seed) });
+    b.push(
+        bb,
+        Inst::Mov {
+            dst: state,
+            src: Operand::imm(seed),
+        },
+    );
     let (_, exit) = build_counted_loop(b, bb, Operand::imm(txs), |b, body, _i| {
         let nxt = lcg_step(b, body, state.into());
         let h = b.bin(body, BinOp::ShrL, nxt.into(), Operand::imm(11));
@@ -278,7 +336,13 @@ pub fn tx_update(
             b.store(body, nv.into(), MemRef::reg(rbase, (w * 8) as i64));
         }
         // two-phase LCG state commit
-        b.push(body, Inst::Mov { dst: state, src: nxt.into() });
+        b.push(
+            body,
+            Inst::Mov {
+                dst: state,
+                src: nxt.into(),
+            },
+        );
     });
     exit
 }
@@ -326,13 +390,25 @@ pub fn pointer_chase(
     seed: Word,
 ) -> BlockId {
     let cur = b.vreg();
-    b.push(bb, Inst::Mov { dst: cur, src: Operand::imm(seed) });
+    b.push(
+        bb,
+        Inst::Mov {
+            dst: cur,
+            src: Operand::imm(seed),
+        },
+    );
     let (_, exit) = build_counted_loop(b, bb, Operand::imm(steps), |b, body, i| {
         let addr = masked_addr(b, body, base, words_pow2, cur.into());
         let v = b.load(body, MemRef::reg(addr, 0));
         let mixed = b.bin(body, BinOp::Xor, v.into(), i.into());
         let nxt = lcg_step(b, body, mixed.into());
-        b.push(body, Inst::Mov { dst: cur, src: nxt.into() });
+        b.push(
+            body,
+            Inst::Mov {
+                dst: cur,
+                src: nxt.into(),
+            },
+        );
     });
     exit
 }
@@ -341,13 +417,16 @@ pub fn pointer_chase(
 /// an atomic fetch-add on a lock word.
 pub fn sync_point(b: &mut FunctionBuilder, bb: BlockId, lock_addr: Word) {
     let dst = b.vreg();
-    b.push(bb, Inst::AtomicRmw {
-        op: cwsp_ir::inst::AtomicOp::FetchAdd,
-        dst,
-        addr: MemRef::abs(lock_addr),
-        src: Operand::imm(1),
-        expected: Operand::imm(0),
-    });
+    b.push(
+        bb,
+        Inst::AtomicRmw {
+            op: cwsp_ir::inst::AtomicOp::FetchAdd,
+            dst,
+            addr: MemRef::abs(lock_addr),
+            src: Operand::imm(1),
+            expected: Operand::imm(0),
+        },
+    );
 }
 
 #[cfg(test)]

@@ -87,44 +87,72 @@ impl Workload {
     /// One-line behavioural sketch of what this stand-in models.
     pub fn description(&self) -> &'static str {
         match (self.suite, self.name) {
-            (Suite::Cpu2006, "astar") => "pathfinding: random graph walk + pointer chase over a 32 MB arena",
-            (Suite::Cpu2006, "bzip2") => "compression: sequential RMW stream + L1-resident histogram",
+            (Suite::Cpu2006, "astar") => {
+                "pathfinding: random graph walk + pointer chase over a 32 MB arena"
+            }
+            (Suite::Cpu2006, "bzip2") => {
+                "compression: sequential RMW stream + L1-resident histogram"
+            }
             (Suite::Cpu2006, "gobmk") => "game tree: dense ALU search with sparse board probes",
-            (Suite::Cpu2006, "h264ref") => "video: frame stencils, strided motion updates, DCT-ish compute",
-            (Suite::Cpu2006, "lbm") => "fluid: big-footprint write-heavy stencil sweeps (22% L1D misses in the paper)",
-            (Suite::Cpu2006, "libquan") => "quantum sim: streaming gate application over a large state vector",
-            (Suite::Cpu2006, "milc") => "lattice QCD: read-bandwidth-bound reduction with rare writes",
-            (Suite::Cpu2006, "namd") => "molecular dynamics: compute-dense inner loops, tiny footprint",
+            (Suite::Cpu2006, "h264ref") => {
+                "video: frame stencils, strided motion updates, DCT-ish compute"
+            }
+            (Suite::Cpu2006, "lbm") => {
+                "fluid: big-footprint write-heavy stencil sweeps (22% L1D misses in the paper)"
+            }
+            (Suite::Cpu2006, "libquan") => {
+                "quantum sim: streaming gate application over a large state vector"
+            }
+            (Suite::Cpu2006, "milc") => {
+                "lattice QCD: read-bandwidth-bound reduction with rare writes"
+            }
+            (Suite::Cpu2006, "namd") => {
+                "molecular dynamics: compute-dense inner loops, tiny footprint"
+            }
             (Suite::Cpu2006, "sjeng") => "chess: ALU search + transposition-table probes",
             (Suite::Cpu2006, "soplex") => "LP solver: sparse random reads, dense sequential writes",
             (Suite::Cpu2017, "dsjeng") => "deep chess search: compute + table probes",
-            (Suite::Cpu2017, "imagick") => "image ops: stencil passes bracketing heavy per-pixel compute",
+            (Suite::Cpu2017, "imagick") => {
+                "image ops: stencil passes bracketing heavy per-pixel compute"
+            }
             (Suite::Cpu2017, "lbm") => "fluid (2017 inputs): stencil + dense RMW sweep",
             (Suite::Cpu2017, "leela") => "go engine: MCTS pointer chases + playout compute",
             (Suite::Cpu2017, "nab") => "biosimulation: reductions + force-field compute",
             (Suite::Cpu2017, "namd") => "molecular dynamics (2017 inputs): longer compute phases",
             (Suite::Cpu2017, "xz") => "compression: dictionary probes, histogram, match scatter",
-            (Suite::MiniApps, "lulesh") => "hydrodynamics proxy: big-grid stencils + mesh RMW (pruning showcase)",
+            (Suite::MiniApps, "lulesh") => {
+                "hydrodynamics proxy: big-grid stencils + mesh RMW (pruning showcase)"
+            }
             (Suite::MiniApps, "xsbench") => "Monte Carlo proxy: random lookups over an 8 GB table",
-            (Suite::Whisper, "p") => "kv put (echo): hashed small-record transactions over NVM-range data",
+            (Suite::Whisper, "p") => {
+                "kv put (echo): hashed small-record transactions over NVM-range data"
+            }
             (Suite::Whisper, "c") => "ctree: path reads then node updates",
             (Suite::Whisper, "rb") => "rbtree: scattered read-modify-write rotations",
             (Suite::Whisper, "sps") => "swaps: random pair exchanges (2 reads + 2 writes each)",
             (Suite::Whisper, "tatp") => "telecom db: read-mostly transactions, small updates",
-            (Suite::Whisper, "tpcc") => "new-order: wide records, several dirty fields per tx + log append",
+            (Suite::Whisper, "tpcc") => {
+                "new-order: wide records, several dirty fields per tx + log append"
+            }
             (Suite::Splash3, "cholesky") => "factorization: strided then dense RMW with a barrier",
             (Suite::Splash3, "fft") => "butterfly stages: strided RMW passes with barriers",
-            (Suite::Splash3, "lu-cg") => "LU (contiguous): dense sequential write storm (worst case)",
+            (Suite::Splash3, "lu-cg") => {
+                "LU (contiguous): dense sequential write storm (worst case)"
+            }
             (Suite::Splash3, "lu-ncg") => "LU (non-contiguous): strided write storm",
             (Suite::Splash3, "ocg") => "ocean (contiguous): grid stencil sweeps + barrier",
             (Suite::Splash3, "oncg") => "ocean (non-contiguous): strided RMW + stencil",
             (Suite::Splash3, "radix") => "radix sort: counting pass then scatter write storm",
             (Suite::Splash3, "raytrace") => "raytracer: BVH pointer chase + framebuffer writes",
-            (Suite::Splash3, "water-ns") => "water n²: compute + dense molecule updates, lock-synced",
+            (Suite::Splash3, "water-ns") => {
+                "water n²: compute + dense molecule updates, lock-synced"
+            }
             (Suite::Splash3, "water-sp") => "water spatial: compute + strided cell updates",
             (Suite::Stamp, "kmeans") => "clustering: reduction + centroid RMW in critical sections",
             (Suite::Stamp, "ssca2") => "graph kernel: random edge RMW under locks",
-            (Suite::Stamp, "vacation") => "reservations: tree lookups + transactional record updates",
+            (Suite::Stamp, "vacation") => {
+                "reservations: tree lookups + transactional record updates"
+            }
             _ => "synthetic benchmark stand-in",
         }
     }
@@ -200,7 +228,10 @@ pub fn memory_intensive() -> Vec<Workload> {
         (Suite::Whisper, "tatp"),
         (Suite::Whisper, "tpcc"),
     ];
-    all().into_iter().filter(|w| KEYS.contains(&(w.suite, w.name))).collect()
+    all()
+        .into_iter()
+        .filter(|w| KEYS.contains(&(w.suite, w.name)))
+        .collect()
 }
 
 /// Look up a workload by its figure label.
@@ -241,7 +272,12 @@ mod tests {
     #[test]
     fn every_workload_validates_and_halts() {
         for w in all() {
-            assert!(w.module.validate().is_ok(), "{}: {:?}", w.name, w.module.validate());
+            assert!(
+                w.module.validate().is_ok(),
+                "{}: {:?}",
+                w.name,
+                w.module.validate()
+            );
             let out = cwsp_ir::interp::run(&w.module, 30_000_000)
                 .unwrap_or_else(|e| panic!("{}: {e}", w.name));
             assert!(
@@ -258,7 +294,11 @@ mod tests {
     fn every_workload_has_a_description() {
         for w in all() {
             let d = w.description();
-            assert!(d.len() > 10 && d != "synthetic benchmark stand-in", "{}", w.name);
+            assert!(
+                d.len() > 10 && d != "synthetic benchmark stand-in",
+                "{}",
+                w.name
+            );
         }
     }
 

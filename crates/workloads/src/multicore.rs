@@ -56,7 +56,12 @@ pub fn drf_partition_sum(max_cores: u64) -> (Module, Word, Word, Word) {
     let soff = b.bin(exit, BinOp::Shl, tid.into(), Operand::imm(3));
     let saddr = b.bin(exit, BinOp::Add, soff.into(), Operand::imm(sums_addr));
     let sum = b.load(exit, MemRef::reg(saddr, 0));
-    b.push(exit, Inst::Ret { val: Some(sum.into()) });
+    b.push(
+        exit,
+        Inst::Ret {
+            val: Some(sum.into()),
+        },
+    );
     let main = m.add_function(b.build());
     m.set_entry(main);
     (m, data_addr, sums_addr, counter_addr)
@@ -100,15 +105,25 @@ pub fn spinlock_ledger(max_cores: u64) -> (Module, Word, Word) {
             let crit = b.block();
             b.push(bb, Inst::Br { target: spin });
             let got = b.vreg();
-            b.push(spin, Inst::AtomicRmw {
-                op: cwsp_ir::inst::AtomicOp::Cas,
-                dst: got,
-                addr: MemRef::abs(lock_addr),
-                src: Operand::imm(1),
-                expected: Operand::imm(0),
-            });
+            b.push(
+                spin,
+                Inst::AtomicRmw {
+                    op: cwsp_ir::inst::AtomicOp::Cas,
+                    dst: got,
+                    addr: MemRef::abs(lock_addr),
+                    src: Operand::imm(1),
+                    expected: Operand::imm(0),
+                },
+            );
             // CAS returns the OLD value: 0 means we own the lock.
-            b.push(spin, Inst::CondBr { cond: got.into(), if_true: spin, if_false: crit });
+            b.push(
+                spin,
+                Inst::CondBr {
+                    cond: got.into(),
+                    if_true: spin,
+                    if_false: crit,
+                },
+            );
             // critical section: balance += amount; ops += 1
             let cur = b.load(crit, MemRef::abs(balance_addr));
             let nb = b.bin(crit, BinOp::Add, cur.into(), amount.into());
@@ -118,17 +133,25 @@ pub fn spinlock_ledger(max_cores: u64) -> (Module, Word, Word) {
             b.store(crit, no.into(), MemRef::abs(ops_addr));
             // unlock: release store via atomic swap back to 0
             let rel = b.vreg();
-            b.push(crit, Inst::AtomicRmw {
-                op: cwsp_ir::inst::AtomicOp::Swap,
-                dst: rel,
-                addr: MemRef::abs(lock_addr),
-                src: Operand::imm(0),
-                expected: Operand::imm(0),
-            });
+            b.push(
+                crit,
+                Inst::AtomicRmw {
+                    op: cwsp_ir::inst::AtomicOp::Swap,
+                    dst: rel,
+                    addr: MemRef::abs(lock_addr),
+                    src: Operand::imm(0),
+                    expected: Operand::imm(0),
+                },
+            );
             crit
         },
     );
-    b.push(exit, Inst::Ret { val: Some(amount.into()) });
+    b.push(
+        exit,
+        Inst::Ret {
+            val: Some(amount.into()),
+        },
+    );
     let main = m.add_function(b.build());
     m.set_entry(main);
     (m, balance_addr, ops_addr)
@@ -161,9 +184,11 @@ mod tests {
         use cwsp_sim::scheme::Scheme;
         let ncores = 3;
         let (m, balance, ops) = spinlock_ledger(ncores);
-        let mut cfg = SimConfig::default();
-        cfg.cores = ncores as usize;
-        let mut machine = Machine::new(&m, cfg, Scheme::Baseline);
+        let cfg = SimConfig {
+            cores: ncores as usize,
+            ..SimConfig::default()
+        };
+        let mut machine = Machine::new(&m, &cfg, Scheme::Baseline);
         machine.run(u64::MAX, None).unwrap();
         let mem = machine.arch_mem();
         assert_eq!(mem.load(balance), expected_balance(ncores));
@@ -176,9 +201,11 @@ mod tests {
         use cwsp_sim::machine::Machine;
         use cwsp_sim::scheme::Scheme;
         let (m, data, sums, counter) = drf_partition_sum(4);
-        let mut cfg = SimConfig::default();
-        cfg.cores = 4;
-        let mut machine = Machine::new(&m, cfg, Scheme::Baseline);
+        let cfg = SimConfig {
+            cores: 4,
+            ..SimConfig::default()
+        };
+        let mut machine = Machine::new(&m, &cfg, Scheme::Baseline);
         machine.run(u64::MAX, None).unwrap();
         let mem = machine.arch_mem();
         for tid in 0..4u64 {

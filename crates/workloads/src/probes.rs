@@ -20,18 +20,18 @@ pub const SCALE_SHIFT: u32 = 5;
 /// counts ×64 B give working sets from 64 KB (L3-capturable) to 8 MB
 /// (DRAM-cache-only), spanning every band of the scaled Fig 1 hierarchy.
 const PROBES: [(&str, Suite, u64); 12] = [
-    ("astar", Suite::Cpu2006, 1 << 15),   // 2 MB
-    ("lbm", Suite::Cpu2006, 1 << 15),     // 2 MB
-    ("libquan", Suite::Cpu2006, 1 << 13), // 512 KB
-    ("milc", Suite::Cpu2006, 1 << 16),    // 4 MB
-    ("lulesh", Suite::MiniApps, 1 << 14), // 1 MB
+    ("astar", Suite::Cpu2006, 1 << 15),    // 2 MB
+    ("lbm", Suite::Cpu2006, 1 << 15),      // 2 MB
+    ("libquan", Suite::Cpu2006, 1 << 13),  // 512 KB
+    ("milc", Suite::Cpu2006, 1 << 16),     // 4 MB
+    ("lulesh", Suite::MiniApps, 1 << 14),  // 1 MB
     ("xsbench", Suite::MiniApps, 1 << 17), // 8 MB
-    ("p", Suite::Whisper, 1 << 12),       // 256 KB
-    ("c", Suite::Whisper, 1 << 11),       // 128 KB
-    ("rb", Suite::Whisper, 1 << 13),      // 512 KB
-    ("sps", Suite::Whisper, 1 << 16),     // 4 MB
-    ("tatp", Suite::Whisper, 1 << 10),    // 64 KB
-    ("tpcc", Suite::Whisper, 1 << 17),    // 8 MB
+    ("p", Suite::Whisper, 1 << 12),        // 256 KB
+    ("c", Suite::Whisper, 1 << 11),        // 128 KB
+    ("rb", Suite::Whisper, 1 << 13),       // 512 KB
+    ("sps", Suite::Whisper, 1 << 16),      // 4 MB
+    ("tatp", Suite::Whisper, 1 << 10),     // 64 KB
+    ("tpcc", Suite::Whisper, 1 << 17),     // 8 MB
 ];
 
 /// Build the 12 hierarchy probes.
@@ -49,7 +49,12 @@ pub fn hierarchy_probes() -> Vec<Workload> {
                 checksum(b, bb, base);
                 bb
             });
-            Workload { name, suite, module, window: u64::MAX }
+            Workload {
+                name,
+                suite,
+                module,
+                window: u64::MAX,
+            }
         })
         .collect()
 }
@@ -64,7 +69,10 @@ mod tests {
             assert!(w.module.validate().is_ok(), "{}", w.name);
         }
         // Run only the smallest to keep the test fast.
-        let tatp = hierarchy_probes().into_iter().find(|w| w.name == "tatp").unwrap();
+        let tatp = hierarchy_probes()
+            .into_iter()
+            .find(|w| w.name == "tatp")
+            .unwrap();
         let out = cwsp_ir::interp::run(&tatp.module, 30_000_000).unwrap();
         assert!(out.steps > 3 * 256 * 10, "three sweeps of 256 iterations");
     }
@@ -76,7 +84,10 @@ mod tests {
         // At SCALE_SHIFT=5 the scaled Fig 1 hierarchy is 32 KB L2, 512 KB L3,
         // 4 MB L4, 128 MB DRAM cache — some probe must fall in each band.
         assert!(bytes.iter().any(|&b| b <= 512 << 10), "L3-capturable");
-        assert!(bytes.iter().any(|&b| b > (512 << 10) && b <= 4 << 20), "L4 band");
+        assert!(
+            bytes.iter().any(|&b| b > (512 << 10) && b <= 4 << 20),
+            "L4 band"
+        );
         assert!(bytes.iter().any(|&b| b > 4 << 20), "DRAM-cache band");
     }
 
@@ -88,9 +99,12 @@ mod tests {
         use cwsp_sim::config::SimConfig;
         use cwsp_sim::machine::Machine;
         use cwsp_sim::scheme::Scheme;
-        let w = hierarchy_probes().into_iter().find(|w| w.name == "tatp").unwrap();
+        let w = hierarchy_probes()
+            .into_iter()
+            .find(|w| w.name == "tatp")
+            .unwrap();
         let cfg = SimConfig::default().hierarchy_depth(5).scaled(SCALE_SHIFT);
-        let mut machine = Machine::new(&w.module, cfg, Scheme::Baseline);
+        let mut machine = Machine::new(&w.module, &cfg, Scheme::Baseline);
         let r = machine.run(u64::MAX, None).unwrap();
         let (h, m) = r.stats.dram_cache;
         assert!(h + m > 0, "reaches the DRAM cache");

@@ -14,108 +14,143 @@ use crate::kernels::*;
 use crate::{app, arena, checksum, Suite, Workload};
 
 fn w(name: &'static str, module: cwsp_ir::module::Module) -> Workload {
-    Workload { name, suite: Suite::Splash3, module, window: 120_000 }
+    Workload {
+        name,
+        suite: Suite::Splash3,
+        module,
+        window: 120_000,
+    }
 }
 
 /// Build all ten SPLASH-3 workloads.
 pub fn all() -> Vec<Workload> {
     vec![
-        w("cholesky", app("cholesky", |m, b, mut bb| {
-            let mat = arena(m, "matrix", L2);
-            let lock = arena(m, "lock", 1);
-            bb = rmw_sweep(b, bb, mat, L2, 17, 2_500);
-            sync_point(b, bb, lock);
-            bb = rmw_sweep(b, bb, mat, L2, 1, 2_500);
-            checksum(b, bb, mat);
-            bb
-        })),
-        w("fft", app("fft", |m, b, mut bb| {
-            let data = arena(m, "data", L2);
-            let lock = arena(m, "lock", 1);
-            // Butterfly-ish strided RMW passes with a barrier between stages.
-            for stage in 0..3u64 {
-                bb = rmw_sweep(b, bb, data, L2, 1 << (stage + 1), 1_600);
+        w(
+            "cholesky",
+            app("cholesky", |m, b, mut bb| {
+                let mat = arena(m, "matrix", L2);
+                let lock = arena(m, "lock", 1);
+                bb = rmw_sweep(b, bb, mat, L2, 17, 2_500);
                 sync_point(b, bb, lock);
-            }
-            checksum(b, bb, data);
-            bb
-        })),
-        w("lu-cg", app("lu-cg", |m, b, mut bb| {
-            let mat = arena(m, "matrix", L1);
-            let lock = arena(m, "lock", 1);
-            // Contiguous blocks: dense sequential writes, tiny regions.
-            bb = rmw_sweep_frac(b, bb, mat, L1, 1, 3_500, 2);
-            sync_point(b, bb, lock);
-            bb = rmw_sweep_frac(b, bb, mat, L1, 1, 3_500, 2);
-            checksum(b, bb, mat);
-            bb
-        })),
-        w("lu-ncg", app("lu-ncg", |m, b, mut bb| {
-            let mat = arena(m, "matrix", L2);
-            let lock = arena(m, "lock", 1);
-            bb = rmw_sweep_frac(b, bb, mat, L2, 33, 3_000, 2);
-            sync_point(b, bb, lock);
-            bb = rmw_sweep_frac(b, bb, mat, L2, 33, 3_000, 2);
-            checksum(b, bb, mat);
-            bb
-        })),
-        w("ocg", app("ocg", |m, b, mut bb| {
-            let grid = arena(m, "grid", L2);
-            let lock = arena(m, "lock", 1);
-            bb = stencil3(b, bb, grid, grid + (L2 / 2) * 8, 2_800);
-            sync_point(b, bb, lock);
-            bb = stencil3(b, bb, grid + (L2 / 2) * 8, grid, 2_800);
-            checksum(b, bb, grid + 8);
-            bb
-        })),
-        w("oncg", app("oncg", |m, b, mut bb| {
-            let grid = arena(m, "grid", L2);
-            let lock = arena(m, "lock", 1);
-            bb = rmw_sweep(b, bb, grid, L2, 9, 2_800);
-            sync_point(b, bb, lock);
-            bb = stencil3(b, bb, grid, grid + (L2 / 2) * 8, 2_500);
-            checksum(b, bb, grid);
-            bb
-        })),
-        w("radix", app("radix", |m, b, mut bb| {
-            let keys = arena(m, "keys", L2);
-            let buckets = arena(m, "buckets", L1);
-            let lock = arena(m, "lock", 1);
-            // Counting pass (dense RMW) then scatter pass (the write storm
-            // the paper blames for radix's overhead).
-            bb = rmw_sweep(b, bb, buckets, L1, 1, 2_500);
-            sync_point(b, bb, lock);
-            bb = scatter(b, bb, keys, keys + (L2 / 2) * 8, L2 / 2, 3_000);
-            checksum(b, bb, buckets);
-            bb
-        })),
-        w("raytrace", app("raytrace", |m, b, mut bb| {
-            let bvh = arena(m, "bvh", L2);
-            let fb = arena(m, "framebuf", L1);
-            bb = pointer_chase(b, bb, bvh, L2, 2_500, 0x8A7);
-            bb = rmw_sweep(b, bb, fb, L1, 1, 1_800);
-            checksum(b, bb, fb);
-            bb
-        })),
-        w("water-ns", app("water-ns", |m, b, mut bb| {
-            let mol = arena(m, "molecules", L1);
-            let lock = arena(m, "lock", 1);
-            bb = compute_loop(b, bb, mol, 450, 40);
-            bb = rmw_sweep_frac(b, bb, mol, L1, 1, 2_500, 2);
-            sync_point(b, bb, lock);
-            bb = rmw_sweep_frac(b, bb, mol, L1, 1, 2_000, 2);
-            checksum(b, bb, mol);
-            bb
-        })),
-        w("water-sp", app("water-sp", |m, b, mut bb| {
-            let cells = arena(m, "cells", L2);
-            let lock = arena(m, "lock", 1);
-            bb = compute_loop(b, bb, cells, 450, 40);
-            bb = rmw_sweep(b, bb, cells, L2, 5, 2_500);
-            sync_point(b, bb, lock);
-            checksum(b, bb, cells);
-            bb
-        })),
+                bb = rmw_sweep(b, bb, mat, L2, 1, 2_500);
+                checksum(b, bb, mat);
+                bb
+            }),
+        ),
+        w(
+            "fft",
+            app("fft", |m, b, mut bb| {
+                let data = arena(m, "data", L2);
+                let lock = arena(m, "lock", 1);
+                // Butterfly-ish strided RMW passes with a barrier between stages.
+                for stage in 0..3u64 {
+                    bb = rmw_sweep(b, bb, data, L2, 1 << (stage + 1), 1_600);
+                    sync_point(b, bb, lock);
+                }
+                checksum(b, bb, data);
+                bb
+            }),
+        ),
+        w(
+            "lu-cg",
+            app("lu-cg", |m, b, mut bb| {
+                let mat = arena(m, "matrix", L1);
+                let lock = arena(m, "lock", 1);
+                // Contiguous blocks: dense sequential writes, tiny regions.
+                bb = rmw_sweep_frac(b, bb, mat, L1, 1, 3_500, 2);
+                sync_point(b, bb, lock);
+                bb = rmw_sweep_frac(b, bb, mat, L1, 1, 3_500, 2);
+                checksum(b, bb, mat);
+                bb
+            }),
+        ),
+        w(
+            "lu-ncg",
+            app("lu-ncg", |m, b, mut bb| {
+                let mat = arena(m, "matrix", L2);
+                let lock = arena(m, "lock", 1);
+                bb = rmw_sweep_frac(b, bb, mat, L2, 33, 3_000, 2);
+                sync_point(b, bb, lock);
+                bb = rmw_sweep_frac(b, bb, mat, L2, 33, 3_000, 2);
+                checksum(b, bb, mat);
+                bb
+            }),
+        ),
+        w(
+            "ocg",
+            app("ocg", |m, b, mut bb| {
+                let grid = arena(m, "grid", L2);
+                let lock = arena(m, "lock", 1);
+                bb = stencil3(b, bb, grid, grid + (L2 / 2) * 8, 2_800);
+                sync_point(b, bb, lock);
+                bb = stencil3(b, bb, grid + (L2 / 2) * 8, grid, 2_800);
+                checksum(b, bb, grid + 8);
+                bb
+            }),
+        ),
+        w(
+            "oncg",
+            app("oncg", |m, b, mut bb| {
+                let grid = arena(m, "grid", L2);
+                let lock = arena(m, "lock", 1);
+                bb = rmw_sweep(b, bb, grid, L2, 9, 2_800);
+                sync_point(b, bb, lock);
+                bb = stencil3(b, bb, grid, grid + (L2 / 2) * 8, 2_500);
+                checksum(b, bb, grid);
+                bb
+            }),
+        ),
+        w(
+            "radix",
+            app("radix", |m, b, mut bb| {
+                let keys = arena(m, "keys", L2);
+                let buckets = arena(m, "buckets", L1);
+                let lock = arena(m, "lock", 1);
+                // Counting pass (dense RMW) then scatter pass (the write storm
+                // the paper blames for radix's overhead).
+                bb = rmw_sweep(b, bb, buckets, L1, 1, 2_500);
+                sync_point(b, bb, lock);
+                bb = scatter(b, bb, keys, keys + (L2 / 2) * 8, L2 / 2, 3_000);
+                checksum(b, bb, buckets);
+                bb
+            }),
+        ),
+        w(
+            "raytrace",
+            app("raytrace", |m, b, mut bb| {
+                let bvh = arena(m, "bvh", L2);
+                let fb = arena(m, "framebuf", L1);
+                bb = pointer_chase(b, bb, bvh, L2, 2_500, 0x8A7);
+                bb = rmw_sweep(b, bb, fb, L1, 1, 1_800);
+                checksum(b, bb, fb);
+                bb
+            }),
+        ),
+        w(
+            "water-ns",
+            app("water-ns", |m, b, mut bb| {
+                let mol = arena(m, "molecules", L1);
+                let lock = arena(m, "lock", 1);
+                bb = compute_loop(b, bb, mol, 450, 40);
+                bb = rmw_sweep_frac(b, bb, mol, L1, 1, 2_500, 2);
+                sync_point(b, bb, lock);
+                bb = rmw_sweep_frac(b, bb, mol, L1, 1, 2_000, 2);
+                checksum(b, bb, mol);
+                bb
+            }),
+        ),
+        w(
+            "water-sp",
+            app("water-sp", |m, b, mut bb| {
+                let cells = arena(m, "cells", L2);
+                let lock = arena(m, "lock", 1);
+                bb = compute_loop(b, bb, cells, 450, 40);
+                bb = rmw_sweep(b, bb, cells, L2, 5, 2_500);
+                sync_point(b, bb, lock);
+                checksum(b, bb, cells);
+                bb
+            }),
+        ),
     ]
 }
 

@@ -9,43 +9,57 @@ use crate::kernels::*;
 use crate::{app, arena, checksum, Suite, Workload};
 
 fn w(name: &'static str, module: cwsp_ir::module::Module) -> Workload {
-    Workload { name, suite: Suite::Stamp, module, window: 120_000 }
+    Workload {
+        name,
+        suite: Suite::Stamp,
+        module,
+        window: 120_000,
+    }
 }
 
 /// Build all three STAMP workloads.
 pub fn all() -> Vec<Workload> {
     vec![
-        w("kmeans", app("kmeans", |m, b, mut bb| {
-            let points = arena(m, "points", L2);
-            let centroids = arena(m, "centroids", L1);
-            let lock = arena(m, "lock", 1);
-            let out = arena(m, "out", 1);
-            bb = reduction(b, bb, points, L2, 3, 2_500, out);
-            sync_point(b, bb, lock);
-            bb = rmw_sweep(b, bb, centroids, L1, 1, 2_500);
-            sync_point(b, bb, lock);
-            bb = rmw_sweep(b, bb, centroids, L1, 1, 2_000);
-            checksum(b, bb, centroids);
-            bb
-        })),
-        w("ssca2", app("ssca2", |m, b, mut bb| {
-            let graph = arena(m, "graph", DRAM);
-            let lock = arena(m, "lock", 1);
-            bb = random_walk(b, bb, graph, DRAM, 2_600, 0x55CA, 2);
-            sync_point(b, bb, lock);
-            bb = random_walk(b, bb, graph, DRAM, 1_300, 0x55CB, 2);
-            checksum(b, bb, graph);
-            bb
-        })),
-        w("vacation", app("vacation", |m, b, mut bb| {
-            let db = arena(m, "reservations", DRAM);
-            let lock = arena(m, "lock", 1);
-            bb = pointer_chase(b, bb, db, DRAM, 1_600, 0xACA);
-            sync_point(b, bb, lock);
-            bb = tx_update(b, bb, db, DRAM / 8, 6, 3, 1_100, 0xACB);
-            checksum(b, bb, db);
-            bb
-        })),
+        w(
+            "kmeans",
+            app("kmeans", |m, b, mut bb| {
+                let points = arena(m, "points", L2);
+                let centroids = arena(m, "centroids", L1);
+                let lock = arena(m, "lock", 1);
+                let out = arena(m, "out", 1);
+                bb = reduction(b, bb, points, L2, 3, 2_500, out);
+                sync_point(b, bb, lock);
+                bb = rmw_sweep(b, bb, centroids, L1, 1, 2_500);
+                sync_point(b, bb, lock);
+                bb = rmw_sweep(b, bb, centroids, L1, 1, 2_000);
+                checksum(b, bb, centroids);
+                bb
+            }),
+        ),
+        w(
+            "ssca2",
+            app("ssca2", |m, b, mut bb| {
+                let graph = arena(m, "graph", DRAM);
+                let lock = arena(m, "lock", 1);
+                bb = random_walk(b, bb, graph, DRAM, 2_600, 0x55CA, 2);
+                sync_point(b, bb, lock);
+                bb = random_walk(b, bb, graph, DRAM, 1_300, 0x55CB, 2);
+                checksum(b, bb, graph);
+                bb
+            }),
+        ),
+        w(
+            "vacation",
+            app("vacation", |m, b, mut bb| {
+                let db = arena(m, "reservations", DRAM);
+                let lock = arena(m, "lock", 1);
+                bb = pointer_chase(b, bb, db, DRAM, 1_600, 0xACA);
+                sync_point(b, bb, lock);
+                bb = tx_update(b, bb, db, DRAM / 8, 6, 3, 1_100, 0xACB);
+                checksum(b, bb, db);
+                bb
+            }),
+        ),
     ]
 }
 

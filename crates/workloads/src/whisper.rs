@@ -11,61 +11,84 @@ use crate::kernels::*;
 use crate::{app, arena, checksum, Suite, Workload};
 
 fn w(name: &'static str, module: cwsp_ir::module::Module) -> Workload {
-    Workload { name, suite: Suite::Whisper, module, window: 120_000 }
+    Workload {
+        name,
+        suite: Suite::Whisper,
+        module,
+        window: 120_000,
+    }
 }
 
 /// Build all six WHISPER workloads.
 pub fn all() -> Vec<Workload> {
     vec![
-        w("p", app("p", |m, b, mut bb| {
-            // echo-style kv put: hash a key, write a small record.
-            let store = arena(m, "kvstore", NVM);
-            let lock = arena(m, "lock", 1);
-            bb = tx_update(b, bb, store, NVM / 8, 4, 2, 1_400, 0x9);
-            sync_point(b, bb, lock);
-            bb = tx_update(b, bb, store, NVM / 8, 4, 2, 1_400, 0xA);
-            checksum(b, bb, store);
-            bb
-        })),
-        w("c", app("c", |m, b, mut bb| {
-            // ctree: path reads then node update.
-            let tree = arena(m, "ctree", NVM);
-            bb = pointer_chase(b, bb, tree, NVM, 1_600, 0xC);
-            bb = tx_update(b, bb, tree, NVM / 16, 8, 3, 900, 0xC1);
-            checksum(b, bb, tree);
-            bb
-        })),
-        w("rb", app("rb", |m, b, mut bb| {
-            // rbtree: reads + rotations = scattered RMW bursts.
-            let tree = arena(m, "rbtree", NVM);
-            bb = random_walk(b, bb, tree, NVM, 2_400, 0x2B, 2);
-            checksum(b, bb, tree);
-            bb
-        })),
-        w("sps", app("sps", |m, b, mut bb| {
-            // random swaps: 2 reads + 2 writes per op.
-            let arr = arena(m, "array", NVM);
-            bb = scatter(b, bb, arr, arr + (NVM / 2) * 8, DRAM, 2_200);
-            checksum(b, bb, arr);
-            bb
-        })),
-        w("tatp", app("tatp", |m, b, mut bb| {
-            // read-mostly subscriber transactions with small updates.
-            let db = arena(m, "subscribers", NVM);
-            bb = tx_update(b, bb, db, NVM / 8, 6, 1, 1_500, 0x7A7);
-            bb = random_walk(b, bb, db, NVM, 900, 0x7A8, 16);
-            checksum(b, bb, db);
-            bb
-        })),
-        w("tpcc", app("tpcc", |m, b, mut bb| {
-            // new-order: wide records, several dirty fields per transaction.
-            let db = arena(m, "warehouse", NVM);
-            let log = arena(m, "txlog", DRAM);
-            bb = tx_update(b, bb, db, NVM / 16, 12, 6, 900, 0x7CC);
-            bb = rmw_sweep(b, bb, log, DRAM, 1, 900);
-            checksum(b, bb, db);
-            bb
-        })),
+        w(
+            "p",
+            app("p", |m, b, mut bb| {
+                // echo-style kv put: hash a key, write a small record.
+                let store = arena(m, "kvstore", NVM);
+                let lock = arena(m, "lock", 1);
+                bb = tx_update(b, bb, store, NVM / 8, 4, 2, 1_400, 0x9);
+                sync_point(b, bb, lock);
+                bb = tx_update(b, bb, store, NVM / 8, 4, 2, 1_400, 0xA);
+                checksum(b, bb, store);
+                bb
+            }),
+        ),
+        w(
+            "c",
+            app("c", |m, b, mut bb| {
+                // ctree: path reads then node update.
+                let tree = arena(m, "ctree", NVM);
+                bb = pointer_chase(b, bb, tree, NVM, 1_600, 0xC);
+                bb = tx_update(b, bb, tree, NVM / 16, 8, 3, 900, 0xC1);
+                checksum(b, bb, tree);
+                bb
+            }),
+        ),
+        w(
+            "rb",
+            app("rb", |m, b, mut bb| {
+                // rbtree: reads + rotations = scattered RMW bursts.
+                let tree = arena(m, "rbtree", NVM);
+                bb = random_walk(b, bb, tree, NVM, 2_400, 0x2B, 2);
+                checksum(b, bb, tree);
+                bb
+            }),
+        ),
+        w(
+            "sps",
+            app("sps", |m, b, mut bb| {
+                // random swaps: 2 reads + 2 writes per op.
+                let arr = arena(m, "array", NVM);
+                bb = scatter(b, bb, arr, arr + (NVM / 2) * 8, DRAM, 2_200);
+                checksum(b, bb, arr);
+                bb
+            }),
+        ),
+        w(
+            "tatp",
+            app("tatp", |m, b, mut bb| {
+                // read-mostly subscriber transactions with small updates.
+                let db = arena(m, "subscribers", NVM);
+                bb = tx_update(b, bb, db, NVM / 8, 6, 1, 1_500, 0x7A7);
+                bb = random_walk(b, bb, db, NVM, 900, 0x7A8, 16);
+                checksum(b, bb, db);
+                bb
+            }),
+        ),
+        w(
+            "tpcc",
+            app("tpcc", |m, b, mut bb| {
+                // new-order: wide records, several dirty fields per transaction.
+                let db = arena(m, "warehouse", NVM);
+                let log = arena(m, "txlog", DRAM);
+                bb = tx_update(b, bb, db, NVM / 16, 12, 6, 900, 0x7CC);
+                bb = rmw_sweep(b, bb, log, DRAM, 1, 900);
+                checksum(b, bb, db);
+                bb
+            }),
+        ),
     ]
 }
 

@@ -14,7 +14,10 @@ use cwsp::sim::scheme::Scheme;
 
 fn main() {
     let w = cwsp::workloads::by_name("xsbench").expect("workload");
-    println!("workload: {}/{} (random lookups over an 8 GB table)\n", w.suite, w.name);
+    println!(
+        "workload: {}/{} (random lookups over an 8 GB table)\n",
+        w.suite, w.name
+    );
     let compiled = CwspCompiler::new(CompileOptions::default()).compile(&w.module);
 
     println!(
@@ -22,11 +25,13 @@ fn main() {
         "device", "BW (GB/s)", "base cycles", "cWSP cycles", "slow"
     );
     for dev in CXL_DEVICES {
-        let mut cfg = SimConfig::default();
-        cfg.main_memory = MainMemory::Cxl(dev);
-        let mut bm = Machine::new(&w.module, cfg.clone(), Scheme::Baseline);
+        let cfg = SimConfig {
+            main_memory: MainMemory::Cxl(dev),
+            ..SimConfig::default()
+        };
+        let mut bm = Machine::new(&w.module, &cfg, Scheme::Baseline);
         let base = bm.run(u64::MAX, None).expect("baseline").stats.cycles;
-        let mut cm = Machine::new(&compiled.module, cfg, Scheme::cwsp());
+        let mut cm = Machine::new(&compiled.module, &cfg, Scheme::cwsp());
         let c = cm.run(u64::MAX, None).expect("cwsp").stats.cycles;
         println!(
             "{:<18} {:>10.1} {:>12} {:>12} {:>7.3}x",

@@ -21,10 +21,20 @@ fn main() {
     // buf = malloc(8); fill it via memset; then 10 iterations of:
     //   t = syscall(SYS_TIME); buf[t % 8] += t; syscall(SYS_WRITE, buf[t%8])
     let buf = b.call(e, rt.malloc, vec![Operand::imm(8)], true).unwrap();
-    b.call(e, rt.memset, vec![buf.into(), Operand::imm(5), Operand::imm(8)], false);
+    b.call(
+        e,
+        rt.memset,
+        vec![buf.into(), Operand::imm(5), Operand::imm(8)],
+        false,
+    );
     let (_, exit) = build_counted_loop(&mut b, e, Operand::imm(10), |b, bb, _i| {
         let t = b
-            .call(bb, rt.syscall, vec![Operand::imm(SYS_TIME), Operand::imm(0), Operand::imm(0)], true)
+            .call(
+                bb,
+                rt.syscall,
+                vec![Operand::imm(SYS_TIME), Operand::imm(0), Operand::imm(0)],
+                true,
+            )
             .unwrap();
         let slot = b.bin(bb, BinOp::And, t.into(), Operand::imm(7));
         let off = b.bin(bb, BinOp::Shl, slot.into(), Operand::imm(3));
@@ -32,10 +42,20 @@ fn main() {
         let v = b.load(bb, MemRef::reg(addr, 0));
         let nv = b.bin(bb, BinOp::Add, v.into(), t.into());
         b.store(bb, nv.into(), MemRef::reg(addr, 0));
-        b.call(bb, rt.syscall, vec![Operand::imm(SYS_WRITE), nv.into(), Operand::imm(0)], false);
+        b.call(
+            bb,
+            rt.syscall,
+            vec![Operand::imm(SYS_WRITE), nv.into(), Operand::imm(0)],
+            false,
+        );
     });
     let fin = b.load(exit, MemRef::reg(buf, 0));
-    b.push(exit, Inst::Ret { val: Some(fin.into()) });
+    b.push(
+        exit,
+        Inst::Ret {
+            val: Some(fin.into()),
+        },
+    );
     let main_fn = m.add_function(b.build());
     m.set_entry(main_fn);
 
@@ -54,7 +74,10 @@ fn main() {
         let rec = system
             .run_with_crash(crash_cycle, 10_000_000)
             .unwrap_or_else(|e| panic!("crash@{crash_cycle}: {e}"));
-        assert_eq!(rec.output, oracle.output, "kernel state diverged @ {crash_cycle}");
+        assert_eq!(
+            rec.output, oracle.output,
+            "kernel state diverged @ {crash_cycle}"
+        );
         assert_eq!(rec.return_value, oracle.return_value);
         checked += 1;
     }

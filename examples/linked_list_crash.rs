@@ -24,11 +24,8 @@ fn build_list_program() -> (Module, Word) {
     let e = b.entry();
     // Insert 24 nodes at the head (the body branches, so use the
     // multi-block loop helper).
-    let (_, exit) = cwsp::ir::builder::build_counted_loop_multi(
-        &mut b,
-        e,
-        Operand::imm(24),
-        |b, bb, i| {
+    let (_, exit) =
+        cwsp::ir::builder::build_counted_loop_multi(&mut b, e, Operand::imm(24), |b, bb, i| {
             // (1) allocate and fill the new node,
             // (2) link the old head back to it,
             // (3) publish it as the new head.
@@ -39,17 +36,19 @@ fn build_list_program() -> (Module, Word) {
             b.store(bb, i.into(), MemRef::reg(node, 16));
             let nonempty = b.block();
             let join = b.block();
-            b.push(bb, Inst::CondBr {
-                cond: old_head.into(),
-                if_true: nonempty,
-                if_false: join,
-            });
+            b.push(
+                bb,
+                Inst::CondBr {
+                    cond: old_head.into(),
+                    if_true: nonempty,
+                    if_false: join,
+                },
+            );
             b.store(nonempty, node.into(), MemRef::reg(old_head, 8));
             b.push(nonempty, Inst::Br { target: join });
             b.store(join, node.into(), MemRef::abs(head_addr));
             join
-        },
-    );
+        });
     // Walk the list, summing payloads, to make corruption observable.
     let head = b.load(exit, MemRef::abs(head_addr));
     let done = b.block();
@@ -58,22 +57,70 @@ fn build_list_program() -> (Module, Word) {
     let cur = b.vreg();
     let sum = b.vreg();
     let count = b.vreg();
-    b.push(exit, Inst::Mov { dst: cur, src: head.into() });
-    b.push(exit, Inst::Mov { dst: sum, src: Operand::imm(0) });
-    b.push(exit, Inst::Mov { dst: count, src: Operand::imm(0) });
+    b.push(
+        exit,
+        Inst::Mov {
+            dst: cur,
+            src: head.into(),
+        },
+    );
+    b.push(
+        exit,
+        Inst::Mov {
+            dst: sum,
+            src: Operand::imm(0),
+        },
+    );
+    b.push(
+        exit,
+        Inst::Mov {
+            dst: count,
+            src: Operand::imm(0),
+        },
+    );
     b.push(exit, Inst::Br { target: loop_h });
-    b.push(loop_h, Inst::CondBr { cond: cur.into(), if_true: body, if_false: done });
+    b.push(
+        loop_h,
+        Inst::CondBr {
+            cond: cur.into(),
+            if_true: body,
+            if_false: done,
+        },
+    );
     let payload = b.load(body, MemRef::reg(cur, 16));
     let s2 = b.bin(body, BinOp::Add, sum.into(), payload.into());
     let c2 = b.bin(body, BinOp::Add, count.into(), Operand::imm(1));
     let nxt = b.load(body, MemRef::reg(cur, 0));
-    b.push(body, Inst::Mov { dst: sum, src: s2.into() });
-    b.push(body, Inst::Mov { dst: count, src: c2.into() });
-    b.push(body, Inst::Mov { dst: cur, src: nxt.into() });
+    b.push(
+        body,
+        Inst::Mov {
+            dst: sum,
+            src: s2.into(),
+        },
+    );
+    b.push(
+        body,
+        Inst::Mov {
+            dst: count,
+            src: c2.into(),
+        },
+    );
+    b.push(
+        body,
+        Inst::Mov {
+            dst: cur,
+            src: nxt.into(),
+        },
+    );
     b.push(body, Inst::Br { target: loop_h });
     b.push(done, Inst::Out { val: count.into() });
     b.push(done, Inst::Out { val: sum.into() });
-    b.push(done, Inst::Ret { val: Some(sum.into()) });
+    b.push(
+        done,
+        Inst::Ret {
+            val: Some(sum.into()),
+        },
+    );
     let main_fn = m.add_function(b.build());
     m.set_entry(main_fn);
     (m, head_addr)

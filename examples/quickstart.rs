@@ -23,7 +23,12 @@ fn main() {
     });
     let v = b.load(exit, MemRef::global(acc, 0));
     b.push(exit, Inst::Out { val: v.into() });
-    b.push(exit, Inst::Ret { val: Some(v.into()) });
+    b.push(
+        exit,
+        Inst::Ret {
+            val: Some(v.into()),
+        },
+    );
     let main_fn = m.add_function(b.build());
     m.set_entry(main_fn);
 
@@ -45,7 +50,9 @@ fn main() {
     print!("\n{}", cwsp::compiler::report::render(&report));
 
     // Failure-free run on the simulated cWSP machine.
-    let run = system.simulate(Scheme::cwsp(), u64::MAX).expect("simulation");
+    let run = system
+        .simulate(Scheme::cwsp(), u64::MAX)
+        .expect("simulation");
     println!(
         "\nfailure-free: {} insts in {} cycles (IPC {:.2}), result = {:?}",
         run.stats.insts,
@@ -56,13 +63,18 @@ fn main() {
 
     // Cut power mid-run, then recover per the §VII protocol.
     let crash_cycle = run.stats.cycles / 2;
-    let rec = system.run_with_crash(crash_cycle, u64::MAX).expect("recovery");
+    let rec = system
+        .run_with_crash(crash_cycle, u64::MAX)
+        .expect("recovery");
     println!(
         "\npower failure @ cycle {crash_cycle}: reverted {} undo-log records, \
          replayed {} instructions",
         rec.reverted_records, rec.replayed_steps
     );
-    println!("recovered result = {:?} (same as failure-free)", rec.return_value);
+    println!(
+        "recovered result = {:?} (same as failure-free)",
+        rec.return_value
+    );
     assert_eq!(rec.return_value, run.return_value);
     assert_eq!(rec.output, run.output);
     println!("\ncrash consistency verified ✔");

@@ -19,7 +19,8 @@ fn main() {
     let oracle = cwsp::ir::interp::run(&compiled.module, u64::MAX / 2).expect("oracle");
 
     let crash_cycle = 12_345;
-    let mut machine = Machine::new(&compiled.module, SimConfig::default(), Scheme::cwsp());
+    let cfg_ = SimConfig::default();
+    let mut machine = Machine::new(&compiled.module, &cfg_, Scheme::cwsp());
     machine.enable_trace(4096);
     let r = machine.run(u64::MAX, Some(crash_cycle)).expect("run");
     assert_eq!(r.end, RunEnd::PowerFailure);
@@ -30,8 +31,7 @@ fn main() {
     let image = machine.into_crash_image();
     println!(
         "\ncrash image: {} undo records reverted, resume = {:?}",
-        image.reverted_records,
-        image.resume[0].1
+        image.reverted_records, image.resume[0].1
     );
     let rec = recover(&compiled, image, 0, u64::MAX / 2).expect("recovery");
     println!(

@@ -12,7 +12,9 @@ use cwsp::sim::machine::Machine;
 use cwsp::sim::scheme::Scheme;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "radix".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "radix".to_string());
     let w = cwsp::workloads::by_name(&name)
         .unwrap_or_else(|| panic!("unknown workload {name} (try lbm, radix, tpcc, kmeans…)"));
     println!("workload: {}/{}", w.suite, w.name);
@@ -26,13 +28,23 @@ fn main() {
 
     // Baseline runs the original binary; persistence schemes run the
     // compiled one (the paper normalizes the same way).
-    let mut base_machine = Machine::new(&w.module, cfg.clone(), Scheme::Baseline);
+    let mut base_machine = Machine::new(&w.module, &cfg, Scheme::Baseline);
     let base = base_machine.run(u64::MAX, None).expect("baseline").stats;
-    println!("\n{:<14} {:>12} {:>8} {:>10} {:>12}", "scheme", "cycles", "slow", "IPC", "NVM writes");
-    println!("{:<14} {:>12} {:>8.3} {:>10.2} {:>12}", "baseline", base.cycles, 1.0, base.ipc(), "-");
+    println!(
+        "\n{:<14} {:>12} {:>8} {:>10} {:>12}",
+        "scheme", "cycles", "slow", "IPC", "NVM writes"
+    );
+    println!(
+        "{:<14} {:>12} {:>8.3} {:>10.2} {:>12}",
+        "baseline",
+        base.cycles,
+        1.0,
+        base.ipc(),
+        "-"
+    );
 
     for scheme in [Scheme::cwsp(), Scheme::Capri, Scheme::ReplayCache] {
-        let mut machine = Machine::new(&compiled.module, cfg.clone(), scheme);
+        let mut machine = Machine::new(&compiled.module, &cfg, scheme);
         let s = machine.run(u64::MAX, None).expect("run").stats;
         println!(
             "{:<14} {:>12} {:>8.3} {:>10.2} {:>12}",

@@ -37,10 +37,20 @@ fn syscall_workload_survives_crashes() {
     let e = b.entry();
     let (_, exit) = build_counted_loop(&mut b, e, Operand::imm(6), |b, bb, _i| {
         let p = b
-            .call(bb, rt.syscall, vec![Operand::imm(SYS_BRK), Operand::imm(2), Operand::imm(0)], true)
+            .call(
+                bb,
+                rt.syscall,
+                vec![Operand::imm(SYS_BRK), Operand::imm(2), Operand::imm(0)],
+                true,
+            )
             .unwrap();
         let t = b
-            .call(bb, rt.syscall, vec![Operand::imm(SYS_TIME), Operand::imm(0), Operand::imm(0)], true)
+            .call(
+                bb,
+                rt.syscall,
+                vec![Operand::imm(SYS_TIME), Operand::imm(0), Operand::imm(0)],
+                true,
+            )
             .unwrap();
         b.store(bb, t.into(), MemRef::reg(p, 0));
         b.push(bb, Inst::Out { val: t.into() });

@@ -12,11 +12,15 @@ use cwsp::sim::scheme::Scheme;
 fn crash_image_of(
     name: &str,
     cycle: u64,
-) -> (cwsp::compiler::pipeline::Compiled, cwsp::sim::machine::CrashImage) {
+) -> (
+    cwsp::compiler::pipeline::Compiled,
+    cwsp::sim::machine::CrashImage,
+) {
     let w = cwsp::workloads::by_name(name).unwrap();
     let compiled = CwspCompiler::new(CompileOptions::default()).compile(&w.module);
     let image = {
-        let mut machine = Machine::new(&compiled.module, SimConfig::default(), Scheme::cwsp());
+        let cfg_ = SimConfig::default();
+        let mut machine = Machine::new(&compiled.module, &cfg_, Scheme::cwsp());
         let r = machine.run(u64::MAX, Some(cycle)).unwrap();
         assert_eq!(r.end, RunEnd::PowerFailure);
         machine.into_crash_image()
@@ -30,8 +34,12 @@ fn corrupted_frame_chain_is_reported_not_panicked() {
     // Tear the frame record the resume point hangs off: point the previous-
     // frame link at itself, producing a cyclic chain.
     let fb = image.resume[0].0.frame_base;
-    image.nvm.store(fb + cwsp::ir::interp::frame::PREV_BASE * 8, fb);
-    image.nvm.store(fb + cwsp::ir::interp::frame::CALLER_FUNC * 8, 1);
+    image
+        .nvm
+        .store(fb + cwsp::ir::interp::frame::PREV_BASE * 8, fb);
+    image
+        .nvm
+        .store(fb + cwsp::ir::interp::frame::CALLER_FUNC * 8, 1);
     let err = recover(&compiled, image, 0, 1_000_000);
     match err {
         Err(RecoveryError::BadImage(_)) | Err(RecoveryError::Trap(_)) => {}
@@ -51,8 +59,12 @@ fn bogus_caller_function_id_is_caught() {
     let (compiled, mut image) = crash_image_of("tatp", 20_000);
     let fb = image.resume[0].0.frame_base;
     // Claim an absurd caller function id in the frame record.
-    image.nvm.store(fb + cwsp::ir::interp::frame::CALLER_FUNC * 8, 999_999);
-    image.nvm.store(fb + cwsp::ir::interp::frame::PREV_BASE * 8, fb - 512);
+    image
+        .nvm
+        .store(fb + cwsp::ir::interp::frame::CALLER_FUNC * 8, 999_999);
+    image
+        .nvm
+        .store(fb + cwsp::ir::interp::frame::PREV_BASE * 8, fb - 512);
     let r = recover(&compiled, image, 0, 1_000_000);
     assert!(r.is_err(), "corrupt caller id must not recover silently");
 }
@@ -75,7 +87,8 @@ fn checkpoint_slot_corruption_is_detected_by_divergence() {
     let oracle = cwsp::ir::interp::run(&compiled.module, u64::MAX / 2).unwrap();
     let mut any_diverged = false;
     for cycle in [30_000u64, 60_000, 90_000] {
-        let mut machine = Machine::new(&compiled.module, SimConfig::default(), Scheme::cwsp());
+        let cfg_ = SimConfig::default();
+        let mut machine = Machine::new(&compiled.module, &cfg_, Scheme::cwsp());
         let r = machine.run(u64::MAX, Some(cycle)).unwrap();
         if r.end != RunEnd::PowerFailure {
             continue;

@@ -8,13 +8,7 @@ use cwsp::sim::machine::{Machine, RunEnd};
 use cwsp::sim::scheme::Scheme;
 use cwsp::workloads::multicore::{drf_partition_sum, expected_sum, PARTITION_WORDS};
 
-fn verify_final_state(
-    mem: &cwsp::ir::Memory,
-    data: u64,
-    sums: u64,
-    counter: u64,
-    ncores: u64,
-) {
+fn verify_final_state(mem: &cwsp::ir::Memory, data: u64, sums: u64, counter: u64, ncores: u64) {
     for tid in 0..ncores {
         assert_eq!(mem.load(sums + tid * 8), expected_sum(tid), "sums[{tid}]");
         for i in [0u64, 1, PARTITION_WORDS - 1] {
@@ -33,9 +27,11 @@ fn four_core_drf_program_completes_under_cwsp() {
     let ncores = 4u64;
     let (m, data, sums, counter) = drf_partition_sum(ncores);
     let compiled = CwspCompiler::new(CompileOptions::default()).compile(&m);
-    let mut cfg = SimConfig::default();
-    cfg.cores = ncores as usize;
-    let mut machine = Machine::new(&compiled.module, cfg, Scheme::cwsp());
+    let cfg = SimConfig {
+        cores: ncores as usize,
+        ..SimConfig::default()
+    };
+    let mut machine = Machine::new(&compiled.module, &cfg, Scheme::cwsp());
     let r = machine.run(u64::MAX, None).unwrap();
     assert_eq!(r.end, RunEnd::Completed);
     verify_final_state(machine.arch_mem(), data, sums, counter, ncores);
@@ -49,9 +45,11 @@ fn four_core_drf_program_survives_crash_sweep() {
     let (m, data, sums, counter) = drf_partition_sum(ncores);
     let compiled = CwspCompiler::new(CompileOptions::default()).compile(&m);
     for crash_cycle in [50u64, 400, 1_500, 4_000, 9_000, 20_000] {
-        let mut cfg = SimConfig::default();
-        cfg.cores = ncores as usize;
-        let mut machine = Machine::new(&compiled.module, cfg, Scheme::cwsp());
+        let cfg = SimConfig {
+            cores: ncores as usize,
+            ..SimConfig::default()
+        };
+        let mut machine = Machine::new(&compiled.module, &cfg, Scheme::cwsp());
         let r = machine.run(u64::MAX, Some(crash_cycle)).unwrap();
         if r.end != RunEnd::PowerFailure {
             continue; // finished before the crash point
@@ -71,9 +69,11 @@ fn eight_core_crash_recovers() {
     let ncores = 8u64;
     let (m, data, sums, counter) = drf_partition_sum(ncores);
     let compiled = CwspCompiler::new(CompileOptions::default()).compile(&m);
-    let mut cfg = SimConfig::default();
-    cfg.cores = ncores as usize;
-    let mut machine = Machine::new(&compiled.module, cfg, Scheme::cwsp());
+    let cfg = SimConfig {
+        cores: ncores as usize,
+        ..SimConfig::default()
+    };
+    let mut machine = Machine::new(&compiled.module, &cfg, Scheme::cwsp());
     let r = machine.run(u64::MAX, Some(3_000)).unwrap();
     assert_eq!(r.end, RunEnd::PowerFailure);
     let image = machine.into_crash_image();
@@ -88,9 +88,11 @@ fn spinlock_ledger_survives_crashes() {
     let (m, balance, ops) = spinlock_ledger(ncores);
     let compiled = CwspCompiler::new(CompileOptions::default()).compile(&m);
     for crash_cycle in [200u64, 2_000, 8_000, 25_000] {
-        let mut cfg = SimConfig::default();
-        cfg.cores = ncores as usize;
-        let mut machine = Machine::new(&compiled.module, cfg, Scheme::cwsp());
+        let cfg = SimConfig {
+            cores: ncores as usize,
+            ..SimConfig::default()
+        };
+        let mut machine = Machine::new(&compiled.module, &cfg, Scheme::cwsp());
         let r = machine.run(u64::MAX, Some(crash_cycle)).unwrap();
         if r.end != RunEnd::PowerFailure {
             continue;
@@ -103,6 +105,10 @@ fn spinlock_ledger_survives_crashes() {
             expected_balance(ncores),
             "ledger balance after crash@{crash_cycle}"
         );
-        assert_eq!(rec.memory.load(ops), ncores * DEPOSITS, "op count @ {crash_cycle}");
+        assert_eq!(
+            rec.memory.load(ops),
+            ncores * DEPOSITS,
+            "op count @ {crash_cycle}"
+        );
     }
 }

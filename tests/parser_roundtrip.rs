@@ -9,9 +9,13 @@ use cwsp::ir::pretty::fmt_module;
 fn all_workloads_roundtrip_through_text() {
     for w in cwsp::workloads::all() {
         let text = fmt_module(&w.module);
-        let parsed = parse_module(&text)
-            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
-        assert!(parsed.validate().is_ok(), "{}: {:?}", w.name, parsed.validate());
+        let parsed = parse_module(&text).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert!(
+            parsed.validate().is_ok(),
+            "{}: {:?}",
+            w.name,
+            parsed.validate()
+        );
         assert_eq!(fmt_module(&parsed), text, "{}: not a fixpoint", w.name);
     }
 }

@@ -17,8 +17,9 @@ fn all_38_workloads_compile_and_preserve_semantics() {
             .unwrap_or_else(|e| panic!("{}: compiled: {e}", w.name));
         assert_eq!(out.return_value, oracle.return_value, "{}", w.name);
         assert_eq!(out.output, oracle.output, "{}", w.name);
-        let diffs =
-            out.memory.diff_where(&oracle.memory, cwsp::ir::layout::is_program_data, 4);
+        let diffs = out
+            .memory
+            .diff_where(&oracle.memory, cwsp::ir::layout::is_program_data, 4);
         assert!(diffs.is_empty(), "{}: data diverged {diffs:x?}", w.name);
     }
 }
@@ -42,7 +43,11 @@ fn unpruned_compilation_also_preserves_semantics() {
     for name in ["fft", "vacation", "sps"] {
         let w = cwsp::workloads::by_name(name).unwrap();
         let oracle = cwsp::ir::interp::run(&w.module, STEP_BUDGET).unwrap();
-        let c = CwspCompiler::new(CompileOptions { pruning: false, ..Default::default() }).compile(&w.module);
+        let c = CwspCompiler::new(CompileOptions {
+            pruning: false,
+            ..Default::default()
+        })
+        .compile(&w.module);
         let out = cwsp::ir::interp::run(&c.module, STEP_BUDGET).unwrap();
         assert_eq!(out.output, oracle.output, "{name}");
         verify::check_slices(&c.module, &c.slices, STEP_BUDGET)
@@ -87,9 +92,19 @@ fn runtime_library_composes_with_workload_style_code() {
         b.store(bb, i.into(), MemRef::reg(a, 0));
     });
     let v = b.load(exit, MemRef::reg(buf, 120));
-    b.call(exit, rt.syscall, vec![Operand::imm(SYS_WRITE), v.into(), Operand::imm(0)], false);
+    b.call(
+        exit,
+        rt.syscall,
+        vec![Operand::imm(SYS_WRITE), v.into(), Operand::imm(0)],
+        false,
+    );
     b.call(exit, rt.free, vec![buf.into()], false);
-    b.push(exit, Inst::Ret { val: Some(v.into()) });
+    b.push(
+        exit,
+        Inst::Ret {
+            val: Some(v.into()),
+        },
+    );
     let f = m.add_function(b.build());
     m.set_entry(f);
 

@@ -7,14 +7,17 @@ use cwsp::sim::scheme::{CwspFeatures, Scheme};
 
 fn compiled(name: &str) -> cwsp::ir::Module {
     let w = cwsp::workloads::by_name(name).unwrap();
-    CwspCompiler::new(CompileOptions::default()).compile(&w.module).module
+    CwspCompiler::new(CompileOptions::default())
+        .compile(&w.module)
+        .module
 }
 
 #[test]
 fn nvm_converges_to_architectural_state_at_completion() {
     for name in ["fft", "tatp", "h264ref"] {
         let m = compiled(name);
-        let mut machine = Machine::new(&m, SimConfig::default(), Scheme::cwsp());
+        let cfg_ = SimConfig::default();
+        let mut machine = Machine::new(&m, &cfg_, Scheme::cwsp());
         let r = machine.run(u64::MAX, None).unwrap();
         assert_eq!(r.end, RunEnd::Completed, "{name}");
         let diffs = machine.nvm().diff_where(
@@ -22,17 +25,22 @@ fn nvm_converges_to_architectural_state_at_completion() {
             |a| !cwsp::ir::layout::is_hw_meta_addr(a),
             8,
         );
-        assert!(diffs.is_empty(), "{name}: NVM lag at completion: {diffs:x?}");
+        assert!(
+            diffs.is_empty(),
+            "{name}: NVM lag at completion: {diffs:x?}"
+        );
     }
 }
 
 #[test]
 fn all_schemes_complete_and_order_sensibly() {
     let w = cwsp::workloads::by_name("ocg").unwrap();
-    let m = CwspCompiler::new(CompileOptions::default()).compile(&w.module).module;
+    let m = CwspCompiler::new(CompileOptions::default())
+        .compile(&w.module)
+        .module;
     let cfg = SimConfig::default();
     let cycles = |scheme| {
-        let mut machine = Machine::new(&m, cfg.clone(), scheme);
+        let mut machine = Machine::new(&m, &cfg, scheme);
         machine.run(u64::MAX, None).unwrap().stats.cycles
     };
     let base = cycles(Scheme::Baseline);
@@ -45,16 +53,20 @@ fn all_schemes_complete_and_order_sensibly() {
 #[test]
 fn disabling_speculation_never_speeds_things_up() {
     let w = cwsp::workloads::by_name("lu-cg").unwrap();
-    let m = CwspCompiler::new(CompileOptions::default()).compile(&w.module).module;
+    let m = CwspCompiler::new(CompileOptions::default())
+        .compile(&w.module)
+        .module;
     let cfg = SimConfig::default();
     let with_spec = {
-        let mut machine = Machine::new(&m, cfg.clone(), Scheme::cwsp());
+        let mut machine = Machine::new(&m, &cfg, Scheme::cwsp());
         machine.run(u64::MAX, None).unwrap().stats.cycles
     };
     let without = {
-        let mut f = CwspFeatures::default();
-        f.mc_speculation = false;
-        let mut machine = Machine::new(&m, cfg, Scheme::Cwsp(f));
+        let f = CwspFeatures {
+            mc_speculation: false,
+            ..CwspFeatures::default()
+        };
+        let mut machine = Machine::new(&m, &cfg, Scheme::Cwsp(f));
         machine.run(u64::MAX, None).unwrap().stats.cycles
     };
     assert!(without >= with_spec, "no-spec {without} < spec {with_spec}");
@@ -63,11 +75,15 @@ fn disabling_speculation_never_speeds_things_up() {
 #[test]
 fn smaller_rbt_is_never_faster() {
     let w = cwsp::workloads::by_name("radix").unwrap();
-    let m = CwspCompiler::new(CompileOptions::default()).compile(&w.module).module;
+    let m = CwspCompiler::new(CompileOptions::default())
+        .compile(&w.module)
+        .module;
     let run = |rbt: usize| {
-        let mut cfg = SimConfig::default();
-        cfg.rbt_entries = rbt;
-        let mut machine = Machine::new(&m, cfg, Scheme::cwsp());
+        let cfg = SimConfig {
+            rbt_entries: rbt,
+            ..SimConfig::default()
+        };
+        let mut machine = Machine::new(&m, &cfg, Scheme::cwsp());
         machine.run(u64::MAX, None).unwrap().stats.cycles
     };
     let tiny = run(2);
@@ -78,11 +94,15 @@ fn smaller_rbt_is_never_faster() {
 #[test]
 fn bandwidth_monotonicity() {
     let w = cwsp::workloads::by_name("lulesh").unwrap();
-    let m = CwspCompiler::new(CompileOptions::default()).compile(&w.module).module;
+    let m = CwspCompiler::new(CompileOptions::default())
+        .compile(&w.module)
+        .module;
     let run = |bw: f64| {
-        let mut cfg = SimConfig::default();
-        cfg.persist_path_gbps = bw;
-        let mut machine = Machine::new(&m, cfg, Scheme::cwsp());
+        let cfg = SimConfig {
+            persist_path_gbps: bw,
+            ..SimConfig::default()
+        };
+        let mut machine = Machine::new(&m, &cfg, Scheme::cwsp());
         machine.run(u64::MAX, None).unwrap().stats.cycles
     };
     let slow = run(1.0);
@@ -93,19 +113,29 @@ fn bandwidth_monotonicity() {
 #[test]
 fn multicore_machine_runs_workloads() {
     let w = cwsp::workloads::by_name("water-sp").unwrap();
-    let m = CwspCompiler::new(CompileOptions::default()).compile(&w.module).module;
-    let mut cfg = SimConfig::default();
-    cfg.cores = 4;
-    let mut machine = Machine::new(&m, cfg, Scheme::cwsp());
+    let m = CwspCompiler::new(CompileOptions::default())
+        .compile(&w.module)
+        .module;
+    let cfg = SimConfig {
+        cores: 4,
+        ..SimConfig::default()
+    };
+    let mut machine = Machine::new(&m, &cfg, Scheme::cwsp());
     let r = machine.run(u64::MAX, None).unwrap();
     assert_eq!(r.end, RunEnd::Completed);
     assert!(machine.all_halted());
     // All cores execute; dynamic instruction count scales with core count.
     let single = {
-        let mut machine = Machine::new(&m, SimConfig::default(), Scheme::cwsp());
+        let cfg_ = SimConfig::default();
+        let mut machine = Machine::new(&m, &cfg_, Scheme::cwsp());
         machine.run(u64::MAX, None).unwrap().stats.insts
     };
-    assert!(r.stats.insts > 3 * single, "4 cores ran {} vs single {}", r.stats.insts, single);
+    assert!(
+        r.stats.insts > 3 * single,
+        "4 cores ran {} vs single {}",
+        r.stats.insts,
+        single
+    );
 }
 
 #[test]
@@ -116,11 +146,15 @@ fn region_statistics_match_paper_characteristics() {
     let mut sizes = Vec::new();
     for name in ["lbm", "tpcc", "namd"] {
         let m = compiled(name);
-        let mut machine = Machine::new(&m, SimConfig::default(), Scheme::cwsp());
+        let cfg_ = SimConfig::default();
+        let mut machine = Machine::new(&m, &cfg_, Scheme::cwsp());
         let r = machine.run(u64::MAX, None).unwrap();
         sizes.push(r.stats.avg_region_insts());
     }
     for s in &sizes {
-        assert!(*s > 5.0 && *s < 200.0, "region size out of regime: {sizes:?}");
+        assert!(
+            *s > 5.0 && *s < 200.0,
+            "region size out of regime: {sizes:?}"
+        );
     }
 }
