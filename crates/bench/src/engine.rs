@@ -51,6 +51,11 @@ pub struct Counters {
     pub memo_hits: u64,
     /// Requests served from the on-disk cache.
     pub disk_hits: u64,
+    /// Dynamic instructions actually simulated (cache hits contribute 0).
+    pub sim_insts: u64,
+    /// Per-opcode dynamic instruction mix over the simulated instructions,
+    /// indexed like [`cwsp_ir::decoded::OPCODE_NAMES`].
+    pub sim_op_mix: [u64; cwsp_ir::decoded::OPCODE_COUNT],
 }
 
 impl Counters {
@@ -73,6 +78,8 @@ pub struct Engine {
     jobs: AtomicU64,
     memo_hits: AtomicU64,
     disk_hits: AtomicU64,
+    sim_insts: AtomicU64,
+    sim_op_mix: [AtomicU64; cwsp_ir::decoded::OPCODE_COUNT],
 }
 
 impl Engine {
@@ -85,6 +92,8 @@ impl Engine {
             jobs: AtomicU64::new(0),
             memo_hits: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
+            sim_insts: AtomicU64::new(0),
+            sim_op_mix: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 
@@ -94,6 +103,8 @@ impl Engine {
             jobs: self.jobs.load(Ordering::Relaxed),
             memo_hits: self.memo_hits.load(Ordering::Relaxed),
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            sim_insts: self.sim_insts.load(Ordering::Relaxed),
+            sim_op_mix: std::array::from_fn(|i| self.sim_op_mix[i].load(Ordering::Relaxed)),
         }
     }
 
@@ -151,7 +162,12 @@ impl Engine {
             Outcome::Disk => {
                 self.disk_hits.fetch_add(1, Ordering::Relaxed);
             }
-            Outcome::Ran => {}
+            Outcome::Ran => {
+                self.sim_insts.fetch_add(s.insts, Ordering::Relaxed);
+                for (slot, &c) in self.sim_op_mix.iter().zip(&s.op_mix) {
+                    slot.fetch_add(c, Ordering::Relaxed);
+                }
+            }
         }
         s.clone()
     }
@@ -284,7 +300,22 @@ pub fn harness_main(figure: &str, body: impl FnOnce()) {
         jobs: after.jobs - before.jobs,
         memo_hits: after.memo_hits - before.memo_hits,
         disk_hits: after.disk_hits - before.disk_hits,
+        sim_insts: after.sim_insts - before.sim_insts,
+        sim_op_mix: std::array::from_fn(|i| after.sim_op_mix[i] - before.sim_op_mix[i]),
     };
+    let secs = wall.as_secs_f64();
+    let steps_per_sec = if secs > 0.0 {
+        delta.sim_insts as f64 / secs
+    } else {
+        0.0
+    };
+    let op_mix = Value::Obj(
+        cwsp_ir::decoded::OPCODE_NAMES
+            .iter()
+            .zip(delta.sim_op_mix)
+            .map(|(name, n)| ((*name).to_string(), Value::Int(n)))
+            .collect(),
+    );
     let entry = Value::Obj(vec![
         ("wall_ms".into(), Value::Int(wall.as_millis() as u64)),
         ("jobs".into(), Value::Int(delta.jobs)),
@@ -295,6 +326,12 @@ pub fn harness_main(figure: &str, body: impl FnOnce()) {
             Value::Float((delta.hit_rate() * 1e4).round() / 1e4),
         ),
         ("workers".into(), Value::Int(worker_count() as u64)),
+        ("sim_insts".into(), Value::Int(delta.sim_insts)),
+        (
+            "steps_per_sec".into(),
+            Value::Float((steps_per_sec * 10.0).round() / 10.0),
+        ),
+        ("op_mix".into(), op_mix),
     ]);
     let path = match std::env::var("CWSP_HARNESS_JSON") {
         Ok(p) if !p.is_empty() => PathBuf::from(p),
@@ -382,6 +419,10 @@ fn stats_to_json(s: &SimStats) -> Value {
             "region_size_hist".into(),
             Value::Arr(s.region_size_hist.iter().map(|&n| Value::Int(n)).collect()),
         ),
+        (
+            "op_mix".into(),
+            Value::Arr(s.op_mix.iter().map(|&n| Value::Int(n)).collect()),
+        ),
     ])
 }
 
@@ -394,6 +435,14 @@ fn stats_from_json(v: &Value) -> Option<SimStats> {
     }
     let mut region_size_hist = [0u64; 7];
     for (slot, item) in region_size_hist.iter_mut().zip(hist_v) {
+        *slot = item.as_u64()?;
+    }
+    let mix_v = v.get("op_mix")?.as_arr()?;
+    if mix_v.len() != cwsp_ir::decoded::OPCODE_COUNT {
+        return None;
+    }
+    let mut op_mix = [0u64; cwsp_ir::decoded::OPCODE_COUNT];
+    for (slot, item) in op_mix.iter_mut().zip(mix_v) {
         *slot = item.as_u64()?;
     }
     Some(SimStats {
@@ -424,6 +473,7 @@ fn stats_from_json(v: &Value) -> Option<SimStats> {
         log_appends: v.get("log_appends")?.as_u64()?,
         peak_live_logs: v.get("peak_live_logs")?.as_u64()? as usize,
         region_size_hist,
+        op_mix,
     })
 }
 
@@ -474,6 +524,7 @@ mod tests {
         s.dram_cache = (104, 105);
         s.peak_live_logs = 99;
         s.region_size_hist = [1, 2, 3, 4, 5, 6, 7];
+        s.op_mix = std::array::from_fn(|i| 200 + i as u64);
         let text = stats_to_json(&s).to_pretty();
         let back = stats_from_json(&json::parse(&text).unwrap()).unwrap();
         assert_eq!(back, s);

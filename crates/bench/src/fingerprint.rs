@@ -18,7 +18,8 @@ use std::hash::Hasher;
 
 /// Bump when simulator or compiler semantics change in a way that should
 /// invalidate previously cached results (folded into every disk-cache key).
-pub const CACHE_VERSION: u64 = 1;
+/// Version 2: `SimStats` grew the per-opcode `op_mix` field.
+pub const CACHE_VERSION: u64 = 2;
 
 /// Incrementally hashes heterogeneous fields into one stable u64.
 #[derive(Debug, Default)]

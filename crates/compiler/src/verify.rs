@@ -37,11 +37,14 @@ pub fn check_antidependence(module: &Module, max_steps: u64) -> Result<(), Strin
     let mut interp = Interp::new(module, 0, &mut mem).map_err(|e| e.to_string())?;
     let mut loaded: HashSet<Word> = HashSet::new();
     let mut region_seq = 0u64;
+    let mut eff = StepEffect::default();
     for _ in 0..max_steps {
         if interp.is_halted() {
             break;
         }
-        let eff = interp.step(&mut mem).map_err(|e| e.to_string())?;
+        interp
+            .step_into(&mut mem, &mut eff)
+            .map_err(|e| e.to_string())?;
         check_effect(&eff, &mut loaded, region_seq)?;
         if eff.boundary.is_some() {
             region_seq += 1;
@@ -95,11 +98,14 @@ pub fn check_slices(module: &Module, slices: &SliceTable, max_steps: u64) -> Res
     let mut mem = cwsp_ir::memory::Memory::new();
     let mut interp = Interp::new(module, core, &mut mem).map_err(|e| e.to_string())?;
     let mut boundaries_checked = 0u64;
+    let mut eff = StepEffect::default();
     for _ in 0..max_steps {
         if interp.is_halted() {
             break;
         }
-        let eff = interp.step(&mut mem).map_err(|e| e.to_string())?;
+        interp
+            .step_into(&mut mem, &mut eff)
+            .map_err(|e| e.to_string())?;
         let Some(b) = eff.boundary else { continue };
         let Some(region) = b.static_region else {
             continue;

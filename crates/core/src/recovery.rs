@@ -16,7 +16,7 @@
 //! persistence means there is nothing else to restore.
 
 use cwsp_compiler::pipeline::Compiled;
-use cwsp_ir::interp::{Interp, InterpError, ResumeKind};
+use cwsp_ir::interp::{Interp, InterpError, ResumeKind, StepEffect};
 use cwsp_ir::memory::Memory;
 use cwsp_ir::types::Word;
 use cwsp_sim::machine::CrashImage;
@@ -100,11 +100,12 @@ pub fn recover(
     // Step 3: restart from the beginning of the oldest unpersisted region.
     let mut output = output;
     let mut replayed = 0u64;
+    let mut eff = StepEffect::default();
     while !interp.is_halted() {
         if replayed >= max_steps {
             return Err(RecoveryError::StepLimit(max_steps));
         }
-        let eff = interp.step(&mut mem).map_err(|e| match e {
+        interp.step_into(&mut mem, &mut eff).map_err(|e| match e {
             InterpError::Trap(m) => RecoveryError::Trap(m),
             other => RecoveryError::Trap(other.to_string()),
         })?;
@@ -171,6 +172,7 @@ pub fn recover_multicore(
         interps.push(interp);
     }
     let mut replayed = 0u64;
+    let mut eff = StepEffect::default();
     loop {
         let mut any = false;
         for interp in interps.iter_mut() {
@@ -181,7 +183,7 @@ pub fn recover_multicore(
                 return Err(RecoveryError::StepLimit(max_steps));
             }
             interp
-                .step(&mut mem)
+                .step_into(&mut mem, &mut eff)
                 .map_err(|e| RecoveryError::Trap(e.to_string()))?;
             replayed += 1;
             any = true;

@@ -1,4 +1,4 @@
-//! The reference interpreter and its step-effect stream.
+//! The interpreter and its step-effect stream.
 //!
 //! The interpreter executes one IR instruction per [`Interp::step`] call and
 //! reports everything the outside world could observe in a [`StepEffect`]:
@@ -11,6 +11,19 @@
 //!   the cWSP persistence hardware to each effect, maintains a separate NVM
 //!   image that lags architectural state, and can cut power at any cycle.
 //!
+//! ## Execution core
+//!
+//! [`Interp`] executes from a [`DecodedModule`] — the module lowered once
+//! into a flat `Copy` micro-op array (see [`crate::decoded`]) — so the
+//! steady-state path performs no heap allocation: fetch is an array read,
+//! call argument/save lists are pool slices, argument values go through a
+//! reused scratch buffer, and popped frames recycle their register files.
+//! Callers that step in a loop should use [`Interp::step_into`] with a
+//! reused [`StepEffect`] to keep the effect buffers allocation-free too;
+//! [`Interp::step`] is the convenience wrapper that returns a fresh effect.
+//! The tree-walking executable specification these semantics are checked
+//! against lives in [`crate::reference`].
+//!
 //! ## Calls, frames, and persistence
 //!
 //! All cross-frame state lives in (persistent) stack memory (see
@@ -20,13 +33,15 @@
 //! stores riding the persist path, power-failure recovery can rebuild the
 //! whole call stack from NVM — [`Interp::resume`] does exactly that.
 
+use crate::decoded::{DecAddr, DecodedInst, DecodedModule, PoolRange, OPCODE_COUNT};
 use crate::function::{BlockId, InstIdx};
-use crate::inst::{AtomicOp, Inst, MemRef, Operand};
+use crate::inst::{AtomicOp, Inst, Operand};
 use crate::layout;
 use crate::memory::Memory;
 use crate::module::{FuncId, Module};
 use crate::types::{Reg, RegionId, Word};
 use std::fmt;
+use std::sync::Arc;
 
 /// Frame-record header layout (word offsets from `frame_base`).
 pub mod frame {
@@ -146,7 +161,7 @@ pub struct StepEffect {
 }
 
 impl StepEffect {
-    fn new(kind: EffectKind) -> Self {
+    pub(crate) fn new(kind: EffectKind) -> Self {
         StepEffect {
             kind,
             reads: Vec::new(),
@@ -154,6 +169,14 @@ impl StepEffect {
             boundary: None,
             out: None,
         }
+    }
+}
+
+/// An empty ALU effect — the scratch buffer callers pass to
+/// [`Interp::step_into`].
+impl Default for StepEffect {
+    fn default() -> Self {
+        StepEffect::new(EffectKind::Alu)
     }
 }
 
@@ -182,11 +205,18 @@ impl std::error::Error for InterpError {}
 
 /// One activation record (the volatile register file; the persistent twin
 /// lives in stack memory).
+///
+/// `pc`/`limit` cache the flat decoded range of the current block: `pc` is
+/// the next micro-op, `limit` the block's end (reaching it without a
+/// terminator is the "fell off block" trap). `block`/`idx` are kept in sync
+/// for resume points and diagnostics.
 #[derive(Debug, Clone)]
 struct Frame {
     func: FuncId,
     block: BlockId,
     idx: InstIdx,
+    pc: u32,
+    limit: u32,
     regs: Vec<Word>,
     frame_base: Word,
     sp: Word,
@@ -208,11 +238,20 @@ pub struct Outcome {
 /// The stepping interpreter.
 pub struct Interp<'m> {
     module: &'m Module,
+    dec: Arc<DecodedModule>,
     frames: Vec<Frame>,
+    /// Register files of popped frames, recycled by the next `Call` so the
+    /// steady-state call path allocates nothing.
+    free_regs: Vec<Vec<Word>>,
+    /// Reused buffer for evaluated call arguments.
+    arg_scratch: Vec<Word>,
     core: usize,
     halted: bool,
     return_value: Option<Word>,
     steps: u64,
+    /// Executed-instruction counts per opcode (see
+    /// [`crate::decoded::OPCODE_NAMES`]).
+    op_counts: [u64; OPCODE_COUNT],
 }
 
 impl<'m> Interp<'m> {
@@ -222,12 +261,26 @@ impl<'m> Interp<'m> {
     /// # Errors
     /// [`InterpError::NoEntry`] if the module has no entry function.
     pub fn new(module: &'m Module, core: usize, mem: &mut Memory) -> Result<Self, InterpError> {
+        Self::new_shared(module, Arc::new(DecodedModule::new(module)), core, mem)
+    }
+
+    /// Like [`Interp::new`], but executing from an existing decode of
+    /// `module` (a multicore simulation decodes once and shares).
+    ///
+    /// # Errors
+    /// [`InterpError::NoEntry`] if the module has no entry function.
+    pub fn new_shared(
+        module: &'m Module,
+        dec: Arc<DecodedModule>,
+        core: usize,
+        mem: &mut Memory,
+    ) -> Result<Self, InterpError> {
         for g in module.globals() {
             for (i, &v) in g.init.iter().enumerate() {
                 mem.store(g.addr + i as Word * 8, v);
             }
         }
-        Self::with_memory(module, core, mem)
+        Self::with_args_shared(module, dec, core, mem, &[])
     }
 
     /// Create an interpreter over an existing memory (global initializers are
@@ -255,6 +308,31 @@ impl<'m> Interp<'m> {
         mem: &mut Memory,
         args: &[Word],
     ) -> Result<Self, InterpError> {
+        Self::with_args_shared(
+            module,
+            Arc::new(DecodedModule::new(module)),
+            core,
+            mem,
+            args,
+        )
+    }
+
+    /// Like [`Interp::with_args`], but executing from an existing decode.
+    ///
+    /// # Errors
+    /// [`InterpError::NoEntry`] if the module has no entry function.
+    pub fn with_args_shared(
+        module: &'m Module,
+        dec: Arc<DecodedModule>,
+        core: usize,
+        mem: &mut Memory,
+        args: &[Word],
+    ) -> Result<Self, InterpError> {
+        debug_assert_eq!(
+            dec.op_count(),
+            module.inst_count(),
+            "decode does not match module"
+        );
         let entry = module.entry().ok_or(InterpError::NoEntry)?;
         let f = module.function(entry);
         let nargs = args.len().min(f.param_count as usize) as u64;
@@ -263,11 +341,15 @@ impl<'m> Interp<'m> {
         let base = top - size;
         let mut interp = Interp {
             module,
+            dec,
             frames: Vec::new(),
+            free_regs: Vec::new(),
+            arg_scratch: Vec::new(),
             core,
             halted: false,
             return_value: None,
             steps: 0,
+            op_counts: [0; OPCODE_COUNT],
         };
         // Entry frame record (so recovery inside `main` can walk the stack).
         mem.store(base + frame::PREV_BASE * 8, 0);
@@ -279,10 +361,13 @@ impl<'m> Interp<'m> {
             mem.store(base + (frame::SAVES + i as u64) * 8, a);
             regs[i] = a;
         }
+        let (pc, limit) = interp.dec.block_range(entry, f.entry());
         interp.frames.push(Frame {
             func: entry,
             block: f.entry(),
             idx: 0,
+            pc,
+            limit,
             regs,
             frame_base: base,
             sp: base,
@@ -307,11 +392,15 @@ impl<'m> Interp<'m> {
     ) -> Result<Self, InterpError> {
         let mut interp = Interp {
             module,
+            dec: Arc::new(DecodedModule::new(module)),
             frames: Vec::new(),
+            free_regs: Vec::new(),
+            arg_scratch: Vec::new(),
             core,
             halted: false,
             return_value: None,
             steps: 0,
+            op_counts: [0; OPCODE_COUNT],
         };
         // Walk frame records from innermost to outermost, then reverse.
         let mut chain = Vec::new();
@@ -345,14 +434,18 @@ impl<'m> Interp<'m> {
             let idx = mem.load(inner_base + frame::CALLER_IDX * 8) as InstIdx;
             let sp = mem.load(inner_base + frame::CALLER_SP * 8);
             let reg_count = module.function(func).reg_count as usize;
-            interp.frames.push(Frame {
+            let mut f = Frame {
                 func,
                 block,
                 idx,
+                pc: 0,
+                limit: 0,
                 regs: vec![0; reg_count],
                 frame_base: outer_base,
                 sp,
-            });
+            };
+            interp.locate_frame(&mut f)?;
+            interp.frames.push(f);
         }
         // Innermost frame: the resumed region's frame.
         let func = module.function(resume.func);
@@ -360,6 +453,8 @@ impl<'m> Interp<'m> {
             func: resume.func,
             block: resume.block,
             idx: resume.idx,
+            pc: 0,
+            limit: 0,
             regs: vec![0; func.reg_count as usize],
             frame_base: resume.frame_base,
             sp: resume.sp,
@@ -402,8 +497,27 @@ impl<'m> Interp<'m> {
                 frame.idx += 1;
             }
         }
+        interp.locate_frame(&mut frame)?;
         interp.frames.push(frame);
         Ok(interp)
+    }
+
+    /// Fill in a reconstructed frame's decoded `pc`/`limit` from its
+    /// `(func, block, idx)` position. An `idx` beyond the block end clamps to
+    /// `limit`, so the next step reports the same "fell off block" trap the
+    /// tree-walking interpreter raised.
+    fn locate_frame(&self, frame: &mut Frame) -> Result<(), InterpError> {
+        let f = self.module.function(frame.func);
+        if frame.block.index() >= f.blocks.len() {
+            return Err(InterpError::Trap(format!(
+                "bad block {} in resumed frame of {}",
+                frame.block, f.name
+            )));
+        }
+        let (start, end) = self.dec.block_range(frame.func, frame.block);
+        frame.pc = (start as u64 + frame.idx as u64).min(end as u64) as u32;
+        frame.limit = end;
+        Ok(())
     }
 
     /// Write register `r` of the innermost frame (used by the recovery runtime
@@ -436,6 +550,12 @@ impl<'m> Interp<'m> {
     /// Dynamic instructions executed so far.
     pub fn steps(&self) -> u64 {
         self.steps
+    }
+
+    /// Executed-instruction counts per opcode, indexed like
+    /// [`crate::decoded::OPCODE_NAMES`].
+    pub fn op_counts(&self) -> &[u64; OPCODE_COUNT] {
+        &self.op_counts
     }
 
     /// Current call depth (1 = inside the entry function).
@@ -477,6 +597,7 @@ impl<'m> Interp<'m> {
         }
     }
 
+    #[inline]
     fn eval(&self, op: Operand) -> Word {
         match op {
             Operand::Reg(r) => self.frames.last().expect("no frame").regs[r.index()],
@@ -484,171 +605,141 @@ impl<'m> Interp<'m> {
         }
     }
 
-    fn addr_of(&self, m: &MemRef) -> Result<Word, InterpError> {
-        let base = self.module.resolve_addr(self.eval(m.base));
-        let addr = base.wrapping_add(m.offset as Word);
+    #[inline]
+    fn addr_of(&self, a: DecAddr) -> Result<Word, InterpError> {
+        let addr = match a {
+            DecAddr::Abs(w) => w,
+            DecAddr::Reg { base, offset } => {
+                let v = self.frames.last().expect("no frame").regs[base.index()];
+                self.dec.resolve_addr(v).wrapping_add(offset as Word)
+            }
+        };
         if !addr.is_multiple_of(8) {
             return Err(InterpError::Trap(format!("unaligned access at {addr:#x}")));
         }
         Ok(addr)
     }
 
+    #[inline]
     fn set(&mut self, r: Reg, v: Word) {
         self.frames.last_mut().expect("no frame").regs[r.index()] = v;
     }
 
-    /// Execute one instruction.
+    /// Redirect the innermost frame to the start of `target`.
+    #[inline]
+    fn branch(&mut self, target: BlockId) {
+        let func = self.frames.last().expect("no frame").func;
+        let (start, end) = self.dec.block_range(func, target);
+        let fr = self.frames.last_mut().expect("no frame");
+        fr.block = target;
+        fr.idx = 0;
+        fr.pc = start;
+        fr.limit = end;
+    }
+
+    /// Execute one instruction, returning a freshly allocated effect.
+    ///
+    /// Convenience wrapper over [`Interp::step_into`]; stepping loops should
+    /// prefer `step_into` with a reused buffer.
     ///
     /// # Errors
     /// Traps on unaligned accesses, malformed control flow, or stepping a
     /// halted program.
     pub fn step(&mut self, mem: &mut Memory) -> Result<StepEffect, InterpError> {
+        let mut eff = StepEffect::default();
+        self.step_into(mem, &mut eff)?;
+        Ok(eff)
+    }
+
+    /// Execute one instruction, writing its observable effect into `eff`
+    /// (cleared first; its buffers keep their capacity, so a reused effect
+    /// makes the steady-state step path allocation-free).
+    ///
+    /// # Errors
+    /// Traps on unaligned accesses, malformed control flow, or stepping a
+    /// halted program.
+    pub fn step_into(&mut self, mem: &mut Memory, eff: &mut StepEffect) -> Result<(), InterpError> {
+        eff.kind = EffectKind::Alu;
+        eff.reads.clear();
+        eff.writes.clear();
+        eff.boundary = None;
+        eff.out = None;
         if self.halted {
             return Err(InterpError::Trap("step after halt".into()));
         }
         let frame = self.frames.last().expect("no frame");
-        let func = self.module.function(frame.func);
-        let block = func.block(frame.block);
-        let Some(inst) = block.insts.get(frame.idx) else {
+        if frame.pc >= frame.limit {
             return Err(InterpError::Trap(format!(
                 "fell off block {} in {}",
-                frame.block, func.name
+                frame.block,
+                self.module.function(frame.func).name
             )));
-        };
-        let inst = inst.clone();
+        }
+        let inst = self.dec.op(frame.pc);
         self.steps += 1;
+        self.op_counts[inst.opcode()] += 1;
 
-        let mut eff;
         let mut advanced = false;
-        match &inst {
-            Inst::Binary { op, dst, lhs, rhs } => {
-                eff = StepEffect::new(EffectKind::Alu);
-                let v = op.eval(self.eval(*lhs), self.eval(*rhs));
-                self.set(*dst, v);
+        match inst {
+            DecodedInst::Binary { op, dst, lhs, rhs } => {
+                let v = op.eval(self.eval(lhs), self.eval(rhs));
+                self.set(dst, v);
             }
-            Inst::Mov { dst, src } => {
-                eff = StepEffect::new(EffectKind::Alu);
-                let v = self.eval(*src);
-                self.set(*dst, v);
+            DecodedInst::Mov { dst, src } => {
+                let v = self.eval(src);
+                self.set(dst, v);
             }
-            Inst::Load { dst, addr } => {
-                eff = StepEffect::new(EffectKind::Load);
+            DecodedInst::Load { dst, addr } => {
+                eff.kind = EffectKind::Load;
                 let a = self.addr_of(addr)?;
                 let v = mem.load(a);
                 eff.reads.push(a);
-                self.set(*dst, v);
+                self.set(dst, v);
             }
-            Inst::Store { src, addr } => {
-                eff = StepEffect::new(EffectKind::Store);
+            DecodedInst::Store { src, addr } => {
+                eff.kind = EffectKind::Store;
                 let a = self.addr_of(addr)?;
-                let v = self.eval(*src);
+                let v = self.eval(src);
                 mem.store(a, v);
                 eff.writes.push((a, v));
             }
-            Inst::Br { target } => {
-                eff = StepEffect::new(EffectKind::Alu);
-                let fr = self.frames.last_mut().expect("no frame");
-                fr.block = *target;
-                fr.idx = 0;
+            DecodedInst::Br { target } => {
+                self.branch(target);
                 advanced = true;
             }
-            Inst::CondBr {
+            DecodedInst::CondBr {
                 cond,
                 if_true,
                 if_false,
             } => {
-                eff = StepEffect::new(EffectKind::Alu);
-                let t = self.eval(*cond) != 0;
-                let fr = self.frames.last_mut().expect("no frame");
-                fr.block = if t { *if_true } else { *if_false };
-                fr.idx = 0;
+                let t = self.eval(cond) != 0;
+                self.branch(if t { if_true } else { if_false });
                 advanced = true;
             }
-            Inst::Call {
+            DecodedInst::Call {
                 func: callee,
                 args,
                 ret: _,
-                save_regs,
+                saves,
             } => {
-                eff = StepEffect::new(EffectKind::Call);
-                if callee.index() >= self.module.function_count() {
-                    return Err(InterpError::Trap(format!("call to unknown {callee}")));
-                }
-                if self.frames.len() >= 4096 {
-                    return Err(InterpError::Trap("call stack overflow".into()));
-                }
-                let callee_fn = self.module.function(*callee);
-                let arg_vals: Vec<Word> = args.iter().map(|a| self.eval(*a)).collect();
-                if arg_vals.len() < callee_fn.param_count as usize {
-                    return Err(InterpError::Trap(format!(
-                        "call to {} with {} args, needs {}",
-                        callee_fn.name,
-                        arg_vals.len(),
-                        callee_fn.param_count
-                    )));
-                }
-                let fr = self.frames.last().expect("no frame");
-                let (cur_func, cur_block, cur_idx, cur_base, cur_sp) =
-                    (fr.func, fr.block, fr.idx, fr.frame_base, fr.sp);
-                let nsave = save_regs.len() as u64;
-                let nargs = arg_vals.len() as u64;
-                let size = frame::size_words(nsave, nargs) * 8;
-                let base = cur_sp - size;
-                // Spill phase: frame record + saves + args, all real stores.
-                let mut w = |mem: &mut Memory, off: u64, v: Word| {
-                    mem.store(base + off * 8, v);
-                    eff.writes.push((base + off * 8, v));
-                };
-                w(mem, frame::PREV_BASE, cur_base);
-                w(mem, frame::CALLER_FUNC, cur_func.0 as Word);
-                w(mem, frame::CALLER_BLOCK, cur_block.0 as Word);
-                w(mem, frame::CALLER_IDX, cur_idx as Word);
-                w(mem, frame::CALLER_SP, cur_sp);
-                w(mem, frame::NSAVE, nsave);
-                w(mem, frame::NARGS, nargs);
-                let saves: Vec<Word> = {
-                    let fr = self.frames.last().expect("no frame");
-                    save_regs.iter().map(|r| fr.regs[r.index()]).collect()
-                };
-                for (i, v) in saves.iter().enumerate() {
-                    w(mem, frame::SAVES + i as u64, *v);
-                }
-                for (i, v) in arg_vals.iter().enumerate() {
-                    w(mem, frame::SAVES + nsave + i as u64, *v);
-                }
-                // Enter the callee; parameters arrive in registers (the memory
-                // copy above exists for recovery).
-                let mut regs = vec![0; callee_fn.reg_count as usize];
-                for (i, v) in arg_vals
-                    .iter()
-                    .enumerate()
-                    .take(callee_fn.param_count as usize)
-                {
-                    regs[i] = *v;
-                }
-                self.frames.push(Frame {
-                    func: *callee,
-                    block: callee_fn.entry(),
-                    idx: 0,
-                    regs,
-                    frame_base: base,
-                    sp: base,
-                });
+                eff.kind = EffectKind::Call;
+                self.exec_call(mem, eff, callee, args, saves)?;
                 advanced = true;
                 eff.boundary = Some(BoundaryInfo {
                     static_region: None,
                     resume: self.here(ResumeKind::FuncEntry),
                 });
             }
-            Inst::Ret { val } => {
-                eff = StepEffect::new(EffectKind::Ret);
+            DecodedInst::Ret { val } => {
+                eff.kind = EffectKind::Ret;
                 let v = val.map(|v| self.eval(v)).unwrap_or(0);
                 let callee = self.frames.pop().expect("no frame");
                 if self.frames.is_empty() {
                     self.halted = true;
                     self.return_value = Some(v);
+                    self.free_regs.push(callee.regs);
                     eff.kind = EffectKind::Halt;
-                    return Ok(eff);
+                    return Ok(());
                 }
                 // Store the return value into the callee's frame record so a
                 // post-call crash can recover it.
@@ -658,26 +749,25 @@ impl<'m> Interp<'m> {
                 // Restore phase: reload save_regs from memory (ensures
                 // recovered and normal execution behave identically), then the
                 // return value register.
-                let caller = self.frames.last().expect("no frame");
-                let call_inst =
-                    self.module.function(caller.func).block(caller.block).insts[caller.idx].clone();
-                let Inst::Call { ret, save_regs, .. } = &call_inst else {
+                let caller_pc = self.frames.last().expect("no frame").pc;
+                let DecodedInst::Call { ret, saves, .. } = self.dec.op(caller_pc) else {
                     return Err(InterpError::Trap("return to a non-call site".into()));
                 };
-                let mut loads = Vec::new();
-                for (i, r) in save_regs.iter().enumerate() {
+                for i in 0..saves.len as usize {
+                    let r = self.dec.saves(saves)[i];
                     let a = callee.frame_base + (frame::SAVES + i as u64) * 8;
                     let sv = mem.load(a);
-                    loads.push(a);
-                    self.set(*r, sv);
+                    eff.reads.push(a);
+                    self.set(r, sv);
                 }
                 if let Some(r) = ret {
-                    loads.push(rv_addr);
-                    self.set(*r, v);
+                    eff.reads.push(rv_addr);
+                    self.set(r, v);
                 }
-                eff.reads = loads;
+                self.free_regs.push(callee.regs);
                 let fr = self.frames.last_mut().expect("no frame");
                 fr.idx += 1; // step past the Call
+                fr.pc += 1;
                 advanced = true;
                 // The post-call region begins here; its resume point records
                 // the Call instruction's position.
@@ -688,19 +778,19 @@ impl<'m> Interp<'m> {
                     resume: rp,
                 });
             }
-            Inst::AtomicRmw {
+            DecodedInst::AtomicRmw {
                 op,
                 dst,
                 addr,
                 src,
                 expected,
             } => {
-                eff = StepEffect::new(EffectKind::Atomic);
+                eff.kind = EffectKind::Atomic;
                 let a = self.addr_of(addr)?;
                 let old = mem.load(a);
                 eff.reads.push(a);
-                let s = self.eval(*src);
-                let e = self.eval(*expected);
+                let s = self.eval(src);
+                let e = self.eval(expected);
                 let new = match op {
                     AtomicOp::FetchAdd => Some(old.wrapping_add(s)),
                     AtomicOp::Swap => Some(s),
@@ -710,42 +800,128 @@ impl<'m> Interp<'m> {
                     mem.store(a, n);
                     eff.writes.push((a, n));
                 }
-                self.set(*dst, old);
+                self.set(dst, old);
             }
-            Inst::Fence => {
-                eff = StepEffect::new(EffectKind::Fence);
+            DecodedInst::Fence => {
+                eff.kind = EffectKind::Fence;
             }
-            Inst::Boundary { id } => {
-                eff = StepEffect::new(EffectKind::Boundary);
+            DecodedInst::Boundary { id } => {
+                eff.kind = EffectKind::Boundary;
                 let fr = self.frames.last_mut().expect("no frame");
                 fr.idx += 1;
+                fr.pc += 1;
                 advanced = true;
                 eff.boundary = Some(BoundaryInfo {
-                    static_region: Some(*id),
+                    static_region: Some(id),
                     resume: self.here(ResumeKind::Normal),
                 });
             }
-            Inst::Ckpt { reg } => {
-                eff = StepEffect::new(EffectKind::Ckpt);
-                let a = layout::ckpt_slot_addr(self.core, *reg);
-                let v = self.reg(*reg);
+            DecodedInst::Ckpt { reg } => {
+                eff.kind = EffectKind::Ckpt;
+                let a = layout::ckpt_slot_addr(self.core, reg);
+                let v = self.reg(reg);
                 mem.store(a, v);
                 eff.writes.push((a, v));
             }
-            Inst::Out { val } => {
-                eff = StepEffect::new(EffectKind::Out);
-                eff.out = Some(self.eval(*val));
+            DecodedInst::Out { val } => {
+                eff.kind = EffectKind::Out;
+                eff.out = Some(self.eval(val));
             }
-            Inst::Halt => {
-                eff = StepEffect::new(EffectKind::Halt);
+            DecodedInst::Halt => {
+                eff.kind = EffectKind::Halt;
                 self.halted = true;
-                return Ok(eff);
+                return Ok(());
             }
         }
         if !advanced {
-            self.frames.last_mut().expect("no frame").idx += 1;
+            let fr = self.frames.last_mut().expect("no frame");
+            fr.idx += 1;
+            fr.pc += 1;
         }
-        Ok(eff)
+        Ok(())
+    }
+
+    /// The spill-and-enter half of a `Call` (the boundary is attached by the
+    /// caller, after the new frame exists).
+    fn exec_call(
+        &mut self,
+        mem: &mut Memory,
+        eff: &mut StepEffect,
+        callee: FuncId,
+        args: PoolRange,
+        saves: PoolRange,
+    ) -> Result<(), InterpError> {
+        if callee.index() >= self.dec.func_count() {
+            return Err(InterpError::Trap(format!("call to unknown {callee}")));
+        }
+        if self.frames.len() >= 4096 {
+            return Err(InterpError::Trap("call stack overflow".into()));
+        }
+        let meta = self.dec.func(callee);
+        let mut arg_vals = std::mem::take(&mut self.arg_scratch);
+        arg_vals.clear();
+        for &a in self.dec.args(args) {
+            arg_vals.push(self.eval(a));
+        }
+        if arg_vals.len() < meta.param_count as usize {
+            let msg = format!(
+                "call to {} with {} args, needs {}",
+                self.module.function(callee).name,
+                arg_vals.len(),
+                meta.param_count
+            );
+            self.arg_scratch = arg_vals;
+            return Err(InterpError::Trap(msg));
+        }
+        let fr = self.frames.last().expect("no frame");
+        let (cur_func, cur_block, cur_idx, cur_base, cur_sp) =
+            (fr.func, fr.block, fr.idx, fr.frame_base, fr.sp);
+        let nsave = saves.len as u64;
+        let nargs = arg_vals.len() as u64;
+        let size = frame::size_words(nsave, nargs) * 8;
+        let base = cur_sp - size;
+        // Spill phase: frame record + saves + args, all real stores.
+        let w = |mem: &mut Memory, eff: &mut StepEffect, off: u64, v: Word| {
+            mem.store(base + off * 8, v);
+            eff.writes.push((base + off * 8, v));
+        };
+        w(mem, eff, frame::PREV_BASE, cur_base);
+        w(mem, eff, frame::CALLER_FUNC, cur_func.0 as Word);
+        w(mem, eff, frame::CALLER_BLOCK, cur_block.0 as Word);
+        w(mem, eff, frame::CALLER_IDX, cur_idx as Word);
+        w(mem, eff, frame::CALLER_SP, cur_sp);
+        w(mem, eff, frame::NSAVE, nsave);
+        w(mem, eff, frame::NARGS, nargs);
+        {
+            let fr = self.frames.last().expect("no frame");
+            for (i, r) in self.dec.saves(saves).iter().enumerate() {
+                w(mem, eff, frame::SAVES + i as u64, fr.regs[r.index()]);
+            }
+        }
+        for (i, &v) in arg_vals.iter().enumerate() {
+            w(mem, eff, frame::SAVES + nsave + i as u64, v);
+        }
+        // Enter the callee; parameters arrive in registers (the memory
+        // copy above exists for recovery).
+        let mut regs = self.free_regs.pop().unwrap_or_default();
+        regs.clear();
+        regs.resize(meta.reg_count as usize, 0);
+        for (i, &v) in arg_vals.iter().enumerate().take(meta.param_count as usize) {
+            regs[i] = v;
+        }
+        self.arg_scratch = arg_vals;
+        let (pc, limit) = self.dec.block_range(callee, BlockId(0));
+        self.frames.push(Frame {
+            func: callee,
+            block: BlockId(0),
+            idx: 0,
+            pc,
+            limit,
+            regs,
+            frame_base: base,
+            sp: base,
+        });
+        Ok(())
     }
 }
 
@@ -773,11 +949,12 @@ pub fn run(module: &Module, max_steps: u64) -> Result<Outcome, InterpError> {
     let mut mem = Memory::new();
     let mut interp = Interp::new(module, 0, &mut mem)?;
     let mut output = Vec::new();
+    let mut eff = StepEffect::default();
     while !interp.is_halted() {
         if interp.steps() >= max_steps {
             return Err(InterpError::StepLimit(max_steps));
         }
-        let eff = interp.step(&mut mem)?;
+        interp.step_into(&mut mem, &mut eff)?;
         if let Some(v) = eff.out {
             output.push(v);
         }
@@ -794,7 +971,7 @@ pub fn run(module: &Module, max_steps: u64) -> Result<Outcome, InterpError> {
 mod tests {
     use super::*;
     use crate::builder::{build_counted_loop, FunctionBuilder};
-    use crate::inst::BinOp;
+    use crate::inst::{BinOp, MemRef};
     use crate::module::Module;
 
     fn module_with_main(build: impl FnOnce(&mut Module, &mut FunctionBuilder)) -> Module {
@@ -1343,5 +1520,57 @@ mod tests {
             b.push(e, Inst::Halt);
         });
         assert!(matches!(run(&m, 50), Err(InterpError::Trap(_))));
+    }
+
+    #[test]
+    fn step_into_reuses_buffers_and_clears_state() {
+        let m = module_with_main(|m, b| {
+            let g = m.add_global("g", 1);
+            let e = b.entry();
+            b.store(e, Operand::imm(1), MemRef::global(g, 0));
+            b.push(e, Inst::Boundary { id: RegionId(0) });
+            let v = b.load(e, MemRef::global(g, 0));
+            b.push(e, Inst::Out { val: v.into() });
+            b.push(e, Inst::Halt);
+        });
+        let mut mem = Memory::new();
+        let mut i = Interp::new(&m, 0, &mut mem).unwrap();
+        let mut eff = StepEffect::default();
+        i.step_into(&mut mem, &mut eff).unwrap(); // store
+        assert_eq!(eff.writes.len(), 1);
+        i.step_into(&mut mem, &mut eff).unwrap(); // boundary
+        assert!(eff.writes.is_empty(), "buffer cleared between steps");
+        assert!(eff.boundary.is_some());
+        i.step_into(&mut mem, &mut eff).unwrap(); // load
+        assert_eq!(eff.kind, EffectKind::Load);
+        assert!(eff.boundary.is_none(), "boundary cleared between steps");
+        i.step_into(&mut mem, &mut eff).unwrap(); // out
+        assert_eq!(eff.out, Some(1));
+        i.step_into(&mut mem, &mut eff).unwrap(); // halt
+        assert_eq!(eff.out, None, "out cleared between steps");
+        assert!(i.is_halted());
+    }
+
+    #[test]
+    fn op_counts_track_instruction_mix() {
+        use crate::decoded::OPCODE_NAMES;
+        let m = module_with_main(|m, b| {
+            let g = m.add_global("g", 1);
+            let e = b.entry();
+            let v = b.load(e, MemRef::global(g, 0));
+            b.store(e, v.into(), MemRef::global(g, 0));
+            b.push(e, Inst::Halt);
+        });
+        let mut mem = Memory::new();
+        let mut i = Interp::new(&m, 0, &mut mem).unwrap();
+        while !i.is_halted() {
+            i.step(&mut mem).unwrap();
+        }
+        let counts = i.op_counts();
+        let by_name = |n: &str| counts[OPCODE_NAMES.iter().position(|x| *x == n).unwrap()];
+        assert_eq!(by_name("load"), 1);
+        assert_eq!(by_name("store"), 1);
+        assert_eq!(by_name("halt"), 1);
+        assert_eq!(counts.iter().sum::<u64>(), i.steps());
     }
 }

@@ -18,11 +18,15 @@
 //!   so that, as on real hardware, all cross-frame state lives in (persistent)
 //!   memory and power-failure recovery only ever needs to restore the live-in
 //!   registers of a single region.
-//! * [`interp`] is the *reference* (oracle) interpreter: it executes a module
-//!   with no persistence machinery and produces the ground-truth output and
-//!   final memory against which crash/recovery runs are verified. It exposes a
+//! * [`interp`] is the oracle interpreter: it executes a module with no
+//!   persistence machinery and produces the ground-truth output and final
+//!   memory against which crash/recovery runs are verified. It exposes a
 //!   [`interp::StepEffect`] stream so the timing simulator can drive the exact
-//!   same semantics cycle by cycle.
+//!   same semantics cycle by cycle. Since the decode-once rework it executes
+//!   from a [`decoded::DecodedModule`] — the module lowered into a flat,
+//!   `Copy` micro-op array — and the original tree-walking implementation is
+//!   preserved in [`reference`] as the executable specification the decoded
+//!   core is differentially tested against.
 //!
 //! ## Example
 //!
@@ -49,7 +53,9 @@
 
 pub mod builder;
 pub mod cfg;
+pub mod decoded;
 pub mod function;
+pub mod fxhash;
 pub mod inst;
 pub mod interp;
 pub mod layout;
@@ -57,6 +63,7 @@ pub mod memory;
 pub mod module;
 pub mod parse;
 pub mod pretty;
+pub mod reference;
 pub mod types;
 
 /// Convenience re-exports for building and running IR programs.

@@ -1,12 +1,50 @@
-//! Sparse word-granular memory.
+//! Sparse word-granular memory, stored as 4 KiB pages.
 //!
 //! Both the interpreter's architectural memory and the simulator's NVM image
 //! are [`Memory`] instances: sparse maps from 8-byte-aligned addresses to
 //! words. Sparsity is what lets the reproduction simulate the paper's
 //! multi-gigabyte footprints (2.5–6 GB, §IX-C) without allocating them.
+//!
+//! ## Representation
+//!
+//! Earlier versions kept one `HashMap<Word, Word>` entry per non-zero word,
+//! which made every simulated load and store a hash probe. Real footprints
+//! are page-clustered (stacks, globals, heap arenas), so the map now keys
+//! 4 KiB pages (`[Word; 512]`) with an [`FxHashMap`] page table plus a
+//! one-entry last-page cache: sequential and strided access patterns resolve
+//! to an index into the cached page with no hashing at all.
+//!
+//! The observable semantics are unchanged and load-bearing for crash
+//! consistency checks:
+//!
+//! * unwritten words read as zero;
+//! * storing zero restores "never written" ([`Memory::nonzero_words`] counts
+//!   only non-zero words, and two memories are equal iff their non-zero
+//!   contents agree — a page left allocated but all-zero equals no page);
+//! * [`Memory::iter`] visits exactly the non-zero words.
 
+use crate::fxhash::FxHashMap;
 use crate::types::Word;
-use std::collections::HashMap;
+use std::cell::Cell;
+use std::fmt;
+
+/// Words per page (4 KiB / 8 bytes).
+const PAGE_WORDS: usize = 512;
+/// log2 of the page size in bytes.
+const PAGE_SHIFT: u32 = 12;
+/// Mask extracting the word offset within a page from `addr >> 3`.
+const OFF_MASK: Word = PAGE_WORDS as Word - 1;
+/// Sentinel page number marking the last-page cache invalid (real page
+/// numbers are `addr >> 12`, which cannot reach `u64::MAX`).
+const NO_PAGE: Word = Word::MAX;
+
+type Page = Box<[Word; PAGE_WORDS]>;
+
+fn new_page() -> Page {
+    // Heap-allocate directly; `Box::new([0; 512])` would build 4 KiB on the
+    // stack first in debug builds.
+    vec![0; PAGE_WORDS].into_boxed_slice().try_into().unwrap()
+}
 
 /// Sparse, word-granular memory. Unwritten words read as zero.
 ///
@@ -18,9 +56,31 @@ use std::collections::HashMap;
 /// m.store(0x1000, 42);
 /// assert_eq!(m.load(0x1000), 42);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct Memory {
-    words: HashMap<Word, Word>,
+    /// Page number (`addr >> 12`) → slot in `pages`.
+    index: FxHashMap<Word, u32>,
+    /// Allocated pages, in allocation order.
+    pages: Vec<Page>,
+    /// Slot → page number (for iteration without touching the map).
+    page_ids: Vec<Word>,
+    /// Last-page-hit cache: `(page number, slot)`; `NO_PAGE` when invalid.
+    /// A `Cell` so read hits can refresh it through `&self`.
+    last: Cell<(Word, u32)>,
+    /// Global count of non-zero words across all pages.
+    nonzero: usize,
+}
+
+impl Default for Memory {
+    fn default() -> Self {
+        Memory {
+            index: FxHashMap::default(),
+            pages: Vec::new(),
+            page_ids: Vec::new(),
+            last: Cell::new((NO_PAGE, 0)),
+            nonzero: 0,
+        }
+    }
 }
 
 impl Memory {
@@ -36,7 +96,19 @@ impl Memory {
     #[inline]
     pub fn load(&self, addr: Word) -> Word {
         debug_assert_eq!(addr % 8, 0, "unaligned load at {addr:#x}");
-        self.words.get(&addr).copied().unwrap_or(0)
+        let page = addr >> PAGE_SHIFT;
+        let off = ((addr >> 3) & OFF_MASK) as usize;
+        let (cached, slot) = self.last.get();
+        if cached == page {
+            return self.pages[slot as usize][off];
+        }
+        match self.index.get(&page) {
+            Some(&slot) => {
+                self.last.set((page, slot));
+                self.pages[slot as usize][off]
+            }
+            None => 0,
+        }
     }
 
     /// Write the word at `addr`, returning the previous value.
@@ -46,22 +118,51 @@ impl Memory {
     #[inline]
     pub fn store(&mut self, addr: Word, value: Word) -> Word {
         debug_assert_eq!(addr % 8, 0, "unaligned store at {addr:#x}");
-        if value == 0 {
-            // Keep the map sparse: a zero store restores "never written".
-            self.words.remove(&addr).unwrap_or(0)
+        let page = addr >> PAGE_SHIFT;
+        let off = ((addr >> 3) & OFF_MASK) as usize;
+        let (cached, cached_slot) = self.last.get();
+        let slot = if cached == page {
+            cached_slot
+        } else if let Some(&slot) = self.index.get(&page) {
+            self.last.set((page, slot));
+            slot
         } else {
-            self.words.insert(addr, value).unwrap_or(0)
-        }
+            if value == 0 {
+                // Keep the map sparse: a zero store to an unallocated page
+                // is a no-op.
+                return 0;
+            }
+            let slot = self.pages.len() as u32;
+            self.pages.push(new_page());
+            self.page_ids.push(page);
+            self.index.insert(page, slot);
+            self.last.set((page, slot));
+            slot
+        };
+        let w = &mut self.pages[slot as usize][off];
+        let prev = *w;
+        *w = value;
+        self.nonzero += (value != 0) as usize;
+        self.nonzero -= (prev != 0) as usize;
+        prev
     }
 
     /// Number of non-zero words currently stored.
     pub fn nonzero_words(&self) -> usize {
-        self.words.len()
+        self.nonzero
     }
 
     /// Iterate `(addr, value)` over non-zero words (unspecified order).
     pub fn iter(&self) -> impl Iterator<Item = (Word, Word)> + '_ {
-        self.words.iter().map(|(a, v)| (*a, *v))
+        self.pages
+            .iter()
+            .zip(self.page_ids.iter())
+            .flat_map(|(p, &page)| {
+                let base = page << PAGE_SHIFT;
+                p.iter()
+                    .enumerate()
+                    .filter_map(move |(i, &v)| (v != 0).then_some((base + i as Word * 8, v)))
+            })
     }
 
     /// Compare this memory with `other` over addresses `filter` accepts,
@@ -77,7 +178,7 @@ impl Memory {
         limit: usize,
     ) -> Vec<(Word, Word, Word)> {
         let mut out = Vec::new();
-        for (&a, &v) in &self.words {
+        for (a, v) in self.iter() {
             if out.len() >= limit {
                 break;
             }
@@ -85,15 +186,41 @@ impl Memory {
                 out.push((a, v, other.load(a)));
             }
         }
-        for (&a, &v) in &other.words {
+        // Words non-zero only in `other`: the first loop cannot see them.
+        for (a, v) in other.iter() {
             if out.len() >= limit {
                 break;
             }
-            if filter(a) && !self.words.contains_key(&a) && v != 0 {
+            if filter(a) && self.load(a) == 0 {
                 out.push((a, 0, v));
             }
         }
         out
+    }
+}
+
+/// Equality over non-zero contents only: a page that was written and then
+/// zeroed again stays allocated but compares equal to never-written memory.
+impl PartialEq for Memory {
+    fn eq(&self, other: &Self) -> bool {
+        // Same non-zero count + every non-zero word of `self` matches
+        // `other` ⇒ the non-zero sets coincide exactly.
+        self.nonzero == other.nonzero && self.iter().all(|(a, v)| other.load(a) == v)
+    }
+}
+
+impl Eq for Memory {}
+
+impl fmt::Debug for Memory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Print only the non-zero words, sorted, so assertion failures stay
+        // readable regardless of page-allocation order.
+        let mut words: Vec<(Word, Word)> = self.iter().collect();
+        words.sort_unstable();
+        f.debug_struct("Memory")
+            .field("nonzero", &self.nonzero)
+            .field("words", &words)
+            .finish()
     }
 }
 
@@ -156,5 +283,86 @@ mod tests {
     fn from_iterator_collects() {
         let m: Memory = [(8, 1), (16, 0)].into_iter().collect();
         assert_eq!(m.nonzero_words(), 1);
+    }
+
+    #[test]
+    fn page_boundaries_are_seamless() {
+        let mut m = Memory::new();
+        // Last word of page 0, first word of page 1, and a far page.
+        for (i, a) in [4096 - 8, 4096, 7 << 40].into_iter().enumerate() {
+            m.store(a, i as Word + 1);
+        }
+        assert_eq!(m.load(4096 - 8), 1);
+        assert_eq!(m.load(4096), 2);
+        assert_eq!(m.load(7 << 40), 3);
+        assert_eq!(m.nonzero_words(), 3);
+        // Neighbors within the same pages still read zero.
+        assert_eq!(m.load(4096 - 16), 0);
+        assert_eq!(m.load(4096 + 8), 0);
+    }
+
+    #[test]
+    fn zeroed_page_equals_never_written() {
+        let mut a = Memory::new();
+        a.store(0x5000, 1);
+        a.store(0x5000, 0); // page stays allocated, contents all-zero
+        let b = Memory::new();
+        assert_eq!(a, b);
+        assert_eq!(b, a);
+        assert_eq!(a.iter().count(), 0);
+    }
+
+    #[test]
+    fn equality_ignores_page_allocation_order() {
+        let a: Memory = [(0x1000, 1), (0x9000, 2)].into_iter().collect();
+        let b: Memory = [(0x9000, 2), (0x1000, 1)].into_iter().collect();
+        assert_eq!(a, b);
+        let c: Memory = [(0x1000, 1), (0x9000, 3)].into_iter().collect();
+        assert_ne!(a, c);
+        let d: Memory = [(0x1000, 1)].into_iter().collect();
+        assert_ne!(a, d);
+        assert_ne!(d, a);
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut a = Memory::new();
+        a.store(64, 10);
+        let mut b = a.clone();
+        b.store(64, 20);
+        b.store(1 << 30, 5);
+        assert_eq!(a.load(64), 10);
+        assert_eq!(a.load(1 << 30), 0);
+        assert_eq!(b.load(64), 20);
+        assert_eq!(a.nonzero_words(), 1);
+        assert_eq!(b.nonzero_words(), 2);
+    }
+
+    #[test]
+    fn iter_yields_exactly_nonzero_words() {
+        let mut m = Memory::new();
+        m.store(0, 1);
+        m.store(8, 2);
+        m.store(8, 0);
+        m.store(0x10_0000, 3);
+        let mut got: Vec<(Word, Word)> = m.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![(0, 1), (0x10_0000, 3)]);
+        assert_eq!(m.nonzero_words(), 2);
+    }
+
+    #[test]
+    fn interleaved_pages_exercise_the_page_cache() {
+        let mut m = Memory::new();
+        // Alternate between two pages so the one-entry cache keeps flipping.
+        for i in 0..PAGE_WORDS as Word {
+            m.store(i * 8, i);
+            m.store((1 << 20) + i * 8, i * 2);
+        }
+        for i in 1..PAGE_WORDS as Word {
+            assert_eq!(m.load(i * 8), i);
+            assert_eq!(m.load((1 << 20) + i * 8), i * 2);
+        }
+        assert_eq!(m.nonzero_words(), 2 * (PAGE_WORDS - 1));
     }
 }

@@ -18,13 +18,17 @@ use crate::scheme::Scheme;
 use crate::stats::SimStats;
 use crate::trace::{Event, Trace};
 use crate::wbuf::WriteBuffer;
-use cwsp_ir::interp::{BoundaryInfo, EffectKind, Interp, InterpError, ResumeKind, ResumePoint};
+use cwsp_ir::decoded::DecodedModule;
+use cwsp_ir::interp::{
+    BoundaryInfo, EffectKind, Interp, InterpError, ResumeKind, ResumePoint, StepEffect,
+};
 use cwsp_ir::layout;
 use cwsp_ir::memory::Memory;
 use cwsp_ir::module::Module;
 use cwsp_ir::types::{DynRegionId, RegionId, Word};
 use cwsp_ir::{BlockId, FuncId, Inst};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Why a run ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,6 +92,8 @@ struct Core<'m> {
     region_insts: u64,
     /// Lines already redo-buffered by the current region (Capri model).
     capri_region_lines: Vec<u64>,
+    /// Reused effect buffer so the execute stage never allocates.
+    eff_scratch: StepEffect,
 }
 
 /// The simulated machine.
@@ -123,14 +129,19 @@ impl<'m> Machine<'m> {
         let mut resume_meta = Vec::new();
         let entry_fn = module.entry().expect("module has an entry");
         let entry_params = module.function(entry_fn).param_count as usize;
+        // Decode the module once; every core executes from the same flat
+        // micro-op stream.
+        let dec = Arc::new(DecodedModule::new(module));
         for core in 0..cfg.cores {
             let nargs = if core == 0 { 0 } else { 1.min(entry_params) };
             let interp = if nargs == 0 {
                 // Core 0 passes no args; a thread-id parameter reads as 0.
-                Interp::new(module, core, &mut arch_mem).expect("module has an entry")
+                Interp::new_shared(module, Arc::clone(&dec), core, &mut arch_mem)
+                    .expect("module has an entry")
             } else {
                 let args = [core as Word];
-                Interp::with_args(module, core, &mut arch_mem, &args).expect("module has an entry")
+                Interp::with_args_shared(module, Arc::clone(&dec), core, &mut arch_mem, &args)
+                    .expect("module has an entry")
             };
             let base =
                 layout::stack_top(core) - cwsp_ir::interp::frame::size_words(0, nargs as u64) * 8;
@@ -159,6 +170,7 @@ impl<'m> Machine<'m> {
                 sync_resume: None,
                 region_insts: 0,
                 capri_region_lines: Vec::new(),
+                eff_scratch: StepEffect::default(),
             });
         }
         let nvm = arch_mem.clone();
@@ -340,6 +352,13 @@ impl<'m> Machine<'m> {
 
     fn finalize_stats(&mut self) {
         self.stats.cycles = self.cycle;
+        let mut mix = [0u64; cwsp_ir::decoded::OPCODE_COUNT];
+        for core in &self.cores {
+            for (m, &c) in mix.iter_mut().zip(core.interp.op_counts()) {
+                *m += c;
+            }
+        }
+        self.stats.op_mix = mix;
         self.stats.l1 = self
             .cores
             .iter()
@@ -569,11 +588,13 @@ impl<'m> Machine<'m> {
             // Commit the sync point: its store persists synchronously, and
             // the recovery point advances past it (it must never re-execute).
             self.cores[i].sync_drain = false;
-            let writes: Vec<(Word, Word)> = self.cores[i].sync_writes.drain(..).collect();
-            for (a, v) in writes {
+            let mut writes = std::mem::take(&mut self.cores[i].sync_writes);
+            for &(a, v) in &writes {
                 self.nvm.store(a, v);
                 self.stats.nvm_writes += 1;
             }
+            writes.clear();
+            self.cores[i].sync_writes = writes;
             if let Some((rp, sr)) = self.cores[i].sync_resume.take() {
                 // The open region is the head (we just drained); rewrite its
                 // recovery entry so the committed sync never re-executes.
@@ -588,14 +609,16 @@ impl<'m> Machine<'m> {
             }
         }
 
-        // Execute one instruction.
-        let eff = {
-            let core = &mut self.cores[i];
-            core.interp.step(&mut self.arch_mem)?
-        };
+        // Execute one instruction into the core's reused effect buffer.
+        let mut eff = std::mem::take(&mut self.cores[i].eff_scratch);
+        if let Err(e) = self.cores[i].interp.step_into(&mut self.arch_mem, &mut eff) {
+            self.cores[i].eff_scratch = eff;
+            return Err(e);
+        }
         self.stats.insts += 1;
         self.cores[i].region_insts += 1;
         let cost = self.apply_effect(i, &eff);
+        self.cores[i].eff_scratch = eff;
         if cost <= 1 {
             // Slot-cost instruction: the core may issue again this cycle.
             Ok(!self.cores[i].halted)
@@ -646,7 +669,8 @@ impl<'m> Machine<'m> {
                     let sync_resume = self.after_sync_resume(i);
                     let core = &mut self.cores[i];
                     core.sync_drain = true;
-                    core.sync_writes = eff.writes.clone();
+                    core.sync_writes.clear();
+                    core.sync_writes.extend_from_slice(&eff.writes);
                     core.sync_resume = sync_resume;
                     cost = self.cfg.persist_path_cycles.max(20);
                 } else if matches!(self.scheme, Scheme::ReplayCache | Scheme::Capri) {
@@ -868,7 +892,10 @@ pub fn pack_meta(rp: ResumePoint, sr: Option<RegionId>) -> [Word; 7] {
 /// Unpack recovery metadata written by [`pack_meta`] from the NVM image.
 pub fn unpack_meta(nvm: &Memory, core: usize) -> (ResumePoint, Option<RegionId>) {
     let base = layout::RECOVERY_META_BASE + core as Word * layout::RECOVERY_META_STRIDE;
-    let w: Vec<Word> = (0..7).map(|i| nvm.load(base + i * 8)).collect();
+    let mut w = [0 as Word; 7];
+    for (i, slot) in w.iter_mut().enumerate() {
+        *slot = nvm.load(base + i as Word * 8);
+    }
     let kind = match w[0] {
         0 => ResumeKind::Normal,
         1 => ResumeKind::FuncEntry,

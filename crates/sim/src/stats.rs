@@ -62,6 +62,9 @@ pub struct SimStats {
     /// `[1-4, 5-8, 9-16, 17-32, 33-64, 65-128, 129+]` (Fig 19's
     /// distribution, not just its average).
     pub region_size_hist: [u64; 7],
+    /// Dynamic instruction mix, indexed by decoded opcode (see
+    /// [`cwsp_ir::decoded::OPCODE_NAMES`]); summed over all cores.
+    pub op_mix: [u64; cwsp_ir::decoded::OPCODE_COUNT],
 }
 
 impl SimStats {
