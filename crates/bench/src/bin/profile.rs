@@ -1,0 +1,120 @@
+//! The cycle-attribution profiler: run workloads with the machine's exact
+//! per-cycle profiler and event ring enabled, then write — per (workload,
+//! scheme) pair, under `results/profiles/` —
+//!
+//! * `<app>_<scheme>.profile.txt`  — the flat profile report,
+//! * `<app>_<scheme>.profile.json` — the same rows as JSON,
+//! * `<app>_<scheme>.trace.json`   — the Chrome trace-event timeline
+//!   (load it in Perfetto / `chrome://tracing`; cores and memory
+//!   controllers appear as separate tracks).
+//!
+//! Attribution is exact by construction — one charge per core per cycle —
+//! so the summary's coverage column reports the fraction of cycles at
+//! resolvable program sites (the rest are `<halted>` drain or pre-frame
+//! `<machine>` cycles).
+//!
+//! ```sh
+//! cargo run --release -p cwsp-bench --bin profile            # default apps
+//! cargo run --release -p cwsp-bench --bin profile -- namd c  # chosen apps
+//! ```
+//!
+//! Output directory override: `CWSP_PROFILE_DIR`.
+
+use cwsp_compiler::pipeline::{CompileOptions, CwspCompiler};
+use cwsp_sim::config::SimConfig;
+use cwsp_sim::machine::Machine;
+use cwsp_sim::scheme::Scheme;
+use std::path::PathBuf;
+
+/// Compute-dense, write-heavy, and transactional — three distinct shapes.
+const DEFAULT_APPS: [&str; 3] = ["namd", "lbm", "tatp"];
+
+/// Event-ring capacity: big enough that short workloads keep their whole
+/// timeline, bounded so long ones stay bounded.
+const TRACE_CAP: usize = 65_536;
+
+fn main() {
+    cwsp_bench::harness_main("profile", run);
+}
+
+fn out_dir() -> PathBuf {
+    match std::env::var("CWSP_PROFILE_DIR") {
+        Ok(d) if !d.is_empty() => PathBuf::from(d),
+        _ => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results/profiles"),
+    }
+}
+
+fn run() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let names: Vec<String> = if args.is_empty() {
+        DEFAULT_APPS.iter().map(|s| (*s).to_string()).collect()
+    } else {
+        args
+    };
+    let dir = out_dir();
+    std::fs::create_dir_all(&dir)
+        .unwrap_or_else(|e| panic!("cannot create {}: {e}", dir.display()));
+    let cfg = SimConfig::default();
+
+    println!("\n=== cycle-attribution profiles ===");
+    println!(
+        "   {:<10} {:<10} {:>12} {:>9}  top site",
+        "app", "scheme", "cycles", "coverage"
+    );
+    for name in &names {
+        let w = cwsp_workloads::by_name(name)
+            .unwrap_or_else(|| panic!("unknown workload {name:?} (see list_workloads)"));
+        // Both schemes run the *compiled* binary, so profiles are
+        // line-up-able: same sites, different persist machinery.
+        let compiled = CwspCompiler::new(CompileOptions::default()).compile(&w.module);
+        for scheme in [Scheme::cwsp(), Scheme::Baseline] {
+            let mut machine = Machine::new(&compiled.module, &cfg, scheme);
+            machine.enable_profiler();
+            machine.enable_trace(TRACE_CAP);
+            let r = machine
+                .run(u64::MAX, None)
+                .unwrap_or_else(|e| panic!("{name} {}: {e}", scheme.name()));
+            let flat = machine.flat_profile().expect("profiler was enabled");
+            let chrome = machine.chrome_trace().expect("tracing was enabled");
+
+            let stem = format!("{}_{}", w.name, scheme.name());
+            let title = format!(
+                "{} under {} ({} cycles)",
+                w.name,
+                scheme.name(),
+                r.stats.cycles
+            );
+            write(
+                &dir,
+                &format!("{stem}.profile.txt"),
+                &flat.render_text(&title, 20),
+            );
+            write(&dir, &format!("{stem}.profile.json"), &flat.to_json());
+            write(&dir, &format!("{stem}.trace.json"), &chrome.to_json());
+
+            let top = flat
+                .sorted_rows()
+                .into_iter()
+                .find(|row| !row.is_synthetic())
+                .map(|row| format!("{} ({})", row.site_label(), row.cause))
+                .unwrap_or_else(|| "-".to_string());
+            println!(
+                "   {:<10} {:<10} {:>12} {:>8.1}%  {top}",
+                w.name,
+                scheme.name(),
+                r.stats.cycles,
+                flat.coverage() * 100.0,
+            );
+        }
+    }
+    println!(
+        "--\n   wrote {} files to {}",
+        names.len() * 6,
+        dir.display()
+    );
+}
+
+fn write(dir: &std::path::Path, file: &str, text: &str) {
+    let path = dir.join(file);
+    std::fs::write(&path, text).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+}

@@ -80,6 +80,10 @@ pub struct Engine {
     disk_hits: AtomicU64,
     sim_insts: AtomicU64,
     sim_op_mix: [AtomicU64; cwsp_ir::decoded::OPCODE_COUNT],
+    // Wall-clock ns of every stats() request, in completion order — memo
+    // hits included, since the figure binaries' "queue latency" is request
+    // to result regardless of which path served it.
+    job_latencies_ns: Mutex<Vec<u64>>,
 }
 
 impl Engine {
@@ -94,7 +98,20 @@ impl Engine {
             disk_hits: AtomicU64::new(0),
             sim_insts: AtomicU64::new(0),
             sim_op_mix: std::array::from_fn(|_| AtomicU64::new(0)),
+            job_latencies_ns: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Number of per-job latency samples recorded so far (a cursor for
+    /// [`Engine::job_latencies_since`]).
+    pub fn job_latency_count(&self) -> usize {
+        self.job_latencies_ns.lock().unwrap().len()
+    }
+
+    /// Latency samples (ns) recorded after cursor `start`.
+    pub fn job_latencies_since(&self, start: usize) -> Vec<u64> {
+        let all = self.job_latencies_ns.lock().unwrap();
+        all.get(start..).unwrap_or(&[]).to_vec()
     }
 
     /// Snapshot the traffic counters.
@@ -125,6 +142,7 @@ impl Engine {
     /// # Panics
     /// Panics if the simulation traps (same contract as the serial harness).
     pub fn stats(&self, name: &str, module: &Module, cfg: &SimConfig, scheme: Scheme) -> SimStats {
+        let t_req = Instant::now();
         let key = (module_fp(module), machine_fp(cfg, scheme));
         self.jobs.fetch_add(1, Ordering::Relaxed);
         let slot = {
@@ -133,6 +151,7 @@ impl Engine {
         };
         if let Some(s) = slot.get() {
             self.memo_hits.fetch_add(1, Ordering::Relaxed);
+            self.record_latency(t_req);
             return s.clone();
         }
         // Which path satisfied this request: our closure simulated, our
@@ -169,7 +188,34 @@ impl Engine {
                 }
             }
         }
+        self.record_latency(t_req);
         s.clone()
+    }
+
+    fn record_latency(&self, t_req: Instant) {
+        let ns = t_req.elapsed().as_nanos() as u64;
+        self.job_latencies_ns.lock().unwrap().push(ns);
+    }
+
+    /// Publish the engine's traffic counters into a metrics registry
+    /// (`engine.*` namespace).
+    pub fn publish(&self, r: &mut cwsp_obs::Registry) {
+        let c = self.counters();
+        let id = r.counter("engine.jobs");
+        r.add(id, c.jobs);
+        let id = r.counter("engine.memo_hits");
+        r.add(id, c.memo_hits);
+        let id = r.counter("engine.disk_hits");
+        r.add(id, c.disk_hits);
+        let id = r.counter("engine.sim_insts");
+        r.add(id, c.sim_insts);
+        let id = r.gauge("engine.hit_rate");
+        r.set(id, c.hit_rate());
+        let lats = self.job_latencies_since(0);
+        let id = r.gauge("engine.queue_latency_us.p50");
+        r.set(id, percentile_ns(&lats, 50.0) as f64 / 1000.0);
+        let id = r.gauge("engine.queue_latency_us.p99");
+        r.set(id, percentile_ns(&lats, 99.0) as f64 / 1000.0);
     }
 
     fn cache_path(&self, key: (u64, u64)) -> Option<PathBuf> {
@@ -244,6 +290,20 @@ pub fn worker_count() -> usize {
     }
 }
 
+// Pool utilization accounting: per-item busy ns vs. workers × wall ns of
+// each par_map call, accumulated process-wide so harness_main can report a
+// utilization delta per figure.
+static POOL_BUSY_NS: AtomicU64 = AtomicU64::new(0);
+static POOL_CAPACITY_NS: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative `(busy_ns, capacity_ns)` across all [`par_map`] calls so far.
+pub fn pool_usage() -> (u64, u64) {
+    (
+        POOL_BUSY_NS.load(Ordering::Relaxed),
+        POOL_CAPACITY_NS.load(Ordering::Relaxed),
+    )
+}
+
 /// Apply `f` to every item on a scoped worker pool; results come back in
 /// input order. Workers pull items off a shared atomic cursor, so long jobs
 /// don't serialize behind short ones.
@@ -255,8 +315,13 @@ where
 {
     let n = items.len();
     let workers = worker_count().min(n.max(1));
+    let t_pool = Instant::now();
     if workers <= 1 {
-        return items.iter().map(&f).collect();
+        let out: Vec<R> = items.iter().map(&f).collect();
+        let wall = t_pool.elapsed().as_nanos() as u64;
+        POOL_BUSY_NS.fetch_add(wall, Ordering::Relaxed);
+        POOL_CAPACITY_NS.fetch_add(wall, Ordering::Relaxed);
+        return out;
     }
     let cursor = AtomicUsize::new(0);
     let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
@@ -270,7 +335,11 @@ where
                         if i >= n {
                             break;
                         }
-                        local.push((i, f(&items[i])));
+                        let t_item = Instant::now();
+                        let r = f(&items[i]);
+                        POOL_BUSY_NS
+                            .fetch_add(t_item.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        local.push((i, r));
                     }
                     local
                 })
@@ -282,16 +351,34 @@ where
             }
         }
     });
+    let wall = t_pool.elapsed().as_nanos() as u64;
+    POOL_CAPACITY_NS.fetch_add(wall * workers as u64, Ordering::Relaxed);
     out.into_iter()
         .map(|r| r.expect("worker covered every index"))
         .collect()
 }
 
+/// `p`-th percentile (nearest-rank) of unsorted ns samples; 0 when empty.
+pub fn percentile_ns(samples: &[u64], p: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
 /// Wrap a figure binary's body: run it, time it, and merge a per-figure
-/// entry into `results/BENCH_harness.json`.
+/// entry into `results/BENCH_harness.json`. With `CWSP_OBS` set (any value
+/// but `0`/`off`), also dumps the full metrics registry as JSON to stderr —
+/// or to the file `CWSP_OBS` names, when its value contains a path
+/// separator.
 pub fn harness_main(figure: &str, body: impl FnOnce()) {
     let e = engine();
     let before = e.counters();
+    let lat_cursor = e.job_latency_count();
+    let pool_before = pool_usage();
     let t0 = Instant::now();
     body();
     let wall = t0.elapsed();
@@ -303,36 +390,16 @@ pub fn harness_main(figure: &str, body: impl FnOnce()) {
         sim_insts: after.sim_insts - before.sim_insts,
         sim_op_mix: std::array::from_fn(|i| after.sim_op_mix[i] - before.sim_op_mix[i]),
     };
-    let secs = wall.as_secs_f64();
-    let steps_per_sec = if secs > 0.0 {
-        delta.sim_insts as f64 / secs
+    let latencies = e.job_latencies_since(lat_cursor);
+    let pool_after = pool_usage();
+    let busy = pool_after.0 - pool_before.0;
+    let capacity = pool_after.1 - pool_before.1;
+    let utilization = if capacity > 0 {
+        busy as f64 / capacity as f64
     } else {
         0.0
     };
-    let op_mix = Value::Obj(
-        cwsp_ir::decoded::OPCODE_NAMES
-            .iter()
-            .zip(delta.sim_op_mix)
-            .map(|(name, n)| ((*name).to_string(), Value::Int(n)))
-            .collect(),
-    );
-    let entry = Value::Obj(vec![
-        ("wall_ms".into(), Value::Int(wall.as_millis() as u64)),
-        ("jobs".into(), Value::Int(delta.jobs)),
-        ("memo_hits".into(), Value::Int(delta.memo_hits)),
-        ("disk_hits".into(), Value::Int(delta.disk_hits)),
-        (
-            "hit_rate".into(),
-            Value::Float((delta.hit_rate() * 1e4).round() / 1e4),
-        ),
-        ("workers".into(), Value::Int(worker_count() as u64)),
-        ("sim_insts".into(), Value::Int(delta.sim_insts)),
-        (
-            "steps_per_sec".into(),
-            Value::Float((steps_per_sec * 10.0).round() / 10.0),
-        ),
-        ("op_mix".into(), op_mix),
-    ]);
+    let entry = build_harness_entry(&delta, wall, &latencies, utilization);
     let path = match std::env::var("CWSP_HARNESS_JSON") {
         Ok(p) if !p.is_empty() => PathBuf::from(p),
         _ => repo_results_dir().join("BENCH_harness.json"),
@@ -347,6 +414,137 @@ pub fn harness_main(figure: &str, body: impl FnOnce()) {
         (delta.hit_rate() * 100.0).round(),
         worker_count(),
     );
+    dump_obs_registry(e);
+}
+
+/// When `CWSP_OBS` is on, publish the engine's metrics into a registry and
+/// dump it (stderr, or the named file when the value looks like a path).
+fn dump_obs_registry(e: &Engine) {
+    let dest = match std::env::var("CWSP_OBS") {
+        Ok(v) if !v.is_empty() && !matches!(v.as_str(), "0" | "off" | "false" | "no") => v,
+        _ => return,
+    };
+    let mut reg = cwsp_obs::Registry::new();
+    e.publish(&mut reg);
+    let json = reg.to_json();
+    if dest.contains('/') {
+        if let Some(dir) = Path::new(&dest).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Err(err) = std::fs::write(&dest, &json) {
+            eprintln!("[obs] failed to write {dest}: {err}");
+        }
+    } else {
+        eprintln!("[obs] {json}");
+    }
+}
+
+/// Build one figure's telemetry entry for `results/BENCH_harness.json`.
+/// Kept separate from [`harness_main`] so the schema is unit-testable; the
+/// shape is validated by [`validate_harness_entry`].
+fn build_harness_entry(
+    delta: &Counters,
+    wall: std::time::Duration,
+    latencies_ns: &[u64],
+    utilization: f64,
+) -> Value {
+    let secs = wall.as_secs_f64();
+    let steps_per_sec = if secs > 0.0 {
+        delta.sim_insts as f64 / secs
+    } else {
+        0.0
+    };
+    let op_mix = Value::Obj(
+        cwsp_ir::decoded::OPCODE_NAMES
+            .iter()
+            .zip(delta.sim_op_mix)
+            .map(|(name, n)| ((*name).to_string(), Value::Int(n)))
+            .collect(),
+    );
+    let lat_us = |p: f64| Value::Float((percentile_ns(latencies_ns, p) as f64 / 1000.0).round());
+    let queue_latency = Value::Obj(vec![
+        ("p50".into(), lat_us(50.0)),
+        ("p90".into(), lat_us(90.0)),
+        ("p99".into(), lat_us(99.0)),
+    ]);
+    Value::Obj(vec![
+        ("wall_ms".into(), Value::Int(wall.as_millis() as u64)),
+        ("jobs".into(), Value::Int(delta.jobs)),
+        ("memo_hits".into(), Value::Int(delta.memo_hits)),
+        ("disk_hits".into(), Value::Int(delta.disk_hits)),
+        (
+            "hit_rate".into(),
+            Value::Float((delta.hit_rate() * 1e4).round() / 1e4),
+        ),
+        ("workers".into(), Value::Int(worker_count() as u64)),
+        ("sim_insts".into(), Value::Int(delta.sim_insts)),
+        (
+            "steps_per_sec".into(),
+            Value::Float((steps_per_sec * 10.0).round() / 10.0),
+        ),
+        ("queue_latency_us".into(), queue_latency),
+        (
+            "worker_utilization".into(),
+            Value::Float((utilization * 1e4).round() / 1e4),
+        ),
+        ("op_mix".into(), op_mix),
+    ])
+}
+
+/// Validate one figure entry against the harness schema: every required
+/// field present with the right JSON type. Returns the first problem found.
+///
+/// # Errors
+/// A human-readable description of the missing or mistyped field.
+pub fn validate_harness_entry(entry: &Value) -> Result<(), String> {
+    let need_int = |k: &str| -> Result<(), String> {
+        entry
+            .get(k)
+            .ok_or_else(|| format!("missing field `{k}`"))?
+            .as_u64()
+            .map(|_| ())
+            .ok_or_else(|| format!("field `{k}` is not an integer"))
+    };
+    let need_num = |k: &str| -> Result<(), String> {
+        match entry.get(k) {
+            Some(Value::Float(_) | Value::Int(_)) => Ok(()),
+            Some(_) => Err(format!("field `{k}` is not a number")),
+            None => Err(format!("missing field `{k}`")),
+        }
+    };
+    for k in [
+        "wall_ms",
+        "jobs",
+        "memo_hits",
+        "disk_hits",
+        "workers",
+        "sim_insts",
+    ] {
+        need_int(k)?;
+    }
+    for k in ["hit_rate", "steps_per_sec", "worker_utilization"] {
+        need_num(k)?;
+    }
+    let q = entry
+        .get("queue_latency_us")
+        .ok_or("missing field `queue_latency_us`")?;
+    for p in ["p50", "p90", "p99"] {
+        match q.get(p) {
+            Some(Value::Float(_) | Value::Int(_)) => {}
+            Some(_) => return Err(format!("queue_latency_us.{p} is not a number")),
+            None => return Err(format!("missing queue_latency_us.{p}")),
+        }
+    }
+    let mix = entry.get("op_mix").ok_or("missing field `op_mix`")?;
+    match mix {
+        Value::Obj(fields) if fields.len() == cwsp_ir::decoded::OPCODE_COUNT => Ok(()),
+        Value::Obj(fields) => Err(format!(
+            "op_mix has {} opcodes, expected {}",
+            fields.len(),
+            cwsp_ir::decoded::OPCODE_COUNT
+        )),
+        _ => Err("op_mix is not an object".into()),
+    }
 }
 
 fn merge_harness_entry(path: &Path, figure: &str, entry: Value) {
@@ -596,6 +794,76 @@ mod tests {
             assert_eq!(*r, runs[0]);
         }
         assert_eq!(e.counters().jobs, 8);
+    }
+
+    #[test]
+    fn harness_entry_schema_validates_and_catches_drift() {
+        let delta = Counters {
+            jobs: 10,
+            memo_hits: 4,
+            sim_insts: 1000,
+            ..Default::default()
+        };
+        let entry = build_harness_entry(
+            &delta,
+            std::time::Duration::from_millis(12),
+            &[1_000, 2_000, 50_000],
+            0.83,
+        );
+        validate_harness_entry(&entry).expect("fresh entry validates");
+        // Round-trip through the JSON text form (what lands on disk).
+        let back = json::parse(&entry.to_pretty()).unwrap();
+        validate_harness_entry(&back).expect("parsed entry validates");
+        // Drift is caught: drop a required field.
+        let mut broken = entry.clone();
+        if let Value::Obj(fields) = &mut broken {
+            fields.retain(|(k, _)| k != "queue_latency_us");
+        }
+        assert!(validate_harness_entry(&broken).is_err());
+    }
+
+    #[test]
+    fn job_latencies_and_percentiles() {
+        let e = Engine::new(None);
+        let m = tiny_module();
+        let cfg = SimConfig::default();
+        assert_eq!(e.job_latency_count(), 0);
+        let _ = e.stats("t", &m, &cfg, Scheme::Baseline);
+        let _ = e.stats("t", &m, &cfg, Scheme::Baseline);
+        let lats = e.job_latencies_since(0);
+        assert_eq!(lats.len(), 2, "every request records a latency");
+        assert!(lats[0] > 0);
+        // Nearest-rank percentiles on a known distribution.
+        let s = [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 100];
+        assert_eq!(percentile_ns(&s, 50.0), 50);
+        assert_eq!(percentile_ns(&s, 90.0), 90);
+        assert_eq!(percentile_ns(&s, 99.0), 100);
+        assert_eq!(percentile_ns(&[], 50.0), 0);
+    }
+
+    #[test]
+    fn pool_usage_accumulates_across_par_map() {
+        let before = pool_usage();
+        let items: Vec<u64> = (0..32).collect();
+        let _ = par_map(&items, |&x| x + 1);
+        let after = pool_usage();
+        assert!(after.1 > before.1, "capacity advanced");
+        assert!(after.0 >= before.0, "busy time is monotonic");
+    }
+
+    #[test]
+    fn engine_publishes_metrics_registry() {
+        let e = Engine::new(None);
+        let m = tiny_module();
+        let cfg = SimConfig::default();
+        let _ = e.stats("t", &m, &cfg, Scheme::Baseline);
+        let _ = e.stats("t", &m, &cfg, Scheme::Baseline);
+        let mut reg = cwsp_obs::Registry::new();
+        e.publish(&mut reg);
+        assert_eq!(reg.counter_value("engine.jobs"), 2);
+        assert_eq!(reg.counter_value("engine.memo_hits"), 1);
+        assert!((reg.gauge_value("engine.hit_rate") - 0.5).abs() < 1e-12);
+        assert!(json::parse(&reg.to_json()).is_ok(), "registry JSON parses");
     }
 
     #[test]

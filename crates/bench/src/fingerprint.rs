@@ -19,7 +19,10 @@ use std::hash::Hasher;
 /// Bump when simulator or compiler semantics change in a way that should
 /// invalidate previously cached results (folded into every disk-cache key).
 /// Version 2: `SimStats` grew the per-opcode `op_mix` field.
-pub const CACHE_VERSION: u64 = 2;
+/// Version 3: observability layer — trace/profiler instrumentation reworked
+/// the core issue loop and the harness telemetry schema grew queue-latency
+/// and utilization fields.
+pub const CACHE_VERSION: u64 = 3;
 
 /// Incrementally hashes heterogeneous fields into one stable u64.
 #[derive(Debug, Default)]

@@ -26,6 +26,22 @@ use cwsp_workloads::{Suite, Workload};
 
 pub use engine::{engine, harness_main, par_map, worker_count};
 
+/// Trace-ring capacity requested via `CWSP_TRACE`, if tracing is on:
+/// `CWSP_TRACE=1` (or any non-numeric truthy value) selects the default
+/// 65 536-event ring; a value > 1 selects that capacity. `0`/`off`/`false`/
+/// `no`/unset disable tracing.
+pub fn trace_capacity_from_env() -> Option<usize> {
+    match std::env::var("CWSP_TRACE") {
+        Ok(v) if !v.is_empty() && !matches!(v.as_str(), "0" | "off" | "false" | "no") => {
+            match v.parse::<usize>() {
+                Ok(n) if n > 1 => Some(n),
+                _ => Some(65_536),
+            }
+        }
+        _ => None,
+    }
+}
+
 /// One measured data point.
 #[derive(Debug, Clone)]
 pub struct AppResult {
@@ -39,6 +55,12 @@ pub struct AppResult {
 
 /// Run `module` to completion under `scheme` and return its stats.
 ///
+/// With `CWSP_TRACE` set (see [`trace_capacity_from_env`]) the machine
+/// records its event ring while running — stdout is untouched, so figure
+/// output stays byte-identical; the trace is only exported when
+/// `CWSP_TRACE_OUT` names a directory, as one Chrome trace-event JSON file
+/// per simulated run.
+///
 /// # Errors
 /// Propagates interpreter traps.
 pub fn run_to_completion(
@@ -47,8 +69,30 @@ pub fn run_to_completion(
     scheme: Scheme,
 ) -> Result<SimStats, InterpError> {
     let mut machine = Machine::new(module, cfg, scheme);
+    let traced = trace_capacity_from_env();
+    if let Some(cap) = traced {
+        machine.enable_trace(cap);
+    }
     let r = machine.run(u64::MAX, None)?;
+    if traced.is_some() {
+        if let Ok(dir) = std::env::var("CWSP_TRACE_OUT") {
+            if !dir.is_empty() {
+                export_trace(&machine, &dir, &module.name, scheme);
+            }
+        }
+    }
     Ok(r.stats)
+}
+
+fn export_trace(machine: &Machine, dir: &str, module_name: &str, scheme: Scheme) {
+    let Some(chrome) = machine.chrome_trace() else {
+        return;
+    };
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let file = format!("{module_name}_{}.trace.json", scheme.name());
+    let _ = std::fs::write(std::path::Path::new(dir).join(file), chrome.to_json());
 }
 
 /// Baseline cycles: the *original* (uncompiled) program on the original

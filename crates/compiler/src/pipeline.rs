@@ -8,6 +8,8 @@ use crate::slice::SliceTable;
 use crate::split::split_same_reg_updates;
 use crate::stats::CompileStats;
 use cwsp_ir::module::Module;
+use cwsp_obs::{NullSink, ObsSink};
+use std::time::Instant;
 
 /// Compilation options (the compiler side of the Fig 15 ablation).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,6 +93,32 @@ impl CwspCompiler {
     /// Panics if the transformed module fails structural validation — that
     /// would be a compiler bug, not a user error.
     pub fn compile(&self, input: &Module) -> Compiled {
+        self.compile_observed(input, &mut NullSink)
+    }
+
+    /// [`CwspCompiler::compile`], publishing per-pass telemetry into `sink`:
+    /// one span per pass (wall time, `compiler` track) and the pass's IR
+    /// delta as counts (`compiler.regions_formed`, `compiler.ckpts_pruned`,
+    /// `compiler.slices_emitted`, ...). With the default
+    /// [`NullSink`] this is exactly `compile` — timestamps are
+    /// not even taken when `sink.enabled()` is false.
+    ///
+    /// # Panics
+    /// Same contract as [`CwspCompiler::compile`].
+    pub fn compile_observed(&self, input: &Module, sink: &mut dyn ObsSink) -> Compiled {
+        let observed = sink.enabled();
+        let t0 = observed.then(Instant::now);
+        // Wall-clock offset of the pass clock, in ns since compile start.
+        let now_ns = |t0: &Option<Instant>| -> u64 {
+            t0.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0)
+        };
+        let pass = |sink: &mut dyn ObsSink, name: &str, start_ns: u64| {
+            if observed {
+                let end = now_ns(&t0);
+                sink.span("compiler", name, start_ns, end.saturating_sub(start_ns));
+            }
+        };
+
         let mut module = input.clone();
         let mut stats = CompileStats {
             insts_before: module.inst_count(),
@@ -98,35 +126,61 @@ impl CwspCompiler {
         };
 
         if self.options.optimize {
+            let s = now_ns(&t0);
             let info = crate::opt::optimize(&mut module);
             stats.opt_folded = info.folded;
             stats.opt_dce = info.dce_removed;
+            pass(sink, "optimize", s);
+            if observed {
+                sink.count("compiler.opt_folded", info.folded as u64);
+                sink.count("compiler.opt_dce", info.dce_removed as u64);
+            }
         }
+        let s = now_ns(&t0);
         stats.call_saves = compute_call_saves(&mut module);
+        pass(sink, "compute_call_saves", s);
+        let s = now_ns(&t0);
         stats.updates_split = split_same_reg_updates(&mut module);
+        pass(sink, "split_same_reg_updates", s);
 
+        let s = now_ns(&t0);
         let region_info = form_regions(&mut module);
         stats.boundaries_inserted = region_info.boundaries;
         stats.antidep_cuts = region_info.antidep_cuts;
         stats.structural_boundaries = region_info.structural;
+        pass(sink, "form_regions", s);
+        if observed {
+            sink.count("compiler.regions_formed", region_info.boundaries as u64);
+            sink.count("compiler.antidep_cuts", region_info.antidep_cuts as u64);
+        }
 
         let mode = if self.options.pruning {
             CkptMode::DefSite
         } else {
             CkptMode::PerBoundary
         };
+        let s = now_ns(&t0);
         insert_checkpoints(&mut module, mode);
+        pass(sink, "insert_checkpoints", s);
 
+        let s = now_ns(&t0);
         let (slices, prune_info) =
             prune_and_build_slices(&mut module, self.options.pruning, self.options.expr_remat);
         stats.ckpts_pruned = prune_info.ckpts_pruned;
         stats.const_restores = prune_info.const_restores;
         stats.slot_restores = prune_info.slot_restores;
         stats.finalize_counts(&module);
+        pass(sink, "prune_and_build_slices", s);
+        if observed {
+            sink.count("compiler.ckpts_pruned", prune_info.ckpts_pruned as u64);
+            sink.count("compiler.slices_emitted", slices.len() as u64);
+        }
 
+        let s = now_ns(&t0);
         module
             .validate()
             .unwrap_or_else(|e| panic!("cWSP compiler produced invalid IR: {e}"));
+        pass(sink, "validate", s);
         Compiled {
             module,
             slices,
@@ -225,6 +279,37 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn compile_observed_reports_passes_and_ir_deltas() {
+        let m = sample_module();
+        let mut sink = cwsp_obs::MemSink::default();
+        let c = CwspCompiler::new(CompileOptions::default()).compile_observed(&m, &mut sink);
+        // Every pipeline pass shows up as a span on the compiler track.
+        for pass in [
+            "optimize",
+            "compute_call_saves",
+            "split_same_reg_updates",
+            "form_regions",
+            "insert_checkpoints",
+            "prune_and_build_slices",
+            "validate",
+        ] {
+            assert_eq!(sink.spans_named(pass).len(), 1, "missing span for {pass}");
+        }
+        // IR deltas match the returned stats.
+        assert_eq!(
+            sink.count_total("compiler.regions_formed"),
+            c.stats.boundaries_inserted as u64
+        );
+        assert_eq!(
+            sink.count_total("compiler.slices_emitted"),
+            c.slices.len() as u64
+        );
+        // And the observed compile is the same compile.
+        let plain = CwspCompiler::new(CompileOptions::default()).compile(&m);
+        assert_eq!(plain.stats, c.stats);
     }
 
     #[test]

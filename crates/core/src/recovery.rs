@@ -19,8 +19,10 @@ use cwsp_compiler::pipeline::Compiled;
 use cwsp_ir::interp::{Interp, InterpError, ResumeKind, StepEffect};
 use cwsp_ir::memory::Memory;
 use cwsp_ir::types::Word;
+use cwsp_obs::{NullSink, ObsSink};
 use cwsp_sim::machine::CrashImage;
 use std::fmt;
+use std::time::Instant;
 
 /// Errors during recovery.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -73,6 +75,27 @@ pub fn recover(
     core: usize,
     max_steps: u64,
 ) -> Result<RecoveredRun, RecoveryError> {
+    recover_observed(compiled, image, core, max_steps, &mut NullSink)
+}
+
+/// [`recover`], publishing recovery telemetry into `sink`: one span per
+/// protocol phase (`rebuild_context`, `apply_slice`, `replay`) on the
+/// `recovery` track, plus counts for reverted undo-log records and replayed
+/// instructions. With the default [`NullSink`] this is exactly `recover`.
+///
+/// # Errors
+/// Same failure modes as [`recover`].
+pub fn recover_observed(
+    compiled: &Compiled,
+    image: CrashImage,
+    core: usize,
+    max_steps: u64,
+    sink: &mut dyn ObsSink,
+) -> Result<RecoveredRun, RecoveryError> {
+    let observed = sink.enabled();
+    let t0 = observed.then(Instant::now);
+    let now_ns =
+        |t0: &Option<Instant>| -> u64 { t0.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0) };
     let CrashImage {
         nvm,
         output,
@@ -86,18 +109,31 @@ pub fn recover(
     };
     let mut mem = nvm;
     // Step 2: rebuild the machine context from persistent state.
+    let s = now_ns(&t0);
     let mut interp = Interp::resume(&compiled.module, core, &mem, rp)
         .map_err(|e| RecoveryError::BadImage(e.to_string()))?;
+    if observed {
+        let end = now_ns(&t0);
+        sink.span("recovery", "rebuild_context", s, end.saturating_sub(s));
+        sink.count("recovery.reverted_records", reverted_records as u64);
+    }
     // Execute the recovery slice for plain region entries (function-entry and
     // post-call entries restore from the frame record inside `resume`).
     if rp.kind == ResumeKind::Normal {
         if let Some(region) = static_region {
             if let Some(slice) = compiled.slices.get(region) {
+                let s = now_ns(&t0);
                 slice.apply(&mut interp, &mem, core);
+                if observed {
+                    let end = now_ns(&t0);
+                    sink.span("recovery", "apply_slice", s, end.saturating_sub(s));
+                    sink.count("recovery.slice_restores", slice.restores.len() as u64);
+                }
             }
         }
     }
     // Step 3: restart from the beginning of the oldest unpersisted region.
+    let s = now_ns(&t0);
     let mut output = output;
     let mut replayed = 0u64;
     let mut eff = StepEffect::default();
@@ -113,6 +149,11 @@ pub fn recover(
             output.push(v);
         }
         replayed += 1;
+    }
+    if observed {
+        let end = now_ns(&t0);
+        sink.span("recovery", "replay", s, end.saturating_sub(s));
+        sink.count("recovery.replayed_steps", replayed);
     }
     Ok(RecoveredRun {
         memory: mem,
@@ -283,6 +324,25 @@ mod tests {
         let rec = recover(&compiled, image, 0, 1_000_000).unwrap();
         assert_eq!(rec.return_value, oracle.return_value);
         assert_eq!(rec.output, oracle.output);
+    }
+
+    #[test]
+    fn recover_observed_reports_phases() {
+        let m = looping_module(40);
+        let compiled = CwspCompiler::new(CompileOptions::default()).compile(&m);
+        let cfg_ = SimConfig::default();
+        let mut machine = Machine::new(&compiled.module, &cfg_, Scheme::cwsp());
+        let r = machine.run(u64::MAX, Some(800)).unwrap();
+        assert_eq!(r.end, RunEnd::PowerFailure);
+        let image = machine.into_crash_image();
+        let mut sink = cwsp_obs::MemSink::default();
+        let rec = recover_observed(&compiled, image, 0, 1_000_000, &mut sink).unwrap();
+        assert_eq!(sink.spans_named("rebuild_context").len(), 1);
+        assert_eq!(sink.spans_named("replay").len(), 1);
+        assert_eq!(
+            sink.count_total("recovery.replayed_steps"),
+            rec.replayed_steps
+        );
     }
 
     #[test]

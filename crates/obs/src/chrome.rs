@@ -1,0 +1,289 @@
+//! Chrome trace-event JSON output.
+//!
+//! Builds the JSON-object trace format consumed by `chrome://tracing` and
+//! [Perfetto](https://ui.perfetto.dev): a `traceEvents` array of phase
+//! events. We emit:
+//!
+//! * `ph:"X"` **complete** spans (a name, a start timestamp, a duration) —
+//!   region lifetimes, stall intervals, compiler passes;
+//! * `ph:"i"` **instant** events — persist arrivals, undo-log appends,
+//!   power failure;
+//! * `ph:"C"` **counter** events — occupancy series;
+//! * `ph:"M"` **metadata** — process/thread names, which is how cores and
+//!   memory controllers become named tracks.
+//!
+//! Timestamps are in trace "microseconds" but carry **simulated cycles**
+//! (1 µs = 1 cycle); the viewer's absolute numbers then read directly as
+//! cycles. Events are kept in insertion order; the format does not require
+//! sorting.
+
+use std::fmt::Write as _;
+
+/// An argument value attached to an event (`args` object in the JSON).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Arg {
+    /// Integer payload.
+    Int(u64),
+    /// Float payload.
+    Float(f64),
+    /// String payload.
+    Str(String),
+    /// Boolean payload.
+    Bool(bool),
+}
+
+/// One trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChromeEvent {
+    /// Display name.
+    pub name: String,
+    /// Category (comma-separated tags; used by viewer filters).
+    pub cat: String,
+    /// Phase: `'X'` complete, `'i'` instant, `'C'` counter, `'M'` metadata.
+    pub ph: char,
+    /// Timestamp (simulated cycles).
+    pub ts: u64,
+    /// Duration in cycles (`ph:'X'` only).
+    pub dur: Option<u64>,
+    /// Process id (track group).
+    pub pid: u64,
+    /// Thread id (track within the group).
+    pub tid: u64,
+    /// Event arguments.
+    pub args: Vec<(String, Arg)>,
+}
+
+/// A trace under construction.
+#[derive(Debug, Clone, Default)]
+pub struct ChromeTrace {
+    events: Vec<ChromeEvent>,
+}
+
+/// The single simulated process all tracks live under.
+pub const PID: u64 = 1;
+
+impl ChromeTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        ChromeTrace::default()
+    }
+
+    /// Name the process (shown as the track-group header).
+    pub fn process_name(&mut self, name: &str) {
+        self.events.push(ChromeEvent {
+            name: "process_name".into(),
+            cat: "__metadata".into(),
+            ph: 'M',
+            ts: 0,
+            dur: None,
+            pid: PID,
+            tid: 0,
+            args: vec![("name".into(), Arg::Str(name.into()))],
+        });
+    }
+
+    /// Name a track (e.g. `core 0`, `mc 1`).
+    pub fn thread_name(&mut self, tid: u64, name: &str) {
+        self.events.push(ChromeEvent {
+            name: "thread_name".into(),
+            cat: "__metadata".into(),
+            ph: 'M',
+            ts: 0,
+            dur: None,
+            pid: PID,
+            tid,
+            args: vec![("name".into(), Arg::Str(name.into()))],
+        });
+    }
+
+    /// A complete span of `dur` cycles starting at `ts` on track `tid`.
+    pub fn complete(
+        &mut self,
+        tid: u64,
+        cat: &str,
+        name: &str,
+        ts: u64,
+        dur: u64,
+        args: Vec<(String, Arg)>,
+    ) {
+        self.events.push(ChromeEvent {
+            name: name.into(),
+            cat: cat.into(),
+            ph: 'X',
+            ts,
+            dur: Some(dur.max(1)),
+            pid: PID,
+            tid,
+            args,
+        });
+    }
+
+    /// An instant event at `ts` on track `tid`.
+    pub fn instant(&mut self, tid: u64, cat: &str, name: &str, ts: u64, args: Vec<(String, Arg)>) {
+        self.events.push(ChromeEvent {
+            name: name.into(),
+            cat: cat.into(),
+            ph: 'i',
+            ts,
+            dur: None,
+            pid: PID,
+            tid,
+            args,
+        });
+    }
+
+    /// A counter sample at `ts` (each arg becomes one series).
+    pub fn counter(&mut self, tid: u64, name: &str, ts: u64, series: Vec<(String, Arg)>) {
+        self.events.push(ChromeEvent {
+            name: name.into(),
+            cat: "counter".into(),
+            ph: 'C',
+            ts,
+            dur: None,
+            pid: PID,
+            tid,
+            args: series,
+        });
+    }
+
+    /// All events in insertion order.
+    pub fn events(&self) -> &[ChromeEvent] {
+        &self.events
+    }
+
+    /// Number of complete (`ph:'X'`) spans on track `tid`.
+    pub fn complete_spans_on(&self, tid: u64) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.ph == 'X' && e.tid == tid)
+            .count()
+    }
+
+    /// Track ids that carry at least one non-metadata event.
+    pub fn tracks(&self) -> Vec<u64> {
+        let mut tids: Vec<u64> = self
+            .events
+            .iter()
+            .filter(|e| e.ph != 'M')
+            .map(|e| e.tid)
+            .collect();
+        tids.sort_unstable();
+        tids.dedup();
+        tids
+    }
+
+    /// Serialize as the JSON-object trace format.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str("  {\"name\": ");
+            crate::json_escape(&mut out, &e.name);
+            out.push_str(", \"cat\": ");
+            crate::json_escape(&mut out, &e.cat);
+            let _ = write!(
+                out,
+                ", \"ph\": \"{}\", \"ts\": {}, \"pid\": {}, \"tid\": {}",
+                e.ph, e.ts, e.pid, e.tid
+            );
+            if let Some(d) = e.dur {
+                let _ = write!(out, ", \"dur\": {d}");
+            }
+            if e.ph == 'i' {
+                // Instant scope: thread.
+                out.push_str(", \"s\": \"t\"");
+            }
+            if !e.args.is_empty() {
+                out.push_str(", \"args\": {");
+                for (j, (k, v)) in e.args.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    crate::json_escape(&mut out, k);
+                    out.push_str(": ");
+                    match v {
+                        Arg::Int(n) => {
+                            let _ = write!(out, "{n}");
+                        }
+                        Arg::Float(f) => crate::json_f64(&mut out, *f),
+                        Arg::Str(s) => crate::json_escape(&mut out, s),
+                        Arg::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+                    }
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_tracks_spans_and_instants() {
+        let mut t = ChromeTrace::new();
+        t.process_name("cwsp-sim");
+        t.thread_name(0, "core 0");
+        t.thread_name(1000, "mc 0");
+        t.complete(
+            0,
+            "region",
+            "dyn3",
+            100,
+            50,
+            vec![("insts".into(), Arg::Int(12))],
+        );
+        t.instant(1000, "persist", "arrive", 120, vec![]);
+        assert_eq!(t.complete_spans_on(0), 1);
+        assert_eq!(t.complete_spans_on(1000), 0);
+        assert_eq!(t.tracks(), vec![0, 1000]);
+    }
+
+    #[test]
+    fn json_shape_is_chrome_compatible() {
+        let mut t = ChromeTrace::new();
+        t.thread_name(0, "core 0");
+        t.complete(
+            0,
+            "stall",
+            "stall:pb",
+            7,
+            3,
+            vec![("region".into(), Arg::Str("dyn1".into()))],
+        );
+        t.instant(
+            0,
+            "power",
+            "POWER FAILURE",
+            11,
+            vec![("bool".into(), Arg::Bool(true))],
+        );
+        t.counter(0, "occupancy", 5, vec![("wb".into(), Arg::Int(4))]);
+        let j = t.to_json();
+        assert!(j.starts_with('{') && j.trim_end().ends_with('}'));
+        assert!(j.contains("\"traceEvents\""));
+        assert!(j.contains("\"ph\": \"X\""));
+        assert!(j.contains("\"dur\": 3"));
+        assert!(j.contains("\"ph\": \"i\""));
+        assert!(j.contains("\"s\": \"t\""));
+        assert!(j.contains("\"ph\": \"C\""));
+        assert!(j.contains("\"ph\": \"M\""));
+        // Balanced braces/brackets (cheap structural sanity; the full parse
+        // check lives in the bench crate, which has the JSON parser).
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn zero_duration_spans_are_widened_to_render() {
+        let mut t = ChromeTrace::new();
+        t.complete(0, "c", "x", 5, 0, vec![]);
+        assert_eq!(t.events()[0].dur, Some(1));
+    }
+}

@@ -50,6 +50,7 @@ pub mod iodevice;
 pub mod machine;
 pub mod mc;
 pub mod persist;
+pub mod profiler;
 pub mod scheme;
 pub mod stats;
 pub mod trace;

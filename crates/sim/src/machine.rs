@@ -14,9 +14,10 @@ use crate::config::SimConfig;
 use crate::iodevice::IoDevice;
 use crate::mc::MemoryController;
 use crate::persist::{PersistBuffer, PersistPath, RbtEntry, RegionBoundaryTable};
+use crate::profiler::{Cause, CycleProfiler, Site};
 use crate::scheme::Scheme;
 use crate::stats::SimStats;
-use crate::trace::{Event, Trace};
+use crate::trace::{Event, StallKind, Trace};
 use crate::wbuf::WriteBuffer;
 use cwsp_ir::decoded::DecodedModule;
 use cwsp_ir::interp::{
@@ -94,6 +95,35 @@ struct Core<'m> {
     capri_region_lines: Vec<u64>,
     /// Reused effect buffer so the execute stage never allocates.
     eff_scratch: StepEffect,
+    /// In-progress coalesced stall span (only ever `Some` while tracing).
+    open_stall: Option<OpenStall>,
+    /// Site of the last issued instruction (profiler busy attribution).
+    prof_site: Site,
+    /// WPQ-delay cycles folded into the current instruction's cost
+    /// (profiler splits them out of the busy window).
+    prof_busy_wpq: u64,
+    /// Scheme-stall cycles folded into the current instruction's cost.
+    prof_busy_scheme: u64,
+}
+
+/// A stall span being coalesced for the trace ring: consecutive stall
+/// cycles of one kind on one region collapse into a single [`Event::Stall`].
+#[derive(Debug, Clone, Copy)]
+struct OpenStall {
+    kind: StallKind,
+    region: Option<DynRegionId>,
+    start: u64,
+    cycles: u64,
+}
+
+/// What one issue slot did (drives both the issue loop and the profiler).
+enum SlotOutcome {
+    /// An instruction issued; `more` means another slot may issue this cycle.
+    Issued { more: bool },
+    /// The core stalled in the persist machinery.
+    Stalled(StallKind),
+    /// The core was halted or busy on entry (later slots only).
+    Blocked,
 }
 
 /// The simulated machine.
@@ -114,6 +144,7 @@ pub struct Machine<'m> {
     device: IoDevice,
     resume_meta: Vec<(ResumePoint, Option<RegionId>)>,
     trace: Option<Trace>,
+    profiler: Option<CycleProfiler>,
 }
 
 impl<'m> Machine<'m> {
@@ -171,6 +202,10 @@ impl<'m> Machine<'m> {
                 region_insts: 0,
                 capri_region_lines: Vec::new(),
                 eff_scratch: StepEffect::default(),
+                open_stall: None,
+                prof_site: (None, None),
+                prof_busy_wpq: 0,
+                prof_busy_scheme: 0,
             });
         }
         let nvm = arch_mem.clone();
@@ -213,6 +248,7 @@ impl<'m> Machine<'m> {
             device: IoDevice::new(),
             resume_meta,
             trace: None,
+            profiler: None,
         };
         // Open the initial region on every core (the program-entry region is
         // the non-speculative head from the start) and persist its metadata.
@@ -264,11 +300,112 @@ impl<'m> Machine<'m> {
         self.trace.as_ref()
     }
 
+    /// Enable exact cycle attribution (see [`crate::profiler`]); call before
+    /// [`Machine::run`]. Unlike tracing, this classifies every core-cycle,
+    /// so it adds measurable (but small) simulation overhead.
+    pub fn enable_profiler(&mut self) {
+        self.profiler = Some(CycleProfiler::new());
+    }
+
+    /// The flat cycle-attribution profile, if profiling was enabled.
+    pub fn flat_profile(&self) -> Option<cwsp_obs::FlatProfile> {
+        self.profiler.as_ref().map(|p| p.to_flat(self.module))
+    }
+
+    /// The recorded trace as Chrome trace-event JSON tracks, if tracing was
+    /// enabled.
+    pub fn chrome_trace(&self) -> Option<cwsp_obs::ChromeTrace> {
+        self.trace
+            .as_ref()
+            .map(|t| t.to_chrome(self.cores.len(), self.mcs.len()))
+    }
+
     #[inline]
     fn emit(&mut self, e: Event) {
         if let Some(t) = &mut self.trace {
             t.record(e);
         }
+    }
+
+    /// Note one traced stall cycle on core `i`, coalescing consecutive
+    /// cycles of the same kind/region into one span event. No-op (one
+    /// branch) when tracing is off.
+    #[inline]
+    fn note_stall(&mut self, i: usize, kind: StallKind) {
+        if self.trace.is_none() {
+            return;
+        }
+        // The draining region is the RBT head (oldest unpersisted); fall
+        // back to the open tail for stalls before anything is in flight.
+        let region = {
+            let rbt = &self.cores[i].rbt;
+            rbt.head()
+                .map(|e| e.dyn_id)
+                .or_else(|| rbt.tail().map(|e| e.dyn_id))
+        };
+        let cycle = self.cycle;
+        let prev = {
+            let slot = &mut self.cores[i].open_stall;
+            match slot {
+                Some(s) if s.kind == kind && s.region == region => {
+                    s.cycles += 1;
+                    None
+                }
+                _ => slot.replace(OpenStall {
+                    kind,
+                    region,
+                    start: cycle,
+                    cycles: 1,
+                }),
+            }
+        };
+        if let Some(p) = prev {
+            self.emit(Event::Stall {
+                cycle: p.start,
+                core: i,
+                kind: p.kind,
+                region: p.region,
+                cycles: p.cycles,
+            });
+        }
+    }
+
+    /// Flush core `i`'s in-progress stall span into the ring (the stall
+    /// ended: the core issued, or the run is ending).
+    fn flush_stall(&mut self, i: usize) {
+        if let Some(p) = self.cores[i].open_stall.take() {
+            self.emit(Event::Stall {
+                cycle: p.start,
+                core: i,
+                kind: p.kind,
+                region: p.region,
+                cycles: p.cycles,
+            });
+        }
+    }
+
+    fn flush_all_stalls(&mut self) {
+        for i in 0..self.cores.len() {
+            self.flush_stall(i);
+        }
+    }
+
+    /// Charge one profiled core-cycle (no-op branch when profiling is off).
+    #[inline]
+    fn charge(&mut self, site: Site, cause: Cause) {
+        if let Some(p) = &mut self.profiler {
+            p.charge(site, cause);
+        }
+    }
+
+    /// The current attribution site for core `i`: executing function +
+    /// open static region.
+    fn cur_site(&self, i: usize) -> Site {
+        let core = &self.cores[i];
+        (
+            core.interp.position().map(|rp| rp.func),
+            core.rbt.tail().and_then(|e| e.static_region),
+        )
     }
 
     /// Current cycle.
@@ -314,6 +451,7 @@ impl<'m> Machine<'m> {
         loop {
             if let Some(c) = crash_at_cycle {
                 if self.cycle >= c {
+                    self.flush_all_stalls();
                     self.emit(Event::PowerFailure { cycle: self.cycle });
                     self.finalize_stats();
                     return Ok(RunResult {
@@ -351,6 +489,7 @@ impl<'m> Machine<'m> {
     }
 
     fn finalize_stats(&mut self) {
+        self.flush_all_stalls();
         self.stats.cycles = self.cycle;
         let mut mix = [0u64; cwsp_ir::decoded::OPCODE_COUNT];
         for core in &self.cores {
@@ -387,6 +526,11 @@ impl<'m> Machine<'m> {
         // Path arrivals → WPQ (FIFO; head-of-line blocks on a full WPQ).
         let cacheline_scheme = matches!(self.scheme, Scheme::Capri | Scheme::ReplayCache);
         while let Some(e) = self.path.peek_arrival(cycle).copied() {
+            let logs_before = if self.trace.is_some() {
+                self.mcs[e.mc].log_appends
+            } else {
+                0
+            };
             let accepted = if cacheline_scheme {
                 // Line payloads are not materialized; charge timing only.
                 self.mcs[e.mc].accept_timing_only(cycle, e.region, e.addr)
@@ -397,6 +541,14 @@ impl<'m> Machine<'m> {
                 break;
             }
             self.path.pop_arrival();
+            if self.trace.is_some() && self.mcs[e.mc].log_appends > logs_before {
+                self.emit(Event::UndoLogged {
+                    cycle,
+                    mc: e.mc,
+                    region: e.region,
+                    addr: e.addr,
+                });
+            }
             self.emit(Event::PersistArrive {
                 cycle,
                 mc: e.mc,
@@ -488,29 +640,84 @@ impl<'m> Machine<'m> {
     /// consume one issue slot; longer operations block the core for their
     /// latency.
     fn advance_core(&mut self, i: usize) -> Result<(), InterpError> {
+        if self.profiler.is_none() {
+            // Fast path: no per-cycle classification.
+            for _slot in 0..self.cfg.issue_width {
+                if !matches!(
+                    self.advance_core_once(i)?,
+                    SlotOutcome::Issued { more: true }
+                ) {
+                    break;
+                }
+            }
+            return Ok(());
+        }
+        // Profiled path: classify exactly one core-cycle.
+        if self.cores[i].halted {
+            self.charge((None, None), Cause::Halted);
+            return Ok(());
+        }
+        if self.cores[i].busy_until > self.cycle {
+            // A long-latency instruction is in flight. Split lump-sum stall
+            // latencies folded into its cost back out to their cause; the
+            // remainder is execution time at the issue site.
+            let site = self.cores[i].prof_site;
+            let cause = if self.cores[i].prof_busy_scheme > 0 {
+                self.cores[i].prof_busy_scheme -= 1;
+                Cause::Stall(StallKind::Scheme)
+            } else if self.cores[i].prof_busy_wpq > 0 {
+                self.cores[i].prof_busy_wpq -= 1;
+                Cause::Stall(StallKind::Wpq)
+            } else {
+                Cause::Exec
+            };
+            self.charge(site, cause);
+            return Ok(());
+        }
+        let mut attr: Option<(Site, Cause)> = None;
         for _slot in 0..self.cfg.issue_width {
-            if !self.advance_core_once(i)? {
-                break;
+            match self.advance_core_once(i)? {
+                SlotOutcome::Issued { more } => {
+                    attr = Some((self.cores[i].prof_site, Cause::Exec));
+                    if !more {
+                        break;
+                    }
+                }
+                SlotOutcome::Stalled(kind) => {
+                    // A stall after an issue still counts as an issuing cycle.
+                    if attr.is_none() {
+                        attr = Some((self.cur_site(i), Cause::Stall(kind)));
+                    }
+                    break;
+                }
+                SlotOutcome::Blocked => break,
             }
         }
+        let (site, cause) = attr.unwrap_or(((None, None), Cause::Exec));
+        self.charge(site, cause);
         Ok(())
     }
 
-    /// One issue slot for core `i`; returns whether another slot may issue
-    /// this cycle.
-    fn advance_core_once(&mut self, i: usize) -> Result<bool, InterpError> {
+    /// One issue slot for core `i`.
+    fn advance_core_once(&mut self, i: usize) -> Result<SlotOutcome, InterpError> {
         let cycle = self.cycle;
         if self.cores[i].halted || self.cores[i].busy_until > cycle {
-            return Ok(false);
+            return Ok(SlotOutcome::Blocked);
         }
         // Drain pending dirty evictions into the WB first.
         while let Some(&line) = self.cores[i].pending_evictions.front() {
             if self.cores[i].wb.has_space() {
                 self.cores[i].wb.push(line);
                 self.cores[i].pending_evictions.pop_front();
+                self.emit(Event::WbEnqueue {
+                    cycle,
+                    core: i,
+                    line,
+                });
             } else {
                 self.stats.stall_wb += 1;
-                return Ok(false);
+                self.note_stall(i, StallKind::Wb);
+                return Ok(SlotOutcome::Stalled(StallKind::Wb));
             }
         }
         // Pending PB inserts from an already-executed store.
@@ -522,9 +729,16 @@ impl<'m> Machine<'m> {
                 core.pb.push(region, addr, data, log_bit);
                 core.rbt.on_store(self.cfg.mc_of(addr));
                 core.pending_pb.pop_front();
+                self.emit(Event::PersistIssue {
+                    cycle,
+                    core: i,
+                    region,
+                    addr,
+                });
             } else {
                 self.stats.stall_pb += 1;
-                return Ok(false);
+                self.note_stall(i, StallKind::Pb);
+                return Ok(SlotOutcome::Stalled(StallKind::Pb));
             }
         }
         // Pending boundary: needs RBT space (plus a full drain when MC
@@ -544,7 +758,8 @@ impl<'m> Machine<'m> {
             };
             if !ready {
                 self.stats.stall_rbt += 1;
-                return Ok(false);
+                self.note_stall(i, StallKind::Rbt);
+                return Ok(SlotOutcome::Stalled(StallKind::Rbt));
             }
             if uses_rbt {
                 let dyn_id = self.next_dyn();
@@ -583,7 +798,8 @@ impl<'m> Machine<'m> {
                     && self.cores[i].pending_pb.is_empty());
             if !drained {
                 self.stats.stall_sync += 1;
-                return Ok(false);
+                self.note_stall(i, StallKind::Sync);
+                return Ok(SlotOutcome::Stalled(StallKind::Sync));
             }
             // Commit the sync point: its store persists synchronously, and
             // the recovery point advances past it (it must never re-execute).
@@ -609,6 +825,18 @@ impl<'m> Machine<'m> {
             }
         }
 
+        // The stall (if any) ended: complete its coalesced trace span.
+        if self.cores[i].open_stall.is_some() {
+            self.flush_stall(i);
+        }
+        if self.profiler.is_some() {
+            // Capture the issue site before stepping (the interpreter's
+            // position moves past the instruction), and reset the lump-sum
+            // stall split for this instruction's cost.
+            self.cores[i].prof_site = self.cur_site(i);
+            self.cores[i].prof_busy_wpq = 0;
+            self.cores[i].prof_busy_scheme = 0;
+        }
         // Execute one instruction into the core's reused effect buffer.
         let mut eff = std::mem::take(&mut self.cores[i].eff_scratch);
         if let Err(e) = self.cores[i].interp.step_into(&mut self.arch_mem, &mut eff) {
@@ -621,10 +849,12 @@ impl<'m> Machine<'m> {
         self.cores[i].eff_scratch = eff;
         if cost <= 1 {
             // Slot-cost instruction: the core may issue again this cycle.
-            Ok(!self.cores[i].halted)
+            Ok(SlotOutcome::Issued {
+                more: !self.cores[i].halted,
+            })
         } else {
             self.cores[i].busy_until = cycle + cost;
-            Ok(false)
+            Ok(SlotOutcome::Issued { more: false })
         }
     }
 
@@ -726,6 +956,7 @@ impl<'m> Machine<'m> {
                         // Stall until the redo buffer drains one line.
                         cost += self.cfg.persist_path_cycles;
                         self.stats.stall_scheme += self.cfg.persist_path_cycles;
+                        self.cores[i].prof_busy_scheme += self.cfg.persist_path_cycles;
                     } else {
                         self.cores[i].pb.push(DynRegionId(0), line, 0, false);
                     }
@@ -741,6 +972,7 @@ impl<'m> Machine<'m> {
                     let wait = (occ as u64 - 128) / 2;
                     cost += wait;
                     self.stats.stall_scheme += wait;
+                    self.cores[i].prof_busy_scheme += wait;
                 }
             }
         }
@@ -749,6 +981,7 @@ impl<'m> Machine<'m> {
             let per_line = (64.0 / self.cfg.path_bytes_per_cycle()).ceil() as u64;
             let sync_cost = (self.cfg.persist_path_cycles + per_line) * eff.writes.len() as u64;
             self.stats.stall_scheme += sync_cost;
+            self.cores[i].prof_busy_scheme += sync_cost;
             cost += sync_cost;
             for &(a, v) in &eff.writes {
                 self.nvm.store(a, v);
@@ -809,6 +1042,7 @@ impl<'m> Machine<'m> {
                 self.stats.wpq_hits += 1;
                 let extra = free_at.saturating_sub(self.cycle);
                 self.stats.stall_wpq += extra;
+                self.cores[i].prof_busy_wpq += extra;
                 lat += extra;
             }
         }
@@ -1212,9 +1446,20 @@ mod trace_tests {
         assert_eq!(failed, 1);
         // The tail renders human-readable lines for post-mortems.
         assert!(t.tail(5).contains("POWER FAILURE"));
-        // Cycles are monotone in the ring.
-        let cycles: Vec<u64> = t.events().map(|e| e.cycle()).collect();
+        // Cycles are monotone in the ring for point events (stall spans are
+        // recorded when they *end* but stamped with their start cycle, so
+        // they may appear after later point events).
+        let cycles: Vec<u64> = t
+            .events()
+            .filter(|e| !matches!(e, Event::Stall { .. }))
+            .map(|e| e.cycle())
+            .collect();
         assert!(cycles.windows(2).all(|w| w[0] <= w[1]));
+        // PB issues are traced now that stores route through the machinery.
+        assert!(
+            t.events().any(|e| matches!(e, Event::PersistIssue { .. })),
+            "no PersistIssue events traced"
+        );
     }
 }
 

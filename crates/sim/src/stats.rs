@@ -140,6 +140,104 @@ impl SimStats {
     pub fn llc_miss_ratio(&self) -> f64 {
         ratio(self.llc_sram)
     }
+
+    /// Publish every counter into a metrics registry under the `sim.`
+    /// namespace (counters for raw counts, gauges for derived ratios,
+    /// histograms for the region-size and opcode-mix distributions).
+    pub fn publish(&self, r: &mut cwsp_obs::Registry) {
+        for (name, v) in [
+            ("sim.cycles", self.cycles),
+            ("sim.insts", self.insts),
+            ("sim.loads", self.loads),
+            ("sim.stores", self.stores),
+            ("sim.ckpt_stores", self.ckpt_stores),
+            ("sim.frame_stores", self.frame_stores),
+            ("sim.syncs", self.syncs),
+            ("sim.regions", self.regions),
+            ("sim.region_insts", self.region_insts),
+            ("sim.wpq_hits", self.wpq_hits),
+            ("sim.wb_delays", self.wb_delays),
+            ("sim.wb_occupancy_sum", self.wb_occupancy_sum),
+            ("sim.pb_occupancy_sum", self.pb_occupancy_sum),
+            ("sim.stall.pb", self.stall_pb),
+            ("sim.stall.rbt", self.stall_rbt),
+            ("sim.stall.wb", self.stall_wb),
+            ("sim.stall.sync", self.stall_sync),
+            ("sim.stall.wpq", self.stall_wpq),
+            ("sim.stall.scheme", self.stall_scheme),
+            ("sim.cache.l1.hits", self.l1.0),
+            ("sim.cache.l1.misses", self.l1.1),
+            ("sim.cache.llc.hits", self.llc_sram.0),
+            ("sim.cache.llc.misses", self.llc_sram.1),
+            ("sim.cache.dram.hits", self.dram_cache.0),
+            ("sim.cache.dram.misses", self.dram_cache.1),
+            ("sim.nvm.reads", self.nvm_reads),
+            ("sim.nvm.writes", self.nvm_writes),
+            ("sim.log.appends", self.log_appends),
+            ("sim.log.peak_live", self.peak_live_logs as u64),
+        ] {
+            r.add_counter(name, v);
+        }
+        r.set_gauge("sim.ipc", self.ipc());
+        r.set_gauge("sim.wb.avg_occupancy", self.avg_wb_occupancy());
+        r.set_gauge("sim.pb.avg_occupancy", self.avg_pb_occupancy());
+        r.set_gauge("sim.wpq.hits_per_minst", self.wpq_hits_per_minst());
+        r.set_histogram(
+            "sim.region_size",
+            &Self::REGION_BUCKETS,
+            &self.region_size_hist,
+        );
+        r.set_histogram("sim.op_mix", &cwsp_ir::decoded::OPCODE_NAMES, &self.op_mix);
+    }
+
+    /// Check the cross-counter invariants the accounting must uphold:
+    /// `op_mix` sums to `insts`, every stall counter is bounded by
+    /// `cycles × cores`, the region-size histogram totals `regions`, and L1
+    /// accesses (hits + misses) equal the memory operations that walk the
+    /// hierarchy (`loads + stores + ckpt_stores + frame_stores` — sync
+    /// writes persist at commit and bypass the cache walk).
+    ///
+    /// # Errors
+    /// Returns every violated invariant as one newline-joined message.
+    pub fn check_invariants(&self, cores: u64) -> Result<(), String> {
+        let mut errs = Vec::new();
+        let mix: u64 = self.op_mix.iter().sum();
+        if mix != self.insts {
+            errs.push(format!("op_mix sums to {mix}, insts is {}", self.insts));
+        }
+        let bound = self.cycles * cores;
+        for (name, v) in [
+            ("stall_pb", self.stall_pb),
+            ("stall_rbt", self.stall_rbt),
+            ("stall_wb", self.stall_wb),
+            ("stall_sync", self.stall_sync),
+            ("stall_wpq", self.stall_wpq),
+            ("stall_scheme", self.stall_scheme),
+        ] {
+            if v > bound {
+                errs.push(format!("{name} = {v} exceeds cycles×cores = {bound}"));
+            }
+        }
+        let hist: u64 = self.region_size_hist.iter().sum();
+        if hist != self.regions {
+            errs.push(format!(
+                "region_size_hist totals {hist}, regions is {}",
+                self.regions
+            ));
+        }
+        let accesses = self.l1.0 + self.l1.1;
+        let memops = self.loads + self.stores + self.ckpt_stores + self.frame_stores;
+        if accesses != memops {
+            errs.push(format!(
+                "l1 hits+misses = {accesses}, loads+stores+ckpt+frame = {memops}"
+            ));
+        }
+        if errs.is_empty() {
+            Ok(())
+        } else {
+            Err(errs.join("\n"))
+        }
+    }
 }
 
 fn ratio((h, m): (u64, u64)) -> f64 {
@@ -185,6 +283,62 @@ mod tests {
         }
         assert_eq!(s.region_size_hist, [2, 1, 1, 1, 1, 1, 1]);
         assert_eq!(SimStats::REGION_BUCKETS.len(), s.region_size_hist.len());
+    }
+
+    #[test]
+    fn publish_exports_counters_gauges_histograms() {
+        let mut s = SimStats {
+            cycles: 100,
+            insts: 3,
+            stall_pb: 7,
+            ..Default::default()
+        };
+        s.op_mix[0] = 3;
+        s.record_region_size(2);
+        let mut r = cwsp_obs::Registry::new();
+        s.publish(&mut r);
+        assert_eq!(r.counter_value("sim.cycles"), 100);
+        assert_eq!(r.counter_value("sim.stall.pb"), 7);
+        assert!((r.gauge_value("sim.ipc") - 0.03).abs() < 1e-12);
+        match r.get("sim.region_size") {
+            Some(cwsp_obs::MetricValue::Histogram(b)) => {
+                assert_eq!(b[0], ("1-4".to_string(), 1));
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        assert!(r.get("sim.op_mix").is_some());
+    }
+
+    #[test]
+    fn invariant_checker_catches_violations() {
+        let mut s = SimStats {
+            cycles: 10,
+            insts: 5,
+            loads: 2,
+            stores: 1,
+            l1: (2, 1),
+            regions: 1,
+            ..Default::default()
+        };
+        s.op_mix[0] = 5;
+        s.record_region_size(3);
+        assert!(s.check_invariants(1).is_ok(), "{:?}", s.check_invariants(1));
+        // Break each invariant and check it is reported.
+        let mut bad = s.clone();
+        bad.op_mix[0] = 4;
+        assert!(bad.check_invariants(1).unwrap_err().contains("op_mix"));
+        let mut bad = s.clone();
+        bad.stall_sync = 11;
+        assert!(bad.check_invariants(1).unwrap_err().contains("stall_sync"));
+        let mut bad = s.clone();
+        bad.regions = 2;
+        assert!(bad
+            .check_invariants(1)
+            .unwrap_err()
+            .contains("region_size_hist"));
+        let mut bad = s.clone();
+        bad.loads = 3;
+        assert!(bad.check_invariants(1).unwrap_err().contains("l1"));
     }
 
     #[test]

@@ -25,8 +25,8 @@ fn main() {
     let r = machine.run(u64::MAX, Some(crash_cycle)).expect("run");
     assert_eq!(r.end, RunEnd::PowerFailure);
 
-    println!("=== last 16 machine events before the failure ===");
-    println!("{}", machine.trace().unwrap().tail(16));
+    println!("=== crash post-mortem ===");
+    println!("{}", machine.trace().unwrap().post_mortem(16));
 
     let image = machine.into_crash_image();
     println!(

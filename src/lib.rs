@@ -10,6 +10,8 @@
 //! * [`sim`] — the architecture simulator: persist buffer, region boundary
 //!   table, memory-controller speculation with hardware undo logging, caches,
 //!   NVM, and the baseline schemes (Capri, ReplayCache, ideal PSP).
+//! * [`obs`] — the observability layer: metrics registry, Chrome trace-event
+//!   export, and the flat cycle-attribution profile model.
 //! * [`runtime`] — the simulated libc/kernel substrate (whole-system scope).
 //! * [`core`] — the end-to-end cWSP system: compile → simulate → crash →
 //!   recover → verify.
@@ -46,6 +48,7 @@
 pub use cwsp_compiler as compiler;
 pub use cwsp_core as core;
 pub use cwsp_ir as ir;
+pub use cwsp_obs as obs;
 pub use cwsp_runtime as runtime;
 pub use cwsp_sim as sim;
 pub use cwsp_workloads as workloads;
