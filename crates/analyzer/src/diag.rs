@@ -1,0 +1,480 @@
+//! The diagnostics model: severities, invariant families, locations, path
+//! witnesses, and the [`Report`] container with human-readable and JSON
+//! rendering.
+//!
+//! Every finding the analyzer produces is a [`Diagnostic`]: *what* rule was
+//! violated (invariant family + stable rule code), *where* (function, block,
+//! instruction), *how bad* (severity), and — for the path-sensitive checks —
+//! *why* (a concrete [`PathWitness`] through the CFG that exhibits the
+//! violation). "Static-clean" means: no error-severity diagnostics.
+
+use std::fmt;
+
+/// How serious a diagnostic is. `Error` means a crash-consistency invariant
+/// is (or may be) violated; recovery correctness is not guaranteed.
+/// `Warning` flags suspicious-but-survivable constructs; `Info` is advisory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Advisory only.
+    Info,
+    /// Suspicious construct; recovery still sound.
+    Warning,
+    /// A proven or unprovable-safe violation of a crash-consistency rule.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// The four statically-checked invariant families of the cWSP correctness
+/// argument (§IV), plus the general lint bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Invariant {
+    /// I1 — no region stores to a word or register it previously read from
+    /// pre-region state (§IV-A).
+    Idempotence,
+    /// I2 — every register live across a boundary is restorable: present in
+    /// the slice and slot-synced on every path to the boundary (§IV-B).
+    CheckpointCoverage,
+    /// I3 — every recovery-slice source reproduces the live-in value: slots
+    /// synced, constants provably equal, expression leaves intact (§IV-C).
+    SliceWellFormed,
+    /// I4 — structural placement rules: boundaries at joins, loop headers,
+    /// calls, and synchronization points; regions non-empty and well-shaped.
+    Structure,
+    /// L — general IR lints (not crash-consistency invariants per se).
+    Lint,
+}
+
+impl Invariant {
+    /// Stable short id (`I1`..`I4`, `L`).
+    pub fn id(self) -> &'static str {
+        match self {
+            Invariant::Idempotence => "I1",
+            Invariant::CheckpointCoverage => "I2",
+            Invariant::SliceWellFormed => "I3",
+            Invariant::Structure => "I4",
+            Invariant::Lint => "L",
+        }
+    }
+
+    /// Human-readable family name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Invariant::Idempotence => "idempotence",
+            Invariant::CheckpointCoverage => "checkpoint-coverage",
+            Invariant::SliceWellFormed => "slice-well-formed",
+            Invariant::Structure => "structure",
+            Invariant::Lint => "lint",
+        }
+    }
+}
+
+impl fmt::Display for Invariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Where a diagnostic points: `function/bbN[idx]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Location {
+    /// Function name.
+    pub function: String,
+    /// Basic-block id within the function.
+    pub block: u32,
+    /// Instruction index within the block; `None` for block-level findings.
+    pub inst: Option<usize>,
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.inst {
+            Some(i) => write!(f, "{}/bb{}[{}]", self.function, self.block, i),
+            None => write!(f, "{}/bb{}", self.function, self.block),
+        }
+    }
+}
+
+/// One step of a counterexample path: a position plus what happens there.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct WitnessStep {
+    /// Basic-block id.
+    pub block: u32,
+    /// Instruction index within the block.
+    pub idx: usize,
+    /// Rendered instruction or explanation for this step.
+    pub note: String,
+}
+
+/// A concrete path through the CFG exhibiting a violation, from the point
+/// where the hazard is created to the point where it strikes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PathWitness {
+    /// Path steps in execution order.
+    pub steps: Vec<WitnessStep>,
+    /// How many interior steps were elided to keep the witness readable.
+    pub omitted: usize,
+}
+
+impl PathWitness {
+    /// Build a witness from steps, eliding the middle beyond `keep` steps.
+    pub fn elided(mut steps: Vec<WitnessStep>, keep: usize) -> Self {
+        let omitted = if steps.len() > keep {
+            let excess = steps.len() - keep;
+            // Keep the head (hazard creation) and tail (violation).
+            let head = keep / 3;
+            steps.drain(head..head + excess);
+            excess
+        } else {
+            0
+        };
+        PathWitness { steps, omitted }
+    }
+}
+
+/// One analyzer finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Severity class.
+    pub severity: Severity,
+    /// Invariant family the finding belongs to.
+    pub invariant: Invariant,
+    /// Stable rule code, e.g. `I1-mem-war` or `L-unreachable-block`.
+    pub code: &'static str,
+    /// Human-readable description.
+    pub message: String,
+    /// Primary location.
+    pub location: Location,
+    /// Static region id the finding is attributed to, when known.
+    pub region: Option<u32>,
+    /// Counterexample path, for the path-sensitive checks.
+    pub witness: Option<PathWitness>,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity, self.code, self.location, self.message
+        )?;
+        if let Some(r) = self.region {
+            write!(f, " (region R{r})")?;
+        }
+        Ok(())
+    }
+}
+
+/// Aggregate analysis counters, surfaced through the observability layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Functions analyzed (invalid functions are counted but skipped).
+    pub functions: usize,
+    /// Explicit region boundaries in the module.
+    pub regions_total: usize,
+    /// Boundaries whose region has no error-severity finding.
+    pub regions_proven: usize,
+    /// Wall time of the analysis in nanoseconds.
+    pub analysis_ns: u64,
+}
+
+/// The result of analyzing one module.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Module name.
+    pub module: String,
+    /// All findings, in (function, block, inst) discovery order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Aggregate counters.
+    pub counters: Counters,
+}
+
+impl Report {
+    /// Number of diagnostics at `sev`.
+    pub fn count(&self, sev: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == sev)
+            .count()
+    }
+
+    /// Error-severity findings.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
+
+    /// Whether the module is static-clean: no error-severity diagnostics.
+    pub fn is_clean(&self) -> bool {
+        self.count(Severity::Error) == 0
+    }
+
+    /// Highest severity present, if any finding exists.
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.diagnostics.iter().map(|d| d.severity).max()
+    }
+
+    /// Drop exact duplicates (the same finding reached via several paths),
+    /// keeping first-discovered order.
+    pub fn dedup(&mut self) {
+        let mut seen = std::collections::HashSet::new();
+        self.diagnostics
+            .retain(|d| seen.insert((d.code, d.location.clone(), d.message.clone(), d.severity)));
+    }
+
+    /// Render the report as human-readable text.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{}: {} error(s), {} warning(s), {} info(s); {}/{} regions proven",
+            self.module,
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Info),
+            self.counters.regions_proven,
+            self.counters.regions_total,
+        );
+        for d in &self.diagnostics {
+            let _ = writeln!(s, "  {d}");
+            if let Some(w) = &d.witness {
+                for (i, step) in w.steps.iter().enumerate() {
+                    if w.omitted > 0 && i == w.steps.len().saturating_sub(1) / 2 + 1 {
+                        let _ = writeln!(s, "      ... ({} steps omitted)", w.omitted);
+                    }
+                    let _ = writeln!(s, "      via bb{}[{}]: {}", step.block, step.idx, step.note);
+                }
+            }
+        }
+        s
+    }
+
+    /// Render the report as JSON (hand-rolled; the analyzer has no external
+    /// dependencies and must not depend on downstream crates).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"module\":{},\"summary\":{{\"errors\":{},\"warnings\":{},\"infos\":{},\
+             \"functions\":{},\"regions_total\":{},\"regions_proven\":{},\"analysis_ns\":{}}},\
+             \"diagnostics\":[",
+            json_str(&self.module),
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Info),
+            self.counters.functions,
+            self.counters.regions_total,
+            self.counters.regions_proven,
+            self.counters.analysis_ns,
+        );
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"severity\":\"{}\",\"invariant\":\"{}\",\"code\":{},\"function\":{},\
+                 \"block\":{},",
+                d.severity,
+                d.invariant,
+                json_str(d.code),
+                json_str(&d.location.function),
+                d.location.block,
+            );
+            match d.location.inst {
+                Some(idx) => {
+                    let _ = write!(s, "\"inst\":{idx},");
+                }
+                None => s.push_str("\"inst\":null,"),
+            }
+            match d.region {
+                Some(r) => {
+                    let _ = write!(s, "\"region\":{r},");
+                }
+                None => s.push_str("\"region\":null,"),
+            }
+            let _ = write!(s, "\"message\":{}", json_str(&d.message));
+            if let Some(w) = &d.witness {
+                let _ = write!(s, ",\"witness\":{{\"omitted\":{},\"steps\":[", w.omitted);
+                for (j, step) in w.steps.iter().enumerate() {
+                    if j > 0 {
+                        s.push(',');
+                    }
+                    let _ = write!(
+                        s,
+                        "{{\"block\":{},\"idx\":{},\"note\":{}}}",
+                        step.block,
+                        step.idx,
+                        json_str(&step.note)
+                    );
+                }
+                s.push_str("]}");
+            }
+            s.push('}');
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// Escape a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_diag(sev: Severity) -> Diagnostic {
+        Diagnostic {
+            severity: sev,
+            invariant: Invariant::Idempotence,
+            code: "I1-mem-war",
+            message: "store may overwrite a word loaded earlier in the region".into(),
+            location: Location {
+                function: "main".into(),
+                block: 2,
+                inst: Some(5),
+            },
+            region: Some(3),
+            witness: Some(PathWitness {
+                steps: vec![
+                    WitnessStep {
+                        block: 1,
+                        idx: 0,
+                        note: "load r1, [0x40]".into(),
+                    },
+                    WitnessStep {
+                        block: 2,
+                        idx: 5,
+                        note: "store r2, [0x40]".into(),
+                    },
+                ],
+                omitted: 0,
+            }),
+        }
+    }
+
+    #[test]
+    fn severity_ordering_and_display() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+        assert_eq!(Severity::Error.to_string(), "error");
+    }
+
+    #[test]
+    fn report_counts_and_cleanliness() {
+        let mut r = Report {
+            module: "m".into(),
+            ..Default::default()
+        };
+        assert!(r.is_clean());
+        r.diagnostics.push(sample_diag(Severity::Warning));
+        assert!(r.is_clean());
+        assert_eq!(r.max_severity(), Some(Severity::Warning));
+        r.diagnostics.push(sample_diag(Severity::Error));
+        assert!(!r.is_clean());
+        assert_eq!(r.count(Severity::Error), 1);
+        assert_eq!(r.max_severity(), Some(Severity::Error));
+    }
+
+    #[test]
+    fn dedup_removes_exact_duplicates_only() {
+        let mut r = Report::default();
+        r.diagnostics.push(sample_diag(Severity::Error));
+        r.diagnostics.push(sample_diag(Severity::Error));
+        let mut other = sample_diag(Severity::Error);
+        other.location.block = 9;
+        r.diagnostics.push(other);
+        r.dedup();
+        assert_eq!(r.diagnostics.len(), 2);
+    }
+
+    #[test]
+    fn text_rendering_includes_witness_steps() {
+        let mut r = Report {
+            module: "demo".into(),
+            ..Default::default()
+        };
+        r.diagnostics.push(sample_diag(Severity::Error));
+        let text = r.render_text();
+        assert!(text.contains("demo: 1 error(s)"), "{text}");
+        assert!(text.contains("I1-mem-war"), "{text}");
+        assert!(text.contains("via bb1[0]: load r1, [0x40]"), "{text}");
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let mut r = Report {
+            module: "de\"mo".into(),
+            ..Default::default()
+        };
+        let mut d = sample_diag(Severity::Error);
+        d.message = "line1\nline2".into();
+        r.diagnostics.push(d);
+        let j = r.to_json();
+        assert!(j.contains("\"module\":\"de\\\"mo\""), "{j}");
+        assert!(j.contains("\\n"), "{j}");
+        assert!(j.contains("\"witness\""), "{j}");
+        // Balanced braces/brackets (cheap structural sanity).
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "balanced braces: {j}"
+        );
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn witness_elision_keeps_head_and_tail() {
+        let steps: Vec<WitnessStep> = (0..30)
+            .map(|i| WitnessStep {
+                block: 0,
+                idx: i,
+                note: format!("step {i}"),
+            })
+            .collect();
+        let w = PathWitness::elided(steps, 12);
+        assert_eq!(w.steps.len(), 12);
+        assert_eq!(w.omitted, 18);
+        assert_eq!(w.steps[0].idx, 0, "head kept");
+        assert_eq!(w.steps.last().unwrap().idx, 29, "tail kept");
+    }
+
+    #[test]
+    fn invariant_ids_are_stable() {
+        assert_eq!(Invariant::Idempotence.id(), "I1");
+        assert_eq!(Invariant::CheckpointCoverage.id(), "I2");
+        assert_eq!(Invariant::SliceWellFormed.id(), "I3");
+        assert_eq!(Invariant::Structure.id(), "I4");
+        assert_eq!(Invariant::Lint.id(), "L");
+    }
+}

@@ -1,0 +1,320 @@
+//! `cwsp-analyzer` — static crash-consistency verifier and IR lint engine.
+//!
+//! The compiler *constructs* the properties cWSP's correctness rests on;
+//! the dynamic checkers in `cwsp_compiler::verify` / `cwsp_core::verify`
+//! *witness* them on the paths an execution happens to take. This crate
+//! closes the gap: given a compiled [`Module`] and its [`SliceTable`], it
+//! proves — or reports counterexample paths for — four invariant families
+//! on **all** paths, without executing anything:
+//!
+//! | id | family | pass |
+//! |----|--------|------|
+//! | I1 | idempotence (no intra-region WAR) | [`idem`] |
+//! | I2 | checkpoint coverage at boundaries | [`ckpt`] |
+//! | I3 | recovery-slice well-formedness | [`ckpt`] |
+//! | I4 | structural boundary placement | [`structure`] |
+//! | L  | general lints | [`lints`] |
+//!
+//! Entry points: [`analyze`] (returns a full [`diag::Report`]),
+//! [`analyze_observed`] (same, publishing counters/spans through an
+//! [`ObsSink`]), and [`verify_static`] (pass/fail over a
+//! [`cwsp_compiler::Compiled`], the pipeline hook).
+//!
+//! The soundness contract, exercised by the repository's differential
+//! suite: *static-clean ⇒ dynamic-clean* — a module with no error-severity
+//! diagnostic passes every dynamic checker on every execution.
+
+pub mod ckpt;
+pub mod consts;
+pub mod diag;
+pub mod idem;
+pub mod lints;
+pub mod structure;
+pub mod sync;
+
+pub use diag::{Counters, Diagnostic, Invariant, Location, PathWitness, Report, Severity};
+
+use cwsp_compiler::slice::SliceTable;
+use cwsp_compiler::Compiled;
+use cwsp_ir::inst::Inst;
+use cwsp_ir::module::Module;
+use cwsp_ir::types::RegionId;
+use cwsp_obs::sink::{NullSink, ObsSink};
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+/// Statically analyze `module` against `slices`, reporting all findings.
+pub fn analyze(module: &Module, slices: &SliceTable) -> Report {
+    analyze_observed(module, slices, &mut NullSink)
+}
+
+/// [`analyze`], additionally publishing per-pass spans (track `analyzer`)
+/// and summary counters through `sink`.
+pub fn analyze_observed(module: &Module, slices: &SliceTable, sink: &mut dyn ObsSink) -> Report {
+    let t0 = Instant::now();
+    let mut report = Report {
+        module: module.name.clone(),
+        ..Default::default()
+    };
+
+    // Module-level structure: entry present, region ids unique.
+    if module.entry().is_none() {
+        report.diagnostics.push(Diagnostic {
+            severity: Severity::Warning,
+            invariant: Invariant::Lint,
+            code: "L-no-entry",
+            message: "module has no entry function".into(),
+            location: Location {
+                function: String::new(),
+                block: 0,
+                inst: None,
+            },
+            region: None,
+            witness: None,
+        });
+    }
+    let mut seen_regions: HashSet<RegionId> = HashSet::new();
+    let mut region_count = 0usize;
+    for (_, f) in module.iter_functions() {
+        for (bid, block) in f.iter_blocks() {
+            for (i, inst) in block.insts.iter().enumerate() {
+                if let Inst::Boundary { id } = inst {
+                    region_count += 1;
+                    if !seen_regions.insert(*id) {
+                        report.diagnostics.push(Diagnostic {
+                            severity: Severity::Error,
+                            invariant: Invariant::Structure,
+                            code: "I4-dup-region-id",
+                            message: format!("region id {id} assigned to more than one boundary"),
+                            location: Location {
+                                function: f.name.clone(),
+                                block: bid.0,
+                                inst: Some(i),
+                            },
+                            region: Some(id.0),
+                            witness: None,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    report.counters.regions_total = region_count;
+
+    let span = |name: &str, since: Instant, sink: &mut dyn ObsSink| {
+        let now = Instant::now();
+        if sink.enabled() {
+            sink.span(
+                "analyzer",
+                name,
+                (since - t0).as_nanos() as u64,
+                (now - since).as_nanos() as u64,
+            );
+        }
+        now
+    };
+
+    for (_, f) in module.iter_functions() {
+        report.counters.functions += 1;
+        // The analyzer must never panic on malformed input: a function that
+        // fails basic validation is reported and skipped — its CFG cannot be
+        // traversed meaningfully.
+        if let Err(msg) = f.validate() {
+            report.diagnostics.push(Diagnostic {
+                severity: Severity::Error,
+                invariant: Invariant::Structure,
+                code: "I4-invalid-function",
+                message: msg,
+                location: Location {
+                    function: f.name.clone(),
+                    block: 0,
+                    inst: None,
+                },
+                region: None,
+                witness: None,
+            });
+            continue;
+        }
+        let mut t = Instant::now();
+        structure::check_function(f, &mut report.diagnostics);
+        t = span("structure", t, sink);
+        let roots = idem::root_regions(f);
+        idem::check_function(module, f, &roots, &mut report.diagnostics);
+        t = span("idempotence", t, sink);
+        ckpt::check_function(f, slices, &mut report.diagnostics);
+        t = span("checkpoints", t, sink);
+        lints::check_function(module, f, slices, &mut report.diagnostics);
+        span("lints", t, sink);
+    }
+
+    report.dedup();
+
+    // A region counts as proven when no error-severity finding names it.
+    let mut bad_regions: HashSet<u32> = HashSet::new();
+    for d in report.errors() {
+        if let Some(r) = d.region {
+            bad_regions.insert(r);
+        }
+    }
+    report.counters.regions_proven = region_count.saturating_sub(bad_regions.len());
+    report.counters.analysis_ns = t0.elapsed().as_nanos() as u64;
+
+    if sink.enabled() {
+        sink.count("analyzer.functions", report.counters.functions as u64);
+        sink.count(
+            "analyzer.regions_total",
+            report.counters.regions_total as u64,
+        );
+        sink.count(
+            "analyzer.regions_proven",
+            report.counters.regions_proven as u64,
+        );
+        sink.count("analyzer.diags_error", report.count(Severity::Error) as u64);
+        sink.count(
+            "analyzer.diags_warning",
+            report.count(Severity::Warning) as u64,
+        );
+        sink.count("analyzer.diags_info", report.count(Severity::Info) as u64);
+        sink.span("analyzer", "total", 0, report.counters.analysis_ns);
+    }
+    report
+}
+
+/// Pipeline hook: verify a compiler artifact, returning the full report on
+/// any error-severity finding. `Ok(())` means static-clean.
+///
+/// # Errors
+/// The complete [`Report`] (including warnings) when at least one
+/// error-severity diagnostic exists.
+pub fn verify_static(compiled: &Compiled) -> Result<(), Box<Report>> {
+    let report = analyze(&compiled.module, &compiled.slices);
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(Box::new(report))
+    }
+}
+
+/// Convenience: map each explicit boundary position to its region id —
+/// shared by callers wanting per-region attribution.
+pub fn boundary_positions(module: &Module) -> HashMap<RegionId, (String, u32, usize)> {
+    let mut map = HashMap::new();
+    for (_, f) in module.iter_functions() {
+        for (bid, block) in f.iter_blocks() {
+            for (i, inst) in block.insts.iter().enumerate() {
+                if let Inst::Boundary { id } = inst {
+                    map.insert(*id, (f.name.clone(), bid.0, i));
+                }
+            }
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwsp_compiler::pipeline::{CompileOptions, CwspCompiler};
+    use cwsp_ir::builder::FunctionBuilder;
+    use cwsp_ir::inst::{MemRef, Operand};
+    use cwsp_ir::layout::GLOBAL_BASE;
+    use cwsp_obs::sink::MemSink;
+
+    fn raw_war_module() -> Module {
+        let mut m = Module::new("war");
+        let mut b = FunctionBuilder::new("main", 0);
+        let e = b.entry();
+        let r0 = b.vreg();
+        b.push(e, Inst::load(r0, MemRef::abs(GLOBAL_BASE)));
+        b.push(e, Inst::store(Operand::imm(1), MemRef::abs(GLOBAL_BASE)));
+        b.push(e, Inst::Out { val: r0.into() });
+        b.push(e, Inst::Halt);
+        let id = m.add_function(b.build());
+        m.set_entry(id);
+        m
+    }
+
+    #[test]
+    fn compiled_module_is_static_clean() {
+        let compiled = CwspCompiler::new(CompileOptions::default()).compile(&raw_war_module());
+        let report = analyze(&compiled.module, &compiled.slices);
+        assert!(report.is_clean(), "{}", report.render_text());
+        assert!(report.counters.regions_total > 0);
+        assert_eq!(
+            report.counters.regions_proven,
+            report.counters.regions_total
+        );
+        assert!(verify_static(&compiled).is_ok());
+    }
+
+    #[test]
+    fn raw_module_with_war_fails_verification() {
+        let m = raw_war_module();
+        let report = analyze(&m, &SliceTable::new());
+        assert!(!report.is_clean(), "{}", report.render_text());
+        assert!(report
+            .errors()
+            .any(|d| d.code == "I1-mem-war" && d.witness.is_some()));
+    }
+
+    #[test]
+    fn invalid_function_is_reported_not_panicked() {
+        let mut m = Module::new("bad");
+        let mut b = FunctionBuilder::new("main", 0);
+        let e = b.entry();
+        b.push(e, Inst::Halt);
+        let mut f = b.build();
+        f.blocks[0].insts.pop(); // drop the terminator -> invalid
+        let id = m.add_function(f);
+        m.set_entry(id);
+        let report = analyze(&m, &SliceTable::new());
+        assert!(report.errors().any(|d| d.code == "I4-invalid-function"));
+    }
+
+    #[test]
+    fn empty_module_reports_no_entry_warning() {
+        let m = Module::new("empty");
+        let report = analyze(&m, &SliceTable::new());
+        assert!(report.is_clean());
+        assert!(report.diagnostics.iter().any(|d| d.code == "L-no-entry"));
+    }
+
+    #[test]
+    fn duplicate_region_ids_are_an_error() {
+        let mut m = Module::new("dup");
+        let mut b = FunctionBuilder::new("main", 0);
+        let e = b.entry();
+        b.push(e, Inst::Boundary { id: RegionId(3) });
+        b.push(e, Inst::Boundary { id: RegionId(3) });
+        b.push(e, Inst::Halt);
+        let id = m.add_function(b.build());
+        m.set_entry(id);
+        let report = analyze(&m, &SliceTable::new());
+        assert!(report.errors().any(|d| d.code == "I4-dup-region-id"));
+    }
+
+    #[test]
+    fn observed_analysis_publishes_counters_and_spans() {
+        let compiled = CwspCompiler::new(CompileOptions::default()).compile(&raw_war_module());
+        let mut sink = MemSink::new();
+        let report = analyze_observed(&compiled.module, &compiled.slices, &mut sink);
+        assert_eq!(
+            sink.count_total("analyzer.regions_total"),
+            report.counters.regions_total as u64
+        );
+        assert_eq!(
+            sink.count_total("analyzer.regions_proven"),
+            report.counters.regions_proven as u64
+        );
+        assert!(!sink.spans_named("total").is_empty());
+        assert!(!sink.spans_named("idempotence").is_empty());
+    }
+
+    #[test]
+    fn boundary_positions_cover_every_region() {
+        let compiled = CwspCompiler::new(CompileOptions::default()).compile(&raw_war_module());
+        let map = boundary_positions(&compiled.module);
+        let report = analyze(&compiled.module, &compiled.slices);
+        assert_eq!(map.len(), report.counters.regions_total);
+    }
+}

@@ -1,0 +1,261 @@
+//! `cwsp-lint` — command-line front-end for the static crash-consistency
+//! verifier (`cwsp-analyzer`).
+//!
+//! Targets are compiled with the default pipeline (memoized by the engine)
+//! and the compiled module + slice table are analyzed; `--raw` skips
+//! compilation and lints a module file as-is (empty slice table), which is
+//! how one inspects hand-written IR before it ever reaches the compiler.
+//!
+//! The process exits non-zero iff any error-severity diagnostic was
+//! reported, so the binary slots directly into CI. Analyzer counters are
+//! published through the metrics registry and merged into
+//! `results/BENCH_harness.json` under the top-level `analyzer` key.
+
+use cwsp_analyzer::{analyze_observed, Report, Severity};
+use cwsp_bench::engine;
+use cwsp_bench::json::Value;
+use cwsp_compiler::pipeline::{CompileOptions, Compiled};
+use cwsp_compiler::slice::SliceTable;
+use cwsp_core::genprog;
+use cwsp_ir::module::Module;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+const USAGE: &str = "\
+cwsp-lint: static crash-consistency verifier for cWSP modules
+
+USAGE:
+  cwsp-lint --all                        analyze every built-in workload
+  cwsp-lint --workload NAME              analyze one built-in workload
+  cwsp-lint --genprog N [--seed-base S]  analyze N generated programs
+  cwsp-lint FILE [--raw]                 analyze a module text file
+
+OPTIONS:
+  --raw           do not compile FILE first; lint it as-is (no slice table)
+  --json[=PATH]   emit a JSON diagnostics document (stdout, or to PATH)
+  -h, --help      print this message
+
+EXIT STATUS:
+  0  no error-severity diagnostics
+  1  at least one error-severity diagnostic
+  2  usage or input error
+";
+
+enum Target {
+    All,
+    Workload(String),
+    Genprog { n: u64, seed_base: u64 },
+    File { path: String, raw: bool },
+}
+
+struct Options {
+    target: Target,
+    json: Option<Option<String>>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut target: Option<Target> = None;
+    let mut json: Option<Option<String>> = None;
+    let mut raw = false;
+    let mut genprog_n: Option<u64> = None;
+    let mut seed_base = 1u64;
+    let mut file: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-h" | "--help" => return Err(String::new()),
+            "--all" => target = Some(Target::All),
+            "--workload" => {
+                let name = it.next().ok_or("--workload requires a NAME")?;
+                target = Some(Target::Workload(name.clone()));
+            }
+            "--genprog" => {
+                let n = it.next().ok_or("--genprog requires a count")?;
+                genprog_n = Some(n.parse().map_err(|_| format!("bad count `{n}`"))?);
+            }
+            "--seed-base" => {
+                let s = it.next().ok_or("--seed-base requires a value")?;
+                seed_base = s.parse().map_err(|_| format!("bad seed `{s}`"))?;
+            }
+            "--raw" => raw = true,
+            "--json" => json = Some(None),
+            s if s.starts_with("--json=") => {
+                json = Some(Some(s["--json=".len()..].to_string()));
+            }
+            s if s.starts_with("--") => return Err(format!("unknown option `{s}`")),
+            s => {
+                if file.replace(s.to_string()).is_some() {
+                    return Err("more than one FILE given".into());
+                }
+            }
+        }
+    }
+    if let Some(n) = genprog_n {
+        target = Some(Target::Genprog { n, seed_base });
+    }
+    if let Some(path) = file {
+        if target.is_some() {
+            return Err("FILE cannot be combined with --all/--workload/--genprog".into());
+        }
+        target = Some(Target::File { path, raw });
+    }
+    let target = target.ok_or("no target given")?;
+    Ok(Options { target, json })
+}
+
+/// A named analysis subject: either a compiler artifact (module + slices)
+/// or a raw module linted with an empty slice table.
+enum Subject {
+    Artifact(String, Arc<Compiled>),
+    Raw(String, Module),
+}
+
+impl Subject {
+    fn compile(name: &str, module: &Module) -> Subject {
+        let c = engine::engine().compiled(module, CompileOptions::default());
+        Subject::Artifact(name.to_string(), c)
+    }
+}
+
+fn gather(target: &Target) -> Result<Vec<Subject>, String> {
+    match target {
+        Target::All => Ok(cwsp_workloads::all()
+            .iter()
+            .map(|w| Subject::compile(w.name, &w.module))
+            .collect()),
+        Target::Workload(name) => {
+            let w = cwsp_workloads::by_name(name)
+                .ok_or_else(|| format!("no built-in workload named `{name}`"))?;
+            Ok(vec![Subject::compile(w.name, &w.module)])
+        }
+        Target::Genprog { n, seed_base } => Ok((0..*n)
+            .map(|i| {
+                let seed = seed_base + i;
+                let m = genprog::generate_default(seed);
+                Subject::compile(&format!("gen-{seed}"), &m)
+            })
+            .collect()),
+        Target::File { path, raw } => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let m = cwsp_ir::parse::parse_module(&text)
+                .map_err(|e| format!("parse error in {path}: {e}"))?;
+            Ok(vec![if *raw {
+                Subject::Raw(path.clone(), m)
+            } else {
+                Subject::compile(path, &m)
+            }])
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) if msg.is_empty() => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("cwsp-lint: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let subjects = match gather(&opts.target) {
+        Ok(s) => s,
+        Err(msg) => {
+            eprintln!("cwsp-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // One registry accumulates analyzer counters across every subject; it
+    // doubles as the ObsSink the analyzer publishes through.
+    let mut reg = cwsp_obs::Registry::new();
+    let empty = SliceTable::new();
+    let mut reports: Vec<Report> = Vec::with_capacity(subjects.len());
+    for s in &subjects {
+        let (module, slices): (&Module, &SliceTable) = match s {
+            Subject::Artifact(_, c) => (&c.module, &c.slices),
+            Subject::Raw(_, m) => (m, &empty),
+        };
+        reports.push(analyze_observed(module, slices, &mut reg));
+    }
+
+    // Human-readable rendering: one line per clean module, full diagnostics
+    // otherwise.
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for (s, r) in subjects.iter().zip(&reports) {
+        let name = match s {
+            Subject::Artifact(n, _) | Subject::Raw(n, _) => n,
+        };
+        errors += r.count(Severity::Error);
+        warnings += r.count(Severity::Warning);
+        if r.diagnostics.is_empty() {
+            println!(
+                "{name}: clean ({} regions proven)",
+                r.counters.regions_proven
+            );
+        } else {
+            print!("{}", r.render_text());
+        }
+    }
+    eprintln!(
+        "cwsp-lint: {} module(s), {errors} error(s), {warnings} warning(s)",
+        reports.len()
+    );
+
+    if let Some(dest) = &opts.json {
+        let mut doc = String::from("{\"version\":1,\"reports\":[");
+        for (i, r) in reports.iter().enumerate() {
+            if i > 0 {
+                doc.push(',');
+            }
+            doc.push_str(&r.to_json());
+        }
+        doc.push_str("]}");
+        match dest {
+            Some(path) => {
+                if let Some(dir) = std::path::Path::new(path).parent() {
+                    let _ = std::fs::create_dir_all(dir);
+                }
+                if let Err(e) = std::fs::write(path, &doc) {
+                    eprintln!("cwsp-lint: cannot write {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+            None => println!("{doc}"),
+        }
+    }
+
+    publish_harness(&reg, &reports);
+
+    if errors > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Merge the accumulated analyzer counters into the harness report as a
+/// top-level `analyzer` section (sibling of `figures`).
+fn publish_harness(reg: &cwsp_obs::Registry, reports: &[Report]) {
+    let total_ns: u64 = reports.iter().map(|r| r.counters.analysis_ns).sum();
+    let count = |name: &str| Value::Int(reg.counter_value(name));
+    let entry = Value::Obj(vec![
+        ("modules".into(), Value::Int(reports.len() as u64)),
+        ("functions".into(), count("analyzer.functions")),
+        ("regions_total".into(), count("analyzer.regions_total")),
+        ("regions_proven".into(), count("analyzer.regions_proven")),
+        ("diags_error".into(), count("analyzer.diags_error")),
+        ("diags_warning".into(), count("analyzer.diags_warning")),
+        ("diags_info".into(), count("analyzer.diags_info")),
+        (
+            "analysis_ms".into(),
+            Value::Float((total_ns as f64 / 1e6 * 100.0).round() / 100.0),
+        ),
+    ]);
+    engine::merge_harness_section("analyzer", entry);
+}

@@ -273,8 +273,54 @@ fn disk_dir_from_env() -> Option<PathBuf> {
 
 /// `results/` resolved relative to the repository, not the current working
 /// directory (tests run with per-crate cwd).
-fn repo_results_dir() -> PathBuf {
+pub fn repo_results_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results")
+}
+
+/// Resolved path of the harness report (`CWSP_HARNESS_JSON` overrides the
+/// default `results/BENCH_harness.json`).
+pub fn harness_json_path() -> PathBuf {
+    match std::env::var("CWSP_HARNESS_JSON") {
+        Ok(p) if !p.is_empty() => PathBuf::from(p),
+        _ => repo_results_dir().join("BENCH_harness.json"),
+    }
+}
+
+/// Merge `entry` into the harness report as a **top-level** section (a
+/// sibling of `figures`) — for non-figure tools like `cwsp-lint`, whose
+/// entries do not follow the per-figure schema.
+pub fn merge_harness_section(section: &str, entry: Value) {
+    merge_harness_section_at(&harness_json_path(), section, entry);
+}
+
+fn merge_harness_section_at(path: &Path, section: &str, entry: Value) {
+    let mut doc = read_harness_doc(path);
+    doc.set(section, entry);
+    write_harness_doc(path, &doc);
+}
+
+fn read_harness_doc(path: &Path) -> Value {
+    std::fs::read_to_string(path)
+        .ok()
+        .and_then(|t| json::parse(&t).ok())
+        .filter(|v| matches!(v, Value::Obj(_)))
+        .unwrap_or_else(|| {
+            Value::Obj(vec![
+                ("version".into(), Value::Int(1)),
+                ("figures".into(), Value::Obj(vec![])),
+            ])
+        })
+}
+
+fn write_harness_doc(path: &Path, doc: &Value) {
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    // Write-then-rename so concurrent tools never observe a torn file.
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    if std::fs::write(&tmp, doc.to_pretty()).is_ok() {
+        let _ = std::fs::rename(&tmp, path);
+    }
 }
 
 /// Worker count: `CWSP_JOBS` if set (≥ 1), else available parallelism.
@@ -400,11 +446,7 @@ pub fn harness_main(figure: &str, body: impl FnOnce()) {
         0.0
     };
     let entry = build_harness_entry(&delta, wall, &latencies, utilization);
-    let path = match std::env::var("CWSP_HARNESS_JSON") {
-        Ok(p) if !p.is_empty() => PathBuf::from(p),
-        _ => repo_results_dir().join("BENCH_harness.json"),
-    };
-    merge_harness_entry(&path, figure, entry);
+    merge_harness_entry(&harness_json_path(), figure, entry);
     eprintln!(
         "[harness] {figure}: {:.2}s wall, {} jobs, {} memo + {} disk hits ({}% cached), {} workers",
         wall.as_secs_f64(),
@@ -548,16 +590,7 @@ pub fn validate_harness_entry(entry: &Value) -> Result<(), String> {
 }
 
 fn merge_harness_entry(path: &Path, figure: &str, entry: Value) {
-    let mut doc = std::fs::read_to_string(path)
-        .ok()
-        .and_then(|t| json::parse(&t).ok())
-        .filter(|v| matches!(v, Value::Obj(_)))
-        .unwrap_or_else(|| {
-            Value::Obj(vec![
-                ("version".into(), Value::Int(1)),
-                ("figures".into(), Value::Obj(vec![])),
-            ])
-        });
+    let mut doc = read_harness_doc(path);
     if doc.get("figures").is_none() {
         doc.set("figures", Value::Obj(vec![]));
     }
@@ -566,13 +599,7 @@ fn merge_harness_entry(path: &Path, figure: &str, entry: Value) {
             figures.set(figure, entry);
         }
     }
-    if let Some(dir) = path.parent() {
-        let _ = std::fs::create_dir_all(dir);
-    }
-    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-    if std::fs::write(&tmp, doc.to_pretty()).is_ok() {
-        let _ = std::fs::rename(&tmp, path);
-    }
+    write_harness_doc(path, &doc);
 }
 
 fn pair_to_json(p: (u64, u64)) -> Value {
@@ -864,6 +891,36 @@ mod tests {
         assert_eq!(reg.counter_value("engine.memo_hits"), 1);
         assert!((reg.gauge_value("engine.hit_rate") - 0.5).abs() < 1e-12);
         assert!(json::parse(&reg.to_json()).is_ok(), "registry JSON parses");
+    }
+
+    #[test]
+    fn harness_section_merges_as_top_level_key() {
+        let dir = std::env::temp_dir().join(format!("cwsp-section-test-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("BENCH_harness.json");
+        merge_harness_entry(
+            &path,
+            "fig13_overhead",
+            Value::Obj(vec![("wall_ms".into(), Value::Int(10))]),
+        );
+        merge_harness_section_at(
+            &path,
+            "analyzer",
+            Value::Obj(vec![("modules".into(), Value::Int(38))]),
+        );
+        let doc = json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        // The section is a sibling of `figures`, not inside it.
+        assert_eq!(
+            doc.get("analyzer")
+                .unwrap()
+                .get("modules")
+                .unwrap()
+                .as_u64(),
+            Some(38)
+        );
+        assert!(doc.get("figures").unwrap().get("analyzer").is_none());
+        assert!(doc.get("figures").unwrap().get("fig13_overhead").is_some());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -277,6 +277,49 @@ mod tests {
     }
 
     #[test]
+    fn non_halting_program_passes_on_its_checked_prefix() {
+        // An infinite loop with no WAR: the budget runs out without a
+        // violation, and the checker passes — the checked prefix was clean.
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", 0);
+        let e = b.entry();
+        let body = b.block();
+        b.push(e, Inst::Br { target: body });
+        b.store(body, Operand::imm(7), MemRef::abs(64));
+        b.push(body, Inst::Br { target: body });
+        let f = m.add_function(b.build());
+        m.set_entry(f);
+        check_antidependence(&m, 1000).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_slot_writes_are_subject_to_the_war_rule() {
+        // Loading a checkpoint slot and then checkpointing the same register
+        // in the same region is a WAR on the slot word — not special-cased.
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", 0);
+        let e = b.entry();
+        let r0 = b.vreg();
+        let spy = b.load(e, MemRef::abs(cwsp_ir::layout::ckpt_slot_addr(0, r0)));
+        b.push(e, Inst::Ckpt { reg: r0 });
+        b.push(e, Inst::Out { val: spy.into() });
+        b.push(e, Inst::Halt);
+        let f = m.add_function(b.build());
+        m.set_entry(f);
+        let err = check_antidependence(&m, 1000).unwrap_err();
+        assert!(err.contains("antidependence"), "{err}");
+    }
+
+    #[test]
+    fn empty_module_is_rejected_by_both_checkers() {
+        let m = Module::new("t");
+        let err = check_antidependence(&m, 1000).unwrap_err();
+        assert!(err.contains("no entry"), "{err}");
+        let err = check_slices(&m, &SliceTable::new(), 1000).unwrap_err();
+        assert!(err.contains("no entry"), "{err}");
+    }
+
+    #[test]
     fn calls_pass_the_antidependence_checker() {
         let mut m = Module::new("t");
         let mut leaf = FunctionBuilder::new("leaf", 1);

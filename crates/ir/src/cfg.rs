@@ -162,6 +162,89 @@ pub fn immediate_dominators(f: &Function) -> Vec<Option<BlockId>> {
     idom
 }
 
+/// A precomputed dominator tree plus reverse post-order, bundling the
+/// reachability/ordering queries forward analyses keep re-deriving.
+///
+/// # Example
+/// ```
+/// use cwsp_ir::prelude::*;
+/// use cwsp_ir::cfg::DomTree;
+///
+/// let mut b = FunctionBuilder::new("f", 0);
+/// let e = b.entry();
+/// b.push(e, Inst::Halt);
+/// let f = b.build();
+/// let dom = DomTree::compute(&f);
+/// assert!(dom.dominates(e, e));
+/// assert_eq!(dom.rpo(), &[e]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    idom: Vec<Option<BlockId>>,
+    children: Vec<Vec<BlockId>>,
+    rpo: Vec<BlockId>,
+    rpo_pos: Vec<Option<usize>>,
+}
+
+impl DomTree {
+    /// Build the tree for `f` (see [`immediate_dominators`]).
+    pub fn compute(f: &Function) -> Self {
+        let idom = immediate_dominators(f);
+        let rpo = reverse_post_order(f);
+        let mut rpo_pos = vec![None; f.blocks.len()];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_pos[b.index()] = Some(i);
+        }
+        let mut children = vec![Vec::new(); f.blocks.len()];
+        for (i, d) in idom.iter().enumerate() {
+            if let Some(d) = d {
+                let b = BlockId(i as u32);
+                if *d != b {
+                    children[d.index()].push(b);
+                }
+            }
+        }
+        DomTree {
+            idom,
+            children,
+            rpo,
+            rpo_pos,
+        }
+    }
+
+    /// Immediate dominator of `b` (`idom(entry) == entry`); `None` for
+    /// unreachable blocks.
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom[b.index()]
+    }
+
+    /// Whether `a` dominates `b` (reflexive). Unreachable blocks dominate
+    /// nothing and are dominated only by themselves.
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        dominates(&self.idom, a, b)
+    }
+
+    /// Blocks whose immediate dominator is `b` (the tree's children).
+    pub fn children(&self, b: BlockId) -> &[BlockId] {
+        &self.children[b.index()]
+    }
+
+    /// Reachable blocks in reverse post-order.
+    pub fn rpo(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// Position of `b` in the reverse post-order; `None` when unreachable.
+    pub fn rpo_position(&self, b: BlockId) -> Option<usize> {
+        self.rpo_pos[b.index()]
+    }
+
+    /// Whether `b` is reachable from the entry block.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_pos[b.index()].is_some()
+    }
+}
+
 /// Whether `a` dominates `b` (per [`immediate_dominators`]).
 pub fn dominates(idom: &[Option<BlockId>], a: BlockId, b: BlockId) -> bool {
     let mut cur = b;
@@ -283,6 +366,92 @@ mod tests {
 
     fn cfg_body_of(f: &Function, header: BlockId) -> BlockId {
         successors(f, header)[0]
+    }
+
+    #[test]
+    fn dom_tree_on_diamond_exposes_children_and_rpo() {
+        let mut bld = FunctionBuilder::new("f", 0);
+        let e = bld.entry();
+        let a = bld.block();
+        let b2 = bld.block();
+        let join = bld.block();
+        let c = bld.vreg();
+        bld.push(
+            e,
+            Inst::CondBr {
+                cond: c.into(),
+                if_true: a,
+                if_false: b2,
+            },
+        );
+        bld.push(a, Inst::Br { target: join });
+        bld.push(b2, Inst::Br { target: join });
+        bld.push(join, Inst::Halt);
+        let f = bld.build();
+        let dom = DomTree::compute(&f);
+        // Entry immediately dominates all three other blocks.
+        let mut kids = dom.children(e).to_vec();
+        kids.sort();
+        assert_eq!(kids, vec![a, b2, join]);
+        assert!(dom.children(a).is_empty());
+        assert_eq!(dom.idom(join), Some(e));
+        assert!(dom.dominates(e, join));
+        assert!(!dom.dominates(a, join));
+        // RPO: entry first, join after both arms.
+        assert_eq!(dom.rpo_position(e), Some(0));
+        assert!(dom.rpo_position(join) > dom.rpo_position(a).max(dom.rpo_position(b2)));
+        assert!(dom.is_reachable(join));
+    }
+
+    #[test]
+    fn dom_tree_on_irreducible_cfg() {
+        // entry -> {a, b}; a -> b; b -> a. The cycle has two entry points,
+        // so neither a nor b dominates the other; both have idom == entry.
+        let mut bld = FunctionBuilder::new("f", 0);
+        let e = bld.entry();
+        let a = bld.block();
+        let b2 = bld.block();
+        let c = bld.vreg();
+        bld.push(
+            e,
+            Inst::CondBr {
+                cond: c.into(),
+                if_true: a,
+                if_false: b2,
+            },
+        );
+        bld.push(a, Inst::Br { target: b2 });
+        bld.push(b2, Inst::Br { target: a });
+        let f = bld.build();
+        assert!(f.validate().is_ok());
+        let dom = DomTree::compute(&f);
+        assert_eq!(dom.idom(a), Some(e));
+        assert_eq!(dom.idom(b2), Some(e));
+        assert!(!dom.dominates(a, b2));
+        assert!(!dom.dominates(b2, a));
+        assert!(dom.dominates(e, a) && dom.dominates(e, b2));
+        let mut kids = dom.children(e).to_vec();
+        kids.sort();
+        assert_eq!(kids, vec![a, b2]);
+    }
+
+    #[test]
+    fn dom_tree_marks_unreachable_blocks() {
+        let mut bld = FunctionBuilder::new("f", 0);
+        let e = bld.entry();
+        let dead = bld.block();
+        bld.push(e, Inst::Halt);
+        bld.push(dead, Inst::Halt);
+        let f = bld.build();
+        let dom = DomTree::compute(&f);
+        assert!(!dom.is_reachable(dead));
+        assert_eq!(dom.idom(dead), None);
+        assert_eq!(dom.rpo_position(dead), None);
+        assert_eq!(dom.rpo(), &[e]);
+        assert!(
+            !dom.dominates(e, dead),
+            "unreachable blocks are dominated only by themselves"
+        );
     }
 
     #[test]

@@ -724,7 +724,13 @@ impl<'m> Machine<'m> {
         while let Some(&(addr, data)) = self.cores[i].pending_pb.front() {
             if self.cores[i].pb.has_space() {
                 let core = &mut self.cores[i];
-                let region = core.rbt.tail().expect("open region").dyn_id;
+                let Some(tail) = core.rbt.tail() else {
+                    return Err(InterpError::Trap(
+                        "store issued with no open region (malformed module: missing region boundary)"
+                            .into(),
+                    ));
+                };
+                let region = tail.dyn_id;
                 let log_bit = core.rbt.tail_is_speculative();
                 core.pb.push(region, addr, data, log_bit);
                 core.rbt.on_store(self.cfg.mc_of(addr));
@@ -845,7 +851,13 @@ impl<'m> Machine<'m> {
         }
         self.stats.insts += 1;
         self.cores[i].region_insts += 1;
-        let cost = self.apply_effect(i, &eff);
+        let cost = match self.apply_effect(i, &eff) {
+            Ok(c) => c,
+            Err(e) => {
+                self.cores[i].eff_scratch = eff;
+                return Err(e);
+            }
+        };
         self.cores[i].eff_scratch = eff;
         if cost <= 1 {
             // Slot-cost instruction: the core may issue again this cycle.
@@ -863,7 +875,11 @@ impl<'m> Machine<'m> {
     }
 
     /// Turn a step effect into timing + persist actions; returns its cost.
-    fn apply_effect(&mut self, i: usize, eff: &cwsp_ir::interp::StepEffect) -> u64 {
+    fn apply_effect(
+        &mut self,
+        i: usize,
+        eff: &cwsp_ir::interp::StepEffect,
+    ) -> Result<u64, InterpError> {
         let mut cost: u64 = 1;
         let is_cwsp_path = matches!(self.scheme, Scheme::Cwsp(f) if f.persist_path);
         match eff.kind {
@@ -920,7 +936,13 @@ impl<'m> Machine<'m> {
         }
         if let Some(v) = eff.out {
             if self.uses_rbt() {
-                let region = self.cores[i].rbt.tail().expect("open region").dyn_id;
+                let Some(tail) = self.cores[i].rbt.tail() else {
+                    return Err(InterpError::Trap(
+                        "out issued with no open region (malformed module: missing region boundary)"
+                            .into(),
+                    ));
+                };
+                let region = tail.dyn_id;
                 self.device.emit(region, v);
             } else {
                 self.device.emit_direct(v);
@@ -987,7 +1009,7 @@ impl<'m> Machine<'m> {
                 self.nvm.store(a, v);
             }
         }
-        cost
+        Ok(cost)
     }
 
     /// The recovery point immediately after a committed sync instruction.

@@ -10,6 +10,9 @@
 //! * [`sim`] — the architecture simulator: persist buffer, region boundary
 //!   table, memory-controller speculation with hardware undo logging, caches,
 //!   NVM, and the baseline schemes (Capri, ReplayCache, ideal PSP).
+//! * [`analyzer`] — the static crash-consistency verifier and lint engine:
+//!   proves idempotence, checkpoint coverage, slice well-formedness, and
+//!   structural boundary placement on all paths, without executing.
 //! * [`obs`] — the observability layer: metrics registry, Chrome trace-event
 //!   export, and the flat cycle-attribution profile model.
 //! * [`runtime`] — the simulated libc/kernel substrate (whole-system scope).
@@ -45,6 +48,7 @@
 //! assert!(report.recovered_matches_oracle);
 //! ```
 
+pub use cwsp_analyzer as analyzer;
 pub use cwsp_compiler as compiler;
 pub use cwsp_core as core;
 pub use cwsp_ir as ir;

@@ -1,0 +1,197 @@
+//! Differential soundness suite for the static analyzer.
+//!
+//! The contract under test: **static-clean ⇒ dynamic-clean**. A compiled
+//! module with no error-severity diagnostic from `cwsp_analyzer` must pass
+//! every dynamic checker (`check_all`: static residual-WAR count, executed
+//! antidependence, slice exactness, output/return oracle) on every run.
+//! The converse direction is exercised by injecting the three canonical bug
+//! shapes into known-good compiled modules and requiring the analyzer to
+//! catch each one statically, with a path witness.
+
+use cwsp::analyzer::{self, Severity};
+use cwsp::compiler::pipeline::{CompileOptions, Compiled, CwspCompiler};
+use cwsp::compiler::slice::RsSource;
+use cwsp::compiler::verify::check_all;
+use cwsp::core::genprog::{generate, ProgramSpec};
+use cwsp::ir::inst::{Inst, MemRef, Operand};
+use cwsp::ir::layout::GLOBAL_BASE;
+use cwsp::ir::module::Module;
+use cwsp::ir::types::{Reg, RegionId};
+use cwsp_bench::par_map;
+
+fn compile(m: &Module) -> Compiled {
+    CwspCompiler::new(CompileOptions::default()).compile(m)
+}
+
+#[test]
+fn every_builtin_workload_is_static_clean() {
+    let workloads = cwsp::workloads::all();
+    let failures: Vec<String> = par_map(&workloads, |w| {
+        let c = compile(&w.module);
+        let report = analyzer::analyze(&c.module, &c.slices);
+        if report.is_clean() {
+            None
+        } else {
+            Some(format!("{}:\n{}", w.name, report.render_text()))
+        }
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+#[test]
+fn static_clean_genprog_modules_pass_every_dynamic_checker() {
+    let spec = ProgramSpec {
+        globals: 2,
+        global_words: 8,
+        segments: 4,
+        max_trip: 4,
+        calls: true,
+    };
+    let seeds: Vec<u64> = (0..200).collect();
+    let failures: Vec<String> = par_map(&seeds, |&seed| {
+        let m = generate(&spec, seed);
+        let c = compile(&m);
+        let report = analyzer::analyze(&c.module, &c.slices);
+        if !report.is_clean() {
+            return Some(format!(
+                "seed {seed} not static-clean:\n{}",
+                report.render_text()
+            ));
+        }
+        // Static-clean: the dynamic checkers must agree on the executed run.
+        check_all(&m, &c.module, &c.slices, 200_000)
+            .err()
+            .map(|e| format!("seed {seed} static-clean but dynamically dirty: {e}"))
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+/// A compiled module with at least one recovery slice restoring from a
+/// checkpoint slot — the substrate for the injected-bug mutations.
+fn module_with_slot_restore() -> (Compiled, RegionId, Reg) {
+    let spec = ProgramSpec::default();
+    for seed in 0..64 {
+        let c = compile(&generate(&spec, seed));
+        let found = c.slices.iter().find_map(|(id, slice)| {
+            slice
+                .restores
+                .iter()
+                .find(|(_, src)| matches!(src, RsSource::Slot))
+                .map(|(r, _)| (*id, *r))
+        });
+        if let Some((id, r)) = found {
+            return (c, id, r);
+        }
+    }
+    panic!("no genprog module with a Slot restore in 64 seeds");
+}
+
+/// Position (function, block, idx) of a region's boundary instruction.
+fn find_boundary(m: &Module, region: RegionId) -> (cwsp::ir::module::FuncId, u32, usize) {
+    for (fid, f) in m.iter_functions() {
+        for (bid, block) in f.iter_blocks() {
+            for (i, inst) in block.insts.iter().enumerate() {
+                if matches!(inst, Inst::Boundary { id } if *id == region) {
+                    return (fid, bid.0, i);
+                }
+            }
+        }
+    }
+    panic!("boundary for {region} not found");
+}
+
+#[test]
+fn injected_dropped_checkpoint_is_caught_statically_with_witness() {
+    let (c, region, reg) = module_with_slot_restore();
+    // Mutation: delete every `Ckpt reg` preceding the boundary in its block
+    // (the save the Slot restore depends on).
+    let (fid, bid, _) = find_boundary(&c.module, region);
+    let mut m = c.module.clone();
+    let f = m.function_mut(fid);
+    let before = f.blocks[bid as usize].insts.len();
+    f.blocks[bid as usize]
+        .insts
+        .retain(|inst| !matches!(inst, Inst::Ckpt { reg: r } if *r == reg));
+    // If the save lives in another block, drop it everywhere instead.
+    if f.blocks[bid as usize].insts.len() == before {
+        for b in &mut f.blocks {
+            b.insts
+                .retain(|inst| !matches!(inst, Inst::Ckpt { reg: r } if *r == reg));
+        }
+    }
+    let report = analyzer::analyze(&m, &c.slices);
+    let hit = report
+        .errors()
+        .find(|d| d.code == "I2-unsynced-slot" && d.region == Some(region.0))
+        .unwrap_or_else(|| panic!("dropped checkpoint not flagged:\n{}", report.render_text()));
+    let witness = hit.witness.as_ref().expect("witness attached");
+    assert!(!witness.steps.is_empty(), "witness has a concrete path");
+}
+
+#[test]
+fn injected_clobbered_slice_source_is_caught_statically_with_witness() {
+    let (c, region, reg) = module_with_slot_restore();
+    // Mutation: overwrite the restored register right before the boundary —
+    // the checkpointed slot now disagrees with the live value.
+    let (fid, bid, idx) = find_boundary(&c.module, region);
+    let mut m = c.module.clone();
+    m.function_mut(fid).blocks[bid as usize].insts.insert(
+        idx,
+        Inst::Mov {
+            dst: reg,
+            src: Operand::imm(0xDEAD_BEEF_0BAD_F00D),
+        },
+    );
+    let report = analyzer::analyze(&m, &c.slices);
+    let hit = report
+        .errors()
+        .find(|d| d.code == "I2-unsynced-slot" && d.region == Some(region.0))
+        .unwrap_or_else(|| panic!("clobbered source not flagged:\n{}", report.render_text()));
+    let witness = hit.witness.as_ref().expect("witness attached");
+    assert!(
+        witness.steps.iter().any(|s| s.note.contains("clobbers")),
+        "witness names the clobbering definition: {witness:?}"
+    );
+}
+
+#[test]
+fn injected_intra_region_war_is_caught_statically_with_witness() {
+    let (c, _, _) = module_with_slot_restore();
+    // Mutation: a load→store pair on the same global word at function entry,
+    // inside the entry region (before any boundary).
+    let mut m = c.module.clone();
+    let fid = m.entry().expect("entry");
+    let f = m.function_mut(fid);
+    let spy = Reg(f.reg_count);
+    f.reg_count += 1;
+    let insts = &mut f.blocks[0].insts;
+    insts.insert(0, Inst::load(spy, MemRef::abs(GLOBAL_BASE)));
+    insts.insert(1, Inst::store(Operand::imm(1), MemRef::abs(GLOBAL_BASE)));
+    let report = analyzer::analyze(&m, &c.slices);
+    let hit = report
+        .errors()
+        .find(|d| d.code == "I1-mem-war")
+        .unwrap_or_else(|| panic!("intra-region WAR not flagged:\n{}", report.render_text()));
+    let witness = hit.witness.as_ref().expect("witness attached");
+    assert!(
+        witness.steps.iter().any(|s| s.note.contains("ldr")),
+        "witness shows the offending load: {witness:?}"
+    );
+    assert!(
+        witness.steps.iter().any(|s| s.note.contains("str")),
+        "witness ends at the offending store: {witness:?}"
+    );
+}
+
+#[test]
+fn severity_ordering_drives_exit_semantics() {
+    // The lint driver's exit code hinges on Error > Warning > Info.
+    assert!(Severity::Error > Severity::Warning);
+    assert!(Severity::Warning > Severity::Info);
+}
