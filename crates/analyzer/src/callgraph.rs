@@ -1,0 +1,258 @@
+//! Module call graph with strongly-connected components.
+//!
+//! The interprocedural passes (function summaries, the static race
+//! detector) need two things from the call structure: a *bottom-up*
+//! traversal order so callee summaries exist before their callers are
+//! summarized, and cycle (recursion) detection so summary computation can
+//! fall back to a conservative fixed point instead of recursing forever.
+//! Both come from Tarjan's SCC algorithm: components are emitted in
+//! reverse-topological (callee-first) order, and a component of size > 1 —
+//! or a single function that calls itself — is a recursion cycle.
+
+use cwsp_ir::inst::Inst;
+use cwsp_ir::module::{FuncId, Module};
+use std::collections::HashSet;
+
+/// The call graph of one module.
+#[derive(Debug, Clone, Default)]
+pub struct CallGraph {
+    /// `callees[f]` — distinct functions `f` calls, in first-call order.
+    callees: Vec<Vec<FuncId>>,
+    /// `callers[f]` — distinct functions calling `f`.
+    callers: Vec<Vec<FuncId>>,
+    /// Strongly-connected components in bottom-up (callee-first) order.
+    sccs: Vec<Vec<FuncId>>,
+    /// Functions reachable from the module entry (empty when no entry).
+    reachable: Vec<bool>,
+    /// Whether the function participates in a call cycle (an SCC of size
+    /// > 1, or a direct self-call).
+    recursive: Vec<bool>,
+}
+
+impl CallGraph {
+    /// Build the call graph of `module`.
+    pub fn compute(module: &Module) -> Self {
+        let n = module.function_count();
+        let mut callees: Vec<Vec<FuncId>> = vec![Vec::new(); n];
+        let mut callers: Vec<Vec<FuncId>> = vec![Vec::new(); n];
+        for (fid, f) in module.iter_functions() {
+            let mut seen: HashSet<FuncId> = HashSet::new();
+            for (_, block) in f.iter_blocks() {
+                for inst in &block.insts {
+                    if let Inst::Call { func, .. } = inst {
+                        if func.index() < n && seen.insert(*func) {
+                            callees[fid.index()].push(*func);
+                            callers[func.index()].push(fid);
+                        }
+                    }
+                }
+            }
+        }
+
+        let sccs = tarjan_sccs(n, &callees);
+        let mut recursive = vec![false; n];
+        for scc in &sccs {
+            if scc.len() > 1 {
+                for &f in scc {
+                    recursive[f.index()] = true;
+                }
+            } else if let Some(&f) = scc.first() {
+                if callees[f.index()].contains(&f) {
+                    recursive[f.index()] = true;
+                }
+            }
+        }
+
+        let mut reachable = vec![false; n];
+        if let Some(entry) = module.entry() {
+            let mut stack = vec![entry];
+            reachable[entry.index()] = true;
+            while let Some(f) = stack.pop() {
+                for &c in &callees[f.index()] {
+                    if !reachable[c.index()] {
+                        reachable[c.index()] = true;
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+
+        CallGraph {
+            callees,
+            callers,
+            sccs,
+            reachable,
+            recursive,
+        }
+    }
+
+    /// Distinct direct callees of `f`.
+    pub fn callees(&self, f: FuncId) -> &[FuncId] {
+        &self.callees[f.index()]
+    }
+
+    /// Distinct direct callers of `f`.
+    pub fn callers(&self, f: FuncId) -> &[FuncId] {
+        &self.callers[f.index()]
+    }
+
+    /// Strongly-connected components in bottom-up (callee-first) order:
+    /// when component `i` calls into component `j`, then `j < i`.
+    pub fn sccs_bottom_up(&self) -> &[Vec<FuncId>] {
+        &self.sccs
+    }
+
+    /// Whether `f` is reachable (through calls) from the module entry.
+    pub fn is_reachable(&self, f: FuncId) -> bool {
+        self.reachable.get(f.index()).copied().unwrap_or(false)
+    }
+
+    /// Whether `f` sits on a call cycle (including a direct self-call).
+    pub fn is_recursive(&self, f: FuncId) -> bool {
+        self.recursive.get(f.index()).copied().unwrap_or(false)
+    }
+}
+
+/// Tarjan's algorithm, iterative; components come out in
+/// reverse-topological order (callees before callers).
+fn tarjan_sccs(n: usize, callees: &[Vec<FuncId>]) -> Vec<Vec<FuncId>> {
+    const UNSET: u32 = u32::MAX;
+    let mut index = vec![UNSET; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0u32;
+    let mut sccs: Vec<Vec<FuncId>> = Vec::new();
+
+    // Explicit DFS frames: (node, next child position).
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+    for root in 0..n {
+        if index[root] != UNSET {
+            continue;
+        }
+        frames.push((root, 0));
+        index[root] = next_index;
+        lowlink[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+
+        while let Some(&mut (v, ref mut ci)) = frames.last_mut() {
+            if let Some(w) = callees[v].get(*ci).map(|f| f.index()) {
+                *ci += 1;
+                if index[w] == UNSET {
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    let mut comp = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        comp.push(FuncId(w as u32));
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort_by_key(|f| f.index());
+                    sccs.push(comp);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwsp_ir::builder::FunctionBuilder;
+    use cwsp_ir::inst::Inst;
+
+    fn leaf(name: &str) -> cwsp_ir::function::Function {
+        let mut b = FunctionBuilder::new(name, 0);
+        let e = b.entry();
+        b.push(e, Inst::Ret { val: None });
+        b.build()
+    }
+
+    fn caller(name: &str, targets: &[FuncId]) -> cwsp_ir::function::Function {
+        let mut b = FunctionBuilder::new(name, 0);
+        let e = b.entry();
+        for &t in targets {
+            b.push(
+                e,
+                Inst::Call {
+                    func: t,
+                    args: vec![],
+                    ret: None,
+                    save_regs: vec![],
+                },
+            );
+        }
+        b.push(e, Inst::Ret { val: None });
+        b.build()
+    }
+
+    #[test]
+    fn chain_orders_bottom_up() {
+        // main -> mid -> leaf
+        let mut m = Module::new("t");
+        let lf = m.add_function(leaf("leaf"));
+        let mid = m.add_function(caller("mid", &[lf]));
+        let main = m.add_function(caller("main", &[mid]));
+        m.set_entry(main);
+        let cg = CallGraph::compute(&m);
+        assert_eq!(cg.callees(main), &[mid]);
+        assert_eq!(cg.callers(lf), &[mid]);
+        let order = cg.sccs_bottom_up();
+        let pos = |f: FuncId| order.iter().position(|c| c.contains(&f)).unwrap();
+        assert!(pos(lf) < pos(mid) && pos(mid) < pos(main));
+        assert!(cg.is_reachable(lf) && cg.is_reachable(main));
+        assert!(!cg.is_recursive(main));
+    }
+
+    #[test]
+    fn mutual_recursion_is_one_component() {
+        // a <-> b, plus c calling itself, plus dead d.
+        let mut m = Module::new("t");
+        // Forward references: FuncIds are assigned in insertion order.
+        let a_id = FuncId(0);
+        let b_id = FuncId(1);
+        m.add_function(caller("a", &[b_id]));
+        m.add_function(caller("b", &[a_id]));
+        let c = m.add_function(caller("c", &[FuncId(2)]));
+        let d = m.add_function(leaf("d"));
+        m.set_entry(a_id);
+        let cg = CallGraph::compute(&m);
+        assert!(cg.is_recursive(a_id) && cg.is_recursive(b_id));
+        assert!(cg.is_recursive(c), "direct self-call is recursion");
+        assert!(!cg.is_recursive(d));
+        assert!(cg.is_reachable(b_id));
+        assert!(!cg.is_reachable(c) && !cg.is_reachable(d));
+        let scc_ab = cg
+            .sccs_bottom_up()
+            .iter()
+            .find(|s| s.contains(&a_id))
+            .unwrap();
+        assert_eq!(scc_ab.len(), 2);
+        assert!(scc_ab.contains(&b_id));
+    }
+
+    #[test]
+    fn empty_module_yields_empty_graph() {
+        let m = Module::new("t");
+        let cg = CallGraph::compute(&m);
+        assert!(cg.sccs_bottom_up().is_empty());
+    }
+}

@@ -10,6 +10,13 @@
 
 use std::fmt;
 
+/// Version of the JSON diagnostics document emitted by [`Report::to_json`]
+/// and the `cwsp-lint --json` envelope. Bump whenever a field is renamed or
+/// removed, or a diagnostic code changes meaning; adding new codes (as the
+/// concurrency layer's `R-*`/`I5-*` families did in v2) is backward
+/// compatible but still recorded here so downstream consumers can gate.
+pub const SCHEMA_VERSION: u32 = 2;
+
 /// How serious a diagnostic is. `Error` means a crash-consistency invariant
 /// is (or may be) violated; recovery correctness is not guaranteed.
 /// `Warning` flags suspicious-but-survivable constructs; `Info` is advisory.
@@ -33,8 +40,8 @@ impl fmt::Display for Severity {
     }
 }
 
-/// The four statically-checked invariant families of the cWSP correctness
-/// argument (§IV), plus the general lint bucket.
+/// The statically-checked invariant families of the cWSP correctness
+/// argument (§IV, §VIII), plus the general lint bucket.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Invariant {
     /// I1 — no region stores to a word or register it previously read from
@@ -49,18 +56,30 @@ pub enum Invariant {
     /// I4 — structural placement rules: boundaries at joins, loop headers,
     /// calls, and synchronization points; regions non-empty and well-shaped.
     Structure,
+    /// I5 — persist-order / stale-read safety (§VIII): a store whose word
+    /// escapes to another core must be separated from the releasing
+    /// synchronization point by a region boundary, so the escaping value is
+    /// never published out of a still-open (revertible) region — the static
+    /// mirror of the memory controller's stale-read-avoidance rule.
+    PersistOrder,
+    /// R — data races between core entry-function instances: conflicting
+    /// accesses not ordered by a common lockset or an acquire/release
+    /// happens-before chain.
+    DataRace,
     /// L — general IR lints (not crash-consistency invariants per se).
     Lint,
 }
 
 impl Invariant {
-    /// Stable short id (`I1`..`I4`, `L`).
+    /// Stable short id (`I1`..`I5`, `R`, `L`).
     pub fn id(self) -> &'static str {
         match self {
             Invariant::Idempotence => "I1",
             Invariant::CheckpointCoverage => "I2",
             Invariant::SliceWellFormed => "I3",
             Invariant::Structure => "I4",
+            Invariant::PersistOrder => "I5",
+            Invariant::DataRace => "R",
             Invariant::Lint => "L",
         }
     }
@@ -72,6 +91,8 @@ impl Invariant {
             Invariant::CheckpointCoverage => "checkpoint-coverage",
             Invariant::SliceWellFormed => "slice-well-formed",
             Invariant::Structure => "structure",
+            Invariant::PersistOrder => "persist-order",
+            Invariant::DataRace => "data-race",
             Invariant::Lint => "lint",
         }
     }
@@ -223,12 +244,14 @@ impl Report {
         self.diagnostics.iter().map(|d| d.severity).max()
     }
 
-    /// Drop exact duplicates (the same finding reached via several paths),
-    /// keeping first-discovered order.
+    /// Drop duplicate findings, keyed by (rule, location, region) and
+    /// keeping first-discovered order. The same hazard reached via several
+    /// paths (or phrased with path-dependent message details) renders once;
+    /// the first witness — the shortest path discovered — is the one kept.
     pub fn dedup(&mut self) {
         let mut seen = std::collections::HashSet::new();
         self.diagnostics
-            .retain(|d| seen.insert((d.code, d.location.clone(), d.message.clone(), d.severity)));
+            .retain(|d| seen.insert((d.code, d.location.clone(), d.region)));
     }
 
     /// Render the report as human-readable text.
@@ -407,15 +430,36 @@ mod tests {
     }
 
     #[test]
-    fn dedup_removes_exact_duplicates_only() {
+    fn dedup_keys_on_rule_location_region() {
         let mut r = Report::default();
         r.diagnostics.push(sample_diag(Severity::Error));
         r.diagnostics.push(sample_diag(Severity::Error));
+        // Same (rule, location, region) with a path-dependent message: the
+        // first-discovered phrasing wins.
+        let mut reworded = sample_diag(Severity::Error);
+        reworded.message = "same hazard, different path".into();
+        r.diagnostics.push(reworded);
+        // Different location: kept.
         let mut other = sample_diag(Severity::Error);
         other.location.block = 9;
         r.diagnostics.push(other);
+        // Different region at the same location: kept.
+        let mut other_region = sample_diag(Severity::Error);
+        other_region.region = Some(8);
+        r.diagnostics.push(other_region);
         r.dedup();
-        assert_eq!(r.diagnostics.len(), 2);
+        assert_eq!(r.diagnostics.len(), 3);
+        assert!(r.diagnostics[0]
+            .message
+            .contains("store may overwrite a word"));
+    }
+
+    #[test]
+    fn schema_version_is_stable() {
+        // CI parses the `cwsp-lint --json` envelope and gates on this exact
+        // value; any change to it must be deliberate (field rename/removal
+        // or a diagnostic code changing meaning), never incidental.
+        assert_eq!(SCHEMA_VERSION, 2);
     }
 
     #[test]
@@ -475,6 +519,10 @@ mod tests {
         assert_eq!(Invariant::CheckpointCoverage.id(), "I2");
         assert_eq!(Invariant::SliceWellFormed.id(), "I3");
         assert_eq!(Invariant::Structure.id(), "I4");
+        assert_eq!(Invariant::PersistOrder.id(), "I5");
+        assert_eq!(Invariant::DataRace.id(), "R");
         assert_eq!(Invariant::Lint.id(), "L");
+        assert_eq!(Invariant::PersistOrder.name(), "persist-order");
+        assert_eq!(Invariant::DataRace.name(), "data-race");
     }
 }

@@ -24,15 +24,21 @@
 //! suite: *static-clean ⇒ dynamic-clean* — a module with no error-severity
 //! diagnostic passes every dynamic checker on every execution.
 
+pub mod callgraph;
 pub mod ckpt;
 pub mod consts;
 pub mod diag;
 pub mod idem;
 pub mod lints;
+pub mod races;
 pub mod structure;
+pub mod summaries;
 pub mod sync;
 
-pub use diag::{Counters, Diagnostic, Invariant, Location, PathWitness, Report, Severity};
+pub use diag::{
+    Counters, Diagnostic, Invariant, Location, PathWitness, Report, Severity, SCHEMA_VERSION,
+};
+pub use races::{RaceOptions, RaceStats};
 
 use cwsp_compiler::slice::SliceTable;
 use cwsp_compiler::Compiled;
@@ -178,6 +184,74 @@ pub fn analyze_observed(module: &Module, slices: &SliceTable, sink: &mut dyn Obs
         sink.span("analyzer", "total", 0, report.counters.analysis_ns);
     }
     report
+}
+
+/// Options for [`analyze_with`]: which optional analysis layers to run on
+/// top of the sequential I1–I4 + lint passes.
+#[derive(Debug, Clone)]
+pub struct AnalyzeOptions {
+    /// Run the interprocedural call-graph/summary lints
+    /// (`L-recursive-call`, `L-dead-function`, `I2-callee-clobbers-slot`).
+    pub interproc: bool,
+    /// Run the static race detector and I5 persist-order check.
+    pub races: bool,
+    /// Thread contexts for the race detector (core count).
+    pub cores: usize,
+}
+
+impl Default for AnalyzeOptions {
+    fn default() -> Self {
+        AnalyzeOptions {
+            interproc: false,
+            races: false,
+            cores: 2,
+        }
+    }
+}
+
+/// [`analyze`] plus the opt-in interprocedural and concurrency layers.
+/// Returns the merged report and, when the race detector ran, its
+/// aggregate statistics.
+pub fn analyze_with(
+    module: &Module,
+    slices: &SliceTable,
+    opts: &AnalyzeOptions,
+) -> (Report, Option<RaceStats>) {
+    let t0 = Instant::now();
+    let mut report = analyze(module, slices);
+    let mut stats = None;
+    if opts.interproc {
+        let cg = callgraph::CallGraph::compute(module);
+        let sums = summaries::Summaries::compute(module, &cg);
+        report
+            .diagnostics
+            .extend(summaries::check_module(module, &cg, &sums));
+    }
+    if opts.races {
+        let ra = races::check_concurrency(
+            module,
+            &RaceOptions {
+                cores: opts.cores.max(1),
+                ..RaceOptions::default()
+            },
+        );
+        report.diagnostics.extend(ra.diagnostics);
+        stats = Some(ra.stats);
+    }
+    report.dedup();
+    // New error-severity findings can demote regions from proven.
+    let mut bad_regions: HashSet<u32> = HashSet::new();
+    for d in report.errors() {
+        if let Some(r) = d.region {
+            bad_regions.insert(r);
+        }
+    }
+    report.counters.regions_proven = report
+        .counters
+        .regions_total
+        .saturating_sub(bad_regions.len());
+    report.counters.analysis_ns = t0.elapsed().as_nanos() as u64;
+    (report, stats)
 }
 
 /// Pipeline hook: verify a compiler artifact, returning the full report on

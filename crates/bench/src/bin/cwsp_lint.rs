@@ -11,7 +11,9 @@
 //! published through the metrics registry and merged into
 //! `results/BENCH_harness.json` under the top-level `analyzer` key.
 
-use cwsp_analyzer::{analyze_observed, Report, Severity};
+use cwsp_analyzer::{
+    analyze_observed, analyze_with, AnalyzeOptions, RaceStats, Report, Severity, SCHEMA_VERSION,
+};
 use cwsp_bench::engine;
 use cwsp_bench::json::Value;
 use cwsp_compiler::pipeline::{CompileOptions, Compiled};
@@ -27,11 +29,17 @@ cwsp-lint: static crash-consistency verifier for cWSP modules
 USAGE:
   cwsp-lint --all                        analyze every built-in workload
   cwsp-lint --workload NAME              analyze one built-in workload
+  cwsp-lint --multicore                  analyze the built-in multi-core workloads
   cwsp-lint --genprog N [--seed-base S]  analyze N generated programs
+  cwsp-lint --genprog-mc N [--seed-base S]
+                                         analyze N generated concurrent programs
   cwsp-lint FILE [--raw]                 analyze a module text file
 
 OPTIONS:
   --raw           do not compile FILE first; lint it as-is (no slice table)
+  --races         run the static race detector + I5 persist-order check
+  --interproc     run the interprocedural call-graph/summary lints
+  --cores N       thread contexts for --races (default 2)
   --json[=PATH]   emit a JSON diagnostics document (stdout, or to PATH)
   -h, --help      print this message
 
@@ -44,20 +52,29 @@ EXIT STATUS:
 enum Target {
     All,
     Workload(String),
+    Multicore,
     Genprog { n: u64, seed_base: u64 },
+    GenprogMc { n: u64, seed_base: u64 },
     File { path: String, raw: bool },
 }
 
 struct Options {
     target: Target,
     json: Option<Option<String>>,
+    races: bool,
+    interproc: bool,
+    cores: usize,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut target: Option<Target> = None;
     let mut json: Option<Option<String>> = None;
     let mut raw = false;
+    let mut races = false;
+    let mut interproc = false;
+    let mut cores = 2usize;
     let mut genprog_n: Option<u64> = None;
+    let mut genprog_mc_n: Option<u64> = None;
     let mut seed_base = 1u64;
     let mut file: Option<String> = None;
     let mut it = args.iter();
@@ -69,9 +86,23 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 let name = it.next().ok_or("--workload requires a NAME")?;
                 target = Some(Target::Workload(name.clone()));
             }
+            "--multicore" => target = Some(Target::Multicore),
             "--genprog" => {
                 let n = it.next().ok_or("--genprog requires a count")?;
                 genprog_n = Some(n.parse().map_err(|_| format!("bad count `{n}`"))?);
+            }
+            "--genprog-mc" => {
+                let n = it.next().ok_or("--genprog-mc requires a count")?;
+                genprog_mc_n = Some(n.parse().map_err(|_| format!("bad count `{n}`"))?);
+            }
+            "--races" => races = true,
+            "--interproc" => interproc = true,
+            "--cores" => {
+                let n = it.next().ok_or("--cores requires a value")?;
+                cores = n.parse().map_err(|_| format!("bad core count `{n}`"))?;
+                if cores == 0 {
+                    return Err("--cores must be at least 1".into());
+                }
             }
             "--seed-base" => {
                 let s = it.next().ok_or("--seed-base requires a value")?;
@@ -93,6 +124,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     if let Some(n) = genprog_n {
         target = Some(Target::Genprog { n, seed_base });
     }
+    if let Some(n) = genprog_mc_n {
+        if target.is_some() && genprog_n.is_some() {
+            return Err("--genprog and --genprog-mc are mutually exclusive".into());
+        }
+        target = Some(Target::GenprogMc { n, seed_base });
+    }
     if let Some(path) = file {
         if target.is_some() {
             return Err("FILE cannot be combined with --all/--workload/--genprog".into());
@@ -100,7 +137,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         target = Some(Target::File { path, raw });
     }
     let target = target.ok_or("no target given")?;
-    Ok(Options { target, json })
+    Ok(Options {
+        target,
+        json,
+        races,
+        interproc,
+        cores,
+    })
 }
 
 /// A named analysis subject: either a compiler artifact (module + slices)
@@ -117,7 +160,7 @@ impl Subject {
     }
 }
 
-fn gather(target: &Target) -> Result<Vec<Subject>, String> {
+fn gather(target: &Target, cores: usize) -> Result<Vec<Subject>, String> {
     match target {
         Target::All => Ok(cwsp_workloads::all()
             .iter()
@@ -128,11 +171,22 @@ fn gather(target: &Target) -> Result<Vec<Subject>, String> {
                 .ok_or_else(|| format!("no built-in workload named `{name}`"))?;
             Ok(vec![Subject::compile(w.name, &w.module)])
         }
+        Target::Multicore => Ok(cwsp_workloads::multicore::all(cores as u64)
+            .into_iter()
+            .map(|(name, m)| Subject::compile(name, &m))
+            .collect()),
         Target::Genprog { n, seed_base } => Ok((0..*n)
             .map(|i| {
                 let seed = seed_base + i;
                 let m = genprog::generate_default(seed);
                 Subject::compile(&format!("gen-{seed}"), &m)
+            })
+            .collect()),
+        Target::GenprogMc { n, seed_base } => Ok((0..*n)
+            .map(|i| {
+                let seed = seed_base + i;
+                let m = genprog::generate_concurrent(&genprog::ConcSpec::default(), seed);
+                Subject::compile(&format!("gen-mc-{seed}"), &m)
             })
             .collect()),
         Target::File { path, raw } => {
@@ -162,7 +216,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let subjects = match gather(&opts.target) {
+    let subjects = match gather(&opts.target, opts.cores) {
         Ok(s) => s,
         Err(msg) => {
             eprintln!("cwsp-lint: {msg}");
@@ -174,13 +228,36 @@ fn main() -> ExitCode {
     // doubles as the ObsSink the analyzer publishes through.
     let mut reg = cwsp_obs::Registry::new();
     let empty = SliceTable::new();
+    let lint_opts = AnalyzeOptions {
+        interproc: opts.interproc,
+        races: opts.races,
+        cores: opts.cores,
+    };
+    let layered = opts.races || opts.interproc;
+    let mut conc: Option<RaceStats> = None;
     let mut reports: Vec<Report> = Vec::with_capacity(subjects.len());
     for s in &subjects {
         let (module, slices): (&Module, &SliceTable) = match s {
             Subject::Artifact(_, c) => (&c.module, &c.slices),
             Subject::Raw(_, m) => (m, &empty),
         };
-        reports.push(analyze_observed(module, slices, &mut reg));
+        let report = if layered {
+            let (report, stats) = analyze_with(module, slices, &lint_opts);
+            publish_report(&report, &mut reg);
+            if let Some(st) = stats {
+                publish_race_stats(&st, &mut reg);
+                let agg = conc.get_or_insert_with(RaceStats::default);
+                agg.contexts += st.contexts;
+                agg.accesses += st.accesses;
+                agg.pairs_checked += st.pairs_checked;
+                agg.races += st.races;
+                agg.i5_escapes += st.i5_escapes;
+            }
+            report
+        } else {
+            analyze_observed(module, slices, &mut reg)
+        };
+        reports.push(report);
     }
 
     // Human-readable rendering: one line per clean module, full diagnostics
@@ -208,7 +285,10 @@ fn main() -> ExitCode {
     );
 
     if let Some(dest) = &opts.json {
-        let mut doc = String::from("{\"version\":1,\"reports\":[");
+        let mut doc = format!(
+            "{{\"schema_version\":{SCHEMA_VERSION},\"tool\":\"cwsp-lint {}\",\"reports\":[",
+            env!("CARGO_PKG_VERSION")
+        );
         for (i, r) in reports.iter().enumerate() {
             if i > 0 {
                 doc.push(',');
@@ -230,7 +310,7 @@ fn main() -> ExitCode {
         }
     }
 
-    publish_harness(&reg, &reports);
+    publish_harness(&reg, &reports, conc.as_ref());
 
     if errors > 0 {
         ExitCode::from(1)
@@ -239,12 +319,47 @@ fn main() -> ExitCode {
     }
 }
 
+/// Publish a report's summary counters through the registry — the layered
+/// `analyze_with` path has no sink parameter, so the front-end mirrors what
+/// `analyze_observed` publishes (plus the race diagnostics now included).
+fn publish_report(report: &Report, reg: &mut cwsp_obs::Registry) {
+    use cwsp_obs::sink::ObsSink;
+    reg.count("analyzer.functions", report.counters.functions as u64);
+    reg.count(
+        "analyzer.regions_total",
+        report.counters.regions_total as u64,
+    );
+    reg.count(
+        "analyzer.regions_proven",
+        report.counters.regions_proven as u64,
+    );
+    reg.count("analyzer.diags_error", report.count(Severity::Error) as u64);
+    reg.count(
+        "analyzer.diags_warning",
+        report.count(Severity::Warning) as u64,
+    );
+    reg.count("analyzer.diags_info", report.count(Severity::Info) as u64);
+}
+
+/// Publish the race detector's aggregate counters through the registry.
+fn publish_race_stats(st: &RaceStats, reg: &mut cwsp_obs::Registry) {
+    use cwsp_obs::sink::ObsSink;
+    reg.count("analyzer.concurrency.contexts", st.contexts as u64);
+    reg.count("analyzer.concurrency.accesses", st.accesses as u64);
+    reg.count("analyzer.concurrency.pairs_checked", st.pairs_checked);
+    reg.count("analyzer.concurrency.races", st.races as u64);
+    reg.count("analyzer.concurrency.i5_escapes", st.i5_escapes as u64);
+}
+
 /// Merge the accumulated analyzer counters into the harness report as a
-/// top-level `analyzer` section (sibling of `figures`).
-fn publish_harness(reg: &cwsp_obs::Registry, reports: &[Report]) {
+/// top-level `analyzer` section (sibling of `figures`). The concurrency
+/// stats nest *inside* this entry: `merge_harness_section` replaces a
+/// top-level key wholesale, so a separate `analyzer.concurrency` section
+/// would clobber (or be clobbered by) the sequential counters.
+fn publish_harness(reg: &cwsp_obs::Registry, reports: &[Report], conc: Option<&RaceStats>) {
     let total_ns: u64 = reports.iter().map(|r| r.counters.analysis_ns).sum();
     let count = |name: &str| Value::Int(reg.counter_value(name));
-    let entry = Value::Obj(vec![
+    let mut fields = vec![
         ("modules".into(), Value::Int(reports.len() as u64)),
         ("functions".into(), count("analyzer.functions")),
         ("regions_total".into(), count("analyzer.regions_total")),
@@ -256,6 +371,19 @@ fn publish_harness(reg: &cwsp_obs::Registry, reports: &[Report]) {
             "analysis_ms".into(),
             Value::Float((total_ns as f64 / 1e6 * 100.0).round() / 100.0),
         ),
-    ]);
+    ];
+    if let Some(st) = conc {
+        fields.push((
+            "concurrency".into(),
+            Value::Obj(vec![
+                ("contexts".into(), Value::Int(st.contexts as u64)),
+                ("accesses".into(), Value::Int(st.accesses as u64)),
+                ("pairs_checked".into(), Value::Int(st.pairs_checked)),
+                ("races".into(), Value::Int(st.races as u64)),
+                ("i5_escapes".into(), Value::Int(st.i5_escapes as u64)),
+            ]),
+        ));
+    }
+    let entry = Value::Obj(fields);
     engine::merge_harness_section("analyzer", entry);
 }

@@ -297,6 +297,197 @@ pub fn generate_default(seed: u64) -> Module {
     generate(&ProgramSpec::default(), seed)
 }
 
+/// Shape parameters for generated *concurrent* programs
+/// ([`generate_concurrent`]). Kept separate from [`ProgramSpec`] so the
+/// single-core seed corpus stays byte-stable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConcSpec {
+    /// Threads the module is built for (each core runs `main(tid)`).
+    pub cores: u64,
+    /// Words per thread-private partition.
+    pub part_words: u64,
+    /// Lock-protected shared words.
+    pub shared_words: u64,
+    /// Straight-line segments in `main`.
+    pub segments: usize,
+    /// Maximum trip count of generated loops.
+    pub max_trip: u64,
+    /// Whether to sprinkle `Fence` instructions between segments.
+    pub fences: bool,
+}
+
+impl Default for ConcSpec {
+    fn default() -> Self {
+        ConcSpec {
+            cores: 2,
+            part_words: 8,
+            shared_words: 4,
+            segments: 8,
+            max_trip: 6,
+            fences: true,
+        }
+    }
+}
+
+/// Generate a deterministic, always-terminating *data-race-free* concurrent
+/// module: `cores` threads run `main(tid)` over one shared memory.
+///
+/// Race freedom is by construction — the generator only emits the sharing
+/// idioms the static concurrency analyzer proves safe, so the module doubles
+/// as a differential-testing probe (static-clean ⇒ the dynamic vector-clock
+/// oracle must also come up clean on every schedule):
+///
+/// * thread-private partition traffic at `part[tid*P .. (tid+1)*P]`
+///   (disjoint interval arithmetic over the folded `tid`);
+/// * shared read-modify-writes only inside a CAS-spinlock critical section
+///   (must-lockset);
+/// * commutative cross-thread communication via atomic fetch-add
+///   (both-atomic exemption);
+/// * optional sequentially-consistent fences (no-ops for race freedom, but
+///   they exercise the sync-drain persist path).
+pub fn generate_concurrent(spec: &ConcSpec, seed: u64) -> Module {
+    let cores = spec.cores.max(1);
+    let part_words = spec.part_words.max(1);
+    let shared_words = spec.shared_words.max(1);
+    let mut m = Module::new(format!("conc-{seed}"));
+    let part = m.add_global("part", cores * part_words);
+    let shared = m.add_global("shared", shared_words);
+    let lock = m.add_global("lock", 1);
+    let ctr = m.add_global("ctr", 1);
+    let res = m.add_global("res", cores);
+    let part_addr = m.global_addr(part);
+    let shared_addr = m.global_addr(shared);
+    let lock_addr = m.global_addr(lock);
+    let ctr_addr = m.global_addr(ctr);
+    let res_addr = m.global_addr(res);
+
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0xC0_4C74);
+    let mut b = FunctionBuilder::new("main", 1);
+    let mut bb = b.entry();
+    let tid = b.param(0);
+    // part_base = part_addr + tid * P * 8 — constant once tid is folded in,
+    // so every private access lands in a per-thread disjoint interval.
+    let poff = b.bin(bb, BinOp::Mul, tid.into(), Operand::imm(part_words * 8));
+    let part_base = b.bin(bb, BinOp::Add, poff.into(), Operand::imm(part_addr));
+    let acc = b.mov(bb, Operand::imm(rng.range_u64(1, 64)));
+
+    for _ in 0..spec.segments {
+        match rng.range_u64(0, 10) {
+            0..=2 => {
+                // Private read-modify-write at a fixed partition offset.
+                let off = (rng.range_u64(0, part_words) * 8) as i64;
+                let v = b.load(bb, MemRef::reg(part_base, off));
+                let s = b.bin(bb, BinOp::Add, v.into(), acc.into());
+                b.store(bb, s.into(), MemRef::reg(part_base, off));
+            }
+            3 => {
+                // Private partition walk (symbolic index, bounded interval).
+                let trip = rng.range_incl_u64(1, spec.max_trip);
+                let words = part_words;
+                let (_, exit) = build_counted_loop(&mut b, bb, Operand::imm(trip), |b, body, i| {
+                    let o = b.bin(body, BinOp::RemU, i.into(), Operand::imm(words));
+                    let byt = b.bin(body, BinOp::Shl, o.into(), Operand::imm(3));
+                    let addr = b.bin(body, BinOp::Add, part_base.into(), byt.into());
+                    let v = b.load(body, MemRef::reg(addr, 0));
+                    let s = b.bin(body, BinOp::Add, v.into(), i.into());
+                    b.store(body, s.into(), MemRef::reg(addr, 0));
+                });
+                bb = exit;
+            }
+            4..=5 => {
+                // Lock-protected shared read-modify-writes.
+                let spin = b.block();
+                let crit = b.block();
+                b.push(bb, Inst::Br { target: spin });
+                let got = b.vreg();
+                b.push(
+                    spin,
+                    Inst::AtomicRmw {
+                        op: cwsp_ir::inst::AtomicOp::Cas,
+                        dst: got,
+                        addr: MemRef::abs(lock_addr),
+                        src: Operand::imm(1),
+                        expected: Operand::imm(0),
+                    },
+                );
+                b.push(
+                    spin,
+                    Inst::CondBr {
+                        cond: got.into(),
+                        if_true: spin,
+                        if_false: crit,
+                    },
+                );
+                for _ in 0..rng.range_incl_u64(1, 2) {
+                    let w = shared_addr + rng.range_u64(0, shared_words) * 8;
+                    let cur = b.load(crit, MemRef::abs(w));
+                    let nv = b.bin(crit, BinOp::Add, cur.into(), acc.into());
+                    b.store(crit, nv.into(), MemRef::abs(w));
+                }
+                let rel = b.vreg();
+                b.push(
+                    crit,
+                    Inst::AtomicRmw {
+                        op: cwsp_ir::inst::AtomicOp::Swap,
+                        dst: rel,
+                        addr: MemRef::abs(lock_addr),
+                        src: Operand::imm(0),
+                        expected: Operand::imm(0),
+                    },
+                );
+                bb = crit;
+            }
+            6 => {
+                // Commutative cross-thread bump (both-atomic exemption).
+                let dst = b.vreg();
+                b.push(
+                    bb,
+                    Inst::AtomicRmw {
+                        op: cwsp_ir::inst::AtomicOp::FetchAdd,
+                        dst,
+                        addr: MemRef::abs(ctr_addr),
+                        src: Operand::imm(rng.range_u64(1, 8)),
+                        expected: Operand::imm(0),
+                    },
+                );
+            }
+            7 if spec.fences => {
+                b.push(bb, Inst::Fence);
+            }
+            _ => {
+                // Register-only arithmetic feeding later segments.
+                let op = [BinOp::Add, BinOp::Xor, BinOp::Mul][rng.index(3)];
+                let k = rng.range_u64(1, 32);
+                b.push(
+                    bb,
+                    Inst::Binary {
+                        op,
+                        dst: acc,
+                        lhs: acc.into(),
+                        rhs: Operand::imm(k),
+                    },
+                );
+            }
+        }
+    }
+
+    // Epilogue: publish the accumulator to the thread's private result slot.
+    let roff = b.bin(bb, BinOp::Shl, tid.into(), Operand::imm(3));
+    let raddr = b.bin(bb, BinOp::Add, roff.into(), Operand::imm(res_addr));
+    b.store(bb, acc.into(), MemRef::reg(raddr, 0));
+    b.push(bb, Inst::Out { val: acc.into() });
+    b.push(
+        bb,
+        Inst::Ret {
+            val: Some(acc.into()),
+        },
+    );
+    let main = m.add_function(b.build());
+    m.set_entry(main);
+    debug_assert!(m.validate().is_ok(), "{:?}", m.validate());
+    m
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,6 +529,51 @@ mod tests {
             let out = cwsp_ir::interp::run(&c.module, 400_000).unwrap();
             assert_eq!(out.return_value, oracle.return_value, "seed {seed}");
             assert_eq!(out.output, oracle.output, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn concurrent_generation_is_deterministic_and_valid() {
+        let spec = ConcSpec::default();
+        let a = generate_concurrent(&spec, 7);
+        let b = generate_concurrent(&spec, 7);
+        assert_eq!(
+            cwsp_ir::pretty::fmt_module(&a),
+            cwsp_ir::pretty::fmt_module(&b)
+        );
+        let c = generate_concurrent(&spec, 8);
+        assert_ne!(
+            cwsp_ir::pretty::fmt_module(&a),
+            cwsp_ir::pretty::fmt_module(&c)
+        );
+        for seed in 0..20 {
+            let m = generate_concurrent(&spec, seed);
+            assert!(m.validate().is_ok(), "seed {seed}: {:?}", m.validate());
+            // Single-threaded (tid 0) execution terminates: the lock is
+            // always free and loops are counted.
+            let out =
+                cwsp_ir::interp::run(&m, 500_000).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(out.steps > 0);
+        }
+    }
+
+    #[test]
+    fn concurrent_modules_are_oracle_clean() {
+        use cwsp_sim::race::{check_module, OracleConfig};
+        let spec = ConcSpec::default();
+        for seed in 0..10 {
+            let m = generate_concurrent(&spec, seed);
+            let rep = check_module(
+                &m,
+                &OracleConfig {
+                    cores: spec.cores as usize,
+                    schedules: 4,
+                    ..OracleConfig::default()
+                },
+            )
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(rep.is_clean(), "seed {seed}: {:?}", rep.races);
+            assert_eq!(rep.incomplete, 0, "seed {seed} did not terminate");
         }
     }
 

@@ -245,6 +245,176 @@ impl DomTree {
     }
 }
 
+/// A post-dominator tree over the reversed CFG, mirroring [`DomTree`].
+///
+/// Functions may have several exits (`Halt`, `Ret`, or malformed blocks with
+/// no successor), so the reversed graph is rooted at a *virtual exit* that
+/// every exit block edges to. `ipdom` maps each block to its immediate
+/// post-dominator; exit blocks (whose only post-dominator is the virtual
+/// exit) and unreachable blocks map to `None`, distinguished by
+/// [`PostDomTree::is_exit_reaching`].
+///
+/// Shared by the race detector's release-side ordering proof (an access is
+/// guaranteed to be followed by a release sync iff the sync's block
+/// post-dominates it) and by witness pruning.
+///
+/// # Example
+/// ```
+/// use cwsp_ir::prelude::*;
+/// use cwsp_ir::cfg::PostDomTree;
+///
+/// let mut b = FunctionBuilder::new("f", 0);
+/// let e = b.entry();
+/// b.push(e, Inst::Halt);
+/// let f = b.build();
+/// let pdom = PostDomTree::compute(&f);
+/// assert!(pdom.postdominates(e, e));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PostDomTree {
+    ipdom: Vec<Option<BlockId>>,
+    /// Blocks from which some exit is reachable (the virtual root's domain).
+    exit_reaching: Vec<bool>,
+}
+
+impl PostDomTree {
+    /// Build the post-dominator tree for `f` via Cooper–Harvey–Kennedy on
+    /// the reversed CFG with a virtual exit node.
+    pub fn compute(f: &Function) -> Self {
+        let n = f.blocks.len();
+        // Exits: blocks with no successors (Halt/Ret terminators, or
+        // malformed blocks that fall off the end).
+        let exits: Vec<BlockId> = (0..n)
+            .map(|i| BlockId(i as u32))
+            .filter(|&b| successors(f, b).is_empty())
+            .collect();
+
+        // Reverse post-order of the *reversed* graph from the virtual exit,
+        // i.e. a post-order-derived ordering where a block's successors (its
+        // reverse-graph predecessors' sources) come first. We index the
+        // virtual exit as `n`.
+        let preds_fwd = predecessors(f); // reverse-graph successors
+        let mut visited = vec![false; n + 1];
+        let mut post: Vec<usize> = Vec::with_capacity(n + 1);
+        let mut stack: Vec<(usize, usize)> = vec![(n, 0)];
+        visited[n] = true;
+        let rev_succs = |b: usize| -> Vec<usize> {
+            if b == n {
+                exits.iter().map(|e| e.index()).collect()
+            } else {
+                preds_fwd[b].iter().map(|p| p.index()).collect()
+            }
+        };
+        while let Some((b, i)) = stack.pop() {
+            let succs = rev_succs(b);
+            if i < succs.len() {
+                stack.push((b, i + 1));
+                let s = succs[i];
+                if !visited[s] {
+                    visited[s] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+            }
+        }
+        post.reverse(); // RPO of the reversed graph, virtual exit first
+
+        let mut order_of = vec![usize::MAX; n + 1];
+        for (i, &b) in post.iter().enumerate() {
+            order_of[b] = i;
+        }
+
+        // succs_fwd are the reversed graph's predecessors.
+        let succs_fwd: Vec<Vec<usize>> = (0..n)
+            .map(|i| {
+                let mut s: Vec<usize> = successors(f, BlockId(i as u32))
+                    .iter()
+                    .map(|b| b.index())
+                    .collect();
+                if exits.iter().any(|e| e.index() == i) {
+                    s.push(n); // exit blocks edge to the virtual exit
+                }
+                s
+            })
+            .collect();
+
+        let mut ipdom: Vec<Option<usize>> = vec![None; n + 1];
+        ipdom[n] = Some(n);
+        let intersect = |ipdom: &[Option<usize>], mut a: usize, mut b: usize| {
+            while a != b {
+                while order_of[a] > order_of[b] {
+                    a = ipdom[a].expect("processed");
+                }
+                while order_of[b] > order_of[a] {
+                    b = ipdom[b].expect("processed");
+                }
+            }
+            a
+        };
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in post.iter().skip(1) {
+                let mut new_ipdom: Option<usize> = None;
+                for &s in &succs_fwd[b] {
+                    if ipdom[s].is_none() {
+                        continue;
+                    }
+                    new_ipdom = Some(match new_ipdom {
+                        None => s,
+                        Some(cur) => intersect(&ipdom, cur, s),
+                    });
+                }
+                if let Some(ni) = new_ipdom {
+                    if ipdom[b] != Some(ni) {
+                        ipdom[b] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        PostDomTree {
+            exit_reaching: (0..n).map(|i| ipdom[i].is_some()).collect(),
+            ipdom: (0..n)
+                .map(|i| match ipdom[i] {
+                    Some(p) if p < n => Some(BlockId(p as u32)),
+                    _ => None, // virtual exit or exit-unreachable
+                })
+                .collect(),
+        }
+    }
+
+    /// Immediate post-dominator of `b`; `None` when `b` is an exit block
+    /// (its ipdom is the virtual exit) or cannot reach an exit.
+    pub fn ipdom(&self, b: BlockId) -> Option<BlockId> {
+        self.ipdom[b.index()]
+    }
+
+    /// Whether some exit block is reachable from `b` (equivalently, whether
+    /// `b` participates in the tree at all).
+    pub fn is_exit_reaching(&self, b: BlockId) -> bool {
+        self.exit_reaching[b.index()]
+    }
+
+    /// Whether `a` post-dominates `b` (reflexive): every path from `b` to
+    /// any exit passes through `a`. Blocks that cannot reach an exit are
+    /// post-dominated only by themselves.
+    pub fn postdominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.ipdom[cur.index()] {
+                Some(d) => cur = d,
+                None => return false,
+            }
+        }
+    }
+}
+
 /// Whether `a` dominates `b` (per [`immediate_dominators`]).
 pub fn dominates(idom: &[Option<BlockId>], a: BlockId, b: BlockId) -> bool {
     let mut cur = b;
@@ -452,6 +622,137 @@ mod tests {
             !dom.dominates(e, dead),
             "unreachable blocks are dominated only by themselves"
         );
+    }
+
+    #[test]
+    fn postdominators_of_diamond() {
+        // entry -> a | b -> join: the join post-dominates everything; the
+        // arms post-dominate nothing but themselves.
+        let mut bld = FunctionBuilder::new("f", 0);
+        let e = bld.entry();
+        let a = bld.block();
+        let b2 = bld.block();
+        let join = bld.block();
+        let c = bld.vreg();
+        bld.push(
+            e,
+            Inst::CondBr {
+                cond: c.into(),
+                if_true: a,
+                if_false: b2,
+            },
+        );
+        bld.push(a, Inst::Br { target: join });
+        bld.push(b2, Inst::Br { target: join });
+        bld.push(join, Inst::Halt);
+        let f = bld.build();
+        let pdom = PostDomTree::compute(&f);
+        assert_eq!(pdom.ipdom(e), Some(join), "join, not an arm, is e's ipdom");
+        assert_eq!(pdom.ipdom(a), Some(join));
+        assert_eq!(pdom.ipdom(b2), Some(join));
+        assert_eq!(pdom.ipdom(join), None, "exit block's ipdom is virtual");
+        assert!(pdom.postdominates(join, e));
+        assert!(pdom.postdominates(join, a));
+        assert!(!pdom.postdominates(a, e));
+        assert!(pdom.postdominates(e, e));
+        assert!(pdom.is_exit_reaching(e));
+    }
+
+    #[test]
+    fn postdominators_of_loop() {
+        let (f, header, exit) = loop_fn();
+        let pdom = PostDomTree::compute(&f);
+        // Every path out of the body goes back through the header and then
+        // the exit: both post-dominate the body.
+        let body = cfg_body_of(&f, header);
+        assert!(pdom.postdominates(header, body));
+        assert!(pdom.postdominates(exit, body));
+        assert!(pdom.postdominates(exit, f.entry()));
+        assert!(!pdom.postdominates(body, header), "body may be skipped");
+    }
+
+    #[test]
+    fn postdominators_with_two_exits() {
+        // entry -> halt_a | halt_b: neither exit post-dominates the other,
+        // and nothing but entry itself post-dominates entry.
+        let mut bld = FunctionBuilder::new("f", 0);
+        let e = bld.entry();
+        let xa = bld.block();
+        let xb = bld.block();
+        let c = bld.vreg();
+        bld.push(
+            e,
+            Inst::CondBr {
+                cond: c.into(),
+                if_true: xa,
+                if_false: xb,
+            },
+        );
+        bld.push(xa, Inst::Halt);
+        bld.push(xb, Inst::Halt);
+        let f = bld.build();
+        let pdom = PostDomTree::compute(&f);
+        assert_eq!(pdom.ipdom(e), None, "e's ipdom is the virtual exit");
+        assert!(!pdom.postdominates(xa, e));
+        assert!(!pdom.postdominates(xb, e));
+        assert!(pdom.postdominates(e, e));
+        assert!(pdom.is_exit_reaching(e));
+    }
+
+    #[test]
+    fn postdom_tree_on_irreducible_cfg() {
+        // entry -> {a, b}; a -> b; b -> a | exit. The a<->b cycle has two
+        // entries; only the exit-side block post-dominates the other.
+        let mut bld = FunctionBuilder::new("f", 0);
+        let e = bld.entry();
+        let a = bld.block();
+        let b2 = bld.block();
+        let exit = bld.block();
+        let c = bld.vreg();
+        bld.push(
+            e,
+            Inst::CondBr {
+                cond: c.into(),
+                if_true: a,
+                if_false: b2,
+            },
+        );
+        bld.push(a, Inst::Br { target: b2 });
+        bld.push(
+            b2,
+            Inst::CondBr {
+                cond: c.into(),
+                if_true: a,
+                if_false: exit,
+            },
+        );
+        bld.push(exit, Inst::Halt);
+        let f = bld.build();
+        assert!(f.validate().is_ok());
+        let pdom = PostDomTree::compute(&f);
+        assert!(pdom.postdominates(b2, a), "a's only way out is through b2");
+        assert!(pdom.postdominates(b2, e));
+        assert!(!pdom.postdominates(a, b2), "b2 can exit without a");
+        assert!(pdom.postdominates(exit, e));
+        assert_eq!(pdom.ipdom(exit), None);
+    }
+
+    #[test]
+    fn postdom_marks_exit_unreachable_blocks() {
+        // entry -> spin; spin -> spin: the infinite loop never reaches an
+        // exit, so it is post-dominated only by itself.
+        let mut bld = FunctionBuilder::new("f", 0);
+        let e = bld.entry();
+        let spin = bld.block();
+        bld.push(e, Inst::Br { target: spin });
+        bld.push(spin, Inst::Br { target: spin });
+        let f = bld.build();
+        let pdom = PostDomTree::compute(&f);
+        assert!(!pdom.is_exit_reaching(spin));
+        assert!(!pdom.is_exit_reaching(e), "entry only leads into the loop");
+        assert_eq!(pdom.ipdom(spin), None);
+        assert!(pdom.postdominates(spin, spin));
+        assert!(!pdom.postdominates(spin, e));
     }
 
     #[test]

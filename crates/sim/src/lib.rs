@@ -51,6 +51,7 @@ pub mod machine;
 pub mod mc;
 pub mod persist;
 pub mod profiler;
+pub mod race;
 pub mod scheme;
 pub mod stats;
 pub mod trace;

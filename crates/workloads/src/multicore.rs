@@ -162,6 +162,110 @@ pub fn expected_balance(ncores: u64) -> Word {
     (0..ncores).map(|tid| (tid + 1) * DEPOSITS).sum()
 }
 
+/// Build a message-passing ring over `ncores` threads: thread `tid` writes
+/// `mail[tid]`, *releases* it by atomically setting `flags[tid]`, then
+/// acquire-spins on `flags[(tid+1) % n]` and copies its neighbour's mail
+/// into `acc[tid]`. The only cross-thread data flow is through the
+/// release/acquire pair on the flag word — the canonical pattern the static
+/// detector's happens-before layer must prove ordered (dropping the release
+/// atomic is the dropped-fence mutation of the differential suite).
+///
+/// The module must run with exactly `ncores` cores: each thread blocks on
+/// its ring successor.
+///
+/// Returns `(module, mail_addr, acc_addr)`.
+pub fn message_ring(ncores: u64) -> (Module, Word, Word) {
+    assert!(ncores >= 1);
+    let mut m = Module::new("message-ring");
+    let mail = m.add_global("mail", ncores);
+    let flags = m.add_global("flags", ncores);
+    let acc = m.add_global("acc", ncores);
+    let mail_addr = m.global_addr(mail);
+    let flags_addr = m.global_addr(flags);
+    let acc_addr = m.global_addr(acc);
+
+    let mut b = FunctionBuilder::new("main", 1);
+    let e = b.entry();
+    let spin = b.block();
+    let read = b.block();
+    let tid = b.param(0);
+
+    // mail[tid] = tid * 37 + 11
+    let v0 = b.bin(e, BinOp::Mul, tid.into(), Operand::imm(37));
+    let v = b.bin(e, BinOp::Add, v0.into(), Operand::imm(11));
+    let moff = b.bin(e, BinOp::Shl, tid.into(), Operand::imm(3));
+    let maddr = b.bin(e, BinOp::Add, moff.into(), Operand::imm(mail_addr));
+    b.store(e, v.into(), MemRef::reg(maddr, 0));
+    // release: flags[tid] = 1, atomically (the publication point)
+    let faddr = b.bin(e, BinOp::Add, moff.into(), Operand::imm(flags_addr));
+    let rel = b.vreg();
+    b.push(
+        e,
+        Inst::AtomicRmw {
+            op: cwsp_ir::inst::AtomicOp::Swap,
+            dst: rel,
+            addr: MemRef::reg(faddr, 0),
+            src: Operand::imm(1),
+            expected: Operand::imm(0),
+        },
+    );
+    // next = (tid + 1) % n; acquire-spin on flags[next]
+    let t1 = b.bin(e, BinOp::Add, tid.into(), Operand::imm(1));
+    let next = b.bin(e, BinOp::RemU, t1.into(), Operand::imm(ncores));
+    let noff = b.bin(e, BinOp::Shl, next.into(), Operand::imm(3));
+    let nfaddr = b.bin(e, BinOp::Add, noff.into(), Operand::imm(flags_addr));
+    b.push(e, Inst::Br { target: spin });
+    let got = b.vreg();
+    b.push(
+        spin,
+        Inst::AtomicRmw {
+            op: cwsp_ir::inst::AtomicOp::FetchAdd,
+            dst: got,
+            addr: MemRef::reg(nfaddr, 0),
+            src: Operand::imm(0),
+            expected: Operand::imm(0),
+        },
+    );
+    b.push(
+        spin,
+        Inst::CondBr {
+            cond: got.into(),
+            if_true: read,
+            if_false: spin,
+        },
+    );
+    // acc[tid] = mail[next]
+    let nmaddr = b.bin(read, BinOp::Add, noff.into(), Operand::imm(mail_addr));
+    let nv = b.load(read, MemRef::reg(nmaddr, 0));
+    let aaddr = b.bin(read, BinOp::Add, moff.into(), Operand::imm(acc_addr));
+    b.store(read, nv.into(), MemRef::reg(aaddr, 0));
+    b.push(
+        read,
+        Inst::Ret {
+            val: Some(nv.into()),
+        },
+    );
+    let main = m.add_function(b.build());
+    m.set_entry(main);
+    (m, mail_addr, acc_addr)
+}
+
+/// The value thread `tid` receives from its ring successor in
+/// [`message_ring`].
+pub fn expected_message(tid: u64, ncores: u64) -> Word {
+    ((tid + 1) % ncores) * 37 + 11
+}
+
+/// Every multi-core workload, instantiated for `ncores` threads, as
+/// `(name, module)` pairs — the enumeration behind `cwsp-lint --multicore`.
+pub fn all(ncores: u64) -> Vec<(&'static str, Module)> {
+    vec![
+        ("drf-partition-sum", drf_partition_sum(ncores).0),
+        ("spinlock-ledger", spinlock_ledger(ncores).0),
+        ("message-ring", message_ring(ncores).0),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,5 +321,39 @@ mod tests {
             assert_eq!(mem.load(data + tid * PARTITION_WORDS * 8), tid * 1000);
         }
         assert_eq!(mem.load(counter), 8, "4 threads x 2 sync points");
+    }
+
+    #[test]
+    fn message_ring_passes_mail_around() {
+        use cwsp_sim::config::SimConfig;
+        use cwsp_sim::machine::Machine;
+        use cwsp_sim::scheme::Scheme;
+        let ncores = 3;
+        let (m, mail, acc) = message_ring(ncores);
+        let cfg = SimConfig {
+            cores: ncores as usize,
+            ..SimConfig::default()
+        };
+        let mut machine = Machine::new(&m, &cfg, Scheme::Baseline);
+        machine.run(u64::MAX, None).unwrap();
+        let mem = machine.arch_mem();
+        for tid in 0..ncores {
+            assert_eq!(mem.load(mail + tid * 8), tid * 37 + 11);
+            assert_eq!(
+                mem.load(acc + tid * 8),
+                expected_message(tid, ncores),
+                "acc for tid {tid}"
+            );
+        }
+    }
+
+    #[test]
+    fn message_ring_single_core_self_handoff() {
+        // n = 1: the thread releases its own flag, then acquires it — the
+        // plain interpreter (tid 0) must terminate and read its own mail.
+        let (m, _, acc) = message_ring(1);
+        let out = cwsp_ir::interp::run(&m, 100_000).unwrap();
+        assert_eq!(out.return_value, Some(11));
+        assert_eq!(out.memory.load(acc), 11);
     }
 }

@@ -1,0 +1,256 @@
+//! Differential soundness of the static concurrency analyzer.
+//!
+//! Contract under test: **static-race-clean ⇒ dynamic-race-clean on every
+//! explored schedule**. The static detector (`cwsp_analyzer::races`) may
+//! over-approximate — flagging a clean program costs a lint warning — but it
+//! must never declare clean a program the vector-clock oracle
+//! (`cwsp_sim::race`) can catch racing under *any* seeded interleaving.
+//!
+//! Three mutation classes close the loop in the other direction: each
+//! injected concurrency bug must be caught *statically*, with a two-thread
+//! interleaving witness:
+//!
+//! 1. **unsynchronized store** — a shared word written by every thread with
+//!    no lock or ordering;
+//! 2. **dropped release** — an atomic flag publication downgraded to a plain
+//!    store (the classic message-passing bug);
+//! 3. **boundary straddle** — a compiled module whose region boundary
+//!    between a shared store and its publishing release atomic is removed
+//!    (the persist-order / stale-read hazard, invariant I5).
+
+use cwsp_analyzer::races::{check_concurrency, RaceOptions};
+use cwsp_bench::engine::par_map;
+use cwsp_core::genprog::{generate_concurrent, ConcSpec};
+use cwsp_ir::inst::{AtomicOp, Inst, MemRef, Operand};
+use cwsp_ir::module::Module;
+use cwsp_sim::race::{check_module, OracleConfig};
+use cwsp_workloads::multicore;
+
+/// Schedules per module in the oracle sweep (the acceptance floor is 8).
+const SCHEDULES: usize = 8;
+
+/// Concurrent genprog corpus size (the acceptance floor is 200).
+const CORPUS: u64 = 200;
+
+fn static_races(m: &Module, cores: usize) -> Vec<String> {
+    check_concurrency(
+        m,
+        &RaceOptions {
+            cores,
+            ..RaceOptions::default()
+        },
+    )
+    .diagnostics
+    .iter()
+    .map(|d| d.to_string())
+    .collect()
+}
+
+fn oracle_races(m: &Module, cores: usize) -> Vec<String> {
+    check_module(
+        m,
+        &OracleConfig {
+            cores,
+            schedules: SCHEDULES,
+            ..OracleConfig::default()
+        },
+    )
+    .expect("oracle replay")
+    .races
+    .iter()
+    .map(|r| r.to_string())
+    .collect()
+}
+
+/// Assert the soundness direction for one module: static-clean, and then
+/// (because it is static-clean) oracle-clean on every schedule.
+fn assert_differentially_clean(name: &str, m: &Module, cores: usize) {
+    let s = static_races(m, cores);
+    assert!(s.is_empty(), "{name}: static analyzer flagged:\n{s:?}");
+    let d = oracle_races(m, cores);
+    assert!(
+        d.is_empty(),
+        "{name}: static-clean but the oracle found races:\n{d:?}"
+    );
+}
+
+#[test]
+fn shipped_multicore_workloads_are_differentially_clean() {
+    let (m, _, _, _) = multicore::drf_partition_sum(4);
+    assert_differentially_clean("drf_partition_sum", &m, 4);
+    let (m, _, _) = multicore::spinlock_ledger(3);
+    assert_differentially_clean("spinlock_ledger", &m, 3);
+    let (m, _, _) = multicore::message_ring(3);
+    assert_differentially_clean("message_ring", &m, 3);
+}
+
+#[test]
+fn concurrent_genprog_corpus_is_differentially_clean() {
+    let seeds: Vec<u64> = (0..CORPUS).collect();
+    let failures: Vec<String> = par_map(&seeds, |&seed| {
+        let spec = ConcSpec {
+            cores: 2 + seed % 3,
+            fences: seed % 2 == 0,
+            ..ConcSpec::default()
+        };
+        let m = generate_concurrent(&spec, seed);
+        let cores = spec.cores as usize;
+        let s = static_races(&m, cores);
+        if !s.is_empty() {
+            return Some(format!("seed {seed}: static flagged {s:?}"));
+        }
+        let d = oracle_races(&m, cores);
+        if !d.is_empty() {
+            return Some(format!("seed {seed}: static-clean, oracle found {d:?}"));
+        }
+        None
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    assert!(
+        failures.is_empty(),
+        "{} failures:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+/// The diagnostic must carry a two-thread interleaving witness: steps from
+/// both cores, prefixed by the context that produced them.
+fn assert_two_thread_witness(m: &Module, cores: usize, code: &str) {
+    let analysis = check_concurrency(
+        m,
+        &RaceOptions {
+            cores,
+            ..RaceOptions::default()
+        },
+    );
+    let diag = analysis
+        .diagnostics
+        .iter()
+        .find(|d| d.code == code)
+        .unwrap_or_else(|| {
+            panic!(
+                "expected a {code} diagnostic, got: {:?}",
+                analysis
+                    .diagnostics
+                    .iter()
+                    .map(|d| d.code)
+                    .collect::<Vec<_>>()
+            )
+        });
+    let w = diag.witness.as_ref().expect("interleaving witness");
+    if code == "R-data-race" {
+        let mentions = |t: &str| w.steps.iter().any(|s| s.note.starts_with(t));
+        assert!(
+            mentions("core 0:")
+                && w.steps
+                    .iter()
+                    .any(|s| s.note.starts_with("core ") && !s.note.starts_with("core 0:")),
+            "witness must interleave two cores: {w:?}"
+        );
+        let _ = mentions;
+    } else {
+        assert!(!w.steps.is_empty(), "witness must trace the escape: {w:?}");
+    }
+}
+
+#[test]
+fn mutation_unsynchronized_store_is_caught_statically() {
+    // Every thread plain-stores the same data word with no synchronization.
+    let (mut m, data_addr, _, _) = multicore::drf_partition_sum(3);
+    let entry = m.entry().expect("entry");
+    let blocks = &mut m.function_mut(entry).blocks;
+    blocks[0]
+        .insts
+        .insert(0, Inst::store(Operand::imm(99), MemRef::abs(data_addr)));
+    assert_two_thread_witness(&m, 3, "R-data-race");
+}
+
+#[test]
+fn mutation_dropped_release_is_caught_statically() {
+    // Downgrade message_ring's releasing Swap to a plain store: the mail
+    // hand-off loses its happens-before edge.
+    let (mut m, _, _) = multicore::message_ring(3);
+    let entry = m.entry().expect("entry");
+    let blocks = &mut m.function_mut(entry).blocks;
+    let mut replaced = false;
+    for block in blocks.iter_mut() {
+        for inst in block.insts.iter_mut() {
+            if let Inst::AtomicRmw {
+                op: AtomicOp::Swap,
+                addr,
+                src,
+                ..
+            } = inst
+            {
+                *inst = Inst::store(*src, *addr);
+                replaced = true;
+                break;
+            }
+        }
+        if replaced {
+            break;
+        }
+    }
+    assert!(replaced, "message_ring must contain a release Swap");
+    assert_two_thread_witness(&m, 3, "R-data-race");
+}
+
+#[test]
+fn mutation_boundary_straddle_is_caught_statically() {
+    // Compile the spinlock ledger so the compiler places real region
+    // boundaries, check it is I5-clean, then delete the boundary separating
+    // the shared stores from the lock-releasing Swap.
+    use cwsp_compiler::pipeline::{CompileOptions, CwspCompiler};
+    let (m, _, _) = multicore::spinlock_ledger(2);
+    let compiled = CwspCompiler::new(CompileOptions::default()).compile(&m);
+    let mut m = compiled.module;
+    let before = check_concurrency(
+        &m,
+        &RaceOptions {
+            cores: 2,
+            ..RaceOptions::default()
+        },
+    );
+    assert!(
+        before
+            .diagnostics
+            .iter()
+            .all(|d| d.code != "I5-open-escape"),
+        "compiled module must start I5-clean: {:?}",
+        before.diagnostics
+    );
+    // Remove the *last* Boundary before a release Swap — the preceding
+    // shared store now straddles into the publication point (earlier
+    // boundaries in the block still close their own stores' regions).
+    let entry = m.entry().expect("entry");
+    let blocks = &mut m.function_mut(entry).blocks;
+    let mut removed = false;
+    'outer: for block in blocks.iter_mut() {
+        let Some(swap_at) = block.insts.iter().position(|x| {
+            matches!(
+                x,
+                Inst::AtomicRmw {
+                    op: AtomicOp::Swap,
+                    ..
+                }
+            )
+        }) else {
+            continue;
+        };
+        for i in (0..swap_at).rev() {
+            if matches!(block.insts[i], Inst::Boundary { .. }) {
+                block.insts.remove(i);
+                removed = true;
+                break 'outer;
+            }
+        }
+    }
+    assert!(
+        removed,
+        "compiled ledger must have a boundary before a release"
+    );
+    assert_two_thread_witness(&m, 2, "I5-open-escape");
+}
