@@ -21,12 +21,25 @@ fn run() {
         "{:<10} {:>8} {:>8} {:>10}",
         "app", "cWSP", "Capri", "Replay"
     );
-    let mut cwsp_all = Vec::new();
-    for name in names {
+    // Fan the 6 apps × 3 schemes out over the engine pool; results return
+    // in input order, so the printed rows are unchanged.
+    let jobs: Vec<(&str, Scheme)> = names
+        .iter()
+        .flat_map(|&n| {
+            [
+                (n, Scheme::cwsp()),
+                (n, Scheme::Capri),
+                (n, Scheme::ReplayCache),
+            ]
+        })
+        .collect();
+    let vals = cwsp_bench::par_map(&jobs, |&(name, scheme)| {
         let w = cwsp_workloads::by_name(name).unwrap();
-        let c = slowdown(&w, &cfg, Scheme::cwsp(), CompileOptions::default());
-        let cap = slowdown(&w, &cfg, Scheme::Capri, CompileOptions::default());
-        let rep = slowdown(&w, &cfg, Scheme::ReplayCache, CompileOptions::default());
+        slowdown(&w, &cfg, scheme, CompileOptions::default())
+    });
+    let mut cwsp_all = Vec::new();
+    for (name, row) in names.iter().zip(vals.chunks(3)) {
+        let (c, cap, rep) = (row[0], row[1], row[2]);
         println!("{name:<10} {c:>7.3}x {cap:>7.3}x {rep:>9.3}x");
         cwsp_all.push(c);
     }

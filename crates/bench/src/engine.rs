@@ -341,6 +341,15 @@ pub fn worker_count() -> usize {
 // utilization delta per figure.
 static POOL_BUSY_NS: AtomicU64 = AtomicU64::new(0);
 static POOL_CAPACITY_NS: AtomicU64 = AtomicU64::new(0);
+// Widest pool any par_map in this process actually spawned — the *achieved*
+// worker count, as opposed to the configured one (`worker_count()` can be 8
+// while every call had one item and ran serial).
+static POOL_PEAK_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Widest worker pool actually used so far; 1 when nothing fanned out.
+pub fn pool_peak_workers() -> usize {
+    POOL_PEAK_WORKERS.load(Ordering::Relaxed).max(1)
+}
 
 /// Cumulative `(busy_ns, capacity_ns)` across all [`par_map`] calls so far.
 pub fn pool_usage() -> (u64, u64) {
@@ -361,6 +370,7 @@ where
 {
     let n = items.len();
     let workers = worker_count().min(n.max(1));
+    POOL_PEAK_WORKERS.fetch_max(workers, Ordering::Relaxed);
     let t_pool = Instant::now();
     if workers <= 1 {
         let out: Vec<R> = items.iter().map(&f).collect();
@@ -519,6 +529,10 @@ fn build_harness_entry(
             Value::Float((delta.hit_rate() * 1e4).round() / 1e4),
         ),
         ("workers".into(), Value::Int(worker_count() as u64)),
+        (
+            "workers_achieved".into(),
+            Value::Int(pool_peak_workers() as u64),
+        ),
         ("sim_insts".into(), Value::Int(delta.sim_insts)),
         (
             "steps_per_sec".into(),
@@ -589,13 +603,31 @@ pub fn validate_harness_entry(entry: &Value) -> Result<(), String> {
     }
 }
 
-fn merge_harness_entry(path: &Path, figure: &str, entry: Value) {
+fn merge_harness_entry(path: &Path, figure: &str, mut entry: Value) {
     let mut doc = read_harness_doc(path);
     if doc.get("figures").is_none() {
         doc.set("figures", Value::Obj(vec![]));
     }
     if let Value::Obj(fields) = &mut doc {
         if let Some((_, figures)) = fields.iter_mut().find(|(k, _)| k == "figures") {
+            // Relative throughput change vs. the entry being replaced, so a
+            // refresh records how much the run sped up or regressed. Only
+            // meaningful when both runs simulated fresh instructions (a
+            // fully-cached run reports ~0 steps/sec and says nothing).
+            let prior = figures
+                .get(figure)
+                .and_then(|e| e.get("steps_per_sec"))
+                .and_then(Value::as_f64);
+            let fresh = entry.get("steps_per_sec").and_then(Value::as_f64);
+            if let (Some(old), Some(new)) = (prior, fresh) {
+                if old > 0.0 && new > 0.0 {
+                    let delta = (new - old) / old;
+                    entry.set(
+                        "steps_per_sec_delta",
+                        Value::Float((delta * 1e4).round() / 1e4),
+                    );
+                }
+            }
             figures.set(figure, entry);
         }
     }

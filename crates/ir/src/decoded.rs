@@ -29,6 +29,17 @@ use crate::layout;
 use crate::module::{FuncId, Module};
 use crate::types::{Reg, RegionId, Word};
 
+/// Whether fused (superblock) dispatch is enabled for this process.
+///
+/// Controlled by the `CWSP_FUSE` environment variable: unset or any value
+/// other than `"0"` enables fusion. Read once per process and cached —
+/// fusion is a pure dispatch strategy, so flipping it never changes
+/// architectural results or simulated statistics, only host-side speed.
+pub fn fuse_enabled() -> bool {
+    static FUSE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FUSE.get_or_init(|| std::env::var("CWSP_FUSE").map(|v| v != "0").unwrap_or(true))
+}
+
 /// A `(start, len)` window into one of the decode pools.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PoolRange {
@@ -205,6 +216,36 @@ impl DecodedInst {
     }
 }
 
+/// Classification of one fused super-op: a maximal run of consecutive
+/// micro-ops that the fused execution core dispatches as a unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuperOpKind {
+    /// Consecutive register-only ops (`Binary`/`Mov`): executed as one burst
+    /// with no per-op effect bookkeeping.
+    AluRun,
+    /// A `Binary` compare whose result feeds the immediately following
+    /// `CondBr` — the classic compare-and-branch fusion pair.
+    CmpBranch,
+    /// `Load`; `Binary` consuming the loaded register; `Store` of the ALU
+    /// result — the load/op/store triple, dispatched back-to-back.
+    LoadOpStore,
+    /// Any other op (memory, call/ret, sync, region, I/O), dispatched alone.
+    Single,
+}
+
+/// One fused dispatch unit: `len` consecutive micro-ops starting at flat
+/// index `start`. Super-ops never cross a basic-block boundary, so each is a
+/// straight-line superblock segment with statically known register indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SuperOp {
+    /// Fusion class.
+    pub kind: SuperOpKind,
+    /// First flat op index.
+    pub start: u32,
+    /// Number of micro-ops covered.
+    pub len: u32,
+}
+
 /// Per-function metadata the execution hot path needs without touching the
 /// source [`Module`].
 #[derive(Debug, Clone, Copy)]
@@ -240,6 +281,10 @@ pub struct DecodedModule {
     saves_pool: Vec<Reg>,
     /// Global base addresses, indexed by global id (for tag resolution).
     global_addrs: Vec<Word>,
+    /// Fused dispatch units in flat program order (the superblock table).
+    super_ops: Vec<SuperOp>,
+    /// Flat op index → index into `super_ops` (superblock attribution).
+    sb_of: Vec<u32>,
 }
 
 impl DecodedModule {
@@ -253,6 +298,8 @@ impl DecodedModule {
             args_pool: Vec::new(),
             saves_pool: Vec::new(),
             global_addrs: module.globals().iter().map(|g| g.addr).collect(),
+            super_ops: Vec::new(),
+            sb_of: Vec::new(),
         };
         for (_, f) in module.iter_functions() {
             d.funcs.push(FuncMeta {
@@ -270,7 +317,73 @@ impl DecodedModule {
                 d.block_ends.push(d.ops.len() as u32);
             }
         }
+        d.build_super_ops();
         d
+    }
+
+    /// Post-decode fusion pass: partition every basic block into super-ops.
+    fn build_super_ops(&mut self) {
+        self.sb_of = vec![0; self.ops.len()];
+        for (&s, &e) in self.block_starts.iter().zip(&self.block_ends) {
+            let mut i = s as usize;
+            let end = e as usize;
+            while i < end {
+                let (kind, len) = self.classify(i, end);
+                let idx = self.super_ops.len() as u32;
+                self.super_ops.push(SuperOp {
+                    kind,
+                    start: i as u32,
+                    len,
+                });
+                for slot in &mut self.sb_of[i..i + len as usize] {
+                    *slot = idx;
+                }
+                i += len as usize;
+            }
+        }
+    }
+
+    /// The fusion rule at flat index `i` (block ends at `end`, exclusive).
+    fn classify(&self, i: usize, end: usize) -> (SuperOpKind, u32) {
+        let is_alu =
+            |op: &DecodedInst| matches!(op, DecodedInst::Binary { .. } | DecodedInst::Mov { .. });
+        if is_alu(&self.ops[i]) {
+            let mut j = i + 1;
+            while j < end && is_alu(&self.ops[j]) {
+                j += 1;
+            }
+            // A trailing compare feeding the block's CondBr splits off as a
+            // fused compare-and-branch pair.
+            if j < end {
+                if let (DecodedInst::Binary { dst, .. }, DecodedInst::CondBr { cond, .. }) =
+                    (self.ops[j - 1], self.ops[j])
+                {
+                    if cond == Operand::Reg(dst) {
+                        if j - 1 > i {
+                            return (SuperOpKind::AluRun, (j - 1 - i) as u32);
+                        }
+                        return (SuperOpKind::CmpBranch, 2);
+                    }
+                }
+            }
+            return (SuperOpKind::AluRun, (j - i) as u32);
+        }
+        if i + 2 < end {
+            if let (
+                DecodedInst::Load { dst: ld, .. },
+                DecodedInst::Binary {
+                    dst: od, lhs, rhs, ..
+                },
+                DecodedInst::Store { src, .. },
+            ) = (self.ops[i], self.ops[i + 1], self.ops[i + 2])
+            {
+                let feeds = lhs == Operand::Reg(ld) || rhs == Operand::Reg(ld);
+                if feeds && src == Operand::Reg(od) {
+                    return (SuperOpKind::LoadOpStore, 3);
+                }
+            }
+        }
+        (SuperOpKind::Single, 1)
     }
 
     fn decode(&mut self, inst: &Inst) -> DecodedInst {
@@ -431,6 +544,22 @@ impl DecodedModule {
     pub fn op_count(&self) -> usize {
         self.ops.len()
     }
+
+    /// The fused dispatch units (superblock table), in flat program order.
+    #[inline]
+    pub fn super_ops(&self) -> &[SuperOp] {
+        &self.super_ops
+    }
+
+    /// Index into [`DecodedModule::super_ops`] of the super-op containing the
+    /// micro-op at flat index `pc`.
+    ///
+    /// # Panics
+    /// Panics if `pc` is out of range.
+    #[inline]
+    pub fn super_op_of(&self, pc: u32) -> u32 {
+        self.sb_of[pc as usize]
+    }
 }
 
 #[cfg(test)]
@@ -503,6 +632,56 @@ mod tests {
             panic!("expected store");
         };
         assert_eq!(addr, DecAddr::Abs(0x4000));
+    }
+
+    #[test]
+    fn fusion_pass_segments_blocks() {
+        use crate::inst::BinOp;
+        let mut m = Module::new("t");
+        let g = m.add_global("g", 4);
+        let mut fb = FunctionBuilder::new("main", 0);
+        let e = fb.entry();
+        let exit = fb.block();
+        // AluRun(2): mov + add; CmpBranch(2): cmp + cond_br.
+        let x = fb.mov(e, Operand::imm(1));
+        let y = fb.bin(e, BinOp::Add, x.into(), Operand::imm(2));
+        let c = fb.bin(e, BinOp::CmpLtU, y.into(), Operand::imm(10));
+        fb.push(
+            e,
+            Inst::CondBr {
+                cond: c.into(),
+                if_true: exit,
+                if_false: exit,
+            },
+        );
+        // LoadOpStore(3) then Halt as Single(1).
+        let v = fb.load(exit, MemRef::global(g, 0));
+        let w = fb.bin(exit, BinOp::Add, v.into(), Operand::imm(1));
+        fb.store(exit, w.into(), MemRef::global(g, 0));
+        fb.push(exit, Inst::Halt);
+        let main = m.add_function(fb.build());
+        m.set_entry(main);
+
+        let d = DecodedModule::new(&m);
+        let kinds: Vec<(SuperOpKind, u32)> =
+            d.super_ops().iter().map(|s| (s.kind, s.len)).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (SuperOpKind::AluRun, 2),
+                (SuperOpKind::CmpBranch, 2),
+                (SuperOpKind::LoadOpStore, 3),
+                (SuperOpKind::Single, 1),
+            ]
+        );
+        // Every op maps back to its covering super-op, and coverage is total.
+        let total: u32 = d.super_ops().iter().map(|s| s.len).sum();
+        assert_eq!(total as usize, d.op_count());
+        for (idx, s) in d.super_ops().iter().enumerate() {
+            for pc in s.start..s.start + s.len {
+                assert_eq!(d.super_op_of(pc) as usize, idx);
+            }
+        }
     }
 
     #[test]

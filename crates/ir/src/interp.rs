@@ -637,6 +637,235 @@ impl<'m> Interp<'m> {
         fr.limit = end;
     }
 
+    /// Flat decoded index of the next instruction, if any.
+    pub fn pc(&self) -> Option<u32> {
+        self.frames.last().map(|f| f.pc)
+    }
+
+    /// Opcode index (see [`crate::decoded::OPCODE_NAMES`]) of the next
+    /// instruction, or `None` when halted or at a block end (where the next
+    /// step traps).
+    pub fn next_opcode(&self) -> Option<usize> {
+        if self.halted {
+            return None;
+        }
+        let f = self.frames.last()?;
+        if f.pc >= f.limit {
+            return None;
+        }
+        Some(self.dec.op(f.pc).opcode())
+    }
+
+    /// Index of the superblock (see [`crate::decoded::SuperOp`]) holding the
+    /// next instruction — the profiler's attribution granule under fusion.
+    pub fn current_super_op(&self) -> Option<u32> {
+        if self.halted {
+            return None;
+        }
+        let f = self.frames.last()?;
+        if f.pc >= f.limit {
+            return None;
+        }
+        Some(self.dec.super_op_of(f.pc))
+    }
+
+    /// Execute up to `max` register-only micro-ops (`Binary`, `Mov`, `Br`,
+    /// `CondBr`) as one fused burst, stopping early at any op that touches
+    /// memory, I/O, regions, or frames.
+    ///
+    /// A burst is architecturally identical to the same number of individual
+    /// [`Interp::step_into`] calls: every op it accepts produces an empty ALU
+    /// effect (no memory access, no boundary, no output, never halts), so
+    /// only the per-step dispatch overhead is elided. `steps` and the
+    /// per-opcode counters advance exactly as under single-stepping.
+    ///
+    /// Returns the number of ops executed — 0 when the next op is not
+    /// fusible, the block limit was reached, or the program is halted; the
+    /// caller falls back to `step_into`, which also surfaces any pending
+    /// trap.
+    pub fn step_run(&mut self, max: u32) -> u32 {
+        if self.halted || self.frames.is_empty() {
+            return 0;
+        }
+        let mut n = 0u32;
+        let mut counts = [0u64; 6]; // binary, mov, _, _, br, cond_br
+        let frame = self.frames.last_mut().expect("no frame");
+        while n < max && frame.pc < frame.limit {
+            match self.dec.op(frame.pc) {
+                DecodedInst::Binary { op, dst, lhs, rhs } => {
+                    let a = match lhs {
+                        Operand::Reg(r) => frame.regs[r.index()],
+                        Operand::Imm(v) => v,
+                    };
+                    let b = match rhs {
+                        Operand::Reg(r) => frame.regs[r.index()],
+                        Operand::Imm(v) => v,
+                    };
+                    frame.regs[dst.index()] = op.eval(a, b);
+                    frame.idx += 1;
+                    frame.pc += 1;
+                    counts[0] += 1;
+                }
+                DecodedInst::Mov { dst, src } => {
+                    let v = match src {
+                        Operand::Reg(r) => frame.regs[r.index()],
+                        Operand::Imm(v) => v,
+                    };
+                    frame.regs[dst.index()] = v;
+                    frame.idx += 1;
+                    frame.pc += 1;
+                    counts[1] += 1;
+                }
+                DecodedInst::Br { target } => {
+                    let (start, end) = self.dec.block_range(frame.func, target);
+                    frame.block = target;
+                    frame.idx = 0;
+                    frame.pc = start;
+                    frame.limit = end;
+                    counts[4] += 1;
+                }
+                DecodedInst::CondBr {
+                    cond,
+                    if_true,
+                    if_false,
+                } => {
+                    let t = match cond {
+                        Operand::Reg(r) => frame.regs[r.index()],
+                        Operand::Imm(v) => v,
+                    } != 0;
+                    let target = if t { if_true } else { if_false };
+                    let (start, end) = self.dec.block_range(frame.func, target);
+                    frame.block = target;
+                    frame.idx = 0;
+                    frame.pc = start;
+                    frame.limit = end;
+                    counts[5] += 1;
+                }
+                _ => break,
+            }
+            n += 1;
+        }
+        self.steps += n as u64;
+        for (slot, &c) in self.op_counts.iter_mut().zip(&counts) {
+            *slot += c;
+        }
+        n
+    }
+
+    /// Fused oracle burst: execute up to `max` micro-ops of any kind that
+    /// needs no per-step effect record — register ops via [`Interp::step_run`]
+    /// plus loads, stores, checkpoints, atomics, fences, and boundaries
+    /// applied to `mem` directly, with output words pushed onto `out` —
+    /// stopping before calls, returns, and halts. This is the single-dispatch
+    /// path for [`crate::decoded::SuperOpKind::LoadOpStore`] triples: the
+    /// load, ALU op, and store execute back-to-back with no effect buffer in
+    /// between.
+    ///
+    /// Identical to the same sequence of `step_into` calls in architectural
+    /// state, `steps`, per-opcode counts, emitted output, and trap behavior.
+    /// Returns the number of ops executed.
+    ///
+    /// # Errors
+    /// Traps exactly where single-stepping would (unaligned access).
+    pub fn step_simple_run(
+        &mut self,
+        mem: &mut Memory,
+        max: u64,
+        out: &mut Vec<Word>,
+    ) -> Result<u64, InterpError> {
+        let mut n = 0u64;
+        while n < max {
+            let chunk = (max - n).min(u32::MAX as u64) as u32;
+            n += self.step_run(chunk) as u64;
+            if n >= max || self.halted {
+                break;
+            }
+            let frame = self.frames.last().expect("no frame");
+            if frame.pc >= frame.limit {
+                break; // let step_into raise the fell-off-block trap
+            }
+            // One non-ALU op, when it needs no effect record. Counters are
+            // bumped before address checks, mirroring step_into's trap order.
+            match self.dec.op(frame.pc) {
+                DecodedInst::Load { dst, addr } => {
+                    self.steps += 1;
+                    self.op_counts[2] += 1;
+                    let a = self.addr_of(addr)?;
+                    let v = mem.load(a);
+                    self.set(dst, v);
+                    self.bump();
+                }
+                DecodedInst::Store { src, addr } => {
+                    self.steps += 1;
+                    self.op_counts[3] += 1;
+                    let a = self.addr_of(addr)?;
+                    let v = self.eval(src);
+                    mem.store(a, v);
+                    self.bump();
+                }
+                DecodedInst::AtomicRmw {
+                    op,
+                    dst,
+                    addr,
+                    src,
+                    expected,
+                } => {
+                    self.steps += 1;
+                    self.op_counts[8] += 1;
+                    let a = self.addr_of(addr)?;
+                    let old = mem.load(a);
+                    let s = self.eval(src);
+                    let e = self.eval(expected);
+                    let new = match op {
+                        AtomicOp::FetchAdd => Some(old.wrapping_add(s)),
+                        AtomicOp::Swap => Some(s),
+                        AtomicOp::Cas => (old == e).then_some(s),
+                    };
+                    if let Some(nv) = new {
+                        mem.store(a, nv);
+                    }
+                    self.set(dst, old);
+                    self.bump();
+                }
+                DecodedInst::Fence => {
+                    self.steps += 1;
+                    self.op_counts[9] += 1;
+                    self.bump();
+                }
+                DecodedInst::Boundary { .. } => {
+                    self.steps += 1;
+                    self.op_counts[10] += 1;
+                    self.bump();
+                }
+                DecodedInst::Ckpt { reg } => {
+                    self.steps += 1;
+                    self.op_counts[11] += 1;
+                    let a = layout::ckpt_slot_addr(self.core, reg);
+                    let v = self.reg(reg);
+                    mem.store(a, v);
+                    self.bump();
+                }
+                DecodedInst::Out { val } => {
+                    self.steps += 1;
+                    self.op_counts[12] += 1;
+                    out.push(self.eval(val));
+                    self.bump();
+                }
+                _ => break, // Call / Ret / Halt take the full step path
+            }
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Advance the innermost frame past a non-branching instruction.
+    #[inline]
+    fn bump(&mut self) {
+        let fr = self.frames.last_mut().expect("no frame");
+        fr.idx += 1;
+        fr.pc += 1;
+    }
+
     /// Execute one instruction, returning a freshly allocated effect.
     ///
     /// Convenience wrapper over [`Interp::step_into`]; stepping loops should
@@ -950,9 +1179,16 @@ pub fn run(module: &Module, max_steps: u64) -> Result<Outcome, InterpError> {
     let mut interp = Interp::new(module, 0, &mut mem)?;
     let mut output = Vec::new();
     let mut eff = StepEffect::default();
+    let fused = crate::decoded::fuse_enabled();
     while !interp.is_halted() {
         if interp.steps() >= max_steps {
             return Err(InterpError::StepLimit(max_steps));
+        }
+        if fused {
+            let left = max_steps - interp.steps();
+            if interp.step_simple_run(&mut mem, left, &mut output)? > 0 {
+                continue;
+            }
         }
         interp.step_into(&mut mem, &mut eff)?;
         if let Some(v) = eff.out {

@@ -99,6 +99,9 @@ struct Core<'m> {
     open_stall: Option<OpenStall>,
     /// Site of the last issued instruction (profiler busy attribution).
     prof_site: Site,
+    /// Superblock of the last issued instruction (profiler attribution at
+    /// fused-dispatch granularity).
+    prof_sb: Option<u32>,
     /// WPQ-delay cycles folded into the current instruction's cost
     /// (profiler splits them out of the busy window).
     prof_busy_wpq: u64,
@@ -145,6 +148,14 @@ pub struct Machine<'m> {
     resume_meta: Vec<(ResumePoint, Option<RegionId>)>,
     trace: Option<Trace>,
     profiler: Option<CycleProfiler>,
+    /// Fused superblock dispatch (see [`cwsp_ir::decoded::fuse_enabled`]).
+    /// A pure dispatch strategy: results and statistics are byte-identical
+    /// with it on or off.
+    fuse: bool,
+    /// Cached sum of live MC undo-log records; recomputed only when a log
+    /// append or deallocation may have changed it (`logs_dirty`).
+    live_logs_cache: usize,
+    logs_dirty: bool,
 }
 
 impl<'m> Machine<'m> {
@@ -204,6 +215,7 @@ impl<'m> Machine<'m> {
                 eff_scratch: StepEffect::default(),
                 open_stall: None,
                 prof_site: (None, None),
+                prof_sb: None,
                 prof_busy_wpq: 0,
                 prof_busy_scheme: 0,
             });
@@ -249,6 +261,9 @@ impl<'m> Machine<'m> {
             resume_meta,
             trace: None,
             profiler: None,
+            fuse: cwsp_ir::decoded::fuse_enabled(),
+            live_logs_cache: 0,
+            logs_dirty: false,
         };
         // Open the initial region on every core (the program-entry region is
         // the non-speculative head from the start) and persist its metadata.
@@ -295,6 +310,13 @@ impl<'m> Machine<'m> {
         self.trace = Some(Trace::new(cap));
     }
 
+    /// Override fused superblock dispatch for this machine (defaults to the
+    /// process-wide `CWSP_FUSE` setting). Used by the fused-vs-unfused
+    /// stats-invariance tests; simulated results never depend on it.
+    pub fn set_fuse(&mut self, on: bool) {
+        self.fuse = on;
+    }
+
     /// The recorded trace, if tracing was enabled.
     pub fn trace(&self) -> Option<&Trace> {
         self.trace.as_ref()
@@ -310,6 +332,22 @@ impl<'m> Machine<'m> {
     /// The flat cycle-attribution profile, if profiling was enabled.
     pub fn flat_profile(&self) -> Option<cwsp_obs::FlatProfile> {
         self.profiler.as_ref().map(|p| p.to_flat(self.module))
+    }
+
+    /// The exec profile at superblock (fused-dispatch) granularity, if
+    /// profiling was enabled; the region column carries the super-op index.
+    pub fn superblock_profile(&self) -> Option<cwsp_obs::FlatProfile> {
+        self.profiler
+            .as_ref()
+            .map(|p| p.superblock_flat(self.module))
+    }
+
+    /// Fraction of exec cycles attributed to a known superblock (profiled
+    /// runs only).
+    pub fn superblock_coverage(&self) -> Option<f64> {
+        self.profiler
+            .as_ref()
+            .map(CycleProfiler::superblock_coverage)
     }
 
     /// The recorded trace as Chrome trace-event JSON tracks, if tracing was
@@ -474,8 +512,87 @@ impl<'m> Machine<'m> {
                     stats: self.stats.clone(),
                 });
             }
+            if self.profiler.is_none() {
+                self.idle_skip(crash_at_cycle);
+            }
             self.tick()?;
         }
+    }
+
+    /// Event-horizon fast-forward: when every core is halted or mid-latency
+    /// and no machinery event (path arrival, PB send, WB drain, RBT retire,
+    /// sync poll, stall poll) can occur before cycle `T`, jump directly to
+    /// `T - 1` instead of ticking through provably idle cycles one by one.
+    ///
+    /// Exactness: a skipped cycle's tick would only (a) accrue path tokens —
+    /// replayed bit-exactly by [`PersistPath::advance`]; (b) pop drained WPQ
+    /// slots — deferred safely because pops are monotone and only observed at
+    /// arrivals or core loads, both of which bound `T`; and (c) add the
+    /// (constant while idle) WB/PB occupancies to their integrals — added in
+    /// closed form here. Every stat, trace event, and state transition is
+    /// byte-identical to the cycle-by-cycle path.
+    fn idle_skip(&mut self, crash_at_cycle: Option<u64>) {
+        let cycle = self.cycle;
+        let mut t = u64::MAX;
+        for c in &self.cores {
+            if c.halted {
+                continue;
+            }
+            // A core that can issue (or poll a stall/sync condition) next
+            // tick forbids skipping: polls mutate stall statistics.
+            if c.busy_until <= cycle + 1 {
+                return;
+            }
+            t = t.min(c.busy_until);
+        }
+        for c in &self.cores {
+            // Due (or delay-held) WB heads are checked every tick.
+            if let Some(d) = c.wb.next_drain_cycle() {
+                if d <= cycle + 1 {
+                    return;
+                }
+                t = t.min(d);
+            }
+            // A retirable RBT head retires next tick.
+            if c.rbt.head().is_some_and(|h| h.closed && h.pending == 0) {
+                return;
+            }
+            // Unsent PB entries send as soon as path tokens accrue.
+            if c.pb.has_unsent() {
+                let k = self.path.cycles_until_tokens().max(1);
+                if k == 1 {
+                    return;
+                }
+                t = t.min(cycle.saturating_add(k));
+            }
+        }
+        if let Some(a) = self.path.next_arrival_cycle() {
+            if a <= cycle + 1 {
+                return; // arrived (possibly WPQ-blocked): retried every tick
+            }
+            t = t.min(a);
+        }
+        if t == u64::MAX || t <= cycle + 1 {
+            return;
+        }
+        let mut target = t - 1;
+        if let Some(c) = crash_at_cycle {
+            target = target.min(c);
+        }
+        if target <= cycle {
+            return;
+        }
+        let skipped = target - cycle;
+        self.path.advance(skipped);
+        let mut occ_wb = 0u64;
+        let mut occ_pb = 0u64;
+        for c in &self.cores {
+            occ_wb += c.wb.occupancy() as u64;
+            occ_pb += c.pb.occupancy() as u64;
+        }
+        self.stats.wb_occupancy_sum += skipped * occ_wb;
+        self.stats.pb_occupancy_sum += skipped * occ_pb;
+        self.cycle = target;
     }
 
     fn all_done(&self) -> bool {
@@ -558,6 +675,7 @@ impl<'m> Machine<'m> {
             let core = &mut self.cores[e.core];
             core.pb.complete(e.pb_seq);
             core.rbt.on_ack(e.region);
+            self.logs_dirty = true;
         }
         // PB → path sends (round-robin start for fairness).
         let ncores = self.cores.len();
@@ -601,11 +719,18 @@ impl<'m> Machine<'m> {
                     for mc in &mut self.mcs {
                         mc.dealloc_logs_upto(hid);
                     }
+                    self.logs_dirty = true;
                 }
                 self.write_meta(i);
             }
-            let live: usize = self.mcs.iter().map(|m| m.live_log_records()).sum();
-            self.stats.peak_live_logs = self.stats.peak_live_logs.max(live);
+            // Sample the live-log peak exactly as the per-cycle walk did,
+            // but only recompute the (BTreeMap-walking) sum when an append
+            // or deallocation may have changed it since the last sample.
+            if self.logs_dirty {
+                self.live_logs_cache = self.mcs.iter().map(|m| m.live_log_records()).sum();
+                self.logs_dirty = false;
+            }
+            self.stats.peak_live_logs = self.stats.peak_live_logs.max(self.live_logs_cache);
         }
         // WB drains (with the cWSP PB-CAM delay when enabled).
         let wb_delay_on = matches!(self.scheme, Scheme::Cwsp(f) if f.wb_delay && f.persist_path);
@@ -642,13 +767,40 @@ impl<'m> Machine<'m> {
     fn advance_core(&mut self, i: usize) -> Result<(), InterpError> {
         if self.profiler.is_none() {
             // Fast path: no per-cycle classification.
-            for _slot in 0..self.cfg.issue_width {
+            let mut slots = self.cfg.issue_width;
+            while slots > 0 {
+                // Fused superblock burst: when the core has no pending
+                // persist work, consecutive register-only ops issue as one
+                // dispatch. Each such op is exactly what advance_core_once
+                // would do for it — an empty ALU effect, cost 1, one issue
+                // slot — so stats and state are byte-identical; only the
+                // per-op dispatch overhead is elided. (Skipped while tracing
+                // so stall spans coalesce identically.)
+                if self.fuse && self.trace.is_none() {
+                    let c = &mut self.cores[i];
+                    if !c.halted
+                        && c.busy_until <= self.cycle
+                        && !c.sync_drain
+                        && c.pending_boundary.is_none()
+                        && c.pending_evictions.is_empty()
+                        && c.pending_pb.is_empty()
+                    {
+                        let burst = c.interp.step_run(slots);
+                        if burst > 0 {
+                            c.region_insts += burst as u64;
+                            self.stats.insts += burst as u64;
+                            slots -= burst;
+                            continue;
+                        }
+                    }
+                }
                 if !matches!(
                     self.advance_core_once(i)?,
                     SlotOutcome::Issued { more: true }
                 ) {
                     break;
                 }
+                slots -= 1;
             }
             return Ok(());
         }
@@ -671,6 +823,12 @@ impl<'m> Machine<'m> {
             } else {
                 Cause::Exec
             };
+            if cause == Cause::Exec {
+                let sb = self.cores[i].prof_sb;
+                if let Some(p) = &mut self.profiler {
+                    p.charge_exec_superblock(site.0, sb);
+                }
+            }
             self.charge(site, cause);
             return Ok(());
         }
@@ -694,6 +852,14 @@ impl<'m> Machine<'m> {
             }
         }
         let (site, cause) = attr.unwrap_or(((None, None), Cause::Exec));
+        // Only an actually-issued slot carries a fresh superblock capture;
+        // the no-slot fallback would pair a stale one.
+        if attr.is_some() && cause == Cause::Exec {
+            let sb = self.cores[i].prof_sb;
+            if let Some(p) = &mut self.profiler {
+                p.charge_exec_superblock(site.0, sb);
+            }
+        }
         self.charge(site, cause);
         Ok(())
     }
@@ -840,6 +1006,7 @@ impl<'m> Machine<'m> {
             // position moves past the instruction), and reset the lump-sum
             // stall split for this instruction's cost.
             self.cores[i].prof_site = self.cur_site(i);
+            self.cores[i].prof_sb = self.cores[i].interp.current_super_op();
             self.cores[i].prof_busy_wpq = 0;
             self.cores[i].prof_busy_scheme = 0;
         }

@@ -108,6 +108,11 @@ impl PersistBuffer {
     pub fn matches_line(&self, line: Word) -> bool {
         self.entries.iter().any(|e| line_of(e.addr) == line)
     }
+
+    /// Whether any entry still awaits its persist-path send.
+    pub fn has_unsent(&self) -> bool {
+        self.entries.iter().any(|e| !e.sent)
+    }
 }
 
 /// One RBT entry (Figure 9).
@@ -280,6 +285,47 @@ impl PersistPath {
     /// Advance one cycle: accrue bandwidth tokens (capped at one entry burst).
     pub fn tick(&mut self) {
         self.tokens = (self.tokens + self.bytes_per_cycle).min(4.0 * self.granularity as f64);
+    }
+
+    /// Advance `cycles` idle cycles at once. Bit-identical to `cycles` calls
+    /// to [`PersistPath::tick`]: the same per-cycle add-then-cap sequence is
+    /// replayed (the loop exits early once the cap is reached, after which
+    /// further ticks are no-ops).
+    pub fn advance(&mut self, cycles: u64) {
+        let cap = 4.0 * self.granularity as f64;
+        for _ in 0..cycles {
+            if self.tokens >= cap {
+                break;
+            }
+            self.tokens = (self.tokens + self.bytes_per_cycle).min(cap);
+        }
+    }
+
+    /// How many further [`PersistPath::tick`]s are needed before one entry's
+    /// worth of tokens is available. 0 when a send is possible right now;
+    /// `u64::MAX` when bandwidth is zero. Replays the exact per-cycle token
+    /// arithmetic, so the returned count is the precise send-ready tick.
+    pub fn cycles_until_tokens(&self) -> u64 {
+        let need = self.granularity as f64;
+        if self.tokens >= need {
+            return 0;
+        }
+        if self.bytes_per_cycle <= 0.0 {
+            return u64::MAX;
+        }
+        let cap = 4.0 * self.granularity as f64;
+        let mut t = self.tokens;
+        let mut n = 0u64;
+        while t < need {
+            t = (t + self.bytes_per_cycle).min(cap);
+            n += 1;
+        }
+        n
+    }
+
+    /// The cycle at which the head in-flight entry arrives, if any.
+    pub fn next_arrival_cycle(&self) -> Option<u64> {
+        self.in_flight.front().map(|e| e.arrives_at)
     }
 
     /// Try to admit an entry at `cycle`; consumes bandwidth tokens.

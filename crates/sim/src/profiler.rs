@@ -55,6 +55,15 @@ impl Cause {
 pub struct CycleProfiler {
     cells: HashMap<(Site, Cause), u64>,
     total: u64,
+    /// Exec cycles at superblock granularity: `(function, super-op index)`.
+    /// A second, finer attribution axis over the same exec cycles the site
+    /// cells count — superblocks are the dispatch unit under fusion, so this
+    /// is the profile that says *which fused run* the time went to.
+    sb_cells: HashMap<(Option<FuncId>, u32), u64>,
+    /// Exec cycles offered for superblock attribution (attributed or not).
+    sb_exec_total: u64,
+    /// Exec cycles that resolved to a known superblock.
+    sb_attributed: u64,
 }
 
 impl CycleProfiler {
@@ -72,6 +81,42 @@ impl CycleProfiler {
     /// Total core-cycles charged so far.
     pub fn total(&self) -> u64 {
         self.total
+    }
+
+    /// Charge one *exec* core-cycle to a superblock. `sb` is `None` when the
+    /// issue site had no decoded position (counted against coverage, never
+    /// silently dropped).
+    pub fn charge_exec_superblock(&mut self, func: Option<FuncId>, sb: Option<u32>) {
+        self.sb_exec_total += 1;
+        if let Some(sb) = sb {
+            *self.sb_cells.entry((func, sb)).or_insert(0) += 1;
+            self.sb_attributed += 1;
+        }
+    }
+
+    /// Fraction of exec cycles attributed to a known superblock (1.0 when
+    /// no exec cycle was offered).
+    pub fn superblock_coverage(&self) -> f64 {
+        if self.sb_exec_total == 0 {
+            1.0
+        } else {
+            self.sb_attributed as f64 / self.sb_exec_total as f64
+        }
+    }
+
+    /// Render the superblock axis through the same report model as
+    /// [`CycleProfiler::to_flat`]: the region column carries the super-op
+    /// index, the cause is always `exec`.
+    pub fn superblock_flat(&self, module: &Module) -> FlatProfile {
+        let mut p = FlatProfile::new(self.sb_exec_total);
+        for (&(func, sb), &cycles) in &self.sb_cells {
+            let name = match func {
+                Some(f) => module.function(f).name.clone(),
+                None => "<machine>".to_string(),
+            };
+            p.add(&name, Some(sb as u64), "exec", cycles);
+        }
+        p
     }
 
     /// Render into the report model, resolving function names via `module`.

@@ -430,24 +430,81 @@ pub fn run_schedule(
 }
 
 /// Sweep `cfg.schedules` seeded interleavings and union the races found.
+/// Schedules fan out over [`crate::threaded::default_threads`] host threads
+/// (`CWSP_MC_THREADS`); each schedule is an independent seeded replay and the
+/// findings merge in seed order, so the report is byte-identical at any
+/// thread count.
 ///
 /// # Errors
-/// Propagates the first interpreter trap from any schedule.
+/// Propagates the first interpreter trap from any schedule (lowest seed
+/// index wins when several trap).
 pub fn check_module(module: &Module, cfg: &OracleConfig) -> Result<OracleReport, InterpError> {
+    check_module_threaded(module, cfg, crate::threaded::default_threads())
+}
+
+/// [`check_module`] with an explicit host thread count (for tests that pin
+/// the fan-out rather than reading `CWSP_MC_THREADS`).
+///
+/// # Errors
+/// Propagates the first interpreter trap from any schedule, in seed order.
+pub fn check_module_threaded(
+    module: &Module,
+    cfg: &OracleConfig,
+    threads: usize,
+) -> Result<OracleReport, InterpError> {
+    let one = |i: usize| {
+        run_schedule(
+            module,
+            cfg.cores,
+            cfg.seed.wrapping_add(i as u64),
+            cfg.max_steps,
+            cfg.max_quantum,
+        )
+    };
+    let threads = threads.max(1).min(cfg.schedules.max(1));
+    let outcomes: Vec<Result<ScheduleOutcome, InterpError>> = if threads <= 1 {
+        (0..cfg.schedules).map(one).collect()
+    } else {
+        // Workers pull seed indices off a shared cursor; results land in a
+        // slot per seed, so the merge below never sees host-schedule order.
+        let cursor = std::sync::atomic::AtomicUsize::new(0);
+        let mut slots: Vec<Option<Result<ScheduleOutcome, InterpError>>> =
+            (0..cfg.schedules).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if i >= cfg.schedules {
+                                break;
+                            }
+                            local.push((i, one(i)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (i, r) in h.join().expect("oracle worker panicked") {
+                    slots[i] = Some(r);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("every seed covered"))
+            .collect()
+    };
     let mut report = OracleReport {
         schedules: cfg.schedules,
         ..OracleReport::default()
     };
     let mut seen: std::collections::HashSet<(Word, usize, usize, DynRaceKind, bool)> =
         std::collections::HashSet::new();
-    for i in 0..cfg.schedules {
-        let out = run_schedule(
-            module,
-            cfg.cores,
-            cfg.seed.wrapping_add(i as u64),
-            cfg.max_steps,
-            cfg.max_quantum,
-        )?;
+    for out in outcomes {
+        let out = out?;
         report.total_steps += out.steps;
         if !out.completed {
             report.incomplete += 1;
@@ -643,6 +700,39 @@ mod tests {
         let rep = sweep(&m, 2);
         assert!(rep.is_clean(), "{:?}", rep.races);
         assert_eq!(rep.incomplete, 0, "spin must terminate under the budget");
+    }
+
+    #[test]
+    fn threaded_sweep_is_byte_identical_to_serial() {
+        // Racy module so the reports are non-trivial: the merge in seed
+        // order must produce the same races, in the same order, at any
+        // host thread count.
+        let mut m = Module::new("lost-update-threaded");
+        let g = m.add_global("ctr", 1);
+        let a = m.global_addr(g);
+        let mut b = FunctionBuilder::new("main", 1);
+        let e = b.entry();
+        let (_, exit) =
+            cwsp_ir::builder::build_counted_loop(&mut b, e, Operand::imm(8), |b, bb, _| {
+                let v = b.load(bb, MemRef::abs(a));
+                let nv = b.bin(bb, BinOp::Add, v.into(), Operand::imm(1));
+                b.store(bb, nv.into(), MemRef::abs(a));
+            });
+        b.push(exit, Inst::Halt);
+        let f = m.add_function(b.build());
+        m.set_entry(f);
+        let cfg = OracleConfig {
+            cores: 2,
+            schedules: 8,
+            ..OracleConfig::default()
+        };
+        let serial = check_module_threaded(&m, &cfg, 1).expect("serial sweep");
+        for threads in [2, 4, 8] {
+            let par = check_module_threaded(&m, &cfg, threads).expect("threaded sweep");
+            assert_eq!(serial.races, par.races, "threads={threads}");
+            assert_eq!(serial.total_steps, par.total_steps);
+            assert_eq!(serial.incomplete, par.incomplete);
+        }
     }
 
     #[test]

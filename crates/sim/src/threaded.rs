@@ -1,0 +1,424 @@
+//! Quantum-synchronized threaded multi-core execution.
+//!
+//! Simulating `n` cores on `n` host threads is only useful if the result does
+//! not depend on the host scheduler. This module runs each simulated core on
+//! a real thread under a *quantum-synchronized* protocol that is bit-exact
+//! regardless of how the OS interleaves the workers:
+//!
+//! 1. **Parallel phase.** Every core executes up to `quantum` instructions
+//!    against a *private* copy of memory, recording each store in a write
+//!    log. A core stops early when it halts or when its next instruction is
+//!    a synchronization operation (`AtomicRmw` / `Fence`) — sync ops never
+//!    execute against private memory.
+//! 2. **Barrier + merge.** After all workers join, the write logs are applied
+//!    to the canonical memory *in core order* (core 0's log first, then core
+//!    1's, …), and the same combined sequence is applied to every private
+//!    memory. Same-address conflicts therefore resolve identically on every
+//!    run: last writer in core order wins.
+//! 3. **Serial sync phase.** Each core that stopped before a sync op executes
+//!    exactly one instruction against the canonical memory, in core order;
+//!    its writes propagate to every private memory immediately.
+//!
+//! The host scheduler only decides *when* workers run, never *what* they
+//! observe: private memories are isolated during the parallel phase and every
+//! cross-core communication point (log merge, sync ops) is ordered by core
+//! index. Running with 1 host thread or 16 produces byte-identical memory,
+//! outputs, and step counts — the determinism tests below assert exactly
+//! that.
+//!
+//! ## Memory model
+//!
+//! The protocol implements a release/acquire discipline at quantum
+//! granularity: a core's plain writes become globally visible at the barrier
+//! *before* its next sync op executes, so lock-protected critical sections
+//! and atomic hand-offs order exactly as they would under any legal
+//! interleaving. Data-race-free programs (the only ones the compiler's
+//! static race analysis admits, cross-checked by [`crate::race`]) observe a
+//! schedule that is equivalent to some sequentially-consistent interleaving;
+//! racy programs get *a* deterministic answer rather than the host's
+//! coin-flip.
+//!
+//! Host thread count defaults to `CWSP_MC_THREADS` (else available
+//! parallelism) and never affects results — only wall-clock time.
+
+use cwsp_ir::decoded::DecodedModule;
+use cwsp_ir::interp::{Interp, InterpError, StepEffect};
+use cwsp_ir::memory::Memory;
+use cwsp_ir::module::Module;
+use cwsp_ir::types::Word;
+use std::sync::Arc;
+
+/// Opcode indices that synchronize (see `DecodedInst::opcode`).
+const OP_ATOMIC: usize = 8;
+const OP_FENCE: usize = 9;
+
+/// Host thread count: `CWSP_MC_THREADS` if set (≥ 1), else available
+/// parallelism. Read per call so tests can vary the variable.
+pub fn default_threads() -> usize {
+    match std::env::var("CWSP_MC_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Configuration for one threaded run.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadedConfig {
+    /// Simulated cores; each runs the entry with its core index as the first
+    /// argument (the machine's convention).
+    pub cores: usize,
+    /// Host threads; 0 means [`default_threads`]. Never affects results.
+    pub threads: usize,
+    /// Instructions per core per quantum (clamped to ≥ 1). Smaller quanta
+    /// synchronize more often; larger quanta amortize the barrier.
+    pub quantum: u64,
+    /// Total step budget across all cores, checked at quantum granularity
+    /// (a run may overshoot by at most `cores × quantum`).
+    pub max_steps: u64,
+}
+
+impl Default for ThreadedConfig {
+    fn default() -> Self {
+        ThreadedConfig {
+            cores: 2,
+            threads: 0,
+            quantum: 4096,
+            max_steps: 50_000_000,
+        }
+    }
+}
+
+/// Result of a threaded run.
+#[derive(Debug, Clone)]
+pub struct ThreadedOutcome {
+    /// Total dynamic instructions across all cores.
+    pub steps: u64,
+    /// Per-core dynamic instruction counts.
+    pub per_core_steps: Vec<u64>,
+    /// Quanta executed (barrier crossings).
+    pub quanta: u64,
+    /// Whether every core ran to halt within the budget.
+    pub completed: bool,
+    /// Host threads actually used.
+    pub threads: usize,
+    /// Per-core output words (`Out` instructions), in program order.
+    pub outputs: Vec<Vec<Word>>,
+}
+
+/// Per-core execution state; owned by exactly one worker during a parallel
+/// phase, by the coordinator otherwise.
+struct CoreState<'m> {
+    interp: Interp<'m>,
+    /// Private memory image; re-converges with canonical at every barrier.
+    mem: Memory,
+    /// `(addr, value)` stores of the current parallel phase, program order.
+    log: Vec<(Word, Word)>,
+    out: Vec<Word>,
+    steps: u64,
+    /// Trap raised during the parallel phase, surfaced after the barrier in
+    /// core order (so which-trap-wins is schedule-independent).
+    err: Option<InterpError>,
+    eff: StepEffect,
+}
+
+/// True when the core's next instruction must execute against canonical
+/// memory.
+fn at_sync(interp: &Interp<'_>) -> bool {
+    matches!(interp.next_opcode(), Some(OP_ATOMIC) | Some(OP_FENCE))
+}
+
+/// Run one core's parallel phase: up to `quantum` instructions against its
+/// private memory, stopping at halt or before a sync op. Traps park in
+/// `state.err` instead of propagating (the coordinator picks the winner
+/// deterministically).
+fn run_parallel_phase(state: &mut CoreState<'_>, quantum: u64) {
+    for _ in 0..quantum {
+        if state.interp.is_halted() || at_sync(&state.interp) {
+            break;
+        }
+        if let Err(e) = state.interp.step_into(&mut state.mem, &mut state.eff) {
+            state.err = Some(e);
+            break;
+        }
+        state.steps += 1;
+        state.log.extend_from_slice(&state.eff.writes);
+        if let Some(w) = state.eff.out {
+            state.out.push(w);
+        }
+    }
+}
+
+/// Execute `module` on `cfg.cores` simulated cores across host threads and
+/// return the outcome plus the final canonical memory.
+///
+/// # Errors
+/// Propagates interpreter traps ([`InterpError::NoEntry`] if the module has
+/// no entry). When several cores trap in one quantum, the lowest-indexed
+/// core's trap wins — deterministically.
+pub fn run_threaded(
+    module: &Module,
+    cfg: &ThreadedConfig,
+) -> Result<(ThreadedOutcome, Memory), InterpError> {
+    let cores = cfg.cores.max(1);
+    let threads = if cfg.threads == 0 {
+        default_threads()
+    } else {
+        cfg.threads
+    }
+    .min(cores);
+    let quantum = cfg.quantum.max(1);
+
+    let dec = Arc::new(DecodedModule::new(module));
+    let mut canonical = Memory::new();
+    // `with_args*` constructors are image-preserving (recovery re-enters an
+    // existing NVM image); a fresh run wants the global initializers applied.
+    for g in module.globals() {
+        for (i, &v) in g.init.iter().enumerate() {
+            canonical.store(g.addr + i as Word * 8, v);
+        }
+    }
+    // Build every interpreter against canonical first (entry frame records
+    // land in the shared image), then snapshot privates — per-core stacks are
+    // disjoint, so each private starts as an exact canonical copy.
+    let mut interps = Vec::with_capacity(cores);
+    for core in 0..cores {
+        let args = [core as Word];
+        interps.push(Interp::with_args_shared(
+            module,
+            Arc::clone(&dec),
+            core,
+            &mut canonical,
+            &args,
+        )?);
+    }
+    let mut states: Vec<CoreState<'_>> = interps
+        .into_iter()
+        .map(|interp| CoreState {
+            interp,
+            mem: canonical.clone(),
+            log: Vec::new(),
+            out: Vec::new(),
+            steps: 0,
+            err: None,
+            eff: StepEffect::default(),
+        })
+        .collect();
+
+    let mut quanta = 0u64;
+    let mut combined: Vec<(Word, Word)> = Vec::new();
+    loop {
+        let total: u64 = states.iter().map(|s| s.steps).sum();
+        if states.iter().all(|s| s.interp.is_halted()) || total >= cfg.max_steps {
+            break;
+        }
+        quanta += 1;
+
+        // 1. Parallel phase: private memories, write logs.
+        if threads <= 1 {
+            for s in states.iter_mut() {
+                run_parallel_phase(s, quantum);
+            }
+        } else {
+            let chunk = states.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                for slice in states.chunks_mut(chunk) {
+                    scope.spawn(move || {
+                        for s in slice.iter_mut() {
+                            run_parallel_phase(s, quantum);
+                        }
+                    });
+                }
+            });
+        }
+        for s in states.iter_mut() {
+            if let Some(e) = s.err.take() {
+                return Err(e);
+            }
+        }
+
+        // 2. Barrier merge, core order: canonical and every private converge
+        //    on the same last-writer-in-core-order value per address.
+        combined.clear();
+        for s in states.iter_mut() {
+            combined.extend_from_slice(&s.log);
+            s.log.clear();
+        }
+        if !combined.is_empty() {
+            for &(a, v) in &combined {
+                canonical.store(a, v);
+            }
+            for s in states.iter_mut() {
+                for &(a, v) in &combined {
+                    s.mem.store(a, v);
+                }
+            }
+        }
+
+        // 3. Serial sync phase, core order: one sync op each against
+        //    canonical, writes visible to all cores immediately.
+        for i in 0..states.len() {
+            if states[i].interp.is_halted() || !at_sync(&states[i].interp) {
+                continue;
+            }
+            let s = &mut states[i];
+            let mut eff = std::mem::take(&mut s.eff);
+            s.interp.step_into(&mut canonical, &mut eff)?;
+            s.steps += 1;
+            if let Some(w) = eff.out {
+                s.out.push(w);
+            }
+            let writes = std::mem::take(&mut eff.writes);
+            for s2 in states.iter_mut() {
+                for &(a, v) in &writes {
+                    s2.mem.store(a, v);
+                }
+            }
+            states[i].eff = eff;
+            states[i].eff.writes = writes;
+        }
+    }
+
+    let completed = states.iter().all(|s| s.interp.is_halted());
+    let outcome = ThreadedOutcome {
+        steps: states.iter().map(|s| s.steps).sum(),
+        per_core_steps: states.iter().map(|s| s.steps).collect(),
+        quanta,
+        completed,
+        threads,
+        outputs: states.into_iter().map(|s| s.out).collect(),
+    };
+    Ok((outcome, canonical))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwsp_ir::builder::FunctionBuilder;
+    use cwsp_ir::inst::{BinOp, Inst, MemRef, Operand};
+
+    fn run(m: &Module, cores: usize, threads: usize) -> (ThreadedOutcome, Memory) {
+        run_threaded(
+            m,
+            &ThreadedConfig {
+                cores,
+                threads,
+                quantum: 64,
+                ..ThreadedConfig::default()
+            },
+        )
+        .expect("threaded run")
+    }
+
+    /// Memory equality via non-zero word sets (order-independent).
+    fn mem_eq(a: &Memory, b: &Memory) -> bool {
+        let mut xs: Vec<_> = a.iter().collect();
+        let mut ys: Vec<_> = b.iter().collect();
+        xs.sort_unstable();
+        ys.sort_unstable();
+        xs == ys
+    }
+
+    #[test]
+    fn single_core_matches_plain_interpreter() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", 1);
+        let e = b.entry();
+        let (_, exit) =
+            cwsp_ir::builder::build_counted_loop(&mut b, e, Operand::imm(10), |b, bb, i| {
+                let v = b.bin(bb, BinOp::Mul, i.into(), Operand::imm(3));
+                b.push(bb, Inst::Out { val: v.into() });
+                let off = b.bin(bb, BinOp::Shl, i.into(), Operand::imm(3));
+                let addr = b.bin(bb, BinOp::Add, off.into(), Operand::imm(0x10000));
+                b.store(bb, v.into(), MemRef::reg(addr, 0));
+            });
+        b.push(exit, Inst::Halt);
+        let f = m.add_function(b.build());
+        m.set_entry(f);
+
+        let (out, mem) = run(&m, 1, 1);
+        assert!(out.completed);
+
+        let oracle = cwsp_ir::interp::run(&m, 1_000_000).expect("oracle");
+        assert_eq!(out.outputs[0], oracle.output);
+        assert_eq!(out.steps, oracle.steps);
+        for i in 0..10u64 {
+            assert_eq!(mem.load(0x10000 + i * 8), i * 3);
+        }
+    }
+
+    #[test]
+    fn thread_count_never_changes_results() {
+        let (m, _, sums_addr, _) = cwsp_workloads::multicore::drf_partition_sum(3);
+        let (a, am) = run(&m, 3, 1);
+        for threads in [2, 3, 8] {
+            let (b, bm) = run(&m, 3, threads);
+            assert!(b.completed);
+            assert_eq!(a.steps, b.steps, "threads={threads}");
+            assert_eq!(a.per_core_steps, b.per_core_steps, "threads={threads}");
+            assert_eq!(a.quanta, b.quanta, "threads={threads}");
+            assert_eq!(a.outputs, b.outputs, "threads={threads}");
+            assert!(mem_eq(&am, &bm), "threads={threads}");
+        }
+        for tid in 0..3u64 {
+            assert_eq!(
+                am.load(sums_addr + tid * 8),
+                cwsp_workloads::multicore::expected_sum(tid)
+            );
+        }
+    }
+
+    #[test]
+    fn spinlock_ledger_is_exact_and_deterministic() {
+        let (m, balance_addr, ops_addr) = cwsp_workloads::multicore::spinlock_ledger(3);
+        let (a, am) = run(&m, 3, 1);
+        let (b, bm) = run(&m, 3, 4);
+        assert!(a.completed && b.completed);
+        assert_eq!(a.steps, b.steps);
+        assert!(mem_eq(&am, &bm));
+        // Lock-protected read-modify-writes must not lose updates: the
+        // release/acquire argument in the module docs, tested.
+        assert_eq!(
+            am.load(balance_addr),
+            cwsp_workloads::multicore::expected_balance(3)
+        );
+        assert_eq!(am.load(ops_addr), 3 * cwsp_workloads::multicore::DEPOSITS);
+    }
+
+    #[test]
+    fn repeated_runs_are_bit_stable() {
+        let (m, _, _) = cwsp_workloads::multicore::spinlock_ledger(2);
+        let (a, am) = run(&m, 2, 2);
+        let (b, bm) = run(&m, 2, 2);
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.quanta, b.quanta);
+        assert_eq!(a.outputs, b.outputs);
+        assert!(mem_eq(&am, &bm));
+    }
+
+    #[test]
+    fn budget_stops_nonterminating_runs() {
+        let mut m = Module::new("spin");
+        let mut b = FunctionBuilder::new("main", 1);
+        let e = b.entry();
+        b.push(e, Inst::Br { target: e });
+        let f = m.add_function(b.build());
+        m.set_entry(f);
+        let (out, _) = run_threaded(
+            &m,
+            &ThreadedConfig {
+                cores: 2,
+                threads: 2,
+                quantum: 16,
+                max_steps: 1_000,
+            },
+        )
+        .expect("run");
+        assert!(!out.completed);
+        assert!(out.steps >= 1_000);
+    }
+}

@@ -41,6 +41,16 @@ impl WriteBuffer {
         self.lines.len()
     }
 
+    /// Earliest cycle the next drain attempt can succeed, or `None` when
+    /// empty (rate limit: a parked head drains no earlier than this).
+    pub fn next_drain_cycle(&self) -> Option<u64> {
+        if self.lines.is_empty() {
+            None
+        } else {
+            Some(self.next_drain_at)
+        }
+    }
+
     /// Park a dirty eviction.
     ///
     /// # Panics

@@ -96,6 +96,42 @@ fn profiler_attributes_at_least_95_percent_of_cycles() {
 }
 
 #[test]
+fn profiler_attributes_exec_cycles_to_superblocks() {
+    // Superblock-granularity attribution under fusion: ≥99% of exec cycles
+    // must resolve to a decoded super-op, and the superblock profile must
+    // account for every cycle it claims.
+    for name in ["namd", "rb", "sps"] {
+        let m = compiled(name);
+        for scheme in [Scheme::cwsp(), Scheme::Baseline] {
+            let cfg = SimConfig::default();
+            let mut machine = Machine::new(&m, &cfg, scheme);
+            machine.enable_profiler();
+            machine.run(u64::MAX, None).unwrap();
+            let cov = machine.superblock_coverage().unwrap();
+            assert!(
+                cov >= 0.99,
+                "{name}/{}: superblock coverage {:.4} < 0.99",
+                scheme.name(),
+                cov
+            );
+            let sb = machine.superblock_profile().unwrap();
+            assert!(sb.total_cycles > 0, "{name}: no exec cycles offered");
+            assert_eq!(
+                sb.accounted_cycles(),
+                (sb.total_cycles as f64 * cov).round() as u64,
+                "{name}/{}: superblock rows disagree with coverage",
+                scheme.name()
+            );
+            // Every attributed row names a real function and a super-op.
+            for row in &sb.rows {
+                assert_ne!(row.func, "<machine>", "{name}: unresolved function");
+                assert!(row.region.is_some(), "{name}: row without super-op index");
+            }
+        }
+    }
+}
+
+#[test]
 fn trace_post_mortem_reports_capacity_and_drops() {
     let m = compiled("lbm");
     let cfg = SimConfig::default();

@@ -71,3 +71,36 @@ fn invariant_checker_rejects_corrupted_stats() {
     let err = s.check_invariants(cfg.cores as u64).unwrap_err();
     assert!(err.contains("op_mix"), "{err}");
 }
+
+/// Superblock fusion is a dispatch optimization, not a semantic change: a
+/// fused machine must report a `SimStats` byte-identical to the unfused
+/// path — same cycles, same per-opcode `op_mix`, same stall and occupancy
+/// counters — on completed runs and at power-failure cuts alike.
+#[test]
+fn fused_and_unfused_machines_report_identical_stats() {
+    for seed in [7, 21, 63] {
+        let m = generate_default(seed);
+        let compiled = CwspCompiler::new(CompileOptions::default()).compile(&m);
+        let cfg = SimConfig::default();
+        for scheme in [Scheme::Baseline, Scheme::cwsp()] {
+            for crash in [None, Some(25_000)] {
+                let label = format!("gen-{seed}/{}/crash={crash:?}", scheme.name());
+                let mut fused = Machine::new(&compiled.module, &cfg, scheme);
+                fused.set_fuse(true);
+                let rf = fused
+                    .run(u64::MAX, crash)
+                    .unwrap_or_else(|e| panic!("{label}: {e}"));
+                let mut plain = Machine::new(&compiled.module, &cfg, scheme);
+                plain.set_fuse(false);
+                let rp = plain
+                    .run(u64::MAX, crash)
+                    .unwrap_or_else(|e| panic!("{label}: {e}"));
+                assert_eq!(rf.end, rp.end, "{label}");
+                assert_eq!(rf.stats, rp.stats, "{label}");
+                if let Err(msg) = rf.stats.check_invariants(cfg.cores as u64) {
+                    panic!("{label}:\n{msg}");
+                }
+            }
+        }
+    }
+}
