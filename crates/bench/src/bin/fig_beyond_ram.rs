@@ -1,0 +1,46 @@
+//! Beyond-RAM demo: the `beyond_ram` probe's 8 MB simulated footprint is
+//! paged through the tiered store when `CWSP_MEM_BUDGET` caps resident
+//! pages below the working set (CI runs it at a 16× footprint/budget
+//! ratio). Everything printed here is architectural — cycles, instruction
+//! and persist traffic — so the output is byte-identical whether the tier
+//! is enabled or not; the CI `storage-smoke` job diffs a budgeted run
+//! against an unbounded one and reads the paging counters out of the
+//! `CWSP_TIER_JSON` snapshot instead of stdout.
+
+use cwsp_bench::{cached_stats, scheme_stats};
+use cwsp_compiler::pipeline::CompileOptions;
+use cwsp_sim::config::SimConfig;
+use cwsp_sim::scheme::Scheme;
+use cwsp_workloads::probes::{beyond_ram, BEYOND_RAM_PAGES};
+
+fn main() {
+    cwsp_bench::harness_main("fig_beyond_ram", run);
+}
+
+fn run() {
+    let w = beyond_ram();
+    let cfg = SimConfig::default();
+    println!("\n=== Beyond-RAM: tiered page store demo ===");
+    println!(
+        "   footprint     {:>8} pages ({} MB simulated)",
+        BEYOND_RAM_PAGES,
+        BEYOND_RAM_PAGES * 4096 / (1 << 20)
+    );
+    let base = cached_stats(w.name, &w.module, &cfg, Scheme::Baseline);
+    let cwsp = scheme_stats(&w, &cfg, Scheme::cwsp(), CompileOptions::default());
+    for (label, s) in [("baseline", &base), ("cwsp", &cwsp)] {
+        println!("-- {label}");
+        println!("   cycles        {:>12}", s.cycles);
+        println!("   insts         {:>12}", s.insts);
+        println!("   loads         {:>12}", s.loads);
+        println!("   stores        {:>12}", s.stores);
+        println!("   ckpt_stores   {:>12}", s.ckpt_stores);
+        println!("   nvm_reads     {:>12}", s.nvm_reads);
+        println!("   nvm_writes    {:>12}", s.nvm_writes);
+    }
+    println!("--");
+    println!(
+        "   slowdown      {:>12.3} x (cwsp vs baseline)",
+        cwsp.cycles as f64 / base.cycles as f64
+    );
+}

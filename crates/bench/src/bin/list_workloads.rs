@@ -1,16 +1,26 @@
 //! Print the workload registry: suite, name, behavioural sketch, and static
-//! program size.
+//! program size. Routed through the harness like every other figure binary
+//! so the registry listing shows up in `BENCH_harness.json` (and its row
+//! formatting fans out over the engine pool, recording `workers_achieved`).
 
 fn main() {
+    cwsp_bench::harness_main("list_workloads", run);
+}
+
+fn run() {
     println!("{:<10} {:<10} {:>6}  description", "suite", "app", "insts");
-    for w in cwsp_workloads::all() {
-        println!(
+    let apps = cwsp_workloads::all();
+    let rows = cwsp_bench::par_map(&apps, |w| {
+        format!(
             "{:<10} {:<10} {:>6}  {}",
             w.suite.to_string(),
             w.name,
             w.module.inst_count(),
             w.description()
-        );
+        )
+    });
+    for row in rows {
+        println!("{row}");
     }
     println!(
         "\nhierarchy probes (Figs 1/18): {} apps",

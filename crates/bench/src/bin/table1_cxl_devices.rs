@@ -1,6 +1,6 @@
 //! Table I: the CXL memory devices modelled for §IX-C.
 
-use cwsp_sim::config::CXL_DEVICES;
+use cwsp_sim::config::{CxlDevice, CXL_DEVICES};
 
 fn main() {
     cwsp_bench::harness_main("table1_cxl_devices", run);
@@ -12,10 +12,15 @@ fn run() {
         "{:<16} {:<11} {:<12} {:>14} {:>18}",
         "Device", "CXL IP", "Technology", "Max BW (GB/s)", "Latency (r/w ns)"
     );
-    for d in CXL_DEVICES {
-        println!(
+    // Fan the rows out over the engine pool (order-preserving) so even this
+    // table records its achieved parallelism in the harness telemetry.
+    let rows = cwsp_bench::par_map(&CXL_DEVICES, |d: &CxlDevice| {
+        format!(
             "{:<16} {:<11} {:<12} {:>14.1} {:>11.0}/{:.0}",
             d.name, d.ip, d.technology, d.max_bandwidth_gbps, d.read_ns, d.write_ns
-        );
+        )
+    });
+    for row in rows {
+        println!("{row}");
     }
 }

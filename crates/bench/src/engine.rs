@@ -15,23 +15,31 @@
 //!   [`crate::fingerprint`]), sharded to keep lock contention off the hot
 //!   path. Baselines and compiled modules are computed once per process no
 //!   matter how many figures ask for them.
-//! * **On-disk cache** — results persist as JSON under `results/cache/`
-//!   (override with `CWSP_CACHE_DIR`, disable with `CWSP_CACHE=0`), so
-//!   re-running a figure binary is nearly free once warm. Keys include
-//!   [`crate::fingerprint::CACHE_VERSION`]; bump it when simulator semantics
-//!   change.
+//! * **On-disk store** — results persist under `results/cache/` (override
+//!   with `CWSP_CACHE_DIR`, disable with `CWSP_CACHE=0`). The default
+//!   backend is the **LSM result spine** ([`cwsp_store::spine`]): results
+//!   commit as immutable sorted batches with a manifest, merged levels, and
+//!   time-travel lookups; `CWSP_STORE=flat` selects the legacy per-key JSON
+//!   files. Existing flat entries are migrated into the spine once, as
+//!   history. Keys include [`crate::fingerprint::CACHE_VERSION`]; bump it
+//!   when simulator semantics change.
 //! * **Harness report** — [`harness_main`] wraps a figure binary's body,
 //!   timing it and merging a per-figure entry (wall-clock, jobs, hit rate)
-//!   into `results/BENCH_harness.json`.
+//!   into `results/BENCH_harness.json` — and, on the spine backend, also
+//!   committing the entry to the spine so the whole perf trajectory stays
+//!   queryable as of any run.
 
 use crate::fingerprint::{machine_fp, module_fp, options_fp};
 use crate::json::{self, Value};
 use cwsp_compiler::pipeline::{CompileOptions, Compiled, CwspCompiler};
 use cwsp_ir::module::Module;
 use cwsp_sim::config::SimConfig;
+use cwsp_sim::hash::FxHasher;
 use cwsp_sim::scheme::Scheme;
 use cwsp_sim::stats::SimStats;
+use cwsp_store::spine::{Key, Spine};
 use std::collections::HashMap;
+use std::hash::Hasher;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -69,12 +77,28 @@ impl Counters {
     }
 }
 
+/// Persistent result storage behind the in-process memo.
+enum DiskBackend {
+    /// Legacy per-key JSON files (`CWSP_STORE=flat`).
+    Flat(PathBuf),
+    /// LSM result spine: immutable sorted batches + manifest + merging.
+    Spine(Mutex<Spine>),
+}
+
+/// Stable hash for spine figure keys (FxHash over the name bytes; process-
+/// independent like the fingerprints).
+fn name_hash(s: &str) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(s.as_bytes());
+    h.finish()
+}
+
 /// The memoizing engine; one global instance serves all figure binaries
 /// (see [`engine`]), and tests can build private instances.
 pub struct Engine {
     stats_memo: Vec<Mutex<HashMap<(u64, u64), StatsSlot>>>,
     compile_memo: Vec<Mutex<HashMap<(u64, u64), CompileSlot>>>,
-    disk: Option<PathBuf>,
+    disk: Option<DiskBackend>,
     jobs: AtomicU64,
     memo_hits: AtomicU64,
     disk_hits: AtomicU64,
@@ -87,8 +111,25 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// An engine with an explicit disk-cache directory (`None` = memory only).
+    /// An engine with an explicit **flat** disk-cache directory (`None` =
+    /// memory only). The flat backend is also reachable process-wide via
+    /// `CWSP_STORE=flat`.
     pub fn new(disk: Option<PathBuf>) -> Self {
+        Engine::with_backend(disk.map(DiskBackend::Flat))
+    }
+
+    /// An engine persisting results to the LSM spine at `dir`. Migrates any
+    /// legacy flat JSON entries in `dir` into the spine once (as history).
+    /// Falls back to memory-only if the spine directory cannot be opened.
+    pub fn with_spine(dir: PathBuf) -> Self {
+        let backend = Spine::open(&dir).ok().map(|mut spine| {
+            migrate_flat_cache(&dir, &mut spine);
+            DiskBackend::Spine(Mutex::new(spine))
+        });
+        Engine::with_backend(backend)
+    }
+
+    fn with_backend(disk: Option<DiskBackend>) -> Self {
         Engine {
             stats_memo: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             compile_memo: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
@@ -99,6 +140,32 @@ impl Engine {
             sim_insts: AtomicU64::new(0),
             sim_op_mix: std::array::from_fn(|_| AtomicU64::new(0)),
             job_latencies_ns: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Whether results persist to the LSM spine (vs. flat files or nothing).
+    pub fn uses_spine(&self) -> bool {
+        matches!(self.disk, Some(DiskBackend::Spine(_)))
+    }
+
+    /// Commit a figure's harness entry to the spine (no-op on other
+    /// backends), keyed by figure name — the queryable perf trajectory.
+    pub fn commit_figure_entry(&self, figure: &str, entry: &Value) {
+        if let Some(DiskBackend::Spine(spine)) = &self.disk {
+            let mut spine = spine.lock().unwrap();
+            let _ = spine.commit(vec![(
+                Key::figure(name_hash(figure)),
+                entry.to_pretty().into_bytes(),
+            )]);
+        }
+    }
+
+    /// Run `f` with the spine locked (`None` on other backends) — the
+    /// cursor/time-travel query surface for tools and tests.
+    pub fn with_spine_handle<R>(&self, f: impl FnOnce(&mut Spine) -> R) -> Option<R> {
+        match &self.disk {
+            Some(DiskBackend::Spine(spine)) => Some(f(&mut spine.lock().unwrap())),
+            _ => None,
         }
     }
 
@@ -216,46 +283,128 @@ impl Engine {
         r.set(id, percentile_ns(&lats, 50.0) as f64 / 1000.0);
         let id = r.gauge("engine.queue_latency_us.p99");
         r.set(id, percentile_ns(&lats, 99.0) as f64 / 1000.0);
+        // Memory-tier paging traffic (faults, evictions, resident gauges).
+        cwsp_obs::tier::publish(r);
+        if let Some(DiskBackend::Spine(spine)) = &self.disk {
+            let spine = spine.lock().unwrap();
+            for (name, v) in [
+                ("engine.spine.batches", spine.batches().len() as f64),
+                ("engine.spine.entries", spine.entry_count() as f64),
+                ("engine.spine.last_seq", spine.last_seq() as f64),
+                ("engine.spine.compactions", spine.compactions() as f64),
+            ] {
+                let id = r.gauge(name);
+                r.set(id, v);
+            }
+        }
     }
 
-    fn cache_path(&self, key: (u64, u64)) -> Option<PathBuf> {
-        self.disk
-            .as_ref()
-            .map(|d| d.join(format!("{:016x}{:016x}.json", key.0, key.1)))
+    fn flat_path(dir: &Path, key: (u64, u64)) -> PathBuf {
+        dir.join(format!("{:016x}{:016x}.json", key.0, key.1))
     }
 
     fn disk_load(&self, key: (u64, u64)) -> Option<SimStats> {
-        let path = self.cache_path(key)?;
-        let text = std::fs::read_to_string(path).ok()?;
-        let v = json::parse(&text).ok()?;
-        stats_from_json(v.get("stats")?)
+        match self.disk.as_ref()? {
+            DiskBackend::Flat(dir) => {
+                let text = std::fs::read_to_string(Self::flat_path(dir, key)).ok()?;
+                let v = json::parse(&text).ok()?;
+                stats_from_json(v.get("stats")?)
+            }
+            DiskBackend::Spine(spine) => {
+                let spine = spine.lock().unwrap();
+                let bytes = spine.get(Key::sim(key.0, key.1))?;
+                let v = json::parse(std::str::from_utf8(bytes).ok()?).ok()?;
+                stats_from_json(v.get("stats")?)
+            }
+        }
     }
 
     fn disk_store(&self, key: (u64, u64), name: &str, s: &SimStats) {
-        let Some(path) = self.cache_path(key) else {
+        let Some(backend) = self.disk.as_ref() else {
             return;
         };
-        let Some(dir) = path.parent() else { return };
-        if std::fs::create_dir_all(dir).is_err() {
-            return;
-        }
         let doc = Value::Obj(vec![
             ("name".into(), Value::Str(name.to_string())),
             ("stats".into(), stats_to_json(s)),
         ]);
-        // Write-then-rename so concurrent figure binaries never observe a
-        // torn file.
-        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-        if std::fs::write(&tmp, doc.to_pretty()).is_ok() {
-            let _ = std::fs::rename(&tmp, &path);
+        match backend {
+            DiskBackend::Flat(dir) => {
+                if std::fs::create_dir_all(dir).is_err() {
+                    return;
+                }
+                let path = Self::flat_path(dir, key);
+                // Write-then-rename so concurrent figure binaries never
+                // observe a torn file.
+                let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+                if std::fs::write(&tmp, doc.to_pretty()).is_ok() {
+                    let _ = std::fs::rename(&tmp, &path);
+                }
+            }
+            DiskBackend::Spine(spine) => {
+                let mut spine = spine.lock().unwrap();
+                let _ = spine.commit(vec![(Key::sim(key.0, key.1), doc.to_pretty().into_bytes())]);
+            }
         }
     }
 }
 
-/// The process-global engine (disk cache configured from the environment).
+/// One-shot migration of legacy flat per-key JSON files into the spine:
+/// every parseable `<keyhex>.json` in `dir` is committed as one batch, then
+/// the spine's `migrated` manifest flag stops this from ever running again.
+/// The flat files are left in place (they are harmless, and `CWSP_STORE=flat`
+/// can still read them); migrated entries keep their old-version keys, so
+/// they are reachable as history rather than as fresh-lookup hits.
+fn migrate_flat_cache(dir: &Path, spine: &mut Spine) {
+    if spine.migrated() {
+        return;
+    }
+    let mut items: Vec<(Key, Vec<u8>)> = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        let mut names: Vec<String> = entries
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| n.len() == 32 + 5 && n.ends_with(".json"))
+            .collect();
+        names.sort();
+        for name in names {
+            let (Ok(a), Ok(b)) = (
+                u64::from_str_radix(&name[..16], 16),
+                u64::from_str_radix(&name[16..32], 16),
+            ) else {
+                continue;
+            };
+            let Ok(text) = std::fs::read_to_string(dir.join(&name)) else {
+                continue;
+            };
+            // Only well-formed entries migrate; junk stays behind.
+            if json::parse(&text)
+                .ok()
+                .and_then(|v| v.get("stats").cloned())
+                .is_some()
+            {
+                items.push((Key::sim(a, b), text.into_bytes()));
+            }
+        }
+    }
+    let _ = spine.commit(items);
+    spine.set_migrated();
+}
+
+/// The process-global engine (disk store configured from the environment:
+/// `CWSP_CACHE`/`CWSP_CACHE_DIR` pick the directory, `CWSP_STORE` picks the
+/// backend — `spine` by default, `flat` for the legacy per-key files).
 pub fn engine() -> &'static Engine {
     static GLOBAL: OnceLock<Engine> = OnceLock::new();
-    GLOBAL.get_or_init(|| Engine::new(disk_dir_from_env()))
+    GLOBAL.get_or_init(|| match disk_dir_from_env() {
+        None => Engine::new(None),
+        Some(dir) => {
+            if matches!(std::env::var("CWSP_STORE").as_deref(), Ok("flat")) {
+                Engine::new(Some(dir))
+            } else {
+                Engine::with_spine(dir)
+            }
+        }
+    })
 }
 
 fn disk_dir_from_env() -> Option<PathBuf> {
@@ -456,7 +605,11 @@ pub fn harness_main(figure: &str, body: impl FnOnce()) {
         0.0
     };
     let entry = build_harness_entry(&delta, wall, &latencies, utilization);
+    // On the spine backend the entry also commits as an immutable version,
+    // so the figure's perf trajectory is queryable as of any past run.
+    e.commit_figure_entry(figure, &entry);
     merge_harness_entry(&harness_json_path(), figure, entry);
+    dump_tier_snapshot();
     eprintln!(
         "[harness] {figure}: {:.2}s wall, {} jobs, {} memo + {} disk hits ({}% cached), {} workers",
         wall.as_secs_f64(),
@@ -467,6 +620,24 @@ pub fn harness_main(figure: &str, body: impl FnOnce()) {
         worker_count(),
     );
     dump_obs_registry(e);
+}
+
+/// When `CWSP_TIER_JSON` names a file, write the process-wide tier
+/// telemetry snapshot there (the storage-smoke CI job asserts the resident
+/// peak against `CWSP_MEM_BUDGET` from this artifact).
+fn dump_tier_snapshot() {
+    let Ok(dest) = std::env::var("CWSP_TIER_JSON") else {
+        return;
+    };
+    if dest.is_empty() {
+        return;
+    }
+    if let Some(dir) = Path::new(&dest).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if let Err(err) = std::fs::write(&dest, cwsp_obs::tier::snapshot_json()) {
+        eprintln!("[tier] failed to write {dest}: {err}");
+    }
 }
 
 /// When `CWSP_OBS` is on, publish the engine's metrics into a registry and
@@ -833,6 +1004,94 @@ mod tests {
         let b = cold.stats("t", &m, &cfg, Scheme::Baseline);
         assert_eq!(a, b);
         assert_eq!(cold.counters().disk_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spine_backend_round_trips_and_survives_a_fresh_engine() {
+        let dir = std::env::temp_dir().join(format!("cwsp-spine-engine-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let m = tiny_module();
+        let cfg = SimConfig::default();
+        let warm = Engine::with_spine(dir.clone());
+        assert!(warm.uses_spine());
+        let a = warm.stats("t", &m, &cfg, Scheme::Baseline);
+        assert_eq!(warm.counters().disk_hits, 0);
+        // A fresh engine (fresh process, conceptually) hits the spine.
+        let cold = Engine::with_spine(dir.clone());
+        let b = cold.stats("t", &m, &cfg, Scheme::Baseline);
+        assert_eq!(a, b);
+        assert_eq!(cold.counters().disk_hits, 1);
+        // The spine wrote batches + a manifest.
+        let manifest = std::fs::read_to_string(dir.join("MANIFEST.json")).unwrap();
+        assert!(manifest.contains(".batch"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flat_cache_migrates_into_spine_once() {
+        let dir = std::env::temp_dir().join(format!("cwsp-migrate-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let m = tiny_module();
+        let cfg = SimConfig::default();
+        // Seed a legacy flat cache.
+        let flat = Engine::new(Some(dir.clone()));
+        let a = flat.stats("t", &m, &cfg, Scheme::Baseline);
+        // Opening the spine on the same directory migrates the flat entry.
+        let spined = Engine::with_spine(dir.clone());
+        let key = (module_fp(&m), machine_fp(&cfg, Scheme::Baseline));
+        let migrated = spined
+            .with_spine_handle(|s| {
+                assert!(s.migrated(), "migration flag set");
+                s.get(Key::sim(key.0, key.1)).map(|b| b.to_vec())
+            })
+            .unwrap()
+            .expect("flat entry is reachable through the spine");
+        let v = json::parse(std::str::from_utf8(&migrated).unwrap()).unwrap();
+        assert_eq!(stats_from_json(v.get("stats").unwrap()).unwrap(), a);
+        // And a spine load serves it as a disk hit.
+        let b = spined.stats("t", &m, &cfg, Scheme::Baseline);
+        assert_eq!(a, b);
+        assert_eq!(spined.counters().disk_hits, 1);
+        // Re-opening does not duplicate history (migration is one-shot).
+        let again = Engine::with_spine(dir.clone());
+        let versions = again
+            .with_spine_handle(|s| s.history(Key::sim(key.0, key.1)).len())
+            .unwrap();
+        assert_eq!(versions, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn figure_entries_commit_with_time_travel() {
+        let dir = std::env::temp_dir().join(format!("cwsp-figspine-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let e = Engine::with_spine(dir.clone());
+        let entry = |ms| Value::Obj(vec![("wall_ms".into(), Value::Int(ms))]);
+        e.commit_figure_entry("fig13_overhead", &entry(10));
+        e.commit_figure_entry("fig13_overhead", &entry(30));
+        let key = Key::figure(name_hash("fig13_overhead"));
+        let (s1, latest, past) = e
+            .with_spine_handle(|s| {
+                let hist = s.history(key);
+                assert_eq!(hist.len(), 2, "both runs retained");
+                let s1 = hist[0].0;
+                let latest = s.get(key).unwrap().to_vec();
+                let past = s.get_as_of(key, s1).unwrap().to_vec();
+                (s1, latest, past)
+            })
+            .unwrap();
+        assert!(s1 >= 1);
+        let wall = |b: &[u8]| {
+            json::parse(std::str::from_utf8(b).unwrap())
+                .unwrap()
+                .get("wall_ms")
+                .unwrap()
+                .as_u64()
+                .unwrap()
+        };
+        assert_eq!(wall(&latest), 30);
+        assert_eq!(wall(&past), 10, "time travel sees the first run");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

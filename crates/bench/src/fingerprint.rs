@@ -22,7 +22,10 @@ use std::hash::Hasher;
 /// Version 3: observability layer — trace/profiler instrumentation reworked
 /// the core issue loop and the harness telemetry schema grew queue-latency
 /// and utilization fields.
-pub const CACHE_VERSION: u64 = 3;
+/// Version 4: results moved from flat per-key JSON files to the LSM result
+/// spine (`cwsp_store::spine`); v3 flat entries are migrated into the spine
+/// as history (time-travel reachable) but fresh v4 keys recompute.
+pub const CACHE_VERSION: u64 = 4;
 
 /// Incrementally hashes heterogeneous fields into one stable u64.
 #[derive(Debug, Default)]

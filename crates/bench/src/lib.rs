@@ -26,6 +26,39 @@ use cwsp_workloads::{Suite, Workload};
 
 pub use engine::{engine, harness_main, par_map, worker_count};
 
+/// Every figure/table binary that owns a committed golden under `results/`.
+/// One entry per `results/<name>.txt`; `tests/figure_registry.rs` asserts the
+/// golden directory and this list never drift apart (the `cwsp-lint` and
+/// `profile` binaries are diagnostic tools, not figures, and have no
+/// goldens). Keep sorted.
+pub const FIGURES: &[&str] = &[
+    "ablation_granularity",
+    "ablation_pruning_tiers",
+    "fig01_cxl_hierarchy",
+    "fig06_wb_occupancy",
+    "fig08_wpq_hits",
+    "fig13_overhead",
+    "fig14_wsp_comparison",
+    "fig15_ablation",
+    "fig17_cxl_devices",
+    "fig18_psp_comparison",
+    "fig19_region_size",
+    "fig20_l3_hierarchy",
+    "fig21_bandwidth_sweep",
+    "fig22_rbt_sweep",
+    "fig23_latency_sweep",
+    "fig24_wb_sweep",
+    "fig25_pb_sweep",
+    "fig26_wpq_sweep",
+    "fig27_nvm_tech",
+    "fig_beyond_ram",
+    "list_workloads",
+    "summary",
+    "table1_cxl_devices",
+    "table_energy",
+    "table_hw_overhead",
+];
+
 /// Trace-ring capacity requested via `CWSP_TRACE`, if tracing is on:
 /// `CWSP_TRACE=1` (or any non-numeric truthy value) selects the default
 /// 65 536-event ring; a value > 1 selects that capacity. `0`/`off`/`false`/

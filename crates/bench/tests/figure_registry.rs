@@ -1,0 +1,58 @@
+//! The figure registry, the golden directory, and the binary sources must
+//! agree. PR 6's changelog drifted ("all 23" when 24 goldens existed)
+//! because nothing machine-checked the count; this test makes the registry
+//! in `cwsp_bench::FIGURES` the single source of truth.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+fn repo_root() -> PathBuf {
+    // crates/bench -> repo root
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap()
+}
+
+/// Golden `.txt` basenames under `results/`.
+fn goldens() -> BTreeSet<String> {
+    std::fs::read_dir(repo_root().join("results"))
+        .expect("results/ exists")
+        .filter_map(|e| {
+            let p = e.ok()?.path();
+            (p.extension()? == "txt").then(|| p.file_stem().unwrap().to_string_lossy().into_owned())
+        })
+        .collect()
+}
+
+#[test]
+fn registry_matches_golden_directory_exactly() {
+    let registry: BTreeSet<String> = cwsp_bench::FIGURES.iter().map(|s| s.to_string()).collect();
+    assert_eq!(
+        registry.len(),
+        cwsp_bench::FIGURES.len(),
+        "registry has duplicates"
+    );
+    let golden = goldens();
+    let missing: Vec<_> = registry.difference(&golden).collect();
+    let unregistered: Vec<_> = golden.difference(&registry).collect();
+    assert!(
+        missing.is_empty() && unregistered.is_empty(),
+        "registry/golden drift: registered without golden {missing:?}, \
+         golden without registry entry {unregistered:?}"
+    );
+}
+
+#[test]
+fn registry_is_sorted_and_every_figure_has_a_binary() {
+    let mut sorted = cwsp_bench::FIGURES.to_vec();
+    sorted.sort_unstable();
+    assert_eq!(sorted, cwsp_bench::FIGURES, "keep FIGURES sorted");
+    let bin_dir = repo_root().join("crates/bench/src/bin");
+    for f in cwsp_bench::FIGURES {
+        assert!(
+            bin_dir.join(format!("{f}.rs")).is_file(),
+            "{f} has a golden but no src/bin/{f}.rs"
+        );
+    }
+}

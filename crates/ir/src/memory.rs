@@ -22,11 +22,29 @@
 //!   only non-zero words, and two memories are equal iff their non-zero
 //!   contents agree — a page left allocated but all-zero equals no page);
 //! * [`Memory::iter`] visits exactly the non-zero words.
+//!
+//! ## Tiering
+//!
+//! With `CWSP_MEM_BUDGET` set (or [`Memory::with_budget`]), the page table
+//! becomes the *hot tier* of a two-tier store: at most `budget` pages stay
+//! resident; the rest spill to the process-wide append-only page file
+//! ([`cwsp_store::spill`]). Eviction is clock/second-chance over the resident
+//! slots; an all-zero victim is dropped outright (identical to the sparse
+//! in-RAM behavior), other victims stage in a small writeback buffer that
+//! flushes to the spill file in batches. Loads from spilled pages read
+//! through without promotion; stores fault the page back in (evicting
+//! another under budget pressure). All of the semantics above hold
+//! bit-exactly across spill and fault — the crash-consistency oracle cannot
+//! tell the tiers apart.
 
 use crate::fxhash::FxHashMap;
 use crate::types::Word;
+use cwsp_store::{tier as telemetry, SpillStore};
 use std::cell::Cell;
 use std::fmt;
+use std::sync::Arc;
+use std::sync::OnceLock;
+use std::time::Instant;
 
 /// Words per page (4 KiB / 8 bytes).
 const PAGE_WORDS: usize = 512;
@@ -38,12 +56,194 @@ const OFF_MASK: Word = PAGE_WORDS as Word - 1;
 /// numbers are `addr >> 12`, which cannot reach `u64::MAX`).
 const NO_PAGE: Word = Word::MAX;
 
+/// Dirty pages staged per memory before one batched append to the spill
+/// file. Bounded extra residency on top of the budget (≤ 64 KiB).
+const WRITEBACK_BATCH: usize = 16;
+
+// The spill tier and this memory must agree on the page geometry.
+const _: () = assert!(PAGE_WORDS == cwsp_store::PAGE_WORDS);
+
 type Page = Box<[Word; PAGE_WORDS]>;
 
 fn new_page() -> Page {
     // Heap-allocate directly; `Box::new([0; 512])` would build 4 KiB on the
     // stack first in debug builds.
     vec![0; PAGE_WORDS].into_boxed_slice().try_into().unwrap()
+}
+
+/// Where a non-resident page's contents live.
+#[derive(Clone, Copy, Debug)]
+enum SpillRef {
+    /// Immutable slot offset in the spill file.
+    File(u64),
+    /// Index into the owning tier's writeback buffer (not yet flushed).
+    Pending(u32),
+}
+
+/// Cold-tier state of one tiered memory.
+struct Tier {
+    /// Maximum resident pages (≥ 1).
+    budget: usize,
+    /// Shared append-only page file.
+    spill: Arc<SpillStore>,
+    /// Page number → where its spilled contents live.
+    spilled: FxHashMap<Word, SpillRef>,
+    /// Dirty evicted pages awaiting one batched append.
+    pending: Vec<(Word, Page)>,
+    /// Clock reference bits, parallel to `Memory::pages`. `Cell` so read
+    /// hits can mark recency through `&self`.
+    refbits: Vec<Cell<bool>>,
+    /// Clock hand (next slot to examine).
+    hand: usize,
+    /// Freed slots in `Memory::pages` available for reuse.
+    free: Vec<u32>,
+    /// Current resident pages of this memory.
+    resident: usize,
+    /// Resident accesses since the last telemetry flush (bulk-reported on
+    /// drop to keep atomics off the simulated load/store path).
+    hits: Cell<u64>,
+}
+
+impl Tier {
+    fn new(budget: usize, spill: Arc<SpillStore>) -> Tier {
+        Tier {
+            budget: budget.max(1),
+            spill,
+            spilled: FxHashMap::default(),
+            pending: Vec::new(),
+            refbits: Vec::new(),
+            hand: 0,
+            free: Vec::new(),
+            resident: 0,
+            hits: Cell::new(0),
+        }
+    }
+
+    /// Read one word of a spilled page without promoting it.
+    fn read_spilled_word(&self, r: SpillRef, off: usize) -> Word {
+        match r {
+            SpillRef::Pending(i) => self.pending[i as usize].1[off],
+            SpillRef::File(o) => self.spill.read_word(o, off),
+        }
+    }
+
+    /// Copy of a spilled page's contents (iteration/diff path).
+    fn read_spilled_page(&self, r: SpillRef) -> [Word; PAGE_WORDS] {
+        match r {
+            SpillRef::Pending(i) => *self.pending[i as usize].1,
+            SpillRef::File(o) => {
+                let mut buf = [0 as Word; PAGE_WORDS];
+                self.spill.read_page(o, &mut buf);
+                buf
+            }
+        }
+    }
+
+    /// Append every staged page to the spill file in one batch.
+    fn flush_pending(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let n = self.pending.len() as u64;
+        let start = Instant::now();
+        for (page_no, page) in self.pending.drain(..) {
+            let off = self.spill.append_page(&page);
+            self.spilled.insert(page_no, SpillRef::File(off));
+        }
+        telemetry::record_writeback_batch(n, start.elapsed().as_nanos() as u64);
+    }
+}
+
+impl Clone for Tier {
+    fn clone(&self) -> Tier {
+        // The global gauges count pages across live memories, so a clone
+        // re-registers its resident and spilled sets.
+        for _ in 0..self.resident {
+            telemetry::resident_add(self.resident as u64);
+        }
+        telemetry::spilled_delta(self.spilled.len() as i64);
+        Tier {
+            budget: self.budget,
+            spill: Arc::clone(&self.spill),
+            spilled: self.spilled.clone(),
+            pending: self.pending.clone(),
+            refbits: self.refbits.clone(),
+            hand: self.hand,
+            free: self.free.clone(),
+            resident: self.resident,
+            hits: Cell::new(0),
+        }
+    }
+}
+
+impl Drop for Tier {
+    fn drop(&mut self) {
+        telemetry::record_resident_hits(self.hits.get());
+        telemetry::resident_sub(self.resident as u64);
+        telemetry::spilled_delta(-(self.spilled.len() as i64));
+    }
+}
+
+thread_local! {
+    /// Test hook: `Some(budget)` overrides `CWSP_MEM_BUDGET` for this thread
+    /// (`Some(None)` forces unbounded). Set via [`with_budget_override`].
+    static BUDGET_OVERRIDE: Cell<Option<Option<usize>>> = const { Cell::new(None) };
+}
+
+/// Run `f` with every `Memory::new()` on this thread using `budget` resident
+/// pages (`None` = unbounded), regardless of `CWSP_MEM_BUDGET`. Restores the
+/// previous override on exit, including on panic. Parallel tests must use
+/// this instead of mutating the environment.
+pub fn with_budget_override<R>(budget: Option<usize>, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Option<usize>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            BUDGET_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(BUDGET_OVERRIDE.with(|c| c.replace(Some(budget))));
+    f()
+}
+
+/// Parse a `CWSP_MEM_BUDGET` value: a bare number is pages, a `K`/`M`/`G`
+/// suffix is bytes (converted to pages, minimum 1). `0`, `inf`, `none`, and
+/// `unbounded` disable tiering.
+fn parse_budget(s: &str) -> Option<usize> {
+    let lower = s.trim().to_ascii_lowercase();
+    if matches!(lower.as_str(), "" | "0" | "inf" | "none" | "unbounded") {
+        return None;
+    }
+    let (num, bytes_mult) = match lower.as_bytes().last() {
+        Some(b'k') => (&lower[..lower.len() - 1], 1u64 << 10),
+        Some(b'm') => (&lower[..lower.len() - 1], 1 << 20),
+        Some(b'g') => (&lower[..lower.len() - 1], 1 << 30),
+        _ => (lower.as_str(), 0),
+    };
+    let n: u64 = num.trim().parse().ok()?;
+    if n == 0 {
+        return None;
+    }
+    let pages = if bytes_mult == 0 {
+        n
+    } else {
+        (n * bytes_mult) >> PAGE_SHIFT
+    };
+    Some(pages.max(1) as usize)
+}
+
+/// The resident-page budget new memories are built with: the thread-local
+/// test override if set, else `CWSP_MEM_BUDGET` (parsed once per process),
+/// else unbounded.
+pub fn default_budget_pages() -> Option<usize> {
+    if let Some(o) = BUDGET_OVERRIDE.with(|c| c.get()) {
+        return o;
+    }
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("CWSP_MEM_BUDGET")
+            .ok()
+            .and_then(|s| parse_budget(&s))
+    })
 }
 
 /// Sparse, word-granular memory. Unwritten words read as zero.
@@ -60,33 +260,69 @@ fn new_page() -> Page {
 pub struct Memory {
     /// Page number (`addr >> 12`) → slot in `pages`.
     index: FxHashMap<Word, u32>,
-    /// Allocated pages, in allocation order.
+    /// Allocated pages, in allocation order. With a tier, slots whose
+    /// `page_ids` entry is [`NO_PAGE`] are free (their contents are stale).
     pages: Vec<Page>,
     /// Slot → page number (for iteration without touching the map).
     page_ids: Vec<Word>,
     /// Last-page-hit cache: `(page number, slot)`; `NO_PAGE` when invalid.
     /// A `Cell` so read hits can refresh it through `&self`.
     last: Cell<(Word, u32)>,
-    /// Global count of non-zero words across all pages.
+    /// Global count of non-zero words across all pages, resident or spilled.
     nonzero: usize,
+    /// Cold-tier state; `None` = unbounded (the historical behavior, with
+    /// an unchanged hot path).
+    tier: Option<Box<Tier>>,
 }
 
 impl Default for Memory {
     fn default() -> Self {
+        Memory::new()
+    }
+}
+
+impl Memory {
+    /// An empty (all-zero) memory, tiered per [`default_budget_pages`].
+    pub fn new() -> Self {
+        Memory::with_budget(default_budget_pages())
+    }
+
+    /// An empty memory with an explicit resident-page budget (`None` =
+    /// unbounded). A budget of 0 is clamped to 1. Falls back to unbounded
+    /// if the process-wide spill file cannot be created.
+    pub fn with_budget(budget: Option<usize>) -> Self {
+        let tier = budget.and_then(|b| SpillStore::global().map(|s| Box::new(Tier::new(b, s))));
         Memory {
             index: FxHashMap::default(),
             pages: Vec::new(),
             page_ids: Vec::new(),
             last: Cell::new((NO_PAGE, 0)),
             nonzero: 0,
+            tier,
         }
     }
-}
 
-impl Memory {
-    /// An empty (all-zero) memory.
-    pub fn new() -> Self {
-        Memory::default()
+    /// Whether this memory has a cold tier.
+    pub fn tier_enabled(&self) -> bool {
+        self.tier.is_some()
+    }
+
+    /// Resident-page budget, if tiered.
+    pub fn budget_pages(&self) -> Option<usize> {
+        self.tier.as_ref().map(|t| t.budget)
+    }
+
+    /// Pages currently resident in the hot tier.
+    pub fn resident_pages(&self) -> usize {
+        match &self.tier {
+            Some(t) => t.resident,
+            None => self.pages.len(),
+        }
+    }
+
+    /// Pages currently spilled (including ones staged for writeback).
+    pub fn spilled_pages(&self) -> usize {
+        self.tier.as_ref().map_or(0, |t| t.spilled.len())
     }
 
     /// Read the word at `addr`.
@@ -100,14 +336,33 @@ impl Memory {
         let off = ((addr >> 3) & OFF_MASK) as usize;
         let (cached, slot) = self.last.get();
         if cached == page {
+            if let Some(t) = &self.tier {
+                t.refbits[slot as usize].set(true);
+                t.hits.set(t.hits.get() + 1);
+            }
             return self.pages[slot as usize][off];
         }
         match self.index.get(&page) {
             Some(&slot) => {
                 self.last.set((page, slot));
+                if let Some(t) = &self.tier {
+                    t.refbits[slot as usize].set(true);
+                    t.hits.set(t.hits.get() + 1);
+                }
                 self.pages[slot as usize][off]
             }
-            None => 0,
+            None => match &self.tier {
+                Some(t) => match t.spilled.get(&page) {
+                    // Read through without promotion: loads never churn the
+                    // resident set.
+                    Some(&r) => {
+                        telemetry::record_spilled_load();
+                        t.read_spilled_word(r, off)
+                    }
+                    None => 0,
+                },
+                None => 0,
+            },
         }
     }
 
@@ -127,18 +382,17 @@ impl Memory {
             self.last.set((page, slot));
             slot
         } else {
-            if value == 0 {
-                // Keep the map sparse: a zero store to an unallocated page
-                // is a no-op.
-                return 0;
+            match self.store_miss(page, off, value) {
+                Ok(slot) => slot,
+                // The store was a no-op (zero to absent, or the spilled word
+                // already held `value`); `prev` is returned directly.
+                Err(prev) => return prev,
             }
-            let slot = self.pages.len() as u32;
-            self.pages.push(new_page());
-            self.page_ids.push(page);
-            self.index.insert(page, slot);
-            self.last.set((page, slot));
-            slot
         };
+        if let Some(t) = &self.tier {
+            t.refbits[slot as usize].set(true);
+            t.hits.set(t.hits.get() + 1);
+        }
         let w = &mut self.pages[slot as usize][off];
         let prev = *w;
         *w = value;
@@ -147,22 +401,209 @@ impl Memory {
         prev
     }
 
+    /// Store path when `page` is not resident: fault it from the cold tier,
+    /// allocate it, or report a no-op (`Err(previous value)`).
+    #[cold]
+    fn store_miss(&mut self, page: Word, off: usize, value: Word) -> Result<u32, Word> {
+        if let Some(t) = self.tier.as_deref() {
+            if let Some(&r) = t.spilled.get(&page) {
+                let current = t.read_spilled_word(r, off);
+                if current == value {
+                    // Nothing would change; skip the fault entirely.
+                    return Err(current);
+                }
+                return Ok(self.fault_in(page));
+            }
+        }
+        if value == 0 {
+            // Keep the map sparse: a zero store to an unallocated page is a
+            // no-op.
+            return Err(0);
+        }
+        Ok(self.alloc_page(page))
+    }
+
+    /// Allocate a fresh all-zero resident page for `page`, evicting under
+    /// budget pressure.
+    fn alloc_page(&mut self, page: Word) -> u32 {
+        self.make_room();
+        let Memory {
+            index,
+            pages,
+            page_ids,
+            last,
+            tier,
+            ..
+        } = self;
+        let slot = match tier.as_deref_mut() {
+            Some(t) => {
+                let slot = match t.free.pop() {
+                    Some(s) => {
+                        // Freed slots hold stale contents; a new page must
+                        // read all-zero.
+                        pages[s as usize].fill(0);
+                        page_ids[s as usize] = page;
+                        s
+                    }
+                    None => {
+                        pages.push(new_page());
+                        page_ids.push(page);
+                        t.refbits.push(Cell::new(false));
+                        (pages.len() - 1) as u32
+                    }
+                };
+                t.resident += 1;
+                telemetry::resident_add(t.resident as u64);
+                slot
+            }
+            None => {
+                pages.push(new_page());
+                page_ids.push(page);
+                (pages.len() - 1) as u32
+            }
+        };
+        index.insert(page, slot);
+        last.set((page, slot));
+        slot
+    }
+
+    /// Fault a spilled page back into the resident set (store path only;
+    /// loads read through).
+    fn fault_in(&mut self, page: Word) -> u32 {
+        self.make_room();
+        let Memory {
+            index,
+            pages,
+            page_ids,
+            last,
+            tier,
+            ..
+        } = self;
+        let t = tier.as_deref_mut().expect("fault_in requires a tier");
+        let r = t.spilled.remove(&page).expect("fault_in target is spilled");
+        telemetry::spilled_delta(-1);
+        telemetry::record_fault();
+        let slot = match t.free.pop() {
+            Some(s) => s,
+            None => {
+                pages.push(new_page());
+                page_ids.push(NO_PAGE);
+                t.refbits.push(Cell::new(false));
+                (pages.len() - 1) as u32
+            }
+        };
+        match r {
+            SpillRef::Pending(i) => {
+                let (pno, data) = t.pending.swap_remove(i as usize);
+                debug_assert_eq!(pno, page);
+                pages[slot as usize] = data;
+                // swap_remove moved the tail entry into index `i`; fix its
+                // spill ref.
+                if (i as usize) < t.pending.len() {
+                    let moved = t.pending[i as usize].0;
+                    t.spilled.insert(moved, SpillRef::Pending(i));
+                }
+            }
+            SpillRef::File(o) => t.spill.read_page(o, &mut pages[slot as usize]),
+        }
+        page_ids[slot as usize] = page;
+        index.insert(page, slot);
+        t.refbits[slot as usize].set(true);
+        t.resident += 1;
+        telemetry::resident_add(t.resident as u64);
+        last.set((page, slot));
+        slot
+    }
+
+    /// Evict until a page can be added within the budget.
+    fn make_room(&mut self) {
+        while self.tier.as_ref().is_some_and(|t| t.resident >= t.budget) {
+            self.evict_one();
+        }
+    }
+
+    /// Clock/second-chance eviction of one resident page. All-zero victims
+    /// are dropped (restoring "never written"); others stage for a batched
+    /// writeback to the spill file.
+    fn evict_one(&mut self) {
+        let Memory {
+            index,
+            pages,
+            page_ids,
+            last,
+            tier,
+            ..
+        } = self;
+        let t = tier.as_deref_mut().expect("evict_one requires a tier");
+        debug_assert!(t.resident > 0);
+        let slot = loop {
+            if t.hand >= pages.len() {
+                t.hand = 0;
+            }
+            let s = t.hand;
+            t.hand += 1;
+            if page_ids[s] == NO_PAGE {
+                continue; // free slot
+            }
+            if t.refbits[s].replace(false) {
+                continue; // second chance
+            }
+            break s;
+        };
+        let page = page_ids[slot];
+        index.remove(&page);
+        page_ids[slot] = NO_PAGE;
+        t.free.push(slot as u32);
+        t.resident -= 1;
+        telemetry::resident_sub(1);
+        telemetry::record_eviction();
+        if last.get().0 == page {
+            last.set((NO_PAGE, 0));
+        }
+        if pages[slot].iter().all(|&w| w == 0) {
+            // Zero pages vanish, exactly as in the unbounded representation;
+            // the slot's stale contents are cleared on reuse.
+            telemetry::record_zero_drop();
+            return;
+        }
+        let idx = t.pending.len() as u32;
+        t.pending.push((page, pages[slot].clone()));
+        t.spilled.insert(page, SpillRef::Pending(idx));
+        telemetry::spilled_delta(1);
+        if t.pending.len() >= WRITEBACK_BATCH {
+            t.flush_pending();
+        }
+    }
+
     /// Number of non-zero words currently stored.
     pub fn nonzero_words(&self) -> usize {
         self.nonzero
     }
 
-    /// Iterate `(addr, value)` over non-zero words (unspecified order).
+    /// Iterate `(addr, value)` over non-zero words (unspecified order),
+    /// resident and spilled alike.
     pub fn iter(&self) -> impl Iterator<Item = (Word, Word)> + '_ {
-        self.pages
+        let resident = self
+            .pages
             .iter()
             .zip(self.page_ids.iter())
+            .filter(|&(_, &page)| page != NO_PAGE)
             .flat_map(|(p, &page)| {
                 let base = page << PAGE_SHIFT;
                 p.iter()
                     .enumerate()
                     .filter_map(move |(i, &v)| (v != 0).then_some((base + i as Word * 8, v)))
+            });
+        let spilled = self.tier.as_deref().into_iter().flat_map(|t| {
+            t.spilled.iter().flat_map(move |(&page, &r)| {
+                let base = page << PAGE_SHIFT;
+                t.read_spilled_page(r)
+                    .into_iter()
+                    .enumerate()
+                    .filter_map(move |(i, v)| (v != 0).then_some((base + i as Word * 8, v)))
             })
+        });
+        resident.chain(spilled)
     }
 
     /// Compare this memory with `other` over addresses `filter` accepts,
@@ -349,6 +790,122 @@ mod tests {
         got.sort_unstable();
         assert_eq!(got, vec![(0, 1), (0x10_0000, 3)]);
         assert_eq!(m.nonzero_words(), 2);
+    }
+
+    #[test]
+    fn tiered_spill_and_fault_round_trip() {
+        let mut m = Memory::with_budget(Some(2));
+        assert!(m.tier_enabled());
+        // Touch 8 pages; only 2 can stay resident.
+        for p in 0..8 as Word {
+            m.store(p << PAGE_SHIFT, p + 1);
+        }
+        assert!(m.resident_pages() <= 2, "resident {}", m.resident_pages());
+        assert_eq!(m.spilled_pages(), 6);
+        // Loads read through the cold tier without promotion.
+        let spilled_before = m.spilled_pages();
+        for p in 0..8 as Word {
+            assert_eq!(m.load(p << PAGE_SHIFT), p + 1);
+        }
+        assert_eq!(m.spilled_pages(), spilled_before);
+        // Stores fault pages back in, still within budget.
+        for p in 0..8 as Word {
+            m.store((p << PAGE_SHIFT) + 8, p + 100);
+        }
+        assert!(m.resident_pages() <= 2);
+        for p in 0..8 as Word {
+            assert_eq!(m.load(p << PAGE_SHIFT), p + 1);
+            assert_eq!(m.load((p << PAGE_SHIFT) + 8), p + 100);
+        }
+        assert_eq!(m.nonzero_words(), 16);
+    }
+
+    #[test]
+    fn tiered_matches_unbounded_semantics() {
+        let mut tiered = Memory::with_budget(Some(1));
+        let mut plain = Memory::with_budget(None);
+        // Deterministic mixed workload over several pages, with zero stores.
+        let mut x = 0x243F_6A88_85A3_08D3u64;
+        for _ in 0..4000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let addr = ((x >> 33) % (16 * PAGE_WORDS as u64)) * 8;
+            let val = if x.is_multiple_of(5) { 0 } else { x % 1000 };
+            assert_eq!(tiered.store(addr, val), plain.store(addr, val));
+            let probe = ((x >> 13) % (16 * PAGE_WORDS as u64)) * 8;
+            assert_eq!(tiered.load(probe), plain.load(probe));
+        }
+        assert_eq!(tiered.nonzero_words(), plain.nonzero_words());
+        assert_eq!(tiered, plain);
+        assert_eq!(plain, tiered);
+        let mut a: Vec<_> = tiered.iter().collect();
+        let mut b: Vec<_> = plain.iter().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tiered_zero_store_restores_unwritten_across_spill() {
+        let mut m = Memory::with_budget(Some(1));
+        m.store(0x1000, 7);
+        m.store(0x2000, 8); // evicts page 1
+        m.store(0x1000, 0); // faults page 1 back, zeroes the word
+        m.store(0x3000, 9); // evict again; the all-zero page must drop
+        assert_eq!(m.nonzero_words(), 2);
+        assert_eq!(m.load(0x1000), 0);
+        let unwritten = Memory::with_budget(Some(1));
+        assert_ne!(m, unwritten);
+        let expect: Memory = [(0x2000, 8), (0x3000, 9)].into_iter().collect();
+        assert_eq!(m, expect);
+    }
+
+    #[test]
+    fn tiered_clone_is_independent() {
+        let mut a = Memory::with_budget(Some(2));
+        for p in 0..6 as Word {
+            a.store(p << PAGE_SHIFT, p + 1);
+        }
+        let mut b = a.clone();
+        b.store(0, 99);
+        b.store(5 << PAGE_SHIFT, 0);
+        for p in 0..6 as Word {
+            assert_eq!(a.load(p << PAGE_SHIFT), p + 1, "clone mutated parent");
+        }
+        assert_eq!(b.load(0), 99);
+        assert_eq!(b.load(5 << PAGE_SHIFT), 0);
+        assert_eq!(a.nonzero_words(), 6);
+        assert_eq!(b.nonzero_words(), 5);
+    }
+
+    #[test]
+    fn budget_override_and_parse() {
+        let m = with_budget_override(Some(4), Memory::new);
+        assert_eq!(m.budget_pages(), Some(4));
+        let m2 = with_budget_override(None, Memory::new);
+        assert!(!m2.tier_enabled());
+        assert_eq!(parse_budget("128"), Some(128));
+        assert_eq!(parse_budget("64K"), Some(16)); // 64 KiB / 4 KiB
+        assert_eq!(parse_budget("1m"), Some(256));
+        assert_eq!(parse_budget("2G"), Some(2 << 18));
+        assert_eq!(parse_budget("0"), None);
+        assert_eq!(parse_budget("inf"), None);
+        assert_eq!(parse_budget("1"), Some(1));
+        assert_eq!(parse_budget("junk"), None);
+        assert_eq!(parse_budget("2K"), Some(1), "sub-page budgets clamp to 1");
+    }
+
+    #[test]
+    fn tiered_diff_where_sees_spilled_words() {
+        let (a, b) = with_budget_override(Some(1), || {
+            let a: Memory = (0..8).map(|p| ((p as Word) << PAGE_SHIFT, p + 1)).collect();
+            let mut b = a.clone();
+            b.store(3 << PAGE_SHIFT, 42);
+            (a, b)
+        });
+        let d = a.diff_where(&b, |_| true, 10);
+        assert_eq!(d, vec![(3 << PAGE_SHIFT, 4, 42)]);
     }
 
     #[test]

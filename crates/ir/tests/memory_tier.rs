@@ -1,0 +1,171 @@
+//! Differential and property tests for the tiered page store behind
+//! `ir::Memory`: under any resident budget the tier must be semantically
+//! invisible — unwritten words read zero, zero stores never materialize
+//! state, `iter`/`nonzero_words`/`eq` agree with an unbounded memory — while
+//! the budget invariant (resident pages ≤ budget) holds throughout.
+
+use cwsp_ir::{with_budget_override, Memory};
+use cwsp_store::PAGE_WORDS;
+
+/// SplitMix64 — deterministic op-stream generator, no external crates.
+struct Rng(u64);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Word-aligned address inside an `npages`-page window (sparse bases mixed in
+/// so the page map, not contiguity, is what's exercised).
+fn addr(r: &mut Rng, npages: u64) -> u64 {
+    let bases = [0u64, 1 << 20, 1 << 33, (u64::MAX - npages * 4096) & !4095];
+    let base = bases[(r.next() % 4) as usize];
+    let page = r.next() % npages;
+    let word = r.next() % PAGE_WORDS as u64;
+    base + page * 4096 + word * 8
+}
+
+fn assert_same(tiered: &Memory, flat: &Memory, probe: &[u64], ctx: &str) {
+    assert_eq!(
+        tiered.nonzero_words(),
+        flat.nonzero_words(),
+        "{ctx}: nonzero_words"
+    );
+    assert!(tiered.eq(flat), "{ctx}: eq(tiered, flat)");
+    assert!(flat.eq(tiered), "{ctx}: eq(flat, tiered)");
+    let mut t: Vec<(u64, u64)> = tiered.iter().collect();
+    let mut f: Vec<(u64, u64)> = flat.iter().collect();
+    t.sort_unstable();
+    f.sort_unstable();
+    assert_eq!(t, f, "{ctx}: iter contents");
+    for &a in probe {
+        assert_eq!(tiered.load(a), flat.load(a), "{ctx}: load {a:#x}");
+    }
+}
+
+/// The core differential property: a random load/store stream (zero stores
+/// included, so spill-then-zero and zero-to-spilled paths fire) behaves
+/// identically under budgets from 1 page up, and the budget is never
+/// exceeded.
+#[test]
+fn differential_random_streams_across_budgets() {
+    for (seed, budget) in [(1u64, 1usize), (2, 2), (3, 3), (4, 8), (5, 1)] {
+        let mut tiered = with_budget_override(Some(budget), Memory::new);
+        assert!(tiered.tier_enabled(), "tier must engage for this test");
+        let mut flat = Memory::with_budget(None);
+        let mut rng = Rng(seed.wrapping_mul(0x5851_f42d_4c95_7f2d));
+        let npages = 32;
+        let mut touched = Vec::new();
+        for op in 0..6_000 {
+            let a = addr(&mut rng, npages);
+            touched.push(a);
+            if rng.next().is_multiple_of(3) {
+                assert_eq!(
+                    tiered.load(a),
+                    flat.load(a),
+                    "seed {seed} budget {budget} op {op}: load {a:#x}"
+                );
+            } else {
+                // 1-in-4 stores write zero, exercising un-materialization.
+                let v = if rng.next().is_multiple_of(4) {
+                    0
+                } else {
+                    rng.next()
+                };
+                assert_eq!(
+                    tiered.store(a, v),
+                    flat.store(a, v),
+                    "seed {seed} budget {budget} op {op}: store {a:#x}"
+                );
+            }
+            assert!(
+                tiered.resident_pages() <= budget,
+                "seed {seed} op {op}: {} resident > budget {budget}",
+                tiered.resident_pages()
+            );
+        }
+        assert_same(
+            &tiered,
+            &flat,
+            &touched,
+            &format!("seed {seed} budget {budget}"),
+        );
+    }
+}
+
+/// Cloning a tiered memory mid-stream forks an independent copy: divergent
+/// writes after the fork stay private, and the clone still matches a flat
+/// replay of the pre-fork prefix.
+#[test]
+fn clone_forks_tiered_state_exactly() {
+    let mut rng = Rng(42);
+    with_budget_override(Some(2), || {
+        let mut m = Memory::new();
+        let mut flat = Memory::with_budget(None);
+        let mut touched = Vec::new();
+        for _ in 0..2_000 {
+            let a = addr(&mut rng, 16);
+            let v = rng.next();
+            touched.push(a);
+            m.store(a, v);
+            flat.store(a, v);
+        }
+        let snap = m.clone();
+        // Diverge the original heavily (evicting + rewriting).
+        for _ in 0..2_000 {
+            let a = addr(&mut rng, 16);
+            m.store(a, rng.next() % 2);
+        }
+        assert_same(&snap, &flat, &touched, "snapshot after divergence");
+        assert!(!m.eq(&snap) || m.nonzero_words() == snap.nonzero_words());
+    });
+}
+
+/// Zero is never state: spill a page, overwrite every word with zero, and
+/// the memory must be indistinguishable from one that never wrote at all.
+#[test]
+fn spilled_pages_fully_zeroed_vanish() {
+    with_budget_override(Some(1), || {
+        let mut m = Memory::new();
+        let empty = Memory::with_budget(None);
+        // Write two full pages (budget 1 → the first spills), then zero both.
+        for page in 0..2u64 {
+            for w in 0..PAGE_WORDS as u64 {
+                m.store(page * 4096 + w * 8, w + 1);
+            }
+        }
+        assert!(m.spilled_pages() > 0, "test must exercise the spill path");
+        for page in 0..2u64 {
+            for w in 0..PAGE_WORDS as u64 {
+                m.store(page * 4096 + w * 8, 0);
+            }
+        }
+        assert_eq!(m.nonzero_words(), 0);
+        assert!(m.eq(&empty) && empty.eq(&m));
+        assert_eq!(m.iter().count(), 0);
+        assert_eq!(m.load(0), 0);
+        assert_eq!(m.load(4096 + 8), 0);
+    });
+}
+
+/// `diff_where` sees through the tier in both directions.
+#[test]
+fn diff_where_is_tier_blind() {
+    with_budget_override(Some(1), || {
+        let mut a = Memory::new();
+        let mut b = Memory::with_budget(None);
+        for page in 0..4u64 {
+            a.store(page * 4096, page + 1);
+            b.store(page * 4096, page + 1);
+        }
+        assert_eq!(a.diff_where(&b, |_| true, 8), vec![]);
+        assert_eq!(b.diff_where(&a, |_| true, 8), vec![]);
+        b.store(2 * 4096, 99);
+        assert_eq!(a.diff_where(&b, |_| true, 8), vec![(2 * 4096, 3, 99)]);
+        assert_eq!(b.diff_where(&a, |_| true, 8), vec![(2 * 4096, 99, 3)]);
+    });
+}

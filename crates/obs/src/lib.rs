@@ -30,6 +30,7 @@ pub mod chrome;
 pub mod metrics;
 pub mod profile;
 pub mod sink;
+pub mod tier;
 
 pub use chrome::ChromeTrace;
 pub use metrics::{MetricValue, Registry, Snapshot};

@@ -1,0 +1,88 @@
+//! Publish the storage tier's process-wide telemetry (faults, evictions,
+//! writeback batches, resident/spilled gauges — see `cwsp_store::tier`)
+//! into a metrics registry under the `store.tier.*` namespace.
+//!
+//! The bench engine calls [`publish`] from its own registry dump, so any
+//! figure binary run with `CWSP_OBS` set reports its paging traffic next to
+//! its cache hit rates; the `storage-smoke` CI job reads the same snapshot
+//! through [`snapshot_json`] (via `CWSP_TIER_JSON`).
+
+use crate::Registry;
+use cwsp_store::tier::{snapshot, TierSnapshot};
+
+/// Publish the current [`TierSnapshot`] into `r`.
+pub fn publish(r: &mut Registry) {
+    publish_snapshot(r, &snapshot());
+}
+
+/// Publish an explicit snapshot (unit-testable without global state).
+pub fn publish_snapshot(r: &mut Registry, s: &TierSnapshot) {
+    for (name, v) in [
+        ("store.tier.faults", s.faults),
+        ("store.tier.evictions", s.evictions),
+        ("store.tier.writebacks", s.writebacks),
+        ("store.tier.writeback_batches", s.writeback_batches),
+        ("store.tier.writeback_ns", s.writeback_ns),
+        ("store.tier.spilled_loads", s.spilled_loads),
+        ("store.tier.resident_hits", s.resident_hits),
+        ("store.tier.zero_drops", s.zero_drops),
+        ("store.tier.spill_bytes", s.spill_bytes),
+    ] {
+        let id = r.counter(name);
+        r.add(id, v);
+    }
+    for (name, v) in [
+        ("store.tier.resident_pages", s.resident_pages),
+        ("store.tier.resident_peak", s.resident_peak),
+        (
+            "store.tier.resident_peak_per_instance",
+            s.resident_peak_per_instance,
+        ),
+        ("store.tier.spilled_pages", s.spilled_pages),
+    ] {
+        let id = r.gauge(name);
+        r.set(id, v as f64);
+    }
+}
+
+/// The current tier telemetry as a flat JSON object.
+pub fn snapshot_json() -> String {
+    snapshot().to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_publishes_every_field() {
+        let s = TierSnapshot {
+            faults: 1,
+            evictions: 2,
+            writebacks: 3,
+            writeback_batches: 4,
+            writeback_ns: 5,
+            spilled_loads: 6,
+            resident_hits: 7,
+            zero_drops: 8,
+            spill_bytes: 9,
+            resident_pages: 10,
+            resident_peak: 11,
+            resident_peak_per_instance: 12,
+            spilled_pages: 13,
+        };
+        let mut r = Registry::new();
+        publish_snapshot(&mut r, &s);
+        assert_eq!(r.counter_value("store.tier.faults"), 1);
+        assert_eq!(r.counter_value("store.tier.spill_bytes"), 9);
+        assert_eq!(r.gauge_value("store.tier.resident_peak_per_instance"), 12.0);
+        assert_eq!(r.gauge_value("store.tier.spilled_pages"), 13.0);
+    }
+
+    #[test]
+    fn snapshot_json_parses_as_flat_object() {
+        let j = snapshot_json();
+        assert!(j.contains("\"resident_peak_per_instance\""));
+        assert!(j.trim_start().starts_with('{'));
+    }
+}

@@ -59,6 +59,37 @@ pub fn hierarchy_probes() -> Vec<Workload> {
         .collect()
 }
 
+/// Pages (4 KB each) the [`beyond_ram`] probe's arena spans — 8 MB of
+/// simulated memory, every page written. The `fig_beyond_ram` demo runs it
+/// under `CWSP_MEM_BUDGET` far below this (CI uses 128 pages, a 16× ratio)
+/// to prove the tiered store's spill/fault path is semantically invisible.
+pub const BEYOND_RAM_PAGES: u64 = 2048;
+
+/// A working set deliberately larger than any reasonable resident budget:
+/// stride-4 KB RMW sweeps touch one word in each of [`BEYOND_RAM_PAGES`]
+/// pages per pass (maximal paging pressure, zero cache reuse across pages),
+/// three passes plus a checksum. Standalone probe — not part of `all()`.
+pub fn beyond_ram() -> Workload {
+    let words = BEYOND_RAM_PAGES * 512; // 512 words per 4 KB page
+    let iters = BEYOND_RAM_PAGES / 4; // UNROLL elements per iteration
+    let module = app("beyond_ram", |m, b, mut bb| {
+        let base = arena(m, "tiered", words);
+        for _pass in 0..3 {
+            // Stride 512 words = one element per page → every iteration
+            // faults a distinct page once the budget is exceeded.
+            bb = rmw_sweep(b, bb, base, words, 512, iters);
+        }
+        checksum(b, bb, base);
+        bb
+    });
+    Workload {
+        name: "beyond_ram",
+        suite: Suite::MiniApps,
+        module,
+        window: u64::MAX,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -75,6 +106,23 @@ mod tests {
             .unwrap();
         let out = cwsp_ir::interp::run(&tatp.module, 30_000_000).unwrap();
         assert!(out.steps > 3 * 256 * 10, "three sweeps of 256 iterations");
+    }
+
+    #[test]
+    fn beyond_ram_touches_every_page() {
+        let w = beyond_ram();
+        assert!(w.module.validate().is_ok());
+        let out = cwsp_ir::interp::run(&w.module, 100_000_000).unwrap();
+        assert!(out.steps > 3 * (BEYOND_RAM_PAGES / 4) * 10, "three sweeps");
+        // One word written per page → the memory's nonzero footprint must
+        // span all BEYOND_RAM_PAGES pages of the arena.
+        let pages: std::collections::HashSet<u64> =
+            out.memory.iter().map(|(addr, _)| addr >> 12).collect();
+        assert!(
+            pages.len() as u64 >= BEYOND_RAM_PAGES,
+            "{} pages touched",
+            pages.len()
+        );
     }
 
     #[test]

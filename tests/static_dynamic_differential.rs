@@ -78,13 +78,20 @@ fn module_with_slot_restore() -> (Compiled, RegionId, Reg) {
     let spec = ProgramSpec::default();
     for seed in 0..64 {
         let c = compile(&generate(&spec, seed));
-        let found = c.slices.iter().find_map(|(id, slice)| {
-            slice
-                .restores
-                .iter()
-                .find(|(_, src)| matches!(src, RsSource::Slot))
-                .map(|(r, _)| (*id, *r))
-        });
+        // `SliceTable::iter` order is unspecified (HashMap) — take the
+        // lowest (region, reg) so the mutation target is deterministic
+        // run-to-run.
+        let found = c
+            .slices
+            .iter()
+            .flat_map(|(id, slice)| {
+                slice
+                    .restores
+                    .iter()
+                    .filter(|(_, src)| matches!(src, RsSource::Slot))
+                    .map(|(r, _)| (*id, *r))
+            })
+            .min_by_key(|(id, r)| (id.0, r.0));
         if let Some((id, r)) = found {
             return (c, id, r);
         }
@@ -109,21 +116,16 @@ fn find_boundary(m: &Module, region: RegionId) -> (cwsp::ir::module::FuncId, u32
 #[test]
 fn injected_dropped_checkpoint_is_caught_statically_with_witness() {
     let (c, region, reg) = module_with_slot_restore();
-    // Mutation: delete every `Ckpt reg` preceding the boundary in its block
-    // (the save the Slot restore depends on).
-    let (fid, bid, _) = find_boundary(&c.module, region);
+    // Mutation: delete every `Ckpt reg` in the region's function. Dropping
+    // only the copy nearest the boundary can be benign when another save
+    // still dominates it; with no save left at all, the region's Slot
+    // restore is unconditionally stale and must be flagged.
+    let (fid, _, _) = find_boundary(&c.module, region);
     let mut m = c.module.clone();
     let f = m.function_mut(fid);
-    let before = f.blocks[bid as usize].insts.len();
-    f.blocks[bid as usize]
-        .insts
-        .retain(|inst| !matches!(inst, Inst::Ckpt { reg: r } if *r == reg));
-    // If the save lives in another block, drop it everywhere instead.
-    if f.blocks[bid as usize].insts.len() == before {
-        for b in &mut f.blocks {
-            b.insts
-                .retain(|inst| !matches!(inst, Inst::Ckpt { reg: r } if *r == reg));
-        }
+    for b in &mut f.blocks {
+        b.insts
+            .retain(|inst| !matches!(inst, Inst::Ckpt { reg: r } if *r == reg));
     }
     let report = analyzer::analyze(&m, &c.slices);
     let hit = report
