@@ -14,6 +14,7 @@
 
 pub mod engine;
 pub mod fingerprint;
+pub mod forensics;
 pub mod json;
 
 use cwsp_compiler::pipeline::CompileOptions;

@@ -92,6 +92,53 @@ pub fn recover_observed(
     max_steps: u64,
     sink: &mut dyn ObsSink,
 ) -> Result<RecoveredRun, RecoveryError> {
+    recover_inner(compiled, image, core, max_steps, sink, None)
+}
+
+/// The ordered memory writes performed by a recovery replay — the ground
+/// truth the crash forensics frontier prediction is cross-checked against.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayWriteLog {
+    /// `(addr, value)` of every write the resumed execution performed, in
+    /// step order, up to the collection cap.
+    pub writes: Vec<(Word, Word)>,
+    /// Whether the cap cut the log short (replay continued uncaptured).
+    pub truncated: bool,
+}
+
+/// [`recover`], additionally capturing the first `log_cap` `(addr, value)`
+/// writes the replay performs, in order. Execution itself is unchanged —
+/// the log is pure observation.
+///
+/// # Errors
+/// Same failure modes as [`recover`].
+pub fn recover_with_write_log(
+    compiled: &Compiled,
+    image: CrashImage,
+    core: usize,
+    max_steps: u64,
+    log_cap: usize,
+) -> Result<(RecoveredRun, ReplayWriteLog), RecoveryError> {
+    let mut log = ReplayWriteLog::default();
+    let run = recover_inner(
+        compiled,
+        image,
+        core,
+        max_steps,
+        &mut NullSink,
+        Some((&mut log, log_cap)),
+    )?;
+    Ok((run, log))
+}
+
+fn recover_inner(
+    compiled: &Compiled,
+    image: CrashImage,
+    core: usize,
+    max_steps: u64,
+    sink: &mut dyn ObsSink,
+    mut write_log: Option<(&mut ReplayWriteLog, usize)>,
+) -> Result<RecoveredRun, RecoveryError> {
     let observed = sink.enabled();
     let t0 = observed.then(Instant::now);
     let now_ns =
@@ -145,6 +192,15 @@ pub fn recover_observed(
             InterpError::Trap(m) => RecoveryError::Trap(m),
             other => RecoveryError::Trap(other.to_string()),
         })?;
+        if let Some((log, cap)) = write_log.as_mut() {
+            for &(a, v) in &eff.writes {
+                if log.writes.len() < *cap {
+                    log.writes.push((a, v));
+                } else {
+                    log.truncated = true;
+                }
+            }
+        }
         if let Some(v) = eff.out {
             output.push(v);
         }
@@ -343,6 +399,28 @@ mod tests {
             sink.count_total("recovery.replayed_steps"),
             rec.replayed_steps
         );
+    }
+
+    #[test]
+    fn write_log_captures_replay_writes_in_order_and_respects_cap() {
+        let m = looping_module(40);
+        let compiled = CwspCompiler::new(CompileOptions::default()).compile(&m);
+        let cfg_ = SimConfig::default();
+        let mut machine = Machine::new(&compiled.module, &cfg_, Scheme::cwsp());
+        let r = machine.run(u64::MAX, Some(800)).unwrap();
+        assert_eq!(r.end, RunEnd::PowerFailure);
+        let image = machine.into_crash_image();
+        let (rec, log) =
+            recover_with_write_log(&compiled, image.clone(), 0, 1_000_000, usize::MAX).unwrap();
+        assert!(!log.writes.is_empty(), "replay performed writes");
+        assert!(!log.truncated);
+        // A capped log is an exact prefix of the uncapped one.
+        let (rec2, capped) = recover_with_write_log(&compiled, image, 0, 1_000_000, 3).unwrap();
+        assert!(capped.truncated);
+        assert_eq!(capped.writes[..], log.writes[..3]);
+        // Observation never perturbs the recovery itself.
+        assert_eq!(rec.return_value, rec2.return_value);
+        assert_eq!(rec.output, rec2.output);
     }
 
     #[test]

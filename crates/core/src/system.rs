@@ -1,14 +1,16 @@
 //! [`CwspSystem`] — the one-stop API: compile a module, simulate it under any
 //! scheme, inject power failures, and recover.
 
-use crate::recovery::{recover, RecoveredRun, RecoveryError};
+use crate::recovery::{recover, recover_with_write_log, RecoveredRun, RecoveryError};
 use cwsp_compiler::pipeline::{CompileOptions, Compiled, CwspCompiler};
 use cwsp_ir::interp::{InterpError, Outcome};
 use cwsp_ir::module::Module;
+use cwsp_obs::forensics::ForensicReport;
 use cwsp_sim::config::SimConfig;
 use cwsp_sim::machine::{Machine, RunEnd, RunResult};
 use cwsp_sim::scheme::Scheme;
 use cwsp_sim::stats::SimStats;
+use std::path::PathBuf;
 
 /// A fully compiled cWSP program plus the machine configuration to run it on.
 #[derive(Debug, Clone)]
@@ -99,6 +101,88 @@ impl CwspSystem {
         let image = machine.into_crash_image();
         recover(&self.compiled, image, 0, max_steps)
     }
+
+    /// Run with the flight recorder attached, cut power at `crash_cycle`,
+    /// reconstruct the forensic crash report from the journal + frontier,
+    /// and cross-check its predicted replay set against the write log of an
+    /// instrumented recovery, per core.
+    ///
+    /// Returns `completed: true` (and no report) when the program finished
+    /// before the kill cycle — there is no crash to investigate.
+    ///
+    /// # Errors
+    /// Journal creation failures surface as [`RecoveryError::BadImage`];
+    /// simulation traps and recovery failures as in [`recover`].
+    pub fn investigate_crash(
+        &self,
+        crash_cycle: u64,
+        max_steps: u64,
+    ) -> Result<CrashInvestigation, RecoveryError> {
+        let mut machine = Machine::new(&self.compiled.module, &self.config, Scheme::cwsp());
+        machine
+            .enable_flight()
+            .map_err(|e| RecoveryError::BadImage(format!("flight journal: {e}")))?;
+        let result = machine
+            .run(u64::MAX, Some(crash_cycle))
+            .map_err(|e| RecoveryError::Trap(e.to_string()))?;
+        let journal_path = machine
+            .flight()
+            .and_then(|f| f.path().map(std::path::Path::to_path_buf));
+        if result.end != RunEnd::PowerFailure {
+            return Ok(CrashInvestigation {
+                completed: true,
+                report: None,
+                journal_path,
+                replayed_steps: 0,
+                stats: result.stats,
+            });
+        }
+        let records = machine.flight_records();
+        let frontier = machine.frontier();
+        let ncores = frontier.cores.len();
+        let image = machine.into_crash_image();
+        let mut report = ForensicReport::reconstruct(&records, frontier);
+        report.set_func_names(
+            self.compiled
+                .module
+                .iter_functions()
+                .map(|(_, f)| f.name.clone())
+                .collect(),
+        );
+        // Cross-check every core against an instrumented recovery replay.
+        // Each core replays over its own copy of the image so the checks
+        // observe independent executions.
+        let mut replayed_steps = 0;
+        for core in 0..ncores {
+            let cap = report.predicted_replay(core).len();
+            let (run, log) =
+                recover_with_write_log(&self.compiled, image.clone(), core, max_steps, cap)?;
+            replayed_steps += run.replayed_steps;
+            report.cross_check_core(core, &log.writes);
+        }
+        Ok(CrashInvestigation {
+            completed: false,
+            report: Some(report),
+            journal_path,
+            replayed_steps,
+            stats: result.stats,
+        })
+    }
+}
+
+/// Outcome of [`CwspSystem::investigate_crash`].
+#[derive(Debug, Clone)]
+pub struct CrashInvestigation {
+    /// The program completed before the kill cycle (no crash happened).
+    pub completed: bool,
+    /// The reconstructed forensic report, with cross-checks recorded.
+    pub report: Option<ForensicReport>,
+    /// On-disk journal path, when `CWSP_FLIGHT_DIR` names one.
+    pub journal_path: Option<PathBuf>,
+    /// Total instructions replayed across all per-core recoveries.
+    pub replayed_steps: u64,
+    /// Pre-crash simulation statistics.
+    pub stats: SimStats,
 }
 
 #[cfg(test)]
@@ -152,6 +236,26 @@ mod tests {
         let rec = sys.run_with_crash(u64::MAX - 1, 1_000_000).unwrap();
         assert_eq!(rec.return_value, oracle.return_value);
         assert_eq!(rec.replayed_steps, 0);
+    }
+
+    #[test]
+    fn forensic_frontier_matches_recovery_replay() {
+        let sys = CwspSystem::compile(&module());
+        let mut checked = 0;
+        for crash in [120u64, 300, 700, 1500, 2500] {
+            let inv = sys.investigate_crash(crash, 1_000_000).unwrap();
+            if inv.completed {
+                continue;
+            }
+            let rep = inv.report.unwrap();
+            assert!(
+                rep.all_matched(),
+                "crash@{crash}: cross-check diverged: {:?}",
+                rep.cross_checks
+            );
+            checked += 1;
+        }
+        assert!(checked > 0, "no crash point actually hit mid-run");
     }
 
     #[test]

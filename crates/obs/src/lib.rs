@@ -16,6 +16,14 @@
 //! * [`profile`] — the flat cycle-attribution profile model: every simulated
 //!   core-cycle attributed to a (function, static region, cause) site,
 //!   rendered as top-N tables and JSON reports.
+//! * [`flight`] — the crash-survivable flight recorder: a binary ring
+//!   journal of persist-path events written through `cwsp_store::spill`,
+//!   so an injected crash (or a killed process, with `CWSP_FLIGHT_DIR`)
+//!   leaves the lineage evidence readable.
+//! * [`forensics`] — post-crash frontier reconstruction from a journal +
+//!   machine snapshot: persisted / in-WPQ / dirty store sets, lost-store
+//!   attribution, and the replay cross-check, rendered as text, JSON, and
+//!   a Chrome/Perfetto track.
 //! * [`sink`] — the [`sink::ObsSink`] trait: the low-rate instrumentation
 //!   interface (compiler passes, recovery replay). The no-op
 //!   [`sink::NullSink`] is the default everywhere, so instrumented code
@@ -27,13 +35,17 @@
 //! export time. See DESIGN.md §8 for the architecture.
 
 pub mod chrome;
+pub mod flight;
+pub mod forensics;
 pub mod metrics;
 pub mod profile;
 pub mod sink;
 pub mod tier;
 
 pub use chrome::ChromeTrace;
-pub use metrics::{MetricValue, Registry, Snapshot};
+pub use flight::{FlightKind, FlightRecord, FlightRecorder};
+pub use forensics::{CoreFrontier, ForensicReport, MachineFrontier, StoreFate};
+pub use metrics::{MetricValue, ObserveError, Registry, Snapshot};
 pub use profile::{FlatProfile, ProfileRow};
 pub use sink::{ChromeSink, MemSink, NullSink, ObsSink, SinkEvent};
 

@@ -28,6 +28,33 @@ pub enum MetricValue {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MetricId(usize);
 
+/// Why a fallible registry update was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObserveError {
+    /// The handle refers to a counter or gauge, not a histogram.
+    NotHistogram,
+    /// The bucket index is past the histogram's registered labels.
+    BucketOutOfRange {
+        /// Requested bucket index.
+        bucket: usize,
+        /// Number of buckets the histogram was registered with.
+        len: usize,
+    },
+}
+
+impl fmt::Display for ObserveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObserveError::NotHistogram => write!(f, "observe on non-histogram metric"),
+            ObserveError::BucketOutOfRange { bucket, len } => {
+                write!(f, "bucket {bucket} out of range for {len}-bucket histogram")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ObserveError {}
+
 /// An ordered, name-unique collection of metrics.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Registry {
@@ -109,13 +136,24 @@ impl Registry {
 
     /// Add `n` to histogram bucket `bucket` by handle.
     ///
-    /// # Panics
-    /// Panics if the handle does not refer to a histogram or the bucket is
-    /// out of range.
-    pub fn observe(&mut self, id: MetricId, bucket: usize, n: u64) {
+    /// Unlike [`Registry::add`]/[`Registry::set`], this is fallible: the
+    /// bucket index typically comes from runtime data (a measured latency or
+    /// region size mapped onto labels), so a mismatch is an input problem,
+    /// not a programming error, and callers get an [`ObserveError`] instead
+    /// of a panic.
+    pub fn observe(&mut self, id: MetricId, bucket: usize, n: u64) -> Result<(), ObserveError> {
         match &mut self.metrics[id.0].1 {
-            MetricValue::Histogram(b) => b[bucket].1 += n,
-            other => panic!("observe on non-histogram metric: {other:?}"),
+            MetricValue::Histogram(b) => match b.get_mut(bucket) {
+                Some(slot) => {
+                    slot.1 += n;
+                    Ok(())
+                }
+                None => Err(ObserveError::BucketOutOfRange {
+                    bucket,
+                    len: b.len(),
+                }),
+            },
+            _ => Err(ObserveError::NotHistogram),
         }
     }
 
@@ -268,6 +306,73 @@ impl Registry {
         out.push_str("\n}\n");
         out
     }
+
+    /// Render the registry in the OpenMetrics / Prometheus text exposition
+    /// format, so harness metrics are scrapeable by standard tooling.
+    ///
+    /// Dotted metric names are sanitized to `[a-zA-Z0-9_:]` (dots become
+    /// underscores). Counters get the conventional `_total` suffix, gauges
+    /// are emitted verbatim, and labelled histograms — whose buckets are
+    /// categorical, not cumulative `le` thresholds — are exposed as a
+    /// counter family with a `bucket` label. Output ends with the mandatory
+    /// `# EOF` terminator.
+    pub fn render_openmetrics(&self) -> String {
+        use std::fmt::Write as _;
+        fn sanitize(name: &str) -> String {
+            let mut s: String = name
+                .chars()
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                        c
+                    } else {
+                        '_'
+                    }
+                })
+                .collect();
+            if s.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+                s.insert(0, '_');
+            }
+            s
+        }
+        fn escape_label(out: &mut String, v: &str) {
+            for c in v.chars() {
+                match c {
+                    '\\' => out.push_str("\\\\"),
+                    '"' => out.push_str("\\\""),
+                    '\n' => out.push_str("\\n"),
+                    c => out.push(c),
+                }
+            }
+        }
+        let mut out = String::new();
+        for (name, v) in &self.metrics {
+            let n = sanitize(name);
+            match v {
+                MetricValue::Counter(c) => {
+                    let _ = writeln!(out, "# TYPE {n} counter");
+                    let _ = writeln!(out, "{n}_total {c}");
+                }
+                MetricValue::Gauge(g) => {
+                    let _ = writeln!(out, "# TYPE {n} gauge");
+                    if g.is_finite() {
+                        let _ = writeln!(out, "{n} {g}");
+                    } else {
+                        let _ = writeln!(out, "{n} 0");
+                    }
+                }
+                MetricValue::Histogram(buckets) => {
+                    let _ = writeln!(out, "# TYPE {n} counter");
+                    for (label, count) in buckets {
+                        let _ = write!(out, "{n}_total{{bucket=\"");
+                        escape_label(&mut out, label);
+                        let _ = writeln!(out, "\"}} {count}");
+                    }
+                }
+            }
+        }
+        out.push_str("# EOF\n");
+        out
+    }
 }
 
 impl fmt::Display for Registry {
@@ -302,8 +407,8 @@ mod tests {
         r.add(c, 10);
         r.add(c, 5);
         r.set(g, 1.25);
-        r.observe(h, 0, 2);
-        r.observe(h, 1, 1);
+        r.observe(h, 0, 2).unwrap();
+        r.observe(h, 1, 1).unwrap();
         assert_eq!(r.counter_value("sim.cycles"), 15);
         assert_eq!(r.gauge_value("sim.ipc"), 1.25);
         assert_eq!(
@@ -334,11 +439,11 @@ mod tests {
         let h = r.histogram("lat", &["lo", "hi"]);
         r.add(c, 3);
         r.set(g, 0.5);
-        r.observe(h, 0, 2);
+        r.observe(h, 0, 2).unwrap();
         let snap = r.snapshot();
         r.add(c, 4);
         r.set(g, 0.9);
-        r.observe(h, 1, 5);
+        r.observe(h, 1, 5).unwrap();
         let d = r.delta(&snap);
         assert_eq!(d.counter_value("jobs"), 4);
         assert_eq!(d.gauge_value("util"), 0.9);
@@ -374,6 +479,66 @@ mod tests {
         assert!(j.find("b.count").unwrap() < j.find("a.gauge").unwrap());
         assert!(j.contains("\"x\\\"y\": 1"));
         assert!(j.contains("\"a.gauge\": 0.5"));
+    }
+
+    #[test]
+    fn observe_rejects_bad_targets_instead_of_panicking() {
+        let mut r = Registry::new();
+        let c = r.counter("n");
+        let h = r.histogram("h", &["a", "b"]);
+        assert_eq!(r.observe(c, 0, 1), Err(ObserveError::NotHistogram));
+        assert_eq!(
+            r.observe(h, 2, 1),
+            Err(ObserveError::BucketOutOfRange { bucket: 2, len: 2 })
+        );
+        // Failed observes leave the registry untouched.
+        assert_eq!(r.counter_value("n"), 0);
+        assert_eq!(
+            r.get("h"),
+            Some(&MetricValue::Histogram(vec![
+                ("a".into(), 0),
+                ("b".into(), 0)
+            ]))
+        );
+        assert!(r.observe(h, 1, 3).is_ok());
+    }
+
+    #[test]
+    fn openmetrics_exposition_format() {
+        let mut r = Registry::new();
+        r.add_counter("sim.cycles", 15);
+        r.set_gauge("sim.ipc", 1.25);
+        r.set_histogram("sim.region_size", &["1-4", "5-8"], &[2, 1]);
+        let text = r.render_openmetrics();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "# TYPE sim_cycles counter",
+                "sim_cycles_total 15",
+                "# TYPE sim_ipc gauge",
+                "sim_ipc 1.25",
+                "# TYPE sim_region_size counter",
+                "sim_region_size_total{bucket=\"1-4\"} 2",
+                "sim_region_size_total{bucket=\"5-8\"} 1",
+                "# EOF",
+            ]
+        );
+        // Exposition must end with the EOF terminator and a newline.
+        assert!(text.ends_with("# EOF\n"));
+    }
+
+    #[test]
+    fn openmetrics_sanitizes_names_and_escapes_labels() {
+        let mut r = Registry::new();
+        r.add_counter("9lives.and-dashes", 1);
+        r.set_histogram("h", &["a\"b\\c\nd"], &[4]);
+        r.set_gauge("bad", f64::NAN);
+        let text = r.render_openmetrics();
+        assert!(text.contains("_9lives_and_dashes_total 1"));
+        assert!(text.contains("h_total{bucket=\"a\\\"b\\\\c\\nd\"} 4"));
+        // Non-finite gauges degrade to 0 rather than emitting NaN.
+        assert!(text.contains("\nbad 0\n"));
     }
 
     #[test]

@@ -225,6 +225,37 @@ impl Cache {
         }
     }
 
+    /// Line-aligned addresses of every dirty resident line, ascending —
+    /// the dirty-in-cache store set the crash forensics frontier reports.
+    /// Addresses are reconstructed exactly like eviction writebacks:
+    /// `(tag * sets + index) * LINE_BYTES`.
+    pub fn dirty_lines(&self) -> Vec<u64> {
+        let sets = self.params.sets();
+        let assoc = self.params.assoc as usize;
+        let mut out = Vec::new();
+        match &self.store {
+            SetStore::Dense(v) => {
+                for (i, w) in v.iter().enumerate() {
+                    if w.valid() && w.dirty {
+                        let index = (i / assoc) as u64;
+                        out.push((w.tag * sets + index) * LINE_BYTES);
+                    }
+                }
+            }
+            SetStore::Sparse(m) => {
+                for (&index, ws) in m.iter() {
+                    for w in ws.iter() {
+                        if w.valid() && w.dirty {
+                            out.push((w.tag * sets + index) * LINE_BYTES);
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
     /// `(hits, misses)` so far.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)

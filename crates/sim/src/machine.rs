@@ -28,6 +28,8 @@ use cwsp_ir::memory::Memory;
 use cwsp_ir::module::Module;
 use cwsp_ir::types::{DynRegionId, RegionId, Word};
 use cwsp_ir::{BlockId, FuncId, Inst};
+use cwsp_obs::flight::{FlightKind, FlightRecord, FlightRecorder, REGION_NONE};
+use cwsp_obs::forensics::{CoreFrontier, MachineFrontier};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -148,6 +150,14 @@ pub struct Machine<'m> {
     resume_meta: Vec<(ResumePoint, Option<RegionId>)>,
     trace: Option<Trace>,
     profiler: Option<CycleProfiler>,
+    /// Crash-survivable flight recorder (persist-path event journal). `None`
+    /// keeps every hook to a single predicted-not-taken branch.
+    flight: Option<FlightRecorder>,
+    /// Shadow of each core's persisted resume region (the RBT head's dynamic
+    /// id at the last metadata write) — survives an empty RBT at the crash.
+    resume_dyn: Vec<Option<u64>>,
+    /// Reused scratch for [`MemoryController::tick_drained`] output.
+    nvm_drained: Vec<(Word, DynRegionId)>,
     /// Fused superblock dispatch (see [`cwsp_ir::decoded::fuse_enabled`]).
     /// A pure dispatch strategy: results and statistics are byte-identical
     /// with it on or off.
@@ -261,6 +271,9 @@ impl<'m> Machine<'m> {
             resume_meta,
             trace: None,
             profiler: None,
+            flight: FlightRecorder::from_env(),
+            resume_dyn: vec![None; cfg.cores],
+            nvm_drained: Vec::new(),
             fuse: cwsp_ir::decoded::fuse_enabled(),
             live_logs_cache: 0,
             logs_dirty: false,
@@ -296,6 +309,7 @@ impl<'m> Machine<'m> {
     fn write_meta(&mut self, core: usize) {
         if let Some(h) = self.cores[core].rbt.head() {
             self.resume_meta[core] = (h.resume, h.static_region);
+            self.resume_dyn[core] = Some(h.dyn_id.0);
         }
         let (rp, sr) = self.resume_meta[core];
         let base = layout::RECOVERY_META_BASE + core as Word * layout::RECOVERY_META_STRIDE;
@@ -320,6 +334,73 @@ impl<'m> Machine<'m> {
     /// The recorded trace, if tracing was enabled.
     pub fn trace(&self) -> Option<&Trace> {
         self.trace.as_ref()
+    }
+
+    /// Force-enable the flight recorder (independent of `CWSP_FLIGHT`); call
+    /// before [`Machine::run`]. No-op when one is already attached.
+    ///
+    /// # Errors
+    /// Propagates journal-file creation failure.
+    pub fn enable_flight(&mut self) -> std::io::Result<()> {
+        if self.flight.is_none() {
+            self.flight = Some(FlightRecorder::create()?);
+        }
+        Ok(())
+    }
+
+    /// Attach a recorder built elsewhere (e.g. on a caller-chosen journal
+    /// directory), replacing any existing one.
+    pub fn attach_flight(&mut self, f: FlightRecorder) {
+        self.flight = Some(f);
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn flight(&self) -> Option<&FlightRecorder> {
+        self.flight.as_ref()
+    }
+
+    /// Decoded journal records (flushed pages plus the in-memory tail), or
+    /// empty when no recorder is attached.
+    pub fn flight_records(&self) -> Vec<FlightRecord> {
+        self.flight
+            .as_ref()
+            .map(FlightRecorder::records)
+            .unwrap_or_default()
+    }
+
+    /// Snapshot the crash-instant persist frontier: what is still volatile
+    /// on every core (PB / pending stores / uncommitted sync writes / WB /
+    /// dirty L1) and what sits in each WPQ. Callable on the live machine —
+    /// take it before [`Machine::into_crash_image`] consumes the state.
+    pub fn frontier(&self) -> MachineFrontier {
+        let cores = self
+            .cores
+            .iter()
+            .enumerate()
+            .map(|(i, c)| CoreFrontier {
+                resume_region: self.resume_dyn[i],
+                halted: c.halted,
+                pb: c
+                    .pb
+                    .entries()
+                    .map(|e| (e.addr, e.region.0, e.sent))
+                    .collect(),
+                pending: c.pending_pb.iter().map(|&(a, _)| a).collect(),
+                sync_pending: c.sync_writes.iter().map(|&(a, _)| a).collect(),
+                wb_lines: c.wb.parked_lines().collect(),
+                dirty_l1: c.l1.dirty_lines(),
+            })
+            .collect();
+        MachineFrontier {
+            crash_cycle: self.cycle,
+            cores,
+            wpq: self
+                .mcs
+                .iter()
+                .map(|m| m.wpq_entries().map(|(a, r)| (a, r.0)).collect())
+                .collect(),
+            live_log_records: self.mcs.iter().map(|m| m.live_log_records() as u64).sum(),
+        }
     }
 
     /// Enable exact cycle attribution (see [`crate::profiler`]); call before
@@ -491,6 +572,10 @@ impl<'m> Machine<'m> {
                 if self.cycle >= c {
                     self.flush_all_stalls();
                     self.emit(Event::PowerFailure { cycle: self.cycle });
+                    if let Some(f) = &mut self.flight {
+                        f.record(FlightRecord::new(FlightKind::PowerFail, self.cycle));
+                        f.seal();
+                    }
                     self.finalize_stats();
                     return Ok(RunResult {
                         end: RunEnd::PowerFailure,
@@ -499,6 +584,9 @@ impl<'m> Machine<'m> {
                 }
             }
             if self.stats.insts >= max_insts {
+                if let Some(f) = &mut self.flight {
+                    f.seal();
+                }
                 self.finalize_stats();
                 return Ok(RunResult {
                     end: RunEnd::InstLimit,
@@ -506,6 +594,9 @@ impl<'m> Machine<'m> {
                 });
             }
             if self.all_done() {
+                if let Some(f) = &mut self.flight {
+                    f.seal();
+                }
                 self.finalize_stats();
                 return Ok(RunResult {
                     end: RunEnd::Completed,
@@ -637,13 +728,33 @@ impl<'m> Machine<'m> {
 
         // --- persist machinery ---
         self.path.tick();
-        for mc in &mut self.mcs {
-            mc.tick(cycle);
+        if self.flight.is_some() {
+            // Recorder attached: observe each drained WPQ slot as an NVM
+            // media commit. The plain `tick` below stays on the hot path.
+            let mut drained = std::mem::take(&mut self.nvm_drained);
+            for mi in 0..self.mcs.len() {
+                drained.clear();
+                self.mcs[mi].tick_drained(cycle, &mut drained);
+                if let Some(f) = &mut self.flight {
+                    for &(addr, region) in &drained {
+                        let mut r = FlightRecord::new(FlightKind::NvmCommit, cycle);
+                        r.mc = mi as u8;
+                        r.addr = addr;
+                        r.region = region.0;
+                        f.record(r);
+                    }
+                }
+            }
+            self.nvm_drained = drained;
+        } else {
+            for mc in &mut self.mcs {
+                mc.tick(cycle);
+            }
         }
         // Path arrivals → WPQ (FIFO; head-of-line blocks on a full WPQ).
         let cacheline_scheme = matches!(self.scheme, Scheme::Capri | Scheme::ReplayCache);
         while let Some(e) = self.path.peek_arrival(cycle).copied() {
-            let logs_before = if self.trace.is_some() {
+            let logs_before = if self.trace.is_some() || self.flight.is_some() {
                 self.mcs[e.mc].log_appends
             } else {
                 0
@@ -672,6 +783,15 @@ impl<'m> Machine<'m> {
                 region: e.region,
                 addr: e.addr,
             });
+            if let Some(f) = &mut self.flight {
+                let mut r = FlightRecord::new(FlightKind::WpqEnqueue, cycle);
+                r.core = e.core as u8;
+                r.mc = e.mc as u8;
+                r.logged = self.mcs[e.mc].log_appends > logs_before;
+                r.addr = e.addr;
+                r.region = e.region.0;
+                f.record(r);
+            }
             let core = &mut self.cores[e.core];
             core.pb.complete(e.pb_seq);
             core.rbt.on_ack(e.region);
@@ -714,6 +834,12 @@ impl<'m> Machine<'m> {
                     core: i,
                     region: retired.dyn_id,
                 });
+                if let Some(f) = &mut self.flight {
+                    let mut r = FlightRecord::new(FlightKind::RegionClose, cycle);
+                    r.core = i as u8;
+                    r.region = retired.dyn_id.0;
+                    f.record(r);
+                }
                 if let Some(h) = self.cores[i].rbt.head() {
                     let hid = h.dyn_id;
                     for mc in &mut self.mcs {
@@ -880,6 +1006,12 @@ impl<'m> Machine<'m> {
                     core: i,
                     line,
                 });
+                if let Some(f) = &mut self.flight {
+                    let mut r = FlightRecord::new(FlightKind::LineEvict, cycle);
+                    r.core = i as u8;
+                    r.addr = line;
+                    f.record(r);
+                }
             } else {
                 self.stats.stall_wb += 1;
                 self.note_stall(i, StallKind::Wb);
@@ -907,6 +1039,17 @@ impl<'m> Machine<'m> {
                     region,
                     addr,
                 });
+                if let Some(f) = &mut self.flight {
+                    // Issue-order journal entry with (function, region)
+                    // attribution — the spine of the persist lineage.
+                    let func = self.cores[i].interp.position().map(|rp| rp.func.0);
+                    let mut r = FlightRecord::new(FlightKind::StoreIssue, cycle);
+                    r.core = i as u8;
+                    r.func = func;
+                    r.addr = addr;
+                    r.region = region.0;
+                    f.record(r);
+                }
             } else {
                 self.stats.stall_pb += 1;
                 self.note_stall(i, StallKind::Pb);
@@ -954,6 +1097,12 @@ impl<'m> Machine<'m> {
                     core: i,
                     region: dyn_id,
                 });
+                if let Some(f) = &mut self.flight {
+                    let mut r = FlightRecord::new(FlightKind::RegionOpen, self.cycle);
+                    r.core = i as u8;
+                    r.region = dyn_id.0;
+                    f.record(r);
+                }
             }
             self.cores[i].pending_boundary = None;
             self.stats.regions += 1;
@@ -994,6 +1143,16 @@ impl<'m> Machine<'m> {
                 }
                 self.resume_meta[i] = (rp, sr);
                 self.write_meta(i);
+            }
+            if let Some(f) = &mut self.flight {
+                // The committed sync advanced the resume point mid-region:
+                // journaled stores of this region issued before this record
+                // never replay.
+                let region = self.cores[i].rbt.head().map_or(REGION_NONE, |h| h.dyn_id.0);
+                let mut r = FlightRecord::new(FlightKind::SyncCommit, cycle);
+                r.core = i as u8;
+                r.region = region;
+                f.record(r);
             }
         }
 
@@ -1059,6 +1218,16 @@ impl<'m> Machine<'m> {
                 cost = self.store_cost(i, a, v);
                 if eff.kind == EffectKind::Ckpt {
                     self.stats.ckpt_stores += 1;
+                    if let Some(f) = &mut self.flight {
+                        let func = self.cores[i].interp.position().map(|rp| rp.func.0);
+                        let region = self.cores[i].rbt.tail().map_or(REGION_NONE, |e| e.dyn_id.0);
+                        let mut r = FlightRecord::new(FlightKind::Checkpoint, self.cycle);
+                        r.core = i as u8;
+                        r.func = func;
+                        r.addr = a;
+                        r.region = region;
+                        f.record(r);
+                    }
                 } else {
                     self.stats.stores += 1;
                 }

@@ -151,6 +151,23 @@ impl MemoryController {
         }
     }
 
+    /// Like [`MemoryController::tick`], but reports each drained slot's
+    /// (addr, region) into `out` — the flight recorder's NVM-commit hook.
+    /// Only called when a recorder is attached; the plain `tick` stays on
+    /// the recorder-off hot path.
+    pub fn tick_drained(&mut self, cycle: u64, out: &mut Vec<(Word, DynRegionId)>) {
+        while self.wpq.front().is_some_and(|s| s.free_at <= cycle) {
+            let s = self.wpq.pop_front().unwrap();
+            out.push((s.addr, s.region));
+        }
+    }
+
+    /// The (addr, region) of every slot still queued for media, in arrival
+    /// order — the in-WPQ slice of the crash forensics frontier.
+    pub fn wpq_entries(&self) -> impl Iterator<Item = (Word, DynRegionId)> + '_ {
+        self.wpq.iter().map(|s| (s.addr, s.region))
+    }
+
     /// If a load to `addr` would hit a pending 8-byte WPQ entry, the cycle at
     /// which that entry drains (§V-A2: such loads are delayed — Fig 8).
     pub fn wpq_hit(&self, addr: Word) -> Option<u64> {

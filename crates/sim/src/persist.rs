@@ -113,6 +113,13 @@ impl PersistBuffer {
     pub fn has_unsent(&self) -> bool {
         self.entries.iter().any(|e| !e.sent)
     }
+
+    /// Every live entry in issue order — the persist-buffer slice of the
+    /// crash forensics frontier (sent entries are on the wire; unsent ones
+    /// never left the core).
+    pub fn entries(&self) -> impl Iterator<Item = &PbEntry> {
+        self.entries.iter()
+    }
 }
 
 /// One RBT entry (Figure 9).

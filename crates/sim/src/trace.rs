@@ -524,6 +524,82 @@ mod tests {
     }
 
     #[test]
+    fn overflow_drop_counts_are_exact_across_many_wraparounds() {
+        // dropped() must equal recorded - capacity exactly, no matter how
+        // many times the ring wraps — the post-mortem banner quotes it.
+        let cap = 7;
+        let mut t = Trace::new(cap);
+        let recorded = cap as u64 * 13 + 5; // several full wraps + a partial
+        for c in 0..recorded {
+            t.record(Event::PowerFailure { cycle: c });
+        }
+        assert_eq!(t.len(), cap);
+        assert_eq!(t.dropped(), recorded - cap as u64);
+        // The retained window is the exact newest suffix.
+        let cycles: Vec<u64> = t.events().map(|e| e.cycle()).collect();
+        let expect: Vec<u64> = (recorded - cap as u64..recorded).collect();
+        assert_eq!(cycles, expect);
+        let pm = t.post_mortem(cap);
+        assert!(
+            pm.contains(&format!(
+                "TRUNCATED, {} older events dropped",
+                recorded - cap as u64
+            )),
+            "{pm}"
+        );
+    }
+
+    #[test]
+    fn stall_region_ids_survive_ring_wraparound() {
+        // Stall spans carry the draining region's id; eviction of older
+        // events must not corrupt the ids of survivors, and the Chrome
+        // export of the wrapped ring must still attribute them.
+        let mut t = Trace::new(4);
+        for i in 0..20u64 {
+            t.record(Event::Stall {
+                cycle: i * 10,
+                core: (i % 2) as usize,
+                kind: if i % 2 == 0 {
+                    StallKind::Rbt
+                } else {
+                    StallKind::Wb
+                },
+                region: Some(DynRegionId(i)),
+                cycles: i + 1,
+            });
+        }
+        assert_eq!(t.dropped(), 16);
+        // Survivors are stalls 16..20, each with its own region id intact.
+        for (slot, e) in t.events().enumerate() {
+            let i = 16 + slot as u64;
+            match *e {
+                Event::Stall {
+                    cycle,
+                    region,
+                    cycles,
+                    ..
+                } => {
+                    assert_eq!(cycle, i * 10);
+                    assert_eq!(region, Some(DynRegionId(i)));
+                    assert_eq!(cycles, i + 1);
+                }
+                ref other => panic!("expected a stall, got {other:?}"),
+            }
+        }
+        // The wrapped ring's Chrome export keeps the attribution too.
+        let ct = t.to_chrome(2, 1);
+        let spans: Vec<_> = ct.events().iter().filter(|e| e.ph == 'X').collect();
+        assert_eq!(spans.len(), 4);
+        assert!(spans.iter().any(|e| e
+            .args
+            .iter()
+            .any(|(k, v)| k == "region"
+                && matches!(v, Arg::Str(s) if s == &DynRegionId(19).to_string()))));
+        // And the post-mortem text tail still names the region.
+        assert!(t.post_mortem(4).contains(&DynRegionId(19).to_string()));
+    }
+
+    #[test]
     fn chrome_export_pairs_regions_and_maps_tracks() {
         let mut t = Trace::new(64);
         t.record(Event::RegionOpen {

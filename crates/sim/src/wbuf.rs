@@ -41,6 +41,12 @@ impl WriteBuffer {
         self.lines.len()
     }
 
+    /// Parked line addresses in FIFO order — the write-buffer slice of the
+    /// crash forensics dirty-in-cache frontier.
+    pub fn parked_lines(&self) -> impl Iterator<Item = u64> + '_ {
+        self.lines.iter().copied()
+    }
+
     /// Earliest cycle the next drain attempt can succeed, or `None` when
     /// empty (rate limit: a parked head drains no earlier than this).
     pub fn next_drain_cycle(&self) -> Option<u64> {

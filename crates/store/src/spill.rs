@@ -160,6 +160,60 @@ impl SpillStore {
         }))
     }
 
+    /// Create a spill store backed by a *named* file under `dir` that is
+    /// NOT unlinked — the journal variant used by the flight recorder, where
+    /// the whole point is that the bytes survive the process being killed.
+    ///
+    /// Named stores skip the sparse mmap fast path so the on-disk file size
+    /// equals the bytes actually appended (a killed process leaves a
+    /// dense, directly readable journal, not a 4 GiB sparse file).
+    ///
+    /// # Errors
+    /// Propagates directory/file-creation failures.
+    pub fn create_named(
+        dir: &std::path::Path,
+        stem: &str,
+    ) -> std::io::Result<(Arc<SpillStore>, PathBuf)> {
+        std::fs::create_dir_all(dir)?;
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let path = dir.join(format!(
+            "{stem}-{}-{}.bin",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok((
+            Arc::new(SpillStore {
+                file,
+                len: AtomicU64::new(0),
+                map: None,
+                seek_lock: Mutex::new(()),
+            }),
+            path,
+        ))
+    }
+
+    /// Open an existing journal file (e.g. one left behind by a killed
+    /// process) for reading. `bytes()` reports the on-disk length.
+    ///
+    /// # Errors
+    /// Propagates open/metadata failures.
+    pub fn open_readonly(path: &std::path::Path) -> std::io::Result<Arc<SpillStore>> {
+        let file = OpenOptions::new().read(true).open(path)?;
+        let len = file.metadata()?.len();
+        Ok(Arc::new(SpillStore {
+            file,
+            len: AtomicU64::new(len),
+            map: None,
+            seek_lock: Mutex::new(()),
+        }))
+    }
+
     /// The process-global store, created on first use. `None` if the temp
     /// file could not be created (callers then stay unbounded in RAM).
     pub fn global() -> Option<Arc<SpillStore>> {
@@ -356,6 +410,25 @@ mod tests {
         offs.sort_unstable();
         offs.dedup();
         assert_eq!(offs.len(), 256, "every append got its own slot");
+    }
+
+    #[test]
+    fn named_store_survives_on_disk_and_reopens() {
+        let dir = std::env::temp_dir().join(format!("cwsp-named-spill-{}", std::process::id()));
+        let (s, path) = SpillStore::create_named(&dir, "journal").unwrap();
+        assert!(!s.uses_mmap(), "named stores must stay dense on disk");
+        let p = page(11);
+        let off = s.append_page(&p);
+        drop(s);
+        // The file is still there (not unlinked) and exactly one page long.
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), PAGE_BYTES as u64);
+        let r = SpillStore::open_readonly(&path).unwrap();
+        assert_eq!(r.bytes(), PAGE_BYTES as u64);
+        let mut back = [0u64; PAGE_WORDS];
+        r.read_page(off, &mut back);
+        assert_eq!(back, p);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
     }
 
     #[test]

@@ -42,7 +42,9 @@ pub const COMPACT_FANIN: usize = 4;
 ///
 /// Kinds keep independent keyspaces from colliding: `0` = simulation result
 /// keyed by (module fingerprint, machine fingerprint); `1` = harness figure
-/// entry keyed by (name hash, 0).
+/// entry keyed by (name hash, 0); `2` = fleet telemetry snapshot keyed by
+/// (source-label hash, 0) — every commit is a new version, so `history()`
+/// yields a time-travelable metrics timeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Key {
     /// Keyspace tag (see type docs).
@@ -68,6 +70,16 @@ impl Key {
         Key {
             kind: 1,
             a: name_hash,
+            b: 0,
+        }
+    }
+
+    /// A fleet telemetry-snapshot key. Snapshots are committed repeatedly
+    /// under the same key; the spine's versioning keeps the full history.
+    pub fn telemetry(source_hash: u64) -> Key {
+        Key {
+            kind: 2,
+            a: source_hash,
             b: 0,
         }
     }
@@ -528,6 +540,32 @@ mod tests {
             hist.iter().map(|(s, v)| (*s, *v)).collect::<Vec<_>>(),
             vec![(s1, &b"v1"[..]), (s2, &b"v2"[..])]
         );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn telemetry_keyspace_accumulates_a_timeline() {
+        let dir = tmpdir("tel");
+        let mut s = Spine::open(&dir).unwrap();
+        let key = Key::telemetry(0xF11E);
+        // The telemetry kind is disjoint from sim/figure keyspaces even for
+        // equal fingerprints.
+        assert_ne!(key, Key::figure(0xF11E));
+        assert_ne!(key, Key::sim(0xF11E, 0));
+        let s1 = s.commit(vec![(key, b"{\"t\":1}".to_vec())]).unwrap();
+        let s2 = s.commit(vec![(key, b"{\"t\":2}".to_vec())]).unwrap();
+        let s3 = s.commit(vec![(key, b"{\"t\":3}".to_vec())]).unwrap();
+        let hist = s.history(key);
+        assert_eq!(
+            hist.iter().map(|(s, v)| (*s, *v)).collect::<Vec<_>>(),
+            vec![
+                (s1, &b"{\"t\":1}"[..]),
+                (s2, &b"{\"t\":2}"[..]),
+                (s3, &b"{\"t\":3}"[..])
+            ],
+            "every snapshot survives as its own version"
+        );
+        assert_eq!(s.get_as_of(key, s2), Some(&b"{\"t\":2}"[..]));
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -114,3 +114,45 @@ fn checkpoint_slot_corruption_is_detected_by_divergence() {
     }
     assert!(any_diverged, "slot corruption must be observable somewhere");
 }
+
+#[test]
+fn torn_journal_tail_yields_a_clean_prefix() {
+    // SIGKILL mid-write leaves a torn last record; forensics must decode the
+    // complete prefix and never panic or invent records.
+    use cwsp::obs::flight::{read_journal, FlightKind, FlightRecorder, RECORD_BYTES};
+    let dir = std::env::temp_dir().join(format!("cwsp-torn-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let w = cwsp::workloads::by_name("tatp").unwrap();
+    let compiled = CwspCompiler::new(CompileOptions::default()).compile(&w.module);
+    let cfg_ = SimConfig::default();
+    let path = {
+        let mut machine = Machine::new(&compiled.module, &cfg_, Scheme::cwsp());
+        machine.attach_flight(FlightRecorder::create_in(&dir).unwrap());
+        let r = machine.run(u64::MAX, Some(20_000)).unwrap();
+        assert_eq!(r.end, RunEnd::PowerFailure);
+        machine.flight().unwrap().path().unwrap().to_path_buf()
+    };
+    let whole = read_journal(&path).unwrap();
+    assert!(whole.len() > 10, "expected a populated journal");
+    // Tear the file mid-record (simulating the torn tail of a real kill).
+    let bytes = std::fs::read(&path).unwrap();
+    let torn_len = bytes.len() - RECORD_BYTES / 2;
+    std::fs::write(&path, &bytes[..torn_len]).unwrap();
+    let torn = read_journal(&path).unwrap();
+    assert!(torn.len() <= whole.len());
+    assert_eq!(torn[..], whole[..torn.len()], "prefix decodes identically");
+    // A journal with a smashed header is rejected, not misparsed.
+    let mut garbage = bytes.clone();
+    garbage[8] ^= 0xFF; // corrupt the magic word
+    std::fs::write(&path, &garbage).unwrap();
+    assert!(read_journal(&path).is_err(), "bad magic must be rejected");
+    // Reconstruction over the torn prefix stays total (no panics).
+    let rep = cwsp::obs::forensics::ForensicReport::reconstruct(&torn, Default::default());
+    assert!(
+        torn.iter()
+            .filter(|r| r.kind == FlightKind::StoreIssue)
+            .count()
+            == rep.stores.len()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

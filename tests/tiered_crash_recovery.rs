@@ -36,3 +36,24 @@ fn tiered_and_unbounded_recovery_agree() {
     assert_eq!(tiered.replayed_steps, flat.replayed_steps);
     assert_eq!(tiered.crash_cycle, flat.crash_cycle);
 }
+
+#[test]
+fn forensic_frontier_is_exact_under_tiered_paging() {
+    // The flight journal spills through the same tiered page store as
+    // everything else; a starvation-level resident budget must not perturb
+    // the frontier reconstruction or its replay cross-check.
+    let w = cwsp::workloads::by_name("tatp").unwrap();
+    let system = CwspSystem::compile(&w.module);
+    with_budget_override(Some(2), || {
+        for kill in [7_000u64, 25_000] {
+            let inv = system.investigate_crash(kill, 50_000_000).unwrap();
+            assert!(!inv.completed, "tatp crash@{kill} must hit mid-run");
+            let rep = inv.report.unwrap();
+            assert!(
+                rep.all_matched(),
+                "crash@{kill}: tiered frontier diverged: {:?}",
+                rep.cross_checks
+            );
+        }
+    });
+}
