@@ -255,4 +255,62 @@ mod tests {
         let cg = CallGraph::compute(&m);
         assert!(cg.sccs_bottom_up().is_empty());
     }
+
+    #[test]
+    fn self_recursive_function_is_a_singleton_recursive_scc() {
+        let mut m = Module::new("t");
+        let f = m.add_function(caller("loops", &[FuncId(0)]));
+        m.set_entry(f);
+        let cg = CallGraph::compute(&m);
+        assert!(cg.is_recursive(f));
+        let scc = cg.sccs_bottom_up().iter().find(|s| s.contains(&f)).unwrap();
+        assert_eq!(scc.len(), 1, "self-recursion stays a singleton component");
+        assert_eq!(cg.callees(f), &[f], "self-edge recorded once");
+        assert_eq!(cg.callers(f), &[f]);
+    }
+
+    #[test]
+    fn mutual_recursion_scc_orders_below_its_callers() {
+        // main -> a <-> b -> leaf: the {a, b} component must sit strictly
+        // between leaf and main in bottom-up order.
+        let mut m = Module::new("t");
+        let lf = m.add_function(leaf("leaf"));
+        let a_id = FuncId(1);
+        let b_id = FuncId(2);
+        m.add_function(caller("a", &[b_id]));
+        m.add_function(caller("b", &[a_id, lf]));
+        let main = m.add_function(caller("main", &[a_id]));
+        m.set_entry(main);
+        let cg = CallGraph::compute(&m);
+        let order = cg.sccs_bottom_up();
+        let pos = |f: FuncId| order.iter().position(|c| c.contains(&f)).unwrap();
+        assert_eq!(pos(a_id), pos(b_id), "one component");
+        assert!(pos(lf) < pos(a_id), "callee component first");
+        assert!(pos(a_id) < pos(main), "caller component last");
+        assert!(cg.is_recursive(a_id) && cg.is_recursive(b_id));
+        assert!(!cg.is_recursive(main) && !cg.is_recursive(lf));
+    }
+
+    #[test]
+    fn deleted_function_leaves_no_stale_edges_between_runs() {
+        // The call graph is a pure snapshot: rebuilding it for a module
+        // without the helper must not retain the old edges (the analysis
+        // cache layered on top handles its own stale-summary eviction —
+        // see `incr::tests::deleted_function_is_evicted_after_grace_generations`).
+        let mut with = Module::new("t");
+        let h = with.add_function(leaf("helper"));
+        let main = with.add_function(caller("main", &[h]));
+        with.set_entry(main);
+        let cg1 = CallGraph::compute(&with);
+        assert_eq!(cg1.callees(main), &[h]);
+
+        let mut without = Module::new("t");
+        let main2 = without.add_function(caller("main", &[]));
+        without.set_entry(main2);
+        let cg2 = CallGraph::compute(&without);
+        assert!(cg2.callees(main2).is_empty());
+        assert_eq!(cg2.sccs_bottom_up().len(), 1);
+        assert!(!cg2.is_reachable(FuncId(1)), "out-of-range id is dead");
+        assert!(!cg2.is_recursive(FuncId(1)));
+    }
 }

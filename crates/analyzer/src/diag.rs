@@ -15,7 +15,12 @@ use std::fmt;
 /// removed, or a diagnostic code changes meaning; adding new codes (as the
 /// concurrency layer's `R-*`/`I5-*` families did in v2) is backward
 /// compatible but still recorded here so downstream consumers can gate.
-pub const SCHEMA_VERSION: u32 = 2;
+///
+/// v3: diagnostics are deterministically ordered (sorted by location, code,
+/// region, severity — see [`Report::normalize`]) instead of discovery order,
+/// and the `cwsp-lint` envelope grew an optional `incremental` cache-stats
+/// object.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// How serious a diagnostic is. `Error` means a crash-consistency invariant
 /// is (or may be) violated; recovery correctness is not guaranteed.
@@ -254,6 +259,36 @@ impl Report {
             .retain(|d| seen.insert((d.code, d.location.clone(), d.region)));
     }
 
+    /// Canonicalize the report: [`Report::dedup`] (first-discovered witness
+    /// wins), then sort diagnostics by (location, code, region, severity,
+    /// message). Rendering a normalized report is byte-stable no matter what
+    /// order passes — or cache layers, or shards — emitted the findings in,
+    /// which is what lets `analyze_incremental` promise byte-identical
+    /// output to a from-scratch `analyze`.
+    pub fn normalize(&mut self) {
+        self.dedup();
+        self.diagnostics.sort_by(|x, y| {
+            (
+                &x.location.function,
+                x.location.block,
+                x.location.inst,
+                x.code,
+                x.region,
+                x.severity,
+                &x.message,
+            )
+                .cmp(&(
+                    &y.location.function,
+                    y.location.block,
+                    y.location.inst,
+                    y.code,
+                    y.region,
+                    y.severity,
+                    &y.message,
+                ))
+        });
+    }
+
     /// Render the report as human-readable text.
     pub fn render_text(&self) -> String {
         use std::fmt::Write;
@@ -459,7 +494,28 @@ mod tests {
         // CI parses the `cwsp-lint --json` envelope and gates on this exact
         // value; any change to it must be deliberate (field rename/removal
         // or a diagnostic code changing meaning), never incidental.
-        assert_eq!(SCHEMA_VERSION, 2);
+        assert_eq!(SCHEMA_VERSION, 3);
+    }
+
+    #[test]
+    fn normalize_orders_and_dedups_deterministically() {
+        let mut fwd = Report::default();
+        let mut a = sample_diag(Severity::Error);
+        a.location.block = 9;
+        let b = sample_diag(Severity::Warning);
+        fwd.diagnostics.push(a.clone());
+        fwd.diagnostics.push(b.clone());
+        fwd.diagnostics.push(b.clone()); // duplicate: dropped
+        let mut rev = Report::default();
+        rev.diagnostics.push(b.clone());
+        rev.diagnostics.push(a.clone());
+        fwd.normalize();
+        rev.normalize();
+        assert_eq!(fwd.diagnostics, rev.diagnostics, "order-independent");
+        assert_eq!(fwd.diagnostics.len(), 2);
+        assert_eq!(fwd.render_text(), rev.render_text());
+        // Sorted by location: block 2 before block 9.
+        assert_eq!(fwd.diagnostics[0].location.block, 2);
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub mod ckpt;
 pub mod consts;
 pub mod diag;
 pub mod idem;
+pub mod incr;
 pub mod lints;
 pub mod races;
 pub mod structure;
@@ -38,6 +39,7 @@ pub mod sync;
 pub use diag::{
     Counters, Diagnostic, Invariant, Location, PathWitness, Report, Severity, SCHEMA_VERSION,
 };
+pub use incr::{analyze_incremental, analyze_incremental_observed, AnalysisCache, IncrStats};
 pub use races::{RaceOptions, RaceStats};
 
 use cwsp_compiler::slice::SliceTable;
@@ -63,7 +65,54 @@ pub fn analyze_observed(module: &Module, slices: &SliceTable, sink: &mut dyn Obs
         ..Default::default()
     };
 
-    // Module-level structure: entry present, region ids unique.
+    check_module_level(module, &mut report);
+
+    for (_, f) in module.iter_functions() {
+        report.counters.functions += 1;
+        analyze_function(module, f, slices, &mut report.diagnostics, sink, t0);
+    }
+
+    report.normalize();
+
+    // A region counts as proven when no error-severity finding names it.
+    let mut bad_regions: HashSet<u32> = HashSet::new();
+    for d in report.errors() {
+        if let Some(r) = d.region {
+            bad_regions.insert(r);
+        }
+    }
+    report.counters.regions_proven = report
+        .counters
+        .regions_total
+        .saturating_sub(bad_regions.len());
+    report.counters.analysis_ns = t0.elapsed().as_nanos() as u64;
+
+    if sink.enabled() {
+        sink.count("analyzer.functions", report.counters.functions as u64);
+        sink.count(
+            "analyzer.regions_total",
+            report.counters.regions_total as u64,
+        );
+        sink.count(
+            "analyzer.regions_proven",
+            report.counters.regions_proven as u64,
+        );
+        sink.count("analyzer.diags_error", report.count(Severity::Error) as u64);
+        sink.count(
+            "analyzer.diags_warning",
+            report.count(Severity::Warning) as u64,
+        );
+        sink.count("analyzer.diags_info", report.count(Severity::Info) as u64);
+        sink.span("analyzer", "total", 0, report.counters.analysis_ns);
+    }
+    report
+}
+
+/// Module-level structure checks — entry present, region ids unique across
+/// functions — plus the `regions_total` counter. These facts span function
+/// boundaries, so the incremental path recomputes them fresh on every run
+/// (they are a single linear scan) rather than caching them per function.
+pub(crate) fn check_module_level(module: &Module, report: &mut Report) {
     if module.entry().is_none() {
         report.diagnostics.push(Diagnostic {
             severity: Severity::Warning,
@@ -106,7 +155,25 @@ pub fn analyze_observed(module: &Module, slices: &SliceTable, sink: &mut dyn Obs
         }
     }
     report.counters.regions_total = region_count;
+}
 
+/// Run the per-function pass sequence — validation, structure, idempotence,
+/// checkpoint coverage, lints — appending findings to `out` and publishing
+/// per-pass spans (relative to `t0`) through `sink`.
+///
+/// This is the *unit of caching* for [`incr`]: the diagnostics it appends
+/// depend only on the function body, the module's global layout, and the
+/// recovery slices of the regions inside the function — never on other
+/// function bodies — so they can be keyed by a content fingerprint over
+/// exactly those inputs.
+pub(crate) fn analyze_function(
+    module: &Module,
+    f: &cwsp_ir::function::Function,
+    slices: &SliceTable,
+    out: &mut Vec<Diagnostic>,
+    sink: &mut dyn ObsSink,
+    t0: Instant,
+) {
     let span = |name: &str, since: Instant, sink: &mut dyn ObsSink| {
         let now = Instant::now();
         if sink.enabled() {
@@ -119,71 +186,35 @@ pub fn analyze_observed(module: &Module, slices: &SliceTable, sink: &mut dyn Obs
         }
         now
     };
-
-    for (_, f) in module.iter_functions() {
-        report.counters.functions += 1;
-        // The analyzer must never panic on malformed input: a function that
-        // fails basic validation is reported and skipped — its CFG cannot be
-        // traversed meaningfully.
-        if let Err(msg) = f.validate() {
-            report.diagnostics.push(Diagnostic {
-                severity: Severity::Error,
-                invariant: Invariant::Structure,
-                code: "I4-invalid-function",
-                message: msg,
-                location: Location {
-                    function: f.name.clone(),
-                    block: 0,
-                    inst: None,
-                },
-                region: None,
-                witness: None,
-            });
-            continue;
-        }
-        let mut t = Instant::now();
-        structure::check_function(f, &mut report.diagnostics);
-        t = span("structure", t, sink);
-        let roots = idem::root_regions(f);
-        idem::check_function(module, f, &roots, &mut report.diagnostics);
-        t = span("idempotence", t, sink);
-        ckpt::check_function(f, slices, &mut report.diagnostics);
-        t = span("checkpoints", t, sink);
-        lints::check_function(module, f, slices, &mut report.diagnostics);
-        span("lints", t, sink);
+    // The analyzer must never panic on malformed input: a function that
+    // fails basic validation is reported and skipped — its CFG cannot be
+    // traversed meaningfully.
+    if let Err(msg) = f.validate() {
+        out.push(Diagnostic {
+            severity: Severity::Error,
+            invariant: Invariant::Structure,
+            code: "I4-invalid-function",
+            message: msg,
+            location: Location {
+                function: f.name.clone(),
+                block: 0,
+                inst: None,
+            },
+            region: None,
+            witness: None,
+        });
+        return;
     }
-
-    report.dedup();
-
-    // A region counts as proven when no error-severity finding names it.
-    let mut bad_regions: HashSet<u32> = HashSet::new();
-    for d in report.errors() {
-        if let Some(r) = d.region {
-            bad_regions.insert(r);
-        }
-    }
-    report.counters.regions_proven = region_count.saturating_sub(bad_regions.len());
-    report.counters.analysis_ns = t0.elapsed().as_nanos() as u64;
-
-    if sink.enabled() {
-        sink.count("analyzer.functions", report.counters.functions as u64);
-        sink.count(
-            "analyzer.regions_total",
-            report.counters.regions_total as u64,
-        );
-        sink.count(
-            "analyzer.regions_proven",
-            report.counters.regions_proven as u64,
-        );
-        sink.count("analyzer.diags_error", report.count(Severity::Error) as u64);
-        sink.count(
-            "analyzer.diags_warning",
-            report.count(Severity::Warning) as u64,
-        );
-        sink.count("analyzer.diags_info", report.count(Severity::Info) as u64);
-        sink.span("analyzer", "total", 0, report.counters.analysis_ns);
-    }
-    report
+    let mut t = Instant::now();
+    structure::check_function(f, out);
+    t = span("structure", t, sink);
+    let roots = idem::root_regions(f);
+    idem::check_function(module, f, &roots, out);
+    t = span("idempotence", t, sink);
+    ckpt::check_function(f, slices, out);
+    t = span("checkpoints", t, sink);
+    lints::check_function(module, f, slices, out);
+    span("lints", t, sink);
 }
 
 /// Options for [`analyze_with`]: which optional analysis layers to run on
@@ -217,12 +248,42 @@ pub fn analyze_with(
     slices: &SliceTable,
     opts: &AnalyzeOptions,
 ) -> (Report, Option<RaceStats>) {
+    analyze_layered(module, slices, opts, None)
+}
+
+/// [`analyze_with`] backed by an incremental [`AnalysisCache`]: the
+/// sequential per-function passes and the interprocedural summaries are
+/// served from the cache where fingerprints match; the race detector (whose
+/// facts are whole-module interleavings) always runs fresh. Output is
+/// byte-identical to [`analyze_with`].
+pub fn analyze_with_cache(
+    module: &Module,
+    slices: &SliceTable,
+    opts: &AnalyzeOptions,
+    cache: &mut AnalysisCache,
+) -> (Report, Option<RaceStats>) {
+    analyze_layered(module, slices, opts, Some(cache))
+}
+
+fn analyze_layered(
+    module: &Module,
+    slices: &SliceTable,
+    opts: &AnalyzeOptions,
+    cache: Option<&mut AnalysisCache>,
+) -> (Report, Option<RaceStats>) {
     let t0 = Instant::now();
-    let mut report = analyze(module, slices);
+    let mut cache = cache;
+    let mut report = match cache.as_deref_mut() {
+        Some(c) => analyze_incremental(module, slices, c),
+        None => analyze(module, slices),
+    };
     let mut stats = None;
     if opts.interproc {
         let cg = callgraph::CallGraph::compute(module);
-        let sums = summaries::Summaries::compute(module, &cg);
+        let sums = match cache {
+            Some(c) => incr::summaries_incremental(module, &cg, c),
+            None => summaries::Summaries::compute(module, &cg),
+        };
         report
             .diagnostics
             .extend(summaries::check_module(module, &cg, &sums));
@@ -238,7 +299,7 @@ pub fn analyze_with(
         report.diagnostics.extend(ra.diagnostics);
         stats = Some(ra.stats);
     }
-    report.dedup();
+    report.normalize();
     // New error-severity findings can demote regions from proven.
     let mut bad_regions: HashSet<u32> = HashSet::new();
     for d in report.errors() {

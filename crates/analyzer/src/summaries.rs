@@ -71,7 +71,7 @@ impl FuncSummary {
 
     /// Fold a callee's transitive effects into this summary. Returns true
     /// when anything changed (drives the SCC fixed point).
-    fn absorb(&mut self, callee: &FuncSummary) -> bool {
+    pub(crate) fn absorb(&mut self, callee: &FuncSummary) -> bool {
         let mut changed = false;
         for &a in &callee.stores {
             changed |= self.stores.insert(a);
@@ -138,6 +138,13 @@ impl Summaries {
         Summaries { by_func }
     }
 
+    /// Assemble summaries from per-function parts (indexed by `FuncId`) —
+    /// the constructor the incremental layer ([`crate::incr`]) uses after
+    /// recomputing only the dirty SCCs.
+    pub(crate) fn from_parts(by_func: Vec<FuncSummary>) -> Self {
+        Summaries { by_func }
+    }
+
     /// Summary of `f` (default-empty for out-of-range ids).
     pub fn get(&self, f: FuncId) -> &FuncSummary {
         static EMPTY: FuncSummary = FuncSummary {
@@ -157,7 +164,7 @@ impl Summaries {
 }
 
 /// Summarize one function body (no callee effects).
-fn body_summary(module: &Module, f: &Function) -> FuncSummary {
+pub(crate) fn body_summary(module: &Module, f: &Function) -> FuncSummary {
     let mut s = FuncSummary::default();
     let consts = ConstProp::compute(f);
     for (b, block) in f.iter_blocks() {

@@ -12,7 +12,8 @@
 //! `results/BENCH_harness.json` under the top-level `analyzer` key.
 
 use cwsp_analyzer::{
-    analyze_observed, analyze_with, AnalyzeOptions, RaceStats, Report, Severity, SCHEMA_VERSION,
+    analyze_incremental_observed, analyze_observed, analyze_with, analyze_with_cache,
+    AnalysisCache, AnalyzeOptions, RaceStats, Report, Severity, SCHEMA_VERSION,
 };
 use cwsp_bench::engine;
 use cwsp_bench::json::Value;
@@ -39,6 +40,8 @@ OPTIONS:
   --raw           do not compile FILE first; lint it as-is (no slice table)
   --races         run the static race detector + I5 persist-order check
   --interproc     run the interprocedural call-graph/summary lints
+  --incremental   serve per-function results from the analysis cache
+                  (shared across subjects; prints a cache-stats line)
   --cores N       thread contexts for --races (default 2)
   --json[=PATH]   emit a JSON diagnostics document (stdout, or to PATH)
   -h, --help      print this message
@@ -63,6 +66,7 @@ struct Options {
     json: Option<Option<String>>,
     races: bool,
     interproc: bool,
+    incremental: bool,
     cores: usize,
 }
 
@@ -72,6 +76,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut raw = false;
     let mut races = false;
     let mut interproc = false;
+    let mut incremental = false;
     let mut cores = 2usize;
     let mut genprog_n: Option<u64> = None;
     let mut genprog_mc_n: Option<u64> = None;
@@ -97,6 +102,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--races" => races = true,
             "--interproc" => interproc = true,
+            "--incremental" => incremental = true,
             "--cores" => {
                 let n = it.next().ok_or("--cores requires a value")?;
                 cores = n.parse().map_err(|_| format!("bad core count `{n}`"))?;
@@ -142,6 +148,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         json,
         races,
         interproc,
+        incremental,
         cores,
     })
 }
@@ -234,6 +241,10 @@ fn main() -> ExitCode {
         cores: opts.cores,
     };
     let layered = opts.races || opts.interproc;
+    // One shared cache across every subject: with `--incremental`, repeated
+    // function bodies (genprog sweeps regenerate shared helpers; re-linting
+    // the same target is the common CI pattern) are served from it.
+    let mut cache = opts.incremental.then(AnalysisCache::new);
     let mut conc: Option<RaceStats> = None;
     let mut reports: Vec<Report> = Vec::with_capacity(subjects.len());
     for s in &subjects {
@@ -242,7 +253,10 @@ fn main() -> ExitCode {
             Subject::Raw(_, m) => (m, &empty),
         };
         let report = if layered {
-            let (report, stats) = analyze_with(module, slices, &lint_opts);
+            let (report, stats) = match cache.as_mut() {
+                Some(c) => analyze_with_cache(module, slices, &lint_opts, c),
+                None => analyze_with(module, slices, &lint_opts),
+            };
             publish_report(&report, &mut reg);
             if let Some(st) = stats {
                 publish_race_stats(&st, &mut reg);
@@ -255,7 +269,10 @@ fn main() -> ExitCode {
             }
             report
         } else {
-            analyze_observed(module, slices, &mut reg)
+            match cache.as_mut() {
+                Some(c) => analyze_incremental_observed(module, slices, c, &mut reg),
+                None => analyze_observed(module, slices, &mut reg),
+            }
         };
         reports.push(report);
     }
@@ -279,6 +296,13 @@ fn main() -> ExitCode {
             print!("{}", r.render_text());
         }
     }
+    if let Some(c) = &cache {
+        let st = c.stats();
+        println!(
+            "incremental cache: {} hits, {} misses, {} invalidations",
+            st.hits, st.misses, st.invalidations
+        );
+    }
     eprintln!(
         "cwsp-lint: {} module(s), {errors} error(s), {warnings} warning(s)",
         reports.len()
@@ -286,9 +310,17 @@ fn main() -> ExitCode {
 
     if let Some(dest) = &opts.json {
         let mut doc = format!(
-            "{{\"schema_version\":{SCHEMA_VERSION},\"tool\":\"cwsp-lint {}\",\"reports\":[",
+            "{{\"schema_version\":{SCHEMA_VERSION},\"tool\":\"cwsp-lint {}\",",
             env!("CARGO_PKG_VERSION")
         );
+        if let Some(c) = &cache {
+            let st = c.stats();
+            doc.push_str(&format!(
+                "\"incremental\":{{\"hits\":{},\"misses\":{},\"invalidations\":{}}},",
+                st.hits, st.misses, st.invalidations
+            ));
+        }
+        doc.push_str("\"reports\":[");
         for (i, r) in reports.iter().enumerate() {
             if i > 0 {
                 doc.push(',');
@@ -310,7 +342,7 @@ fn main() -> ExitCode {
         }
     }
 
-    publish_harness(&reg, &reports, conc.as_ref());
+    publish_harness(&reg, &reports, conc.as_ref(), cache.as_ref());
 
     if errors > 0 {
         ExitCode::from(1)
@@ -352,11 +384,16 @@ fn publish_race_stats(st: &RaceStats, reg: &mut cwsp_obs::Registry) {
 }
 
 /// Merge the accumulated analyzer counters into the harness report as a
-/// top-level `analyzer` section (sibling of `figures`). The concurrency
-/// stats nest *inside* this entry: `merge_harness_section` replaces a
-/// top-level key wholesale, so a separate `analyzer.concurrency` section
-/// would clobber (or be clobbered by) the sequential counters.
-fn publish_harness(reg: &cwsp_obs::Registry, reports: &[Report], conc: Option<&RaceStats>) {
+/// top-level `analyzer` section (sibling of `figures`). The concurrency and
+/// incremental stats nest *inside* this entry; `merge_harness_section`
+/// deep-merges object sections, so sibling subsections written by other
+/// tools (the fuzz farm's `analyzer.fuzz`, `flight.*`) survive this write.
+fn publish_harness(
+    reg: &cwsp_obs::Registry,
+    reports: &[Report],
+    conc: Option<&RaceStats>,
+    cache: Option<&AnalysisCache>,
+) {
     let total_ns: u64 = reports.iter().map(|r| r.counters.analysis_ns).sum();
     let count = |name: &str| Value::Int(reg.counter_value(name));
     let mut fields = vec![
@@ -381,6 +418,17 @@ fn publish_harness(reg: &cwsp_obs::Registry, reports: &[Report], conc: Option<&R
                 ("pairs_checked".into(), Value::Int(st.pairs_checked)),
                 ("races".into(), Value::Int(st.races as u64)),
                 ("i5_escapes".into(), Value::Int(st.i5_escapes as u64)),
+            ]),
+        ));
+    }
+    if let Some(c) = cache {
+        let st = c.stats();
+        fields.push((
+            "incremental".into(),
+            Value::Obj(vec![
+                ("hits".into(), Value::Int(st.hits)),
+                ("misses".into(), Value::Int(st.misses)),
+                ("invalidations".into(), Value::Int(st.invalidations)),
             ]),
         ));
     }

@@ -451,14 +451,44 @@ pub fn harness_json_path() -> PathBuf {
 /// Merge `entry` into the harness report as a **top-level** section (a
 /// sibling of `figures`) — for non-figure tools like `cwsp-lint`, whose
 /// entries do not follow the per-figure schema.
+///
+/// Objects merge *recursively*: fields present in `entry` overwrite or
+/// extend the stored section, fields absent from `entry` survive. This is
+/// what lets independent tools share a section — `cwsp-lint` owns
+/// `analyzer.lint`, the fuzz farm owns `analyzer.fuzz`, the flight recorder
+/// owns `flight.*` — without each write clobbering the siblings.
 pub fn merge_harness_section(section: &str, entry: Value) {
     merge_harness_section_at(&harness_json_path(), section, entry);
 }
 
 fn merge_harness_section_at(path: &Path, section: &str, entry: Value) {
     let mut doc = read_harness_doc(path);
-    doc.set(section, entry);
+    match doc.get(section) {
+        Some(existing) => {
+            let mut merged = existing.clone();
+            deep_merge(&mut merged, entry);
+            doc.set(section, merged);
+        }
+        None => doc.set(section, entry),
+    }
     write_harness_doc(path, &doc);
+}
+
+/// Recursively fold `incoming` into `base`: object fields merge key-by-key,
+/// everything else (scalars, arrays, type mismatches) is replaced by the
+/// incoming value.
+fn deep_merge(base: &mut Value, incoming: Value) {
+    match (base, incoming) {
+        (Value::Obj(base_fields), Value::Obj(incoming_fields)) => {
+            for (key, val) in incoming_fields {
+                match base_fields.iter_mut().find(|(k, _)| *k == key) {
+                    Some(slot) => deep_merge(&mut slot.1, val),
+                    None => base_fields.push((key, val)),
+                }
+            }
+        }
+        (slot, incoming) => *slot = incoming,
+    }
 }
 
 fn read_harness_doc(path: &Path) -> Value {
@@ -1276,6 +1306,61 @@ mod tests {
         );
         assert!(doc.get("figures").unwrap().get("analyzer").is_none());
         assert!(doc.get("figures").unwrap().get("fig13_overhead").is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn harness_section_deep_merges_nested_objects() {
+        let dir = std::env::temp_dir().join(format!("cwsp-deepmerge-test-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("BENCH_harness.json");
+        // cwsp-lint writes analyzer.lint...
+        merge_harness_section_at(
+            &path,
+            "analyzer",
+            Value::Obj(vec![(
+                "lint".into(),
+                Value::Obj(vec![
+                    ("modules".into(), Value::Int(38)),
+                    ("errors".into(), Value::Int(0)),
+                ]),
+            )]),
+        );
+        // ...then the fuzz farm writes analyzer.fuzz — lint must survive,
+        // and the overlapping lint.modules update must not drop lint.errors.
+        merge_harness_section_at(
+            &path,
+            "analyzer",
+            Value::Obj(vec![
+                (
+                    "fuzz".into(),
+                    Value::Obj(vec![("corpus".into(), Value::Int(60))]),
+                ),
+                (
+                    "lint".into(),
+                    Value::Obj(vec![("modules".into(), Value::Int(40))]),
+                ),
+            ]),
+        );
+        let doc = json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let analyzer = doc.get("analyzer").unwrap();
+        let lint = analyzer.get("lint").unwrap();
+        assert_eq!(lint.get("modules").unwrap().as_u64(), Some(40));
+        assert_eq!(
+            lint.get("errors").unwrap().as_u64(),
+            Some(0),
+            "sibling leaf survives the partial update"
+        );
+        assert_eq!(
+            analyzer
+                .get("fuzz")
+                .unwrap()
+                .get("corpus")
+                .unwrap()
+                .as_u64(),
+            Some(60),
+            "sibling subsection survives"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -15,6 +15,7 @@
 pub mod engine;
 pub mod fingerprint;
 pub mod forensics;
+pub mod fuzz;
 pub mod json;
 
 use cwsp_compiler::pipeline::CompileOptions;

@@ -488,6 +488,89 @@ pub fn generate_concurrent(spec: &ConcSpec, seed: u64) -> Module {
     m
 }
 
+// ---------------------------------------------------------------------------
+// Known-bad mutation hooks.
+//
+// The differential fuzz farm (`cwsp_bench::fuzz`) periodically plants a bug
+// it *knows* the static analyzer must catch, then checks it was caught and
+// delta-minimizes the reproducer — a live self-test that the whole
+// static-vs-dynamic pipeline still has teeth. The two canonical shapes
+// mirror the repository's differential suites: a dropped checkpoint
+// (crash-consistency bug, invariant I2) and an unsynchronized shared store
+// (concurrency bug, family R).
+// ---------------------------------------------------------------------------
+
+/// Drop every `Ckpt` of one slot-restored register in a compiled module.
+///
+/// Picks the lowest `(region, reg)` pair whose recovery slice restores from
+/// a checkpoint slot (deterministic run-to-run) and deletes every `Ckpt` of
+/// that register in the region's function — the region's `Slot` restore is
+/// then unconditionally stale and the analyzer must flag `I2-unsynced-slot`
+/// against the region. Returns the targeted pair, or `None` when the module
+/// has no slot restore to corrupt.
+pub fn inject_dropped_ckpt(
+    m: &mut Module,
+    slices: &cwsp_compiler::slice::SliceTable,
+) -> Option<(cwsp_ir::types::RegionId, Reg)> {
+    use cwsp_compiler::slice::RsSource;
+    let (region, reg) = slices
+        .iter()
+        .flat_map(|(id, slice)| {
+            slice
+                .restores
+                .iter()
+                .filter(|(_, src)| matches!(src, RsSource::Slot))
+                .map(|(r, _)| (*id, *r))
+        })
+        .min_by_key(|(id, r)| (id.0, r.0))?;
+    let fid = m.iter_functions().find_map(|(fid, f)| {
+        f.iter_blocks()
+            .any(|(_, b)| {
+                b.insts
+                    .iter()
+                    .any(|i| matches!(i, Inst::Boundary { id } if *id == region))
+            })
+            .then_some(fid)
+    })?;
+    for b in &mut m.function_mut(fid).blocks {
+        b.insts
+            .retain(|inst| !matches!(inst, Inst::Ckpt { reg: r } if *r == reg));
+    }
+    Some((region, reg))
+}
+
+/// Plant an unsynchronized store to a cross-core-shared word.
+///
+/// Inserts a plain `Store` to the first shared global (`shared`, else
+/// `ctr`, else the first global) at the top of the entry function: every
+/// core's instance executes it with no lock and no ordering, so the static
+/// race detector must report `R-data-race` on the word. Returns the store's
+/// absolute address, or `None` when the module has no entry or no globals.
+pub fn inject_unsynced_store(m: &mut Module) -> Option<u64> {
+    let addr = ["shared", "ctr"]
+        .iter()
+        .find_map(|n| m.globals().iter().find(|g| g.name == *n))
+        .or_else(|| m.globals().first())
+        .map(|g| g.addr)?;
+    let entry = m.entry()?;
+    m.function_mut(entry).blocks[0]
+        .insts
+        .insert(0, Inst::store(Operand::imm(0x5EED), MemRef::abs(addr)));
+    Some(addr)
+}
+
+/// Benign single-function mutation: prepend an observable `Out` to `f`'s
+/// entry block. The incremental-analysis differential uses this to dirty
+/// exactly one function's fingerprint per round.
+pub fn touch_function(m: &mut Module, f: FuncId, salt: u64) {
+    m.function_mut(f).blocks[0].insts.insert(
+        0,
+        Inst::Out {
+            val: Operand::imm(salt),
+        },
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -588,5 +671,92 @@ mod tests {
             cwsp_compiler::verify::check_slices(&c.module, &c.slices, 400_000)
                 .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
+    }
+
+    #[test]
+    fn dropped_ckpt_injection_keeps_module_valid_and_removes_the_ckpt() {
+        use cwsp_compiler::pipeline::{CompileOptions, CwspCompiler};
+        let mut hit = false;
+        for seed in 0..32 {
+            let m = generate_default(seed);
+            let c = CwspCompiler::new(CompileOptions::default()).compile(&m);
+            let mut bad = c.module.clone();
+            let Some((region, reg)) = inject_dropped_ckpt(&mut bad, &c.slices) else {
+                continue;
+            };
+            hit = true;
+            assert!(bad.validate().is_ok(), "mutation keeps the module valid");
+            // The targeted register must have lost every checkpoint in the
+            // region's function: its slot restore is now unconditionally
+            // stale (the analyzer-side catch is asserted end-to-end by the
+            // fuzz-farm tests).
+            let fid = bad
+                .iter_functions()
+                .find_map(|(fid, f)| {
+                    f.iter_blocks()
+                        .any(|(_, b)| {
+                            b.insts
+                                .iter()
+                                .any(|i| matches!(i, Inst::Boundary { id } if *id == region))
+                        })
+                        .then_some(fid)
+                })
+                .expect("target region still present");
+            let ckpts_left = bad
+                .function(fid)
+                .iter_blocks()
+                .flat_map(|(_, b)| &b.insts)
+                .filter(|i| matches!(i, Inst::Ckpt { reg: r } if *r == reg))
+                .count();
+            assert_eq!(ckpts_left, 0, "seed {seed}: ckpt of {reg:?} survived");
+        }
+        assert!(hit, "no seed produced a slot restore to corrupt");
+    }
+
+    #[test]
+    fn unsynced_store_injection_is_caught_by_the_race_oracle() {
+        use cwsp_sim::race::{check_module, OracleConfig};
+        let mut hit = false;
+        for seed in 0..6 {
+            let mut m = generate_concurrent(&ConcSpec::default(), seed);
+            let Some(addr) = inject_unsynced_store(&mut m) else {
+                continue;
+            };
+            hit = true;
+            assert!(m.validate().is_ok());
+            let rep = check_module(
+                &m,
+                &OracleConfig {
+                    cores: 2,
+                    schedules: 8,
+                    ..OracleConfig::default()
+                },
+            )
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(
+                !rep.is_clean(),
+                "seed {seed}: unsynced store to {addr:#x} not observed"
+            );
+        }
+        assert!(hit, "no concurrent seed accepted the store injection");
+    }
+
+    #[test]
+    fn touch_function_dirties_exactly_one_body() {
+        let mut m = generate_default(7);
+        let before: Vec<String> = m
+            .iter_functions()
+            .map(|(_, f)| cwsp_ir::pretty::fmt_function(f))
+            .collect();
+        let target = m.iter_functions().next().map(|(id, _)| id).unwrap();
+        touch_function(&mut m, target, 0xAB);
+        assert!(m.validate().is_ok());
+        let after: Vec<String> = m
+            .iter_functions()
+            .map(|(_, f)| cwsp_ir::pretty::fmt_function(f))
+            .collect();
+        let changed = before.iter().zip(&after).filter(|(b, a)| b != a).count();
+        assert_eq!(changed, 1, "exactly one function body changed");
+        assert_ne!(before[target.index()], after[target.index()]);
     }
 }

@@ -44,7 +44,11 @@ pub const COMPACT_FANIN: usize = 4;
 /// keyed by (module fingerprint, machine fingerprint); `1` = harness figure
 /// entry keyed by (name hash, 0); `2` = fleet telemetry snapshot keyed by
 /// (source-label hash, 0) — every commit is a new version, so `history()`
-/// yields a time-travelable metrics timeline.
+/// yields a time-travelable metrics timeline. The fuzz farm owns three
+/// more: `3` = per-shard progress keyed by (run fingerprint, shard index) —
+/// with shard `u64::MAX` reserved for the run manifest; `4` = corpus entry
+/// keyed by (run fingerprint, seed); `5` = coverage-bucket snapshot keyed
+/// by (run fingerprint, shard index).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Key {
     /// Keyspace tag (see type docs).
@@ -81,6 +85,48 @@ impl Key {
             kind: 2,
             a: source_hash,
             b: 0,
+        }
+    }
+
+    /// A fuzz-farm per-shard progress record, committed atomically in the
+    /// same batch as the corpus entries it covers — the resume cursor can
+    /// therefore never run ahead of the corpus.
+    pub fn fuzz_progress(run_fp: u64, shard: u64) -> Key {
+        Key {
+            kind: 3,
+            a: run_fp,
+            b: shard,
+        }
+    }
+
+    /// The fuzz run's manifest (configuration fingerprint + parameters),
+    /// written once at run start; `--resume` refuses mismatched configs.
+    pub fn fuzz_manifest(run_fp: u64) -> Key {
+        Key {
+            kind: 3,
+            a: run_fp,
+            b: u64::MAX,
+        }
+    }
+
+    /// One fuzz corpus entry, keyed by seed: re-processing a seed after a
+    /// crash overwrites the same key, so resume is duplicate-free by
+    /// construction.
+    pub fn fuzz_corpus(run_fp: u64, seed: u64) -> Key {
+        Key {
+            kind: 4,
+            a: run_fp,
+            b: seed,
+        }
+    }
+
+    /// A per-shard coverage-bucket snapshot (op-mix, CFG-shape,
+    /// region-shape counts), committed alongside shard progress.
+    pub fn fuzz_coverage(run_fp: u64, shard: u64) -> Key {
+        Key {
+            kind: 5,
+            a: run_fp,
+            b: shard,
         }
     }
 }
@@ -504,6 +550,43 @@ mod tests {
 
     fn k(a: u64) -> Key {
         Key::sim(a, a * 7)
+    }
+
+    #[test]
+    fn fuzz_keyspaces_are_disjoint() {
+        // Same fingerprint words, five different keyspaces: all distinct,
+        // and a cursor_range over one kind never leaks into another.
+        let keys = [
+            Key::sim(9, 9),
+            Key::figure(9),
+            Key::telemetry(9),
+            Key::fuzz_progress(9, 9),
+            Key::fuzz_corpus(9, 9),
+            Key::fuzz_coverage(9, 9),
+        ];
+        for (i, a) in keys.iter().enumerate() {
+            for b in &keys[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        assert_eq!(Key::fuzz_manifest(9).kind, Key::fuzz_progress(9, 0).kind);
+        assert_eq!(Key::fuzz_manifest(9).b, u64::MAX);
+
+        let dir = tmpdir("fuzzkeys");
+        let mut s = Spine::open(&dir).unwrap();
+        s.commit(vec![
+            (Key::fuzz_corpus(1, 5), b"c5".to_vec()),
+            (Key::fuzz_corpus(1, 6), b"c6".to_vec()),
+            (Key::fuzz_corpus(2, 5), b"other-run".to_vec()),
+            (Key::fuzz_progress(1, 0), b"p".to_vec()),
+            (Key::fuzz_coverage(1, 0), b"cov".to_vec()),
+        ])
+        .unwrap();
+        let run1: Vec<Key> = s
+            .cursor_range(Key::fuzz_corpus(1, 0), Key::fuzz_corpus(1, u64::MAX), None)
+            .map(|(k, _, _)| k)
+            .collect();
+        assert_eq!(run1, vec![Key::fuzz_corpus(1, 5), Key::fuzz_corpus(1, 6)]);
     }
 
     #[test]

@@ -1,0 +1,166 @@
+//! Differential guarantee of the incremental analyzer.
+//!
+//! Contract under test: [`cwsp_analyzer::analyze_incremental`] must be a
+//! pure cache in front of `analyze` — **byte-identical diagnostics** (text
+//! and JSON renderings, wall time zeroed) on every workload and genprog
+//! module, cold or warm, after any mutation. On top of identity, the cache
+//! must actually pay for itself: after a single-function mutation, the
+//! number of functions re-analyzed (the `misses` counter) must be at least
+//! 10× smaller than what a from-scratch analysis would have processed.
+
+use cwsp::analyzer::{self, analyze_incremental, analyze_with, analyze_with_cache, AnalysisCache};
+use cwsp::analyzer::{AnalyzeOptions, Report};
+use cwsp::compiler::pipeline::CompileOptions;
+use cwsp::core::genprog::{self, touch_function, ProgramSpec};
+use cwsp::ir::module::FuncId;
+use cwsp_bench::engine::engine;
+use cwsp_bench::par_map;
+
+/// Genprog corpus size (the acceptance floor is 200).
+const CORPUS: u64 = 200;
+
+const SPEC: ProgramSpec = ProgramSpec {
+    globals: 2,
+    global_words: 8,
+    segments: 4,
+    max_trip: 4,
+    calls: true,
+};
+
+/// Wall time zeroed, text and JSON renderings concatenated: the
+/// byte-comparison basis.
+fn norm(r: &Report) -> String {
+    let mut r = r.clone();
+    r.counters.analysis_ns = 0;
+    format!("{}\n{}", r.render_text(), r.to_json())
+}
+
+#[test]
+fn every_workload_is_byte_identical_cold_and_warm() {
+    let mut cache = AnalysisCache::new();
+    for w in cwsp::workloads::all() {
+        let c = engine().compiled(&w.module, CompileOptions::default());
+        let full = analyzer::analyze(&c.module, &c.slices);
+        let cold = analyze_incremental(&c.module, &c.slices, &mut cache);
+        let warm = analyze_incremental(&c.module, &c.slices, &mut cache);
+        assert_eq!(norm(&full), norm(&cold), "{}: cold mismatch", w.name);
+        assert_eq!(norm(&full), norm(&warm), "{}: warm mismatch", w.name);
+    }
+}
+
+#[test]
+fn layered_analysis_is_byte_identical_with_cache() {
+    let opts = AnalyzeOptions {
+        interproc: true,
+        races: true,
+        cores: 2,
+    };
+    let mut cache = AnalysisCache::new();
+    for w in cwsp::workloads::all().iter().take(8) {
+        let c = engine().compiled(&w.module, CompileOptions::default());
+        let (full, _) = analyze_with(&c.module, &c.slices, &opts);
+        let (cached, _) = analyze_with_cache(&c.module, &c.slices, &opts, &mut cache);
+        let (warm, _) = analyze_with_cache(&c.module, &c.slices, &opts, &mut cache);
+        assert_eq!(norm(&full), norm(&cached), "{}: layered cold", w.name);
+        assert_eq!(norm(&full), norm(&warm), "{}: layered warm", w.name);
+    }
+}
+
+#[test]
+fn genprog_corpus_with_single_function_mutations_is_byte_identical() {
+    let seeds: Vec<u64> = (0..CORPUS).collect();
+    let failures: Vec<String> = par_map(&seeds, |&seed| {
+        let m = genprog::generate(&SPEC, seed);
+        let c = engine().compiled(&m, CompileOptions::default());
+        let mut cache = AnalysisCache::new();
+
+        // Cold run: identical to full, every function a miss.
+        let full = analyzer::analyze(&c.module, &c.slices);
+        let cold = analyze_incremental(&c.module, &c.slices, &mut cache);
+        if norm(&full) != norm(&cold) {
+            return Some(format!("seed {seed}: cold mismatch"));
+        }
+        let nfuncs = c.module.function_count();
+        let cold_stats = cache.stats();
+        if cold_stats.misses != nfuncs as u64 {
+            return Some(format!("seed {seed}: cold run should miss every function"));
+        }
+
+        // Mutate exactly one function; the warm run must re-analyze only it.
+        let mut mutated = c.module.clone();
+        let target = FuncId((seed % nfuncs as u64) as u32);
+        touch_function(&mut mutated, target, 0xBEEF ^ seed);
+        let full2 = analyzer::analyze(&mutated, &c.slices);
+        let warm = analyze_incremental(&mutated, &c.slices, &mut cache);
+        if norm(&full2) != norm(&warm) {
+            return Some(format!("seed {seed}: post-mutation mismatch"));
+        }
+        let warm_stats = cache.stats();
+        let (miss_d, hit_d, inval_d) = (
+            warm_stats.misses - cold_stats.misses,
+            warm_stats.hits - cold_stats.hits,
+            warm_stats.invalidations - cold_stats.invalidations,
+        );
+        if miss_d != 1 || inval_d != 1 || hit_d != nfuncs as u64 - 1 {
+            return Some(format!(
+                "seed {seed}: expected 1 miss/1 invalidation/{} hits, got {miss_d}/{inval_d}/{hit_d}",
+                nfuncs - 1
+            ));
+        }
+        None
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    assert!(
+        failures.is_empty(),
+        "{} failures:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+/// The CI reality the cache exists for: re-linting a whole corpus after one
+/// function changed. From-scratch analysis processes every function of
+/// every module; the incremental pass re-analyzes only the changed one.
+#[test]
+fn corpus_relint_after_one_mutation_reanalyzes_ten_times_fewer_functions() {
+    let seeds: Vec<u64> = (0..40).collect();
+    let compiled: Vec<_> = par_map(&seeds, |&seed| {
+        engine().compiled(&genprog::generate(&SPEC, seed), CompileOptions::default())
+    });
+    let mut cache = AnalysisCache::new();
+
+    // Cold sweep seeds the cache (and must match full analysis everywhere).
+    for c in &compiled {
+        let full = analyzer::analyze(&c.module, &c.slices);
+        let cold = analyze_incremental(&c.module, &c.slices, &mut cache);
+        assert_eq!(norm(&full), norm(&cold));
+    }
+    let cold_stats = cache.stats();
+
+    // One function of one module changes; everything is re-linted.
+    let mut modules: Vec<_> = compiled.iter().map(|c| c.module.clone()).collect();
+    touch_function(&mut modules[7], FuncId(0), 0xD1FF);
+    let mut total_functions = 0u64;
+    for (m, c) in modules.iter().zip(&compiled) {
+        let full = analyzer::analyze(m, &c.slices);
+        let incr = analyze_incremental(m, &c.slices, &mut cache);
+        assert_eq!(norm(&full), norm(&incr), "relint mismatch for {}", m.name);
+        total_functions += m.function_count() as u64;
+    }
+    let relint_misses = cache.stats().misses - cold_stats.misses;
+    assert_eq!(
+        relint_misses, 1,
+        "exactly the mutated function is re-analyzed"
+    );
+    assert!(
+        total_functions >= 10 * relint_misses.max(1),
+        "incremental advantage below 10x: {total_functions} functions vs {relint_misses} misses"
+    );
+    assert_eq!(
+        cache.stats().invalidations - cold_stats.invalidations,
+        1,
+        "one fingerprint changed"
+    );
+}
