@@ -20,7 +20,11 @@ use std::fmt;
 /// region, severity — see [`Report::normalize`]) instead of discovery order,
 /// and the `cwsp-lint` envelope grew an optional `incremental` cache-stats
 /// object.
-pub const SCHEMA_VERSION: u32 = 3;
+///
+/// v4: the durability-ordering family (`I6-*`, [`Invariant::DurabilityOrder`])
+/// joined the taxonomy and the `cwsp-lint` envelope grew an optional
+/// `analyzer.persistency` counters object (emitted under `--persist`).
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// How serious a diagnostic is. `Error` means a crash-consistency invariant
 /// is (or may be) violated; recovery correctness is not guaranteed.
@@ -67,6 +71,12 @@ pub enum Invariant {
     /// never published out of a still-open (revertible) region — the static
     /// mirror of the memory controller's stale-read-avoidance rule.
     PersistOrder,
+    /// I6 — durability ordering (flush/fence persistency): every NVM-visible
+    /// store is flushed, and the flush is fenced, before any commit point
+    /// (publication, synchronization, call/return, halt) on every path — the
+    /// static contract certified against `compiler::autofence` output by
+    /// translation validation.
+    DurabilityOrder,
     /// R — data races between core entry-function instances: conflicting
     /// accesses not ordered by a common lockset or an acquire/release
     /// happens-before chain.
@@ -84,6 +94,7 @@ impl Invariant {
             Invariant::SliceWellFormed => "I3",
             Invariant::Structure => "I4",
             Invariant::PersistOrder => "I5",
+            Invariant::DurabilityOrder => "I6",
             Invariant::DataRace => "R",
             Invariant::Lint => "L",
         }
@@ -97,6 +108,7 @@ impl Invariant {
             Invariant::SliceWellFormed => "slice-well-formed",
             Invariant::Structure => "structure",
             Invariant::PersistOrder => "persist-order",
+            Invariant::DurabilityOrder => "durability-order",
             Invariant::DataRace => "data-race",
             Invariant::Lint => "lint",
         }
@@ -494,7 +506,7 @@ mod tests {
         // CI parses the `cwsp-lint --json` envelope and gates on this exact
         // value; any change to it must be deliberate (field rename/removal
         // or a diagnostic code changing meaning), never incidental.
-        assert_eq!(SCHEMA_VERSION, 3);
+        assert_eq!(SCHEMA_VERSION, 4);
     }
 
     #[test]
@@ -576,9 +588,11 @@ mod tests {
         assert_eq!(Invariant::SliceWellFormed.id(), "I3");
         assert_eq!(Invariant::Structure.id(), "I4");
         assert_eq!(Invariant::PersistOrder.id(), "I5");
+        assert_eq!(Invariant::DurabilityOrder.id(), "I6");
         assert_eq!(Invariant::DataRace.id(), "R");
         assert_eq!(Invariant::Lint.id(), "L");
         assert_eq!(Invariant::PersistOrder.name(), "persist-order");
+        assert_eq!(Invariant::DurabilityOrder.name(), "durability-order");
         assert_eq!(Invariant::DataRace.name(), "data-race");
     }
 }

@@ -57,7 +57,9 @@ use std::time::Instant;
 /// Version salt folded into every fingerprint; bump whenever the pass
 /// sequence, the diagnostic format, or the summary lattice changes shape so
 /// stale entries from an older analyzer can never replay.
-const FMT_VERSION: u64 = 1;
+/// Version 2: [`FuncSummary`] grew the `has_out` commit-point flag for the
+/// I6 durability-ordering pass.
+const FMT_VERSION: u64 = 2;
 
 /// Runs of an entry's own module it may go unused before eviction.
 const KEEP_GENERATIONS: u64 = 4;
@@ -677,14 +679,17 @@ mod tests {
         let opts = AnalyzeOptions {
             interproc: true,
             races: false,
+            persist: true,
             cores: 2,
         };
-        let (full, _) = crate::analyze_with(&compiled.module, &compiled.slices, &opts);
+        let (full, _, pc) = crate::analyze_with(&compiled.module, &compiled.slices, &opts);
+        assert!(pc.is_some(), "persist layer ran");
         let mut cache = AnalysisCache::new();
         for _ in 0..2 {
-            let (inc, _) =
+            let (inc, _, inc_pc) =
                 crate::analyze_with_cache(&compiled.module, &compiled.slices, &opts, &mut cache);
             assert_eq!(norm_text(full.clone()), norm_text(inc));
+            assert_eq!(pc, inc_pc, "cached persist counters identical");
         }
     }
 }

@@ -31,6 +31,7 @@ pub mod diag;
 pub mod idem;
 pub mod incr;
 pub mod lints;
+pub mod persist;
 pub mod races;
 pub mod structure;
 pub mod summaries;
@@ -40,6 +41,7 @@ pub use diag::{
     Counters, Diagnostic, Invariant, Location, PathWitness, Report, Severity, SCHEMA_VERSION,
 };
 pub use incr::{analyze_incremental, analyze_incremental_observed, AnalysisCache, IncrStats};
+pub use persist::PersistCounters;
 pub use races::{RaceOptions, RaceStats};
 
 use cwsp_compiler::slice::SliceTable;
@@ -226,6 +228,9 @@ pub struct AnalyzeOptions {
     pub interproc: bool,
     /// Run the static race detector and I5 persist-order check.
     pub races: bool,
+    /// Run the I6 durability-ordering analysis ([`persist`]): every
+    /// NVM-visible store flushed and fenced before any commit point.
+    pub persist: bool,
     /// Thread contexts for the race detector (core count).
     pub cores: usize,
 }
@@ -235,19 +240,20 @@ impl Default for AnalyzeOptions {
         AnalyzeOptions {
             interproc: false,
             races: false,
+            persist: false,
             cores: 2,
         }
     }
 }
 
 /// [`analyze`] plus the opt-in interprocedural and concurrency layers.
-/// Returns the merged report and, when the race detector ran, its
-/// aggregate statistics.
+/// Returns the merged report, the race detector's aggregate statistics
+/// (when it ran), and the I6 persistency counters (when that layer ran).
 pub fn analyze_with(
     module: &Module,
     slices: &SliceTable,
     opts: &AnalyzeOptions,
-) -> (Report, Option<RaceStats>) {
+) -> (Report, Option<RaceStats>, Option<PersistCounters>) {
     analyze_layered(module, slices, opts, None)
 }
 
@@ -261,7 +267,7 @@ pub fn analyze_with_cache(
     slices: &SliceTable,
     opts: &AnalyzeOptions,
     cache: &mut AnalysisCache,
-) -> (Report, Option<RaceStats>) {
+) -> (Report, Option<RaceStats>, Option<PersistCounters>) {
     analyze_layered(module, slices, opts, Some(cache))
 }
 
@@ -270,7 +276,7 @@ fn analyze_layered(
     slices: &SliceTable,
     opts: &AnalyzeOptions,
     cache: Option<&mut AnalysisCache>,
-) -> (Report, Option<RaceStats>) {
+) -> (Report, Option<RaceStats>, Option<PersistCounters>) {
     let t0 = Instant::now();
     let mut cache = cache;
     let mut report = match cache.as_deref_mut() {
@@ -278,15 +284,26 @@ fn analyze_layered(
         None => analyze(module, slices),
     };
     let mut stats = None;
-    if opts.interproc {
+    let mut persist_counters = None;
+    if opts.interproc || opts.persist {
+        // One summary computation feeds both layers; with a cache present
+        // it is served through the SCC-merkle incremental path, so the I6
+        // layer inherits the fuzz farm's warm-cache economics.
         let cg = callgraph::CallGraph::compute(module);
         let sums = match cache {
             Some(c) => incr::summaries_incremental(module, &cg, c),
             None => summaries::Summaries::compute(module, &cg),
         };
-        report
-            .diagnostics
-            .extend(summaries::check_module(module, &cg, &sums));
+        if opts.interproc {
+            report
+                .diagnostics
+                .extend(summaries::check_module(module, &cg, &sums));
+        }
+        if opts.persist {
+            let (diags, counters) = persist::check_module_with(module, &sums);
+            report.diagnostics.extend(diags);
+            persist_counters = Some(counters);
+        }
     }
     if opts.races {
         let ra = races::check_concurrency(
@@ -312,7 +329,7 @@ fn analyze_layered(
         .regions_total
         .saturating_sub(bad_regions.len());
     report.counters.analysis_ns = t0.elapsed().as_nanos() as u64;
-    (report, stats)
+    (report, stats, persist_counters)
 }
 
 /// Pipeline hook: verify a compiler artifact, returning the full report on

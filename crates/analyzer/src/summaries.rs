@@ -44,6 +44,9 @@ pub struct FuncSummary {
     pub sync_unknown: bool,
     /// The function (or a callee) executes a `Fence`.
     pub has_fence: bool,
+    /// The function (or a callee) publishes output (`Out`) — a durability
+    /// commit point for the I6 pass ([`crate::persist`]).
+    pub has_out: bool,
     /// The function (or a callee) crosses a region boundary.
     pub has_boundary: bool,
     /// The function (or a callee) performs a raw `Store` into the reserved
@@ -94,6 +97,7 @@ impl FuncSummary {
         latch!(loads_unknown);
         latch!(sync_unknown);
         latch!(has_fence);
+        latch!(has_out);
         latch!(has_boundary);
         latch!(writes_ckpt_range);
         changed
@@ -155,6 +159,7 @@ impl Summaries {
             sync_addrs: BTreeSet::new(),
             sync_unknown: false,
             has_fence: false,
+            has_out: false,
             has_boundary: false,
             writes_ckpt_range: false,
             lock_balance: BTreeMap::new(),
@@ -216,6 +221,7 @@ pub(crate) fn body_summary(module: &Module, f: &Function) -> FuncSummary {
                     None => s.sync_unknown = true,
                 },
                 Inst::Fence => s.has_fence = true,
+                Inst::Out { .. } => s.has_out = true,
                 Inst::Boundary { .. } => s.has_boundary = true,
                 _ => {}
             }

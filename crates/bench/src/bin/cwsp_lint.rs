@@ -12,8 +12,8 @@
 //! `results/BENCH_harness.json` under the top-level `analyzer` key.
 
 use cwsp_analyzer::{
-    analyze_incremental_observed, analyze_observed, analyze_with, analyze_with_cache,
-    AnalysisCache, AnalyzeOptions, RaceStats, Report, Severity, SCHEMA_VERSION,
+    analyze_incremental_observed, analyze_observed, analyze_with, analyze_with_cache, persist,
+    AnalysisCache, AnalyzeOptions, PersistCounters, RaceStats, Report, Severity, SCHEMA_VERSION,
 };
 use cwsp_bench::engine;
 use cwsp_bench::json::Value;
@@ -40,6 +40,12 @@ OPTIONS:
   --raw           do not compile FILE first; lint it as-is (no slice table)
   --races         run the static race detector + I5 persist-order check
   --interproc     run the interprocedural call-graph/summary lints
+  --persist       run the I6 durability-ordering (flush/fence) check
+  --autofence     translation-validation mode: apply the compiler's
+                  autofence pass to the *raw* (uncompiled) module, then
+                  re-prove I6 from scratch over its output. Implies
+                  --persist; the cWSP region invariants (I1-I5) do not
+                  apply to this scheme and are not run
   --incremental   serve per-function results from the analysis cache
                   (shared across subjects; prints a cache-stats line)
   --cores N       thread contexts for --races (default 2)
@@ -66,6 +72,8 @@ struct Options {
     json: Option<Option<String>>,
     races: bool,
     interproc: bool,
+    persist: bool,
+    autofence: bool,
     incremental: bool,
     cores: usize,
 }
@@ -76,6 +84,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut raw = false;
     let mut races = false;
     let mut interproc = false;
+    let mut persist = false;
+    let mut autofence = false;
     let mut incremental = false;
     let mut cores = 2usize;
     let mut genprog_n: Option<u64> = None;
@@ -102,6 +112,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--races" => races = true,
             "--interproc" => interproc = true,
+            "--persist" => persist = true,
+            "--autofence" => autofence = true,
             "--incremental" => incremental = true,
             "--cores" => {
                 let n = it.next().ok_or("--cores requires a value")?;
@@ -148,6 +160,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         json,
         races,
         interproc,
+        persist,
+        autofence,
         incremental,
         cores,
     })
@@ -167,33 +181,43 @@ impl Subject {
     }
 }
 
-fn gather(target: &Target, cores: usize) -> Result<Vec<Subject>, String> {
+fn gather(target: &Target, cores: usize, raw_mode: bool) -> Result<Vec<Subject>, String> {
+    // Translation-validation mode lints the *raw* module: autofence is an
+    // alternative persistence scheme, so the cWSP compilation (regions,
+    // checkpoints, slices) never enters the picture.
+    let prep = |name: &str, module: &Module| {
+        if raw_mode {
+            Subject::Raw(name.to_string(), module.clone())
+        } else {
+            Subject::compile(name, module)
+        }
+    };
     match target {
         Target::All => Ok(cwsp_workloads::all()
             .iter()
-            .map(|w| Subject::compile(w.name, &w.module))
+            .map(|w| prep(w.name, &w.module))
             .collect()),
         Target::Workload(name) => {
             let w = cwsp_workloads::by_name(name)
                 .ok_or_else(|| format!("no built-in workload named `{name}`"))?;
-            Ok(vec![Subject::compile(w.name, &w.module)])
+            Ok(vec![prep(w.name, &w.module)])
         }
         Target::Multicore => Ok(cwsp_workloads::multicore::all(cores as u64)
             .into_iter()
-            .map(|(name, m)| Subject::compile(name, &m))
+            .map(|(name, m)| prep(name, &m))
             .collect()),
         Target::Genprog { n, seed_base } => Ok((0..*n)
             .map(|i| {
                 let seed = seed_base + i;
                 let m = genprog::generate_default(seed);
-                Subject::compile(&format!("gen-{seed}"), &m)
+                prep(&format!("gen-{seed}"), &m)
             })
             .collect()),
         Target::GenprogMc { n, seed_base } => Ok((0..*n)
             .map(|i| {
                 let seed = seed_base + i;
                 let m = genprog::generate_concurrent(&genprog::ConcSpec::default(), seed);
-                Subject::compile(&format!("gen-mc-{seed}"), &m)
+                prep(&format!("gen-mc-{seed}"), &m)
             })
             .collect()),
         Target::File { path, raw } => {
@@ -201,7 +225,7 @@ fn gather(target: &Target, cores: usize) -> Result<Vec<Subject>, String> {
                 std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             let m = cwsp_ir::parse::parse_module(&text)
                 .map_err(|e| format!("parse error in {path}: {e}"))?;
-            Ok(vec![if *raw {
+            Ok(vec![if *raw || raw_mode {
                 Subject::Raw(path.clone(), m)
             } else {
                 Subject::compile(path, &m)
@@ -212,7 +236,7 @@ fn gather(target: &Target, cores: usize) -> Result<Vec<Subject>, String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let opts = match parse_args(&args) {
+    let mut opts = match parse_args(&args) {
         Ok(o) => o,
         Err(msg) if msg.is_empty() => {
             print!("{USAGE}");
@@ -223,7 +247,14 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let subjects = match gather(&opts.target, opts.cores) {
+    if opts.autofence {
+        if opts.races || opts.interproc {
+            eprintln!("cwsp-lint: --autofence cannot be combined with --races/--interproc");
+            return ExitCode::from(2);
+        }
+        opts.persist = true;
+    }
+    let subjects = match gather(&opts.target, opts.cores, opts.autofence) {
         Ok(s) => s,
         Err(msg) => {
             eprintln!("cwsp-lint: {msg}");
@@ -238,22 +269,52 @@ fn main() -> ExitCode {
     let lint_opts = AnalyzeOptions {
         interproc: opts.interproc,
         races: opts.races,
+        persist: opts.persist,
         cores: opts.cores,
     };
-    let layered = opts.races || opts.interproc;
+    let layered = opts.races || opts.interproc || opts.persist;
     // One shared cache across every subject: with `--incremental`, repeated
     // function bodies (genprog sweeps regenerate shared helpers; re-linting
     // the same target is the common CI pattern) are served from it.
     let mut cache = opts.incremental.then(AnalysisCache::new);
     let mut conc: Option<RaceStats> = None;
+    let mut persist: Option<PersistCounters> = None;
     let mut reports: Vec<Report> = Vec::with_capacity(subjects.len());
     for s in &subjects {
-        let (module, slices): (&Module, &SliceTable) = match s {
-            Subject::Artifact(_, c) => (&c.module, &c.slices),
-            Subject::Raw(_, m) => (m, &empty),
+        let (name, module, slices): (&str, &Module, &SliceTable) = match s {
+            Subject::Artifact(n, c) => (n, &c.module, &c.slices),
+            Subject::Raw(n, m) => (n, m, &empty),
         };
-        let report = if layered {
-            let (report, stats) = match cache.as_mut() {
+        let report = if opts.autofence {
+            // Translation validation: run the pass, then re-prove I6 from
+            // scratch over its output (the pass and the analyzer share no
+            // placement logic). Any diagnostic here is a certification
+            // failure.
+            let t0 = std::time::Instant::now();
+            let mut fenced = module.clone();
+            cwsp_compiler::autofence::run(&mut fenced);
+            let (diags, pc) = persist::check_module(&fenced);
+            publish_persist_counters(&pc, &mut reg);
+            let agg = persist.get_or_insert_with(PersistCounters::default);
+            agg.functions += pc.functions;
+            agg.tracked_stores += pc.tracked_stores;
+            agg.flushes += pc.flushes;
+            agg.fences += pc.fences;
+            agg.commit_points += pc.commit_points;
+            agg.errors += pc.errors;
+            agg.warnings += pc.warnings;
+            let mut report = Report {
+                module: name.to_string(),
+                diagnostics: diags,
+                ..Report::default()
+            };
+            report.counters.functions = pc.functions;
+            report.normalize();
+            report.counters.analysis_ns = t0.elapsed().as_nanos() as u64;
+            publish_report(&report, &mut reg);
+            report
+        } else if layered {
+            let (report, stats, pc) = match cache.as_mut() {
                 Some(c) => analyze_with_cache(module, slices, &lint_opts, c),
                 None => analyze_with(module, slices, &lint_opts),
             };
@@ -266,6 +327,17 @@ fn main() -> ExitCode {
                 agg.pairs_checked += st.pairs_checked;
                 agg.races += st.races;
                 agg.i5_escapes += st.i5_escapes;
+            }
+            if let Some(pc) = pc {
+                publish_persist_counters(&pc, &mut reg);
+                let agg = persist.get_or_insert_with(PersistCounters::default);
+                agg.functions += pc.functions;
+                agg.tracked_stores += pc.tracked_stores;
+                agg.flushes += pc.flushes;
+                agg.fences += pc.fences;
+                agg.commit_points += pc.commit_points;
+                agg.errors += pc.errors;
+                agg.warnings += pc.warnings;
             }
             report
         } else {
@@ -342,7 +414,13 @@ fn main() -> ExitCode {
         }
     }
 
-    publish_harness(&reg, &reports, conc.as_ref(), cache.as_ref());
+    publish_harness(
+        &reg,
+        &reports,
+        conc.as_ref(),
+        persist.as_ref(),
+        cache.as_ref(),
+    );
 
     if errors > 0 {
         ExitCode::from(1)
@@ -383,6 +461,24 @@ fn publish_race_stats(st: &RaceStats, reg: &mut cwsp_obs::Registry) {
     reg.count("analyzer.concurrency.i5_escapes", st.i5_escapes as u64);
 }
 
+/// Publish the I6 durability-ordering counters through the registry.
+fn publish_persist_counters(pc: &PersistCounters, reg: &mut cwsp_obs::Registry) {
+    use cwsp_obs::sink::ObsSink;
+    reg.count("analyzer.persistency.functions", pc.functions as u64);
+    reg.count(
+        "analyzer.persistency.tracked_stores",
+        pc.tracked_stores as u64,
+    );
+    reg.count("analyzer.persistency.flushes", pc.flushes as u64);
+    reg.count("analyzer.persistency.fences", pc.fences as u64);
+    reg.count(
+        "analyzer.persistency.commit_points",
+        pc.commit_points as u64,
+    );
+    reg.count("analyzer.persistency.errors", pc.errors as u64);
+    reg.count("analyzer.persistency.warnings", pc.warnings as u64);
+}
+
 /// Merge the accumulated analyzer counters into the harness report as a
 /// top-level `analyzer` section (sibling of `figures`). The concurrency and
 /// incremental stats nest *inside* this entry; `merge_harness_section`
@@ -392,6 +488,7 @@ fn publish_harness(
     reg: &cwsp_obs::Registry,
     reports: &[Report],
     conc: Option<&RaceStats>,
+    persist: Option<&PersistCounters>,
     cache: Option<&AnalysisCache>,
 ) {
     let total_ns: u64 = reports.iter().map(|r| r.counters.analysis_ns).sum();
@@ -418,6 +515,23 @@ fn publish_harness(
                 ("pairs_checked".into(), Value::Int(st.pairs_checked)),
                 ("races".into(), Value::Int(st.races as u64)),
                 ("i5_escapes".into(), Value::Int(st.i5_escapes as u64)),
+            ]),
+        ));
+    }
+    if let Some(pc) = persist {
+        fields.push((
+            "persistency".into(),
+            Value::Obj(vec![
+                ("functions".into(), Value::Int(pc.functions as u64)),
+                (
+                    "tracked_stores".into(),
+                    Value::Int(pc.tracked_stores as u64),
+                ),
+                ("flushes".into(), Value::Int(pc.flushes as u64)),
+                ("fences".into(), Value::Int(pc.fences as u64)),
+                ("commit_points".into(), Value::Int(pc.commit_points as u64)),
+                ("errors".into(), Value::Int(pc.errors as u64)),
+                ("warnings".into(), Value::Int(pc.warnings as u64)),
             ]),
         ));
     }

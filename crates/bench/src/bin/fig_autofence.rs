@@ -1,0 +1,124 @@
+//! AutoFence sweep: the certified flush/fence-insertion baseline.
+//!
+//! Three panels:
+//!
+//! 1. **Static census** — per workload, how many line flushes the pass
+//!    inserted, how many same-line flushes it elided, and how many ordering
+//!    pfences it placed (plus the resulting static op counts).
+//! 2. **Runtime overhead** — autofenced raw modules under
+//!    `Scheme::AutoFence` vs the raw baseline, with the dynamic flush and
+//!    pfence instruction counts actually executed.
+//! 3. **Head-to-head** — per-suite slowdown gmeans of AutoFence against the
+//!    paper's schemes (cWSP, Capri, ReplayCache) at the default persist
+//!    path.
+
+use cwsp_bench::{baseline_cycles, cached_stats, gmean, measure_all, slowdown, suite_gmeans};
+use cwsp_compiler::autofence;
+use cwsp_compiler::pipeline::CompileOptions;
+use cwsp_ir::decoded::OPCODE_NAMES;
+use cwsp_sim::config::SimConfig;
+use cwsp_sim::scheme::Scheme;
+use cwsp_workloads::Workload;
+
+fn main() {
+    cwsp_bench::harness_main("fig_autofence", run);
+}
+
+fn mix_index(name: &str) -> usize {
+    OPCODE_NAMES.iter().position(|n| *n == name).unwrap()
+}
+
+fn autofenced(w: &Workload) -> cwsp_ir::module::Module {
+    let mut m = w.module.clone();
+    autofence::run(&mut m);
+    m
+}
+
+fn autofence_slowdown(w: &Workload, cfg: &SimConfig) -> f64 {
+    let m = autofenced(w);
+    let name = format!("{}+autofence", w.name);
+    let s = cached_stats(&name, &m, cfg, Scheme::AutoFence);
+    s.cycles as f64 / baseline_cycles(w, cfg) as f64
+}
+
+fn run() {
+    let apps = cwsp_workloads::all();
+    let cfg = SimConfig::default();
+    let (fl_ix, pf_ix) = (mix_index("flush"), mix_index("pfence"));
+
+    println!("\n=== AutoFence: static instrumentation census ===");
+    println!(
+        "   {:<12} {:>8} {:>8} {:>8} {:>10} {:>10}",
+        "app", "flushes", "elided", "pfences", "op.flush", "op.pfence"
+    );
+    let mut tot = autofence::AutoFenceStats::default();
+    for w in &apps {
+        let mut m = w.module.clone();
+        let st = autofence::run(&mut m);
+        let (flush_ops, pfence_ops) = autofence::op_census(&m);
+        println!(
+            "   {:<12} {:>8} {:>8} {:>8} {:>10} {:>10}",
+            w.name,
+            st.flushes_inserted,
+            st.flushes_elided,
+            st.fences_inserted,
+            flush_ops,
+            pfence_ops
+        );
+        tot.flushes_inserted += st.flushes_inserted;
+        tot.flushes_elided += st.flushes_elided;
+        tot.fences_inserted += st.fences_inserted;
+    }
+    println!(
+        "   {:<12} {:>8} {:>8} {:>8}",
+        "TOTAL", tot.flushes_inserted, tot.flushes_elided, tot.fences_inserted
+    );
+
+    println!("\n=== AutoFence: runtime overhead vs raw baseline ===");
+    println!(
+        "   {:<12} {:>9} {:>12} {:>12}",
+        "app", "slowdown", "dyn.flush", "dyn.pfence"
+    );
+    let mut sds = Vec::new();
+    for w in &apps {
+        let m = autofenced(w);
+        let name = format!("{}+autofence", w.name);
+        let s = cached_stats(&name, &m, &cfg, Scheme::AutoFence);
+        let sd = s.cycles as f64 / baseline_cycles(w, &cfg) as f64;
+        println!(
+            "   {:<12} {:>8.3}x {:>12} {:>12}",
+            w.name, sd, s.op_mix[fl_ix], s.op_mix[pf_ix]
+        );
+        sds.push(sd);
+    }
+    println!("   {:<12} {:>8.3}x", "GMEAN", gmean(&sds));
+
+    println!("\n=== AutoFence vs WSP schemes (normalized slowdown gmeans) ===");
+    let opts = CompileOptions::default();
+    type Metric<'a> = Box<dyn Fn(&Workload) -> f64 + Sync + 'a>;
+    let schemes: Vec<(&str, Metric)> = vec![
+        (
+            "AutoFence",
+            Box::new(|w: &Workload| autofence_slowdown(w, &cfg)),
+        ),
+        (
+            "cWSP",
+            Box::new(|w: &Workload| slowdown(w, &cfg, Scheme::cwsp(), opts)),
+        ),
+        (
+            "Capri",
+            Box::new(|w: &Workload| slowdown(w, &cfg, Scheme::Capri, opts)),
+        ),
+        (
+            "ReplayCache",
+            Box::new(|w: &Workload| slowdown(w, &cfg, Scheme::ReplayCache, opts)),
+        ),
+    ];
+    for (label, metric) in schemes {
+        let results = measure_all(&apps, metric);
+        println!("-- {label}");
+        for (suite, v) in suite_gmeans(&results) {
+            println!("   {suite:<12} {v:>8.3} x");
+        }
+    }
+}

@@ -135,6 +135,7 @@ impl Fingerprint {
             Scheme::Capri => self.u64(12),
             Scheme::ReplayCache => self.u64(13),
             Scheme::IdealPsp => self.u64(14),
+            Scheme::AutoFence => self.u64(15),
         }
         self
     }
@@ -219,6 +220,7 @@ mod tests {
             Scheme::Capri,
             Scheme::ReplayCache,
             Scheme::IdealPsp,
+            Scheme::AutoFence,
             Scheme::Cwsp(CwspFeatures {
                 mc_speculation: false,
                 ..Default::default()
@@ -229,7 +231,7 @@ mod tests {
         .collect();
         fps.sort_unstable();
         fps.dedup();
-        assert_eq!(fps.len(), 6);
+        assert_eq!(fps.len(), 7);
     }
 
     #[test]

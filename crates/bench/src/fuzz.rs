@@ -22,9 +22,13 @@
 //!   explored schedule (`cwsp_sim::race::check_module`).
 //! - **injection self-check** — a known-bad mutation
 //!   ([`cwsp_core::genprog::inject_dropped_ckpt`] /
-//!   [`inject_unsynced_store`]) must be flagged, then the module is
+//!   [`inject_unsynced_store`] / [`inject_dropped_flush`] /
+//!   [`inject_dropped_fence`]) must be flagged, then the module is
 //!   delta-debugged down to a minimal reproducer while the flag keeps
-//!   firing.
+//!   firing. The flush/fence injections double as a live translation
+//!   validation of the autofence pass: the un-mutated pass output must be
+//!   I6-clean, an injected redundant flush must normalize away, and each
+//!   drop must be caught with a witness naming the exact store or commit.
 //!
 //! Spine keyspaces (see `cwsp_store::spine::Key`): kind 3 holds per-shard
 //! progress plus the run manifest, kind 4 the corpus keyed by seed, kind 5
@@ -33,13 +37,14 @@
 use crate::engine::{merge_harness_section, par_map};
 use crate::json::{self, Value};
 use cwsp_analyzer::races::{check_concurrency, RaceOptions};
-use cwsp_analyzer::{analyze, analyze_incremental, AnalysisCache, Report};
+use cwsp_analyzer::{analyze, analyze_incremental, persist, AnalysisCache, Report, Severity};
+use cwsp_compiler::autofence;
 use cwsp_compiler::pipeline::{CompileOptions, CwspCompiler};
 use cwsp_compiler::slice::RsSource;
 use cwsp_compiler::verify::check_all;
 use cwsp_core::genprog::{
-    generate, generate_concurrent, inject_dropped_ckpt, inject_unsynced_store, ConcSpec,
-    ProgramSpec,
+    generate, generate_concurrent, inject_dropped_ckpt, inject_dropped_fence, inject_dropped_flush,
+    inject_redundant_flush, inject_unsynced_store, ConcSpec, ProgramSpec,
 };
 use cwsp_ir::function::Block;
 use cwsp_ir::inst::Inst;
@@ -55,7 +60,9 @@ use std::sync::Mutex;
 
 /// Bump when record formats or the differential battery change shape;
 /// folded into the run fingerprint so stale corpora are never resumed into.
-const FUZZ_FORMAT: u64 = 1;
+/// Version 2: the injection rotation grew the dropped-flush/dropped-fence
+/// self-checks against the autofence pass + I6 analyzer.
+const FUZZ_FORMAT: u64 = 2;
 
 /// Shape of the generated sequential modules (mirrors the committed
 /// `static_dynamic_differential` corpus spec).
@@ -170,14 +177,17 @@ enum SeedKind {
     Concurrent,
     InjectCkpt,
     InjectStore,
+    InjectFlush,
+    InjectFence,
 }
 
 fn seed_kind(cfg: &FuzzConfig, i: u64) -> SeedKind {
     if cfg.inject_every != 0 && (i + 1).is_multiple_of(cfg.inject_every) {
-        if (i / cfg.inject_every).is_multiple_of(2) {
-            SeedKind::InjectCkpt
-        } else {
-            SeedKind::InjectStore
+        match (i / cfg.inject_every) % 4 {
+            0 => SeedKind::InjectCkpt,
+            1 => SeedKind::InjectStore,
+            2 => SeedKind::InjectFlush,
+            _ => SeedKind::InjectFence,
         }
     } else if cfg.conc_every != 0 && (i + 1).is_multiple_of(cfg.conc_every) {
         SeedKind::Concurrent
@@ -192,6 +202,8 @@ fn kind_str(k: SeedKind) -> &'static str {
         SeedKind::Concurrent => "conc",
         SeedKind::InjectCkpt => "inject-ckpt",
         SeedKind::InjectStore => "inject-store",
+        SeedKind::InjectFlush => "inject-flush",
+        SeedKind::InjectFence => "inject-fence",
     }
 }
 
@@ -707,6 +719,165 @@ fn run_inject_store(seed: u64) -> SeedResult {
     }
 }
 
+/// Dropped-flush self-check: autofence a generated module (must come out
+/// I6-clean — a live translation validation), verify an injected redundant
+/// flush normalizes away, then drop one flush and require the analyzer to
+/// flag `I6-unflushed-store` with a witness rooted at the exact store the
+/// flush covered.
+fn run_inject_flush(seed: u64) -> SeedResult {
+    let mut m = generate(&SEQ_SPEC, seed);
+    autofence::run(&mut m);
+    let buckets = [
+        op_mix_bucket(&m),
+        cfg_shape_bucket(&m),
+        region_shape_bucket(&m, None),
+    ];
+    let fail = {
+        let buckets = buckets.clone();
+        move |detail: String, div: String| SeedResult {
+            kind: SeedKind::InjectFlush,
+            verdict: "missed",
+            detail,
+            divergence: Some(format!("seed {seed}: {div}")),
+            min_insts: None,
+            buckets: buckets.clone(),
+        }
+    };
+    if !persist::i6_clean(&persist::check_module(&m).0) {
+        return fail(
+            "autofence output not I6-clean".into(),
+            "translation validation failed: autofence output has I6 errors".into(),
+        );
+    }
+    // Benign mutation: a duplicated flush must normalize away.
+    let clean_text = cwsp_ir::pretty::fmt_module(&m);
+    let mut dup = m.clone();
+    if inject_redundant_flush(&mut dup).is_some() {
+        autofence::run(&mut dup);
+        if cwsp_ir::pretty::fmt_module(&dup) != clean_text {
+            return fail(
+                "redundant flush survived re-normalization".into(),
+                "injected redundant flush NOT eliminated by autofence".into(),
+            );
+        }
+    }
+    let mut bad = m;
+    let Some((fid, blk, store_idx)) = inject_dropped_flush(&mut bad) else {
+        return SeedResult {
+            kind: SeedKind::InjectFlush,
+            verdict: "skipped",
+            detail: "module has no flush to drop".into(),
+            divergence: None,
+            min_insts: None,
+            buckets,
+        };
+    };
+    let fname = bad.function(fid).name.clone();
+    let located = persist::check_module(&bad).0.iter().any(|d| {
+        d.code == "I6-unflushed-store"
+            && d.severity == Severity::Error
+            && d.location.function == fname
+            && d.witness.as_ref().is_some_and(|w| {
+                w.steps
+                    .first()
+                    .is_some_and(|s| s.block == blk && s.idx == store_idx)
+            })
+    });
+    if !located {
+        return fail(
+            format!("dropped flush of store at b{blk}:{store_idx} not flagged"),
+            format!("injected dropped-flush ({fname} b{blk}:{store_idx}) NOT caught with witness"),
+        );
+    }
+    let caught = |m: &Module| {
+        persist::check_module(m)
+            .0
+            .iter()
+            .any(|d| d.code == "I6-unflushed-store" && d.severity == Severity::Error)
+    };
+    let min = minimize(&bad, &caught);
+    SeedResult {
+        kind: SeedKind::InjectFlush,
+        verdict: "caught",
+        detail: format!("I6-unflushed-store at {fname} b{blk}:{store_idx}, minimized"),
+        divergence: None,
+        min_insts: Some(count_insts(&min)),
+        buckets,
+    }
+}
+
+/// Dropped-fence self-check: autofence a generated module, drop one
+/// `pfence`, and require `I6-unfenced-flush` reported *at the commit the
+/// fence guarded*.
+fn run_inject_fence(seed: u64) -> SeedResult {
+    let mut m = generate(&SEQ_SPEC, seed);
+    autofence::run(&mut m);
+    let buckets = [
+        op_mix_bucket(&m),
+        cfg_shape_bucket(&m),
+        region_shape_bucket(&m, None),
+    ];
+    if !persist::i6_clean(&persist::check_module(&m).0) {
+        return SeedResult {
+            kind: SeedKind::InjectFence,
+            verdict: "missed",
+            detail: "autofence output not I6-clean".into(),
+            divergence: Some(format!(
+                "seed {seed}: translation validation failed: autofence output has I6 errors"
+            )),
+            min_insts: None,
+            buckets,
+        };
+    }
+    let mut bad = m;
+    let Some((fid, blk, commit_idx)) = inject_dropped_fence(&mut bad) else {
+        return SeedResult {
+            kind: SeedKind::InjectFence,
+            verdict: "skipped",
+            detail: "module has no pfence to drop".into(),
+            divergence: None,
+            min_insts: None,
+            buckets,
+        };
+    };
+    let fname = bad.function(fid).name.clone();
+    let located = persist::check_module(&bad).0.iter().any(|d| {
+        d.code == "I6-unfenced-flush"
+            && d.severity == Severity::Error
+            && d.location.function == fname
+            && d.location.block == blk
+            && d.location.inst == Some(commit_idx)
+    });
+    if !located {
+        return SeedResult {
+            kind: SeedKind::InjectFence,
+            verdict: "missed",
+            detail: format!("dropped pfence before b{blk}:{commit_idx} not flagged"),
+            divergence: Some(format!(
+                "seed {seed}: injected dropped-fence ({fname} b{blk}:{commit_idx}) \
+                 NOT caught at the guarded commit"
+            )),
+            min_insts: None,
+            buckets,
+        };
+    }
+    let caught = |m: &Module| {
+        persist::check_module(m)
+            .0
+            .iter()
+            .any(|d| d.code == "I6-unfenced-flush" && d.severity == Severity::Error)
+    };
+    let min = minimize(&bad, &caught);
+    SeedResult {
+        kind: SeedKind::InjectFence,
+        verdict: "caught",
+        detail: format!("I6-unfenced-flush at {fname} b{blk}:{commit_idx}, minimized"),
+        divergence: None,
+        min_insts: Some(count_insts(&min)),
+        buckets,
+    }
+}
+
 // ---------------------------------------------------------------------------
 // The farm driver.
 // ---------------------------------------------------------------------------
@@ -768,9 +939,11 @@ pub fn run(dir: &Path, cfg: &FuzzConfig) -> io::Result<FuzzReport> {
                 SeedKind::Concurrent => run_concurrent(cfg, gen_seed),
                 SeedKind::InjectCkpt => run_inject_ckpt(gen_seed),
                 SeedKind::InjectStore => run_inject_store(gen_seed),
+                SeedKind::InjectFlush => run_inject_flush(gen_seed),
+                SeedKind::InjectFence => run_inject_fence(gen_seed),
             };
             done_here += 1;
-            if matches!(kind, SeedKind::InjectCkpt | SeedKind::InjectStore)
+            if !matches!(kind, SeedKind::Sequential | SeedKind::Concurrent)
                 && result.verdict != "skipped"
             {
                 injected += 1;
@@ -999,7 +1172,9 @@ mod tests {
         assert_eq!(seed_kind(&cfg, 2), SeedKind::Concurrent);
         assert_eq!(seed_kind(&cfg, 4), SeedKind::InjectCkpt);
         assert_eq!(seed_kind(&cfg, 9), SeedKind::InjectStore);
-        assert_eq!(seed_kind(&cfg, 14), SeedKind::InjectCkpt);
+        assert_eq!(seed_kind(&cfg, 14), SeedKind::InjectFlush);
+        assert_eq!(seed_kind(&cfg, 19), SeedKind::InjectFence);
+        assert_eq!(seed_kind(&cfg, 24), SeedKind::InjectCkpt);
     }
 
     #[test]
@@ -1042,14 +1217,16 @@ mod tests {
     #[test]
     fn small_campaign_is_clean_and_resume_is_idempotent() {
         let dir = tmp_dir("campaign");
+        // Budget 20 reaches every injection kind in the rotation (seed
+        // indices 4, 9, 14, 19: ckpt, store, flush, fence).
         let cfg = FuzzConfig {
             shards: 2,
-            budget: 12,
+            budget: 20,
             schedules: 2,
             ..FuzzConfig::default()
         };
         let first = run(&dir, &cfg).unwrap();
-        assert_eq!(first.completed, 12);
+        assert_eq!(first.completed, 20);
         assert_eq!(first.resumed, 0);
         assert!(first.divergences.is_empty(), "{:?}", first.divergences);
         assert_eq!(first.injected, first.injected_caught);
@@ -1059,7 +1236,7 @@ mod tests {
         // Re-running the same budget does no new work and duplicates nothing.
         let second = run(&dir, &cfg).unwrap();
         assert_eq!(second.completed, 0);
-        assert_eq!(second.resumed, 12);
+        assert_eq!(second.resumed, 20);
         assert!(manifest_check(&dir, &cfg).unwrap().is_complete());
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -53,6 +53,7 @@ pub const FIGURES: &[&str] = &[
     "fig25_pb_sweep",
     "fig26_wpq_sweep",
     "fig27_nvm_tech",
+    "fig_autofence",
     "fig_beyond_ram",
     "list_workloads",
     "summary",

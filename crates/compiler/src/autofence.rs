@@ -1,0 +1,548 @@
+//! Automated flush/fence insertion — the certified persistency baseline
+//! behind `Scheme::AutoFence`.
+//!
+//! Where the cWSP pipeline makes *regions* the unit of persistence, this
+//! pass implements the classical epoch-persistency discipline every
+//! software-transparent competitor assumes away: after every NVM-visible
+//! store it inserts a line write-back ([`Inst::FlushLine`] with the store's
+//! exact memory reference), and before every *commit point* — an event whose
+//! semantics assume prior stores durable — an ordering [`Inst::PFence`].
+//!
+//! The pass is **normalizing**: any pre-existing `flush`/`pfence`
+//! instructions are stripped first and the placement re-derived from
+//! scratch, which makes it idempotent (`run ∘ run = run`) and makes
+//! injected redundant flushes vanish — a self-check the fuzz farm
+//! exercises.
+//!
+//! Redundancy elimination while inserting:
+//!
+//! * **flush dedup** — a store needs no flush when a *later* store in the
+//!   same block, before any commit point, provably covers the same line
+//!   (same constant line, or the identical symbolic base+offset word): the
+//!   later store's flush writes back the final value, and the earlier value
+//!   is architecturally dead anyway. Must-equality comes from
+//!   [`crate::alias::PathState`].
+//! * **fence coalescing** — `pfence` is emitted only where the forward
+//!   "flush pending since last drain" dataflow (may-union over the CFG) is
+//!   true, so straight-line runs of commits share one fence and
+//!   drain-commits (`fence`/`atomic`, which stall the persist path anyway)
+//!   never get one.
+//!
+//! Commit points mirror `cwsp_analyzer::persist` exactly — that analyzer
+//! re-proves the discipline on the pass output (*translation validation*).
+//! The pass's syntactic callee purity is strictly stronger than the
+//! analyzer's summary-based purity, so every call the analyzer treats as a
+//! commit is fenced here; the reverse gap only costs an extra fence, never
+//! a diagnostic.
+//!
+//! The pass runs on *raw* modules (the AutoFence baseline competes against
+//! the cWSP pipeline, not inside it) but tolerates compiled ones: stores
+//! into the reserved checkpoint/metadata ranges are recovery plumbing, not
+//! program durability, and are skipped.
+
+use crate::alias::{AbstractVal, PathState};
+use cwsp_ir::cfg;
+use cwsp_ir::function::Function;
+use cwsp_ir::inst::Inst;
+use cwsp_ir::layout;
+use cwsp_ir::module::Module;
+
+/// What one [`run`] did, for harness telemetry and the sweep figure.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AutoFenceStats {
+    /// `flush` instructions inserted.
+    pub flushes_inserted: usize,
+    /// `flush`es elided because a later same-line store covers them.
+    pub flushes_elided: usize,
+    /// `pfence` instructions inserted.
+    pub fences_inserted: usize,
+    /// Pre-existing `flush`/`pfence` instructions stripped by normalization.
+    pub stripped: usize,
+    /// Stores left unflushed (reserved checkpoint/metadata range).
+    pub reserved_skipped: usize,
+}
+
+/// Insert flush/fence operations across every function of `module`.
+pub fn run(module: &mut Module) -> AutoFenceStats {
+    let mut stats = AutoFenceStats::default();
+    let impure = persist_impure(module);
+    // The transform reads the module immutably (PathState resolves global
+    // tags through it) while rewriting one function at a time: rebuild each
+    // function's blocks against a pristine clone of the module.
+    let snapshot = module.clone();
+    for idx in 0..module.function_count() {
+        let fid = cwsp_ir::module::FuncId(idx as u32);
+        let rebuilt = rewrite_function(&snapshot, snapshot.function(fid), &impure, &mut stats);
+        module.function_mut(fid).blocks = rebuilt;
+    }
+    stats
+}
+
+/// Syntactic, transitive persist-impurity: a function is impure when it (or
+/// any callee) contains an instruction that touches persistency state or
+/// assumes it — stores, atomics, fences, checkpoints, boundaries, output,
+/// halt, or existing flush/fence ops. Strictly stronger than the analyzer's
+/// summary-based purity: a syntactically pure callee has an empty summary.
+fn persist_impure(module: &Module) -> Vec<bool> {
+    let n = module.function_count();
+    let mut impure = vec![false; n];
+    let mut callees: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (fid, f) in module.iter_functions() {
+        for (_, blk) in f.iter_blocks() {
+            for inst in &blk.insts {
+                match inst {
+                    Inst::Store { .. }
+                    | Inst::AtomicRmw { .. }
+                    | Inst::Fence
+                    | Inst::Ckpt { .. }
+                    | Inst::Boundary { .. }
+                    | Inst::Out { .. }
+                    | Inst::FlushLine { .. }
+                    | Inst::PFence
+                    | Inst::Halt => impure[fid.index()] = true,
+                    Inst::Call { func, .. } => {
+                        if func.index() < n {
+                            callees[fid.index()].push(func.index());
+                        } else {
+                            // Unknown callee: assume the worst.
+                            impure[fid.index()] = true;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    loop {
+        let mut changed = false;
+        for i in 0..n {
+            if !impure[i] && callees[i].iter().any(|&c| impure[c]) {
+                impure[i] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    impure
+}
+
+/// Whether `inst` is a commit point for fence placement. `drains` marks the
+/// commits that stall the persist path themselves (no `pfence` needed).
+fn commit_of(inst: &Inst, impure: &[bool]) -> Option<Commit> {
+    match inst {
+        Inst::Fence | Inst::AtomicRmw { .. } | Inst::Halt => Some(Commit { drains: true }),
+        Inst::Out { .. } | Inst::Boundary { .. } | Inst::Ret { .. } => {
+            Some(Commit { drains: false })
+        }
+        Inst::Call { func, .. } => {
+            if impure.get(func.index()).copied().unwrap_or(true) {
+                Some(Commit { drains: false })
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Commit {
+    drains: bool,
+}
+
+/// Must-coverage: does a flush of line(`later`) provably write back the word
+/// stored at `earlier`? Constants compare by 64-byte line; symbolic
+/// addresses only by exact (symbol, delta) word equality — base alignment
+/// is unknown, so distinct words of one symbolic base may straddle lines.
+fn covers(later: AbstractVal, earlier: AbstractVal) -> bool {
+    match (later, earlier) {
+        (AbstractVal::Const(a), AbstractVal::Const(b)) => a & !63 == b & !63,
+        (AbstractVal::Base(s1, d1), AbstractVal::Base(s2, d2)) => s1 == s2 && d1 == d2,
+        _ => false,
+    }
+}
+
+fn reserved(addr: AbstractVal) -> bool {
+    matches!(addr, AbstractVal::Const(a) if layout::is_ckpt_addr(a) || layout::is_hw_meta_addr(a))
+}
+
+fn rewrite_function(
+    module: &Module,
+    f: &Function,
+    impure: &[bool],
+    stats: &mut AutoFenceStats,
+) -> Vec<cwsp_ir::function::Block> {
+    // Phase 1 — strip existing flush/fence ops (normalization) and insert
+    // fresh flushes with block-local dedup.
+    let mut blocks: Vec<cwsp_ir::function::Block> = Vec::with_capacity(f.blocks.len());
+    for (_, blk) in f.iter_blocks() {
+        let insts: Vec<&Inst> = blk
+            .insts
+            .iter()
+            .filter(|i| {
+                let strip = matches!(i, Inst::FlushLine { .. } | Inst::PFence);
+                if strip {
+                    stats.stripped += 1;
+                }
+                !strip
+            })
+            .collect();
+        // Abstract address of each store plus commit positions, one linear
+        // walk (symbols are consistent within the block).
+        let mut st = PathState::new(module);
+        let mut addr_of: Vec<Option<AbstractVal>> = Vec::with_capacity(insts.len());
+        let mut is_commit: Vec<bool> = Vec::with_capacity(insts.len());
+        for inst in &insts {
+            addr_of.push(match inst {
+                Inst::Store { addr, .. } => Some(st.addr_of(addr)),
+                _ => None,
+            });
+            is_commit.push(commit_of(inst, impure).is_some());
+            st.transfer(inst);
+        }
+        let mut out: Vec<Inst> = Vec::with_capacity(insts.len());
+        for (i, inst) in insts.iter().enumerate() {
+            out.push((*inst).clone());
+            let (Inst::Store { addr, .. }, Some(a)) = (*inst, addr_of[i]) else {
+                continue;
+            };
+            if reserved(a) {
+                stats.reserved_skipped += 1;
+                continue;
+            }
+            let covered = (i + 1..insts.len())
+                .take_while(|&j| !is_commit[j])
+                .any(|j| matches!(addr_of[j], Some(b) if covers(b, a)));
+            if covered {
+                stats.flushes_elided += 1;
+            } else {
+                out.push(Inst::FlushLine { addr: *addr });
+                stats.flushes_inserted += 1;
+            }
+        }
+        blocks.push(cwsp_ir::function::Block { insts: out });
+    }
+
+    // Phase 2 — "flush pending since last drain" forward dataflow over the
+    // flush-augmented blocks (union at joins), then fence insertion before
+    // each non-draining commit reached with a pending flush.
+    let probe = Function {
+        blocks: blocks.clone(),
+        ..f.clone()
+    };
+    let rpo = cfg::reverse_post_order(&probe);
+    let preds = cfg::predecessors(&probe);
+    let nb = blocks.len();
+    let mut pin = vec![false; nb];
+    let mut pout = vec![false; nb];
+    loop {
+        let mut changed = false;
+        for &b in &rpo {
+            let bi = b.0 as usize;
+            let inb = preds[bi].iter().any(|p| pout[p.0 as usize]);
+            let mut p = inb;
+            for inst in &blocks[bi].insts {
+                if commit_of(inst, impure).is_some() {
+                    p = false;
+                } else if matches!(inst, Inst::FlushLine { .. }) {
+                    p = true;
+                }
+            }
+            if pin[bi] != inb || pout[bi] != p {
+                pin[bi] = inb;
+                pout[bi] = p;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for (bi, blk) in blocks.iter_mut().enumerate() {
+        let mut p = pin[bi];
+        let mut out: Vec<Inst> = Vec::with_capacity(blk.insts.len());
+        for inst in blk.insts.drain(..) {
+            match commit_of(&inst, impure) {
+                Some(c) => {
+                    if p && !c.drains {
+                        out.push(Inst::PFence);
+                        stats.fences_inserted += 1;
+                    }
+                    p = false;
+                }
+                None => {
+                    if matches!(inst, Inst::FlushLine { .. }) {
+                        p = true;
+                    }
+                }
+            }
+            out.push(inst);
+        }
+        blk.insts = out;
+    }
+    blocks
+}
+
+/// Flush/fence instruction census of a module — the sweep figure's static
+/// columns.
+pub fn op_census(module: &Module) -> (usize, usize) {
+    let mut flushes = 0;
+    let mut fences = 0;
+    for (_, f) in module.iter_functions() {
+        for (_, blk) in f.iter_blocks() {
+            for inst in &blk.insts {
+                match inst {
+                    Inst::FlushLine { .. } => flushes += 1,
+                    Inst::PFence => fences += 1,
+                    _ => {}
+                }
+            }
+        }
+    }
+    (flushes, fences)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwsp_ir::builder::FunctionBuilder;
+    use cwsp_ir::inst::{MemRef, Operand};
+    use cwsp_ir::layout::GLOBAL_BASE;
+    use cwsp_ir::pretty::fmt_module;
+    use cwsp_ir::types::Reg;
+
+    fn single(f: FunctionBuilder) -> Module {
+        let mut m = Module::new("t");
+        let id = m.add_function(f.build());
+        m.set_entry(id);
+        m
+    }
+
+    fn insts_of(m: &Module) -> Vec<Inst> {
+        let f = m.function(m.entry().unwrap());
+        f.blocks[0].insts.clone()
+    }
+
+    #[test]
+    fn store_gets_flush_and_out_gets_fence() {
+        let mut b = FunctionBuilder::new("main", 0);
+        let e = b.entry();
+        b.push(e, Inst::store(Operand::imm(1), MemRef::abs(GLOBAL_BASE)));
+        b.push(
+            e,
+            Inst::Out {
+                val: Operand::imm(1),
+            },
+        );
+        b.push(e, Inst::Halt);
+        let mut m = single(b);
+        let st = run(&mut m);
+        assert_eq!((st.flushes_inserted, st.fences_inserted), (1, 1));
+        let insts = insts_of(&m);
+        assert!(matches!(insts[1], Inst::FlushLine { .. }), "{insts:?}");
+        assert!(matches!(insts[2], Inst::PFence), "{insts:?}");
+        assert!(matches!(insts[3], Inst::Out { .. }));
+        // Halt drains the path itself: no fence before it.
+        assert!(matches!(insts[4], Inst::Halt));
+    }
+
+    #[test]
+    fn later_same_line_store_elides_the_earlier_flush() {
+        let mut b = FunctionBuilder::new("main", 0);
+        let e = b.entry();
+        b.push(e, Inst::store(Operand::imm(1), MemRef::abs(GLOBAL_BASE)));
+        b.push(
+            e,
+            Inst::store(Operand::imm(2), MemRef::abs(GLOBAL_BASE + 8)),
+        );
+        b.push(
+            e,
+            Inst::Out {
+                val: Operand::imm(1),
+            },
+        );
+        b.push(e, Inst::Halt);
+        let mut m = single(b);
+        let st = run(&mut m);
+        assert_eq!(st.flushes_elided, 1, "first store covered by second");
+        assert_eq!(st.flushes_inserted, 1);
+    }
+
+    #[test]
+    fn pass_is_idempotent() {
+        let mut b = FunctionBuilder::new("main", 1);
+        let e = b.entry();
+        let t = b.block();
+        let x = b.block();
+        b.push(e, Inst::store(Operand::imm(1), MemRef::reg(Reg(0), 0)));
+        b.push(
+            e,
+            Inst::CondBr {
+                cond: Reg(0).into(),
+                if_true: t,
+                if_false: x,
+            },
+        );
+        b.push(t, Inst::store(Operand::imm(2), MemRef::abs(GLOBAL_BASE)));
+        b.push(t, Inst::Br { target: x });
+        b.push(
+            x,
+            Inst::Out {
+                val: Operand::imm(0),
+            },
+        );
+        b.push(x, Inst::Halt);
+        let mut m = single(b);
+        run(&mut m);
+        let once = fmt_module(&m);
+        let st = run(&mut m);
+        assert_eq!(fmt_module(&m), once, "run ∘ run = run");
+        assert_eq!(
+            st.stripped,
+            st.flushes_inserted + st.fences_inserted,
+            "second run re-derives exactly what it stripped"
+        );
+    }
+
+    #[test]
+    fn injected_redundant_flush_is_eliminated() {
+        let mut b = FunctionBuilder::new("main", 0);
+        let e = b.entry();
+        b.push(e, Inst::store(Operand::imm(1), MemRef::abs(GLOBAL_BASE)));
+        b.push(
+            e,
+            Inst::Out {
+                val: Operand::imm(1),
+            },
+        );
+        b.push(e, Inst::Halt);
+        let mut m = single(b);
+        run(&mut m);
+        let clean = fmt_module(&m);
+        // Duplicate the flush (the genprog redundancy injection shape).
+        let entry = m.entry().unwrap();
+        let f = m.function_mut(entry);
+        let fl = f.blocks[0].insts[1].clone();
+        assert!(matches!(fl, Inst::FlushLine { .. }));
+        f.blocks[0].insts.insert(1, fl);
+        run(&mut m);
+        assert_eq!(fmt_module(&m), clean, "redundant flush normalized away");
+    }
+
+    #[test]
+    fn fence_before_ret_and_impure_call_but_not_pure_call() {
+        let mut m = Module::new("t");
+        let mut pure = FunctionBuilder::new("pure", 1);
+        let pe = pure.entry();
+        pure.push(
+            pe,
+            Inst::Ret {
+                val: Some(Reg(0).into()),
+            },
+        );
+        let pure_id = m.add_function(pure.build());
+        let mut imp = FunctionBuilder::new("imp", 0);
+        let ie = imp.entry();
+        imp.push(
+            ie,
+            Inst::store(Operand::imm(2), MemRef::abs(GLOBAL_BASE + 128)),
+        );
+        imp.push(ie, Inst::Ret { val: None });
+        let imp_id = m.add_function(imp.build());
+        let mut main = FunctionBuilder::new("main", 0);
+        let e = main.entry();
+        main.push(e, Inst::store(Operand::imm(1), MemRef::abs(GLOBAL_BASE)));
+        main.push(
+            e,
+            Inst::Call {
+                func: pure_id,
+                args: vec![Operand::imm(1)],
+                ret: None,
+                save_regs: vec![],
+            },
+        );
+        main.push(
+            e,
+            Inst::Call {
+                func: imp_id,
+                args: vec![],
+                ret: None,
+                save_regs: vec![],
+            },
+        );
+        main.push(e, Inst::Halt);
+        let main_id = m.add_function(main.build());
+        m.set_entry(main_id);
+        run(&mut m);
+        let main_insts = &m.function(main_id).blocks[0].insts;
+        // store, flush, pure call (no fence), pfence, impure call, halt.
+        let kinds: Vec<&str> = main_insts
+            .iter()
+            .map(|i| match i {
+                Inst::Store { .. } => "store",
+                Inst::FlushLine { .. } => "flush",
+                Inst::PFence => "pfence",
+                Inst::Call { .. } => "call",
+                Inst::Halt => "halt",
+                _ => "other",
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            vec!["store", "flush", "call", "pfence", "call", "halt"],
+            "{kinds:?}"
+        );
+        // `imp` fences before its ret (the modular contract).
+        let imp_insts = &m.function(imp_id).blocks[0].insts;
+        assert!(
+            matches!(imp_insts[imp_insts.len() - 2], Inst::PFence),
+            "{imp_insts:?}"
+        );
+    }
+
+    #[test]
+    fn cross_block_pending_flush_reaches_the_commit() {
+        // Flush in the entry block, commit in a successor: the dataflow
+        // carries "pending" across the edge.
+        let mut b = FunctionBuilder::new("main", 1);
+        let e = b.entry();
+        let x = b.block();
+        b.push(e, Inst::store(Operand::imm(1), MemRef::abs(GLOBAL_BASE)));
+        b.push(e, Inst::Br { target: x });
+        b.push(
+            x,
+            Inst::Out {
+                val: Operand::imm(0),
+            },
+        );
+        b.push(x, Inst::Halt);
+        let mut m = single(b);
+        run(&mut m);
+        let f = m.function(m.entry().unwrap());
+        assert!(
+            matches!(f.blocks[1].insts[0], Inst::PFence),
+            "{:?}",
+            f.blocks[1].insts
+        );
+    }
+
+    #[test]
+    fn census_counts_both_ops() {
+        let mut b = FunctionBuilder::new("main", 0);
+        let e = b.entry();
+        b.push(e, Inst::store(Operand::imm(1), MemRef::abs(GLOBAL_BASE)));
+        b.push(
+            e,
+            Inst::Out {
+                val: Operand::imm(1),
+            },
+        );
+        b.push(e, Inst::Halt);
+        let mut m = single(b);
+        assert_eq!(op_census(&m), (0, 0));
+        run(&mut m);
+        assert_eq!(op_census(&m), (1, 1));
+    }
+}

@@ -54,6 +54,7 @@
 //! ```
 
 pub mod alias;
+pub mod autofence;
 pub mod callsave;
 pub mod checkpoint;
 pub mod liveness;

@@ -559,6 +559,68 @@ pub fn inject_unsynced_store(m: &mut Module) -> Option<u64> {
     Some(addr)
 }
 
+/// Drop the first `flush` of an autofenced module.
+///
+/// Picks the lowest `(function, block, index)` `FlushLine` (deterministic
+/// run-to-run) and deletes it: the store it covered is then dirty at the
+/// next commit point and the I6 persistency analyzer must flag
+/// `I6-unflushed-store` with a witness rooted at that store. Returns
+/// `(function, block, index)` of the now-unflushed store (indices are
+/// unchanged by the removal since the store precedes its flush), or `None`
+/// when the module contains no flushes.
+pub fn inject_dropped_flush(m: &mut Module) -> Option<(FuncId, u32, usize)> {
+    let (fid, blk, idx) = find_first(m, |i| matches!(i, Inst::FlushLine { .. }))?;
+    let blocks = &mut m.function_mut(fid).blocks;
+    blocks[blk as usize].insts.remove(idx);
+    // The covered store is the closest preceding `Store` in the block (the
+    // autofence pass emits the flush immediately after its store).
+    let store_idx = blocks[blk as usize].insts[..idx]
+        .iter()
+        .rposition(|i| matches!(i, Inst::Store { .. }))?;
+    Some((fid, blk, store_idx))
+}
+
+/// Drop the first `pfence` of an autofenced module.
+///
+/// Picks the lowest `(function, block, index)` `PFence` and deletes it: the
+/// flushes it ordered are write-backs with no ordering guarantee at the
+/// commit point it guarded, and the I6 analyzer must flag
+/// `I6-unfenced-flush` with a witness ending at that commit. Returns
+/// `(function, block, index)` of the commit instruction the fence guarded
+/// (its index *after* the removal — the autofence pass emits the fence
+/// immediately before the commit), or `None` when the module contains no
+/// fences.
+pub fn inject_dropped_fence(m: &mut Module) -> Option<(FuncId, u32, usize)> {
+    let (fid, blk, idx) = find_first(m, |i| matches!(i, Inst::PFence))?;
+    m.function_mut(fid).blocks[blk as usize].insts.remove(idx);
+    Some((fid, blk, idx))
+}
+
+/// Duplicate the first `flush` of an autofenced module — a *benign*
+/// mutation: re-running the autofence pass must normalize it away, and the
+/// I6 analyzer reports it as an `I6-redundant-flush` warning, never an
+/// error. Returns the flush's `(function, block, index)`, or `None` when
+/// the module contains no flushes.
+pub fn inject_redundant_flush(m: &mut Module) -> Option<(FuncId, u32, usize)> {
+    let (fid, blk, idx) = find_first(m, |i| matches!(i, Inst::FlushLine { .. }))?;
+    let insts = &mut m.function_mut(fid).blocks[blk as usize].insts;
+    let dup = insts[idx].clone();
+    insts.insert(idx, dup);
+    Some((fid, blk, idx))
+}
+
+/// Lowest `(function, block, index)` instruction matching `pred`.
+fn find_first(m: &Module, pred: impl Fn(&Inst) -> bool) -> Option<(FuncId, u32, usize)> {
+    for (fid, f) in m.iter_functions() {
+        for (bid, b) in f.iter_blocks() {
+            if let Some(idx) = b.insts.iter().position(&pred) {
+                return Some((fid, bid.0, idx));
+            }
+        }
+    }
+    None
+}
+
 /// Benign single-function mutation: prepend an observable `Out` to `f`'s
 /// entry block. The incremental-analysis differential uses this to dirty
 /// exactly one function's fingerprint per round.

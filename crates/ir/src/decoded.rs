@@ -170,10 +170,17 @@ pub enum DecodedInst {
     },
     /// Halt.
     Halt,
+    /// Cache-line writeback toward NVM (architectural no-op).
+    FlushLine {
+        /// Address operand naming the flushed line.
+        addr: DecAddr,
+    },
+    /// Persist-ordering fence (architectural no-op).
+    PFence,
 }
 
 /// Number of distinct opcodes (for instruction-mix counters).
-pub const OPCODE_COUNT: usize = 14;
+pub const OPCODE_COUNT: usize = 16;
 
 /// Opcode names, indexed by [`DecodedInst::opcode`].
 pub const OPCODE_NAMES: [&str; OPCODE_COUNT] = [
@@ -191,6 +198,8 @@ pub const OPCODE_NAMES: [&str; OPCODE_COUNT] = [
     "ckpt",
     "out",
     "halt",
+    "flush",
+    "pfence",
 ];
 
 impl DecodedInst {
@@ -212,6 +221,8 @@ impl DecodedInst {
             DecodedInst::Ckpt { .. } => 11,
             DecodedInst::Out { .. } => 12,
             DecodedInst::Halt => 13,
+            DecodedInst::FlushLine { .. } => 14,
+            DecodedInst::PFence => 15,
         }
     }
 }
@@ -457,6 +468,10 @@ impl DecodedModule {
             Inst::Boundary { id } => DecodedInst::Boundary { id: *id },
             Inst::Ckpt { reg } => DecodedInst::Ckpt { reg: *reg },
             Inst::Out { val } => DecodedInst::Out { val: *val },
+            Inst::FlushLine { addr } => DecodedInst::FlushLine {
+                addr: self.decode_addr(addr),
+            },
+            Inst::PFence => DecodedInst::PFence,
             Inst::Halt => DecodedInst::Halt,
         }
     }

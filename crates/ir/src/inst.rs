@@ -251,6 +251,15 @@ pub enum Inst {
     /// in a per-region I/O redo buffer and released when the region persists
     /// (§VIII "I/O and Device States").
     Out { val: Operand },
+    /// Write back the cache line containing `addr` toward NVM (clwb-style).
+    /// Architecturally a no-op; under `Scheme::AutoFence` the simulator
+    /// enqueues the line on the persist path. Inserted by
+    /// `compiler::autofence`.
+    FlushLine { addr: MemRef },
+    /// Persist-ordering fence: earlier flushed lines become durable before
+    /// any later persist-side event. Unlike [`Inst::Fence`] it is *not* a
+    /// synchronization point — region formation ignores it.
+    PFence,
     /// Stop the program.
     Halt,
 }
@@ -325,9 +334,11 @@ impl Inst {
             }
             Inst::Ckpt { reg } => out.push(*reg),
             Inst::Out { val } => op(val),
+            Inst::FlushLine { addr } => op(&addr.base),
             Inst::Br { .. }
             | Inst::Ret { val: None }
             | Inst::Fence
+            | Inst::PFence
             | Inst::Boundary { .. }
             | Inst::Halt => {}
         }
@@ -405,6 +416,19 @@ mod tests {
         };
         assert!(rmw.is_sync());
         assert_eq!(rmw.uses(), vec![]);
+    }
+
+    #[test]
+    fn flush_and_pfence_are_not_sync_points() {
+        let fl = Inst::FlushLine {
+            addr: MemRef::reg(Reg(3), 16),
+        };
+        assert_eq!(fl.def(), None);
+        assert_eq!(fl.uses(), vec![Reg(3)]);
+        assert!(!fl.is_sync() && !fl.is_terminator());
+        assert_eq!(Inst::PFence.def(), None);
+        assert!(Inst::PFence.uses().is_empty());
+        assert!(!Inst::PFence.is_sync() && !Inst::PFence.is_terminator());
     }
 
     #[test]

@@ -143,6 +143,12 @@ pub enum EffectKind {
     Out,
     /// The program halted (via `Halt` or return from the entry function).
     Halt,
+    /// A cache-line writeback toward NVM (`FlushLine`). Architecturally a
+    /// no-op; `reads[0]` names the flushed address.
+    Flush,
+    /// A persist-ordering fence (`PFence`). Architecturally a no-op; not a
+    /// synchronization point.
+    PFence,
 }
 
 /// Everything externally observable about one interpreter step.
@@ -851,6 +857,17 @@ impl<'m> Interp<'m> {
                     out.push(self.eval(val));
                     self.bump();
                 }
+                DecodedInst::FlushLine { addr } => {
+                    self.steps += 1;
+                    self.op_counts[14] += 1;
+                    let _ = self.addr_of(addr)?;
+                    self.bump();
+                }
+                DecodedInst::PFence => {
+                    self.steps += 1;
+                    self.op_counts[15] += 1;
+                    self.bump();
+                }
                 _ => break, // Call / Ret / Halt take the full step path
             }
             n += 1;
@@ -1055,6 +1072,14 @@ impl<'m> Interp<'m> {
             DecodedInst::Out { val } => {
                 eff.kind = EffectKind::Out;
                 eff.out = Some(self.eval(val));
+            }
+            DecodedInst::FlushLine { addr } => {
+                eff.kind = EffectKind::Flush;
+                let a = self.addr_of(addr)?;
+                eff.reads.push(a);
+            }
+            DecodedInst::PFence => {
+                eff.kind = EffectKind::PFence;
             }
             DecodedInst::Halt => {
                 eff.kind = EffectKind::Halt;

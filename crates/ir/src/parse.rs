@@ -304,6 +304,14 @@ pub fn parse_inst(line: usize, text: &str) -> Result<Inst, ParseError> {
     if text == "fence" {
         return Ok(Inst::Fence);
     }
+    if text == "pfence" {
+        return Ok(Inst::PFence);
+    }
+    if let Some(m) = text.strip_prefix("flush ") {
+        return Ok(Inst::FlushLine {
+            addr: parse_memref(line, m.trim())?,
+        });
+    }
     if text == "halt" {
         return Ok(Inst::Halt);
     }
@@ -558,6 +566,13 @@ mod tests {
                 val: Operand::imm(9),
             },
             Inst::Fence,
+            Inst::FlushLine {
+                addr: MemRef::reg(Reg(5), 64),
+            },
+            Inst::FlushLine {
+                addr: MemRef::abs(0x2000),
+            },
+            Inst::PFence,
             Inst::Halt,
             Inst::Ret { val: None },
             Inst::Ret {

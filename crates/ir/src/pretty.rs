@@ -115,6 +115,8 @@ pub fn fmt_inst(inst: &Inst) -> String {
             }
         }
         Inst::Fence => "fence".to_string(),
+        Inst::FlushLine { addr } => format!("flush {}", fmt_memref(addr)),
+        Inst::PFence => "pfence".to_string(),
         Inst::Boundary { id } => format!("--- boundary {id} ---"),
         Inst::Ckpt { reg } => format!("ckpt {reg}"),
         Inst::Out { val } => format!("out {}", fmt_operand(val)),
@@ -182,6 +184,13 @@ mod tests {
             "--- boundary Rg2 ---"
         );
         assert_eq!(fmt_inst(&Inst::Ckpt { reg: Reg(3) }), "ckpt r3");
+        assert_eq!(
+            fmt_inst(&Inst::FlushLine {
+                addr: MemRef::reg(Reg(2), 64)
+            }),
+            "flush [r2+64]"
+        );
+        assert_eq!(fmt_inst(&Inst::PFence), "pfence");
         assert!(fmt_inst(&Inst::Call {
             func: FuncId(1),
             args: vec![Operand::imm(2)],

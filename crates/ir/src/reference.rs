@@ -566,6 +566,14 @@ impl<'m> RefInterp<'m> {
                 eff = StepEffect::new(EffectKind::Out);
                 eff.out = Some(self.eval(*val));
             }
+            Inst::FlushLine { addr } => {
+                eff = StepEffect::new(EffectKind::Flush);
+                let a = self.addr_of(addr)?;
+                eff.reads.push(a);
+            }
+            Inst::PFence => {
+                eff = StepEffect::new(EffectKind::PFence);
+            }
             Inst::Halt => {
                 eff = StepEffect::new(EffectKind::Halt);
                 self.halted = true;

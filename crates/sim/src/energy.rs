@@ -38,7 +38,10 @@ pub fn flush_bytes_per_core(scheme: Scheme, cfg: &SimConfig) -> u64 {
     let wpq_bytes =
         (cfg.wpq_entries as u64 * 16 * cfg.mem_controllers as u64) / cfg.cores.max(1) as u64;
     match scheme {
-        Scheme::Cwsp(_) | Scheme::Baseline | Scheme::ReplayCache => wpq_bytes,
+        // AutoFence relies on ADR exactly like cWSP: a pfence retires only
+        // once its flushes reach the WPQs, so those entries are the whole
+        // residual-flush obligation.
+        Scheme::Cwsp(_) | Scheme::Baseline | Scheme::ReplayCache | Scheme::AutoFence => wpq_bytes,
         Scheme::Capri => {
             let redo = 18 << 10;
             let proxy_share = (cfg.mem_controllers as u64 * (18 << 10)) / cfg.cores.max(1) as u64;

@@ -166,6 +166,27 @@ pub struct Machine<'m> {
     /// append or deallocation may have changed it (`logs_dirty`).
     live_logs_cache: usize,
     logs_dirty: bool,
+    /// Opt-in durability-ordering oracle for [`Scheme::AutoFence`] crash
+    /// tests (see [`Machine::enable_durability_oracle`]). `None` on every
+    /// measured run.
+    oracle: Option<DurabilityOracle>,
+}
+
+/// Ground truth for the flush/fence semantics under [`Scheme::AutoFence`]:
+/// tracks, per word, the value guaranteed durable by the last completed
+/// ordering fence. At a crash, NVM must still hold that value for every word
+/// not flushed again since — otherwise the machine lost a fenced flush and
+/// the I6 static guarantee would be vacuous.
+#[derive(Debug, Default)]
+struct DurabilityOracle {
+    /// Word → value covered by the latest completed fence.
+    durable: std::collections::HashMap<Word, Word>,
+    /// Words flushed again after their durable value was recorded (their NVM
+    /// cell may legitimately hold a newer snapshot at the crash).
+    refreshed: std::collections::HashSet<Word>,
+    /// Per-core (word, value) snapshots flushed since that core's last
+    /// completed fence.
+    pending: Vec<Vec<(Word, Word)>>,
 }
 
 impl<'m> Machine<'m> {
@@ -277,6 +298,7 @@ impl<'m> Machine<'m> {
             fuse: cwsp_ir::decoded::fuse_enabled(),
             live_logs_cache: 0,
             logs_dirty: false,
+            oracle: None,
         };
         // Open the initial region on every core (the program-entry region is
         // the non-speculative head from the start) and persist its metadata.
@@ -322,6 +344,35 @@ impl<'m> Machine<'m> {
     /// [`crate::trace::Trace`]); call before [`Machine::run`].
     pub fn enable_trace(&mut self, cap: usize) {
         self.trace = Some(Trace::new(cap));
+    }
+
+    /// Enable the durability-ordering oracle (AutoFence crash tests); call
+    /// before [`Machine::run`]. Records, per word, the value the flush/fence
+    /// contract guarantees durable, so a post-crash NVM image can be checked
+    /// against it via [`Machine::durability_violations`].
+    pub fn enable_durability_oracle(&mut self) {
+        self.oracle = Some(DurabilityOracle {
+            pending: vec![Vec::new(); self.cfg.cores],
+            ..Default::default()
+        });
+    }
+
+    /// Words whose NVM cell no longer holds their fence-guaranteed durable
+    /// value (and were not flushed again since). Empty when the oracle is
+    /// disabled or the flush/fence contract held. Call at the crash point,
+    /// before [`Machine::into_crash_image`] consumes the machine.
+    pub fn durability_violations(&self) -> Vec<Word> {
+        let Some(o) = &self.oracle else {
+            return Vec::new();
+        };
+        let mut bad: Vec<Word> = o
+            .durable
+            .iter()
+            .filter(|&(w, &v)| !o.refreshed.contains(w) && self.nvm.load(*w) != v)
+            .map(|(&w, _)| w)
+            .collect();
+        bad.sort_unstable();
+        bad
     }
 
     /// Override fused superblock dispatch for this machine (defaults to the
@@ -1018,20 +1069,29 @@ impl<'m> Machine<'m> {
                 return Ok(SlotOutcome::Stalled(StallKind::Wb));
             }
         }
-        // Pending PB inserts from an already-executed store.
+        // Pending PB inserts from an already-executed store (or, under
+        // AutoFence, from an executed flush — line words awaiting PB space).
+        let uses_rbt = self.uses_rbt();
         while let Some(&(addr, data)) = self.cores[i].pending_pb.front() {
             if self.cores[i].pb.has_space() {
                 let core = &mut self.cores[i];
-                let Some(tail) = core.rbt.tail() else {
-                    return Err(InterpError::Trap(
-                        "store issued with no open region (malformed module: missing region boundary)"
-                            .into(),
-                    ));
+                let (region, log_bit) = if uses_rbt {
+                    let Some(tail) = core.rbt.tail() else {
+                        return Err(InterpError::Trap(
+                            "store issued with no open region (malformed module: missing region boundary)"
+                                .into(),
+                        ));
+                    };
+                    (tail.dyn_id, core.rbt.tail_is_speculative())
+                } else {
+                    // AutoFence: no region machinery; entries ride the path
+                    // under the sentinel region (like Capri's redo lines).
+                    (DynRegionId(0), false)
                 };
-                let region = tail.dyn_id;
-                let log_bit = core.rbt.tail_is_speculative();
                 core.pb.push(region, addr, data, log_bit);
-                core.rbt.on_store(self.cfg.mc_of(addr));
+                if uses_rbt {
+                    core.rbt.on_store(self.cfg.mc_of(addr));
+                }
                 core.pending_pb.pop_front();
                 self.emit(Event::PersistIssue {
                     cycle,
@@ -1111,12 +1171,17 @@ impl<'m> Machine<'m> {
             self.stats.record_region_size(n);
             self.cores[i].region_insts = 0;
         }
-        // Sync drain (atomic/fence waiting for full persistence, §VIII).
+        // Sync drain (atomic/fence waiting for full persistence, §VIII; under
+        // AutoFence also a pfence waiting for prior flushes to reach the ADR
+        // domain — no RBT to drain, just the PB and its feed queue).
         if self.cores[i].sync_drain {
-            let drained = !self.uses_rbt()
-                || (self.cores[i].rbt.drained()
+            let drained = if self.uses_rbt() {
+                self.cores[i].rbt.drained()
                     && self.cores[i].pb.is_empty()
-                    && self.cores[i].pending_pb.is_empty());
+                    && self.cores[i].pending_pb.is_empty()
+            } else {
+                self.cores[i].pb.is_empty() && self.cores[i].pending_pb.is_empty()
+            };
             if !drained {
                 self.stats.stall_sync += 1;
                 self.note_stall(i, StallKind::Sync);
@@ -1129,6 +1194,18 @@ impl<'m> Machine<'m> {
             for &(a, v) in &writes {
                 self.nvm.store(a, v);
                 self.stats.nvm_writes += 1;
+            }
+            if let Some(o) = &mut self.oracle {
+                // The completed drain makes every flush issued before it —
+                // and the sync's own writes — durable.
+                for (w, v) in o.pending[i].drain(..) {
+                    o.durable.insert(w, v);
+                    o.refreshed.remove(&w);
+                }
+                for &(w, v) in &writes {
+                    o.durable.insert(w, v);
+                    o.refreshed.remove(&w);
+                }
             }
             writes.clear();
             self.cores[i].sync_writes = writes;
@@ -1255,8 +1332,56 @@ impl<'m> Machine<'m> {
                     core.sync_writes.extend_from_slice(&eff.writes);
                     core.sync_resume = sync_resume;
                     cost = self.cfg.persist_path_cycles.max(20);
+                } else if matches!(self.scheme, Scheme::AutoFence) {
+                    // A full sync is at least a pfence: drain every prior
+                    // flush, then persist the atomic's own store
+                    // synchronously (no recovery-slice machinery to advance).
+                    let core = &mut self.cores[i];
+                    core.sync_drain = true;
+                    core.sync_writes.clear();
+                    core.sync_writes.extend_from_slice(&eff.writes);
+                    cost = self.cfg.persist_path_cycles.max(20);
                 } else if matches!(self.scheme, Scheme::ReplayCache | Scheme::Capri) {
                     cost = self.cfg.persist_path_cycles.max(20);
+                }
+            }
+            EffectKind::Flush => {
+                if matches!(self.scheme, Scheme::AutoFence) {
+                    // clwb: snapshot the flushed line at execution time and
+                    // enqueue its eight words toward the persist path (64
+                    // bytes — exactly one line writeback of bandwidth).
+                    let line = line_of(eff.reads[0]);
+                    for k in 0..8u64 {
+                        let a = line + k * 8;
+                        let v = self.arch_mem.load(a);
+                        self.cores[i].pending_pb.push_back((a, v));
+                        if let Some(o) = &mut self.oracle {
+                            o.pending[i].push((a, v));
+                            o.refreshed.insert(a);
+                        }
+                    }
+                }
+                // Architecturally a no-op everywhere else: cost 1, no cache
+                // or persist traffic, so non-AutoFence figures are unchanged.
+            }
+            EffectKind::PFence => {
+                if matches!(self.scheme, Scheme::AutoFence) {
+                    let drained =
+                        self.cores[i].pb.is_empty() && self.cores[i].pending_pb.is_empty();
+                    if drained {
+                        // Everything flushed before already reached the ADR
+                        // domain: the fence completes immediately.
+                        if let Some(o) = &mut self.oracle {
+                            for (w, v) in o.pending[i].drain(..) {
+                                o.durable.insert(w, v);
+                                o.refreshed.remove(&w);
+                            }
+                        }
+                    } else {
+                        // Stall the core until the PB and its feed queue
+                        // drain (the sync-drain poll, minus RBT conditions).
+                        self.cores[i].sync_drain = true;
+                    }
                 }
             }
             EffectKind::Halt => {

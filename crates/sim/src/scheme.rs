@@ -55,6 +55,14 @@ pub enum Scheme {
     /// with `SimConfig::dram_cache = None`.
     #[allow(clippy::upper_case_acronyms)]
     IdealPsp,
+    /// Compiler-certified flush/fence persistency: the `compiler::autofence`
+    /// pass inserts a line-granular `flush` after every NVM-visible store and
+    /// an ordering `pfence` before every commit point. The hardware offers no
+    /// region speculation — a `pfence` stalls the core until every prior
+    /// flush has reached the ADR domain. A flush materializes its line as
+    /// eight 8-byte persist-path entries (64 bytes total — one line
+    /// writeback), so path bandwidth is charged per line like clwb.
+    AutoFence,
 }
 
 impl Scheme {
@@ -68,15 +76,17 @@ impl Scheme {
         match self {
             Scheme::Baseline | Scheme::IdealPsp => false,
             Scheme::Cwsp(f) => f.persist_path,
-            Scheme::Capri | Scheme::ReplayCache => true,
+            Scheme::Capri | Scheme::ReplayCache | Scheme::AutoFence => true,
         }
     }
 
     /// Persist-path granularity in bytes (8 for cWSP, 64 for the cacheline
-    /// schemes — §V-A2's eightfold bandwidth reduction).
+    /// schemes — §V-A2's eightfold bandwidth reduction). AutoFence sends
+    /// 8-byte entries but a flush enqueues the whole line (eight of them),
+    /// so its per-line bandwidth matches the cacheline schemes.
     pub fn persist_granularity(self) -> u64 {
         match self {
-            Scheme::Cwsp(_) => 8,
+            Scheme::Cwsp(_) | Scheme::AutoFence => 8,
             _ => 64,
         }
     }
@@ -89,6 +99,40 @@ impl Scheme {
             Scheme::Capri => "capri",
             Scheme::ReplayCache => "replaycache",
             Scheme::IdealPsp => "ideal-psp",
+            Scheme::AutoFence => "autofence",
+        }
+    }
+
+    /// Every scheme the harness can select, keyed by [`Scheme::name`]. The
+    /// canonical list for name/parse round-trip tests: a variant added here
+    /// but not to [`std::str::FromStr`] (or vice versa) fails the test
+    /// instead of silently falling back to [`Scheme::Baseline`].
+    pub fn all() -> [Scheme; 6] {
+        [
+            Scheme::Baseline,
+            Scheme::cwsp(),
+            Scheme::Capri,
+            Scheme::ReplayCache,
+            Scheme::IdealPsp,
+            Scheme::AutoFence,
+        ]
+    }
+}
+
+impl std::str::FromStr for Scheme {
+    type Err = String;
+
+    /// Parse a [`Scheme::name`] string (e.g. an env-var or CLI selection).
+    /// Unknown names are an error — never a silent Baseline fallback.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "baseline" => Ok(Scheme::Baseline),
+            "cwsp" => Ok(Scheme::cwsp()),
+            "capri" => Ok(Scheme::Capri),
+            "replaycache" => Ok(Scheme::ReplayCache),
+            "ideal-psp" => Ok(Scheme::IdealPsp),
+            "autofence" => Ok(Scheme::AutoFence),
+            other => Err(format!("unknown scheme '{other}'")),
         }
     }
 }
@@ -109,6 +153,25 @@ mod tests {
         assert_eq!(Scheme::cwsp().persist_granularity(), 8);
         assert_eq!(Scheme::Capri.persist_granularity(), 64);
         assert_eq!(Scheme::ReplayCache.persist_granularity(), 64);
+    }
+
+    #[test]
+    fn every_scheme_name_round_trips_through_parse() {
+        // The fix for env-selected schemes silently degrading to Baseline:
+        // every variant's name must parse back to exactly that variant.
+        for s in Scheme::all() {
+            let parsed: Scheme = s.name().parse().expect("name parses");
+            assert_eq!(parsed, s, "round trip for {}", s.name());
+        }
+        assert!("clwb".parse::<Scheme>().is_err(), "unknown names error");
+        assert!("".parse::<Scheme>().is_err());
+    }
+
+    #[test]
+    fn autofence_is_a_persist_path_scheme() {
+        assert!(Scheme::AutoFence.uses_persist_path());
+        assert_eq!(Scheme::AutoFence.persist_granularity(), 8);
+        assert_eq!(Scheme::AutoFence.name(), "autofence");
     }
 
     #[test]

@@ -124,6 +124,26 @@ fn generated_programs_execute_identically() {
 }
 
 #[test]
+fn autofenced_programs_execute_identically() {
+    // Autofenced modules exercise FlushLine/PFence through both cores —
+    // the decoded interpreter's effect stream must match the reference's
+    // word-for-word on the new opcodes too.
+    use cwsp::compiler::autofence;
+    let mut r = SplitMix64::seed_from_u64(0xF1055);
+    for case in 0..12 {
+        let spec = sample_spec(&mut r);
+        let seed = r.range_u64(0, 100_000);
+        let mut module = generate(&spec, seed);
+        let stats = autofence::run(&mut module);
+        assert!(
+            stats.flushes_inserted > 0,
+            "case {case}: no flushes inserted"
+        );
+        assert_lockstep(&module, &format!("case {case} seed {seed} autofenced"));
+    }
+}
+
+#[test]
 fn compiled_programs_execute_identically() {
     // Compiled modules exercise Boundary/Ckpt and pruned save lists — paths
     // raw genprog output doesn't emit.

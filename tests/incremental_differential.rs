@@ -53,16 +53,20 @@ fn layered_analysis_is_byte_identical_with_cache() {
     let opts = AnalyzeOptions {
         interproc: true,
         races: true,
+        persist: true,
         cores: 2,
     };
     let mut cache = AnalysisCache::new();
     for w in cwsp::workloads::all().iter().take(8) {
         let c = engine().compiled(&w.module, CompileOptions::default());
-        let (full, _) = analyze_with(&c.module, &c.slices, &opts);
-        let (cached, _) = analyze_with_cache(&c.module, &c.slices, &opts, &mut cache);
-        let (warm, _) = analyze_with_cache(&c.module, &c.slices, &opts, &mut cache);
+        let (full, _, full_pc) = analyze_with(&c.module, &c.slices, &opts);
+        let (cached, _, cold_pc) = analyze_with_cache(&c.module, &c.slices, &opts, &mut cache);
+        let (warm, _, warm_pc) = analyze_with_cache(&c.module, &c.slices, &opts, &mut cache);
         assert_eq!(norm(&full), norm(&cached), "{}: layered cold", w.name);
         assert_eq!(norm(&full), norm(&warm), "{}: layered warm", w.name);
+        assert!(full_pc.is_some(), "{}: persist layer ran", w.name);
+        assert_eq!(full_pc, cold_pc, "{}: persist counters cold", w.name);
+        assert_eq!(full_pc, warm_pc, "{}: persist counters warm", w.name);
     }
 }
 

@@ -33,6 +33,25 @@ fn parsed_workload_behaves_identically() {
 }
 
 #[test]
+fn autofenced_binaries_roundtrip_including_flushes_and_pfences() {
+    use cwsp::compiler::autofence;
+    for name in ["lulesh", "tatp", "kmeans"] {
+        let w = cwsp::workloads::by_name(name).unwrap();
+        let mut m = w.module.clone();
+        autofence::run(&mut m);
+        let text = fmt_module(&m);
+        assert!(text.contains("flush "), "{name}: text shows flushes");
+        assert!(text.contains("pfence"), "{name}: text shows pfences");
+        let parsed = parse_module(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(fmt_module(&parsed), text, "{name}: not a fixpoint");
+        let a = cwsp::ir::interp::run(&m, 30_000_000).unwrap();
+        let b = cwsp::ir::interp::run(&parsed, 30_000_000).unwrap();
+        assert_eq!(a.output, b.output, "{name}");
+        assert_eq!(a.return_value, b.return_value, "{name}");
+    }
+}
+
+#[test]
 fn compiled_binaries_roundtrip_including_boundaries_and_ckpts() {
     use cwsp::compiler::pipeline::{CompileOptions, CwspCompiler};
     let w = cwsp::workloads::by_name("kmeans").unwrap();

@@ -1,0 +1,241 @@
+//! Translation validation of the autofence pass, statically and
+//! dynamically.
+//!
+//! The contract under test has three legs:
+//!
+//! 1. **Static (translation validation)** — `compiler::autofence` output
+//!    must verify I6-clean under `analyzer::persist` on every built-in
+//!    workload and a 200-module genprog corpus. Pass and analyzer share no
+//!    code: the pass *places* flushes and fences, the analyzer *re-proves*
+//!    the epoch-persistency discipline from scratch over its own lattice.
+//! 2. **Mutation sensitivity** — dropping any single flush or fence from
+//!    pass output must be caught statically, with a path witness naming the
+//!    exact unflushed store (dropped flush) or the exact unfenced commit
+//!    (dropped fence).
+//! 3. **Dynamic (crash grounding)** — under `Scheme::AutoFence`, killing
+//!    the machine at arbitrary cycles must never violate the flush/fence
+//!    contract: every word a completed `pfence` guaranteed durable still
+//!    holds that value in the post-crash NVM image (the machine's
+//!    durability oracle checks word-for-word).
+
+use cwsp::analyzer::persist;
+use cwsp::analyzer::Severity;
+use cwsp::compiler::autofence;
+use cwsp::core::genprog::{
+    self, inject_dropped_fence, inject_dropped_flush, inject_redundant_flush, ProgramSpec,
+};
+use cwsp::ir::module::Module;
+use cwsp::sim::config::SimConfig;
+use cwsp::sim::machine::{Machine, RunEnd};
+use cwsp::sim::scheme::Scheme;
+use cwsp_bench::par_map;
+
+const SPEC: ProgramSpec = ProgramSpec {
+    globals: 2,
+    global_words: 8,
+    segments: 4,
+    max_trip: 4,
+    calls: true,
+};
+
+fn i6_errors(m: &Module) -> Vec<String> {
+    persist::check_module(m)
+        .0
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .map(|d| format!("{} {}: {}", d.code, d.location.function, d.message))
+        .collect()
+}
+
+#[test]
+fn autofence_output_verifies_i6_clean_on_every_workload() {
+    for w in cwsp::workloads::all() {
+        let mut m = w.module.clone();
+        let stats = autofence::run(&mut m);
+        assert!(
+            stats.flushes_inserted > 0,
+            "{}: pass inserted nothing",
+            w.name
+        );
+        let errs = i6_errors(&m);
+        assert!(
+            errs.is_empty(),
+            "{}: autofence output has I6 errors:\n{}",
+            w.name,
+            errs.join("\n")
+        );
+        assert!(m.validate().is_ok(), "{}: module broken", w.name);
+    }
+}
+
+#[test]
+fn autofence_output_verifies_i6_clean_on_a_200_module_corpus() {
+    let seeds: Vec<u64> = (0..200).collect();
+    let failures: Vec<String> = par_map(&seeds, |&seed| {
+        let mut m = genprog::generate(&SPEC, seed);
+        autofence::run(&mut m);
+        let errs = i6_errors(&m);
+        (!errs.is_empty()).then(|| format!("seed {seed}: {}", errs.join("; ")))
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+#[test]
+fn autofence_is_idempotent_and_normalizes_redundant_flushes_on_workloads() {
+    for w in cwsp::workloads::all().iter().take(8) {
+        let mut m = w.module.clone();
+        autofence::run(&mut m);
+        let once = cwsp::ir::pretty::fmt_module(&m);
+        autofence::run(&mut m);
+        assert_eq!(
+            cwsp::ir::pretty::fmt_module(&m),
+            once,
+            "{}: not idempotent",
+            w.name
+        );
+        inject_redundant_flush(&mut m).expect("instrumented module has a flush");
+        autofence::run(&mut m);
+        assert_eq!(
+            cwsp::ir::pretty::fmt_module(&m),
+            once,
+            "{}: redundant flush survived",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn dropped_flush_is_caught_with_a_witness_at_the_exact_store() {
+    for seed in [1u64, 7, 19, 42] {
+        let mut m = genprog::generate(&SPEC, seed);
+        autofence::run(&mut m);
+        let (fid, blk, store_idx) = inject_dropped_flush(&mut m).expect("a flush to drop");
+        let fname = m.function(fid).name.clone();
+        let (diags, _) = persist::check_module(&m);
+        let hit = diags.iter().any(|d| {
+            d.code == "I6-unflushed-store"
+                && d.severity == Severity::Error
+                && d.location.function == fname
+                && d.witness.as_ref().is_some_and(|w| {
+                    w.steps
+                        .first()
+                        .is_some_and(|s| s.block == blk && s.idx == store_idx)
+                })
+        });
+        assert!(
+            hit,
+            "seed {seed}: dropped flush of store {fname} b{blk}:{store_idx} not located; got {diags:#?}"
+        );
+    }
+}
+
+#[test]
+fn dropped_fence_is_caught_at_the_exact_guarded_commit() {
+    for seed in [1u64, 7, 19, 42] {
+        let mut m = genprog::generate(&SPEC, seed);
+        autofence::run(&mut m);
+        let (fid, blk, commit_idx) = inject_dropped_fence(&mut m).expect("a pfence to drop");
+        let fname = m.function(fid).name.clone();
+        let (diags, _) = persist::check_module(&m);
+        let hit = diags.iter().any(|d| {
+            d.code == "I6-unfenced-flush"
+                && d.severity == Severity::Error
+                && d.location.function == fname
+                && d.location.block == blk
+                && d.location.inst == Some(commit_idx)
+        });
+        assert!(
+            hit,
+            "seed {seed}: dropped pfence before {fname} b{blk}:{commit_idx} not located; got {diags:#?}"
+        );
+    }
+}
+
+/// ≥200 seeded kill-cycle crash injections: the durability oracle must see
+/// zero violations at every crash point — wherever power fails, NVM still
+/// holds every fence-guaranteed value.
+#[test]
+fn crash_injection_sweep_finds_no_durability_ordering_violation() {
+    let seeds: Vec<u64> = (0..50).collect();
+    let crash_counts: Vec<u64> = par_map(&seeds, |&seed| {
+        let mut m = genprog::generate(&SPEC, seed);
+        autofence::run(&mut m);
+        let cfg = SimConfig::default();
+        // Learn the run length, then kill at five cycles spread across it.
+        let total = {
+            let mut machine = Machine::new(&m, &cfg, Scheme::AutoFence);
+            let r = machine.run(u64::MAX, None).expect("full run");
+            assert_eq!(r.end, RunEnd::Completed, "seed {seed}");
+            r.stats.cycles
+        };
+        let mut crashes = 0;
+        for k in 1..=5u64 {
+            let cycle = (total * k / 6).max(1);
+            let mut machine = Machine::new(&m, &cfg, Scheme::AutoFence);
+            machine.enable_durability_oracle();
+            let r = machine.run(u64::MAX, Some(cycle)).expect("crash run");
+            if r.end != RunEnd::PowerFailure {
+                continue; // landed on/after halt; nothing to check
+            }
+            let bad = machine.durability_violations();
+            assert!(
+                bad.is_empty(),
+                "seed {seed} cycle {cycle}: durability-ordering violation at {bad:#x?}"
+            );
+            // The crash image must be constructible from the kill point.
+            let _img = machine.into_crash_image();
+            crashes += 1;
+        }
+        crashes
+    });
+    let total: u64 = crash_counts.iter().sum();
+    assert!(
+        total >= 200,
+        "only {total} effective crash injections (need >= 200)"
+    );
+}
+
+/// Completion grounding: under AutoFence the persist path is the *only*
+/// write route to NVM, so at a clean halt the NVM image of every global
+/// word must match architectural memory — every store really was flushed.
+#[test]
+fn autofenced_programs_halt_with_globals_fully_persisted() {
+    for seed in 0..10u64 {
+        let mut m = genprog::generate(&SPEC, seed);
+        autofence::run(&mut m);
+        let arch = cwsp::ir::interp::run(&m, 1_000_000).expect("program runs");
+        let cfg = SimConfig::default();
+        let mut machine = Machine::new(&m, &cfg, Scheme::AutoFence);
+        let r = machine.run(u64::MAX, None).expect("sim run");
+        assert_eq!(r.end, RunEnd::Completed, "seed {seed}");
+        let img = machine.into_crash_image();
+        for g in m.globals() {
+            for wdx in 0..g.words {
+                let a = g.addr + wdx * 8;
+                assert_eq!(
+                    img.nvm.load(a),
+                    arch.memory.load(a),
+                    "seed {seed}: global {} word {wdx} not durable at halt",
+                    g.name
+                );
+            }
+        }
+    }
+}
+
+/// Flush/fence instrumentation is architecturally invisible: the autofenced
+/// module computes exactly what the original did.
+#[test]
+fn autofence_preserves_architectural_semantics() {
+    for w in cwsp::workloads::all().iter().take(8) {
+        let mut m = w.module.clone();
+        autofence::run(&mut m);
+        let a = cwsp::ir::interp::run(&w.module, 30_000_000).unwrap();
+        let b = cwsp::ir::interp::run(&m, 30_000_000).unwrap();
+        assert_eq!(a.output, b.output, "{}", w.name);
+        assert_eq!(a.return_value, b.return_value, "{}", w.name);
+    }
+}
